@@ -1,0 +1,87 @@
+// Ablation — the §4.4 data pipeline: (a) the screenshot crawler's race
+// condition vs the pipeline crawler's race-free capture, and (b) the
+// multi-phase crawl-and-retrain loop (8 phases in the paper).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/crawler/screenshot_crawler.h"
+#include "src/eval/metrics.h"
+#include "src/img/draw.h"
+#include "src/train/phases.h"
+
+namespace percival {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation — screenshot crawler race vs pipeline crawler (§4.4)");
+  BenchWorld world = MakeBenchWorld(1.0, 7);
+
+  ScreenshotCrawlConfig screenshot_config;
+  screenshot_config.sites = 16;
+  screenshot_config.pages_per_site = 2;
+  screenshot_config.screenshot_delay_ms = 400.0;
+  ScreenshotCrawlStats screenshot_stats;
+  Dataset screenshot_set =
+      RunScreenshotCrawl(*world.generator, world.easylist, screenshot_config, &screenshot_stats);
+
+  int blank_ads = 0;
+  int total_ads = 0;
+  for (const LabeledImage& example : screenshot_set.examples()) {
+    if (example.is_ad) {
+      ++total_ads;
+      if (NonBackgroundFraction(example.image, Color{255, 255, 255, 255}) < 0.01) {
+        ++blank_ads;
+      }
+    }
+  }
+
+  Dataset pipeline_set = CrawlTrainingSet(world, 16, 2, 42);
+  TextTable crawl_table({"crawler", "ad captures", "blank (raced)", "usable"});
+  crawl_table.AddRow({"screenshot @ load+400ms", std::to_string(total_ads),
+                      std::to_string(blank_ads), std::to_string(total_ads - blank_ads)});
+  crawl_table.AddRow({"pipeline (decoded frames)", std::to_string(pipeline_set.ad_count()), "0",
+                      std::to_string(pipeline_set.ad_count())});
+  std::printf("%s", crawl_table.Render().c_str());
+  std::printf(
+      "paper: \"many screen-shots end up with white-space instead of the\n"
+      "image content\"; the pipeline crawler eliminates the race.\n");
+
+  PrintHeader("Ablation — crawl/retrain phases (paper: 8 phases)");
+  PhasedTrainingConfig config;
+  config.phases = 8;
+  config.sites_per_phase = 6;
+  config.pages_per_site = 1;
+  config.profile = TestProfile();
+  config.train.epochs = 6;
+  config.train.batch_size = 12;
+  config.train.sgd.learning_rate = 0.01f;
+  config.train.sgd.lr_decay_every_epochs = 8;
+  config.train.sgd.lr_decay_factor = 0.3f;
+
+  SampledDatasetOptions holdout_options;
+  holdout_options.per_class = 60;
+  holdout_options.seed = 321;
+  Dataset holdout = SampleDataset(holdout_options);
+  PhasedTrainingResult result =
+      RunPhasedTraining(*world.generator, world.easylist, holdout, config);
+
+  TextTable phase_table({"phase", "corpus size", "dups removed", "holdout acc", "holdout F1"});
+  for (const PhaseOutcome& phase : result.phases) {
+    phase_table.AddRow({std::to_string(phase.phase), std::to_string(phase.dataset_size),
+                        std::to_string(phase.duplicates_removed),
+                        TextTable::Percent(phase.holdout_accuracy, 1),
+                        TextTable::Fixed(phase.holdout_f1, 3)});
+  }
+  std::printf("%s", phase_table.Render().c_str());
+  std::printf(
+      "\nShape check: the corpus grows with each phase's crawl (after dedup\n"
+      "and balancing) and holdout accuracy trends upward over phases.\n");
+}
+
+}  // namespace
+}  // namespace percival
+
+int main() {
+  percival::Run();
+  return 0;
+}

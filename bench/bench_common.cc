@@ -1,0 +1,104 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "src/crawler/pipeline_crawler.h"
+#include "src/train/trainer.h"
+#include "src/webgen/adgen.h"
+#include "src/webgen/contentgen.h"
+
+namespace percival {
+
+BenchWorld MakeBenchWorld(double listed_fraction, uint64_t seed, Language language) {
+  BenchWorld world;
+  AdEcosystemConfig ecosystem;
+  ecosystem.network_count = 12;
+  ecosystem.listed_fraction = listed_fraction;
+  ecosystem.seed = seed;
+  world.networks = BuildAdNetworks(ecosystem);
+  SiteGenConfig site_config;
+  site_config.seed = seed * 1000 + 1;
+  site_config.language = language;
+  world.generator = std::make_unique<SiteGenerator>(site_config, world.networks);
+  world.easylist.AddList(BuildSyntheticEasyList(world.networks));
+  return world;
+}
+
+Dataset CrawlTrainingSet(const BenchWorld& world, int sites, int pages, uint64_t seed) {
+  PipelineCrawlConfig crawl;
+  crawl.sites = sites;
+  crawl.pages_per_site = pages;
+  crawl.seed = seed;
+  Dataset dataset =
+      RunPipelineCrawl(*world.generator, EasyListLabeller(world.easylist), crawl, nullptr);
+  dataset.Deduplicate();
+  dataset.Balance();
+  Rng rng(seed);
+  dataset.Shuffle(rng);
+  return dataset;
+}
+
+Network SharedTrainedModel(ModelZoo& zoo) {
+  const PercivalNetConfig profile = ExperimentProfile();
+  return zoo.GetOrTrain("shared_english", profile, [&profile](Network& net) {
+    // Crawl-labelled training set over a fully listed web (clean labels),
+    // augmented with directly sampled imagery for volume.
+    BenchWorld world = MakeBenchWorld(1.0, 7);
+    Dataset dataset = CrawlTrainingSet(world, 24, 3, 11);
+    SampledDatasetOptions sampled;
+    sampled.per_class = 150;
+    sampled.seed = 13;
+    dataset.Append(SampleDataset(sampled));
+    Rng rng(3);
+    dataset.Shuffle(rng);
+
+    TrainConfig config;
+    config.epochs = 14;
+    config.batch_size = 24;
+    config.sgd.learning_rate = 0.01f;
+    config.sgd.lr_decay_every_epochs = 8;
+    config.sgd.lr_decay_factor = 0.3f;
+    config.verbose = true;
+    TrainClassifier(net, profile, dataset, config);
+  });
+}
+
+AdClassifier MakeSharedClassifier(ModelZoo& zoo) {
+  return AdClassifier(SharedTrainedModel(zoo), ExperimentProfile());
+}
+
+Dataset SampleDataset(const SampledDatasetOptions& options) {
+  Rng rng(options.seed);
+  Dataset dataset;
+  for (int i = 0; i < options.per_class; ++i) {
+    Rng ad_rng = rng.Fork();
+    AdImageOptions ad_options;
+    ad_options.language = options.language;
+    ad_options.cue_dropout = options.cue_dropout;
+    ad_options.shifted_distribution = options.shifted_distribution;
+    ad_options.slot = static_cast<AdSlotKind>(ad_rng.NextBelow(4));
+    LabeledImage ad;
+    ad.image = GenerateAdImage(ad_rng, ad_options);
+    ad.is_ad = true;
+    dataset.Add(std::move(ad));
+
+    Rng content_rng = rng.Fork();
+    ContentImageOptions content_options;
+    content_options.language = options.language;
+    content_options.shifted_distribution = options.shifted_distribution;
+    content_options.kind = SampleContentKind(content_rng, options.product_photo_probability);
+    LabeledImage content;
+    content.image = GenerateContentImage(content_rng, content_options);
+    content.is_ad = false;
+    dataset.Add(std::move(content));
+  }
+  return dataset;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==========================================================\n");
+}
+
+}  // namespace percival

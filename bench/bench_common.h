@@ -1,0 +1,59 @@
+// Shared infrastructure for the experiment benches: the canonical synthetic
+// web, the EasyList stand-in, and the train-once classifier every figure
+// reuses (cached on disk via ModelZoo).
+#ifndef PERCIVAL_BENCH_BENCH_COMMON_H_
+#define PERCIVAL_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/classifier.h"
+#include "src/core/model.h"
+#include "src/core/model_zoo.h"
+#include "src/crawler/dataset.h"
+#include "src/filter/engine.h"
+#include "src/webgen/ad_network.h"
+#include "src/webgen/sitegen.h"
+
+namespace percival {
+
+// The canonical experiment environment shared by the figures.
+struct BenchWorld {
+  std::vector<AdNetwork> networks;
+  std::unique_ptr<SiteGenerator> generator;
+  FilterEngine easylist;
+};
+
+// listed_fraction < 1 leaves long-tail ad networks outside the list.
+BenchWorld MakeBenchWorld(double listed_fraction = 1.0, uint64_t seed = 7,
+                          Language language = Language::kEnglish);
+
+// Crawls `sites` x `pages` through the rendering pipeline, labelling frames
+// with EasyList, then dedups + balances — the paper's §4.4 data pipeline.
+Dataset CrawlTrainingSet(const BenchWorld& world, int sites, int pages, uint64_t seed);
+
+// Returns the shared English experiment-profile model, training it on the
+// first call (~30 s) and loading it from the model cache afterwards.
+Network SharedTrainedModel(ModelZoo& zoo);
+
+// Convenience: classifier wrapping a copy of the shared model.
+AdClassifier MakeSharedClassifier(ModelZoo& zoo);
+
+// Directly sampled (non-crawled) labelled dataset from the generators.
+struct SampledDatasetOptions {
+  int per_class = 100;
+  Language language = Language::kEnglish;
+  double cue_dropout = 0.15;
+  bool shifted_distribution = false;
+  double product_photo_probability = 0.08;
+  uint64_t seed = 5;
+};
+Dataset SampleDataset(const SampledDatasetOptions& options);
+
+// Prints a section header so the combined bench log reads like the paper.
+void PrintHeader(const std::string& title);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_BENCH_BENCH_COMMON_H_

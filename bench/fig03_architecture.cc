@@ -1,0 +1,105 @@
+// Fig. 3 — SqueezeNet vs the PERCIVAL fork: layers, parameter counts, model
+// size, forward MACs, and measured per-image latency, plus the downsampling
+// ablation (§4.2: "we down-sample the feature maps at regular intervals...
+// this helps reduce the classification time per image").
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/base/stopwatch.h"
+#include "src/eval/metrics.h"
+#include "src/nn/activation.h"
+#include "src/nn/conv.h"
+#include "src/nn/fire.h"
+#include "src/nn/pool.h"
+
+namespace percival {
+namespace {
+
+double MeasureForwardMs(Network& net, const TensorShape& input_shape, int reps) {
+  Tensor input(input_shape);
+  Rng rng(1);
+  for (int64_t i = 0; i < input.size(); ++i) {
+    input[i] = rng.NextFloat(0.0f, 1.0f);
+  }
+  net.Forward(input);  // warm-up
+  Stopwatch timer;
+  for (int i = 0; i < reps; ++i) {
+    net.Forward(input);
+  }
+  return timer.ElapsedMs() / reps;
+}
+
+void Run() {
+  PrintHeader("Fig. 3 — architecture: original SqueezeNet vs PERCIVAL fork");
+
+  PercivalNetConfig paper = PaperProfile();
+  Network fork = BuildPercivalNet(paper);
+  Network original = BuildOriginalSqueezeNet(paper.input_channels, paper.classes, 1);
+  PercivalNetConfig experiment = ExperimentProfile();
+  Network experiment_net = BuildPercivalNet(experiment);
+
+  std::printf("\nPERCIVAL fork (paper profile, %dx%dx%d input):\n%s\n", paper.input_size,
+              paper.input_size, paper.input_channels,
+              fork.Summary(paper.InputShape()).c_str());
+
+  TextTable table({"network", "params", "size (MB)", "MACs (M)", "fwd (ms)"});
+  const TensorShape paper_input = paper.InputShape();
+  auto add_row = [&table](const std::string& name, Network& net, const TensorShape& input,
+                          int reps) {
+    table.AddRow({name, std::to_string(net.ParameterCount()),
+                  TextTable::Fixed(static_cast<double>(net.ModelBytes()) / (1024.0 * 1024.0), 2),
+                  TextTable::Fixed(static_cast<double>(net.ForwardMacs(input)) / 1e6, 1),
+                  TextTable::Fixed(MeasureForwardMs(net, input, reps), 2)});
+  };
+  add_row("SqueezeNet (original)", original, paper_input, 1);
+  add_row("PERCIVAL fork @224", fork, paper_input, 2);
+  add_row("PERCIVAL fork @64 (experiment)", experiment_net, experiment.InputShape(), 20);
+  std::printf("%s", table.Render().c_str());
+
+  const double ratio = static_cast<double>(original.ModelBytes()) / fork.ModelBytes();
+  std::printf("\nfork/original size ratio: %.2fx smaller (paper: 4.8 MB -> <2 MB)\n", ratio);
+  std::printf("vs Sentinel-class YOLO detector (~140 MB): %.0fx smaller (paper: 74x)\n",
+              140.0 * 1024 * 1024 / static_cast<double>(fork.ModelBytes()));
+
+  // Ablation: the fork *without* the extra interleaved max-pools (spatial
+  // size stays high for longer) — the design choice §4.2 calls out.
+  PrintHeader("Ablation — effect of interleaved downsampling (Fig. 3 design)");
+  Rng rng(2);
+  Network no_downsample;
+  {
+    // Same channels, pooling only at the end like the original layout.
+    no_downsample = Network();
+    Rng init(3);
+    no_downsample.Add<Conv2D>(paper.input_channels, paper.conv1_channels, 3, 2, 1, init,
+                              "conv1");
+    no_downsample.Add<Relu>();
+    no_downsample.Add<MaxPool2D>(2, 2);
+    int channels = paper.conv1_channels;
+    for (int i = 0; i < 6; ++i) {
+      const FireConfig& fire = paper.fires[static_cast<size_t>(i)];
+      no_downsample.AddLayer(std::make_unique<FireModule>(channels, fire.squeeze, fire.expand,
+                                                          init, "fire" + std::to_string(i + 1)));
+      channels = 2 * fire.expand;
+    }
+    no_downsample.Add<MaxPool2D>(2, 2);
+    no_downsample.Add<Conv2D>(channels, paper.classes, 1, 1, 0, init, "conv_final");
+    no_downsample.Add<GlobalAvgPool>();
+  }
+  TextTable ablation({"variant", "MACs (M)", "fwd (ms)"});
+  ablation.AddRow({"fork with interleaved maxpools",
+                   TextTable::Fixed(static_cast<double>(fork.ForwardMacs(paper_input)) / 1e6, 1),
+                   TextTable::Fixed(MeasureForwardMs(fork, paper_input, 2), 2)});
+  ablation.AddRow(
+      {"same fires, late pooling only",
+       TextTable::Fixed(static_cast<double>(no_downsample.ForwardMacs(paper_input)) / 1e6, 1),
+       TextTable::Fixed(MeasureForwardMs(no_downsample, paper_input, 1), 2)});
+  std::printf("%s", ablation.Render().c_str());
+}
+
+}  // namespace
+}  // namespace percival
+
+int main() {
+  percival::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 13 — blocking image-search results by query ad intent. Paper: 12/100
+// blocked for "Obama", 96/100 for "Advertisement", with FP/FN reported only
+// where ground truth was determinable.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/eval/metrics.h"
+#include "src/webgen/search.h"
+
+namespace percival {
+namespace {
+
+void Run() {
+  PrintHeader("Fig. 13 — PERCIVAL blocking image search results (first 100 images)");
+  ModelZoo zoo;
+  AdClassifier classifier = MakeSharedClassifier(zoo);
+
+  TextTable table({"Search query", "Images blocked", "Images rendered", "FP", "FN"});
+  int obama_blocked = -1;
+  int advertisement_blocked = -1;
+  for (const SearchQueryProfile& profile : Fig13Queries()) {
+    std::vector<SearchResultImage> results = GenerateSearchResults(profile, 100, 77);
+    int blocked = 0;
+    int fp = 0;
+    int fn = 0;
+    for (const SearchResultImage& result : results) {
+      const bool predicted = classifier.Classify(result.image).is_ad;
+      blocked += predicted ? 1 : 0;
+      if (result.is_ad.has_value()) {
+        if (predicted && !*result.is_ad) {
+          ++fp;
+        }
+        if (!predicted && *result.is_ad) {
+          ++fn;
+        }
+      }
+    }
+    const bool labeled = !results.empty() && results[0].is_ad.has_value();
+    table.AddRow({profile.query, std::to_string(blocked), std::to_string(100 - blocked),
+                  labeled ? std::to_string(fp) : "-", labeled ? std::to_string(fn) : "-"});
+    if (profile.query == "Obama") {
+      obama_blocked = blocked;
+    }
+    if (profile.query == "Advertisement") {
+      advertisement_blocked = blocked;
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("paper: Obama 12/88, Advertisement 96/4, Shoes 56/44, Pastry 14/86, ");
+  std::printf("Coffee 23/77, Detergent 85/15, iPhone 76/24\n");
+  std::printf("\nShape check: blocked(Advertisement)=%d >> blocked(Obama)=%d.\n",
+              advertisement_blocked, obama_blocked);
+}
+
+}  // namespace
+}  // namespace percival
+
+int main() {
+  percival::Run();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: convolution
+// lowering, fire modules, full-network inference at both profiles, codec
+// decode, bitmap-to-tensor preprocessing, and filter-rule matching.
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/core/model.h"
+#include "src/filter/engine.h"
+#include "src/img/codec.h"
+#include "src/img/resize.h"
+#include "src/nn/conv.h"
+#include "src/nn/fire.h"
+#include "src/webgen/ad_network.h"
+#include "src/webgen/adgen.h"
+
+namespace percival {
+namespace {
+
+Tensor RandomTensor(const TensorShape& shape, uint64_t seed) {
+  Tensor tensor(shape);
+  Rng rng(seed);
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    tensor[i] = rng.NextFloat(-1.0f, 1.0f);
+  }
+  return tensor;
+}
+
+void BM_Conv3x3(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Conv2D conv(16, 16, 3, 1, 1, rng);
+  Tensor input = RandomTensor(TensorShape{1, size, size, 16}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(input));
+  }
+  state.SetItemsProcessed(state.iterations() * conv.ForwardMacs(input.shape()));
+}
+BENCHMARK(BM_Conv3x3)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_FireModule(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  Rng rng(1);
+  FireModule fire(32, 8, 32, rng);
+  Tensor input = RandomTensor(TensorShape{1, size, size, 32}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fire.Forward(input));
+  }
+}
+BENCHMARK(BM_FireModule)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PercivalForwardExperiment(benchmark::State& state) {
+  PercivalNetConfig config = ExperimentProfile();
+  Network net = BuildPercivalNet(config);
+  Tensor input = RandomTensor(config.InputShape(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Forward(input));
+  }
+}
+BENCHMARK(BM_PercivalForwardExperiment);
+
+void BM_PercivalForwardPaper(benchmark::State& state) {
+  PercivalNetConfig config = PaperProfile();
+  Network net = BuildPercivalNet(config);
+  Tensor input = RandomTensor(config.InputShape(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Forward(input));
+  }
+}
+BENCHMARK(BM_PercivalForwardPaper)->Iterations(2);
+
+void BM_DecodePif(benchmark::State& state) {
+  Rng rng(4);
+  AdImageOptions options;
+  Bitmap ad = GenerateAdImage(rng, options);
+  std::vector<uint8_t> bytes = EncodePif(ad);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodePif(bytes));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(ad.byte_size()));
+}
+BENCHMARK(BM_DecodePif);
+
+void BM_BitmapToTensor(benchmark::State& state) {
+  Rng rng(5);
+  AdImageOptions options;
+  Bitmap ad = GenerateAdImage(rng, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BitmapToTensor(ad, 64, 3));
+  }
+}
+BENCHMARK(BM_BitmapToTensor);
+
+void BM_FilterMatch(benchmark::State& state) {
+  FilterEngine engine;
+  engine.AddList(BuildSyntheticEasyList(BuildAdNetworks(AdEcosystemConfig{})));
+  RequestContext request;
+  request.url = Url::Parse("https://cdn.adnet3.example/banner3/1-2-3.pif");
+  request.page_host = "news-site-1.example";
+  request.type = ResourceType::kImage;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ShouldBlockRequest(request));
+  }
+}
+BENCHMARK(BM_FilterMatch);
+
+}  // namespace
+}  // namespace percival
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// facebook_feed: renders a synthetic Facebook-style feed (first-party ads:
+// right-column units + in-feed sponsored posts with obfuscated DOM
+// signatures) and shows why filter lists fail there while PERCIVAL blocks —
+// the §5.3 experiment as an interactive example.
+//
+// Usage: ./build/examples/facebook_feed [sessions]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "src/eval/metrics.h"
+#include "src/renderer/renderer.h"
+#include "src/webgen/facebook.h"
+
+using namespace percival;
+
+int main(int argc, char** argv) {
+  const int sessions = argc > 1 ? std::atoi(argv[1]) : 3;
+  ModelZoo zoo;
+  AdClassifier classifier = MakeSharedClassifier(zoo);
+  BenchWorld world = MakeBenchWorld(1.0, 7);
+
+  ConfusionMatrix totals;
+  for (int session = 0; session < sessions; ++session) {
+    FacebookSessionConfig config;
+    config.seed = 900 + static_cast<uint64_t>(session);
+    config.feed_posts = 30;
+    config.right_column_ads = 3;
+    WebPage page = BuildFacebookPage(config);
+
+    // Filter list first: the sponsored posts' obfuscated classes defeat it.
+    RenderOptions shields;
+    shields.filter = &world.easylist;
+    shields.render_framebuffer = false;
+    RenderResult filter_result = RenderPage(page, shields);
+
+    // PERCIVAL operates on pixels and doesn't care about DOM signatures.
+    RenderOptions percival_options;
+    percival_options.interceptor = &classifier;
+    percival_options.render_framebuffer = false;
+    RenderResult percival_result = RenderPage(page, percival_options);
+
+    int filter_blocked = filter_result.stats.requests_blocked_by_filter +
+                         filter_result.stats.elements_hidden_by_filter;
+    std::printf("session %d: filter list blocked %d elements; PERCIVAL blocked %d/%d frames\n",
+                session, filter_blocked, percival_result.stats.frames_blocked,
+                percival_result.stats.frames_decoded);
+
+    for (const ImageOutcome& outcome : percival_result.image_outcomes) {
+      if (outcome.decoded) {
+        totals.Record(outcome.is_ad, outcome.blocked_by_percival);
+      }
+    }
+  }
+  std::printf("\naggregate over %d sessions: %s\n", sessions, totals.Summary().c_str());
+  std::printf("paper aggregate (35 days): acc 92.0%%, precision 0.784, recall 0.7\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Quickstart: the smallest end-to-end use of the PERCIVAL public API.
+//
+//   1. Build the CNN and train it briefly on synthetic ad/content data.
+//   2. Wrap it in an AdClassifier.
+//   3. Classify a fresh ad image and a fresh content image.
+//   4. Hook it into the rendering pipeline and render a page with ads.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/classifier.h"
+#include "src/core/model.h"
+#include "src/renderer/renderer.h"
+#include "src/train/trainer.h"
+#include "src/webgen/ad_network.h"
+#include "src/webgen/adgen.h"
+#include "src/webgen/contentgen.h"
+#include "src/webgen/sitegen.h"
+
+using namespace percival;
+
+int main() {
+  // 1. A small training set straight from the generators (a real deployment
+  //    trains on crawled data; see examples/train_pipeline).
+  Rng rng(1);
+  Dataset dataset;
+  for (int i = 0; i < 80; ++i) {
+    Rng ad_rng = rng.Fork();
+    AdImageOptions ad_options;
+    LabeledImage ad;
+    ad.image = GenerateAdImage(ad_rng, ad_options);
+    ad.is_ad = true;
+    dataset.Add(std::move(ad));
+
+    Rng content_rng = rng.Fork();
+    ContentImageOptions content_options;
+    content_options.kind = SampleContentKind(content_rng);
+    LabeledImage content;
+    content.image = GenerateContentImage(content_rng, content_options);
+    content.is_ad = false;
+    dataset.Add(std::move(content));
+  }
+
+  const PercivalNetConfig profile = TestProfile();
+  Network net = BuildPercivalNet(profile);
+  std::printf("network: %lld parameters (%.2f MB at float32)\n",
+              static_cast<long long>(net.ParameterCount()),
+              static_cast<double>(net.ModelBytes()) / (1024.0 * 1024.0));
+
+  TrainConfig train;
+  train.epochs = 10;
+  train.batch_size = 16;
+  train.sgd.learning_rate = 0.01f;
+  train.sgd.lr_decay_every_epochs = 8;
+  train.sgd.lr_decay_factor = 0.3f;
+  std::printf("training for %d epochs on %d images...\n", train.epochs, dataset.size());
+  TrainClassifier(net, profile, dataset, train);
+
+  // 2. The classifier implements ImageInterceptor, PERCIVAL's hook.
+  AdClassifier classifier(std::move(net), profile);
+
+  // 3. Classify fresh images.
+  Rng fresh(99);
+  Rng ad_rng = fresh.Fork();
+  AdImageOptions ad_options;
+  ClassifyResult ad_result = classifier.Classify(GenerateAdImage(ad_rng, ad_options));
+  Rng content_rng = fresh.Fork();
+  ContentImageOptions content_options;
+  content_options.kind = ContentKind::kLandscape;
+  ClassifyResult content_result =
+      classifier.Classify(GenerateContentImage(content_rng, content_options));
+  std::printf("ad image      -> p(ad)=%.3f blocked=%s (%.2f ms)\n", ad_result.ad_probability,
+              ad_result.is_ad ? "yes" : "no", ad_result.latency_ms);
+  std::printf("content image -> p(ad)=%.3f blocked=%s (%.2f ms)\n",
+              content_result.ad_probability, content_result.is_ad ? "yes" : "no",
+              content_result.latency_ms);
+
+  // 4. Render a synthetic page with PERCIVAL in the pipeline.
+  SiteGenerator generator(SiteGenConfig{}, BuildAdNetworks(AdEcosystemConfig{}));
+  WebPage page = generator.GeneratePage(0, 0);
+  RenderOptions options;
+  options.interceptor = &classifier;
+  RenderResult result = RenderPage(page, options);
+  std::printf("\nrendered %s\n", page.url.c_str());
+  std::printf("  images decoded: %d, frames blocked by PERCIVAL: %d\n",
+              result.stats.images_decoded, result.stats.frames_blocked);
+  std::printf("  render time (domComplete - domLoading): %.1f ms\n",
+              result.metrics.RenderTime());
+  return 0;
+}

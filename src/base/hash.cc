@@ -1,0 +1,23 @@
+#include "src/base/hash.h"
+
+namespace percival {
+
+uint64_t HashBytes(const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+uint64_t HashString(std::string_view text) { return HashBytes(text.data(), text.size()); }
+
+uint64_t HashU8(const std::vector<uint8_t>& bytes) { return HashBytes(bytes.data(), bytes.size()); }
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace percival

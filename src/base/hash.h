@@ -1,0 +1,27 @@
+// FNV-1a based hashing utilities.
+//
+// Used for image-buffer memoization keys (AdClassifier cache), dataset
+// deduplication, and stable derived seeds.
+#ifndef PERCIVAL_SRC_BASE_HASH_H_
+#define PERCIVAL_SRC_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace percival {
+
+// 64-bit FNV-1a over an arbitrary byte range.
+uint64_t HashBytes(const void* data, size_t size);
+
+// Convenience overloads.
+uint64_t HashString(std::string_view text);
+uint64_t HashU8(const std::vector<uint8_t>& bytes);
+
+// Combines two hashes (boost::hash_combine style).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_BASE_HASH_H_

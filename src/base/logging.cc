@@ -1,0 +1,30 @@
+#include "src/base/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace percival {
+
+namespace {
+std::mutex& LogMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+}  // namespace
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::fprintf(stderr, "[%s:%d] %s\n", file, line, message.c_str());
+    std::fflush(stderr);
+  }
+  std::abort();
+}
+
+void LogLine(const std::string& message) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fprintf(stderr, "[percival] %s\n", message.c_str());
+}
+
+}  // namespace percival

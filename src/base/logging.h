@@ -1,0 +1,62 @@
+// Minimal logging and assertion macros used across the PERCIVAL codebase.
+//
+// PCHECK(cond) aborts with a message when `cond` is false; it is used for
+// programmer-error invariants (never for recoverable conditions).
+// PLOG(msg) writes a timestamped line to stderr.
+#ifndef PERCIVAL_SRC_BASE_LOGGING_H_
+#define PERCIVAL_SRC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace percival {
+
+// Terminates the process after printing `message` together with the source
+// location of the failed check. Declared out-of-line so the macro body stays
+// small.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& message);
+
+// Writes one log line to stderr (thread-safe at the line level).
+void LogLine(const std::string& message);
+
+namespace logging_internal {
+
+// Accumulates a message via operator<< and triggers CheckFailed on
+// destruction. Used only by the PCHECK macro.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line) {
+    stream_ << "PCHECK failed: " << condition << " ";
+  }
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging_internal
+
+#define PCHECK(condition)                                                       \
+  if (condition) {                                                              \
+  } else                                                                        \
+    ::percival::logging_internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define PCHECK_EQ(a, b) PCHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define PCHECK_NE(a, b) PCHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define PCHECK_LT(a, b) PCHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define PCHECK_LE(a, b) PCHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define PCHECK_GT(a, b) PCHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define PCHECK_GE(a, b) PCHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_BASE_LOGGING_H_

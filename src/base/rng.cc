@@ -1,0 +1,55 @@
+#include "src/base/rng.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace percival {
+
+uint64_t Rng::NextU64() {
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  PCHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias for large bounds.
+  uint64_t threshold = (~bound + 1) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int Rng::NextInt(int lo, int hi) {
+  PCHECK_LE(lo, hi);
+  return lo + static_cast<int>(NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+float Rng::NextFloat(float lo, float hi) {
+  return lo + static_cast<float>(NextDouble()) * (hi - lo);
+}
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace percival

@@ -1,0 +1,34 @@
+// Wall-clock stopwatch used for render-time and classification latency
+// measurements (Figures 8, 14, 15).
+#ifndef PERCIVAL_SRC_BASE_STOPWATCH_H_
+#define PERCIVAL_SRC_BASE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace percival {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction / last Reset, in milliseconds.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  // Elapsed time in microseconds.
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_BASE_STOPWATCH_H_

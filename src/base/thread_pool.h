@@ -1,0 +1,54 @@
+// Fixed-size worker pool modelled on Blink's raster worker threads.
+//
+// The renderer submits raster tasks here; PERCIVAL's classifier runs inside
+// these workers, which is how the paper achieves per-image parallel
+// classification ("multiple raster threads each rasterizing different raster
+// tasks in parallel", §3.3).
+#ifndef PERCIVAL_SRC_BASE_THREAD_POOL_H_
+#define PERCIVAL_SRC_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace percival {
+
+class ThreadPool {
+ public:
+  // Creates `num_threads` workers (must be >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks may be submitted from any thread, including from
+  // inside another task.
+  void Submit(std::function<void()> task);
+
+  // Blocks until all submitted tasks (including nested submissions) have run.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Runs `fn(i)` for i in [0, count) across the pool and waits.
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_BASE_THREAD_POOL_H_

@@ -1,0 +1,98 @@
+#include "src/core/classifier.h"
+
+#include <algorithm>
+
+#include "src/base/hash.h"
+#include "src/base/stopwatch.h"
+#include "src/img/resize.h"
+#include "src/nn/activation.h"
+
+namespace percival {
+
+AdClassifier::AdClassifier(Network network, const PercivalNetConfig& config, float threshold)
+    : config_(config), network_(std::move(network)), threshold_(threshold) {}
+
+ClassifyResult AdClassifier::Classify(const Bitmap& image) {
+  Stopwatch timer;
+  Tensor input = BitmapToTensor(image, config_.input_size, config_.input_channels);
+  ClassifyResult result;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Tensor logits = network_.Forward(input);
+    Softmax softmax;
+    Tensor probs = softmax.Forward(logits);
+    // Class 1 == ad by convention throughout the repo.
+    result.ad_probability = probs.at(0, 0, 0, 1);
+    result.is_ad = result.ad_probability >= threshold_;
+    result.latency_ms = timer.ElapsedMs();
+    ++stats_.classified;
+    if (result.is_ad) {
+      ++stats_.blocked;
+    }
+    stats_.total_latency_ms += result.latency_ms;
+  }
+  return result;
+}
+
+bool AdClassifier::OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
+                                  const std::string& source_url) {
+  (void)source_url;
+  if (min_dimension_ > 0 &&
+      (info.width < min_dimension_ || info.height < min_dimension_)) {
+    return false;
+  }
+  return Classify(pixels).is_ad;
+}
+
+ClassifierStats AdClassifier::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void AdClassifier::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = ClassifierStats{};
+}
+
+bool AsyncAdClassifier::OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
+                                       const std::string& source_url) {
+  (void)info;
+  (void)source_url;
+  const uint64_t key = HashBytes(pixels.data(), pixels.byte_size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    ++stats_.cache_hits;
+    return it->second;  // Memoized decision applies immediately.
+  }
+  ++stats_.cache_misses;
+  // Not yet known: let the frame render now (no added latency) and queue
+  // the pixels for off-critical-path classification.
+  pending_.emplace_back(key, pixels);
+  return false;
+}
+
+void AsyncAdClassifier::DrainPending() {
+  std::vector<std::pair<uint64_t, Bitmap>> work;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    work.swap(pending_);
+  }
+  for (auto& [key, bitmap] : work) {
+    const ClassifyResult result = inner_.Classify(bitmap);
+    std::lock_guard<std::mutex> lock(mutex_);
+    memo_[key] = result.is_ad;
+  }
+}
+
+int64_t AsyncAdClassifier::cache_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(memo_.size());
+}
+
+ClassifierStats AsyncAdClassifier::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace percival

@@ -1,0 +1,102 @@
+// AdClassifier: the PERCIVAL detection module.
+//
+// Wraps the CNN behind the ImageInterceptor interface so it can sit at the
+// rendering pipeline's decode/raster choke point (§3). Two deployment modes
+// from §1.1/§2.2 are provided:
+//   * synchronous — classify in the critical path, block before paint;
+//   * asynchronous — never delay the current paint: a frame whose
+//     classification is not yet memoized renders immediately while its
+//     result is computed and cached for subsequent visits.
+#ifndef PERCIVAL_SRC_CORE_CLASSIFIER_H_
+#define PERCIVAL_SRC_CORE_CLASSIFIER_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/model.h"
+#include "src/img/bitmap.h"
+#include "src/nn/network.h"
+#include "src/renderer/image_pipeline.h"
+
+namespace percival {
+
+struct ClassifyResult {
+  bool is_ad = false;
+  float ad_probability = 0.0f;
+  double latency_ms = 0.0;
+};
+
+struct ClassifierStats {
+  int64_t classified = 0;
+  int64_t blocked = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  double total_latency_ms = 0.0;
+  double MeanLatencyMs() const {
+    return classified == 0 ? 0.0 : total_latency_ms / static_cast<double>(classified);
+  }
+};
+
+class AdClassifier : public ImageInterceptor {
+ public:
+  // Takes ownership of a trained network built from `config`. `threshold`
+  // is the ad-probability above which a frame is blocked.
+  AdClassifier(Network network, const PercivalNetConfig& config, float threshold = 0.5f);
+
+  // Runs one forward pass on `image` (resized to the profile's input).
+  // Thread-safe: the network's forward state is guarded by a mutex, which
+  // mirrors one classifier instance shared across raster workers.
+  ClassifyResult Classify(const Bitmap& image);
+
+  // ImageInterceptor: synchronous blocking decision.
+  bool OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
+                      const std::string& source_url) override;
+
+  // Skips classification of tiny decorative images (spacers, icons): the
+  // paper's slot sizes start around 100px on the short edge.
+  void set_min_dimension(int pixels) { min_dimension_ = pixels; }
+
+  const PercivalNetConfig& config() const { return config_; }
+  Network& network() { return network_; }
+  ClassifierStats stats() const;
+  void ResetStats();
+
+ private:
+  PercivalNetConfig config_;
+  Network network_;
+  float threshold_;
+  int min_dimension_ = 0;
+  mutable std::mutex mutex_;
+  ClassifierStats stats_;
+};
+
+// Asynchronous deployment wrapper with result memoization (§2.2's
+// "classifying images asynchronously... allows for memoization of the
+// results"). Keyed by a hash of the decoded pixels, so the same creative
+// served under a different URL still hits.
+class AsyncAdClassifier : public ImageInterceptor {
+ public:
+  explicit AsyncAdClassifier(AdClassifier& inner) : inner_(inner) {}
+
+  bool OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
+                      const std::string& source_url) override;
+
+  // Runs any pending classifications (the "async worker" drained between
+  // frames); in a browser this happens off the critical path.
+  void DrainPending();
+
+  int64_t cache_size() const;
+  ClassifierStats stats() const;
+
+ private:
+  AdClassifier& inner_;
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, bool> memo_;
+  std::vector<std::pair<uint64_t, Bitmap>> pending_;
+  ClassifierStats stats_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_CORE_CLASSIFIER_H_

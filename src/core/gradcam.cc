@@ -1,0 +1,102 @@
+#include "src/core/gradcam.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/base/logging.h"
+#include "src/img/resize.h"
+
+namespace percival {
+
+Tensor GradCam(Network& network, const Tensor& input, size_t layer_index, int target_class) {
+  PCHECK_LT(layer_index, network.LayerCount());
+  PCHECK_EQ(input.shape().n, 1);
+
+  // Full forward pass (caches every layer's state), keeping the feature map
+  // at the requested layer.
+  Tensor features = network.ForwardUpTo(input, layer_index + 1);
+  Tensor logits = input;
+  {
+    Tensor current = features;
+    for (size_t i = layer_index + 1; i < network.LayerCount(); ++i) {
+      current = network.layer(i).Forward(current);
+    }
+    logits = current;
+  }
+  PCHECK_LT(target_class, logits.shape().c);
+
+  // Backward from a one-hot gradient on the target logit, down to (but not
+  // through) the feature layer.
+  Tensor grad_logits(logits.shape());
+  grad_logits.at(0, 0, 0, target_class) = 1.0f;
+  network.ZeroGrads();
+  Tensor grad_features = network.BackwardFrom(grad_logits, layer_index + 1);
+  PCHECK(grad_features.shape() == features.shape());
+
+  // Channel weights: global average of gradients; CAM = ReLU(sum_k w_k A_k).
+  const TensorShape& fs = features.shape();
+  std::vector<float> weights(static_cast<size_t>(fs.c), 0.0f);
+  const int64_t plane = static_cast<int64_t>(fs.h) * fs.w;
+  for (int64_t p = 0; p < plane; ++p) {
+    const float* g = grad_features.data() + p * fs.c;
+    for (int c = 0; c < fs.c; ++c) {
+      weights[static_cast<size_t>(c)] += g[c];
+    }
+  }
+  for (float& w : weights) {
+    w /= static_cast<float>(plane);
+  }
+
+  Tensor cam(1, fs.h, fs.w, 1);
+  for (int y = 0; y < fs.h; ++y) {
+    for (int x = 0; x < fs.w; ++x) {
+      float value = 0.0f;
+      for (int c = 0; c < fs.c; ++c) {
+        value += weights[static_cast<size_t>(c)] * features.at(0, y, x, c);
+      }
+      cam.at(0, y, x, 0) = std::max(value, 0.0f);
+    }
+  }
+  return cam;
+}
+
+std::string RenderHeatmapAscii(const Tensor& heatmap, int max_width) {
+  const TensorShape& s = heatmap.shape();
+  const float hi = std::max(heatmap.Max(), 1e-12f);
+  const int step = std::max(1, s.w / max_width);
+  static const char kRamp[] = " .:-=+*#%@";
+  std::ostringstream out;
+  for (int y = 0; y < s.h; y += step) {
+    for (int x = 0; x < s.w; x += step) {
+      const float v = heatmap.at(0, y, x, 0) / hi;
+      const int idx = std::clamp(static_cast<int>(v * 9.0f), 0, 9);
+      out << kRamp[idx];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Bitmap OverlayHeatmap(const Bitmap& source, const Tensor& heatmap) {
+  Bitmap result = source;
+  const TensorShape& s = heatmap.shape();
+  const float hi = std::max(heatmap.Max(), 1e-12f);
+  for (int y = 0; y < result.height(); ++y) {
+    const int hy = std::min(y * s.h / std::max(result.height(), 1), s.h - 1);
+    for (int x = 0; x < result.width(); ++x) {
+      const int hx = std::min(x * s.w / std::max(result.width(), 1), s.w - 1);
+      const float v = heatmap.at(0, hy, hx, 0) / hi;
+      if (v > 0.15f) {
+        Color c = result.GetPixel(x, y);
+        c.r = static_cast<uint8_t>(std::min(255.0f, c.r + v * 160.0f));
+        c.g = static_cast<uint8_t>(c.g * (1.0f - 0.4f * v));
+        c.b = static_cast<uint8_t>(c.b * (1.0f - 0.4f * v));
+        result.SetPixel(x, y, c);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace percival

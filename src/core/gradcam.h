@@ -1,0 +1,26 @@
+// Grad-CAM salience mapping (§5.6, Fig. 4): highlights the image regions
+// that drive the ad / non-ad prediction.
+#ifndef PERCIVAL_SRC_CORE_GRADCAM_H_
+#define PERCIVAL_SRC_CORE_GRADCAM_H_
+
+#include <string>
+
+#include "src/img/bitmap.h"
+#include "src/nn/network.h"
+
+namespace percival {
+
+// Computes the Grad-CAM heat map of `target_class` at the output of layer
+// `layer_index` (0-based; choose a fire module). Returns a {1, h, w, 1}
+// tensor of non-negative saliences at that layer's spatial resolution.
+Tensor GradCam(Network& network, const Tensor& input, size_t layer_index, int target_class);
+
+// Renders a heat map as a coarse ASCII intensity plot for logs/benches.
+std::string RenderHeatmapAscii(const Tensor& heatmap, int max_width = 32);
+
+// Upsamples the heat map to the source image size and tints hot regions red.
+Bitmap OverlayHeatmap(const Bitmap& source, const Tensor& heatmap);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_CORE_GRADCAM_H_

@@ -1,0 +1,96 @@
+#include "src/core/model.h"
+
+#include "src/base/rng.h"
+#include "src/nn/activation.h"
+#include "src/nn/conv.h"
+#include "src/nn/fire.h"
+#include "src/nn/pool.h"
+
+namespace percival {
+
+PercivalNetConfig PaperProfile() {
+  PercivalNetConfig config;
+  config.name = "paper";
+  config.input_size = 224;
+  config.input_channels = 4;  // the paper feeds 224x224x4 RGBA
+  config.conv1_channels = 64;
+  config.fires = {FireConfig{16, 64},  FireConfig{16, 64},  FireConfig{32, 128},
+                  FireConfig{32, 128}, FireConfig{64, 256}, FireConfig{64, 256}};
+  config.classes = 2;
+  return config;
+}
+
+PercivalNetConfig ExperimentProfile() {
+  PercivalNetConfig config;
+  config.name = "experiment";
+  config.input_size = 64;
+  config.input_channels = 3;
+  config.conv1_channels = 16;
+  config.fires = {FireConfig{4, 16}, FireConfig{4, 16}, FireConfig{8, 32},
+                  FireConfig{8, 32}, FireConfig{16, 64}, FireConfig{16, 64}};
+  config.classes = 2;
+  return config;
+}
+
+PercivalNetConfig TestProfile() {
+  PercivalNetConfig config;
+  config.name = "test";
+  config.input_size = 32;
+  config.input_channels = 3;
+  config.conv1_channels = 8;
+  // Squeeze widths below 4 make dead-ReLU collapse likely; keep the test
+  // profile narrow but trainable.
+  config.fires = {FireConfig{4, 8}, FireConfig{4, 8}, FireConfig{4, 16},
+                  FireConfig{4, 16}, FireConfig{8, 32}, FireConfig{8, 32}};
+  config.classes = 2;
+  return config;
+}
+
+Network BuildPercivalNet(const PercivalNetConfig& config) {
+  Rng rng(config.init_seed);
+  Network net;
+  // Convolution 1 + maxpool (Fig. 3: maxpool after the first conv).
+  net.Add<Conv2D>(config.input_channels, config.conv1_channels, 3, 2, 1, rng, "conv1");
+  net.Add<Relu>();
+  net.Add<MaxPool2D>(2, 2);
+  // Six fire modules, downsampling after every two (Fig. 3: "we down-sample
+  // the feature maps at regular intervals").
+  int channels = config.conv1_channels;
+  for (int i = 0; i < 6; ++i) {
+    const FireConfig& fire = config.fires[static_cast<size_t>(i)];
+    net.Add<FireModule>(channels, fire.squeeze, fire.expand, rng,
+                        "fire" + std::to_string(i + 1));
+    channels = 2 * fire.expand;
+    if (i % 2 == 1 && i < 5) {
+      net.Add<MaxPool2D>(2, 2);
+    }
+  }
+  // Final convolution head + global average pooling (SoftMax is applied by
+  // the loss during training and by the classifier at inference).
+  net.Add<Conv2D>(channels, config.classes, 1, 1, 0, rng, "conv_final");
+  net.Add<GlobalAvgPool>();
+  return net;
+}
+
+Network BuildOriginalSqueezeNet(int input_channels, int classes, uint64_t seed) {
+  Rng rng(seed);
+  Network net;
+  net.Add<Conv2D>(input_channels, 96, 7, 2, 3, rng, "conv1");
+  net.Add<Relu>();
+  net.Add<MaxPool2D>(3, 2);
+  net.Add<FireModule>(96, 16, 64, rng, "fire2");
+  net.Add<FireModule>(128, 16, 64, rng, "fire3");
+  net.Add<FireModule>(128, 32, 128, rng, "fire4");
+  net.Add<MaxPool2D>(3, 2);
+  net.Add<FireModule>(256, 32, 128, rng, "fire5");
+  net.Add<FireModule>(256, 48, 192, rng, "fire6");
+  net.Add<FireModule>(384, 48, 192, rng, "fire7");
+  net.Add<FireModule>(384, 64, 256, rng, "fire8");
+  net.Add<MaxPool2D>(3, 2);
+  net.Add<FireModule>(512, 64, 256, rng, "fire9");
+  net.Add<Conv2D>(512, classes, 1, 1, 0, rng, "conv10");
+  net.Add<GlobalAvgPool>();
+  return net;
+}
+
+}  // namespace percival

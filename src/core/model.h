@@ -1,0 +1,62 @@
+// PERCIVAL's CNN architectures (paper Fig. 3).
+//
+// Two networks are constructible:
+//   * the original SqueezeNet (v1.0 topology, 2-class head) — the starting
+//     point the paper compares against (~4.8 MB), and
+//   * the PERCIVAL fork — conv1, six fire modules with max-pooling after
+//     conv1 and after every two fire modules (extra downsampling), a final
+//     1x1 conv head, global average pooling and SoftMax (<2 MB).
+//
+// Two *profiles* scale the fork: kPaperProfile (224x224 input, Fig. 3
+// channel counts) and kExperimentProfile (64x64 input, channels / 4) used
+// wherever a model must be trained inside a bench on this container
+// (see DESIGN.md §5).
+#ifndef PERCIVAL_SRC_CORE_MODEL_H_
+#define PERCIVAL_SRC_CORE_MODEL_H_
+
+#include <array>
+#include <string>
+
+#include "src/nn/network.h"
+
+namespace percival {
+
+struct FireConfig {
+  int squeeze = 0;
+  int expand = 0;
+};
+
+struct PercivalNetConfig {
+  std::string name;
+  int input_size = 224;
+  int input_channels = 4;
+  int conv1_channels = 64;
+  std::array<FireConfig, 6> fires{};
+  int classes = 2;
+  uint64_t init_seed = 1;
+
+  TensorShape InputShape(int batch = 1) const {
+    return TensorShape{batch, input_size, input_size, input_channels};
+  }
+};
+
+// Fig. 3 right-hand column: the network deployed in the browser.
+PercivalNetConfig PaperProfile();
+
+// Scaled profile for in-repo training (64x64, channels / 4).
+PercivalNetConfig ExperimentProfile();
+
+// Tiny profile for unit tests (16x16, minimal channels).
+PercivalNetConfig TestProfile();
+
+// Builds the PERCIVAL fork for a config. The network ends in logits
+// ({n,1,1,classes}); apply Softmax for probabilities.
+Network BuildPercivalNet(const PercivalNetConfig& config);
+
+// Fig. 3 left-hand column: original SqueezeNet with a 2-class head, for the
+// architecture-comparison bench. `input_channels` matches the fork's input.
+Network BuildOriginalSqueezeNet(int input_channels, int classes, uint64_t seed);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_CORE_MODEL_H_

@@ -1,0 +1,53 @@
+#include "src/core/model_zoo.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "src/base/logging.h"
+#include "src/nn/serialize.h"
+
+namespace percival {
+
+namespace {
+
+std::string DefaultDirectory() {
+  const char* env = std::getenv("PERCIVAL_MODEL_DIR");
+  if (env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return "percival_model_cache";
+}
+
+}  // namespace
+
+ModelZoo::ModelZoo() : ModelZoo(DefaultDirectory()) {}
+
+ModelZoo::ModelZoo(std::string directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+}
+
+std::string ModelZoo::PathFor(const std::string& name) const {
+  return directory_ + "/" + name + ".pcvw";
+}
+
+Network ModelZoo::GetOrTrain(const std::string& name, const PercivalNetConfig& config,
+                             const std::function<void(Network&)>& train) {
+  Network net = BuildPercivalNet(config);
+  const std::string path = PathFor(name);
+  if (LoadWeightsFromFile(net, path)) {
+    LogLine("model zoo: loaded '" + name + "' from " + path);
+    return net;
+  }
+  LogLine("model zoo: training '" + name + "' (no cache at " + path + ")");
+  train(net);
+  if (!SaveWeightsToFile(net, path)) {
+    LogLine("model zoo: warning, could not save '" + name + "' to " + path);
+  }
+  return net;
+}
+
+void ModelZoo::Evict(const std::string& name) { std::remove(PathFor(name).c_str()); }
+
+}  // namespace percival

@@ -1,0 +1,42 @@
+// ModelZoo: train-once disk cache for trained networks.
+//
+// Benches and examples share trained models; the first caller trains and
+// saves, later callers load. Keys are (name, profile) pairs and files live
+// under a cache directory (default: "percival_model_cache" in the working
+// directory, overridable via the PERCIVAL_MODEL_DIR environment variable).
+#ifndef PERCIVAL_SRC_CORE_MODEL_ZOO_H_
+#define PERCIVAL_SRC_CORE_MODEL_ZOO_H_
+
+#include <functional>
+#include <string>
+
+#include "src/core/model.h"
+#include "src/nn/network.h"
+
+namespace percival {
+
+class ModelZoo {
+ public:
+  // Uses PERCIVAL_MODEL_DIR or the default cache directory.
+  ModelZoo();
+  explicit ModelZoo(std::string directory);
+
+  // Returns a network built from `config`, with weights loaded from cache
+  // when a file for `name` exists; otherwise invokes `train` (which
+  // receives the freshly built network) and saves the result.
+  Network GetOrTrain(const std::string& name, const PercivalNetConfig& config,
+                     const std::function<void(Network&)>& train);
+
+  // Deletes a cached entry (tests).
+  void Evict(const std::string& name);
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  std::string PathFor(const std::string& name) const;
+  std::string directory_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_CORE_MODEL_ZOO_H_

@@ -1,0 +1,92 @@
+#include "src/crawler/dataset.h"
+
+#include <algorithm>
+
+#include "src/base/hash.h"
+#include "src/base/logging.h"
+#include "src/img/phash.h"
+
+namespace percival {
+
+void Dataset::Append(Dataset other) {
+  for (LabeledImage& example : other.examples_) {
+    examples_.push_back(std::move(example));
+  }
+}
+
+int Dataset::ad_count() const {
+  int count = 0;
+  for (const LabeledImage& example : examples_) {
+    if (example.is_ad) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int Dataset::non_ad_count() const { return size() - ad_count(); }
+
+int Dataset::Deduplicate(int hamming_threshold) {
+  std::vector<LabeledImage> kept;
+  std::vector<uint64_t> exact_hashes;
+  std::vector<uint64_t> perceptual_hashes;
+  int removed = 0;
+  for (LabeledImage& example : examples_) {
+    const uint64_t exact = HashBytes(example.image.data(), example.image.byte_size());
+    const uint64_t perceptual = AverageHash(example.image);
+    bool duplicate = false;
+    for (size_t i = 0; i < kept.size(); ++i) {
+      if (exact_hashes[i] == exact) {
+        duplicate = true;
+        break;
+      }
+      if (hamming_threshold > 0 &&
+          HammingDistance(perceptual_hashes[i], perceptual) <= hamming_threshold &&
+          kept[i].is_ad == example.is_ad) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      ++removed;
+      continue;
+    }
+    exact_hashes.push_back(exact);
+    perceptual_hashes.push_back(perceptual);
+    kept.push_back(std::move(example));
+  }
+  examples_ = std::move(kept);
+  return removed;
+}
+
+void Dataset::Balance() {
+  const int ads = ad_count();
+  const int non_ads = non_ad_count();
+  const int cap = std::min(ads, non_ads);
+  std::vector<LabeledImage> kept;
+  int kept_ads = 0;
+  int kept_non_ads = 0;
+  for (LabeledImage& example : examples_) {
+    int& counter = example.is_ad ? kept_ads : kept_non_ads;
+    if (counter < cap) {
+      ++counter;
+      kept.push_back(std::move(example));
+    }
+  }
+  examples_ = std::move(kept);
+}
+
+void Dataset::Shuffle(Rng& rng) { rng.Shuffle(examples_); }
+
+Dataset Dataset::SplitValidation(double fraction) {
+  PCHECK(fraction >= 0.0 && fraction < 1.0);
+  const int validation_count = static_cast<int>(static_cast<double>(size()) * fraction);
+  Dataset validation;
+  for (int i = size() - validation_count; i < size(); ++i) {
+    validation.Add(std::move(examples_[static_cast<size_t>(i)]));
+  }
+  examples_.resize(static_cast<size_t>(size() - validation_count));
+  return validation;
+}
+
+}  // namespace percival

@@ -1,0 +1,54 @@
+// Labelled image dataset with the paper's post-processing: exact and
+// near-duplicate removal, class balancing, and train/validation splitting
+// (§4.4.1-4.4.2).
+#ifndef PERCIVAL_SRC_CRAWLER_DATASET_H_
+#define PERCIVAL_SRC_CRAWLER_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/img/bitmap.h"
+
+namespace percival {
+
+struct LabeledImage {
+  Bitmap image;
+  bool is_ad = false;
+  std::string source_url;  // provenance (empty for generated sets)
+};
+
+class Dataset {
+ public:
+  void Add(LabeledImage example) { examples_.push_back(std::move(example)); }
+  void Append(Dataset other);
+
+  int size() const { return static_cast<int>(examples_.size()); }
+  int ad_count() const;
+  int non_ad_count() const;
+  const LabeledImage& example(int i) const { return examples_[static_cast<size_t>(i)]; }
+  std::vector<LabeledImage>& mutable_examples() { return examples_; }
+  const std::vector<LabeledImage>& examples() const { return examples_; }
+
+  // Removes exact duplicates and near-duplicates (average-hash Hamming
+  // distance <= `hamming_threshold`). Returns the number removed.
+  int Deduplicate(int hamming_threshold = 2);
+
+  // Caps the majority class so |ads| == |non-ads| (paper: "we cap the
+  // number of non-ad images to the amount of ad images"). Keeps the first
+  // examples of the majority class in order.
+  void Balance();
+
+  // Shuffles deterministically.
+  void Shuffle(Rng& rng);
+
+  // Splits off the last `fraction` of examples as a validation set.
+  Dataset SplitValidation(double fraction);
+
+ private:
+  std::vector<LabeledImage> examples_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_CRAWLER_DATASET_H_

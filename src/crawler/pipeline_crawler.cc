@@ -1,0 +1,74 @@
+#include "src/crawler/pipeline_crawler.h"
+
+#include "src/renderer/image_pipeline.h"
+#include "src/renderer/renderer.h"
+
+namespace percival {
+
+namespace {
+
+// Interceptor that captures every decoded frame into a dataset instead of
+// blocking (Figure 5: "every decoded image frame is passed through PERCIVAL
+// and PERCIVAL downloads the image frame into the appropriate bucket").
+class CapturingInterceptor : public ImageInterceptor {
+ public:
+  CapturingInterceptor(const WebPage& page, const FrameLabeller& labeller, Dataset& dataset,
+                       PipelineCrawlStats& stats)
+      : page_(page), labeller_(labeller), dataset_(dataset), stats_(stats) {}
+
+  bool OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
+                      const std::string& source_url) override {
+    LabeledImage example;
+    example.image = pixels;
+    example.source_url = source_url;
+    example.is_ad = labeller_(pixels, source_url);
+    const WebResource* truth = page_.FindResource(source_url);
+    if (truth != nullptr && truth->is_ad != example.is_ad) {
+      ++stats_.label_errors;
+    }
+    ++stats_.frames_captured;
+    dataset_.Add(std::move(example));
+    return false;  // Crawling never blocks.
+  }
+
+ private:
+  const WebPage& page_;
+  const FrameLabeller& labeller_;
+  Dataset& dataset_;
+  PipelineCrawlStats& stats_;
+};
+
+}  // namespace
+
+Dataset RunPipelineCrawl(const SiteGenerator& generator, const FrameLabeller& labeller,
+                         const PipelineCrawlConfig& config, PipelineCrawlStats* stats) {
+  Dataset dataset;
+  PipelineCrawlStats local_stats;
+  for (int site = 0; site < config.sites; ++site) {
+    for (int page_index = 0; page_index < config.pages_per_site; ++page_index) {
+      const WebPage page = generator.GeneratePage(site, page_index);
+      CapturingInterceptor interceptor(page, labeller, dataset, local_stats);
+      RenderOptions options;
+      options.interceptor = &interceptor;
+      options.render_framebuffer = false;  // capture-only pass
+      RenderPage(page, options);
+    }
+  }
+  if (stats != nullptr) {
+    *stats = local_stats;
+  }
+  return dataset;
+}
+
+FrameLabeller EasyListLabeller(const FilterEngine& engine) {
+  return [&engine](const Bitmap& frame, const std::string& url) {
+    (void)frame;
+    RequestContext request;
+    request.url = Url::Parse(url);
+    request.page_host = "crawler.example";  // crawler context: all third-party
+    request.type = ResourceType::kImage;
+    return engine.ShouldBlockRequest(request).blocked;
+  };
+}
+
+}  // namespace percival

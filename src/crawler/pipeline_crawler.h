@@ -1,0 +1,45 @@
+// PERCIVAL-based pipeline crawler (§4.4.2, Figure 5).
+//
+// Instead of screenshotting, the crawler renders each page through the full
+// pipeline and captures every decoded image frame directly from the image
+// decoding path — "this way we are guaranteed to capture all the iframes
+// that were rendered, independently of the time of rendering". Labels come
+// either from EasyList (bootstrap phase) or from a trained classifier
+// (retraining phases); ground truth is carried for evaluation.
+#ifndef PERCIVAL_SRC_CRAWLER_PIPELINE_CRAWLER_H_
+#define PERCIVAL_SRC_CRAWLER_PIPELINE_CRAWLER_H_
+
+#include <functional>
+
+#include "src/crawler/dataset.h"
+#include "src/filter/engine.h"
+#include "src/webgen/sitegen.h"
+
+namespace percival {
+
+struct PipelineCrawlConfig {
+  int sites = 20;
+  int pages_per_site = 3;
+  uint64_t seed = 7;
+};
+
+// Labeller: given the decoded frame and its URL, produce an ad/non-ad label.
+using FrameLabeller = std::function<bool(const Bitmap& frame, const std::string& url)>;
+
+struct PipelineCrawlStats {
+  int frames_captured = 0;
+  int label_errors = 0;  // labeller disagreed with ground truth
+};
+
+// Crawls by rendering every page; every decoded frame is captured and
+// labelled. The dataset's is_ad field holds the *labeller's* output (the
+// training signal); label_errors counts disagreements with ground truth.
+Dataset RunPipelineCrawl(const SiteGenerator& generator, const FrameLabeller& labeller,
+                         const PipelineCrawlConfig& config, PipelineCrawlStats* stats);
+
+// Convenience labeller that applies EasyList network rules to the URL.
+FrameLabeller EasyListLabeller(const FilterEngine& engine);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_CRAWLER_PIPELINE_CRAWLER_H_

@@ -1,0 +1,76 @@
+#include "src/crawler/screenshot_crawler.h"
+
+#include "src/img/codec.h"
+
+namespace percival {
+
+Dataset RunScreenshotCrawl(const SiteGenerator& generator, const FilterEngine& easylist,
+                           const ScreenshotCrawlConfig& config, ScreenshotCrawlStats* stats) {
+  Dataset dataset;
+  ScreenshotCrawlStats local_stats;
+  for (int site = 0; site < config.sites; ++site) {
+    for (int page_index = 0; page_index < config.pages_per_site; ++page_index) {
+      const WebPage page = generator.GeneratePage(site, page_index);
+      const std::string page_host = Url::Parse(page.url).host;
+
+      // Find iframe sub-documents so we can model their arrival time; the
+      // creative inside an iframe is visible only if the frame HTML arrived
+      // before the screenshot.
+      for (const auto& [url, resource] : page.resources) {
+        if (resource.type != ResourceType::kImage) {
+          continue;
+        }
+        RequestContext request;
+        request.url = Url::Parse(url);
+        request.page_host = page_host;
+        request.type = ResourceType::kImage;
+        const bool matched = easylist.ShouldBlockRequest(request).blocked;
+
+        // Determine the element's visibility at screenshot time. Direct
+        // images are visible when their own latency beats the delay; an
+        // iframe-delivered creative needs frame latency + image latency.
+        double arrival = resource.latency_ms;
+        for (const auto& [frame_url, frame_resource] : page.resources) {
+          if (frame_resource.type != ResourceType::kSubdocument) {
+            continue;
+          }
+          const std::string frame_html(frame_resource.bytes.begin(),
+                                       frame_resource.bytes.end());
+          if (frame_html.find(url) != std::string::npos) {
+            arrival = frame_resource.latency_ms + resource.latency_ms;
+            break;
+          }
+        }
+
+        LabeledImage example;
+        example.is_ad = matched;
+        example.source_url = url;
+        if (arrival > config.screenshot_delay_ms) {
+          // Raced: the screenshot captured the empty slot.
+          example.image = Bitmap(64, 48, Color{255, 255, 255, 255});
+          if (matched) {
+            ++local_stats.blank_captures;
+          }
+        } else {
+          std::optional<Bitmap> decoded = DecodeFirstFrame(resource.bytes);
+          if (!decoded) {
+            continue;
+          }
+          example.image = std::move(*decoded);
+        }
+        if (matched) {
+          ++local_stats.elements_matched;
+        } else {
+          ++local_stats.elements_unmatched;
+        }
+        dataset.Add(std::move(example));
+      }
+    }
+  }
+  if (stats != nullptr) {
+    *stats = local_stats;
+  }
+  return dataset;
+}
+
+}  // namespace percival

@@ -1,0 +1,43 @@
+// Selenium-style screenshot crawler (§4.4.1) with its race condition.
+//
+// The crawler visits pages, applies EasyList rules to find ad elements, and
+// screenshots matched elements at a fixed time after the page-load event.
+// Iframe ad content that has not arrived by screenshot time yields a blank
+// (white) capture — the failure mode that motivated the pipeline crawler
+// (§4.4.2: "many screen-shots end up with white-space instead of the image
+// content").
+#ifndef PERCIVAL_SRC_CRAWLER_SCREENSHOT_CRAWLER_H_
+#define PERCIVAL_SRC_CRAWLER_SCREENSHOT_CRAWLER_H_
+
+#include <vector>
+
+#include "src/crawler/dataset.h"
+#include "src/filter/engine.h"
+#include "src/renderer/web_page.h"
+#include "src/webgen/sitegen.h"
+
+namespace percival {
+
+struct ScreenshotCrawlConfig {
+  int sites = 20;
+  int pages_per_site = 3;
+  // Virtual time between the page-load event and the screenshot. Iframe
+  // resources with latency above this arrive too late and capture blank.
+  double screenshot_delay_ms = 400.0;
+  uint64_t seed = 99;
+};
+
+struct ScreenshotCrawlStats {
+  int elements_matched = 0;    // EasyList-matched elements (ad candidates)
+  int elements_unmatched = 0;  // non-matched elements (non-ad candidates)
+  int blank_captures = 0;      // ad captures that raced and came up blank
+};
+
+// Crawls the synthetic web; returns the labelled dataset (EasyList matches
+// are labelled ads) including any blank racy captures, plus stats.
+Dataset RunScreenshotCrawl(const SiteGenerator& generator, const FilterEngine& easylist,
+                           const ScreenshotCrawlConfig& config, ScreenshotCrawlStats* stats);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_CRAWLER_SCREENSHOT_CRAWLER_H_

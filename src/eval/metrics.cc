@@ -1,0 +1,135 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "src/base/logging.h"
+
+namespace percival {
+
+void ConfusionMatrix::Record(bool is_ad, bool predicted_ad) {
+  if (is_ad && predicted_ad) {
+    ++tp;
+  } else if (is_ad && !predicted_ad) {
+    ++fn;
+  } else if (!is_ad && predicted_ad) {
+    ++fp;
+  } else {
+    ++tn;
+  }
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const int total = Total();
+  return total == 0 ? 0.0 : static_cast<double>(tp + tn) / total;
+}
+
+double ConfusionMatrix::Precision() const {
+  return (tp + fp) == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+}
+
+double ConfusionMatrix::Recall() const {
+  return (tp + fn) == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+}
+
+double ConfusionMatrix::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+std::string ConfusionMatrix::Summary() const {
+  std::ostringstream out;
+  out << "acc=" << TextTable::Percent(Accuracy()) << " prec=" << TextTable::Fixed(Precision(), 3)
+      << " rec=" << TextTable::Fixed(Recall(), 3) << " f1=" << TextTable::Fixed(F1(), 3)
+      << " (tp=" << tp << " fp=" << fp << " tn=" << tn << " fn=" << fn << ")";
+  return out.str();
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  PCHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      out << " " << std::left << std::setw(static_cast<int>(widths[i])) << cells[i] << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (size_t width : widths) {
+    out << std::string(width + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::string TextTable::Fixed(double value, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << value;
+  return out.str();
+}
+
+std::string TextTable::Percent(double value, int decimals) {
+  return Fixed(value * 100.0, decimals) + "%";
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  PCHECK(!sorted_.empty());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const double position = clamped * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(position));
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = position - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+double EmpiricalCdf::Mean() const {
+  PCHECK(!sorted_.empty());
+  double total = 0.0;
+  for (double v : sorted_) {
+    total += v;
+  }
+  return total / static_cast<double>(sorted_.size());
+}
+
+std::string EmpiricalCdf::RenderAscii(int points, const std::string& label) const {
+  std::ostringstream out;
+  out << "CDF: " << label << "\n";
+  for (int i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / points;
+    const double value = Quantile(q);
+    out << std::setw(4) << static_cast<int>(q * 100) << "% <= "
+        << TextTable::Fixed(value, 2) << " ms  ";
+    const int bars = static_cast<int>(q * 40);
+    out << std::string(static_cast<size_t>(bars), '#') << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace percival

@@ -1,0 +1,60 @@
+// Binary-classification metrics and table/CDF formatting used by every
+// experiment in the evaluation section.
+#ifndef PERCIVAL_SRC_EVAL_METRICS_H_
+#define PERCIVAL_SRC_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace percival {
+
+// Confusion matrix with the paper's §5.3 conventions: positive == ad,
+// TP == ad correctly blocked, FP == non-ad incorrectly blocked.
+struct ConfusionMatrix {
+  int tp = 0;
+  int fp = 0;
+  int tn = 0;
+  int fn = 0;
+
+  void Record(bool is_ad, bool predicted_ad);
+  int Total() const { return tp + fp + tn + fn; }
+  double Accuracy() const;
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  std::string Summary() const;
+};
+
+// Plain-text table writer (benches print paper-style tables with it).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  std::string Render() const;
+
+  // Numeric formatting helpers.
+  static std::string Fixed(double value, int decimals);
+  static std::string Percent(double value, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Empirical CDF over samples; Quantile(0.5) is the median.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+  double Quantile(double q) const;  // q in [0, 1]
+  double Mean() const;
+  int size() const { return static_cast<int>(sorted_.size()); }
+  // Renders an ASCII CDF with `points` rows (value -> cumulative %).
+  std::string RenderAscii(int points, const std::string& label) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_EVAL_METRICS_H_

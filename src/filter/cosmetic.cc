@@ -1,0 +1,69 @@
+#include "src/filter/cosmetic.h"
+
+#include <algorithm>
+
+#include "src/filter/url.h"
+
+namespace percival {
+
+bool SelectorMatches(const std::string& selector, const ElementDescriptor& element) {
+  if (selector.empty()) {
+    return false;
+  }
+  size_t pos = 0;
+  // Leading tag name (run of characters before '#' or '.').
+  size_t tag_end = selector.find_first_of("#.");
+  if (tag_end == std::string::npos) {
+    tag_end = selector.size();
+  }
+  if (tag_end > 0) {
+    if (selector.substr(0, tag_end) != element.tag) {
+      return false;
+    }
+  }
+  pos = tag_end;
+  while (pos < selector.size()) {
+    const char kind = selector[pos];
+    size_t end = selector.find_first_of("#.", pos + 1);
+    if (end == std::string::npos) {
+      end = selector.size();
+    }
+    const std::string name = selector.substr(pos + 1, end - pos - 1);
+    if (name.empty()) {
+      return false;
+    }
+    if (kind == '#') {
+      if (element.id != name) {
+        return false;
+      }
+    } else if (kind == '.') {
+      if (std::find(element.classes.begin(), element.classes.end(), name) ==
+          element.classes.end()) {
+        return false;
+      }
+    } else {
+      return false;
+    }
+    pos = end;
+  }
+  return true;
+}
+
+bool MatchesCosmeticRule(const CosmeticRule& rule, const std::string& page_host,
+                         const ElementDescriptor& element) {
+  if (!rule.domains.empty()) {
+    bool domain_ok = false;
+    for (const std::string& domain : rule.domains) {
+      if (HostMatchesDomain(page_host, domain)) {
+        domain_ok = true;
+        break;
+      }
+    }
+    if (!domain_ok) {
+      return false;
+    }
+  }
+  return SelectorMatches(rule.selector, element);
+}
+
+}  // namespace percival

@@ -1,0 +1,34 @@
+// Cosmetic (element-hiding) rule matching.
+//
+// EasyList CSS rules select DOM elements that are "potential containers of
+// ads" (§5.2). The engine matches a small CSS-selector subset against an
+// element descriptor supplied by the renderer, avoiding a dependency from
+// the filter library on the DOM implementation.
+#ifndef PERCIVAL_SRC_FILTER_COSMETIC_H_
+#define PERCIVAL_SRC_FILTER_COSMETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/filter/rule.h"
+
+namespace percival {
+
+// The element features a cosmetic selector can test.
+struct ElementDescriptor {
+  std::string tag;                   // lowercase, e.g. "div"
+  std::string id;                    // id attribute
+  std::vector<std::string> classes;  // class list
+};
+
+// Supported selector grammar: [tag][#id][.class]*  e.g. "div.ad-box",
+// "#ad-slot", ".sponsored.banner", "iframe".
+bool SelectorMatches(const std::string& selector, const ElementDescriptor& element);
+
+// True when `rule` applies on a page at `page_host` and selects `element`.
+bool MatchesCosmeticRule(const CosmeticRule& rule, const std::string& page_host,
+                         const ElementDescriptor& element);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_FILTER_COSMETIC_H_

@@ -1,0 +1,74 @@
+#include "src/filter/engine.h"
+
+namespace percival {
+
+bool FilterEngine::AddRule(const std::string& line) {
+  std::optional<ParsedRule> parsed = ParseRuleLine(line);
+  if (!parsed) {
+    return false;
+  }
+  if (parsed->is_comment) {
+    return true;
+  }
+  if (parsed->network) {
+    network_rules_.push_back(std::move(*parsed->network));
+    return true;
+  }
+  if (parsed->cosmetic) {
+    cosmetic_rules_.push_back(std::move(*parsed->cosmetic));
+    return true;
+  }
+  return false;
+}
+
+int FilterEngine::AddList(const std::vector<std::string>& lines) {
+  int accepted = 0;
+  for (const std::string& line : lines) {
+    if (AddRule(line)) {
+      ++accepted;
+    }
+  }
+  return accepted;
+}
+
+BlockDecision FilterEngine::ShouldBlockRequest(const RequestContext& request) const {
+  BlockDecision decision;
+  // Exceptions dominate: check them first; any match whitelists the request.
+  for (const NetworkRule& rule : network_rules_) {
+    if (rule.is_exception && MatchesNetworkRule(rule, request)) {
+      decision.blocked = false;
+      decision.matched_rule = rule.raw;
+      return decision;
+    }
+  }
+  for (const NetworkRule& rule : network_rules_) {
+    if (!rule.is_exception && MatchesNetworkRule(rule, request)) {
+      decision.blocked = true;
+      decision.matched_rule = rule.raw;
+      return decision;
+    }
+  }
+  return decision;
+}
+
+BlockDecision FilterEngine::ShouldHideElement(const std::string& page_host,
+                                              const ElementDescriptor& element) const {
+  BlockDecision decision;
+  for (const CosmeticRule& rule : cosmetic_rules_) {
+    if (rule.is_exception && MatchesCosmeticRule(rule, page_host, element)) {
+      decision.blocked = false;
+      decision.matched_rule = rule.raw;
+      return decision;
+    }
+  }
+  for (const CosmeticRule& rule : cosmetic_rules_) {
+    if (!rule.is_exception && MatchesCosmeticRule(rule, page_host, element)) {
+      decision.blocked = true;
+      decision.matched_rule = rule.raw;
+      return decision;
+    }
+  }
+  return decision;
+}
+
+}  // namespace percival

@@ -1,0 +1,49 @@
+// FilterEngine: the block-list ad blocker PERCIVAL is compared against and
+// complements (the paper's EasyList baseline, used by Adblock Plus, uBlock
+// Origin, Ghostery and Brave shields).
+#ifndef PERCIVAL_SRC_FILTER_ENGINE_H_
+#define PERCIVAL_SRC_FILTER_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/filter/cosmetic.h"
+#include "src/filter/matcher.h"
+#include "src/filter/rule.h"
+
+namespace percival {
+
+// Result of consulting the engine for one network request.
+struct BlockDecision {
+  bool blocked = false;
+  std::string matched_rule;  // raw text of the deciding rule (if any)
+};
+
+class FilterEngine {
+ public:
+  FilterEngine() = default;
+
+  // Parses and adds one rule line; returns false for unsupported syntax.
+  bool AddRule(const std::string& line);
+
+  // Adds every line of a filter list; returns the number of rules accepted.
+  int AddList(const std::vector<std::string>& lines);
+
+  // Network decision: exception rules always override block rules.
+  BlockDecision ShouldBlockRequest(const RequestContext& request) const;
+
+  // Cosmetic decision for a DOM element on a page.
+  BlockDecision ShouldHideElement(const std::string& page_host,
+                                  const ElementDescriptor& element) const;
+
+  int network_rule_count() const { return static_cast<int>(network_rules_.size()); }
+  int cosmetic_rule_count() const { return static_cast<int>(cosmetic_rules_.size()); }
+
+ private:
+  std::vector<NetworkRule> network_rules_;
+  std::vector<CosmeticRule> cosmetic_rules_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_FILTER_ENGINE_H_

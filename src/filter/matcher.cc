@@ -1,0 +1,129 @@
+#include "src/filter/matcher.h"
+
+#include <cctype>
+
+namespace percival {
+
+namespace {
+
+// Adblock separator class: anything but letters, digits, and "_-.%", plus
+// the end-of-address position.
+bool IsSeparator(char c) {
+  return !(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == '.' ||
+           c == '%');
+}
+
+}  // namespace
+
+bool PatternMatchesAt(std::string_view pattern, std::string_view text, size_t start,
+                      bool anchor_end) {
+  // Recursive wildcard matcher. Patterns are short, so recursion depth is
+  // bounded by the number of '*' in the rule.
+  size_t pi = 0;
+  size_t ti = start;
+  size_t star_pi = std::string_view::npos;
+  size_t star_ti = 0;
+  while (true) {
+    if (pi == pattern.size()) {
+      if (!anchor_end || ti == text.size()) {
+        return true;
+      }
+    } else if (pattern[pi] == '*') {
+      star_pi = pi++;
+      star_ti = ti;
+      continue;
+    } else if (ti < text.size()) {
+      const char pc = pattern[pi];
+      const char tc = text[ti];
+      if (pc == '^' ? IsSeparator(tc) : pc == tc) {
+        ++pi;
+        ++ti;
+        continue;
+      }
+    } else if (pattern[pi] == '^' && ti >= text.size()) {
+      // '^' also matches the end-of-address position (consuming nothing).
+      ++pi;
+      continue;
+    }
+    // Mismatch: backtrack to the last '*' if any.
+    if (star_pi == std::string_view::npos || star_ti >= text.size()) {
+      return false;
+    }
+    pi = star_pi + 1;
+    ti = ++star_ti;
+  }
+}
+
+bool MatchesNetworkRule(const NetworkRule& rule, const RequestContext& request) {
+  // Option filters first (cheap).
+  if (!rule.types.empty()) {
+    bool type_ok = false;
+    for (ResourceType t : rule.types) {
+      if (t == request.type) {
+        type_ok = true;
+        break;
+      }
+    }
+    if (!type_ok) {
+      return false;
+    }
+  }
+  if (rule.third_party.has_value()) {
+    const bool is_third = request.url.IsThirdPartyOf(request.page_host);
+    if (is_third != *rule.third_party) {
+      return false;
+    }
+  }
+  if (!rule.include_domains.empty()) {
+    bool included = false;
+    for (const std::string& domain : rule.include_domains) {
+      if (HostMatchesDomain(request.page_host, domain)) {
+        included = true;
+        break;
+      }
+    }
+    if (!included) {
+      return false;
+    }
+  }
+  for (const std::string& domain : rule.exclude_domains) {
+    if (HostMatchesDomain(request.page_host, domain)) {
+      return false;
+    }
+  }
+
+  const std::string& text = request.url.full;
+  if (rule.anchor_start) {
+    return PatternMatchesAt(rule.pattern, text, 0, rule.anchor_end);
+  }
+  if (rule.anchor_domain) {
+    // Pattern must match starting at the host, or at any subdomain-label
+    // boundary within the host.
+    size_t host_start = text.find("://");
+    host_start = (host_start == std::string::npos) ? 0 : host_start + 3;
+    size_t host_end = text.find('/', host_start);
+    if (host_end == std::string::npos) {
+      host_end = text.size();
+    }
+    for (size_t pos = host_start; pos < host_end; ++pos) {
+      if (pos == host_start || text[pos - 1] == '.') {
+        if (PatternMatchesAt(rule.pattern, text, pos, rule.anchor_end)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+  // Unanchored: match anywhere.
+  for (size_t pos = 0; pos <= text.size(); ++pos) {
+    if (PatternMatchesAt(rule.pattern, text, pos, rule.anchor_end)) {
+      return true;
+    }
+    if (pos == text.size()) {
+      break;
+    }
+  }
+  return false;
+}
+
+}  // namespace percival

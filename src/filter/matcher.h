@@ -1,0 +1,30 @@
+// Network-rule pattern matching with Adblock-Plus semantics.
+#ifndef PERCIVAL_SRC_FILTER_MATCHER_H_
+#define PERCIVAL_SRC_FILTER_MATCHER_H_
+
+#include <string_view>
+
+#include "src/filter/rule.h"
+#include "src/filter/url.h"
+
+namespace percival {
+
+// Context for matching a network request against rules.
+struct RequestContext {
+  Url url;                 // the requested resource
+  std::string page_host;   // host of the top-level document
+  ResourceType type = ResourceType::kOther;
+};
+
+// True when the rule's pattern (with anchors, wildcards, and separator
+// placeholders) matches the request URL and all option filters pass.
+bool MatchesNetworkRule(const NetworkRule& rule, const RequestContext& request);
+
+// Exposed for property tests: raw pattern match ignoring options.
+// `pattern` may contain '*' wildcards and '^' separators.
+bool PatternMatchesAt(std::string_view pattern, std::string_view text, size_t start,
+                      bool anchor_end);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_FILTER_MATCHER_H_

@@ -1,0 +1,165 @@
+#include "src/filter/rule.h"
+
+#include <algorithm>
+
+namespace percival {
+
+namespace {
+
+std::string Trim(const std::string& text) {
+  size_t begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  size_t end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (;;) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool ParseOptions(const std::string& options, NetworkRule* rule) {
+  for (const std::string& raw_option : Split(options, ',')) {
+    const std::string option = Trim(raw_option);
+    if (option == "image") {
+      rule->types.push_back(ResourceType::kImage);
+    } else if (option == "script") {
+      rule->types.push_back(ResourceType::kScript);
+    } else if (option == "subdocument") {
+      rule->types.push_back(ResourceType::kSubdocument);
+    } else if (option == "stylesheet") {
+      rule->types.push_back(ResourceType::kStylesheet);
+    } else if (option == "third-party") {
+      rule->third_party = true;
+    } else if (option == "~third-party") {
+      rule->third_party = false;
+    } else if (option.starts_with("domain=")) {
+      for (const std::string& domain : Split(option.substr(7), '|')) {
+        if (domain.starts_with("~")) {
+          rule->exclude_domains.push_back(domain.substr(1));
+        } else if (!domain.empty()) {
+          rule->include_domains.push_back(domain);
+        }
+      }
+    } else {
+      return false;  // Unsupported option: reject the whole rule.
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ResourceTypeName(ResourceType type) {
+  switch (type) {
+    case ResourceType::kImage:
+      return "image";
+    case ResourceType::kScript:
+      return "script";
+    case ResourceType::kSubdocument:
+      return "subdocument";
+    case ResourceType::kStylesheet:
+      return "stylesheet";
+    case ResourceType::kDocument:
+      return "document";
+    case ResourceType::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+std::optional<ParsedRule> ParseRuleLine(const std::string& raw_line) {
+  const std::string line = Trim(raw_line);
+  ParsedRule parsed;
+  if (line.empty() || line[0] == '!' || line.starts_with("[Adblock")) {
+    parsed.is_comment = true;
+    return parsed;
+  }
+
+  // Cosmetic rules: host list ## selector (or #@# for exceptions).
+  size_t cosmetic_pos = line.find("##");
+  size_t exception_pos = line.find("#@#");
+  if (exception_pos != std::string::npos &&
+      (cosmetic_pos == std::string::npos || exception_pos < cosmetic_pos)) {
+    CosmeticRule rule;
+    rule.raw = line;
+    rule.is_exception = true;
+    rule.selector = Trim(line.substr(exception_pos + 3));
+    const std::string hosts = line.substr(0, exception_pos);
+    for (const std::string& host : Split(hosts, ',')) {
+      if (!Trim(host).empty()) {
+        rule.domains.push_back(Trim(host));
+      }
+    }
+    if (rule.selector.empty()) {
+      return std::nullopt;
+    }
+    parsed.cosmetic = std::move(rule);
+    return parsed;
+  }
+  if (cosmetic_pos != std::string::npos) {
+    CosmeticRule rule;
+    rule.raw = line;
+    rule.selector = Trim(line.substr(cosmetic_pos + 2));
+    const std::string hosts = line.substr(0, cosmetic_pos);
+    for (const std::string& host : Split(hosts, ',')) {
+      if (!Trim(host).empty()) {
+        rule.domains.push_back(Trim(host));
+      }
+    }
+    if (rule.selector.empty()) {
+      return std::nullopt;
+    }
+    parsed.cosmetic = std::move(rule);
+    return parsed;
+  }
+
+  // Network rule.
+  NetworkRule rule;
+  rule.raw = line;
+  std::string body = line;
+  if (body.starts_with("@@")) {
+    rule.is_exception = true;
+    body = body.substr(2);
+  }
+  // Options come after the last '$' that is followed by known option text.
+  size_t dollar = body.rfind('$');
+  if (dollar != std::string::npos && dollar + 1 < body.size()) {
+    const std::string options = body.substr(dollar + 1);
+    NetworkRule with_options = rule;
+    if (ParseOptions(options, &with_options)) {
+      rule = std::move(with_options);
+      body = body.substr(0, dollar);
+    }
+  }
+  if (body.starts_with("||")) {
+    rule.anchor_domain = true;
+    body = body.substr(2);
+  } else if (body.starts_with("|")) {
+    rule.anchor_start = true;
+    body = body.substr(1);
+  }
+  if (body.ends_with("|")) {
+    rule.anchor_end = true;
+    body = body.substr(0, body.size() - 1);
+  }
+  if (body.empty()) {
+    return std::nullopt;
+  }
+  rule.pattern = body;
+  parsed.network = std::move(rule);
+  return parsed;
+}
+
+}  // namespace percival

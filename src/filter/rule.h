@@ -1,0 +1,66 @@
+// Adblock-Plus filter rule model and parser.
+//
+// Supported syntax (the subset EasyList's ad-image rules actually use):
+//   ||host^path        domain-anchored network rule
+//   |https://...       start anchor;  trailing | end anchor
+//   *                  wildcard;  ^  separator placeholder
+//   @@rule             exception (overrides blocks)
+//   rule$opt1,opt2     options: image, script, subdocument, third-party,
+//                      ~third-party, domain=a.com|~b.com
+//   host##selector     cosmetic (element-hiding) rule
+//   ##selector         generic cosmetic rule
+//   host#@#selector    cosmetic exception
+//   ! comment          ignored
+#ifndef PERCIVAL_SRC_FILTER_RULE_H_
+#define PERCIVAL_SRC_FILTER_RULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace percival {
+
+enum class ResourceType {
+  kImage,
+  kScript,
+  kSubdocument,  // iframes
+  kStylesheet,
+  kDocument,
+  kOther,
+};
+
+const char* ResourceTypeName(ResourceType type);
+
+struct NetworkRule {
+  std::string raw;               // original rule text
+  std::string pattern;           // pattern body with anchors stripped
+  bool is_exception = false;     // @@ prefix
+  bool anchor_domain = false;    // || prefix
+  bool anchor_start = false;     // | prefix
+  bool anchor_end = false;       // | suffix
+  // Option filters; empty type list means "any type".
+  std::vector<ResourceType> types;
+  std::optional<bool> third_party;        // $third-party / $~third-party
+  std::vector<std::string> include_domains;  // $domain=a.com
+  std::vector<std::string> exclude_domains;  // $domain=~a.com
+};
+
+struct CosmeticRule {
+  std::string raw;
+  std::string selector;              // e.g. ".ad-banner", "#ad-slot", "div.ad"
+  bool is_exception = false;         // #@#
+  std::vector<std::string> domains;  // empty => generic (all sites)
+};
+
+struct ParsedRule {
+  std::optional<NetworkRule> network;
+  std::optional<CosmeticRule> cosmetic;
+  bool is_comment = false;
+};
+
+// Parses one filter-list line. Returns std::nullopt for unsupported syntax.
+std::optional<ParsedRule> ParseRuleLine(const std::string& line);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_FILTER_RULE_H_

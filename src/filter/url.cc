@@ -1,0 +1,53 @@
+#include "src/filter/url.h"
+
+namespace percival {
+
+Url Url::Parse(std::string_view text) {
+  Url url;
+  url.full = std::string(text);
+  size_t scheme_end = text.find("://");
+  std::string_view rest = text;
+  if (scheme_end != std::string_view::npos) {
+    url.scheme = std::string(text.substr(0, scheme_end));
+    rest = text.substr(scheme_end + 3);
+  }
+  size_t path_start = rest.find('/');
+  if (path_start == std::string_view::npos) {
+    url.host = std::string(rest);
+    url.path = "/";
+  } else {
+    url.host = std::string(rest.substr(0, path_start));
+    url.path = std::string(rest.substr(path_start));
+  }
+  return url;
+}
+
+std::string Url::RegistrableDomain() const {
+  size_t last_dot = host.rfind('.');
+  if (last_dot == std::string::npos || last_dot == 0) {
+    return host;
+  }
+  size_t second_dot = host.rfind('.', last_dot - 1);
+  if (second_dot == std::string::npos) {
+    return host;
+  }
+  return host.substr(second_dot + 1);
+}
+
+bool Url::IsThirdPartyOf(std::string_view page_host) const {
+  Url page;
+  page.host = std::string(page_host);
+  return RegistrableDomain() != page.RegistrableDomain();
+}
+
+bool HostMatchesDomain(std::string_view host, std::string_view domain) {
+  if (host == domain) {
+    return true;
+  }
+  if (host.size() > domain.size() + 1 && host.ends_with(domain)) {
+    return host[host.size() - domain.size() - 1] == '.';
+  }
+  return false;
+}
+
+}  // namespace percival

@@ -1,0 +1,33 @@
+// Minimal URL model used by the filter engine and the synthetic web.
+#ifndef PERCIVAL_SRC_FILTER_URL_H_
+#define PERCIVAL_SRC_FILTER_URL_H_
+
+#include <string>
+#include <string_view>
+
+namespace percival {
+
+struct Url {
+  std::string full;    // e.g. "https://cdn.adnet.example/banner/1.pif?w=300"
+  std::string scheme;  // "https"
+  std::string host;    // "cdn.adnet.example"
+  std::string path;    // "/banner/1.pif?w=300"
+
+  static Url Parse(std::string_view text);
+
+  // Registrable domain approximation: the last two host labels
+  // ("cdn.adnet.example" -> "adnet.example"). Good enough for the synthetic
+  // web, whose hosts always have >= 2 labels.
+  std::string RegistrableDomain() const;
+
+  // True when `other_host` resolves to a different registrable domain —
+  // the $third-party option semantics.
+  bool IsThirdPartyOf(std::string_view page_host) const;
+};
+
+// True if `host` equals `domain` or is a subdomain of it.
+bool HostMatchesDomain(std::string_view host, std::string_view domain);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_FILTER_URL_H_

@@ -1,0 +1,43 @@
+#include "src/img/bitmap.h"
+
+#include "src/base/logging.h"
+
+namespace percival {
+
+Bitmap::Bitmap(int width, int height, Color fill) : width_(width), height_(height) {
+  PCHECK_GE(width, 0);
+  PCHECK_GE(height, 0);
+  pixels_.resize(static_cast<size_t>(width) * height * 4);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      SetPixel(x, y, fill);
+    }
+  }
+}
+
+Color Bitmap::GetPixel(int x, int y) const {
+  PCHECK(x >= 0 && x < width_ && y >= 0 && y < height_)
+      << "pixel (" << x << "," << y << ") outside " << width_ << "x" << height_;
+  const size_t i = (static_cast<size_t>(y) * width_ + x) * 4;
+  return Color{pixels_[i], pixels_[i + 1], pixels_[i + 2], pixels_[i + 3]};
+}
+
+void Bitmap::SetPixel(int x, int y, Color color) {
+  PCHECK(x >= 0 && x < width_ && y >= 0 && y < height_)
+      << "pixel (" << x << "," << y << ") outside " << width_ << "x" << height_;
+  const size_t i = (static_cast<size_t>(y) * width_ + x) * 4;
+  pixels_[i] = color.r;
+  pixels_[i + 1] = color.g;
+  pixels_[i + 2] = color.b;
+  pixels_[i + 3] = color.a;
+}
+
+void Bitmap::Clear(Color color) {
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      SetPixel(x, y, color);
+    }
+  }
+}
+
+}  // namespace percival

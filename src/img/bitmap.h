@@ -1,0 +1,63 @@
+// RGBA8 bitmap — the decoded-pixel representation that flows through the
+// rendering pipeline (the analogue of an SkBitmap the paper's hook reads).
+#ifndef PERCIVAL_SRC_IMG_BITMAP_H_
+#define PERCIVAL_SRC_IMG_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace percival {
+
+struct Color {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+  uint8_t a = 255;
+  bool operator==(const Color& other) const = default;
+};
+
+// Image metadata handed to the classifier hook alongside the pixel buffer —
+// the analogue of SkImageInfo in the paper's Blink integration (§3.3).
+struct ImageInfo {
+  int width = 0;
+  int height = 0;
+  int channels = 4;
+  int64_t PixelBytes() const { return static_cast<int64_t>(width) * height * channels; }
+};
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  Bitmap(int width, int height, Color fill = Color{0, 0, 0, 255});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return pixels_.empty(); }
+  ImageInfo info() const { return ImageInfo{width_, height_, 4}; }
+
+  // Raw RGBA bytes, row-major, 4 bytes per pixel.
+  uint8_t* data() { return pixels_.data(); }
+  const uint8_t* data() const { return pixels_.data(); }
+  size_t byte_size() const { return pixels_.size(); }
+
+  Color GetPixel(int x, int y) const;
+  void SetPixel(int x, int y, Color color);
+
+  // Clears every pixel — this is how PERCIVAL "blocks" an ad frame: the
+  // decoded buffer is wiped before rasterization (§3.3).
+  void Clear(Color color = Color{255, 255, 255, 0});
+
+  bool operator==(const Bitmap& other) const {
+    return width_ == other.width_ && height_ == other.height_ && pixels_ == other.pixels_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint8_t> pixels_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_IMG_BITMAP_H_

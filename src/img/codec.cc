@@ -1,0 +1,524 @@
+#include "src/img/codec.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace percival {
+
+namespace {
+
+void Put16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v & 0xFF));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void Put32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v & 0xFF));
+  out.push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<uint8_t>((v >> 24) & 0xFF));
+}
+
+uint32_t Get32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+const char* ImageFormatName(ImageFormat format) {
+  switch (format) {
+    case ImageFormat::kBmp:
+      return "bmp";
+    case ImageFormat::kPpm:
+      return "ppm";
+    case ImageFormat::kPif:
+      return "pif";
+    case ImageFormat::kRle:
+      return "rle";
+    case ImageFormat::kAnim:
+      return "anim";
+    case ImageFormat::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+// --- BMP: 32-bit uncompressed, BITMAPINFOHEADER, top-down rows -------------
+
+std::vector<uint8_t> EncodeBmp(const Bitmap& bitmap) {
+  const uint32_t pixel_bytes = static_cast<uint32_t>(bitmap.byte_size());
+  std::vector<uint8_t> out;
+  out.reserve(54 + pixel_bytes);
+  // File header (14 bytes).
+  out.push_back('B');
+  out.push_back('M');
+  Put32(out, 54 + pixel_bytes);
+  Put32(out, 0);
+  Put32(out, 54);
+  // Info header (40 bytes). Negative height => top-down row order.
+  Put32(out, 40);
+  Put32(out, static_cast<uint32_t>(bitmap.width()));
+  Put32(out, static_cast<uint32_t>(-bitmap.height()));
+  Put16(out, 1);   // planes
+  Put16(out, 32);  // bpp
+  Put32(out, 0);   // BI_RGB
+  Put32(out, pixel_bytes);
+  Put32(out, 2835);
+  Put32(out, 2835);
+  Put32(out, 0);
+  Put32(out, 0);
+  // Pixel data: BGRA order.
+  const uint8_t* src = bitmap.data();
+  for (size_t i = 0; i < bitmap.byte_size(); i += 4) {
+    out.push_back(src[i + 2]);
+    out.push_back(src[i + 1]);
+    out.push_back(src[i]);
+    out.push_back(src[i + 3]);
+  }
+  return out;
+}
+
+std::optional<Bitmap> DecodeBmp(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 54 || bytes[0] != 'B' || bytes[1] != 'M') {
+    return std::nullopt;
+  }
+  const uint32_t data_offset = Get32(&bytes[10]);
+  const int32_t width = static_cast<int32_t>(Get32(&bytes[18]));
+  const int32_t raw_height = static_cast<int32_t>(Get32(&bytes[22]));
+  const uint16_t bpp = static_cast<uint16_t>(bytes[28] | (bytes[29] << 8));
+  const uint32_t compression = Get32(&bytes[30]);
+  if (width <= 0 || raw_height == 0 || bpp != 32 || compression != 0) {
+    return std::nullopt;
+  }
+  const bool top_down = raw_height < 0;
+  const int height = top_down ? -raw_height : raw_height;
+  const size_t needed = static_cast<size_t>(width) * height * 4;
+  if (bytes.size() < data_offset + needed) {
+    return std::nullopt;
+  }
+  Bitmap bitmap(width, height);
+  for (int y = 0; y < height; ++y) {
+    const int src_row = top_down ? y : (height - 1 - y);
+    const uint8_t* row = bytes.data() + data_offset + static_cast<size_t>(src_row) * width * 4;
+    for (int x = 0; x < width; ++x) {
+      const uint8_t* p = row + static_cast<size_t>(x) * 4;
+      bitmap.SetPixel(x, y, Color{p[2], p[1], p[0], p[3]});
+    }
+  }
+  return bitmap;
+}
+
+// --- PPM: binary P6, RGB only ----------------------------------------------
+
+std::vector<uint8_t> EncodePpm(const Bitmap& bitmap) {
+  std::string header = "P6\n" + std::to_string(bitmap.width()) + " " +
+                       std::to_string(bitmap.height()) + "\n255\n";
+  std::vector<uint8_t> out(header.begin(), header.end());
+  const uint8_t* src = bitmap.data();
+  for (size_t i = 0; i < bitmap.byte_size(); i += 4) {
+    out.push_back(src[i]);
+    out.push_back(src[i + 1]);
+    out.push_back(src[i + 2]);
+  }
+  return out;
+}
+
+std::optional<Bitmap> DecodePpm(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 2 || bytes[0] != 'P' || bytes[1] != '6') {
+    return std::nullopt;
+  }
+  size_t pos = 2;
+  auto read_int = [&](int* value) -> bool {
+    while (pos < bytes.size() && std::isspace(bytes[pos])) {
+      ++pos;
+    }
+    if (pos >= bytes.size() || !std::isdigit(bytes[pos])) {
+      return false;
+    }
+    long parsed = 0;
+    while (pos < bytes.size() && std::isdigit(bytes[pos])) {
+      parsed = parsed * 10 + (bytes[pos] - '0');
+      if (parsed > 1 << 20) {
+        return false;
+      }
+      ++pos;
+    }
+    *value = static_cast<int>(parsed);
+    return true;
+  };
+  int width = 0;
+  int height = 0;
+  int max_value = 0;
+  if (!read_int(&width) || !read_int(&height) || !read_int(&max_value) || max_value != 255) {
+    return std::nullopt;
+  }
+  ++pos;  // single whitespace after maxval
+  const size_t needed = static_cast<size_t>(width) * height * 3;
+  if (width <= 0 || height <= 0 || bytes.size() < pos + needed) {
+    return std::nullopt;
+  }
+  Bitmap bitmap(width, height);
+  const uint8_t* src = bytes.data() + pos;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const uint8_t* p = src + (static_cast<size_t>(y) * width + x) * 3;
+      bitmap.SetPixel(x, y, Color{p[0], p[1], p[2], 255});
+    }
+  }
+  return bitmap;
+}
+
+// --- PIF: QOI-style opcode stream -------------------------------------------
+//
+// Opcodes (first byte):
+//   0xFE            RGB   followed by r,g,b (alpha carried over)
+//   0xFF            RGBA  followed by r,g,b,a
+//   00xxxxxx        INDEX into the 64-entry seen-pixel table
+//   01rrggbb        DIFF  channel deltas in [-2, 1] vs previous pixel
+//   10gggggg        LUMA  followed by a byte packing dr-dg / db-dg
+//   11xxxxxx        RUN   of 1..62 repeats of the previous pixel
+
+namespace {
+
+constexpr uint8_t kPifMagic[4] = {'P', 'I', 'F', '1'};
+
+int PifIndex(Color c) { return (c.r * 3 + c.g * 5 + c.b * 7 + c.a * 11) % 64; }
+
+}  // namespace
+
+std::vector<uint8_t> EncodePif(const Bitmap& bitmap) {
+  std::vector<uint8_t> out;
+  out.insert(out.end(), kPifMagic, kPifMagic + 4);
+  Put32(out, static_cast<uint32_t>(bitmap.width()));
+  Put32(out, static_cast<uint32_t>(bitmap.height()));
+
+  Color table[64] = {};
+  Color prev{0, 0, 0, 255};
+  int run = 0;
+  const int64_t total = static_cast<int64_t>(bitmap.width()) * bitmap.height();
+  const uint8_t* src = bitmap.data();
+  for (int64_t i = 0; i < total; ++i) {
+    Color cur{src[i * 4], src[i * 4 + 1], src[i * 4 + 2], src[i * 4 + 3]};
+    if (cur == prev) {
+      ++run;
+      if (run == 62 || i == total - 1) {
+        out.push_back(static_cast<uint8_t>(0xC0 | (run - 1)));
+        run = 0;
+      }
+      continue;
+    }
+    if (run > 0) {
+      out.push_back(static_cast<uint8_t>(0xC0 | (run - 1)));
+      run = 0;
+    }
+    const int index = PifIndex(cur);
+    if (table[index] == cur) {
+      out.push_back(static_cast<uint8_t>(index));
+    } else {
+      table[index] = cur;
+      if (cur.a == prev.a) {
+        const int dr = cur.r - prev.r;
+        const int dg = cur.g - prev.g;
+        const int db = cur.b - prev.b;
+        const int dr_dg = dr - dg;
+        const int db_dg = db - dg;
+        if (dr >= -2 && dr <= 1 && dg >= -2 && dg <= 1 && db >= -2 && db <= 1) {
+          out.push_back(static_cast<uint8_t>(0x40 | ((dr + 2) << 4) | ((dg + 2) << 2) | (db + 2)));
+        } else if (dg >= -32 && dg <= 31 && dr_dg >= -8 && dr_dg <= 7 && db_dg >= -8 &&
+                   db_dg <= 7) {
+          out.push_back(static_cast<uint8_t>(0x80 | (dg + 32)));
+          out.push_back(static_cast<uint8_t>(((dr_dg + 8) << 4) | (db_dg + 8)));
+        } else {
+          out.push_back(0xFE);
+          out.push_back(cur.r);
+          out.push_back(cur.g);
+          out.push_back(cur.b);
+        }
+      } else {
+        out.push_back(0xFF);
+        out.push_back(cur.r);
+        out.push_back(cur.g);
+        out.push_back(cur.b);
+        out.push_back(cur.a);
+      }
+    }
+    prev = cur;
+  }
+  return out;
+}
+
+std::optional<Bitmap> DecodePif(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 12 || std::memcmp(bytes.data(), kPifMagic, 4) != 0) {
+    return std::nullopt;
+  }
+  const uint32_t width = Get32(&bytes[4]);
+  const uint32_t height = Get32(&bytes[8]);
+  if (width == 0 || height == 0 || width > (1u << 20) || height > (1u << 20)) {
+    return std::nullopt;
+  }
+  Bitmap bitmap(static_cast<int>(width), static_cast<int>(height));
+  uint8_t* dst = bitmap.data();
+  const int64_t total = static_cast<int64_t>(width) * height;
+
+  Color table[64] = {};
+  Color cur{0, 0, 0, 255};
+  size_t pos = 12;
+  int64_t written = 0;
+  while (written < total) {
+    if (pos >= bytes.size()) {
+      return std::nullopt;
+    }
+    const uint8_t op = bytes[pos++];
+    if (op == 0xFE) {
+      if (pos + 3 > bytes.size()) {
+        return std::nullopt;
+      }
+      cur.r = bytes[pos];
+      cur.g = bytes[pos + 1];
+      cur.b = bytes[pos + 2];
+      pos += 3;
+    } else if (op == 0xFF) {
+      if (pos + 4 > bytes.size()) {
+        return std::nullopt;
+      }
+      cur = Color{bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]};
+      pos += 4;
+    } else if ((op & 0xC0) == 0x00) {
+      cur = table[op & 0x3F];
+    } else if ((op & 0xC0) == 0x40) {
+      cur.r = static_cast<uint8_t>(cur.r + ((op >> 4) & 0x03) - 2);
+      cur.g = static_cast<uint8_t>(cur.g + ((op >> 2) & 0x03) - 2);
+      cur.b = static_cast<uint8_t>(cur.b + (op & 0x03) - 2);
+    } else if ((op & 0xC0) == 0x80) {
+      if (pos >= bytes.size()) {
+        return std::nullopt;
+      }
+      const int dg = (op & 0x3F) - 32;
+      const uint8_t packed = bytes[pos++];
+      const int dr = dg + ((packed >> 4) & 0x0F) - 8;
+      const int db = dg + (packed & 0x0F) - 8;
+      cur.r = static_cast<uint8_t>(cur.r + dr);
+      cur.g = static_cast<uint8_t>(cur.g + dg);
+      cur.b = static_cast<uint8_t>(cur.b + db);
+    } else {  // RUN
+      int run = (op & 0x3F) + 1;
+      while (run-- > 0 && written < total) {
+        dst[written * 4] = cur.r;
+        dst[written * 4 + 1] = cur.g;
+        dst[written * 4 + 2] = cur.b;
+        dst[written * 4 + 3] = cur.a;
+        ++written;
+      }
+      continue;
+    }
+    table[PifIndex(cur)] = cur;
+    dst[written * 4] = cur.r;
+    dst[written * 4 + 1] = cur.g;
+    dst[written * 4 + 2] = cur.b;
+    dst[written * 4 + 3] = cur.a;
+    ++written;
+  }
+  return bitmap;
+}
+
+// --- RLE: (count, r, g, b, a) runs ------------------------------------------
+
+std::vector<uint8_t> EncodeRle(const Bitmap& bitmap) {
+  std::vector<uint8_t> out = {'R', 'L', 'E', '1'};
+  Put32(out, static_cast<uint32_t>(bitmap.width()));
+  Put32(out, static_cast<uint32_t>(bitmap.height()));
+  const uint8_t* src = bitmap.data();
+  const int64_t total = static_cast<int64_t>(bitmap.width()) * bitmap.height();
+  int64_t i = 0;
+  while (i < total) {
+    const uint8_t* p = src + i * 4;
+    int64_t run = 1;
+    while (i + run < total && run < 255 &&
+           std::memcmp(p, src + (i + run) * 4, 4) == 0) {
+      ++run;
+    }
+    out.push_back(static_cast<uint8_t>(run));
+    out.insert(out.end(), p, p + 4);
+    i += run;
+  }
+  return out;
+}
+
+std::optional<Bitmap> DecodeRle(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 12 || std::memcmp(bytes.data(), "RLE1", 4) != 0) {
+    return std::nullopt;
+  }
+  const uint32_t width = Get32(&bytes[4]);
+  const uint32_t height = Get32(&bytes[8]);
+  if (width == 0 || height == 0 || width > (1u << 20) || height > (1u << 20)) {
+    return std::nullopt;
+  }
+  Bitmap bitmap(static_cast<int>(width), static_cast<int>(height));
+  uint8_t* dst = bitmap.data();
+  const int64_t total = static_cast<int64_t>(width) * height;
+  size_t pos = 12;
+  int64_t written = 0;
+  while (written < total) {
+    if (pos + 5 > bytes.size()) {
+      return std::nullopt;
+    }
+    int run = bytes[pos];
+    if (run == 0) {
+      return std::nullopt;
+    }
+    const uint8_t* color = &bytes[pos + 1];
+    pos += 5;
+    while (run-- > 0) {
+      if (written >= total) {
+        return std::nullopt;
+      }
+      std::memcpy(dst + written * 4, color, 4);
+      ++written;
+    }
+  }
+  return bitmap;
+}
+
+// --- ANIM: frame container ---------------------------------------------------
+
+std::vector<uint8_t> EncodeAnim(const std::vector<Bitmap>& frames) {
+  std::vector<uint8_t> out = {'A', 'N', 'I', 'M'};
+  Put32(out, static_cast<uint32_t>(frames.size()));
+  for (const Bitmap& frame : frames) {
+    std::vector<uint8_t> encoded = EncodePif(frame);
+    Put32(out, static_cast<uint32_t>(encoded.size()));
+    out.insert(out.end(), encoded.begin(), encoded.end());
+  }
+  return out;
+}
+
+std::optional<std::vector<Bitmap>> DecodeAnim(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 8 || std::memcmp(bytes.data(), "ANIM", 4) != 0) {
+    return std::nullopt;
+  }
+  const uint32_t count = Get32(&bytes[4]);
+  if (count == 0 || count > 4096) {
+    return std::nullopt;
+  }
+  std::vector<Bitmap> frames;
+  size_t pos = 8;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (pos + 4 > bytes.size()) {
+      return std::nullopt;
+    }
+    const uint32_t frame_size = Get32(&bytes[pos]);
+    pos += 4;
+    if (pos + frame_size > bytes.size()) {
+      return std::nullopt;
+    }
+    std::vector<uint8_t> frame_bytes(bytes.begin() + static_cast<long>(pos),
+                                     bytes.begin() + static_cast<long>(pos + frame_size));
+    std::optional<Bitmap> frame = DecodePif(frame_bytes);
+    if (!frame) {
+      return std::nullopt;
+    }
+    frames.push_back(std::move(*frame));
+    pos += frame_size;
+  }
+  return frames;
+}
+
+// --- Registry ----------------------------------------------------------------
+
+ImageFormat SniffFormat(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() >= 4) {
+    if (std::memcmp(bytes.data(), kPifMagic, 4) == 0) {
+      return ImageFormat::kPif;
+    }
+    if (std::memcmp(bytes.data(), "RLE1", 4) == 0) {
+      return ImageFormat::kRle;
+    }
+    if (std::memcmp(bytes.data(), "ANIM", 4) == 0) {
+      return ImageFormat::kAnim;
+    }
+  }
+  if (bytes.size() >= 2) {
+    if (bytes[0] == 'B' && bytes[1] == 'M') {
+      return ImageFormat::kBmp;
+    }
+    if (bytes[0] == 'P' && bytes[1] == '6') {
+      return ImageFormat::kPpm;
+    }
+  }
+  return ImageFormat::kUnknown;
+}
+
+EncodedImage Encode(const Bitmap& bitmap, ImageFormat format) {
+  EncodedImage out;
+  out.format = format;
+  switch (format) {
+    case ImageFormat::kBmp:
+      out.bytes = EncodeBmp(bitmap);
+      break;
+    case ImageFormat::kPpm:
+      out.bytes = EncodePpm(bitmap);
+      break;
+    case ImageFormat::kPif:
+      out.bytes = EncodePif(bitmap);
+      break;
+    case ImageFormat::kRle:
+      out.bytes = EncodeRle(bitmap);
+      break;
+    case ImageFormat::kAnim:
+      out.bytes = EncodeAnim({bitmap});
+      break;
+    case ImageFormat::kUnknown:
+      PCHECK(false) << "cannot encode unknown format";
+  }
+  return out;
+}
+
+std::optional<std::vector<Bitmap>> DecodeAllFrames(const std::vector<uint8_t>& bytes) {
+  switch (SniffFormat(bytes)) {
+    case ImageFormat::kBmp: {
+      std::optional<Bitmap> bitmap = DecodeBmp(bytes);
+      if (!bitmap) {
+        return std::nullopt;
+      }
+      return std::vector<Bitmap>{std::move(*bitmap)};
+    }
+    case ImageFormat::kPpm: {
+      std::optional<Bitmap> bitmap = DecodePpm(bytes);
+      if (!bitmap) {
+        return std::nullopt;
+      }
+      return std::vector<Bitmap>{std::move(*bitmap)};
+    }
+    case ImageFormat::kPif: {
+      std::optional<Bitmap> bitmap = DecodePif(bytes);
+      if (!bitmap) {
+        return std::nullopt;
+      }
+      return std::vector<Bitmap>{std::move(*bitmap)};
+    }
+    case ImageFormat::kRle: {
+      std::optional<Bitmap> bitmap = DecodeRle(bytes);
+      if (!bitmap) {
+        return std::nullopt;
+      }
+      return std::vector<Bitmap>{std::move(*bitmap)};
+    }
+    case ImageFormat::kAnim:
+      return DecodeAnim(bytes);
+    case ImageFormat::kUnknown:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<Bitmap> DecodeFirstFrame(const std::vector<uint8_t>& bytes) {
+  std::optional<std::vector<Bitmap>> frames = DecodeAllFrames(bytes);
+  if (!frames || frames->empty()) {
+    return std::nullopt;
+  }
+  return std::move((*frames)[0]);
+}
+
+}  // namespace percival

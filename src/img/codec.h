@@ -1,0 +1,77 @@
+// Image codec registry.
+//
+// The rendering pipeline stores *encoded* bytes and decodes them lazily in
+// the raster phase (Chromium's deferred image decoding, §3.3). The registry
+// plays the role of Blink's image-decoder selection: the format is sniffed
+// from magic bytes and dispatched to the right decoder.
+//
+// Formats (all implemented from scratch in this repo):
+//   BMP  — uncompressed 32-bit BI_RGB windows bitmap
+//   PPM  — binary P6 (alpha dropped on encode, restored opaque on decode)
+//   PIF  — "Percival Image Format", a QOI-style byte-stream codec
+//   RLE  — per-pixel run-length encoding
+//   ANIM — multi-frame container holding PIF frames (the GIF stand-in)
+#ifndef PERCIVAL_SRC_IMG_CODEC_H_
+#define PERCIVAL_SRC_IMG_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/img/bitmap.h"
+
+namespace percival {
+
+enum class ImageFormat {
+  kUnknown,
+  kBmp,
+  kPpm,
+  kPif,
+  kRle,
+  kAnim,
+};
+
+const char* ImageFormatName(ImageFormat format);
+
+// Encoded image bytes plus the format they claim to be.
+struct EncodedImage {
+  ImageFormat format = ImageFormat::kUnknown;
+  std::vector<uint8_t> bytes;
+};
+
+// --- Single-format entry points -------------------------------------------
+
+std::vector<uint8_t> EncodeBmp(const Bitmap& bitmap);
+std::optional<Bitmap> DecodeBmp(const std::vector<uint8_t>& bytes);
+
+std::vector<uint8_t> EncodePpm(const Bitmap& bitmap);
+std::optional<Bitmap> DecodePpm(const std::vector<uint8_t>& bytes);
+
+std::vector<uint8_t> EncodePif(const Bitmap& bitmap);
+std::optional<Bitmap> DecodePif(const std::vector<uint8_t>& bytes);
+
+std::vector<uint8_t> EncodeRle(const Bitmap& bitmap);
+std::optional<Bitmap> DecodeRle(const std::vector<uint8_t>& bytes);
+
+std::vector<uint8_t> EncodeAnim(const std::vector<Bitmap>& frames);
+std::optional<std::vector<Bitmap>> DecodeAnim(const std::vector<uint8_t>& bytes);
+
+// --- Registry --------------------------------------------------------------
+
+// Determines the format from leading magic bytes.
+ImageFormat SniffFormat(const std::vector<uint8_t>& bytes);
+
+// Encodes `bitmap` in the requested still-image format.
+EncodedImage Encode(const Bitmap& bitmap, ImageFormat format);
+
+// Decodes any registered format; animations yield their frame sequence,
+// still images a single frame. Returns std::nullopt on malformed input.
+std::optional<std::vector<Bitmap>> DecodeAllFrames(const std::vector<uint8_t>& bytes);
+
+// Decodes the first (or only) frame.
+std::optional<Bitmap> DecodeFirstFrame(const std::vector<uint8_t>& bytes);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_IMG_CODEC_H_

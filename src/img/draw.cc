@@ -1,0 +1,205 @@
+#include "src/img/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace percival {
+
+namespace {
+
+Rect ClipToBitmap(const Rect& rect, const Bitmap& bitmap) {
+  const int x0 = std::max(rect.x, 0);
+  const int y0 = std::max(rect.y, 0);
+  const int x1 = std::min(rect.Right(), bitmap.width());
+  const int y1 = std::min(rect.Bottom(), bitmap.height());
+  return Rect{x0, y0, std::max(0, x1 - x0), std::max(0, y1 - y0)};
+}
+
+uint8_t ClampByte(int value) { return static_cast<uint8_t>(std::clamp(value, 0, 255)); }
+
+Color LerpColor(Color a, Color b, float t) {
+  auto mix = [t](uint8_t x, uint8_t y) {
+    return ClampByte(static_cast<int>(std::lround(x + t * (static_cast<int>(y) - x))));
+  };
+  return Color{mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b), mix(a.a, b.a)};
+}
+
+}  // namespace
+
+void FillRect(Bitmap& bitmap, const Rect& rect, Color color) {
+  const Rect clipped = ClipToBitmap(rect, bitmap);
+  for (int y = clipped.y; y < clipped.Bottom(); ++y) {
+    for (int x = clipped.x; x < clipped.Right(); ++x) {
+      bitmap.SetPixel(x, y, color);
+    }
+  }
+}
+
+void DrawRectOutline(Bitmap& bitmap, const Rect& rect, Color color, int thickness) {
+  FillRect(bitmap, Rect{rect.x, rect.y, rect.w, thickness}, color);
+  FillRect(bitmap, Rect{rect.x, rect.Bottom() - thickness, rect.w, thickness}, color);
+  FillRect(bitmap, Rect{rect.x, rect.y, thickness, rect.h}, color);
+  FillRect(bitmap, Rect{rect.Right() - thickness, rect.y, thickness, rect.h}, color);
+}
+
+void FillVerticalGradient(Bitmap& bitmap, const Rect& rect, Color top, Color bottom) {
+  const Rect clipped = ClipToBitmap(rect, bitmap);
+  if (clipped.h == 0) {
+    return;
+  }
+  for (int y = clipped.y; y < clipped.Bottom(); ++y) {
+    const float t = rect.h > 1 ? static_cast<float>(y - rect.y) / static_cast<float>(rect.h - 1)
+                               : 0.0f;
+    const Color c = LerpColor(top, bottom, std::clamp(t, 0.0f, 1.0f));
+    for (int x = clipped.x; x < clipped.Right(); ++x) {
+      bitmap.SetPixel(x, y, c);
+    }
+  }
+}
+
+void FillHorizontalGradient(Bitmap& bitmap, const Rect& rect, Color left, Color right) {
+  const Rect clipped = ClipToBitmap(rect, bitmap);
+  if (clipped.w == 0) {
+    return;
+  }
+  for (int x = clipped.x; x < clipped.Right(); ++x) {
+    const float t = rect.w > 1 ? static_cast<float>(x - rect.x) / static_cast<float>(rect.w - 1)
+                               : 0.0f;
+    const Color c = LerpColor(left, right, std::clamp(t, 0.0f, 1.0f));
+    for (int y = clipped.y; y < clipped.Bottom(); ++y) {
+      bitmap.SetPixel(x, y, c);
+    }
+  }
+}
+
+void AddSpeckleNoise(Bitmap& bitmap, const Rect& rect, float amplitude, Rng& rng) {
+  const Rect clipped = ClipToBitmap(rect, bitmap);
+  for (int y = clipped.y; y < clipped.Bottom(); ++y) {
+    for (int x = clipped.x; x < clipped.Right(); ++x) {
+      Color c = bitmap.GetPixel(x, y);
+      const int delta = static_cast<int>(std::lround(rng.NextGaussian() * amplitude));
+      c.r = ClampByte(c.r + delta);
+      c.g = ClampByte(c.g + delta);
+      c.b = ClampByte(c.b + delta);
+      bitmap.SetPixel(x, y, c);
+    }
+  }
+}
+
+void FillCircle(Bitmap& bitmap, int cx, int cy, int radius, Color color) {
+  const Rect bounds{cx - radius, cy - radius, 2 * radius + 1, 2 * radius + 1};
+  const Rect clipped = ClipToBitmap(bounds, bitmap);
+  const int r2 = radius * radius;
+  for (int y = clipped.y; y < clipped.Bottom(); ++y) {
+    for (int x = clipped.x; x < clipped.Right(); ++x) {
+      const int dx = x - cx;
+      const int dy = y - cy;
+      if (dx * dx + dy * dy <= r2) {
+        bitmap.SetPixel(x, y, color);
+      }
+    }
+  }
+}
+
+void FillTriangle(Bitmap& bitmap, int cx, int cy, int size, Color color) {
+  // Upward-pointing isoceles triangle centred at (cx, cy).
+  for (int row = 0; row < size; ++row) {
+    const int half = (row * size) / (2 * size) + row / 2;
+    const int y = cy - size / 2 + row;
+    FillRect(bitmap, Rect{cx - half, y, 2 * half + 1, 1}, color);
+  }
+}
+
+void DrawTextLine(Bitmap& bitmap, const Rect& rect, Color color, GlyphStyle style, Rng& rng) {
+  if (rect.h < 3 || rect.w < 3) {
+    return;
+  }
+  const int glyph_h = rect.h;
+  int x = rect.x;
+  while (x < rect.Right() - 2) {
+    switch (style) {
+      case GlyphStyle::kLatin:
+      case GlyphStyle::kAccented: {
+        const int glyph_w = std::max(2, glyph_h / 2);
+        // Vertical stem plus a random crossbar — a block-letter silhouette.
+        FillRect(bitmap, Rect{x, rect.y, std::max(1, glyph_w / 3), glyph_h}, color);
+        if (rng.NextBool(0.6)) {
+          const int bar_y = rect.y + rng.NextInt(0, std::max(0, glyph_h - 2));
+          FillRect(bitmap, Rect{x, bar_y, glyph_w, std::max(1, glyph_h / 4)}, color);
+        }
+        if (style == GlyphStyle::kAccented && rng.NextBool(0.35)) {
+          FillRect(bitmap, Rect{x + glyph_w / 2, rect.y - 2, 2, 2}, color);
+        }
+        x += glyph_w + 2;
+        if (rng.NextBool(0.2)) {
+          x += glyph_w;  // word gap
+        }
+        break;
+      }
+      case GlyphStyle::kArabic: {
+        // Connected baseline stroke with dots above/below.
+        const int seg_w = rng.NextInt(4, 9);
+        const int baseline = rect.y + (2 * glyph_h) / 3;
+        FillRect(bitmap, Rect{x, baseline, seg_w, std::max(1, glyph_h / 5)}, color);
+        if (rng.NextBool(0.5)) {
+          FillRect(bitmap, Rect{x + seg_w / 2, rect.y + glyph_h / 4, 2, 2}, color);
+        }
+        if (rng.NextBool(0.4)) {
+          FillRect(bitmap, Rect{x + 1, rect.y, 2, baseline - rect.y}, color);
+        }
+        x += seg_w + 1;
+        if (rng.NextBool(0.15)) {
+          x += 4;
+        }
+        break;
+      }
+      case GlyphStyle::kCjk: {
+        // Dense square block of horizontal and vertical strokes.
+        const int block = glyph_h;
+        const int strokes = rng.NextInt(3, 6);
+        for (int s = 0; s < strokes; ++s) {
+          if (rng.NextBool()) {
+            const int sy = rect.y + rng.NextInt(0, std::max(0, block - 2));
+            FillRect(bitmap, Rect{x, sy, block, 1}, color);
+          } else {
+            const int sx = x + rng.NextInt(0, std::max(0, block - 2));
+            FillRect(bitmap, Rect{sx, rect.y, 1, block}, color);
+          }
+        }
+        x += block + 2;
+        break;
+      }
+      case GlyphStyle::kHangul: {
+        // Two stacked sub-blocks per syllable.
+        const int block = glyph_h;
+        FillRect(bitmap, Rect{x, rect.y, block / 2, block / 2}, color);
+        FillRect(bitmap, Rect{x + 1, rect.y + block / 2 + 1, block - 2, std::max(1, block / 4)},
+                 color);
+        if (rng.NextBool(0.5)) {
+          FillRect(bitmap, Rect{x + block / 2 + 1, rect.y + 1, 1, block / 2}, color);
+        }
+        x += block + 2;
+        break;
+      }
+    }
+  }
+}
+
+double NonBackgroundFraction(const Bitmap& bitmap, Color background) {
+  if (bitmap.empty()) {
+    return 0.0;
+  }
+  int64_t differing = 0;
+  for (int y = 0; y < bitmap.height(); ++y) {
+    for (int x = 0; x < bitmap.width(); ++x) {
+      const Color c = bitmap.GetPixel(x, y);
+      if (c.r != background.r || c.g != background.g || c.b != background.b) {
+        ++differing;
+      }
+    }
+  }
+  return static_cast<double>(differing) /
+         (static_cast<double>(bitmap.width()) * bitmap.height());
+}
+
+}  // namespace percival

@@ -1,0 +1,59 @@
+// Drawing primitives used by the synthetic ad / content generators.
+//
+// These are deliberately simple (clipped rect fills, gradients, speckle
+// noise, block glyphs) — enough to procedurally compose images whose visual
+// statistics separate "ad" from "content" the way the paper's Grad-CAM
+// analysis describes (text blocks, logos, borders, product shapes).
+#ifndef PERCIVAL_SRC_IMG_DRAW_H_
+#define PERCIVAL_SRC_IMG_DRAW_H_
+
+#include "src/base/rng.h"
+#include "src/img/bitmap.h"
+
+namespace percival {
+
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+  int Right() const { return x + w; }
+  int Bottom() const { return y + h; }
+  bool Contains(int px, int py) const {
+    return px >= x && px < Right() && py >= y && py < Bottom();
+  }
+  bool Intersects(const Rect& other) const {
+    return x < other.Right() && other.x < Right() && y < other.Bottom() && other.y < Bottom();
+  }
+};
+
+// All drawing functions clip against the bitmap bounds.
+void FillRect(Bitmap& bitmap, const Rect& rect, Color color);
+void DrawRectOutline(Bitmap& bitmap, const Rect& rect, Color color, int thickness);
+void FillVerticalGradient(Bitmap& bitmap, const Rect& rect, Color top, Color bottom);
+void FillHorizontalGradient(Bitmap& bitmap, const Rect& rect, Color left, Color right);
+void AddSpeckleNoise(Bitmap& bitmap, const Rect& rect, float amplitude, Rng& rng);
+void FillCircle(Bitmap& bitmap, int cx, int cy, int radius, Color color);
+void FillTriangle(Bitmap& bitmap, int cx, int cy, int size, Color color);
+
+// Glyph styles parameterize the pseudo-script text renderer: each style
+// produces characteristically different stroke statistics, which is how the
+// language-agnostic experiment (Fig. 9) varies "language" visually.
+enum class GlyphStyle {
+  kLatin,       // short vertical/horizontal strokes, word gaps
+  kArabic,      // connected horizontal flow with dots
+  kCjk,         // dense square blocks (Chinese)
+  kHangul,      // square blocks of 2-3 sub-strokes (Korean)
+  kAccented,    // latin plus diacritic specks (French/Spanish/Portuguese)
+};
+
+// Renders a line of pseudo-text inside `rect` using blocky strokes.
+void DrawTextLine(Bitmap& bitmap, const Rect& rect, Color color, GlyphStyle style, Rng& rng);
+
+// Fraction of pixels inside `rect` that differ from `background` — used by
+// tests and by the blank-screenshot detector in the crawler.
+double NonBackgroundFraction(const Bitmap& bitmap, Color background);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_IMG_DRAW_H_

@@ -1,0 +1,35 @@
+#include "src/img/phash.h"
+
+#include <bit>
+
+#include "src/img/resize.h"
+
+namespace percival {
+
+uint64_t AverageHash(const Bitmap& bitmap) {
+  if (bitmap.empty()) {
+    return 0;
+  }
+  const Bitmap small = ResizeBilinear(bitmap, 8, 8);
+  int gray[64];
+  int total = 0;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const Color c = small.GetPixel(x, y);
+      gray[y * 8 + x] = (static_cast<int>(c.r) * 299 + c.g * 587 + c.b * 114) / 1000;
+      total += gray[y * 8 + x];
+    }
+  }
+  const int mean = total / 64;
+  uint64_t hash = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (gray[i] > mean) {
+      hash |= (1ULL << i);
+    }
+  }
+  return hash;
+}
+
+int HammingDistance(uint64_t a, uint64_t b) { return std::popcount(a ^ b); }
+
+}  // namespace percival

@@ -1,0 +1,23 @@
+// Perceptual (average) hashing for dataset deduplication.
+//
+// The paper's crawls keep only ~15-20% of collected images after duplicate
+// removal (§4.4.2); we implement the same post-processing with an 8x8
+// average hash plus a Hamming-distance near-duplicate test.
+#ifndef PERCIVAL_SRC_IMG_PHASH_H_
+#define PERCIVAL_SRC_IMG_PHASH_H_
+
+#include <cstdint>
+
+#include "src/img/bitmap.h"
+
+namespace percival {
+
+// 64-bit average hash: downscale to 8x8 grayscale, threshold at the mean.
+uint64_t AverageHash(const Bitmap& bitmap);
+
+// Number of differing bits between two hashes.
+int HammingDistance(uint64_t a, uint64_t b);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_IMG_PHASH_H_

@@ -1,0 +1,86 @@
+#include "src/img/resize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace percival {
+
+Bitmap ResizeBilinear(const Bitmap& source, int out_width, int out_height) {
+  PCHECK_GE(out_width, 1);
+  PCHECK_GE(out_height, 1);
+  PCHECK(!source.empty());
+  Bitmap out(out_width, out_height);
+  const float x_scale = static_cast<float>(source.width()) / static_cast<float>(out_width);
+  const float y_scale = static_cast<float>(source.height()) / static_cast<float>(out_height);
+  for (int y = 0; y < out_height; ++y) {
+    const float sy = (static_cast<float>(y) + 0.5f) * y_scale - 0.5f;
+    const int y0 = std::clamp(static_cast<int>(std::floor(sy)), 0, source.height() - 1);
+    const int y1 = std::min(y0 + 1, source.height() - 1);
+    const float fy = std::clamp(sy - static_cast<float>(y0), 0.0f, 1.0f);
+    for (int x = 0; x < out_width; ++x) {
+      const float sx = (static_cast<float>(x) + 0.5f) * x_scale - 0.5f;
+      const int x0 = std::clamp(static_cast<int>(std::floor(sx)), 0, source.width() - 1);
+      const int x1 = std::min(x0 + 1, source.width() - 1);
+      const float fx = std::clamp(sx - static_cast<float>(x0), 0.0f, 1.0f);
+
+      const Color c00 = source.GetPixel(x0, y0);
+      const Color c10 = source.GetPixel(x1, y0);
+      const Color c01 = source.GetPixel(x0, y1);
+      const Color c11 = source.GetPixel(x1, y1);
+      auto lerp = [&](uint8_t a, uint8_t b, uint8_t c, uint8_t d) -> uint8_t {
+        const float top = static_cast<float>(a) + fx * (static_cast<float>(b) - a);
+        const float bottom = static_cast<float>(c) + fx * (static_cast<float>(d) - c);
+        return static_cast<uint8_t>(std::lround(top + fy * (bottom - top)));
+      };
+      out.SetPixel(x, y, Color{lerp(c00.r, c10.r, c01.r, c11.r), lerp(c00.g, c10.g, c01.g, c11.g),
+                               lerp(c00.b, c10.b, c01.b, c11.b),
+                               lerp(c00.a, c10.a, c01.a, c11.a)});
+    }
+  }
+  return out;
+}
+
+Tensor BitmapToTensor(const Bitmap& source, int size, int channels) {
+  PCHECK(channels == 3 || channels == 4);
+  Bitmap scaled =
+      (source.width() == size && source.height() == size) ? source : ResizeBilinear(source, size, size);
+  Tensor tensor(1, size, size, channels);
+  float* out = tensor.data();
+  const uint8_t* src = scaled.data();
+  const int64_t pixels = static_cast<int64_t>(size) * size;
+  for (int64_t p = 0; p < pixels; ++p) {
+    for (int c = 0; c < channels; ++c) {
+      out[p * channels + c] = static_cast<float>(src[p * 4 + c]) / 255.0f;
+    }
+  }
+  return tensor;
+}
+
+Bitmap TensorPlaneToBitmap(const Tensor& tensor, int n, int channel) {
+  const TensorShape& s = tensor.shape();
+  PCHECK_LT(n, s.n);
+  PCHECK_LT(channel, s.c);
+  float lo = 1e30f;
+  float hi = -1e30f;
+  for (int y = 0; y < s.h; ++y) {
+    for (int x = 0; x < s.w; ++x) {
+      const float v = tensor.at(n, y, x, channel);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const float range = (hi - lo) > 1e-12f ? (hi - lo) : 1.0f;
+  Bitmap out(s.w, s.h);
+  for (int y = 0; y < s.h; ++y) {
+    for (int x = 0; x < s.w; ++x) {
+      const float v = (tensor.at(n, y, x, channel) - lo) / range;
+      const auto g = static_cast<uint8_t>(std::lround(v * 255.0f));
+      out.SetPixel(x, y, Color{g, g, g, 255});
+    }
+  }
+  return out;
+}
+
+}  // namespace percival

@@ -1,0 +1,26 @@
+// Bilinear resize and bitmap->tensor conversion.
+//
+// PERCIVAL "reads the image, scales it to the network's input size, creates a
+// tensor, and passes it through the CNN" (§3.3); this file is that step.
+#ifndef PERCIVAL_SRC_IMG_RESIZE_H_
+#define PERCIVAL_SRC_IMG_RESIZE_H_
+
+#include "src/img/bitmap.h"
+#include "src/nn/tensor.h"
+
+namespace percival {
+
+// Bilinear resample to the requested size (both dimensions >= 1).
+Bitmap ResizeBilinear(const Bitmap& source, int out_width, int out_height);
+
+// Converts to a {1, size, size, channels} float tensor in [0, 1], resizing
+// bilinearly. `channels` is 3 (RGB) or 4 (RGBA; the paper feeds 224x224x4).
+Tensor BitmapToTensor(const Bitmap& source, int size, int channels);
+
+// Writes a tensor sample's channel-0 plane as an 8-bit grayscale bitmap
+// (used to dump Grad-CAM salience maps).
+Bitmap TensorPlaneToBitmap(const Tensor& tensor, int n, int channel);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_IMG_RESIZE_H_

@@ -1,0 +1,41 @@
+// Activation layers: ReLU and SoftMax.
+#ifndef PERCIVAL_SRC_NN_ACTIVATION_H_
+#define PERCIVAL_SRC_NN_ACTIVATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nn/layer.h"
+
+namespace percival {
+
+class Relu : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "relu"; }
+  TensorShape OutputShape(const TensorShape& input) const override { return input; }
+
+ private:
+  std::vector<uint8_t> mask_;  // 1 where input > 0
+  TensorShape input_shape_;
+};
+
+// Channel-wise SoftMax over the last dimension of each sample. Numerically
+// stabilized with the max-subtraction trick. Backward implements the full
+// Jacobian-vector product (needed by Grad-CAM; training uses the fused
+// SoftmaxCrossEntropy loss instead).
+class Softmax : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "softmax"; }
+  TensorShape OutputShape(const TensorShape& input) const override { return input; }
+
+ private:
+  Tensor last_output_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_NN_ACTIVATION_H_

@@ -1,0 +1,126 @@
+#include "src/nn/conv.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/base/logging.h"
+#include "src/nn/ops.h"
+
+namespace percival {
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int stride, int pad, Rng& rng,
+               std::string name)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      label_(std::move(name)) {
+  PCHECK_GT(in_channels, 0);
+  PCHECK_GT(out_channels, 0);
+  PCHECK_GT(kernel, 0);
+  PCHECK_GT(stride, 0);
+  PCHECK_GE(pad, 0);
+  const int fan_in = kernel * kernel * in_channels;
+  weights_.name = label_ + ".weight";
+  weights_.value = Tensor(out_channels, 1, 1, fan_in);
+  weights_.grad = Tensor(out_channels, 1, 1, fan_in);
+  const float he_std = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (int64_t i = 0; i < weights_.value.size(); ++i) {
+    weights_.value[i] = static_cast<float>(rng.NextGaussian()) * he_std;
+  }
+  bias_.name = label_ + ".bias";
+  bias_.value = Tensor(1, 1, 1, out_channels);
+  bias_.grad = Tensor(1, 1, 1, out_channels);
+  // Small positive bias keeps ReLU units alive at initialization; narrow
+  // squeeze layers (2-4 channels) otherwise die with measurable probability
+  // and take the whole network's gradient with them.
+  bias_.value.Fill(0.05f);
+}
+
+std::string Conv2D::Name() const {
+  std::ostringstream out;
+  out << label_ << " " << kernel_ << "x" << kernel_ << "/" << stride_ << " " << in_channels_
+      << "->" << out_channels_;
+  return out.str();
+}
+
+TensorShape Conv2D::OutputShape(const TensorShape& input) const {
+  return TensorShape{input.n, ConvOutputSize(input.h, kernel_, stride_, pad_),
+                     ConvOutputSize(input.w, kernel_, stride_, pad_), out_channels_};
+}
+
+int64_t Conv2D::ForwardMacs(const TensorShape& input) const {
+  TensorShape out = OutputShape(input);
+  return out.Elements() * kernel_ * kernel_ * in_channels_;
+}
+
+Tensor Conv2D::Forward(const Tensor& input) {
+  PCHECK_EQ(input.shape().c, in_channels_) << Name();
+  last_input_ = input;
+  const TensorShape out_shape = OutputShape(input.shape());
+  Tensor output(out_shape);
+
+  const int row_len = kernel_ * kernel_ * in_channels_;
+  const int64_t rows = static_cast<int64_t>(out_shape.h) * out_shape.w;
+  columns_.assign(static_cast<size_t>(rows * row_len), 0.0f);
+
+  const float* w = weights_.value.data();
+  const float* b = bias_.value.data();
+  for (int n = 0; n < input.shape().n; ++n) {
+    Im2Col(input.SampleData(n), input.shape().h, input.shape().w, in_channels_, kernel_, stride_,
+           pad_, columns_.data());
+    float* out = output.SampleData(n);
+    for (int64_t m = 0; m < rows; ++m) {
+      const float* col_row = columns_.data() + m * row_len;
+      float* out_row = out + m * out_channels_;
+      for (int oc = 0; oc < out_channels_; ++oc) {
+        out_row[oc] = Dot(row_len, col_row, w + static_cast<int64_t>(oc) * row_len) + b[oc];
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv2D::Backward(const Tensor& grad_output) {
+  const TensorShape& in_shape = last_input_.shape();
+  const TensorShape out_shape = OutputShape(in_shape);
+  PCHECK(grad_output.shape() == out_shape) << Name();
+
+  Tensor grad_input(in_shape);
+  const int row_len = kernel_ * kernel_ * in_channels_;
+  const int64_t rows = static_cast<int64_t>(out_shape.h) * out_shape.w;
+  std::vector<float> grad_columns(static_cast<size_t>(rows * row_len));
+
+  const float* w = weights_.value.data();
+  float* dw = weights_.grad.data();
+  float* db = bias_.grad.data();
+
+  for (int n = 0; n < in_shape.n; ++n) {
+    // Recompute the im2col expansion of this sample (cheaper than caching all
+    // samples' columns across the batch).
+    Im2Col(last_input_.SampleData(n), in_shape.h, in_shape.w, in_channels_, kernel_, stride_,
+           pad_, columns_.data());
+    std::fill(grad_columns.begin(), grad_columns.end(), 0.0f);
+    const float* dout = grad_output.SampleData(n);
+    for (int64_t m = 0; m < rows; ++m) {
+      const float* col_row = columns_.data() + m * row_len;
+      float* dcol_row = grad_columns.data() + m * row_len;
+      const float* dout_row = dout + m * out_channels_;
+      for (int oc = 0; oc < out_channels_; ++oc) {
+        const float g = dout_row[oc];
+        if (g == 0.0f) {
+          continue;
+        }
+        db[oc] += g;
+        Axpy(row_len, g, col_row, dw + static_cast<int64_t>(oc) * row_len);
+        Axpy(row_len, g, w + static_cast<int64_t>(oc) * row_len, dcol_row);
+      }
+    }
+    Col2Im(grad_columns.data(), in_shape.h, in_shape.w, in_channels_, kernel_, stride_, pad_,
+           grad_input.SampleData(n));
+  }
+  return grad_input;
+}
+
+}  // namespace percival

@@ -1,0 +1,55 @@
+// 2-D convolution layer (NHWC, im2col + gemm lowering) with full backprop.
+#ifndef PERCIVAL_SRC_NN_CONV_H_
+#define PERCIVAL_SRC_NN_CONV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/nn/layer.h"
+
+namespace percival {
+
+class Conv2D : public Layer {
+ public:
+  // Creates a kernel x kernel convolution mapping in_channels -> out_channels.
+  // Weights are He-initialized from `rng`; biases start at zero.
+  Conv2D(int in_channels, int out_channels, int kernel, int stride, int pad, Rng& rng,
+         std::string name = "conv");
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override;
+  std::vector<Parameter*> Parameters() override { return {&weights_, &bias_}; }
+  TensorShape OutputShape(const TensorShape& input) const override;
+  int64_t ForwardMacs(const TensorShape& input) const override;
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+  int pad() const { return pad_; }
+
+  // Weight tensor layout: [out_channels, 1, 1, kernel*kernel*in_channels],
+  // with each filter flattened in (kh, kw, c) order to match Im2Col rows.
+  Parameter& weights() { return weights_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int stride_;
+  int pad_;
+  std::string label_;
+  Parameter weights_;
+  Parameter bias_;
+
+  // Cached forward state for backward.
+  Tensor last_input_;
+  std::vector<float> columns_;  // im2col buffer for one sample
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_NN_CONV_H_

@@ -1,0 +1,96 @@
+#include "src/nn/fire.h"
+
+#include <sstream>
+
+#include "src/base/logging.h"
+
+namespace percival {
+
+FireModule::FireModule(int in_channels, int squeeze_channels, int expand_channels, Rng& rng,
+                       std::string name)
+    : squeeze_channels_(squeeze_channels),
+      expand_channels_(expand_channels),
+      label_(std::move(name)),
+      squeeze_(in_channels, squeeze_channels, 1, 1, 0, rng, label_ + ".squeeze"),
+      expand1x1_(squeeze_channels, expand_channels, 1, 1, 0, rng, label_ + ".expand1x1"),
+      expand3x3_(squeeze_channels, expand_channels, 3, 1, 1, rng, label_ + ".expand3x3") {}
+
+std::string FireModule::Name() const {
+  std::ostringstream out;
+  out << label_ << " s" << squeeze_channels_ << " e" << expand_channels_ << "+"
+      << expand_channels_;
+  return out.str();
+}
+
+std::vector<Parameter*> FireModule::Parameters() {
+  std::vector<Parameter*> params;
+  for (Parameter* p : squeeze_.Parameters()) {
+    params.push_back(p);
+  }
+  for (Parameter* p : expand1x1_.Parameters()) {
+    params.push_back(p);
+  }
+  for (Parameter* p : expand3x3_.Parameters()) {
+    params.push_back(p);
+  }
+  return params;
+}
+
+TensorShape FireModule::OutputShape(const TensorShape& input) const {
+  // 1x1 stride-1 and padded-3x3 stride-1 convolutions preserve spatial size.
+  return TensorShape{input.n, input.h, input.w, out_channels()};
+}
+
+int64_t FireModule::ForwardMacs(const TensorShape& input) const {
+  TensorShape squeezed{input.n, input.h, input.w, squeeze_channels_};
+  return squeeze_.ForwardMacs(input) + expand1x1_.ForwardMacs(squeezed) +
+         expand3x3_.ForwardMacs(squeezed);
+}
+
+Tensor FireModule::Forward(const Tensor& input) {
+  Tensor squeezed = squeeze_relu_.Forward(squeeze_.Forward(input));
+  Tensor left = expand1x1_.Forward(squeezed);
+  Tensor right = expand3x3_.Forward(squeezed);
+  PCHECK(left.shape() == right.shape());
+
+  // Concatenate along channels, then apply ReLU over the joined tensor.
+  TensorShape out_shape = OutputShape(input.shape());
+  Tensor joined(out_shape);
+  const int e = expand_channels_;
+  const int64_t pixels = static_cast<int64_t>(out_shape.n) * out_shape.h * out_shape.w;
+  for (int64_t p = 0; p < pixels; ++p) {
+    float* dst = joined.data() + p * 2 * e;
+    const float* l = left.data() + p * e;
+    const float* r = right.data() + p * e;
+    for (int c = 0; c < e; ++c) {
+      dst[c] = l[c];
+      dst[e + c] = r[c];
+    }
+  }
+  return expand_relu_.Forward(joined);
+}
+
+Tensor FireModule::Backward(const Tensor& grad_output) {
+  Tensor grad_joined = expand_relu_.Backward(grad_output);
+
+  const int e = expand_channels_;
+  const TensorShape& shape = grad_joined.shape();
+  Tensor grad_left(shape.n, shape.h, shape.w, e);
+  Tensor grad_right(shape.n, shape.h, shape.w, e);
+  const int64_t pixels = static_cast<int64_t>(shape.n) * shape.h * shape.w;
+  for (int64_t p = 0; p < pixels; ++p) {
+    const float* src = grad_joined.data() + p * 2 * e;
+    float* l = grad_left.data() + p * e;
+    float* r = grad_right.data() + p * e;
+    for (int c = 0; c < e; ++c) {
+      l[c] = src[c];
+      r[c] = src[e + c];
+    }
+  }
+
+  Tensor grad_squeezed = expand1x1_.Backward(grad_left);
+  grad_squeezed.Add(expand3x3_.Backward(grad_right));
+  return squeeze_.Backward(squeeze_relu_.Backward(grad_squeezed));
+}
+
+}  // namespace percival

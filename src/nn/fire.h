@@ -1,0 +1,50 @@
+// SqueezeNet fire module (Iandola et al., reproduced per the paper's Fig. 3).
+//
+// A fire module squeezes the channel count with a 1x1 convolution, then
+// expands it with parallel 1x1 and 3x3 convolutions whose outputs are
+// concatenated along the channel axis.
+#ifndef PERCIVAL_SRC_NN_FIRE_H_
+#define PERCIVAL_SRC_NN_FIRE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/nn/activation.h"
+#include "src/nn/conv.h"
+#include "src/nn/layer.h"
+
+namespace percival {
+
+class FireModule : public Layer {
+ public:
+  // `squeeze_channels` is the 1x1 bottleneck width; each expand branch
+  // produces `expand_channels` channels, so the module output has
+  // 2 * expand_channels channels.
+  FireModule(int in_channels, int squeeze_channels, int expand_channels, Rng& rng,
+             std::string name = "fire");
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override;
+  std::vector<Parameter*> Parameters() override;
+  TensorShape OutputShape(const TensorShape& input) const override;
+  int64_t ForwardMacs(const TensorShape& input) const override;
+
+  int out_channels() const { return 2 * expand_channels_; }
+
+ private:
+  int squeeze_channels_;
+  int expand_channels_;
+  std::string label_;
+  Conv2D squeeze_;
+  Relu squeeze_relu_;
+  Conv2D expand1x1_;
+  Conv2D expand3x3_;
+  Relu expand_relu_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_NN_FIRE_H_

@@ -1,0 +1,58 @@
+// Layer interface for the CNN stack.
+//
+// Layers own their parameters (value + gradient pair) and cache whatever
+// forward-pass state their backward pass needs. The contract is:
+//   output = Forward(input)   — caches input-derived state
+//   dinput = Backward(doutput) — accumulates into parameter grads
+// Backward may only be called after Forward with matching shapes.
+#ifndef PERCIVAL_SRC_NN_LAYER_H_
+#define PERCIVAL_SRC_NN_LAYER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/tensor.h"
+
+namespace percival {
+
+// A trainable weight with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor Forward(const Tensor& input) = 0;
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  // Human-readable layer description, e.g. "conv3x3/2 3->64".
+  virtual std::string Name() const = 0;
+
+  // Mutable views of all trainable parameters (empty for stateless layers).
+  virtual std::vector<Parameter*> Parameters() { return {}; }
+
+  // Output shape for a given input shape, without running the layer.
+  virtual TensorShape OutputShape(const TensorShape& input) const = 0;
+
+  // Multiply-accumulate count of one forward pass for the given input shape.
+  // Used for the Fig. 3 architecture accounting.
+  virtual int64_t ForwardMacs(const TensorShape& input) const { return 0; }
+
+  int64_t ParameterCount() {
+    int64_t total = 0;
+    for (Parameter* p : Parameters()) {
+      total += p->value.size();
+    }
+    return total;
+  }
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_NN_LAYER_H_

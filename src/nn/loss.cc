@@ -1,0 +1,50 @@
+#include "src/nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace percival {
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels) {
+  const int n = logits.shape().n;
+  const int classes = logits.shape().c;
+  PCHECK_EQ(static_cast<size_t>(n), labels.size());
+  PCHECK_EQ(logits.shape().h, 1);
+  PCHECK_EQ(logits.shape().w, 1);
+
+  LossResult result;
+  result.grad_logits = Tensor(logits.shape());
+  double total_loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float* row = logits.SampleData(i);
+    float* grad = result.grad_logits.SampleData(i);
+    const int label = labels[static_cast<size_t>(i)];
+    PCHECK_GE(label, 0);
+    PCHECK_LT(label, classes);
+
+    const float max_value = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (int c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(row[c] - max_value));
+    }
+    int argmax = 0;
+    for (int c = 0; c < classes; ++c) {
+      const double p = std::exp(static_cast<double>(row[c] - max_value)) / denom;
+      grad[c] = static_cast<float>((p - (c == label ? 1.0 : 0.0)) / n);
+      if (row[c] > row[argmax]) {
+        argmax = c;
+      }
+    }
+    if (argmax == label) {
+      ++result.correct;
+    }
+    const double p_label = std::exp(static_cast<double>(row[label] - max_value)) / denom;
+    total_loss += -std::log(std::max(p_label, 1e-12));
+  }
+  result.loss = static_cast<float>(total_loss / n);
+  return result;
+}
+
+}  // namespace percival

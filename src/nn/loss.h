@@ -1,0 +1,23 @@
+// Fused SoftMax + cross-entropy loss for classifier training.
+#ifndef PERCIVAL_SRC_NN_LOSS_H_
+#define PERCIVAL_SRC_NN_LOSS_H_
+
+#include <vector>
+
+#include "src/nn/tensor.h"
+
+namespace percival {
+
+struct LossResult {
+  float loss = 0.0f;         // mean cross-entropy over the batch
+  Tensor grad_logits;        // dLoss/dLogits, already divided by batch size
+  int correct = 0;           // argmax matches label
+};
+
+// `logits` has shape {n, 1, 1, classes}; `labels` holds n class indices.
+// Gradient is the standard (softmax - onehot) / n.
+LossResult SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_NN_LOSS_H_

@@ -1,0 +1,86 @@
+#include "src/nn/network.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "src/base/logging.h"
+
+namespace percival {
+
+Tensor Network::Forward(const Tensor& input) { return ForwardUpTo(input, layers_.size()); }
+
+Tensor Network::ForwardUpTo(const Tensor& input, size_t layer_count) {
+  PCHECK_LE(layer_count, layers_.size());
+  Tensor current = input;
+  for (size_t i = 0; i < layer_count; ++i) {
+    current = layers_[i]->Forward(current);
+  }
+  return current;
+}
+
+Tensor Network::Backward(const Tensor& grad_output) {
+  return BackwardFrom(grad_output, 0);
+}
+
+Tensor Network::BackwardFrom(const Tensor& grad_output, size_t layer_index) {
+  Tensor current = grad_output;
+  for (size_t i = layers_.size(); i > layer_index; --i) {
+    current = layers_[i - 1]->Backward(current);
+  }
+  return current;
+}
+
+std::vector<Parameter*> Network::Parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Parameters()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+void Network::ZeroGrads() {
+  for (Parameter* p : Parameters()) {
+    p->grad.Zero();
+  }
+}
+
+int64_t Network::ParameterCount() {
+  int64_t total = 0;
+  for (auto& layer : layers_) {
+    total += layer->ParameterCount();
+  }
+  return total;
+}
+
+int64_t Network::ForwardMacs(const TensorShape& input) const {
+  int64_t total = 0;
+  TensorShape shape = input;
+  for (const auto& layer : layers_) {
+    total += layer->ForwardMacs(shape);
+    shape = layer->OutputShape(shape);
+  }
+  return total;
+}
+
+TensorShape Network::OutputShape(const TensorShape& input) const {
+  TensorShape shape = input;
+  for (const auto& layer : layers_) {
+    shape = layer->OutputShape(shape);
+  }
+  return shape;
+}
+
+std::string Network::Summary(const TensorShape& input) const {
+  std::ostringstream out;
+  TensorShape shape = input;
+  out << "input " << shape.ToString() << "\n";
+  for (const auto& layer : layers_) {
+    shape = layer->OutputShape(shape);
+    out << std::left << std::setw(36) << layer->Name() << " -> " << shape.ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace percival

@@ -1,0 +1,71 @@
+// Sequential network container.
+#ifndef PERCIVAL_SRC_NN_NETWORK_H_
+#define PERCIVAL_SRC_NN_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/layer.h"
+
+namespace percival {
+
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  // Appends a layer; returns a reference to it for further configuration.
+  template <typename LayerType, typename... Args>
+  LayerType& Add(Args&&... args) {
+    auto layer = std::make_unique<LayerType>(std::forward<Args>(args)...);
+    LayerType& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void AddLayer(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  // Runs all layers in order.
+  Tensor Forward(const Tensor& input);
+
+  // Runs a forward pass but stops after `layer_count` layers; used by
+  // Grad-CAM to obtain intermediate feature maps.
+  Tensor ForwardUpTo(const Tensor& input, size_t layer_count);
+
+  // Propagates `grad_output` back through all layers, accumulating parameter
+  // gradients; returns the gradient w.r.t. the network input.
+  Tensor Backward(const Tensor& grad_output);
+
+  // Backward through the tail of the network only, starting after layer
+  // `layer_index` (i.e. the complement of ForwardUpTo). Grad-CAM support.
+  Tensor BackwardFrom(const Tensor& grad_output, size_t layer_index);
+
+  std::vector<Parameter*> Parameters();
+  void ZeroGrads();
+
+  int64_t ParameterCount();
+  // Model size in bytes assuming float32 storage.
+  int64_t ModelBytes() { return ParameterCount() * static_cast<int64_t>(sizeof(float)); }
+
+  // Total forward multiply-accumulates for the given input shape.
+  int64_t ForwardMacs(const TensorShape& input) const;
+
+  // Final output shape for the given input shape.
+  TensorShape OutputShape(const TensorShape& input) const;
+
+  size_t LayerCount() const { return layers_.size(); }
+  Layer& layer(size_t i) { return *layers_[i]; }
+  const Layer& layer(size_t i) const { return *layers_[i]; }
+
+  // Multi-line human-readable summary (layer name, output shape, params).
+  std::string Summary(const TensorShape& input) const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_NN_NETWORK_H_

@@ -1,0 +1,97 @@
+#include "src/nn/ops.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace percival {
+
+int ConvOutputSize(int size, int kernel, int stride, int pad) {
+  int padded = size + 2 * pad - kernel;
+  PCHECK_GE(padded, 0) << "window " << kernel << " larger than padded input " << size;
+  return padded / stride + 1;
+}
+
+void Im2Col(const float* input, int height, int width, int channels, int kernel, int stride,
+            int pad, float* columns) {
+  const int out_h = ConvOutputSize(height, kernel, stride, pad);
+  const int out_w = ConvOutputSize(width, kernel, stride, pad);
+  const int row_len = kernel * kernel * channels;
+  for (int oh = 0; oh < out_h; ++oh) {
+    for (int ow = 0; ow < out_w; ++ow) {
+      float* row = columns + (static_cast<int64_t>(oh) * out_w + ow) * row_len;
+      for (int kh = 0; kh < kernel; ++kh) {
+        const int ih = oh * stride + kh - pad;
+        float* dst = row + kh * kernel * channels;
+        if (ih < 0 || ih >= height) {
+          std::memset(dst, 0, sizeof(float) * static_cast<size_t>(kernel) * channels);
+          continue;
+        }
+        for (int kw = 0; kw < kernel; ++kw) {
+          const int iw = ow * stride + kw - pad;
+          if (iw < 0 || iw >= width) {
+            std::memset(dst + kw * channels, 0, sizeof(float) * static_cast<size_t>(channels));
+          } else {
+            const float* src = input + (static_cast<int64_t>(ih) * width + iw) * channels;
+            std::memcpy(dst + kw * channels, src, sizeof(float) * static_cast<size_t>(channels));
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const float* columns, int height, int width, int channels, int kernel, int stride,
+            int pad, float* input_grad) {
+  const int out_h = ConvOutputSize(height, kernel, stride, pad);
+  const int out_w = ConvOutputSize(width, kernel, stride, pad);
+  const int row_len = kernel * kernel * channels;
+  for (int oh = 0; oh < out_h; ++oh) {
+    for (int ow = 0; ow < out_w; ++ow) {
+      const float* row = columns + (static_cast<int64_t>(oh) * out_w + ow) * row_len;
+      for (int kh = 0; kh < kernel; ++kh) {
+        const int ih = oh * stride + kh - pad;
+        if (ih < 0 || ih >= height) {
+          continue;
+        }
+        for (int kw = 0; kw < kernel; ++kw) {
+          const int iw = ow * stride + kw - pad;
+          if (iw < 0 || iw >= width) {
+            continue;
+          }
+          float* dst = input_grad + (static_cast<int64_t>(ih) * width + iw) * channels;
+          const float* src = row + (kh * kernel + kw) * channels;
+          for (int c = 0; c < channels; ++c) {
+            dst[c] += src[c];
+          }
+        }
+      }
+    }
+  }
+}
+
+void Axpy(int64_t n, float a, const float* src, float* dst) {
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i] += a * src[i];
+  }
+}
+
+float Dot(int64_t n, const float* a, const float* b) {
+  float acc0 = 0.0f;
+  float acc1 = 0.0f;
+  float acc2 = 0.0f;
+  float acc3 = 0.0f;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) {
+    acc0 += a[i] * b[i];
+  }
+  return acc0 + acc1 + acc2 + acc3;
+}
+
+}  // namespace percival

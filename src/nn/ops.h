@@ -1,0 +1,35 @@
+// Low-level numeric kernels: im2col / col2im and small dot-product helpers.
+//
+// Convolutions are lowered to matrix products over im2col buffers. Weight
+// rows and column rows are both contiguous, so the inner loops are plain
+// dot-products / axpy over contiguous memory.
+#ifndef PERCIVAL_SRC_NN_OPS_H_
+#define PERCIVAL_SRC_NN_OPS_H_
+
+#include <cstdint>
+
+namespace percival {
+
+// Computes the output spatial size of a convolution/pool window.
+// Requires (size + 2*pad - kernel) to be non-negative.
+int ConvOutputSize(int size, int kernel, int stride, int pad);
+
+// Expands one NHWC sample (h, w, c) into a column matrix of shape
+// [out_h*out_w, kernel*kernel*c]; out-of-bounds taps are zero.
+void Im2Col(const float* input, int height, int width, int channels, int kernel, int stride,
+            int pad, float* columns);
+
+// Scatter-adds a column matrix back into an NHWC sample (inverse of Im2Col).
+// `input_grad` must be pre-zeroed by the caller.
+void Col2Im(const float* columns, int height, int width, int channels, int kernel, int stride,
+            int pad, float* input_grad);
+
+// dst[i] += a * src[i] for i < n.
+void Axpy(int64_t n, float a, const float* src, float* dst);
+
+// Returns the dot product of two length-n contiguous vectors.
+float Dot(int64_t n, const float* a, const float* b);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_NN_OPS_H_

@@ -1,0 +1,53 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace percival {
+
+SgdOptimizer::SgdOptimizer(std::vector<Parameter*> params, const SgdConfig& config)
+    : params_(std::move(params)), config_(config), learning_rate_(config.learning_rate) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void SgdOptimizer::Step() {
+  float scale = 1.0f;
+  if (config_.max_grad_norm > 0.0f) {
+    double norm_sq = 0.0;
+    for (Parameter* p : params_) {
+      for (int64_t j = 0; j < p->grad.size(); ++j) {
+        norm_sq += static_cast<double>(p->grad[j]) * p->grad[j];
+      }
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.max_grad_norm) {
+      scale = static_cast<float>(config_.max_grad_norm / norm);
+    }
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    Tensor& v = velocity_[i];
+    PCHECK_EQ(p->value.size(), p->grad.size());
+    for (int64_t j = 0; j < p->value.size(); ++j) {
+      float g = p->grad[j] * scale;
+      if (config_.weight_decay > 0.0f) {
+        g += config_.weight_decay * p->value[j];
+      }
+      v[j] = config_.momentum * v[j] - learning_rate_ * g;
+      p->value[j] += v[j];
+    }
+  }
+}
+
+void SgdOptimizer::EndEpoch() {
+  ++epoch_;
+  if (config_.lr_decay_every_epochs > 0 && epoch_ % config_.lr_decay_every_epochs == 0) {
+    learning_rate_ *= config_.lr_decay_factor;
+  }
+}
+
+}  // namespace percival

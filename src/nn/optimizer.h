@@ -1,0 +1,48 @@
+// SGD with momentum and step learning-rate decay — exactly the training
+// configuration reported in the paper (§4.3): momentum 0.9, lr 0.001,
+// decay x0.1 every 30 epochs.
+#ifndef PERCIVAL_SRC_NN_OPTIMIZER_H_
+#define PERCIVAL_SRC_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/nn/layer.h"
+
+namespace percival {
+
+struct SgdConfig {
+  float learning_rate = 0.001f;
+  float momentum = 0.9f;
+  float lr_decay_factor = 0.1f;
+  int lr_decay_every_epochs = 30;
+  float weight_decay = 0.0f;
+  // Global gradient-norm clip applied before each step; <= 0 disables.
+  // Stabilizes the narrow fire-module bottlenecks against exploding steps.
+  float max_grad_norm = 5.0f;
+};
+
+class SgdOptimizer {
+ public:
+  SgdOptimizer(std::vector<Parameter*> params, const SgdConfig& config);
+
+  // Applies one update from the currently accumulated gradients, then leaves
+  // the gradients untouched (caller zeroes them).
+  void Step();
+
+  // Signals the end of an epoch (drives step decay).
+  void EndEpoch();
+
+  float current_learning_rate() const { return learning_rate_; }
+  int epoch() const { return epoch_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig config_;
+  float learning_rate_;
+  int epoch_ = 0;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_NN_OPTIMIZER_H_

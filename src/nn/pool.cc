@@ -1,0 +1,116 @@
+#include "src/nn/pool.h"
+
+#include <limits>
+#include <sstream>
+
+#include "src/base/logging.h"
+#include "src/nn/ops.h"
+
+namespace percival {
+
+MaxPool2D::MaxPool2D(int kernel, int stride) : kernel_(kernel), stride_(stride) {
+  PCHECK_GT(kernel, 0);
+  PCHECK_GT(stride, 0);
+}
+
+std::string MaxPool2D::Name() const {
+  std::ostringstream out;
+  out << "maxpool" << kernel_ << "x" << kernel_ << "/" << stride_;
+  return out.str();
+}
+
+TensorShape MaxPool2D::OutputShape(const TensorShape& input) const {
+  return TensorShape{input.n, ConvOutputSize(input.h, kernel_, stride_, 0),
+                     ConvOutputSize(input.w, kernel_, stride_, 0), input.c};
+}
+
+Tensor MaxPool2D::Forward(const Tensor& input) {
+  input_shape_ = input.shape();
+  const TensorShape out_shape = OutputShape(input_shape_);
+  Tensor output(out_shape);
+  argmax_.assign(static_cast<size_t>(out_shape.Elements()), 0);
+
+  const int channels = input_shape_.c;
+  int64_t out_index = 0;
+  for (int n = 0; n < out_shape.n; ++n) {
+    const float* in = input.SampleData(n);
+    const int64_t sample_base = static_cast<int64_t>(n) * input.SampleElements();
+    for (int oh = 0; oh < out_shape.h; ++oh) {
+      for (int ow = 0; ow < out_shape.w; ++ow) {
+        for (int c = 0; c < channels; ++c) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_index = 0;
+          for (int kh = 0; kh < kernel_; ++kh) {
+            const int ih = oh * stride_ + kh;
+            if (ih >= input_shape_.h) {
+              continue;
+            }
+            for (int kw = 0; kw < kernel_; ++kw) {
+              const int iw = ow * stride_ + kw;
+              if (iw >= input_shape_.w) {
+                continue;
+              }
+              const int64_t idx = (static_cast<int64_t>(ih) * input_shape_.w + iw) * channels + c;
+              if (in[idx] > best) {
+                best = in[idx];
+                best_index = idx;
+              }
+            }
+          }
+          output[out_index] = best;
+          argmax_[static_cast<size_t>(out_index)] = sample_base + best_index;
+          ++out_index;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor MaxPool2D::Backward(const Tensor& grad_output) {
+  Tensor grad_input(input_shape_);
+  for (int64_t i = 0; i < grad_output.size(); ++i) {
+    grad_input[argmax_[static_cast<size_t>(i)]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+Tensor GlobalAvgPool::Forward(const Tensor& input) {
+  input_shape_ = input.shape();
+  Tensor output(input_shape_.n, 1, 1, input_shape_.c);
+  const int64_t plane = static_cast<int64_t>(input_shape_.h) * input_shape_.w;
+  PCHECK_GT(plane, 0);
+  for (int n = 0; n < input_shape_.n; ++n) {
+    const float* in = input.SampleData(n);
+    float* out = output.SampleData(n);
+    for (int64_t p = 0; p < plane; ++p) {
+      const float* row = in + p * input_shape_.c;
+      for (int c = 0; c < input_shape_.c; ++c) {
+        out[c] += row[c];
+      }
+    }
+    for (int c = 0; c < input_shape_.c; ++c) {
+      out[c] /= static_cast<float>(plane);
+    }
+  }
+  return output;
+}
+
+Tensor GlobalAvgPool::Backward(const Tensor& grad_output) {
+  Tensor grad_input(input_shape_);
+  const int64_t plane = static_cast<int64_t>(input_shape_.h) * input_shape_.w;
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (int n = 0; n < input_shape_.n; ++n) {
+    const float* dout = grad_output.SampleData(n);
+    float* din = grad_input.SampleData(n);
+    for (int64_t p = 0; p < plane; ++p) {
+      float* row = din + p * input_shape_.c;
+      for (int c = 0; c < input_shape_.c; ++c) {
+        row[c] = dout[c] * inv;
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace percival

@@ -1,0 +1,45 @@
+// Pooling layers: max pooling and global average pooling.
+#ifndef PERCIVAL_SRC_NN_POOL_H_
+#define PERCIVAL_SRC_NN_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nn/layer.h"
+
+namespace percival {
+
+class MaxPool2D : public Layer {
+ public:
+  MaxPool2D(int kernel, int stride);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override;
+  TensorShape OutputShape(const TensorShape& input) const override;
+
+ private:
+  int kernel_;
+  int stride_;
+  TensorShape input_shape_;
+  std::vector<int64_t> argmax_;  // flat input index of each output element
+};
+
+// Collapses each (h, w) plane to a single value: the paper's final
+// global-average-pool before SoftMax (Fig. 3).
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "global_avgpool"; }
+  TensorShape OutputShape(const TensorShape& input) const override {
+    return TensorShape{input.n, 1, 1, input.c};
+  }
+
+ private:
+  TensorShape input_shape_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_NN_POOL_H_

@@ -1,0 +1,145 @@
+#include "src/nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/base/logging.h"
+
+namespace percival {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'C', 'V', 'W'};
+constexpr uint32_t kVersion = 1;
+
+void AppendRaw(std::vector<uint8_t>& out, const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  out.insert(out.end(), bytes, bytes + size);
+}
+
+template <typename T>
+void AppendValue(std::vector<uint8_t>& out, const T& value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
+void AppendString(std::vector<uint8_t>& out, const std::string& text) {
+  AppendValue(out, static_cast<uint32_t>(text.size()));
+  AppendRaw(out, text.data(), text.size());
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool ReadRaw(void* dst, size_t size) {
+    if (pos_ + size > bytes_.size()) {
+      return false;
+    }
+    std::memcpy(dst, bytes_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  template <typename T>
+  bool ReadValue(T* value) {
+    return ReadRaw(value, sizeof(T));
+  }
+
+  bool ReadString(std::string* text) {
+    uint32_t size = 0;
+    if (!ReadValue(&size) || pos_ + size > bytes_.size()) {
+      return false;
+    }
+    text->assign(reinterpret_cast<const char*>(bytes_.data() + pos_), size);
+    pos_ += size;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> SerializeWeights(Network& net) {
+  std::vector<uint8_t> out;
+  AppendRaw(out, kMagic, sizeof(kMagic));
+  AppendValue(out, kVersion);
+  std::vector<Parameter*> params = net.Parameters();
+  AppendValue(out, static_cast<uint32_t>(params.size()));
+  for (Parameter* p : params) {
+    AppendString(out, p->name);
+    const TensorShape& s = p->value.shape();
+    AppendValue(out, s.n);
+    AppendValue(out, s.h);
+    AppendValue(out, s.w);
+    AppendValue(out, s.c);
+    AppendRaw(out, p->value.data(), sizeof(float) * static_cast<size_t>(p->value.size()));
+  }
+  return out;
+}
+
+bool DeserializeWeights(Network& net, const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  char magic[4];
+  uint32_t version = 0;
+  uint32_t count = 0;
+  if (!reader.ReadRaw(magic, sizeof(magic)) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return false;
+  }
+  if (!reader.ReadValue(&version) || version != kVersion) {
+    return false;
+  }
+  std::vector<Parameter*> params = net.Parameters();
+  if (!reader.ReadValue(&count) || count != params.size()) {
+    return false;
+  }
+  for (Parameter* p : params) {
+    std::string name;
+    TensorShape shape;
+    if (!reader.ReadString(&name) || name != p->name) {
+      return false;
+    }
+    if (!reader.ReadValue(&shape.n) || !reader.ReadValue(&shape.h) ||
+        !reader.ReadValue(&shape.w) || !reader.ReadValue(&shape.c)) {
+      return false;
+    }
+    if (!(shape == p->value.shape())) {
+      return false;
+    }
+    if (!reader.ReadRaw(p->value.data(), sizeof(float) * static_cast<size_t>(p->value.size()))) {
+      return false;
+    }
+  }
+  return reader.AtEnd();
+}
+
+bool SaveWeightsToFile(Network& net, const std::string& path) {
+  std::vector<uint8_t> bytes = SerializeWeights(net);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+bool LoadWeightsFromFile(Network& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return false;
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (!in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    return false;
+  }
+  return DeserializeWeights(net, bytes);
+}
+
+}  // namespace percival

@@ -1,0 +1,29 @@
+// Binary weight serialization.
+//
+// Format: magic "PCVW", version, parameter count, then for each parameter its
+// name, shape, and raw float32 data. Loading validates names and shapes
+// against the destination network, so a profile mismatch fails loudly.
+#ifndef PERCIVAL_SRC_NN_SERIALIZE_H_
+#define PERCIVAL_SRC_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nn/network.h"
+
+namespace percival {
+
+// Serializes all parameters of `net` into a byte buffer.
+std::vector<uint8_t> SerializeWeights(Network& net);
+
+// Restores parameters into `net`. Returns false (leaving `net` unspecified)
+// on any structural mismatch or truncation.
+bool DeserializeWeights(Network& net, const std::vector<uint8_t>& bytes);
+
+// File helpers. Return false on I/O failure.
+bool SaveWeightsToFile(Network& net, const std::string& path);
+bool LoadWeightsFromFile(Network& net, const std::string& path);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_NN_SERIALIZE_H_

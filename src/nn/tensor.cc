@@ -1,0 +1,87 @@
+#include "src/nn/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/base/logging.h"
+
+namespace percival {
+
+std::string TensorShape::ToString() const {
+  std::ostringstream out;
+  out << "[" << n << ", " << h << ", " << w << ", " << c << "]";
+  return out.str();
+}
+
+Tensor::Tensor(const TensorShape& shape) : shape_(shape) {
+  PCHECK_GE(shape.n, 0);
+  PCHECK_GE(shape.h, 0);
+  PCHECK_GE(shape.w, 0);
+  PCHECK_GE(shape.c, 0);
+  data_.assign(static_cast<size_t>(shape.Elements()), 0.0f);
+}
+
+Tensor::Tensor(int n, int h, int w, int c) : Tensor(TensorShape{n, h, w, c}) {}
+
+float& Tensor::at(int n, int h, int w, int c) {
+  return data_[static_cast<size_t>(((static_cast<int64_t>(n) * shape_.h + h) * shape_.w + w) *
+                                       shape_.c +
+                                   c)];
+}
+
+float Tensor::at(int n, int h, int w, int c) const {
+  return data_[static_cast<size_t>(((static_cast<int64_t>(n) * shape_.h + h) * shape_.w + w) *
+                                       shape_.c +
+                                   c)];
+}
+
+float* Tensor::SampleData(int n) { return data_.data() + n * SampleElements(); }
+
+const float* Tensor::SampleData(int n) const { return data_.data() + n * SampleElements(); }
+
+void Tensor::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::Reshape(const TensorShape& shape) {
+  PCHECK_EQ(shape.Elements(), shape_.Elements())
+      << "reshape " << shape_.ToString() << " -> " << shape.ToString();
+  shape_ = shape;
+}
+
+void Tensor::Add(const Tensor& other) {
+  PCHECK_EQ(size(), other.size());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+}
+
+void Tensor::Scale(float factor) {
+  for (float& v : data_) {
+    v *= factor;
+  }
+}
+
+int Tensor::ArgMaxInSample(int n) const {
+  const float* begin = SampleData(n);
+  const float* end = begin + SampleElements();
+  return static_cast<int>(std::max_element(begin, end) - begin);
+}
+
+float Tensor::Sum() const {
+  double total = 0.0;
+  for (float v : data_) {
+    total += v;
+  }
+  return static_cast<float>(total);
+}
+
+float Tensor::Min() const {
+  PCHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::Max() const {
+  PCHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+}  // namespace percival

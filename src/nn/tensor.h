@@ -1,0 +1,79 @@
+// A dense float tensor in NHWC layout.
+//
+// This is the single numeric container used by the whole CNN stack: feature
+// maps, weights, gradients. Layout is row-major (n, h, w, c) with `c` fastest,
+// matching the im2col/gemm kernels in ops.cc.
+#ifndef PERCIVAL_SRC_NN_TENSOR_H_
+#define PERCIVAL_SRC_NN_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace percival {
+
+// Shape of a 4-D tensor. For 2-D data (e.g. logits) use {n, 1, 1, c}.
+struct TensorShape {
+  int n = 0;
+  int h = 0;
+  int w = 0;
+  int c = 0;
+
+  int64_t Elements() const {
+    return static_cast<int64_t>(n) * h * w * c;
+  }
+  bool operator==(const TensorShape& other) const = default;
+  std::string ToString() const;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(const TensorShape& shape);
+  Tensor(int n, int h, int w, int c);
+
+  const TensorShape& shape() const { return shape_; }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int n, int h, int w, int c);
+  float at(int n, int h, int w, int c) const;
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  // Pointer to the start of sample `n`'s (h, w, c) block.
+  float* SampleData(int n);
+  const float* SampleData(int n) const;
+  int64_t SampleElements() const { return static_cast<int64_t>(shape_.h) * shape_.w * shape_.c; }
+
+  void Fill(float value);
+  void Zero() { Fill(0.0f); }
+
+  // Reinterprets the buffer with a new shape of identical element count.
+  void Reshape(const TensorShape& shape);
+
+  // Elementwise helpers used by the optimizer.
+  void Add(const Tensor& other);
+  void Scale(float factor);
+
+  // Returns the index of the maximum element within sample n's flattened
+  // (h*w*c) block — used for classification argmax.
+  int ArgMaxInSample(int n) const;
+
+  // Sum / min / max over all elements (diagnostics and tests).
+  float Sum() const;
+  float Min() const;
+  float Max() const;
+
+ private:
+  TensorShape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_NN_TENSOR_H_

@@ -1,0 +1,71 @@
+#include "src/renderer/display_list.h"
+
+#include <cstdlib>
+
+namespace percival {
+
+namespace {
+
+Color ParseColorAttr(const std::string& value, Color fallback) {
+  // Format: "#RRGGBB".
+  if (value.size() != 7 || value[0] != '#') {
+    return fallback;
+  }
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') {
+      return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+      return c - 'a' + 10;
+    }
+    if (c >= 'A' && c <= 'F') {
+      return c - 'A' + 10;
+    }
+    return 0;
+  };
+  return Color{static_cast<uint8_t>(hex(value[1]) * 16 + hex(value[2])),
+               static_cast<uint8_t>(hex(value[3]) * 16 + hex(value[4])),
+               static_cast<uint8_t>(hex(value[5]) * 16 + hex(value[6])), 255};
+}
+
+void EmitItems(const LayoutBox& box, DisplayList& items) {
+  const DomNode* node = box.node;
+  if (node != nullptr && !node->hidden_by_filter) {
+    if (node->HasAttr("bg")) {
+      items.push_back(DisplayItem{DisplayItemKind::kColorRect, box.rect,
+                                  ParseColorAttr(node->GetAttr("bg"), Color{255, 255, 255, 255}),
+                                  "", false});
+    }
+    if (node->HasAttr("bgimg")) {
+      DisplayItem item;
+      item.kind = DisplayItemKind::kImage;
+      item.rect = box.rect;
+      item.image_url = node->GetAttr("bgimg");
+      items.push_back(item);
+    }
+    if (node->tag() == "img" && node->HasAttr("src")) {
+      DisplayItem item;
+      item.kind = DisplayItemKind::kImage;
+      item.rect = box.rect;
+      item.image_url = node->GetAttr("src");
+      items.push_back(item);
+    }
+    if (node->tag() == "#text") {
+      items.push_back(
+          DisplayItem{DisplayItemKind::kTextBlock, box.rect, Color{40, 40, 40, 255}, "", false});
+    }
+  }
+  for (const auto& child : box.children) {
+    EmitItems(*child, items);
+  }
+}
+
+}  // namespace
+
+DisplayList BuildDisplayList(const LayoutBox& root) {
+  DisplayList items;
+  EmitItems(root, items);
+  return items;
+}
+
+}  // namespace percival

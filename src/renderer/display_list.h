@@ -1,0 +1,39 @@
+// Display list: the draw commands produced from DOM + layout (§2.1:
+// "the display-list includes commands to draw the elements on the screen").
+#ifndef PERCIVAL_SRC_RENDERER_DISPLAY_LIST_H_
+#define PERCIVAL_SRC_RENDERER_DISPLAY_LIST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/img/bitmap.h"
+#include "src/img/draw.h"
+#include "src/renderer/layout.h"
+
+namespace percival {
+
+enum class DisplayItemKind {
+  kColorRect,   // solid background fill
+  kImage,       // decoded-at-raster-time image (img tag, CSS background, JS)
+  kTextBlock,   // text placeholder block
+};
+
+struct DisplayItem {
+  DisplayItemKind kind = DisplayItemKind::kColorRect;
+  Rect rect;
+  Color color;                // kColorRect / kTextBlock ink color
+  std::string image_url;      // kImage: resource to decode
+  bool image_is_ad = false;   // ground-truth passthrough for evaluation
+};
+
+using DisplayList = std::vector<DisplayItem>;
+
+// Walks the layout tree and emits draw commands. Image elements reference
+// their `src` attribute; elements with `bg` attributes emit color fills;
+// `bgimg` attributes emit CSS-background image items (same decode path as
+// img tags — the choke-point property the paper relies on).
+DisplayList BuildDisplayList(const LayoutBox& root);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_RENDERER_DISPLAY_LIST_H_

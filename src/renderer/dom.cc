@@ -1,0 +1,67 @@
+#include "src/renderer/dom.h"
+
+#include <cstdlib>
+
+namespace percival {
+
+std::string DomNode::GetAttr(const std::string& name) const {
+  auto it = attrs_.find(name);
+  return it == attrs_.end() ? "" : it->second;
+}
+
+int DomNode::GetIntAttr(const std::string& name, int fallback) const {
+  auto it = attrs_.find(name);
+  if (it == attrs_.end() || it->second.empty()) {
+    return fallback;
+  }
+  return std::atoi(it->second.c_str());
+}
+
+DomNode* DomNode::AddChild(std::unique_ptr<DomNode> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+void DomNode::Visit(const std::function<void(DomNode&)>& fn) {
+  fn(*this);
+  for (auto& child : children_) {
+    child->Visit(fn);
+  }
+}
+
+void DomNode::Visit(const std::function<void(const DomNode&)>& fn) const {
+  fn(*this);
+  for (const auto& child : children_) {
+    static_cast<const DomNode&>(*child).Visit(fn);
+  }
+}
+
+int DomNode::SubtreeSize() const {
+  int count = 1;
+  for (const auto& child : children_) {
+    count += child->SubtreeSize();
+  }
+  return count;
+}
+
+ElementDescriptor DomNode::Descriptor() const {
+  ElementDescriptor descriptor;
+  descriptor.tag = tag_;
+  descriptor.id = GetAttr("id");
+  const std::string class_attr = GetAttr("class");
+  size_t start = 0;
+  while (start < class_attr.size()) {
+    size_t end = class_attr.find(' ', start);
+    if (end == std::string::npos) {
+      end = class_attr.size();
+    }
+    if (end > start) {
+      descriptor.classes.push_back(class_attr.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return descriptor;
+}
+
+}  // namespace percival

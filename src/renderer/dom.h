@@ -1,0 +1,59 @@
+// DOM tree — the renderer's first intermediate representation (§2.1).
+#ifndef PERCIVAL_SRC_RENDERER_DOM_H_
+#define PERCIVAL_SRC_RENDERER_DOM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/filter/cosmetic.h"
+
+namespace percival {
+
+class DomNode {
+ public:
+  explicit DomNode(std::string tag) : tag_(std::move(tag)) {}
+
+  const std::string& tag() const { return tag_; }
+
+  // Attribute access. Missing attributes read as "" / fallback.
+  void SetAttr(const std::string& name, const std::string& value) { attrs_[name] = value; }
+  std::string GetAttr(const std::string& name) const;
+  int GetIntAttr(const std::string& name, int fallback) const;
+  bool HasAttr(const std::string& name) const { return attrs_.count(name) > 0; }
+
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  DomNode* AddChild(std::unique_ptr<DomNode> child);
+  const std::vector<std::unique_ptr<DomNode>>& children() const { return children_; }
+  DomNode* parent() const { return parent_; }
+
+  // Pre-order traversal over this node and all descendants.
+  void Visit(const std::function<void(DomNode&)>& fn);
+  void Visit(const std::function<void(const DomNode&)>& fn) const;
+
+  // Total node count in this subtree (resource-exhaustion experiments).
+  int SubtreeSize() const;
+
+  // Element descriptor for cosmetic-rule matching.
+  ElementDescriptor Descriptor() const;
+
+  // Marks set by the render pipeline.
+  bool hidden_by_filter = false;
+
+ private:
+  std::string tag_;
+  std::map<std::string, std::string> attrs_;
+  std::string text_;
+  DomNode* parent_ = nullptr;
+  std::vector<std::unique_ptr<DomNode>> children_;
+};
+
+using DomTree = std::unique_ptr<DomNode>;
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_RENDERER_DOM_H_

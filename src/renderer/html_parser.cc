@@ -1,0 +1,140 @@
+#include "src/renderer/html_parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace percival {
+
+namespace {
+
+const char* const kVoidTags[] = {"img", "br", "hr", "input", "meta", "link"};
+
+bool IsVoidTag(const std::string& tag) {
+  for (const char* v : kVoidTags) {
+    if (tag == v) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ToLower(std::string text) {
+  for (char& c : text) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return text;
+}
+
+}  // namespace
+
+DomTree ParseHtml(const std::string& html) {
+  auto root = std::make_unique<DomNode>("document");
+  std::vector<DomNode*> stack = {root.get()};
+
+  size_t pos = 0;
+  while (pos < html.size()) {
+    if (html[pos] != '<') {
+      // Text run up to the next tag.
+      size_t end = html.find('<', pos);
+      if (end == std::string::npos) {
+        end = html.size();
+      }
+      std::string text = html.substr(pos, end - pos);
+      // Keep only non-whitespace text.
+      if (text.find_first_not_of(" \t\r\n") != std::string::npos) {
+        auto text_node = std::make_unique<DomNode>("#text");
+        text_node->set_text(text);
+        stack.back()->AddChild(std::move(text_node));
+      }
+      pos = end;
+      continue;
+    }
+    size_t close = html.find('>', pos);
+    if (close == std::string::npos) {
+      break;  // Truncated tag: drop the remainder.
+    }
+    std::string inner = html.substr(pos + 1, close - pos - 1);
+    pos = close + 1;
+    if (inner.empty()) {
+      continue;
+    }
+    if (inner[0] == '!') {
+      continue;  // Comment / doctype.
+    }
+    if (inner[0] == '/') {
+      // Close tag: pop to the matching open tag if present.
+      const std::string tag = ToLower(inner.substr(1));
+      for (size_t i = stack.size(); i > 1; --i) {
+        if (stack[i - 1]->tag() == tag) {
+          stack.resize(i - 1);
+          break;
+        }
+      }
+      continue;
+    }
+    bool self_closing = false;
+    if (!inner.empty() && inner.back() == '/') {
+      self_closing = true;
+      inner.pop_back();
+    }
+    // Tag name.
+    size_t name_end = 0;
+    while (name_end < inner.size() &&
+           !std::isspace(static_cast<unsigned char>(inner[name_end]))) {
+      ++name_end;
+    }
+    const std::string tag = ToLower(inner.substr(0, name_end));
+    auto node = std::make_unique<DomNode>(tag);
+    // Attributes: name="value" or bare name.
+    size_t apos = name_end;
+    while (apos < inner.size()) {
+      while (apos < inner.size() && std::isspace(static_cast<unsigned char>(inner[apos]))) {
+        ++apos;
+      }
+      if (apos >= inner.size()) {
+        break;
+      }
+      size_t eq = apos;
+      while (eq < inner.size() && inner[eq] != '=' &&
+             !std::isspace(static_cast<unsigned char>(inner[eq]))) {
+        ++eq;
+      }
+      const std::string name = ToLower(inner.substr(apos, eq - apos));
+      if (eq >= inner.size() || inner[eq] != '=') {
+        if (!name.empty()) {
+          node->SetAttr(name, "");
+        }
+        apos = eq;
+        continue;
+      }
+      size_t vstart = eq + 1;
+      std::string value;
+      if (vstart < inner.size() && (inner[vstart] == '"' || inner[vstart] == '\'')) {
+        const char quote = inner[vstart];
+        size_t vend = inner.find(quote, vstart + 1);
+        if (vend == std::string::npos) {
+          vend = inner.size();
+        }
+        value = inner.substr(vstart + 1, vend - vstart - 1);
+        apos = vend + 1;
+      } else {
+        size_t vend = vstart;
+        while (vend < inner.size() && !std::isspace(static_cast<unsigned char>(inner[vend]))) {
+          ++vend;
+        }
+        value = inner.substr(vstart, vend - vstart);
+        apos = vend;
+      }
+      if (!name.empty()) {
+        node->SetAttr(name, value);
+      }
+    }
+    DomNode* added = stack.back()->AddChild(std::move(node));
+    if (!self_closing && !IsVoidTag(tag)) {
+      stack.push_back(added);
+    }
+  }
+  return root;
+}
+
+}  // namespace percival

@@ -1,0 +1,19 @@
+// Small HTML parser: tags with attributes, nesting, text, self-closing
+// elements. Covers the synthetic-web grammar produced by src/webgen.
+#ifndef PERCIVAL_SRC_RENDERER_HTML_PARSER_H_
+#define PERCIVAL_SRC_RENDERER_HTML_PARSER_H_
+
+#include <string>
+
+#include "src/renderer/dom.h"
+
+namespace percival {
+
+// Parses an HTML document into a DOM tree rooted at a synthetic "document"
+// node. Unknown constructs degrade gracefully (malformed tags become text;
+// stray close tags are ignored), mirroring browser error tolerance.
+DomTree ParseHtml(const std::string& html);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_RENDERER_HTML_PARSER_H_

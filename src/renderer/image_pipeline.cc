@@ -1,0 +1,74 @@
+#include "src/renderer/image_pipeline.h"
+
+#include "src/base/stopwatch.h"
+
+namespace percival {
+
+DeferredImageDecoder::DeferredImageDecoder(std::string url, std::vector<uint8_t> encoded_bytes)
+    : url_(std::move(url)), encoded_bytes_(std::move(encoded_bytes)) {}
+
+const DecodedImage& DeferredImageDecoder::DecodeOnce(ImageInterceptor* interceptor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (decoded_) {
+    return result_;
+  }
+  Stopwatch decode_timer;
+  std::optional<std::vector<Bitmap>> frames = DecodeAllFrames(encoded_bytes_);
+  result_.decode_cpu_ms = decode_timer.ElapsedMs();
+  if (!frames) {
+    result_.decode_failed = true;
+    decoded_ = true;
+    return result_;
+  }
+  result_.frames = std::move(*frames);
+  if (interceptor != nullptr) {
+    Stopwatch classify_timer;
+    for (Bitmap& frame : result_.frames) {
+      // This is the paper's choke point: the interceptor sees the decoded,
+      // unmodified pixel buffer of every frame and may clear it (§3.3).
+      if (interceptor->OnDecodedFrame(frame.info(), frame, url_)) {
+        frame.Clear(Color{255, 255, 255, 0});
+        ++result_.frames_blocked;
+      }
+    }
+    result_.classify_cpu_ms = classify_timer.ElapsedMs();
+  }
+  decoded_ = true;
+  return result_;
+}
+
+void ImageDecodeCache::Register(const std::string& url, std::vector<uint8_t> encoded_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (decoders_.count(url) == 0) {
+    decoders_[url] = std::make_unique<DeferredImageDecoder>(url, std::move(encoded_bytes));
+  }
+}
+
+DeferredImageDecoder* ImageDecodeCache::Find(const std::string& url) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = decoders_.find(url);
+  return it == decoders_.end() ? nullptr : it->second.get();
+}
+
+ImageDecodeCache::Stats ImageDecodeCache::CollectStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  for (const auto& [url, decoder] : decoders_) {
+    if (!decoder->decoded()) {
+      continue;
+    }
+    // DecodeOnce with a null interceptor just returns the cached result.
+    const DecodedImage& result = const_cast<DeferredImageDecoder&>(*decoder).DecodeOnce(nullptr);
+    if (result.decode_failed) {
+      continue;
+    }
+    ++stats.images_decoded;
+    stats.frames_decoded += static_cast<int>(result.frames.size());
+    stats.frames_blocked += result.frames_blocked;
+    stats.decode_cpu_ms += result.decode_cpu_ms;
+    stats.classify_cpu_ms += result.classify_cpu_ms;
+  }
+  return stats;
+}
+
+}  // namespace percival

@@ -1,0 +1,92 @@
+// Deferred image decoding — the analogue of the Blink/Skia classes the
+// paper instruments (§3.3): BitmapImage -> DeferredImageDecoder -> SkImage
+// -> DecodingImageGenerator::onGetPixels().
+//
+// Encoded bytes are held until the raster phase; the first raster task that
+// needs an image triggers the actual decode, at which point the registered
+// ImageInterceptor (PERCIVAL) sees the raw pixel buffer and may clear it.
+#ifndef PERCIVAL_SRC_RENDERER_IMAGE_PIPELINE_H_
+#define PERCIVAL_SRC_RENDERER_IMAGE_PIPELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/img/bitmap.h"
+#include "src/img/codec.h"
+
+namespace percival {
+
+// PERCIVAL's integration point. Implementations receive every decoded frame
+// before it reaches the rasterizer and return true to block (clear) it.
+// `pixels` is the unmodified decoded buffer; implementations may mutate it.
+class ImageInterceptor {
+ public:
+  virtual ~ImageInterceptor() = default;
+  virtual bool OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
+                              const std::string& source_url) = 0;
+};
+
+// Result of a deferred decode: all frames, post-interception.
+struct DecodedImage {
+  std::vector<Bitmap> frames;
+  bool decode_failed = false;
+  int frames_blocked = 0;
+  double decode_cpu_ms = 0.0;     // time spent in the codec
+  double classify_cpu_ms = 0.0;   // time spent inside the interceptor
+};
+
+// One deferred decoder per unique image URL. Thread-safe: concurrent raster
+// tasks needing the same image decode it exactly once (the memoized
+// SkImage cache in Blink behaves the same way).
+class DeferredImageDecoder {
+ public:
+  DeferredImageDecoder(std::string url, std::vector<uint8_t> encoded_bytes);
+
+  // Decodes on first call (running the interceptor on each frame), then
+  // returns the cached result. `interceptor` may be null (PERCIVAL off).
+  const DecodedImage& DecodeOnce(ImageInterceptor* interceptor);
+
+  bool decoded() const { return decoded_; }
+  const std::string& url() const { return url_; }
+
+ private:
+  std::string url_;
+  std::vector<uint8_t> encoded_bytes_;
+  std::mutex mutex_;
+  bool decoded_ = false;
+  DecodedImage result_;
+};
+
+// Cache of deferred decoders keyed by URL, owned by one render pass.
+class ImageDecodeCache {
+ public:
+  // Registers encoded bytes for `url` (idempotent; first registration wins).
+  void Register(const std::string& url, std::vector<uint8_t> encoded_bytes);
+
+  // Returns the decoder for `url`, or nullptr if never registered.
+  DeferredImageDecoder* Find(const std::string& url);
+
+  int registered_count() const { return static_cast<int>(decoders_.size()); }
+
+  // Aggregate stats over all decoded images.
+  struct Stats {
+    int images_decoded = 0;
+    int frames_decoded = 0;
+    int frames_blocked = 0;
+    double decode_cpu_ms = 0.0;
+    double classify_cpu_ms = 0.0;
+  };
+  Stats CollectStats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<DeferredImageDecoder>> decoders_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_RENDERER_IMAGE_PIPELINE_H_

@@ -1,0 +1,85 @@
+#include "src/renderer/layout.h"
+
+#include <algorithm>
+
+namespace percival {
+
+namespace {
+
+constexpr int kDefaultTextHeight = 14;
+
+// Lays out `node` with its top-left at (x, y) given `available_width`.
+// Returns the resulting box; the box height reflects content.
+std::unique_ptr<LayoutBox> LayoutNode(const DomNode& node, int x, int y, int available_width) {
+  auto box = std::make_unique<LayoutBox>();
+  box->node = &node;
+
+  if (node.hidden_by_filter) {
+    box->rect = Rect{x, y, 0, 0};
+    return box;
+  }
+
+  const int width = node.GetIntAttr("width", available_width);
+  int declared_height = node.GetIntAttr("height", -1);
+
+  // Absolute positioning overrides flow position.
+  if (node.HasAttr("x")) {
+    x = node.GetIntAttr("x", x);
+  }
+  if (node.HasAttr("y")) {
+    y = node.GetIntAttr("y", y);
+  }
+
+  if (node.tag() == "#text") {
+    box->rect = Rect{x, y, width, kDefaultTextHeight};
+    return box;
+  }
+
+  int cursor_y = y;
+  int flow_height = 0;
+  for (const auto& child : node.children()) {
+    // Scripts, head-content and hidden nodes do not occupy space.
+    if (child->tag() == "script" || child->tag() == "head" || child->hidden_by_filter) {
+      auto child_box = std::make_unique<LayoutBox>();
+      child_box->node = child.get();
+      child_box->rect = Rect{x, cursor_y, 0, 0};
+      box->children.push_back(std::move(child_box));
+      continue;
+    }
+    auto child_box = LayoutNode(*child, x, cursor_y, width);
+    const bool absolute = child->HasAttr("x") || child->HasAttr("y");
+    if (!absolute) {
+      cursor_y = child_box->rect.Bottom();
+      flow_height = cursor_y - y;
+    }
+    box->children.push_back(std::move(child_box));
+  }
+
+  int height = declared_height >= 0 ? declared_height : flow_height;
+  if (node.tag() == "img" || node.tag() == "iframe") {
+    // Replaced elements default to a nominal size if not declared.
+    if (declared_height < 0) {
+      height = node.GetIntAttr("height", 90);
+    }
+  }
+  box->rect = Rect{x, y, width, std::max(height, 0)};
+  return box;
+}
+
+int MaxBottom(const LayoutBox& box) {
+  int bottom = box.rect.Bottom();
+  for (const auto& child : box.children) {
+    bottom = std::max(bottom, MaxBottom(*child));
+  }
+  return bottom;
+}
+
+}  // namespace
+
+std::unique_ptr<LayoutBox> ComputeLayout(const DomNode& root, int viewport_width) {
+  return LayoutNode(root, 0, 0, viewport_width);
+}
+
+int DocumentHeight(const LayoutBox& root) { return MaxBottom(root); }
+
+}  // namespace percival

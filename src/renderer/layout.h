@@ -1,0 +1,35 @@
+// Layout tree construction (§2.1: "the layout-tree includes the layout
+// information of all the elements of the web page").
+//
+// Layout model: block elements stack vertically inside their parent;
+// elements with explicit `x`/`y` attributes are absolutely positioned
+// (used for right-column ads); `width`/`height` attributes set the box
+// size, otherwise width fills the parent and height wraps the children.
+#ifndef PERCIVAL_SRC_RENDERER_LAYOUT_H_
+#define PERCIVAL_SRC_RENDERER_LAYOUT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/img/draw.h"
+#include "src/renderer/dom.h"
+
+namespace percival {
+
+struct LayoutBox {
+  const DomNode* node = nullptr;
+  Rect rect;
+  std::vector<std::unique_ptr<LayoutBox>> children;
+};
+
+// Builds the layout tree for `root` within a viewport of the given width.
+// Nodes with hidden_by_filter set (cosmetic filtering) get zero-size boxes
+// and do not contribute to flow.
+std::unique_ptr<LayoutBox> ComputeLayout(const DomNode& root, int viewport_width);
+
+// Total document height (bottom of the lowest box).
+int DocumentHeight(const LayoutBox& root);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_RENDERER_LAYOUT_H_

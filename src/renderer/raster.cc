@@ -1,0 +1,113 @@
+#include "src/renderer/raster.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "src/base/logging.h"
+#include "src/base/stopwatch.h"
+#include "src/img/resize.h"
+
+namespace percival {
+
+namespace {
+
+// Draws the intersection of `item` with `tile_bounds` into the framebuffer.
+// `frame` is the decoded (possibly cleared/blocked) image for kImage items.
+void DrawItemInTile(Bitmap& framebuffer, const DisplayItem& item, const Rect& tile_bounds,
+                    const Bitmap* frame) {
+  const int x0 = std::max(item.rect.x, tile_bounds.x);
+  const int y0 = std::max(item.rect.y, tile_bounds.y);
+  const int x1 = std::min(item.rect.Right(), tile_bounds.Right());
+  const int y1 = std::min(item.rect.Bottom(), tile_bounds.Bottom());
+  if (x0 >= x1 || y0 >= y1) {
+    return;
+  }
+  switch (item.kind) {
+    case DisplayItemKind::kColorRect:
+      FillRect(framebuffer, Rect{x0, y0, x1 - x0, y1 - y0}, item.color);
+      break;
+    case DisplayItemKind::kTextBlock: {
+      // Text renders as thin ink lines to approximate glyph coverage.
+      for (int y = y0; y < y1; ++y) {
+        if ((y - item.rect.y) % 4 < 2) {
+          FillRect(framebuffer, Rect{x0, y, x1 - x0, 1}, item.color);
+        }
+      }
+      break;
+    }
+    case DisplayItemKind::kImage: {
+      if (frame == nullptr || frame->empty()) {
+        return;
+      }
+      // Nearest scaling from image space to the layout rect.
+      for (int y = y0; y < y1; ++y) {
+        const int sy = std::clamp(
+            (y - item.rect.y) * frame->height() / std::max(1, item.rect.h), 0,
+            frame->height() - 1);
+        for (int x = x0; x < x1; ++x) {
+          const int sx = std::clamp(
+              (x - item.rect.x) * frame->width() / std::max(1, item.rect.w), 0,
+              frame->width() - 1);
+          const Color c = frame->GetPixel(sx, sy);
+          if (c.a > 0) {
+            framebuffer.SetPixel(x, y, c);
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+RasterResult RasterizeDisplayList(const DisplayList& display_list, int width, int height,
+                                  ImageDecodeCache& cache, const RasterConfig& config) {
+  PCHECK_GT(config.tile_size, 0);
+  RasterResult result;
+  result.framebuffer = Bitmap(std::max(width, 1), std::max(height, 1),
+                              Color{255, 255, 255, 255});
+
+  const int tiles_x = (result.framebuffer.width() + config.tile_size - 1) / config.tile_size;
+  const int tiles_y = (result.framebuffer.height() + config.tile_size - 1) / config.tile_size;
+  result.tiles = tiles_x * tiles_y;
+  result.tile_cpu_ms.assign(static_cast<size_t>(result.tiles), 0.0);
+
+  std::mutex framebuffer_mutex;
+  ThreadPool pool(config.raster_threads);
+  for (int ty = 0; ty < tiles_y; ++ty) {
+    for (int tx = 0; tx < tiles_x; ++tx) {
+      const int tile_index = ty * tiles_x + tx;
+      const Rect tile_bounds{tx * config.tile_size, ty * config.tile_size, config.tile_size,
+                             config.tile_size};
+      pool.Submit([&, tile_bounds, tile_index] {
+        Stopwatch tile_timer;
+        for (const DisplayItem& item : display_list) {
+          if (!item.rect.Intersects(tile_bounds)) {
+            continue;
+          }
+          const Bitmap* frame = nullptr;
+          if (item.kind == DisplayItemKind::kImage) {
+            DeferredImageDecoder* decoder = cache.Find(item.image_url);
+            if (decoder == nullptr) {
+              continue;  // Resource blocked by the filter list or missing.
+            }
+            // First toucher decodes (and classifies); others reuse.
+            const DecodedImage& decoded = decoder->DecodeOnce(config.interceptor);
+            if (decoded.decode_failed || decoded.frames.empty()) {
+              continue;
+            }
+            frame = &decoded.frames[0];
+          }
+          std::lock_guard<std::mutex> lock(framebuffer_mutex);
+          DrawItemInTile(result.framebuffer, item, tile_bounds, frame);
+        }
+        result.tile_cpu_ms[static_cast<size_t>(tile_index)] = tile_timer.ElapsedMs();
+      });
+    }
+  }
+  pool.Wait();
+  return result;
+}
+
+}  // namespace percival

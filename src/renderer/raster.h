@@ -1,0 +1,39 @@
+// Tile-based rasterization with worker threads (§3.3: "Blink rasters on a
+// per tile basis... multiple raster threads each rasterizing different
+// raster tasks in parallel. PERCIVAL runs in each of these worker threads
+// after image decoding and during rasterization").
+#ifndef PERCIVAL_SRC_RENDERER_RASTER_H_
+#define PERCIVAL_SRC_RENDERER_RASTER_H_
+
+#include <vector>
+
+#include "src/base/thread_pool.h"
+#include "src/img/bitmap.h"
+#include "src/renderer/display_list.h"
+#include "src/renderer/image_pipeline.h"
+
+namespace percival {
+
+struct RasterConfig {
+  int tile_size = 128;
+  int raster_threads = 4;
+  ImageInterceptor* interceptor = nullptr;  // PERCIVAL hook; null = off
+};
+
+struct RasterResult {
+  Bitmap framebuffer;
+  // Per-tile CPU cost in ms, in tile submission order (used by the virtual
+  // clock to compute the raster-phase makespan).
+  std::vector<double> tile_cpu_ms;
+  int tiles = 0;
+};
+
+// Rasterizes `display_list` into a framebuffer of the given size, decoding
+// images lazily through `cache`. Image decode + interception happen on the
+// raster worker that first touches each image.
+RasterResult RasterizeDisplayList(const DisplayList& display_list, int width, int height,
+                                  ImageDecodeCache& cache, const RasterConfig& config);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_RENDERER_RASTER_H_

@@ -1,0 +1,263 @@
+#include "src/renderer/renderer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/base/logging.h"
+#include "src/renderer/display_list.h"
+#include "src/renderer/html_parser.h"
+#include "src/renderer/layout.h"
+#include "src/renderer/raster.h"
+
+namespace percival {
+
+namespace {
+
+// Virtual-clock cost constants. These are arbitrary but fixed; the overhead
+// experiments report ratios and deltas, which do not depend on the choice.
+constexpr double kParseMsPerKb = 0.08;
+constexpr double kScriptMsPerExec = 0.4;
+
+struct LoadState {
+  const WebPage* page = nullptr;
+  const RenderOptions* options = nullptr;
+  ImageDecodeCache* cache = nullptr;
+  RenderStats* stats = nullptr;
+  std::vector<ImageOutcome>* outcomes = nullptr;
+  std::string top_host;
+  double fetch_critical_path_ms = 0.0;
+  double script_ms = 0.0;
+};
+
+// Returns the simulated fetch latency, or a negative value when the filter
+// list blocks the request (Brave-style: blocked requests never hit the
+// network, saving their latency entirely).
+double FetchResource(LoadState& state, const std::string& url, ResourceType type,
+                     const WebResource** out_resource) {
+  *out_resource = state.page->FindResource(url);
+  ++state.stats->requests;
+  if (*out_resource == nullptr) {
+    return -1.0;
+  }
+  if (state.options->filter != nullptr) {
+    RequestContext request;
+    request.url = Url::Parse(url);
+    request.page_host = state.top_host;
+    request.type = type;
+    if (state.options->filter->ShouldBlockRequest(request).blocked) {
+      ++state.stats->requests_blocked_by_filter;
+      *out_resource = nullptr;
+      return -1.0;
+    }
+  }
+  return (*out_resource)->latency_ms;
+}
+
+// Loads every subresource reachable from `node`'s subtree: images, CSS
+// background images, iframes (recursively) and scripts (which may inject
+// further images). `base_latency_ms` is the virtual time at which this
+// subtree's HTML became available.
+void LoadSubtree(LoadState& state, DomNode& node, double base_latency_ms) {
+  // Cosmetic filtering happens before resource loading so hidden elements
+  // do not fetch their subresources (matches ABP element hiding).
+  if (state.options->filter != nullptr) {
+    const BlockDecision decision =
+        state.options->filter->ShouldHideElement(state.top_host, node.Descriptor());
+    if (decision.blocked) {
+      node.hidden_by_filter = true;
+      ++state.stats->elements_hidden_by_filter;
+      return;
+    }
+  }
+
+  // Element memoization (§6): if a previous visit blocked this element's
+  // image, hide the whole container now — image, caption and all — so no
+  // dangling text remains. Applied to the image's parent when one exists.
+  if (state.options->remembered_blocked_urls != nullptr && node.tag() == "img" &&
+      node.HasAttr("src") &&
+      state.options->remembered_blocked_urls->count(node.GetAttr("src")) > 0) {
+    DomNode* container = node.parent() != nullptr ? node.parent() : &node;
+    if (!container->hidden_by_filter) {
+      container->hidden_by_filter = true;
+      ++state.stats->elements_hidden_by_memo;
+    }
+    node.hidden_by_filter = true;
+    return;
+  }
+
+  auto load_image = [&](const std::string& url) {
+    const WebResource* resource = nullptr;
+    const double latency = FetchResource(state, url, ResourceType::kImage, &resource);
+    ImageOutcome outcome;
+    outcome.url = url;
+    const WebResource* truth = state.page->FindResource(url);
+    outcome.is_ad = truth != nullptr && truth->is_ad;
+    if (resource == nullptr) {
+      outcome.fetched = false;
+      state.outcomes->push_back(outcome);
+      return;
+    }
+    outcome.fetched = true;
+    state.outcomes->push_back(outcome);
+    state.cache->Register(url, resource->bytes);
+    state.fetch_critical_path_ms =
+        std::max(state.fetch_critical_path_ms, base_latency_ms + latency);
+  };
+
+  if (node.tag() == "img" && node.HasAttr("src")) {
+    load_image(node.GetAttr("src"));
+  }
+  if (node.HasAttr("bgimg")) {
+    load_image(node.GetAttr("bgimg"));
+  }
+
+  if (node.tag() == "iframe" && node.HasAttr("src")) {
+    const WebResource* resource = nullptr;
+    const double latency =
+        FetchResource(state, node.GetAttr("src"), ResourceType::kSubdocument, &resource);
+    if (resource != nullptr) {
+      ++state.stats->iframes_rendered;
+      const std::string sub_html(resource->bytes.begin(), resource->bytes.end());
+      DomTree sub_document = ParseHtml(sub_html);
+      // Graft the sub-document under the iframe so that layout and painting
+      // include it; its own subresources load after the iframe HTML arrives.
+      DomNode* grafted = node.AddChild(std::move(sub_document));
+      for (auto& child : grafted->children()) {
+        LoadSubtree(state, *child, base_latency_ms + latency);
+      }
+      state.fetch_critical_path_ms =
+          std::max(state.fetch_critical_path_ms, base_latency_ms + latency);
+    }
+  }
+
+  if (node.tag() == "script" && node.HasAttr("src")) {
+    const WebResource* resource = nullptr;
+    const double latency =
+        FetchResource(state, node.GetAttr("src"), ResourceType::kScript, &resource);
+    if (resource != nullptr) {
+      ++state.stats->scripts_executed;
+      state.script_ms += kScriptMsPerExec;
+      // "Execute" the script: lines of the form
+      //   inject-img <url> <width> <height>
+      // append an <img> to the script's parent — the JS-inserted-ad path.
+      const std::string body(resource->bytes.begin(), resource->bytes.end());
+      std::istringstream lines(body);
+      std::string op;
+      while (lines >> op) {
+        if (op == "inject-img") {
+          std::string url;
+          int width = 0;
+          int height = 0;
+          if (!(lines >> url >> width >> height)) {
+            break;
+          }
+          auto img = std::make_unique<DomNode>("img");
+          img->SetAttr("src", url);
+          img->SetAttr("width", std::to_string(width));
+          img->SetAttr("height", std::to_string(height));
+          DomNode* parent = node.parent() != nullptr ? node.parent() : &node;
+          DomNode* added = parent->AddChild(std::move(img));
+          LoadSubtree(state, *added, base_latency_ms + latency);
+        }
+      }
+      state.fetch_critical_path_ms =
+          std::max(state.fetch_critical_path_ms, base_latency_ms + latency);
+    }
+  }
+
+  // Recurse into static children. Children appended during script execution
+  // were already loaded above; iterate by index to tolerate appends.
+  for (size_t i = 0; i < node.children().size(); ++i) {
+    DomNode& child = *node.children()[i];
+    if (child.tag() != "#text") {
+      LoadSubtree(state, child, base_latency_ms);
+    }
+  }
+}
+
+// Greedy makespan of tile costs over `workers` parallel raster threads.
+double RasterMakespanMs(const std::vector<double>& tile_cpu_ms, int workers) {
+  std::vector<double> load(static_cast<size_t>(std::max(workers, 1)), 0.0);
+  for (double cost : tile_cpu_ms) {
+    auto it = std::min_element(load.begin(), load.end());
+    *it += cost;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+}  // namespace
+
+RenderResult RenderPage(const WebPage& page, const RenderOptions& options) {
+  RenderResult result;
+  ImageDecodeCache cache;
+
+  // domLoading: virtual time zero.
+  result.metrics.dom_loading = 0.0;
+  result.metrics.parse_ms = kParseMsPerKb * static_cast<double>(page.html.size()) / 1024.0;
+
+  DomTree dom = ParseHtml(page.html);
+
+  LoadState state;
+  state.page = &page;
+  state.options = &options;
+  state.cache = &cache;
+  state.stats = &result.stats;
+  state.outcomes = &result.image_outcomes;
+  state.top_host = Url::Parse(page.url).host;
+  LoadSubtree(state, *dom, 0.0);
+  result.metrics.fetch_ms = state.fetch_critical_path_ms;
+  result.metrics.script_ms = state.script_ms;
+
+  std::unique_ptr<LayoutBox> layout = ComputeLayout(*dom, options.viewport_width);
+  DisplayList display_list = BuildDisplayList(*layout);
+
+  const int height = std::max(DocumentHeight(*layout), 1);
+  RasterConfig raster_config;
+  raster_config.tile_size = options.tile_size;
+  raster_config.raster_threads = options.raster_threads;
+  raster_config.interceptor = options.interceptor;
+
+  if (options.render_framebuffer) {
+    RasterResult raster =
+        RasterizeDisplayList(display_list, options.viewport_width, height, cache, raster_config);
+    result.framebuffer = std::move(raster.framebuffer);
+    result.metrics.raster_ms = RasterMakespanMs(raster.tile_cpu_ms, options.raster_threads);
+  } else {
+    // Fast path: decode + classify every registered image without painting.
+    double total_cpu = 0.0;
+    for (const ImageOutcome& outcome : result.image_outcomes) {
+      if (!outcome.fetched) {
+        continue;
+      }
+      DeferredImageDecoder* decoder = cache.Find(outcome.url);
+      if (decoder != nullptr) {
+        const DecodedImage& decoded = decoder->DecodeOnce(options.interceptor);
+        total_cpu += decoded.decode_cpu_ms + decoded.classify_cpu_ms;
+      }
+    }
+    result.metrics.raster_ms = total_cpu / std::max(options.raster_threads, 1);
+  }
+
+  const ImageDecodeCache::Stats decode_stats = cache.CollectStats();
+  result.stats.images_decoded = decode_stats.images_decoded;
+  result.stats.frames_decoded = decode_stats.frames_decoded;
+  result.stats.frames_blocked = decode_stats.frames_blocked;
+  result.stats.decode_cpu_ms = decode_stats.decode_cpu_ms;
+  result.stats.classify_cpu_ms = decode_stats.classify_cpu_ms;
+
+  // Join per-image outcomes with decode/block results.
+  for (ImageOutcome& outcome : result.image_outcomes) {
+    DeferredImageDecoder* decoder = cache.Find(outcome.url);
+    if (decoder != nullptr && decoder->decoded()) {
+      const DecodedImage& decoded = decoder->DecodeOnce(nullptr);
+      outcome.decoded = !decoded.decode_failed;
+      outcome.blocked_by_percival = decoded.frames_blocked > 0;
+    }
+  }
+
+  result.metrics.dom_complete = result.metrics.parse_ms + result.metrics.fetch_ms +
+                                result.metrics.script_ms + result.metrics.raster_ms;
+  return result;
+}
+
+}  // namespace percival

@@ -1,0 +1,87 @@
+// The renderer process: HTML -> DOM -> (filter) -> layout -> display list ->
+// deferred decode -> raster -> framebuffer, with PERCIVAL hooked between
+// image decode and raster (Figure 1 / Figure 2 of the paper).
+//
+// Timing model: a virtual clock accumulates parse cost, the parallel
+// network-fetch critical path, script execution, and the raster-phase
+// makespan (real measured CPU per tile, scheduled across the configured
+// worker count). Render time is reported as domComplete - domLoading,
+// matching the paper's §5.7 metric.
+#ifndef PERCIVAL_SRC_RENDERER_RENDERER_H_
+#define PERCIVAL_SRC_RENDERER_RENDERER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/filter/engine.h"
+#include "src/img/bitmap.h"
+#include "src/renderer/image_pipeline.h"
+#include "src/renderer/web_page.h"
+
+namespace percival {
+
+struct RenderOptions {
+  int viewport_width = 1024;
+  int raster_threads = 4;
+  int tile_size = 128;
+  // PERCIVAL hook; null disables perceptual blocking.
+  ImageInterceptor* interceptor = nullptr;
+  // Block-list engine (the Brave-shields / Adblock-Plus baseline); null
+  // disables filter-list blocking.
+  const FilterEngine* filter = nullptr;
+  bool render_framebuffer = true;  // false skips pixel work (fast eval runs)
+  // Element memoization (§6): image URLs whose *containing elements* should
+  // be hidden on this visit because PERCIVAL blocked them on a previous
+  // visit. Fixes the "dangling text" limitation of in-raster blocking —
+  // the container (image + caption) collapses instead of leaving a hole.
+  const std::set<std::string>* remembered_blocked_urls = nullptr;
+};
+
+// domLoading / domComplete analogues on the virtual clock (ms).
+struct PageMetrics {
+  double dom_loading = 0.0;
+  double dom_complete = 0.0;
+  double parse_ms = 0.0;
+  double fetch_ms = 0.0;
+  double script_ms = 0.0;
+  double raster_ms = 0.0;
+  double RenderTime() const { return dom_complete - dom_loading; }
+};
+
+// Per-image outcome, joined with ground truth for the evaluation harness.
+struct ImageOutcome {
+  std::string url;
+  bool is_ad = false;          // ground truth from the synthetic web
+  bool fetched = false;        // false when the filter list blocked the URL
+  bool decoded = false;
+  bool blocked_by_percival = false;
+};
+
+struct RenderStats {
+  int requests = 0;
+  int requests_blocked_by_filter = 0;
+  int elements_hidden_by_filter = 0;
+  int elements_hidden_by_memo = 0;  // §6 element memoization on revisit
+  int images_decoded = 0;
+  int frames_decoded = 0;
+  int frames_blocked = 0;
+  int scripts_executed = 0;
+  int iframes_rendered = 0;
+  double decode_cpu_ms = 0.0;
+  double classify_cpu_ms = 0.0;
+};
+
+struct RenderResult {
+  Bitmap framebuffer;
+  PageMetrics metrics;
+  RenderStats stats;
+  std::vector<ImageOutcome> image_outcomes;
+};
+
+// Renders one page end-to-end.
+RenderResult RenderPage(const WebPage& page, const RenderOptions& options);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_RENDERER_RENDERER_H_

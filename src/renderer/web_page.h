@@ -1,0 +1,38 @@
+// The renderer's input: a document plus its resource map (the "network").
+#ifndef PERCIVAL_SRC_RENDERER_WEB_PAGE_H_
+#define PERCIVAL_SRC_RENDERER_WEB_PAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/filter/rule.h"
+
+namespace percival {
+
+// One fetchable resource. `bytes` holds encoded image data, sub-document
+// HTML, or script text depending on `type`.
+struct WebResource {
+  ResourceType type = ResourceType::kOther;
+  std::vector<uint8_t> bytes;
+  double latency_ms = 0.0;  // simulated network latency
+  bool is_ad = false;       // ground-truth label from the synthetic web
+};
+
+// A full page: top-level HTML and every resource reachable from it
+// (including resources referenced by sub-documents and scripts).
+struct WebPage {
+  std::string url;
+  std::string html;
+  std::map<std::string, WebResource> resources;
+
+  const WebResource* FindResource(const std::string& resource_url) const {
+    auto it = resources.find(resource_url);
+    return it == resources.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_RENDERER_WEB_PAGE_H_

@@ -1,0 +1,58 @@
+#include "src/train/blocklist_builder.h"
+
+#include "src/filter/url.h"
+#include "src/renderer/renderer.h"
+
+namespace percival {
+
+namespace {
+
+// Interceptor that tallies classifier verdicts per host without blocking
+// (the crawler wants complete pages).
+class TallyInterceptor : public ImageInterceptor {
+ public:
+  TallyInterceptor(AdClassifier& classifier, BlockListBuildResult& result)
+      : classifier_(classifier), result_(result) {}
+
+  bool OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
+                      const std::string& source_url) override {
+    (void)info;
+    const bool flagged = classifier_.Classify(pixels).is_ad;
+    HostObservation& host = result_.hosts[Url::Parse(source_url).host];
+    ++host.images;
+    host.flagged += flagged ? 1 : 0;
+    ++result_.frames_classified;
+    return false;
+  }
+
+ private:
+  AdClassifier& classifier_;
+  BlockListBuildResult& result_;
+};
+
+}  // namespace
+
+BlockListBuildResult BuildBlockListFromCrawl(const SiteGenerator& generator,
+                                             AdClassifier& classifier,
+                                             const BlockListBuildConfig& config) {
+  BlockListBuildResult result;
+  TallyInterceptor interceptor(classifier, result);
+  for (int site = 0; site < config.sites; ++site) {
+    for (int page_index = 0; page_index < config.pages_per_site; ++page_index) {
+      const WebPage page = generator.GeneratePage(site, page_index);
+      RenderOptions options;
+      options.interceptor = &interceptor;
+      options.render_framebuffer = false;
+      RenderPage(page, options);
+    }
+  }
+  for (const auto& [host, observation] : result.hosts) {
+    if (observation.images >= config.min_observations &&
+        observation.AdRate() >= config.ad_rate_threshold) {
+      result.rules.push_back("||" + host + "^$third-party");
+    }
+  }
+  return result;
+}
+
+}  // namespace percival

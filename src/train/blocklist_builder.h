@@ -1,0 +1,53 @@
+// Block-list generation — the paper's §6 alternative deployment: "PERCIVAL
+// can be used to build and enhance block lists for traditional ad blockers.
+// For that we would need to set up a crawling infrastructure to find URLs
+// ... we can still use such techniques to frequently update block lists
+// automatically."
+//
+// The builder crawls the synthetic web through the rendering pipeline,
+// classifies every decoded frame, aggregates per-host and per-path-prefix
+// ad rates, and emits Adblock-Plus rules for origins whose ad rate clears a
+// confidence threshold. The emitted list can be loaded straight into the
+// FilterEngine, closing the loop: a perceptual model that maintains the
+// rule list the cheap blocker runs on.
+#ifndef PERCIVAL_SRC_TRAIN_BLOCKLIST_BUILDER_H_
+#define PERCIVAL_SRC_TRAIN_BLOCKLIST_BUILDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/classifier.h"
+#include "src/webgen/sitegen.h"
+
+namespace percival {
+
+struct BlockListBuildConfig {
+  int sites = 10;
+  int pages_per_site = 2;
+  // A host is listed when it served >= min_observations images and the
+  // classifier flagged >= ad_rate_threshold of them.
+  int min_observations = 3;
+  double ad_rate_threshold = 0.8;
+};
+
+struct HostObservation {
+  int images = 0;
+  int flagged = 0;
+  double AdRate() const { return images == 0 ? 0.0 : static_cast<double>(flagged) / images; }
+};
+
+struct BlockListBuildResult {
+  std::vector<std::string> rules;                 // emitted filter-list lines
+  std::map<std::string, HostObservation> hosts;   // per-host evidence
+  int frames_classified = 0;
+};
+
+// Crawls `generator`'s web with `classifier` and derives network rules.
+BlockListBuildResult BuildBlockListFromCrawl(const SiteGenerator& generator,
+                                             AdClassifier& classifier,
+                                             const BlockListBuildConfig& config);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_TRAIN_BLOCKLIST_BUILDER_H_

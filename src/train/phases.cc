@@ -1,0 +1,100 @@
+#include "src/train/phases.h"
+
+#include "src/base/rng.h"
+#include "src/img/resize.h"
+#include "src/nn/activation.h"
+#include "src/renderer/renderer.h"
+
+namespace percival {
+
+PhasedTrainingResult RunPhasedTraining(const SiteGenerator& generator,
+                                       const FilterEngine& easylist, const Dataset& holdout,
+                                       const PhasedTrainingConfig& config) {
+  PhasedTrainingResult result;
+  result.model = BuildPercivalNet(config.profile);
+  Rng rng(config.seed);
+
+  // Phase 0 bootstrap: traditional screenshot crawl labelled by EasyList
+  // ("traditional crawling was good enough to bootstrap", §4.4.2).
+  Dataset corpus;
+  {
+    ScreenshotCrawlConfig crawl;
+    crawl.sites = config.sites_per_phase;
+    crawl.pages_per_site = config.pages_per_site;
+    crawl.seed = rng.NextU64();
+    corpus = RunScreenshotCrawl(generator, easylist, crawl, nullptr);
+  }
+
+  for (int phase = 0; phase < config.phases; ++phase) {
+    PhaseOutcome outcome;
+    outcome.phase = phase;
+
+    if (phase > 0) {
+      // Later phases crawl fresh pages through the rendering pipeline,
+      // self-labelling frames with the *current* model (Figure 5). The
+      // generator is deterministic in (site, page), so phases use disjoint
+      // page-index ranges to see new content.
+      Network& model = result.model;
+      const PercivalNetConfig& profile = config.profile;
+      FrameLabeller model_labeller = [&model, &profile](const Bitmap& frame,
+                                                        const std::string& url) {
+        (void)url;
+        Tensor input = BitmapToTensor(frame, profile.input_size, profile.input_channels);
+        Softmax softmax;
+        Tensor probs = softmax.Forward(model.Forward(input));
+        return probs.at(0, 0, 0, 1) >= 0.5f;
+      };
+
+      struct CaptureInterceptor : ImageInterceptor {
+        Dataset* out = nullptr;
+        const FrameLabeller* labeller = nullptr;
+        bool OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
+                            const std::string& source_url) override {
+          (void)info;
+          LabeledImage example;
+          example.image = pixels;
+          example.source_url = source_url;
+          example.is_ad = (*labeller)(pixels, source_url);
+          out->Add(std::move(example));
+          return false;
+        }
+      };
+
+      Dataset fresh;
+      CaptureInterceptor capture;
+      capture.out = &fresh;
+      capture.labeller = &model_labeller;
+      for (int site = 0; site < config.sites_per_phase; ++site) {
+        for (int page = 0; page < config.pages_per_site; ++page) {
+          const int page_index = phase * config.pages_per_site + page;
+          const WebPage web_page = generator.GeneratePage(site, page_index);
+          RenderOptions options;
+          options.interceptor = &capture;
+          options.render_framebuffer = false;
+          RenderPage(web_page, options);
+        }
+      }
+      corpus.Append(std::move(fresh));
+    }
+
+    outcome.duplicates_removed = corpus.Deduplicate();
+    corpus.Balance();
+    Rng shuffle_rng = rng.Fork();
+    corpus.Shuffle(shuffle_rng);
+    outcome.dataset_size = corpus.size();
+
+    // Retrain from the current weights on the cumulative corpus
+    // ("retraining PERCIVAL after each stage with the data obtained from
+    // the current and all the previous crawls").
+    TrainClassifier(result.model, config.profile, corpus, config.train);
+
+    const ConfusionMatrix matrix =
+        EvaluateClassifier(result.model, config.profile, holdout);
+    outcome.holdout_accuracy = matrix.Accuracy();
+    outcome.holdout_f1 = matrix.F1();
+    result.phases.push_back(outcome);
+  }
+  return result;
+}
+
+}  // namespace percival

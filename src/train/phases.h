@@ -1,0 +1,48 @@
+// Multi-phase crawl-and-retrain pipeline (§4.4.2): bootstrap with the
+// EasyList-labelled screenshot crawl, then repeatedly crawl with the
+// pipeline crawler (self-labelling with the current model), merge, dedup,
+// balance, and retrain — 8 phases in the paper.
+#ifndef PERCIVAL_SRC_TRAIN_PHASES_H_
+#define PERCIVAL_SRC_TRAIN_PHASES_H_
+
+#include <vector>
+
+#include "src/core/model.h"
+#include "src/crawler/pipeline_crawler.h"
+#include "src/crawler/screenshot_crawler.h"
+#include "src/eval/metrics.h"
+#include "src/train/trainer.h"
+#include "src/webgen/sitegen.h"
+
+namespace percival {
+
+struct PhasedTrainingConfig {
+  int phases = 8;
+  int sites_per_phase = 10;
+  int pages_per_site = 2;
+  TrainConfig train;
+  PercivalNetConfig profile;
+  uint64_t seed = 2020;
+};
+
+struct PhaseOutcome {
+  int phase = 0;
+  int dataset_size = 0;       // cumulative, after dedup + balance
+  int duplicates_removed = 0;
+  double holdout_accuracy = 0.0;
+  double holdout_f1 = 0.0;
+};
+
+struct PhasedTrainingResult {
+  Network model;
+  std::vector<PhaseOutcome> phases;
+};
+
+// Runs the full pipeline; `holdout` measures phase-over-phase improvement.
+PhasedTrainingResult RunPhasedTraining(const SiteGenerator& generator,
+                                       const FilterEngine& easylist, const Dataset& holdout,
+                                       const PhasedTrainingConfig& config);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_TRAIN_PHASES_H_

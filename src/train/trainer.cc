@@ -1,0 +1,93 @@
+#include "src/train/trainer.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+#include "src/img/resize.h"
+#include "src/nn/activation.h"
+#include "src/nn/loss.h"
+
+namespace percival {
+
+namespace {
+
+// Packs dataset examples [begin, end) into one batch tensor.
+Tensor MakeBatch(const Dataset& dataset, const std::vector<int>& order, int begin, int end,
+                 const PercivalNetConfig& profile, std::vector<int>* labels) {
+  const int n = end - begin;
+  Tensor batch(n, profile.input_size, profile.input_size, profile.input_channels);
+  labels->clear();
+  for (int i = 0; i < n; ++i) {
+    const LabeledImage& example = dataset.example(order[static_cast<size_t>(begin + i)]);
+    Tensor one = BitmapToTensor(example.image, profile.input_size, profile.input_channels);
+    std::copy(one.data(), one.data() + one.size(), batch.SampleData(i));
+    labels->push_back(example.is_ad ? 1 : 0);
+  }
+  return batch;
+}
+
+}  // namespace
+
+std::vector<EpochStats> TrainClassifier(Network& net, const PercivalNetConfig& profile,
+                                        const Dataset& dataset, const TrainConfig& config) {
+  PCHECK_GT(dataset.size(), 0);
+  SgdOptimizer optimizer(net.Parameters(), config.sgd);
+  Rng rng(config.shuffle_seed);
+
+  std::vector<int> order(static_cast<size_t>(dataset.size()));
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochStats> history;
+  std::vector<int> labels;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    int correct = 0;
+    int batches = 0;
+    for (int begin = 0; begin < dataset.size(); begin += config.batch_size) {
+      const int end = std::min(begin + config.batch_size, dataset.size());
+      Tensor batch = MakeBatch(dataset, order, begin, end, profile, &labels);
+      net.ZeroGrads();
+      Tensor logits = net.Forward(batch);
+      LossResult loss = SoftmaxCrossEntropy(logits, labels);
+      net.Backward(loss.grad_logits);
+      optimizer.Step();
+      epoch_loss += loss.loss;
+      correct += loss.correct;
+      ++batches;
+    }
+    optimizer.EndEpoch();
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = static_cast<float>(epoch_loss / std::max(batches, 1));
+    stats.train_accuracy = static_cast<double>(correct) / dataset.size();
+    stats.learning_rate = optimizer.current_learning_rate();
+    history.push_back(stats);
+    if (config.verbose) {
+      std::ostringstream line;
+      line << "epoch " << epoch << " loss=" << stats.loss
+           << " acc=" << TextTable::Percent(stats.train_accuracy);
+      LogLine(line.str());
+    }
+  }
+  return history;
+}
+
+ConfusionMatrix EvaluateClassifier(Network& net, const PercivalNetConfig& profile,
+                                   const Dataset& dataset, float threshold) {
+  ConfusionMatrix matrix;
+  Softmax softmax;
+  for (int i = 0; i < dataset.size(); ++i) {
+    const LabeledImage& example = dataset.example(i);
+    Tensor input = BitmapToTensor(example.image, profile.input_size, profile.input_channels);
+    Tensor probs = softmax.Forward(net.Forward(input));
+    const bool predicted_ad = probs.at(0, 0, 0, 1) >= threshold;
+    matrix.Record(example.is_ad, predicted_ad);
+  }
+  return matrix;
+}
+
+}  // namespace percival

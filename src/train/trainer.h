@@ -1,0 +1,42 @@
+// Training loop for the ad classifier (§4.3): SGD with momentum 0.9,
+// learning rate 0.001, batch size 24, step decay x0.1 every 30 epochs.
+#ifndef PERCIVAL_SRC_TRAIN_TRAINER_H_
+#define PERCIVAL_SRC_TRAIN_TRAINER_H_
+
+#include <vector>
+
+#include "src/core/model.h"
+#include "src/crawler/dataset.h"
+#include "src/eval/metrics.h"
+#include "src/nn/network.h"
+#include "src/nn/optimizer.h"
+
+namespace percival {
+
+struct TrainConfig {
+  int epochs = 6;
+  int batch_size = 24;
+  SgdConfig sgd;           // paper defaults (see optimizer.h)
+  uint64_t shuffle_seed = 17;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  float loss = 0.0f;
+  double train_accuracy = 0.0;
+  float learning_rate = 0.0f;
+};
+
+// Trains `net` (built from `config`'s profile) on `dataset` in place.
+// Returns per-epoch stats.
+std::vector<EpochStats> TrainClassifier(Network& net, const PercivalNetConfig& profile,
+                                        const Dataset& dataset, const TrainConfig& config);
+
+// Evaluates `net` on `dataset`; positive class (ad) is class index 1.
+ConfusionMatrix EvaluateClassifier(Network& net, const PercivalNetConfig& profile,
+                                   const Dataset& dataset, float threshold = 0.5f);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_TRAIN_TRAINER_H_

@@ -1,0 +1,70 @@
+#include "src/train/transfer.h"
+
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+#include "src/train/trainer.h"
+#include "src/webgen/contentgen.h"
+
+namespace percival {
+
+Dataset BuildPretextDataset(const PretrainConfig& config) {
+  Rng rng(config.seed);
+  Dataset dataset;
+  for (int i = 0; i < config.examples; ++i) {
+    Rng image_rng = rng.Fork();
+    ContentImageOptions options;
+    const int family = static_cast<int>(rng.NextBelow(4));
+    switch (family) {
+      case 0:
+        options.kind = ContentKind::kLandscape;
+        break;
+      case 1:
+        options.kind = ContentKind::kPortrait;
+        break;
+      case 2:
+        options.kind = ContentKind::kTexture;
+        break;
+      default:
+        options.kind = ContentKind::kDocument;
+        break;
+    }
+    LabeledImage example;
+    example.image = GenerateContentImage(image_rng, options);
+    // Pretext labels: photographic (landscape/portrait) vs flat
+    // (texture/document) — exercises exactly the cue families the ad task
+    // later reuses.
+    example.is_ad = family >= 2;
+    dataset.Add(std::move(example));
+  }
+  return dataset;
+}
+
+Network PretrainBackbone(const PercivalNetConfig& profile, const PretrainConfig& config) {
+  Network net = BuildPercivalNet(profile);
+  Dataset pretext = BuildPretextDataset(config);
+  TrainConfig train_config;
+  train_config.epochs = config.epochs;
+  train_config.sgd.learning_rate = 0.01f;
+  TrainClassifier(net, profile, pretext, train_config);
+  return net;
+}
+
+void InitFromPretrained(Network& target, Network& pretrained, int blocks) {
+  std::vector<Parameter*> dst = target.Parameters();
+  std::vector<Parameter*> src = pretrained.Parameters();
+  PCHECK_EQ(dst.size(), src.size());
+  // Parameter layout: conv1 (2 params) then 6 params per fire module.
+  // `blocks` = 1 (conv1) + number of fire modules to transfer.
+  size_t params_to_copy = 0;
+  if (blocks >= 1) {
+    params_to_copy = 2;
+    params_to_copy += static_cast<size_t>(std::max(0, blocks - 1)) * 6;
+  }
+  params_to_copy = std::min(params_to_copy, dst.size());
+  for (size_t i = 0; i < params_to_copy; ++i) {
+    PCHECK(dst[i]->value.shape() == src[i]->value.shape()) << dst[i]->name;
+    dst[i]->value = src[i]->value;
+  }
+}
+
+}  // namespace percival

@@ -1,0 +1,41 @@
+// Transfer learning (§4.3): the paper initializes Conv1 and the first four
+// fire modules from a SqueezeNet pre-trained on ImageNet, then fine-tunes
+// on ad data.
+//
+// ImageNet is not available offline, so pre-training runs on a synthetic
+// *pretext task* over procedurally generated imagery (classifying the
+// generator family of an image). The learned early-layer features (edges,
+// color blobs, stroke detectors) transfer exactly the way the paper uses
+// ImageNet features: as a generic visual front-end.
+#ifndef PERCIVAL_SRC_TRAIN_TRANSFER_H_
+#define PERCIVAL_SRC_TRAIN_TRANSFER_H_
+
+#include "src/core/model.h"
+#include "src/crawler/dataset.h"
+#include "src/nn/network.h"
+
+namespace percival {
+
+struct PretrainConfig {
+  int examples = 400;
+  int epochs = 2;
+  uint64_t seed = 31;
+};
+
+// Builds the pretext dataset: four generator families (landscape, portrait,
+// texture, document) relabelled as 2 coarse classes (photographic vs
+// synthetic-flat), which trains edge/color front-end features.
+Dataset BuildPretextDataset(const PretrainConfig& config);
+
+// Pre-trains a fresh network with `profile` on the pretext task and returns
+// it (the "SqueezeNet trained on ImageNet" stand-in).
+Network PretrainBackbone(const PercivalNetConfig& profile, const PretrainConfig& config);
+
+// Copies parameters of the first `blocks` conv/fire blocks from
+// `pretrained` into `target` (both built from the same profile). The paper
+// transfers Convolution 1 and Fire1..Fire4, i.e. blocks = 5.
+void InitFromPretrained(Network& target, Network& pretrained, int blocks);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_TRAIN_TRANSFER_H_

@@ -1,0 +1,51 @@
+#include "src/webgen/ad_network.h"
+
+namespace percival {
+
+std::vector<AdNetwork> BuildAdNetworks(const AdEcosystemConfig& config) {
+  Rng rng(config.seed);
+  std::vector<AdNetwork> networks;
+  const char* const kPrefixes[] = {"/banner", "/creative", "/serve", "/adimg"};
+  for (int i = 0; i < config.network_count; ++i) {
+    AdNetwork network;
+    network.host = "cdn.adnet" + std::to_string(i) + ".example";
+    // Per-network path prefix: generic path rules for listed networks must
+    // not accidentally cover long-tail (unlisted) networks.
+    network.path_prefix =
+        std::string(kPrefixes[rng.NextBelow(4)]) + std::to_string(i) + "/";
+    network.listed = rng.NextDouble() < config.listed_fraction;
+    network.serves_iframes = rng.NextBool(0.5);
+    networks.push_back(std::move(network));
+  }
+  return networks;
+}
+
+std::vector<std::string> AdContainerClasses() {
+  return {"ad-banner", "ad-box", "sponsored", "adsense-slot", "promo-unit"};
+}
+
+std::vector<std::string> BuildSyntheticEasyList(const std::vector<AdNetwork>& networks) {
+  std::vector<std::string> rules;
+  rules.push_back("! Synthetic EasyList for the percival reproduction");
+  for (const AdNetwork& network : networks) {
+    if (!network.listed) {
+      continue;
+    }
+    // Domain-anchored network rule, the dominant EasyList form.
+    rules.push_back("||" + network.host + "^$third-party");
+    // A path-pattern rule (redundant with the above for this host, but
+    // exercises wildcard matching and catches re-hosted creatives).
+    rules.push_back(network.path_prefix + "*.pif$image");
+  }
+  // Cosmetic rules for common ad container classes (generic, all sites).
+  for (const std::string& klass : AdContainerClasses()) {
+    rules.push_back("##." + klass);
+  }
+  // A site-specific cosmetic rule and an exception pattern: the benign
+  // static CDN also serves from /adimg/-like paths and must not be blocked.
+  rules.push_back("news-site-0.example###legacy-ad-slot");
+  rules.push_back("@@||static.sitecdn.example^$image");
+  return rules;
+}
+
+}  // namespace percival

@@ -1,0 +1,44 @@
+// The synthetic ad ecosystem: ad networks, their URL patterns, and the
+// EasyList-like filter list that covers (most of) them.
+//
+// Coverage is deliberately partial — the paper motivates PERCIVAL as a
+// complement to lists that "inevitably get out-of-date": a fraction of
+// networks are "long-tail" networks no list rule matches.
+#ifndef PERCIVAL_SRC_WEBGEN_AD_NETWORK_H_
+#define PERCIVAL_SRC_WEBGEN_AD_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace percival {
+
+struct AdNetwork {
+  std::string host;          // e.g. "cdn.adnet3.example"
+  std::string path_prefix;   // e.g. "/banner/"
+  bool listed = false;       // covered by the generated EasyList
+  bool serves_iframes = false;  // serves ad iframes as well as raw images
+};
+
+struct AdEcosystemConfig {
+  int network_count = 12;
+  double listed_fraction = 0.75;  // fraction of networks the list covers
+  uint64_t seed = 7;
+};
+
+// Builds a deterministic ad ecosystem.
+std::vector<AdNetwork> BuildAdNetworks(const AdEcosystemConfig& config);
+
+// Generates the EasyList-like list: network rules for every listed network
+// (domain anchors, $image/$subdocument/$third-party options), a handful of
+// path-pattern rules, cosmetic rules for common ad container classes, and
+// exception rules for a known-benign CDN.
+std::vector<std::string> BuildSyntheticEasyList(const std::vector<AdNetwork>& networks);
+
+// Ad container classes the cosmetic rules target.
+std::vector<std::string> AdContainerClasses();
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_WEBGEN_AD_NETWORK_H_

@@ -1,0 +1,231 @@
+#include "src/webgen/adgen.h"
+
+#include <algorithm>
+
+namespace percival {
+
+namespace {
+
+// Saturated "CTA" palette.
+const Color kCtaColors[] = {
+    Color{230, 60, 40, 255},   // red
+    Color{250, 150, 20, 255},  // orange
+    Color{30, 140, 230, 255},  // blue
+    Color{30, 180, 80, 255},   // green
+};
+
+const Color kShiftedCtaColors[] = {
+    Color{180, 30, 120, 255},  // magenta
+    Color{90, 40, 200, 255},   // violet
+    Color{0, 170, 170, 255},   // teal
+};
+
+Color PickCta(Rng& rng, bool shifted) {
+  if (shifted) {
+    return kShiftedCtaColors[rng.NextBelow(3)];
+  }
+  return kCtaColors[rng.NextBelow(4)];
+}
+
+// The AdChoices-style disclosure: a small blue-ish play-triangle inside a
+// light circle at a corner of the creative.
+void DrawAdChoicesLogo(Bitmap& bitmap, Rng& rng) {
+  const int radius = std::max(4, bitmap.width() / 24);
+  const bool top_right = rng.NextBool(0.8);
+  const int cx = top_right ? bitmap.width() - radius - 2 : radius + 2;
+  const int cy = radius + 2;
+  FillCircle(bitmap, cx, cy, radius, Color{235, 240, 250, 255});
+  FillTriangle(bitmap, cx, cy, std::max(3, radius), Color{20, 100, 220, 255});
+}
+
+void DrawCtaButton(Bitmap& bitmap, Rng& rng, GlyphStyle style, bool shifted) {
+  const int bw = std::max(28, bitmap.width() / 3);
+  const int bh = std::max(12, bitmap.height() / 7);
+  const int bx = rng.NextInt(bitmap.width() / 8, std::max(bitmap.width() / 8 + 1,
+                                                          bitmap.width() - bw - 4));
+  const int by = bitmap.height() - bh - std::max(4, bitmap.height() / 12);
+  const Color cta = PickCta(rng, shifted);
+  FillRect(bitmap, Rect{bx, by, bw, bh}, cta);
+  DrawRectOutline(bitmap, Rect{bx, by, bw, bh}, Color{255, 255, 255, 255}, 1);
+  Rng text_rng = rng.Fork();
+  DrawTextLine(bitmap, Rect{bx + 4, by + bh / 4, bw - 8, bh / 2}, Color{255, 255, 255, 255},
+               style, text_rng);
+}
+
+void DrawPriceTag(Bitmap& bitmap, Rng& rng) {
+  const int size = std::max(10, bitmap.width() / 8);
+  const int x = rng.NextInt(2, std::max(3, bitmap.width() - size - 2));
+  const int y = rng.NextInt(2, std::max(3, bitmap.height() / 2));
+  FillCircle(bitmap, x + size / 2, y + size / 2, size / 2, Color{250, 220, 40, 255});
+  Rng text_rng = rng.Fork();
+  DrawTextLine(bitmap, Rect{x + 2, y + size / 3, size - 4, size / 3}, Color{120, 30, 30, 255},
+               GlyphStyle::kLatin, text_rng);
+}
+
+void DrawProductShape(Bitmap& bitmap, Rng& rng) {
+  const int cx = rng.NextInt(bitmap.width() / 4, (3 * bitmap.width()) / 4);
+  const int cy = rng.NextInt(bitmap.height() / 3, (2 * bitmap.height()) / 3);
+  const int size = std::max(8, bitmap.height() / 4);
+  const Color body{static_cast<uint8_t>(rng.NextInt(60, 200)),
+                   static_cast<uint8_t>(rng.NextInt(60, 200)),
+                   static_cast<uint8_t>(rng.NextInt(60, 200)), 255};
+  if (rng.NextBool()) {
+    FillCircle(bitmap, cx, cy, size / 2, body);
+    FillCircle(bitmap, cx - size / 3, cy + size / 3, size / 5, Color{30, 30, 30, 255});
+    FillCircle(bitmap, cx + size / 3, cy + size / 3, size / 5, Color{30, 30, 30, 255});
+  } else {
+    FillRect(bitmap, Rect{cx - size / 2, cy - size / 3, size, (2 * size) / 3}, body);
+    FillRect(bitmap, Rect{cx - size / 8, cy - size / 2, size / 4, size / 6},
+             Color{40, 40, 40, 255});
+  }
+}
+
+}  // namespace
+
+void AdSlotSize(AdSlotKind kind, int* width, int* height) {
+  switch (kind) {
+    case AdSlotKind::kBanner:
+      *width = 320;
+      *height = 100;
+      return;
+    case AdSlotKind::kRectangle:
+      *width = 300;
+      *height = 250;
+      return;
+    case AdSlotKind::kSkyscraper:
+      *width = 160;
+      *height = 480;
+      return;
+    case AdSlotKind::kSquare:
+      *width = 250;
+      *height = 250;
+      return;
+  }
+}
+
+Bitmap GenerateAdImage(Rng& rng, const AdImageOptions& options) {
+  int width = 0;
+  int height = 0;
+  AdSlotSize(options.slot, &width, &height);
+  // Generators run at quarter resolution for throughput; the classifier
+  // resizes everything to its input size anyway.
+  width = std::max(32, width / 2);
+  height = std::max(32, height / 2);
+
+  Bitmap bitmap(width, height, Color{255, 255, 255, 255});
+  const GlyphStyle style = GlyphStyleFor(options.language);
+  const bool shifted = options.shifted_distribution;
+  const bool text_only =
+      options.force_text_only || rng.NextBool(TextOnlyAdProbability(options.language));
+
+  if (text_only) {
+    // Native/text ad: typeset like an article snippet — same paper-white
+    // background, ink color, and line metrics as document content. These
+    // are the hard cases that dominate CJK/Arabic markets, and they carry
+    // only sporadic weak cues. The visual collision with ContentKind::
+    // kDocument is intentional: it produces the Fig. 9 accuracy drop.
+    FillRect(bitmap, Rect{0, 0, width, height}, Color{252, 252, 250, 255});
+    Rng text_rng = rng.Fork();
+    const int line_h = 6;
+    for (int y = 8; y + line_h < height - 4; y += line_h + 4) {
+      const int indent = text_rng.NextBool(0.15) ? width / 6 : 4;
+      DrawTextLine(bitmap, Rect{indent, y, width - indent - 6, line_h},
+                   Color{50, 50, 55, 255}, style, text_rng);
+    }
+    if (rng.NextBool(0.25)) {
+      DrawPriceTag(bitmap, rng);
+    }
+    if (rng.NextBool(0.15)) {
+      DrawAdChoicesLogo(bitmap, rng);
+    }
+    if (shifted) {
+      AddSpeckleNoise(bitmap, Rect{0, 0, width, height}, 12.0f, rng);
+    }
+    return bitmap;
+  }
+
+  // Display ad: saturated gradient (ads) vs white/photo (content).
+  const Color top = PickCta(rng, shifted);
+  const Color bottom{static_cast<uint8_t>(std::min(255, top.r + 60)),
+                     static_cast<uint8_t>(std::min(255, top.g + 60)),
+                     static_cast<uint8_t>(std::min(255, top.b + 60)), 255};
+  if (rng.NextBool(0.75)) {
+    if (rng.NextBool()) {
+      FillVerticalGradient(bitmap, Rect{0, 0, width, height}, top, bottom);
+    } else {
+      FillHorizontalGradient(bitmap, Rect{0, 0, width, height}, bottom, top);
+    }
+  } else {
+    FillRect(bitmap, Rect{0, 0, width, height},
+             rng.NextBool(0.5) ? Color{250, 250, 245, 255} : Color{240, 244, 250, 255});
+  }
+
+  // Headline / body text: 1-3 lines.
+  Rng text_rng = rng.Fork();
+  const int lines = rng.NextInt(1, 3);
+  const Color ink = Color{255, 255, 255, 255};
+  for (int i = 0; i < lines; ++i) {
+    const int line_h = std::max(6, height / 10);
+    const int y = height / 8 + i * (line_h + 4);
+    DrawTextLine(bitmap, Rect{width / 10, y, (4 * width) / 5, line_h}, ink, style, text_rng);
+  }
+
+  if (!rng.NextBool(options.cue_dropout)) {
+    DrawProductShape(bitmap, rng);
+  }
+  if (!rng.NextBool(options.cue_dropout)) {
+    DrawCtaButton(bitmap, rng, style, shifted);
+  }
+  if (rng.NextBool(0.5)) {
+    DrawPriceTag(bitmap, rng);
+  }
+  if (!rng.NextBool(options.cue_dropout)) {
+    DrawRectOutline(bitmap, Rect{0, 0, width, height}, Color{90, 90, 90, 255},
+                    std::max(1, width / 100));
+  }
+  // The disclosure logo is the strongest cue; dropped with the dropout
+  // probability like the others.
+  if (!rng.NextBool(options.cue_dropout)) {
+    DrawAdChoicesLogo(bitmap, rng);
+  }
+
+  if (shifted) {
+    AddSpeckleNoise(bitmap, Rect{0, 0, width, height}, 6.0f, rng);
+  }
+  return bitmap;
+}
+
+Bitmap GenerateSponsoredPostImage(Rng& rng, Language language) {
+  // A fraction of sponsored posts reuse standard display creatives (easy
+  // for the classifier); the rest look like organic product photography
+  // with weak cues (the FN source the paper describes).
+  if (rng.NextBool(0.45)) {
+    AdImageOptions options;
+    options.language = language;
+    options.slot = AdSlotKind::kRectangle;
+    options.cue_dropout = 0.25;
+    return GenerateAdImage(rng, options);
+  }
+  const int width = 160;
+  const int height = 120;
+  Bitmap bitmap(width, height, Color{255, 255, 255, 255});
+  FillVerticalGradient(bitmap, Rect{0, 0, width, height}, Color{225, 228, 232, 255},
+                       Color{200, 205, 212, 255});
+  DrawProductShape(bitmap, rng);
+  Rng text_rng = rng.Fork();
+  DrawTextLine(bitmap, Rect{width / 8, height - 18, (3 * width) / 4, 10},
+               Color{70, 70, 70, 255}, GlyphStyleFor(language), text_rng);
+  if (rng.NextBool(0.65)) {
+    DrawCtaButton(bitmap, rng, GlyphStyleFor(language), false);
+  }
+  if (rng.NextBool(0.45)) {
+    DrawAdChoicesLogo(bitmap, rng);
+  }
+  if (rng.NextBool(0.35)) {
+    DrawPriceTag(bitmap, rng);
+  }
+  AddSpeckleNoise(bitmap, Rect{0, 0, width, height}, 3.0f, rng);
+  return bitmap;
+}
+
+}  // namespace percival

@@ -1,0 +1,50 @@
+// Procedural ad-image generator.
+//
+// Ads are composed from the cue families the paper's Grad-CAM analysis
+// identifies (Fig. 4 / Fig. 18): an ad-disclosure logo (AdChoices-style
+// triangle-in-circle), body/image text blocks, a saturated call-to-action
+// button, price tags, brand bars and a product shape — on a gradient or
+// solid background with a thin border.
+#ifndef PERCIVAL_SRC_WEBGEN_ADGEN_H_
+#define PERCIVAL_SRC_WEBGEN_ADGEN_H_
+
+#include "src/base/rng.h"
+#include "src/img/bitmap.h"
+#include "src/webgen/language.h"
+
+namespace percival {
+
+// Standard IAB-ish ad slot geometries used by the synthetic web.
+enum class AdSlotKind {
+  kBanner,      // 320x100 leaderboard
+  kRectangle,   // 300x250 medium rectangle
+  kSkyscraper,  // 160x480 right-column unit
+  kSquare,      // 250x250
+};
+
+void AdSlotSize(AdSlotKind kind, int* width, int* height);
+
+struct AdImageOptions {
+  AdSlotKind slot = AdSlotKind::kRectangle;
+  Language language = Language::kEnglish;
+  // Probability that each individual visual cue is omitted. 0 gives a
+  // maximally cue-rich ad; larger values produce the ambiguous tail.
+  double cue_dropout = 0.15;
+  // Renders with an alternate palette/typography mix; used to synthesize
+  // the externally-collected test distribution (Fig. 8).
+  bool shifted_distribution = false;
+  // Forces the text-only hard case regardless of language priors.
+  bool force_text_only = false;
+};
+
+// Generates one ad creative.
+Bitmap GenerateAdImage(Rng& rng, const AdImageOptions& options);
+
+// Generates a Facebook-style "sponsored post" image: mostly organic-looking
+// product photography with weak sponsorship cues (the paper's in-feed false
+// negative source, §5.3).
+Bitmap GenerateSponsoredPostImage(Rng& rng, Language language);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_WEBGEN_ADGEN_H_

@@ -1,0 +1,150 @@
+#include "src/webgen/contentgen.h"
+
+#include <algorithm>
+
+namespace percival {
+
+namespace {
+
+void DrawLandscape(Bitmap& bitmap, Rng& rng) {
+  const int w = bitmap.width();
+  const int h = bitmap.height();
+  const int horizon = rng.NextInt(h / 3, (2 * h) / 3);
+  FillVerticalGradient(bitmap, Rect{0, 0, w, horizon}, Color{130, 180, 240, 255},
+                       Color{200, 225, 250, 255});
+  FillVerticalGradient(bitmap, Rect{0, horizon, w, h - horizon}, Color{70, 140, 60, 255},
+                       Color{40, 90, 40, 255});
+  if (rng.NextBool(0.6)) {
+    FillCircle(bitmap, rng.NextInt(w / 6, (5 * w) / 6), rng.NextInt(4, horizon / 2),
+               std::max(3, w / 16), Color{250, 240, 180, 255});
+  }
+  // Rolling hills / ridgeline.
+  for (int i = 0; i < 3; ++i) {
+    const int cx = rng.NextInt(0, w);
+    FillTriangle(bitmap, cx, horizon, rng.NextInt(h / 6, h / 3), Color{90, 110, 90, 255});
+  }
+}
+
+void DrawPortrait(Bitmap& bitmap, Rng& rng) {
+  const int w = bitmap.width();
+  const int h = bitmap.height();
+  FillVerticalGradient(bitmap, Rect{0, 0, w, h}, Color{180, 180, 190, 255},
+                       Color{140, 140, 155, 255});
+  const Color skin{static_cast<uint8_t>(rng.NextInt(160, 235)),
+                   static_cast<uint8_t>(rng.NextInt(120, 190)),
+                   static_cast<uint8_t>(rng.NextInt(90, 160)), 255};
+  const int cx = w / 2;
+  const int cy = h / 3;
+  FillCircle(bitmap, cx, cy, std::max(6, h / 5), skin);  // head
+  FillRect(bitmap, Rect{cx - w / 5, cy + h / 6, (2 * w) / 5, h / 2},
+           Color{static_cast<uint8_t>(rng.NextInt(30, 120)),
+                 static_cast<uint8_t>(rng.NextInt(30, 120)),
+                 static_cast<uint8_t>(rng.NextInt(60, 160)), 255});  // torso
+  FillCircle(bitmap, cx - h / 16, cy - h / 32, 2, Color{30, 30, 30, 255});
+  FillCircle(bitmap, cx + h / 16, cy - h / 32, 2, Color{30, 30, 30, 255});
+}
+
+void DrawTexture(Bitmap& bitmap, Rng& rng) {
+  const Color base{static_cast<uint8_t>(rng.NextInt(60, 200)),
+                   static_cast<uint8_t>(rng.NextInt(60, 200)),
+                   static_cast<uint8_t>(rng.NextInt(60, 200)), 255};
+  FillRect(bitmap, Rect{0, 0, bitmap.width(), bitmap.height()}, base);
+  AddSpeckleNoise(bitmap, Rect{0, 0, bitmap.width(), bitmap.height()}, 18.0f, rng);
+  // Occasional stripes.
+  if (rng.NextBool(0.5)) {
+    for (int y = 0; y < bitmap.height(); y += rng.NextInt(6, 14)) {
+      FillRect(bitmap, Rect{0, y, bitmap.width(), 2},
+               Color{static_cast<uint8_t>(base.r / 2), static_cast<uint8_t>(base.g / 2),
+                     static_cast<uint8_t>(base.b / 2), 255});
+    }
+  }
+}
+
+void DrawDocument(Bitmap& bitmap, Rng& rng, GlyphStyle style) {
+  FillRect(bitmap, Rect{0, 0, bitmap.width(), bitmap.height()}, Color{252, 252, 250, 255});
+  Rng text_rng = rng.Fork();
+  const int line_h = 6;
+  for (int y = 8; y + line_h < bitmap.height() - 4; y += line_h + 4) {
+    const int indent = rng.NextBool(0.15) ? bitmap.width() / 6 : 4;
+    DrawTextLine(bitmap, Rect{indent, y, bitmap.width() - indent - 6, line_h},
+                 Color{50, 50, 55, 255}, style, text_rng);
+  }
+}
+
+void DrawProductPhoto(Bitmap& bitmap, Rng& rng, GlyphStyle style) {
+  // Brand-page photography: clean backdrop, hero product, caption — shares
+  // features with ads (the deliberate FP source).
+  FillVerticalGradient(bitmap, Rect{0, 0, bitmap.width(), bitmap.height()},
+                       Color{235, 235, 238, 255}, Color{210, 212, 216, 255});
+  const int cx = bitmap.width() / 2;
+  const int cy = bitmap.height() / 2;
+  const int size = std::max(10, bitmap.height() / 3);
+  const Color body{static_cast<uint8_t>(rng.NextInt(80, 220)),
+                   static_cast<uint8_t>(rng.NextInt(80, 220)),
+                   static_cast<uint8_t>(rng.NextInt(80, 220)), 255};
+  FillRect(bitmap, Rect{cx - size / 2, cy - size / 2, size, size}, body);
+  DrawRectOutline(bitmap, Rect{cx - size / 2, cy - size / 2, size, size},
+                  Color{255, 255, 255, 255}, 1);
+  Rng text_rng = rng.Fork();
+  DrawTextLine(bitmap,
+               Rect{bitmap.width() / 8, bitmap.height() - 14, (3 * bitmap.width()) / 4, 8},
+               Color{60, 60, 60, 255}, style, text_rng);
+  // Brand pages borrow advertising vocabulary — "shop now" banners, price
+  // circles — without being paid placements: the classifier's FP source.
+  if (rng.NextBool(0.3)) {
+    FillCircle(bitmap, bitmap.width() / 6, bitmap.height() / 4,
+               std::max(5, bitmap.width() / 14), Color{250, 220, 40, 255});
+  }
+  if (rng.NextBool(0.2)) {
+    FillRect(bitmap, Rect{bitmap.width() / 3, bitmap.height() - 26, bitmap.width() / 3, 10},
+             Color{230, 60, 40, 255});
+  }
+}
+
+}  // namespace
+
+ContentKind SampleContentKind(Rng& rng, double product_photo_probability) {
+  if (rng.NextBool(product_photo_probability)) {
+    return ContentKind::kProductPhoto;
+  }
+  switch (rng.NextBelow(4)) {
+    case 0:
+      return ContentKind::kLandscape;
+    case 1:
+      return ContentKind::kPortrait;
+    case 2:
+      return ContentKind::kTexture;
+    default:
+      return ContentKind::kDocument;
+  }
+}
+
+Bitmap GenerateContentImage(Rng& rng, const ContentImageOptions& options) {
+  const int width = rng.NextInt(80, 200);
+  const int height = rng.NextInt(60, 160);
+  Bitmap bitmap(width, height, Color{255, 255, 255, 255});
+  const GlyphStyle style = GlyphStyleFor(options.language);
+  switch (options.kind) {
+    case ContentKind::kLandscape:
+      DrawLandscape(bitmap, rng);
+      break;
+    case ContentKind::kPortrait:
+      DrawPortrait(bitmap, rng);
+      break;
+    case ContentKind::kTexture:
+      DrawTexture(bitmap, rng);
+      break;
+    case ContentKind::kDocument:
+      DrawDocument(bitmap, rng, style);
+      break;
+    case ContentKind::kProductPhoto:
+      DrawProductPhoto(bitmap, rng, style);
+      break;
+  }
+  if (options.shifted_distribution) {
+    AddSpeckleNoise(bitmap, Rect{0, 0, width, height}, 6.0f, rng);
+  }
+  return bitmap;
+}
+
+}  // namespace percival

@@ -1,0 +1,38 @@
+// Procedural non-ad (content) image generator.
+//
+// Content images cover the benign distributions a crawler encounters:
+// landscape/portrait photography, UI textures, document screenshots — plus
+// "high ad intent" product photography (brand-page content), the paper's
+// false-positive source on Facebook (§5.3) and in product-query image
+// search (Fig. 13).
+#ifndef PERCIVAL_SRC_WEBGEN_CONTENTGEN_H_
+#define PERCIVAL_SRC_WEBGEN_CONTENTGEN_H_
+
+#include "src/base/rng.h"
+#include "src/img/bitmap.h"
+#include "src/webgen/language.h"
+
+namespace percival {
+
+enum class ContentKind {
+  kLandscape,
+  kPortrait,
+  kTexture,
+  kDocument,
+  kProductPhoto,  // high ad intent
+};
+
+struct ContentImageOptions {
+  ContentKind kind = ContentKind::kLandscape;
+  Language language = Language::kEnglish;
+  bool shifted_distribution = false;
+};
+
+Bitmap GenerateContentImage(Rng& rng, const ContentImageOptions& options);
+
+// Picks a content kind from the organic web mix (product photos rare).
+ContentKind SampleContentKind(Rng& rng, double product_photo_probability = 0.08);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_WEBGEN_CONTENTGEN_H_

@@ -1,0 +1,99 @@
+#include "src/webgen/facebook.h"
+
+#include <sstream>
+
+#include "src/base/hash.h"
+#include "src/img/codec.h"
+#include "src/webgen/adgen.h"
+#include "src/webgen/contentgen.h"
+
+namespace percival {
+
+std::vector<FeedItem> GenerateFacebookSession(const FacebookSessionConfig& config) {
+  Rng rng(config.seed);
+  std::vector<FeedItem> items;
+  for (int i = 0; i < config.feed_posts; ++i) {
+    FeedItem item;
+    Rng image_rng = rng.Fork();
+    if (rng.NextBool(config.sponsored_fraction)) {
+      item.slot = FeedSlot::kSponsoredPost;
+      item.is_ad = true;
+      item.image = GenerateSponsoredPostImage(image_rng, config.language);
+    } else if (rng.NextBool(config.brand_post_fraction)) {
+      item.slot = FeedSlot::kBrandPost;
+      item.is_ad = false;
+      ContentImageOptions options;
+      options.kind = ContentKind::kProductPhoto;
+      options.language = config.language;
+      item.image = GenerateContentImage(image_rng, options);
+    } else {
+      item.slot = FeedSlot::kOrganicPost;
+      item.is_ad = false;
+      ContentImageOptions options;
+      options.kind = image_rng.NextBool() ? ContentKind::kPortrait : ContentKind::kLandscape;
+      options.language = config.language;
+      item.image = GenerateContentImage(image_rng, options);
+    }
+    items.push_back(std::move(item));
+  }
+  for (int i = 0; i < config.right_column_ads; ++i) {
+    FeedItem item;
+    item.slot = FeedSlot::kRightColumnAd;
+    item.is_ad = true;
+    Rng image_rng = rng.Fork();
+    AdImageOptions options;
+    options.slot = AdSlotKind::kSquare;
+    options.language = config.language;
+    options.cue_dropout = 0.10;  // right-column units are cue-rich
+    item.image = GenerateAdImage(image_rng, options);
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+WebPage BuildFacebookPage(const FacebookSessionConfig& config) {
+  std::vector<FeedItem> items = GenerateFacebookSession(config);
+  Rng rng(HashCombine(config.seed, 0xFBULL));
+
+  WebPage page;
+  page.url = "https://www.social.example/feed";
+  std::ostringstream html;
+  html << "<html><body bg=\"#F0F2F5\">";
+  html << "<div class=\"topbar\" height=\"44\" bg=\"#1B74E4\"></div>";
+  html << "<div class=\"feed\" width=\"560\">";
+
+  int index = 0;
+  int right_y = 60;
+  for (const FeedItem& item : items) {
+    const std::string url =
+        "https://cdn.social.example/media/" + std::to_string(config.seed) + "-" +
+        std::to_string(index) + ".pif";
+    WebResource resource;
+    resource.type = ResourceType::kImage;
+    resource.bytes = EncodePif(item.image);
+    resource.latency_ms = rng.NextFloat(10.0f, 90.0f);
+    resource.is_ad = item.is_ad;
+    page.resources[url] = std::move(resource);
+
+    if (item.slot == FeedSlot::kRightColumnAd) {
+      html << "<div class=\"rhc-unit\" x=\"720\" y=\"" << right_y << "\" width=\""
+           << item.image.width() << "\"><img src=\"" << url << "\" width=\""
+           << item.image.width() << "\" height=\"" << item.image.height() << "\"/></div>";
+      right_y += item.image.height() + 12;
+    } else {
+      // Sponsored posts use a rotating, obfuscated class so no stable
+      // cosmetic rule can target them (post code "looks identical to
+      // normal posts", §5.3).
+      std::string klass = "x" + std::to_string(rng.NextU64() % 100000);
+      html << "<div class=\"" << klass << "\" width=\"540\"><p>post text</p><img src=\"" << url
+           << "\" width=\"" << item.image.width() << "\" height=\"" << item.image.height()
+           << "\"/></div>";
+    }
+    ++index;
+  }
+  html << "</div></body></html>";
+  page.html = html.str();
+  return page;
+}
+
+}  // namespace percival

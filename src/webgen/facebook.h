@@ -1,0 +1,52 @@
+// Facebook-like feed generator for the first-party ad experiment (§5.3).
+//
+// Feeds mix organic user posts, brand-page posts (high ad intent — the
+// paper's FP source), in-feed sponsored posts (obfuscated DOM signatures,
+// organic-looking imagery — the FN source), and right-column ad units
+// (classic creatives the classifier "always picks out").
+#ifndef PERCIVAL_SRC_WEBGEN_FACEBOOK_H_
+#define PERCIVAL_SRC_WEBGEN_FACEBOOK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/img/bitmap.h"
+#include "src/renderer/web_page.h"
+#include "src/webgen/language.h"
+
+namespace percival {
+
+enum class FeedSlot {
+  kOrganicPost,     // friend content
+  kBrandPost,       // page-owned product content (non-ad ground truth)
+  kSponsoredPost,   // in-feed ad
+  kRightColumnAd,   // classic ad unit
+};
+
+struct FeedItem {
+  FeedSlot slot = FeedSlot::kOrganicPost;
+  Bitmap image;
+  bool is_ad = false;  // ground truth: sponsored + right-column are ads
+};
+
+struct FacebookSessionConfig {
+  uint64_t seed = 1234;
+  int feed_posts = 50;                  // in-feed items per session
+  int right_column_ads = 4;             // right-column units per session
+  double sponsored_fraction = 0.12;     // of feed posts
+  double brand_post_fraction = 0.15;    // of organic posts
+  Language language = Language::kEnglish;
+};
+
+// One browsing session's worth of feed imagery with ground truth.
+std::vector<FeedItem> GenerateFacebookSession(const FacebookSessionConfig& config);
+
+// Renders a session as a WebPage (feed column + right column) whose DOM
+// uses obfuscated, rotating class names for sponsored posts so cosmetic
+// filter rules cannot latch onto them — the paper's "signature" arms race.
+WebPage BuildFacebookPage(const FacebookSessionConfig& config);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_WEBGEN_FACEBOOK_H_

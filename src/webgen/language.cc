@@ -1,0 +1,74 @@
+#include "src/webgen/language.h"
+
+namespace percival {
+
+const char* LanguageName(Language language) {
+  switch (language) {
+    case Language::kEnglish:
+      return "English";
+    case Language::kArabic:
+      return "Arabic";
+    case Language::kSpanish:
+      return "Spanish";
+    case Language::kFrench:
+      return "French";
+    case Language::kKorean:
+      return "Korean";
+    case Language::kChinese:
+      return "Chinese";
+    case Language::kPortuguese:
+      return "Portuguese";
+    case Language::kGerman:
+      return "German";
+  }
+  return "English";
+}
+
+GlyphStyle GlyphStyleFor(Language language) {
+  switch (language) {
+    case Language::kEnglish:
+      return GlyphStyle::kLatin;
+    case Language::kArabic:
+      return GlyphStyle::kArabic;
+    case Language::kSpanish:
+    case Language::kFrench:
+    case Language::kPortuguese:
+      return GlyphStyle::kAccented;
+    case Language::kKorean:
+      return GlyphStyle::kHangul;
+    case Language::kChinese:
+      return GlyphStyle::kCjk;
+    case Language::kGerman:
+      return GlyphStyle::kLatin;
+  }
+  return GlyphStyle::kLatin;
+}
+
+double TextOnlyAdProbability(Language language) {
+  switch (language) {
+    case Language::kEnglish:
+      return 0.05;
+    case Language::kSpanish:
+      return 0.08;
+    case Language::kFrench:
+      return 0.10;
+    case Language::kGerman:
+      return 0.10;
+    case Language::kPortuguese:
+      return 0.12;
+    case Language::kArabic:
+      return 0.30;
+    case Language::kChinese:
+      return 0.38;
+    case Language::kKorean:
+      return 0.45;
+  }
+  return 0.05;
+}
+
+std::vector<Language> Fig9Languages() {
+  return {Language::kArabic, Language::kSpanish, Language::kFrench, Language::kKorean,
+          Language::kChinese};
+}
+
+}  // namespace percival

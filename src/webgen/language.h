@@ -1,0 +1,40 @@
+// Language model for the language-agnostic experiments (Fig. 9, Fig. 17).
+//
+// Each language maps to a pseudo-script glyph style plus a "textual-cue
+// reliance" factor: CJK-market ads in the paper's data rely more on dense
+// text and less on the western visual cues (AdChoices, CTA buttons) the
+// model keys on, which is why Korean/Chinese accuracy drops.
+#ifndef PERCIVAL_SRC_WEBGEN_LANGUAGE_H_
+#define PERCIVAL_SRC_WEBGEN_LANGUAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/img/draw.h"
+
+namespace percival {
+
+enum class Language {
+  kEnglish,
+  kArabic,
+  kSpanish,
+  kFrench,
+  kKorean,
+  kChinese,
+  kPortuguese,
+  kGerman,
+};
+
+const char* LanguageName(Language language);
+GlyphStyle GlyphStyleFor(Language language);
+
+// Probability that an ad in this market omits the western ad cues (logo /
+// CTA / border) and is carried by text alone — the hard case.
+double TextOnlyAdProbability(Language language);
+
+// All languages evaluated in Fig. 9, in table order.
+std::vector<Language> Fig9Languages();
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_WEBGEN_LANGUAGE_H_

@@ -1,0 +1,52 @@
+#include "src/webgen/search.h"
+
+#include "src/base/hash.h"
+#include "src/webgen/adgen.h"
+#include "src/webgen/contentgen.h"
+
+namespace percival {
+
+std::vector<SearchQueryProfile> Fig13Queries() {
+  // ad_intent calibrated to the paper's blocked counts: "Obama" is almost
+  // all portrait/news photography; "Advertisement" is nearly all creatives;
+  // product queries are mixtures of ads and (ambiguous) product photos.
+  return {
+      {"Obama", 0.02, 0.02, true},
+      {"Advertisement", 0.92, 0.05, true},
+      {"Shoes", 0.45, 0.60, false},
+      {"Pastry", 0.12, 0.40, false},
+      {"Coffee", 0.20, 0.45, false},
+      {"Detergent", 0.75, 0.55, true},
+      {"iPhone", 0.65, 0.75, true},
+  };
+}
+
+std::vector<SearchResultImage> GenerateSearchResults(const SearchQueryProfile& profile,
+                                                     int count, uint64_t seed) {
+  Rng rng(HashCombine(seed, HashString(profile.query)));
+  std::vector<SearchResultImage> results;
+  results.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    SearchResultImage result;
+    Rng image_rng = rng.Fork();
+    const bool is_ad = rng.NextBool(profile.ad_intent);
+    if (is_ad) {
+      AdImageOptions options;
+      options.slot = image_rng.NextBool() ? AdSlotKind::kRectangle : AdSlotKind::kBanner;
+      options.cue_dropout = 0.20;
+      result.image = GenerateAdImage(image_rng, options);
+    } else {
+      ContentImageOptions options;
+      options.kind = image_rng.NextBool(profile.product_content) ? ContentKind::kProductPhoto
+                                                                 : SampleContentKind(image_rng);
+      result.image = GenerateContentImage(image_rng, options);
+    }
+    if (profile.labelable) {
+      result.is_ad = is_ad;
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace percival

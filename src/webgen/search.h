@@ -1,0 +1,43 @@
+// Google-image-search stand-in for the ad-intent experiment (Fig. 13).
+//
+// Each query maps to an "ad intent": the probability that a result image is
+// drawn from the ad distribution rather than the content distribution.
+// Product queries additionally bias the content mix toward product
+// photography, producing the FP/FN profile the paper reports for queries
+// like "iPhone" and "Detergent".
+#ifndef PERCIVAL_SRC_WEBGEN_SEARCH_H_
+#define PERCIVAL_SRC_WEBGEN_SEARCH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/img/bitmap.h"
+
+namespace percival {
+
+struct SearchResultImage {
+  Bitmap image;
+  // Ground truth. nullopt mirrors the paper's "-" rows, where a human
+  // could not determine ad vs non-ad (ambiguous product content).
+  std::optional<bool> is_ad;
+};
+
+struct SearchQueryProfile {
+  std::string query;
+  double ad_intent = 0.0;          // fraction of results that are real ads
+  double product_content = 0.0;    // fraction of content that is product-like
+  bool labelable = true;           // false => ground truth withheld
+};
+
+// The seven Fig. 13 queries with calibrated intents.
+std::vector<SearchQueryProfile> Fig13Queries();
+
+// Generates `count` result images for a query profile.
+std::vector<SearchResultImage> GenerateSearchResults(const SearchQueryProfile& profile,
+                                                     int count, uint64_t seed);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_WEBGEN_SEARCH_H_

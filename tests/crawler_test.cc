@@ -1,0 +1,232 @@
+// Crawler tests: dataset post-processing (dedup / balance / split), the
+// screenshot crawler's race condition, and the pipeline crawler's race-free
+// capture guarantee.
+#include <gtest/gtest.h>
+
+#include "src/crawler/dataset.h"
+#include "src/crawler/pipeline_crawler.h"
+#include "src/crawler/screenshot_crawler.h"
+#include "src/img/draw.h"
+#include "src/webgen/ad_network.h"
+
+namespace percival {
+namespace {
+
+LabeledImage Solid(Color color, bool is_ad) {
+  LabeledImage example;
+  example.image = Bitmap(16, 16, color);
+  example.is_ad = is_ad;
+  return example;
+}
+
+TEST(DatasetTest, CountsByClass) {
+  Dataset dataset;
+  dataset.Add(Solid(Color{1, 0, 0, 255}, true));
+  dataset.Add(Solid(Color{0, 1, 0, 255}, false));
+  dataset.Add(Solid(Color{0, 0, 1, 255}, false));
+  EXPECT_EQ(dataset.size(), 3);
+  EXPECT_EQ(dataset.ad_count(), 1);
+  EXPECT_EQ(dataset.non_ad_count(), 2);
+}
+
+TEST(DatasetTest, DeduplicateRemovesExactCopies) {
+  Dataset dataset;
+  dataset.Add(Solid(Color{5, 5, 5, 255}, true));
+  dataset.Add(Solid(Color{5, 5, 5, 255}, true));
+  dataset.Add(Solid(Color{200, 5, 5, 255}, true));
+  EXPECT_EQ(dataset.Deduplicate(0), 1);
+  EXPECT_EQ(dataset.size(), 2);
+}
+
+TEST(DatasetTest, DeduplicateNearDuplicatesSameClassOnly) {
+  Rng rng(1);
+  Dataset dataset;
+  Bitmap base(32, 32, Color{100, 100, 100, 255});
+  FillRect(base, Rect{0, 0, 16, 32}, Color{240, 240, 240, 255});
+  Bitmap near = base;
+  AddSpeckleNoise(near, Rect{0, 0, 4, 4}, 2.0f, rng);
+  LabeledImage a;
+  a.image = base;
+  a.is_ad = true;
+  LabeledImage b;
+  b.image = near;
+  b.is_ad = true;
+  LabeledImage c;
+  c.image = near;
+  c.is_ad = false;  // same pixels, different class: must survive
+  dataset.Add(a);
+  dataset.Add(b);
+  dataset.Add(c);
+  dataset.Deduplicate(4);
+  EXPECT_EQ(dataset.size(), 2);
+  EXPECT_EQ(dataset.ad_count(), 1);
+  EXPECT_EQ(dataset.non_ad_count(), 1);
+}
+
+TEST(DatasetTest, BalanceEqualizesClasses) {
+  Dataset dataset;
+  for (int i = 0; i < 10; ++i) {
+    dataset.Add(Solid(Color{static_cast<uint8_t>(i), 0, 0, 255}, false));
+  }
+  for (int i = 0; i < 4; ++i) {
+    dataset.Add(Solid(Color{0, static_cast<uint8_t>(i), 0, 255}, true));
+  }
+  dataset.Balance();
+  EXPECT_EQ(dataset.ad_count(), 4);
+  EXPECT_EQ(dataset.non_ad_count(), 4);
+}
+
+TEST(DatasetTest, BalanceOnEmptyIsNoop) {
+  Dataset dataset;
+  dataset.Balance();
+  EXPECT_EQ(dataset.size(), 0);
+}
+
+TEST(DatasetTest, SplitValidationTakesTail) {
+  Dataset dataset;
+  for (int i = 0; i < 10; ++i) {
+    dataset.Add(Solid(Color{static_cast<uint8_t>(i), 0, 0, 255}, i % 2 == 0));
+  }
+  Dataset validation = dataset.SplitValidation(0.3);
+  EXPECT_EQ(validation.size(), 3);
+  EXPECT_EQ(dataset.size(), 7);
+}
+
+TEST(DatasetTest, ShuffleIsDeterministic) {
+  auto build = [] {
+    Dataset dataset;
+    for (int i = 0; i < 20; ++i) {
+      dataset.Add(Solid(Color{static_cast<uint8_t>(i), 0, 0, 255}, false));
+    }
+    return dataset;
+  };
+  Dataset a = build();
+  Dataset b = build();
+  Rng rng_a(3);
+  Rng rng_b(3);
+  a.Shuffle(rng_a);
+  b.Shuffle(rng_b);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.example(i).image.GetPixel(0, 0).r, b.example(i).image.GetPixel(0, 0).r);
+  }
+}
+
+class CrawlerFixture : public ::testing::Test {
+ protected:
+  CrawlerFixture()
+      : networks_(BuildAdNetworks(MakeEcosystem())),
+        generator_(MakeSiteConfig(), networks_) {
+    easylist_.AddList(BuildSyntheticEasyList(networks_));
+  }
+
+  static AdEcosystemConfig MakeEcosystem() {
+    AdEcosystemConfig config;
+    config.network_count = 6;
+    config.listed_fraction = 1.0;  // full coverage => clean labels
+    return config;
+  }
+
+  static SiteGenConfig MakeSiteConfig() {
+    SiteGenConfig config;
+    config.seed = 77;
+    config.iframe_latency_max_ms = 900.0;
+    return config;
+  }
+
+  std::vector<AdNetwork> networks_;
+  SiteGenerator generator_;
+  FilterEngine easylist_;
+};
+
+TEST_F(CrawlerFixture, ScreenshotCrawlProducesBlankRacyCaptures) {
+  ScreenshotCrawlConfig config;
+  config.sites = 8;
+  config.pages_per_site = 2;
+  config.screenshot_delay_ms = 200.0;  // aggressive: many iframes race
+  ScreenshotCrawlStats stats;
+  Dataset dataset = RunScreenshotCrawl(generator_, easylist_, config, &stats);
+  EXPECT_GT(dataset.size(), 0);
+  EXPECT_GT(stats.blank_captures, 0)
+      << "the race must produce white-space captures (§4.4.2)";
+  EXPECT_GT(stats.elements_matched, 0);
+  EXPECT_GT(stats.elements_unmatched, 0);
+}
+
+TEST_F(CrawlerFixture, LongerDelayReducesBlankCaptures) {
+  ScreenshotCrawlConfig fast;
+  fast.sites = 8;
+  fast.pages_per_site = 2;
+  fast.screenshot_delay_ms = 100.0;
+  ScreenshotCrawlConfig slow = fast;
+  slow.screenshot_delay_ms = 5000.0;
+  ScreenshotCrawlStats fast_stats;
+  ScreenshotCrawlStats slow_stats;
+  RunScreenshotCrawl(generator_, easylist_, fast, &fast_stats);
+  RunScreenshotCrawl(generator_, easylist_, slow, &slow_stats);
+  EXPECT_LT(slow_stats.blank_captures, fast_stats.blank_captures);
+}
+
+TEST_F(CrawlerFixture, PipelineCrawlNeverCapturesBlanks) {
+  PipelineCrawlConfig config;
+  config.sites = 8;
+  config.pages_per_site = 2;
+  PipelineCrawlStats stats;
+  Dataset dataset =
+      RunPipelineCrawl(generator_, EasyListLabeller(easylist_), config, &stats);
+  EXPECT_GT(stats.frames_captured, 0);
+  // Every captured ad frame has actual pixel content — the pipeline
+  // crawler's guarantee.
+  int blank_ads = 0;
+  for (const LabeledImage& example : dataset.examples()) {
+    if (example.is_ad &&
+        NonBackgroundFraction(example.image, Color{255, 255, 255, 255}) < 0.01) {
+      ++blank_ads;
+    }
+  }
+  EXPECT_EQ(blank_ads, 0);
+}
+
+TEST_F(CrawlerFixture, PipelineCrawlCapturesMoreAdsThanRacyScreenshots) {
+  ScreenshotCrawlConfig screenshot_config;
+  screenshot_config.sites = 8;
+  screenshot_config.pages_per_site = 2;
+  screenshot_config.screenshot_delay_ms = 200.0;
+  ScreenshotCrawlStats screenshot_stats;
+  Dataset screenshot_set =
+      RunScreenshotCrawl(generator_, easylist_, screenshot_config, &screenshot_stats);
+
+  PipelineCrawlConfig pipeline_config;
+  pipeline_config.sites = 8;
+  pipeline_config.pages_per_site = 2;
+  PipelineCrawlStats pipeline_stats;
+  Dataset pipeline_set = RunPipelineCrawl(generator_, EasyListLabeller(easylist_),
+                                          pipeline_config, &pipeline_stats);
+
+  // Usable (non-blank) ad captures: pipeline wins.
+  int screenshot_usable = 0;
+  for (const LabeledImage& example : screenshot_set.examples()) {
+    if (example.is_ad &&
+        NonBackgroundFraction(example.image, Color{255, 255, 255, 255}) > 0.01) {
+      ++screenshot_usable;
+    }
+  }
+  int pipeline_usable = 0;
+  for (const LabeledImage& example : pipeline_set.examples()) {
+    if (example.is_ad) {
+      ++pipeline_usable;
+    }
+  }
+  EXPECT_GT(pipeline_usable, screenshot_usable);
+}
+
+TEST_F(CrawlerFixture, EasyListLabellerAgreesWithGroundTruthUnderFullCoverage) {
+  PipelineCrawlConfig config;
+  config.sites = 6;
+  config.pages_per_site = 2;
+  PipelineCrawlStats stats;
+  RunPipelineCrawl(generator_, EasyListLabeller(easylist_), config, &stats);
+  EXPECT_EQ(stats.label_errors, 0);
+}
+
+}  // namespace
+}  // namespace percival

@@ -1,0 +1,192 @@
+// Property tests for the filter engine: the wildcard matcher against a
+// brute-force reference implementation on random patterns/texts, rule
+// parsing round-trips, and engine-level invariants (exception dominance,
+// monotonicity) across randomly generated rule sets.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/base/rng.h"
+#include "src/filter/engine.h"
+#include "src/filter/matcher.h"
+
+namespace percival {
+namespace {
+
+// Reference matcher: straightforward exponential-time recursion, obviously
+// correct for short patterns. '^' = separator class, '*' = any run.
+bool ReferenceMatch(const std::string& pattern, const std::string& text, size_t pi, size_t ti,
+                    bool anchor_end) {
+  auto is_separator = [](char c) {
+    return !(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == '.' ||
+             c == '%');
+  };
+  if (pi == pattern.size()) {
+    return !anchor_end || ti == text.size();
+  }
+  const char pc = pattern[pi];
+  if (pc == '*') {
+    for (size_t skip = ti; skip <= text.size(); ++skip) {
+      if (ReferenceMatch(pattern, text, pi + 1, skip, anchor_end)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (ti < text.size()) {
+    const char tc = text[ti];
+    if (pc == '^' ? is_separator(tc) : pc == tc) {
+      return ReferenceMatch(pattern, text, pi + 1, ti + 1, anchor_end);
+    }
+  }
+  // '^' also matches the virtual end-of-address position.
+  if (pc == '^' && ti == text.size()) {
+    return ReferenceMatch(pattern, text, pi + 1, ti, anchor_end);
+  }
+  return false;
+}
+
+std::string RandomPattern(Rng& rng) {
+  static const char kAlphabet[] = "ab/.*^";
+  std::string pattern;
+  const int length = rng.NextInt(1, 8);
+  for (int i = 0; i < length; ++i) {
+    pattern += kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)];
+  }
+  return pattern;
+}
+
+std::string RandomText(Rng& rng) {
+  static const char kAlphabet[] = "ab/.:";
+  std::string text;
+  const int length = rng.NextInt(0, 10);
+  for (int i = 0; i < length; ++i) {
+    text += kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)];
+  }
+  return text;
+}
+
+TEST(MatcherPropertyTest, AgreesWithReferenceOnRandomInputs) {
+  Rng rng(42);
+  int matched = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    const std::string pattern = RandomPattern(rng);
+    const std::string text = RandomText(rng);
+    const bool anchor_end = rng.NextBool();
+    const bool expected = ReferenceMatch(pattern, text, 0, 0, anchor_end);
+    const bool actual = PatternMatchesAt(pattern, text, 0, anchor_end);
+    ASSERT_EQ(actual, expected)
+        << "pattern='" << pattern << "' text='" << text << "' anchor_end=" << anchor_end;
+    matched += expected ? 1 : 0;
+  }
+  // Sanity: the corpus exercises both outcomes.
+  EXPECT_GT(matched, 100);
+  EXPECT_LT(matched, 4900);
+}
+
+TEST(MatcherPropertyTest, WildcardIsNeverMoreRestrictive) {
+  // Property: replacing any literal character with '*' can only grow the
+  // set of matched texts.
+  Rng rng(43);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string pattern = RandomPattern(rng);
+    const std::string text = RandomText(rng);
+    const bool before = PatternMatchesAt(pattern, text, 0, false);
+    const size_t position = rng.NextBelow(pattern.size());
+    pattern[position] = '*';
+    const bool after = PatternMatchesAt(pattern, text, 0, false);
+    if (before) {
+      EXPECT_TRUE(after) << "pattern='" << pattern << "' text='" << text << "'";
+    }
+  }
+}
+
+TEST(EnginePropertyTest, ExceptionAlwaysDominatesAnyRuleSet) {
+  // For random rule sets containing a block and an exception for the same
+  // host, the exception must win regardless of rule order and noise rules.
+  Rng rng(44);
+  for (int trial = 0; trial < 50; ++trial) {
+    FilterEngine engine;
+    std::vector<std::string> rules;
+    rules.push_back("||target.example^");
+    rules.push_back("@@||target.example^");
+    for (int i = 0; i < 10; ++i) {
+      rules.push_back("||noise" + std::to_string(rng.NextBelow(100)) + ".example^");
+    }
+    rng.Shuffle(rules);
+    engine.AddList(rules);
+    RequestContext request;
+    request.url = Url::Parse("https://target.example/x.png");
+    request.page_host = "site.example";
+    request.type = ResourceType::kImage;
+    EXPECT_FALSE(engine.ShouldBlockRequest(request).blocked) << "trial " << trial;
+  }
+}
+
+TEST(EnginePropertyTest, AddingBlockRulesIsMonotonic) {
+  // Adding a (non-exception) rule never un-blocks a previously blocked
+  // request.
+  Rng rng(45);
+  FilterEngine engine;
+  std::vector<RequestContext> requests;
+  for (int i = 0; i < 20; ++i) {
+    RequestContext request;
+    request.url = Url::Parse("https://host" + std::to_string(i) + ".example/p/" +
+                             std::to_string(i) + ".png");
+    request.page_host = "site.example";
+    request.type = ResourceType::kImage;
+    requests.push_back(request);
+  }
+  std::vector<bool> blocked(requests.size(), false);
+  for (int step = 0; step < 20; ++step) {
+    engine.AddRule("||host" + std::to_string(rng.NextBelow(20)) + ".example^");
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const bool now = engine.ShouldBlockRequest(requests[i]).blocked;
+      if (blocked[i]) {
+        EXPECT_TRUE(now) << "request " << i << " un-blocked at step " << step;
+      }
+      blocked[i] = now;
+    }
+  }
+}
+
+TEST(RuleParsePropertyTest, ParserNeverCrashesOnRandomLines) {
+  Rng rng(46);
+  static const char kAlphabet[] = "abc.|^*$@#!~,=/-";
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string line;
+    const int length = rng.NextInt(0, 24);
+    for (int i = 0; i < length; ++i) {
+      line += kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)];
+    }
+    (void)ParseRuleLine(line);  // must not crash; may reject
+  }
+  SUCCEED();
+}
+
+TEST(RuleParsePropertyTest, ParsedNetworkRulesAreMatchable) {
+  // Any accepted network rule must be safely matchable against arbitrary
+  // URLs (no crashes, no pathological behaviour).
+  Rng rng(47);
+  static const char kAlphabet[] = "ab.|^*$@/";
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string line;
+    const int length = rng.NextInt(1, 16);
+    for (int i = 0; i < length; ++i) {
+      line += kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)];
+    }
+    std::optional<ParsedRule> parsed = ParseRuleLine(line);
+    if (!parsed || !parsed->network) {
+      continue;
+    }
+    RequestContext request;
+    request.url = Url::Parse("https://a.b.example/path/a.png?q=1");
+    request.page_host = "site.example";
+    request.type = ResourceType::kImage;
+    (void)MatchesNetworkRule(*parsed->network, request);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace percival

@@ -1,0 +1,305 @@
+// Filter-engine tests: URL parsing, rule parsing, Adblock-Plus matching
+// semantics (anchors, wildcards, separators, options), cosmetic rules, and
+// the exception-wins invariant.
+#include <gtest/gtest.h>
+
+#include "src/filter/cosmetic.h"
+#include "src/filter/engine.h"
+#include "src/filter/matcher.h"
+#include "src/filter/rule.h"
+#include "src/filter/url.h"
+
+namespace percival {
+namespace {
+
+RequestContext MakeRequest(const std::string& url, const std::string& page_host,
+                           ResourceType type = ResourceType::kImage) {
+  RequestContext request;
+  request.url = Url::Parse(url);
+  request.page_host = page_host;
+  request.type = type;
+  return request;
+}
+
+TEST(UrlTest, ParseComponents) {
+  Url url = Url::Parse("https://cdn.adnet1.example/banner/1.pif?w=300");
+  EXPECT_EQ(url.scheme, "https");
+  EXPECT_EQ(url.host, "cdn.adnet1.example");
+  EXPECT_EQ(url.path, "/banner/1.pif?w=300");
+}
+
+TEST(UrlTest, ParseNoPath) {
+  Url url = Url::Parse("http://example.com");
+  EXPECT_EQ(url.host, "example.com");
+  EXPECT_EQ(url.path, "/");
+}
+
+TEST(UrlTest, RegistrableDomain) {
+  EXPECT_EQ(Url::Parse("https://a.b.example.com/x").RegistrableDomain(), "example.com");
+  EXPECT_EQ(Url::Parse("https://example.com/x").RegistrableDomain(), "example.com");
+}
+
+TEST(UrlTest, ThirdPartyDetection) {
+  Url url = Url::Parse("https://cdn.adnet1.example/img");
+  EXPECT_TRUE(url.IsThirdPartyOf("news-site-1.example"));
+  EXPECT_FALSE(url.IsThirdPartyOf("www.adnet1.example"));
+}
+
+TEST(UrlTest, HostMatchesDomain) {
+  EXPECT_TRUE(HostMatchesDomain("a.example.com", "example.com"));
+  EXPECT_TRUE(HostMatchesDomain("example.com", "example.com"));
+  EXPECT_FALSE(HostMatchesDomain("badexample.com", "example.com"));
+  EXPECT_FALSE(HostMatchesDomain("example.com", "a.example.com"));
+}
+
+TEST(RuleParseTest, CommentsIgnored) {
+  auto parsed = ParseRuleLine("! this is a comment");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_comment);
+}
+
+TEST(RuleParseTest, DomainAnchor) {
+  auto parsed = ParseRuleLine("||ads.example.com^");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->network.has_value());
+  EXPECT_TRUE(parsed->network->anchor_domain);
+  EXPECT_EQ(parsed->network->pattern, "ads.example.com^");
+}
+
+TEST(RuleParseTest, ExceptionPrefix) {
+  auto parsed = ParseRuleLine("@@||cdn.example.com^$image");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->network.has_value());
+  EXPECT_TRUE(parsed->network->is_exception);
+  ASSERT_EQ(parsed->network->types.size(), 1u);
+  EXPECT_EQ(parsed->network->types[0], ResourceType::kImage);
+}
+
+TEST(RuleParseTest, OptionsParsing) {
+  auto parsed = ParseRuleLine("/banner/*$image,third-party,domain=a.com|~b.com");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->network.has_value());
+  const NetworkRule& rule = *parsed->network;
+  EXPECT_TRUE(rule.third_party.has_value());
+  EXPECT_TRUE(*rule.third_party);
+  ASSERT_EQ(rule.include_domains.size(), 1u);
+  EXPECT_EQ(rule.include_domains[0], "a.com");
+  ASSERT_EQ(rule.exclude_domains.size(), 1u);
+  EXPECT_EQ(rule.exclude_domains[0], "b.com");
+}
+
+TEST(RuleParseTest, CosmeticGeneric) {
+  auto parsed = ParseRuleLine("##.ad-banner");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->cosmetic.has_value());
+  EXPECT_EQ(parsed->cosmetic->selector, ".ad-banner");
+  EXPECT_TRUE(parsed->cosmetic->domains.empty());
+}
+
+TEST(RuleParseTest, CosmeticDomainSpecific) {
+  auto parsed = ParseRuleLine("example.com,other.com##div.promo");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->cosmetic.has_value());
+  EXPECT_EQ(parsed->cosmetic->domains.size(), 2u);
+}
+
+TEST(RuleParseTest, CosmeticException) {
+  auto parsed = ParseRuleLine("example.com#@#.ad-banner");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->cosmetic.has_value());
+  EXPECT_TRUE(parsed->cosmetic->is_exception);
+}
+
+TEST(RuleParseTest, EmptyAndUnsupportedRejected) {
+  EXPECT_TRUE(ParseRuleLine("")->is_comment);
+  EXPECT_FALSE(ParseRuleLine("##").has_value());
+  EXPECT_FALSE(ParseRuleLine("@@").has_value());
+}
+
+// --- Pattern matching semantics ---------------------------------------------
+
+TEST(MatcherTest, PlainSubstring) {
+  NetworkRule rule;
+  rule.pattern = "/banner/";
+  EXPECT_TRUE(MatchesNetworkRule(rule, MakeRequest("https://x.example/banner/1.png", "s.com")));
+  EXPECT_FALSE(MatchesNetworkRule(rule, MakeRequest("https://x.example/content/1.png", "s.com")));
+}
+
+TEST(MatcherTest, WildcardSpansSegments) {
+  NetworkRule rule;
+  rule.pattern = "/serve/*.js";
+  EXPECT_TRUE(
+      MatchesNetworkRule(rule, MakeRequest("https://x.example/serve/a/b/tag.js", "s.com")));
+  EXPECT_FALSE(MatchesNetworkRule(rule, MakeRequest("https://x.example/serve/a.css", "s.com")));
+}
+
+TEST(MatcherTest, SeparatorMatchesPunctuationAndEnd) {
+  NetworkRule rule;
+  rule.anchor_domain = true;
+  rule.pattern = "ads.example^";
+  EXPECT_TRUE(MatchesNetworkRule(rule, MakeRequest("https://ads.example/x", "s.com")));
+  EXPECT_TRUE(MatchesNetworkRule(rule, MakeRequest("https://ads.example", "s.com")));
+  // '^' must not match an alphanumeric continuation.
+  EXPECT_FALSE(MatchesNetworkRule(rule, MakeRequest("https://ads.examples/x", "s.com")));
+}
+
+TEST(MatcherTest, DomainAnchorMatchesSubdomains) {
+  NetworkRule rule;
+  rule.anchor_domain = true;
+  rule.pattern = "adnet.example^";
+  EXPECT_TRUE(MatchesNetworkRule(rule, MakeRequest("https://cdn.adnet.example/a", "s.com")));
+  EXPECT_TRUE(MatchesNetworkRule(rule, MakeRequest("https://adnet.example/a", "s.com")));
+  // Not at a label boundary:
+  EXPECT_FALSE(MatchesNetworkRule(rule, MakeRequest("https://myadnet.example/a", "s.com")));
+  // Pattern appearing in the path must not satisfy a domain anchor.
+  EXPECT_FALSE(
+      MatchesNetworkRule(rule, MakeRequest("https://benign.com/adnet.example/", "s.com")));
+}
+
+TEST(MatcherTest, StartAndEndAnchors) {
+  NetworkRule start;
+  start.anchor_start = true;
+  start.pattern = "https://exact.example/";
+  EXPECT_TRUE(MatchesNetworkRule(start, MakeRequest("https://exact.example/x", "s.com")));
+  EXPECT_FALSE(MatchesNetworkRule(start, MakeRequest("http://a.com/https://exact.example/",
+                                                     "s.com")));
+
+  NetworkRule end;
+  end.anchor_end = true;
+  end.pattern = ".pif";
+  EXPECT_TRUE(MatchesNetworkRule(end, MakeRequest("https://x.example/a.pif", "s.com")));
+  EXPECT_FALSE(MatchesNetworkRule(end, MakeRequest("https://x.example/a.pif.txt", "s.com")));
+}
+
+TEST(MatcherTest, TypeOptionFilters) {
+  NetworkRule rule;
+  rule.pattern = "/ads/";
+  rule.types = {ResourceType::kScript};
+  EXPECT_TRUE(MatchesNetworkRule(
+      rule, MakeRequest("https://x.example/ads/t.js", "s.com", ResourceType::kScript)));
+  EXPECT_FALSE(MatchesNetworkRule(
+      rule, MakeRequest("https://x.example/ads/i.png", "s.com", ResourceType::kImage)));
+}
+
+TEST(MatcherTest, ThirdPartyOption) {
+  NetworkRule rule;
+  rule.pattern = "/img/";
+  rule.third_party = true;
+  EXPECT_TRUE(MatchesNetworkRule(
+      rule, MakeRequest("https://other.example2/img/a", "news.example")));
+  EXPECT_FALSE(MatchesNetworkRule(
+      rule, MakeRequest("https://cdn.news.example/img/a", "news.example")));
+}
+
+TEST(MatcherTest, DomainOption) {
+  NetworkRule rule;
+  rule.pattern = "/promo/";
+  rule.include_domains = {"news.example"};
+  EXPECT_TRUE(
+      MatchesNetworkRule(rule, MakeRequest("https://x.example/promo/a", "sub.news.example")));
+  EXPECT_FALSE(MatchesNetworkRule(rule, MakeRequest("https://x.example/promo/a", "other.org")));
+}
+
+// Property sweep: the matcher's wildcard algorithm against a corpus.
+struct PatternCase {
+  const char* pattern;
+  const char* text;
+  bool expected;
+};
+
+class PatternMatchTest : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(PatternMatchTest, MatchesAtStart) {
+  const PatternCase& c = GetParam();
+  EXPECT_EQ(PatternMatchesAt(c.pattern, c.text, 0, false), c.expected)
+      << c.pattern << " vs " << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PatternMatchTest,
+    ::testing::Values(PatternCase{"abc", "abcdef", true}, PatternCase{"abc", "abdc", false},
+                      PatternCase{"a*c", "abbbc", true}, PatternCase{"a*c", "ac", true},
+                      PatternCase{"a*c", "ab", false}, PatternCase{"*x", "aaax", true},
+                      PatternCase{"a^b", "a/b", true}, PatternCase{"a^b", "a1b", false},
+                      PatternCase{"a^", "a", true},  // '^' matches end
+                      PatternCase{"a*b*c", "axxbyyc", true},
+                      PatternCase{"a*b*c", "axxcyyb", false}));
+
+// --- Cosmetic ---------------------------------------------------------------
+
+TEST(CosmeticTest, SelectorForms) {
+  ElementDescriptor element;
+  element.tag = "div";
+  element.id = "slot";
+  element.classes = {"ad-banner", "wide"};
+  EXPECT_TRUE(SelectorMatches("div", element));
+  EXPECT_TRUE(SelectorMatches("#slot", element));
+  EXPECT_TRUE(SelectorMatches(".ad-banner", element));
+  EXPECT_TRUE(SelectorMatches("div.ad-banner.wide", element));
+  EXPECT_TRUE(SelectorMatches("div#slot.ad-banner", element));
+  EXPECT_FALSE(SelectorMatches("span", element));
+  EXPECT_FALSE(SelectorMatches(".missing", element));
+  EXPECT_FALSE(SelectorMatches("#other", element));
+}
+
+TEST(CosmeticTest, DomainScoping) {
+  CosmeticRule rule;
+  rule.selector = ".promo";
+  rule.domains = {"news.example"};
+  ElementDescriptor element;
+  element.tag = "div";
+  element.classes = {"promo"};
+  EXPECT_TRUE(MatchesCosmeticRule(rule, "www.news.example", element));
+  EXPECT_FALSE(MatchesCosmeticRule(rule, "other.org", element));
+}
+
+// --- Engine ------------------------------------------------------------------
+
+TEST(EngineTest, ExceptionAlwaysWins) {
+  FilterEngine engine;
+  ASSERT_TRUE(engine.AddRule("||cdn.example^"));
+  ASSERT_TRUE(engine.AddRule("@@||cdn.example^$image"));
+  BlockDecision decision =
+      engine.ShouldBlockRequest(MakeRequest("https://cdn.example/a.png", "s.com"));
+  EXPECT_FALSE(decision.blocked);
+  EXPECT_EQ(decision.matched_rule, "@@||cdn.example^$image");
+}
+
+TEST(EngineTest, BlocksListedNetwork) {
+  FilterEngine engine;
+  engine.AddRule("||ads.example^$third-party");
+  EXPECT_TRUE(
+      engine.ShouldBlockRequest(MakeRequest("https://sub.ads.example/x.png", "news.org")).blocked);
+  // First-party fetch of the same URL passes.
+  EXPECT_FALSE(
+      engine.ShouldBlockRequest(MakeRequest("https://sub.ads.example/x.png", "ads.example"))
+          .blocked);
+}
+
+TEST(EngineTest, CosmeticExceptionWins) {
+  FilterEngine engine;
+  engine.AddRule("##.ad-banner");
+  engine.AddRule("trusted.example#@#.ad-banner");
+  ElementDescriptor element;
+  element.tag = "div";
+  element.classes = {"ad-banner"};
+  EXPECT_TRUE(engine.ShouldHideElement("random.example", element).blocked);
+  EXPECT_FALSE(engine.ShouldHideElement("trusted.example", element).blocked);
+}
+
+TEST(EngineTest, AddListCountsAccepted) {
+  FilterEngine engine;
+  const int accepted = engine.AddList({"! comment", "||a.example^", "##.x", ""});
+  EXPECT_EQ(accepted, 4);  // comments/blank count as accepted no-ops
+  EXPECT_EQ(engine.network_rule_count(), 1);
+  EXPECT_EQ(engine.cosmetic_rule_count(), 1);
+}
+
+TEST(EngineTest, NoRulesBlocksNothing) {
+  FilterEngine engine;
+  EXPECT_FALSE(engine.ShouldBlockRequest(MakeRequest("https://anything.example/x", "s.com"))
+                   .blocked);
+}
+
+}  // namespace
+}  // namespace percival

@@ -1,0 +1,301 @@
+// Integration tests: the full stack wired together — synthetic web ->
+// EasyList -> renderer -> trained classifier -> blocking decisions — plus
+// the cross-module invariants from DESIGN.md §7.
+#include <gtest/gtest.h>
+
+#include "src/core/classifier.h"
+#include "src/crawler/pipeline_crawler.h"
+#include "src/img/draw.h"
+#include "src/renderer/renderer.h"
+#include "src/train/trainer.h"
+#include "src/webgen/ad_network.h"
+#include "src/webgen/adgen.h"
+#include "src/webgen/contentgen.h"
+#include "src/webgen/facebook.h"
+#include "src/webgen/sitegen.h"
+
+namespace percival {
+namespace {
+
+// Shared fixture: trains one small classifier on crawled data and reuses it
+// across tests (training is the expensive step).
+class EndToEndFixture : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    ecosystem_ = new AdEcosystemConfig();
+    ecosystem_->network_count = 6;
+    ecosystem_->listed_fraction = 1.0;
+    networks_ = new std::vector<AdNetwork>(BuildAdNetworks(*ecosystem_));
+    SiteGenConfig site_config;
+    site_config.seed = 2024;
+    site_config.cue_dropout = 0.05;
+    generator_ = new SiteGenerator(site_config, *networks_);
+    easylist_ = new FilterEngine();
+    easylist_->AddList(BuildSyntheticEasyList(*networks_));
+
+    profile_ = new PercivalNetConfig(TestProfile());
+    PipelineCrawlConfig crawl;
+    crawl.sites = 10;
+    crawl.pages_per_site = 2;
+    Dataset dataset = RunPipelineCrawl(*generator_, EasyListLabeller(*easylist_), crawl, nullptr);
+    dataset.Deduplicate();
+    dataset.Balance();
+    Rng rng(1);
+    dataset.Shuffle(rng);
+
+    net_ = new Network(BuildPercivalNet(*profile_));
+    TrainConfig train;
+    train.epochs = 14;
+    train.batch_size = 12;
+    train.sgd.learning_rate = 0.01f;
+    train.sgd.lr_decay_every_epochs = 8;
+    train.sgd.lr_decay_factor = 0.3f;
+    TrainClassifier(*net_, *profile_, dataset, train);
+  }
+
+  static void TearDownTestSuite() {
+    delete net_;
+    delete profile_;
+    delete easylist_;
+    delete generator_;
+    delete networks_;
+    delete ecosystem_;
+  }
+
+  static AdEcosystemConfig* ecosystem_;
+  static std::vector<AdNetwork>* networks_;
+  static SiteGenerator* generator_;
+  static FilterEngine* easylist_;
+  static PercivalNetConfig* profile_;
+  static Network* net_;
+};
+
+AdEcosystemConfig* EndToEndFixture::ecosystem_ = nullptr;
+std::vector<AdNetwork>* EndToEndFixture::networks_ = nullptr;
+SiteGenerator* EndToEndFixture::generator_ = nullptr;
+FilterEngine* EndToEndFixture::easylist_ = nullptr;
+PercivalNetConfig* EndToEndFixture::profile_ = nullptr;
+Network* EndToEndFixture::net_ = nullptr;
+
+// Rebuilds a classifier around the shared trained weights.
+AdClassifier MakeClassifier() {
+  Network copy = BuildPercivalNet(*EndToEndFixture::profile_);
+  std::vector<Parameter*> dst = copy.Parameters();
+  std::vector<Parameter*> src = EndToEndFixture::net_->Parameters();
+  for (size_t i = 0; i < dst.size(); ++i) {
+    dst[i]->value = src[i]->value;
+  }
+  return AdClassifier(std::move(copy), *EndToEndFixture::profile_);
+}
+
+TEST_F(EndToEndFixture, TrainedModelSeparatesAdsFromContent) {
+  AdClassifier classifier = MakeClassifier();
+  Rng rng(9);
+  ConfusionMatrix matrix;
+  for (int i = 0; i < 30; ++i) {
+    Rng ad_rng = rng.Fork();
+    AdImageOptions ad_options;
+    ad_options.cue_dropout = 0.05;
+    Bitmap ad = GenerateAdImage(ad_rng, ad_options);
+    matrix.Record(true, classifier.Classify(ad).is_ad);
+
+    Rng content_rng = rng.Fork();
+    ContentImageOptions content_options;
+    content_options.kind = SampleContentKind(content_rng, 0.0);
+    Bitmap content = GenerateContentImage(content_rng, content_options);
+    matrix.Record(false, classifier.Classify(content).is_ad);
+  }
+  EXPECT_GT(matrix.Accuracy(), 0.75) << matrix.Summary();
+}
+
+TEST_F(EndToEndFixture, RenderingWithPercivalBlocksMostAdImages) {
+  AdClassifier classifier = MakeClassifier();
+  int ads_seen = 0;
+  int ads_blocked = 0;
+  int content_blocked = 0;
+  int content_seen = 0;
+  for (int page_index = 0; page_index < 4; ++page_index) {
+    WebPage page = generator_->GeneratePage(20 + page_index, 0);
+    RenderOptions options;
+    options.interceptor = &classifier;
+    RenderResult result = RenderPage(page, options);
+    for (const ImageOutcome& outcome : result.image_outcomes) {
+      if (!outcome.decoded) {
+        continue;
+      }
+      if (outcome.is_ad) {
+        ++ads_seen;
+        ads_blocked += outcome.blocked_by_percival ? 1 : 0;
+      } else {
+        ++content_seen;
+        content_blocked += outcome.blocked_by_percival ? 1 : 0;
+      }
+    }
+  }
+  ASSERT_GT(ads_seen, 0);
+  ASSERT_GT(content_seen, 0);
+  EXPECT_GT(static_cast<double>(ads_blocked) / ads_seen, 0.5);
+  EXPECT_LT(static_cast<double>(content_blocked) / content_seen, 0.5);
+}
+
+TEST_F(EndToEndFixture, PercivalCatchesLongTailAdsEasyListMisses) {
+  // Rebuild the web with partial list coverage: PERCIVAL must block ads
+  // from unlisted networks (its core value proposition as a complement).
+  AdEcosystemConfig partial;
+  partial.network_count = 10;
+  partial.listed_fraction = 0.4;
+  partial.seed = 5;
+  std::vector<AdNetwork> networks = BuildAdNetworks(partial);
+  bool has_unlisted = false;
+  for (const AdNetwork& network : networks) {
+    has_unlisted |= !network.listed;
+  }
+  ASSERT_TRUE(has_unlisted);
+
+  SiteGenConfig site_config;
+  site_config.seed = 31337;
+  site_config.cue_dropout = 0.05;
+  SiteGenerator generator(site_config, networks);
+  FilterEngine partial_list;
+  partial_list.AddList(BuildSyntheticEasyList(networks));
+
+  AdClassifier classifier = MakeClassifier();
+  int unlisted_ads_decoded = 0;
+  int unlisted_ads_blocked_by_percival = 0;
+  for (int page_index = 0; page_index < 6; ++page_index) {
+    WebPage page = generator.GeneratePage(page_index, 0);
+    RenderOptions options;
+    options.filter = &partial_list;
+    options.interceptor = &classifier;
+    RenderResult result = RenderPage(page, options);
+    for (const ImageOutcome& outcome : result.image_outcomes) {
+      if (outcome.is_ad && outcome.decoded) {
+        // This ad got past the filter list (unlisted network).
+        ++unlisted_ads_decoded;
+        unlisted_ads_blocked_by_percival += outcome.blocked_by_percival ? 1 : 0;
+      }
+    }
+  }
+  ASSERT_GT(unlisted_ads_decoded, 0) << "partial coverage must leak some ads";
+  EXPECT_GT(static_cast<double>(unlisted_ads_blocked_by_percival) / unlisted_ads_decoded, 0.4);
+}
+
+TEST_F(EndToEndFixture, BlockingDecisionsAreIndependentPerImage) {
+  // Cross-boundary blocking is impossible by construction: classifying the
+  // same bitmap twice (alone, or surrounded by other classifications) gives
+  // the same decision.
+  AdClassifier classifier = MakeClassifier();
+  Rng rng(77);
+  AdImageOptions options;
+  Bitmap ad = GenerateAdImage(rng, options);
+  const bool alone = classifier.Classify(ad).is_ad;
+  for (int i = 0; i < 5; ++i) {
+    Rng content_rng = rng.Fork();
+    ContentImageOptions content_options;
+    Bitmap content = GenerateContentImage(content_rng, content_options);
+    classifier.Classify(content);
+    EXPECT_EQ(classifier.Classify(ad).is_ad, alone);
+  }
+}
+
+TEST_F(EndToEndFixture, DomObfuscationDoesNotEvadePercival) {
+  // An adversarial publisher wraps the ad in obfuscated DOM (no ad-like
+  // classes, extra nesting); the filter list's cosmetic rules miss it, but
+  // the pixels still pass through the choke point.
+  Rng rng(88);
+  AdImageOptions ad_options;
+  ad_options.cue_dropout = 0.0;
+  Bitmap creative = GenerateAdImage(rng, ad_options);
+  WebPage page;
+  page.url = "https://sneaky.example/";
+  page.html =
+      "<div class=\"x1\"><div class=\"x2\"><div class=\"x3\">"
+      "<img src=\"https://sneaky.example/totally-organic.img\" width=\"150\" height=\"125\"/>"
+      "</div></div></div>";
+  WebResource resource;
+  resource.type = ResourceType::kImage;
+  resource.bytes = EncodePif(creative);
+  resource.is_ad = true;
+  page.resources["https://sneaky.example/totally-organic.img"] = resource;
+
+  FilterEngine list;
+  list.AddList(BuildSyntheticEasyList(*networks_));
+  AdClassifier classifier = MakeClassifier();
+  RenderOptions options;
+  options.filter = &list;  // list sees nothing to block (first-party, no class)
+  options.interceptor = &classifier;
+  RenderResult result = RenderPage(page, options);
+  EXPECT_EQ(result.stats.requests_blocked_by_filter, 0);
+  EXPECT_EQ(result.stats.elements_hidden_by_filter, 0);
+  ASSERT_EQ(result.image_outcomes.size(), 1u);
+  EXPECT_TRUE(result.image_outcomes[0].decoded);
+  EXPECT_TRUE(result.image_outcomes[0].blocked_by_percival);
+}
+
+TEST_F(EndToEndFixture, ResourceExhaustionDummyElementsDoNotBlowUp) {
+  // A publisher injects thousands of dummy DOM elements (§2.2's resource
+  // exhaustion attack on element-based blockers). PERCIVAL's cost scales
+  // with decoded images, not DOM nodes.
+  std::string html = "<body>";
+  for (int i = 0; i < 3000; ++i) {
+    html += "<div class=\"junk\"></div>";
+  }
+  html += "<img src=\"https://cdn.example/one.pif\" width=\"32\" height=\"32\"/></body>";
+  WebPage page;
+  page.url = "https://exhaust.example/";
+  page.html = html;
+  WebResource resource;
+  resource.type = ResourceType::kImage;
+  resource.bytes = EncodePif(Bitmap(32, 32, Color{50, 60, 70, 255}));
+  page.resources["https://cdn.example/one.pif"] = resource;
+
+  AdClassifier classifier = MakeClassifier();
+  RenderOptions options;
+  options.interceptor = &classifier;
+  options.render_framebuffer = false;
+  RenderResult result = RenderPage(page, options);
+  EXPECT_EQ(classifier.stats().classified, 1);  // one image, one inference
+  EXPECT_EQ(result.stats.images_decoded, 1);
+}
+
+TEST_F(EndToEndFixture, FacebookFeedRenderAndBlock) {
+  FacebookSessionConfig config;
+  config.seed = 41;
+  config.feed_posts = 20;
+  config.right_column_ads = 3;
+  WebPage page = BuildFacebookPage(config);
+  AdClassifier classifier = MakeClassifier();
+  RenderOptions options;
+  options.interceptor = &classifier;
+  RenderResult result = RenderPage(page, options);
+  EXPECT_EQ(result.stats.images_decoded, 23);
+  // The classifier must engage (some blocking happens) without wiping the
+  // whole feed.
+  EXPECT_GT(result.stats.frames_blocked, 0);
+  EXPECT_LT(result.stats.frames_blocked, result.stats.frames_decoded);
+}
+
+TEST_F(EndToEndFixture, AsyncModeSecondVisitConverges) {
+  AdClassifier classifier = MakeClassifier();
+  AsyncAdClassifier async(classifier);
+  WebPage page = generator_->GeneratePage(30, 0);
+
+  RenderOptions options;
+  options.interceptor = &async;
+  options.render_framebuffer = false;
+  RenderResult first = RenderPage(page, options);
+  EXPECT_EQ(first.stats.frames_blocked, 0);  // first visit renders everything
+  async.DrainPending();
+
+  RenderResult second = RenderPage(page, options);
+  // Second visit: memoized ad decisions now block.
+  RenderOptions sync_options;
+  sync_options.interceptor = &classifier;
+  sync_options.render_framebuffer = false;
+  classifier.ResetStats();
+  RenderResult sync = RenderPage(page, sync_options);
+  EXPECT_EQ(second.stats.frames_blocked, sync.stats.frames_blocked);
+}
+
+}  // namespace
+}  // namespace percival

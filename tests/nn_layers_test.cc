@@ -1,0 +1,317 @@
+// Layer-level tests: shapes, semantics, and finite-difference gradient
+// checks for every trainable layer (conv, fire) and backward correctness
+// for the stateless ones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/base/rng.h"
+#include "src/nn/activation.h"
+#include "src/nn/conv.h"
+#include "src/nn/fire.h"
+#include "src/nn/pool.h"
+
+namespace percival {
+namespace {
+
+// Numerically verifies dLoss/dInput of `layer` for loss = sum(output * g)
+// with random g, via central differences.
+void CheckInputGradient(Layer& layer, const TensorShape& input_shape, uint64_t seed,
+                        float tolerance) {
+  Rng rng(seed);
+  Tensor input(input_shape);
+  for (int64_t i = 0; i < input.size(); ++i) {
+    input[i] = rng.NextFloat(-1.0f, 1.0f);
+  }
+  Tensor output = layer.Forward(input);
+  Tensor g(output.shape());
+  for (int64_t i = 0; i < g.size(); ++i) {
+    g[i] = rng.NextFloat(-1.0f, 1.0f);
+  }
+  Tensor analytic = layer.Backward(g);
+
+  auto loss = [&](const Tensor& x) {
+    Tensor y = layer.Forward(x);
+    double total = 0.0;
+    for (int64_t i = 0; i < y.size(); ++i) {
+      total += static_cast<double>(y[i]) * g[i];
+    }
+    return total;
+  };
+
+  const float epsilon = 2e-3f;
+  // Spot check a handful of coordinates (full sweep is O(n^2)). The bound
+  // is absolute + relative: ReLU kinks make exact agreement impossible.
+  for (int check = 0; check < 12; ++check) {
+    const int64_t i = static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(input.size())));
+    Tensor plus = input;
+    Tensor minus = input;
+    plus[i] += epsilon;
+    minus[i] -= epsilon;
+    const double numeric = (loss(plus) - loss(minus)) / (2.0 * epsilon);
+    EXPECT_NEAR(analytic[i], numeric, tolerance + 0.05 * std::abs(numeric))
+        << layer.Name() << " input grad at flat index " << i;
+  }
+  // Restore the cached forward state for any later Backward calls.
+  layer.Forward(input);
+}
+
+// Numerically verifies dLoss/dParam for each trainable parameter.
+void CheckParameterGradients(Layer& layer, const TensorShape& input_shape, uint64_t seed,
+                             float tolerance) {
+  Rng rng(seed);
+  Tensor input(input_shape);
+  for (int64_t i = 0; i < input.size(); ++i) {
+    input[i] = rng.NextFloat(-1.0f, 1.0f);
+  }
+  Tensor output = layer.Forward(input);
+  Tensor g(output.shape());
+  for (int64_t i = 0; i < g.size(); ++i) {
+    g[i] = rng.NextFloat(-1.0f, 1.0f);
+  }
+  for (Parameter* p : layer.Parameters()) {
+    p->grad.Zero();
+  }
+  layer.Backward(g);
+
+  auto loss = [&]() {
+    Tensor y = layer.Forward(input);
+    double total = 0.0;
+    for (int64_t i = 0; i < y.size(); ++i) {
+      total += static_cast<double>(y[i]) * g[i];
+    }
+    return total;
+  };
+
+  const float epsilon = 2e-3f;
+  for (Parameter* p : layer.Parameters()) {
+    for (int check = 0; check < 6; ++check) {
+      const int64_t i =
+          static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(p->value.size())));
+      const float saved = p->value[i];
+      p->value[i] = saved + epsilon;
+      const double up = loss();
+      p->value[i] = saved - epsilon;
+      const double down = loss();
+      p->value[i] = saved;
+      const double numeric = (up - down) / (2.0 * epsilon);
+      EXPECT_NEAR(p->grad[i], numeric, tolerance + 0.05 * std::abs(numeric))
+          << p->name << " grad at " << i;
+    }
+  }
+}
+
+TEST(Conv2DTest, OutputShape) {
+  Rng rng(1);
+  Conv2D conv(3, 8, 3, 2, 1, rng);
+  TensorShape out = conv.OutputShape(TensorShape{2, 16, 16, 3});
+  EXPECT_EQ(out.n, 2);
+  EXPECT_EQ(out.h, 8);
+  EXPECT_EQ(out.w, 8);
+  EXPECT_EQ(out.c, 8);
+}
+
+TEST(Conv2DTest, KnownValue1x1) {
+  Rng rng(1);
+  Conv2D conv(2, 1, 1, 1, 0, rng);
+  // Set weights to [1, 2], bias to 0.5.
+  conv.weights().value[0] = 1.0f;
+  conv.weights().value[1] = 2.0f;
+  conv.bias().value[0] = 0.5f;
+  Tensor input(1, 1, 1, 2);
+  input[0] = 3.0f;
+  input[1] = 4.0f;
+  Tensor out = conv.Forward(input);
+  EXPECT_FLOAT_EQ(out[0], 3.0f + 8.0f + 0.5f);
+}
+
+TEST(Conv2DTest, ParameterCount) {
+  Rng rng(1);
+  Conv2D conv(3, 8, 3, 1, 1, rng);
+  EXPECT_EQ(conv.ParameterCount(), 3 * 3 * 3 * 8 + 8);
+}
+
+TEST(Conv2DTest, ForwardMacs) {
+  Rng rng(1);
+  Conv2D conv(3, 8, 3, 1, 1, rng);
+  // 4x4 output, 8 channels, 27 MACs each.
+  EXPECT_EQ(conv.ForwardMacs(TensorShape{1, 4, 4, 3}), 4 * 4 * 8 * 27);
+}
+
+TEST(Conv2DTest, InputGradientMatchesFiniteDifference) {
+  Rng rng(2);
+  Conv2D conv(2, 3, 3, 1, 1, rng);
+  CheckInputGradient(conv, TensorShape{1, 5, 5, 2}, 77, 0.02f);
+}
+
+TEST(Conv2DTest, ParameterGradientMatchesFiniteDifference) {
+  Rng rng(3);
+  Conv2D conv(2, 3, 3, 2, 1, rng);
+  CheckParameterGradients(conv, TensorShape{2, 6, 6, 2}, 78, 0.02f);
+}
+
+TEST(Conv2DTest, StridedGradient) {
+  Rng rng(4);
+  Conv2D conv(1, 2, 2, 2, 0, rng);
+  CheckInputGradient(conv, TensorShape{1, 4, 4, 1}, 79, 0.02f);
+}
+
+TEST(MaxPoolTest, ForwardPicksMaximum) {
+  MaxPool2D pool(2, 2);
+  Tensor input(1, 2, 2, 1);
+  input.at(0, 0, 0, 0) = 1.0f;
+  input.at(0, 0, 1, 0) = 4.0f;
+  input.at(0, 1, 0, 0) = 2.0f;
+  input.at(0, 1, 1, 0) = 3.0f;
+  Tensor out = pool.Forward(input);
+  EXPECT_EQ(out.size(), 1);
+  EXPECT_FLOAT_EQ(out[0], 4.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  MaxPool2D pool(2, 2);
+  Tensor input(1, 2, 2, 1);
+  input.at(0, 0, 1, 0) = 9.0f;
+  pool.Forward(input);
+  Tensor g(1, 1, 1, 1);
+  g[0] = 5.0f;
+  Tensor grad = pool.Backward(g);
+  EXPECT_FLOAT_EQ(grad.at(0, 0, 1, 0), 5.0f);
+  EXPECT_FLOAT_EQ(grad.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(MaxPoolTest, Kernel3Stride2Shape) {
+  MaxPool2D pool(3, 2);
+  TensorShape out = pool.OutputShape(TensorShape{1, 13, 13, 4});
+  EXPECT_EQ(out.h, 6);
+  EXPECT_EQ(out.w, 6);
+  EXPECT_EQ(out.c, 4);
+}
+
+TEST(GlobalAvgPoolTest, AveragesPlane) {
+  GlobalAvgPool pool;
+  Tensor input(1, 2, 2, 2);
+  for (int i = 0; i < 8; ++i) {
+    input[i] = static_cast<float>(i);
+  }
+  Tensor out = pool.Forward(input);
+  // Channel 0 holds values 0,2,4,6; channel 1 holds 1,3,5,7.
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 1), 4.0f);
+}
+
+TEST(GlobalAvgPoolTest, BackwardSpreadsUniformly) {
+  GlobalAvgPool pool;
+  Tensor input(1, 2, 2, 1);
+  pool.Forward(input);
+  Tensor g(1, 1, 1, 1);
+  g[0] = 8.0f;
+  Tensor grad = pool.Backward(g);
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    EXPECT_FLOAT_EQ(grad[i], 2.0f);
+  }
+}
+
+TEST(ReluTest, ForwardClampsNegatives) {
+  Relu relu;
+  Tensor input(1, 1, 1, 3);
+  input[0] = -1.0f;
+  input[1] = 0.0f;
+  input[2] = 2.0f;
+  Tensor out = relu.Forward(input);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 2.0f);
+}
+
+TEST(ReluTest, BackwardMasks) {
+  Relu relu;
+  Tensor input(1, 1, 1, 2);
+  input[0] = -1.0f;
+  input[1] = 1.0f;
+  relu.Forward(input);
+  Tensor g(1, 1, 1, 2);
+  g.Fill(3.0f);
+  Tensor grad = relu.Backward(g);
+  EXPECT_FLOAT_EQ(grad[0], 0.0f);
+  EXPECT_FLOAT_EQ(grad[1], 3.0f);
+}
+
+TEST(SoftmaxTest, SumsToOne) {
+  Softmax softmax;
+  Tensor input(2, 1, 1, 3);
+  for (int64_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(i) * 0.7f - 1.0f;
+  }
+  Tensor out = softmax.Forward(input);
+  for (int n = 0; n < 2; ++n) {
+    float total = 0.0f;
+    for (int c = 0; c < 3; ++c) {
+      total += out.at(n, 0, 0, c);
+      EXPECT_GT(out.at(n, 0, 0, c), 0.0f);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeLogits) {
+  Softmax softmax;
+  Tensor input(1, 1, 1, 2);
+  input[0] = 1000.0f;
+  input[1] = 999.0f;
+  Tensor out = softmax.Forward(input);
+  EXPECT_FALSE(std::isnan(out[0]));
+  EXPECT_GT(out[0], out[1]);
+}
+
+TEST(SoftmaxTest, BackwardJacobian) {
+  Softmax softmax;
+  CheckInputGradient(softmax, TensorShape{1, 1, 1, 4}, 80, 0.02f);
+}
+
+TEST(FireModuleTest, OutputShapeDoublesExpand) {
+  Rng rng(5);
+  FireModule fire(8, 2, 4, rng);
+  TensorShape out = fire.OutputShape(TensorShape{1, 6, 6, 8});
+  EXPECT_EQ(out.c, 8);  // 2 * expand
+  EXPECT_EQ(out.h, 6);
+  EXPECT_EQ(out.w, 6);
+  EXPECT_EQ(fire.out_channels(), 8);
+}
+
+TEST(FireModuleTest, ParameterCountMatchesFormula) {
+  Rng rng(5);
+  const int in = 8;
+  const int s = 2;
+  const int e = 4;
+  FireModule fire(in, s, e, rng);
+  const int64_t expected = (in * s + s) + (s * e + e) + (9 * s * e + e);
+  EXPECT_EQ(fire.ParameterCount(), expected);
+}
+
+TEST(FireModuleTest, InputGradientMatchesFiniteDifference) {
+  Rng rng(6);
+  FireModule fire(3, 2, 2, rng);
+  CheckInputGradient(fire, TensorShape{1, 4, 4, 3}, 81, 0.03f);
+}
+
+TEST(FireModuleTest, ParameterGradientMatchesFiniteDifference) {
+  Rng rng(7);
+  FireModule fire(2, 2, 2, rng);
+  CheckParameterGradients(fire, TensorShape{1, 4, 4, 2}, 82, 0.03f);
+}
+
+TEST(FireModuleTest, OutputIsNonNegative) {
+  Rng rng(8);
+  FireModule fire(4, 2, 4, rng);
+  Tensor input(1, 5, 5, 4);
+  Rng data_rng(9);
+  for (int64_t i = 0; i < input.size(); ++i) {
+    input[i] = data_rng.NextFloat(-2.0f, 2.0f);
+  }
+  Tensor out = fire.Forward(input);
+  EXPECT_GE(out.Min(), 0.0f);  // final ReLU
+}
+
+}  // namespace
+}  // namespace percival

@@ -1,0 +1,253 @@
+// Parameterized property sweeps over the CNN stack: gradient checks across
+// a grid of conv configurations, softmax algebraic invariants, pooling
+// conservation laws, optimizer equivalences, and the block-list builder
+// extension feature.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/base/rng.h"
+#include "src/core/classifier.h"
+#include "src/filter/engine.h"
+#include "src/nn/activation.h"
+#include "src/nn/conv.h"
+#include "src/nn/network.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/pool.h"
+#include "src/train/blocklist_builder.h"
+#include "src/train/trainer.h"
+#include "src/webgen/ad_network.h"
+
+namespace percival {
+namespace {
+
+// (kernel, stride, pad, in_channels, out_channels)
+using ConvCase = std::tuple<int, int, int, int, int>;
+
+class ConvGradientSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGradientSweep, InputGradientMatchesFiniteDifference) {
+  const auto [kernel, stride, pad, in_channels, out_channels] = GetParam();
+  Rng rng(static_cast<uint64_t>(kernel * 131 + stride * 17 + pad));
+  Conv2D conv(in_channels, out_channels, kernel, stride, pad, rng);
+  const int size = 6;
+  Tensor input(1, size, size, in_channels);
+  Rng data_rng(7);
+  for (int64_t i = 0; i < input.size(); ++i) {
+    input[i] = data_rng.NextFloat(-1.0f, 1.0f);
+  }
+  Tensor output = conv.Forward(input);
+  Tensor g(output.shape());
+  for (int64_t i = 0; i < g.size(); ++i) {
+    g[i] = data_rng.NextFloat(-1.0f, 1.0f);
+  }
+  Tensor analytic = conv.Backward(g);
+
+  auto loss = [&](const Tensor& x) {
+    Tensor y = conv.Forward(x);
+    double total = 0.0;
+    for (int64_t i = 0; i < y.size(); ++i) {
+      total += static_cast<double>(y[i]) * g[i];
+    }
+    return total;
+  };
+  const float epsilon = 2e-3f;
+  for (int check = 0; check < 8; ++check) {
+    const int64_t i =
+        static_cast<int64_t>(data_rng.NextBelow(static_cast<uint64_t>(input.size())));
+    Tensor plus = input;
+    Tensor minus = input;
+    plus[i] += epsilon;
+    minus[i] -= epsilon;
+    const double numeric = (loss(plus) - loss(minus)) / (2.0 * epsilon);
+    EXPECT_NEAR(analytic[i], numeric, 0.02 + 0.05 * std::abs(numeric));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConvGradientSweep,
+    ::testing::Values(ConvCase{1, 1, 0, 3, 4}, ConvCase{3, 1, 1, 2, 3}, ConvCase{3, 2, 1, 3, 2},
+                      ConvCase{5, 1, 2, 1, 2}, ConvCase{2, 2, 0, 4, 4}, ConvCase{3, 3, 0, 2, 2}),
+    [](const ::testing::TestParamInfo<ConvCase>& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "s" +
+             std::to_string(std::get<1>(info.param)) + "p" +
+             std::to_string(std::get<2>(info.param)) + "i" +
+             std::to_string(std::get<3>(info.param)) + "o" +
+             std::to_string(std::get<4>(info.param));
+    });
+
+TEST(SoftmaxPropertyTest, InvariantToConstantShift) {
+  // softmax(x + c) == softmax(x) for any per-row constant c.
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    Tensor a(1, 1, 1, 5);
+    Tensor b(1, 1, 1, 5);
+    const float shift = rng.NextFloat(-30.0f, 30.0f);
+    for (int c = 0; c < 5; ++c) {
+      a[c] = rng.NextFloat(-5.0f, 5.0f);
+      b[c] = a[c] + shift;
+    }
+    Softmax sa;
+    Softmax sb;
+    Tensor ya = sa.Forward(a);
+    Tensor yb = sb.Forward(b);
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_NEAR(ya[c], yb[c], 1e-5f);
+    }
+  }
+}
+
+TEST(SoftmaxPropertyTest, PreservesArgmaxAndOrdering) {
+  Rng rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    Tensor x(1, 1, 1, 4);
+    for (int c = 0; c < 4; ++c) {
+      x[c] = rng.NextFloat(-4.0f, 4.0f);
+    }
+    Softmax softmax;
+    Tensor y = softmax.Forward(x);
+    EXPECT_EQ(y.ArgMaxInSample(0), x.ArgMaxInSample(0));
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        if (x[i] < x[j]) {
+          EXPECT_LE(y[i], y[j] + 1e-6f);
+        }
+      }
+    }
+  }
+}
+
+TEST(PoolingPropertyTest, GlobalAvgPoolConservesMass) {
+  // sum(output) * plane == sum(input) for every sample.
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int h = rng.NextInt(1, 6);
+    const int w = rng.NextInt(1, 6);
+    const int c = rng.NextInt(1, 4);
+    Tensor input(2, h, w, c);
+    for (int64_t i = 0; i < input.size(); ++i) {
+      input[i] = rng.NextFloat(-2.0f, 2.0f);
+    }
+    GlobalAvgPool pool;
+    Tensor output = pool.Forward(input);
+    EXPECT_NEAR(output.Sum() * static_cast<float>(h * w), input.Sum(),
+                1e-3f * static_cast<float>(input.size()));
+  }
+}
+
+TEST(PoolingPropertyTest, MaxPoolOutputBoundedByInputRange) {
+  Rng rng(14);
+  for (int trial = 0; trial < 30; ++trial) {
+    Tensor input(1, 8, 8, 3);
+    for (int64_t i = 0; i < input.size(); ++i) {
+      input[i] = rng.NextFloat(-3.0f, 3.0f);
+    }
+    MaxPool2D pool(rng.NextInt(2, 3), rng.NextInt(1, 2));
+    Tensor output = pool.Forward(input);
+    // Pooled values are drawn from the input, so its range bounds them.
+    // (The global max need not survive: trailing rows/columns may fall
+    // outside every window when stride does not divide the input size.)
+    EXPECT_LE(output.Max(), input.Max() + 1e-6f);
+    EXPECT_GE(output.Min(), input.Min() - 1e-6f);
+  }
+}
+
+TEST(PoolingPropertyTest, MaxPoolGradientConservesMass) {
+  // Backward scatters each output gradient to exactly one input position.
+  Rng rng(15);
+  Tensor input(1, 6, 6, 2);
+  for (int64_t i = 0; i < input.size(); ++i) {
+    input[i] = rng.NextFloat(-1.0f, 1.0f);
+  }
+  MaxPool2D pool(2, 2);
+  Tensor output = pool.Forward(input);
+  Tensor g(output.shape());
+  for (int64_t i = 0; i < g.size(); ++i) {
+    g[i] = rng.NextFloat(0.1f, 1.0f);
+  }
+  Tensor grad = pool.Backward(g);
+  EXPECT_NEAR(grad.Sum(), g.Sum(), 1e-4f);
+}
+
+TEST(OptimizerPropertyTest, ZeroMomentumMatchesPlainSgd) {
+  Rng rng(16);
+  Parameter a;
+  a.value = Tensor(1, 1, 1, 8);
+  a.grad = Tensor(1, 1, 1, 8);
+  Parameter b;
+  b.value = Tensor(1, 1, 1, 8);
+  b.grad = Tensor(1, 1, 1, 8);
+  for (int i = 0; i < 8; ++i) {
+    a.value[i] = b.value[i] = rng.NextFloat(-1.0f, 1.0f);
+  }
+  SgdConfig config;
+  config.learning_rate = 0.1f;
+  config.momentum = 0.0f;
+  config.max_grad_norm = 0.0f;
+  SgdOptimizer optimizer({&a}, config);
+  for (int step = 0; step < 10; ++step) {
+    for (int i = 0; i < 8; ++i) {
+      const float g = rng.NextFloat(-1.0f, 1.0f);
+      a.grad[i] = g;
+      b.value[i] -= config.learning_rate * g;  // hand-rolled SGD
+    }
+    optimizer.Step();
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(a.value[i], b.value[i], 1e-5f);
+  }
+}
+
+TEST(OptimizerPropertyTest, ClippingBoundsUpdateNorm) {
+  Parameter p;
+  p.value = Tensor(1, 1, 1, 4);
+  p.grad = Tensor(1, 1, 1, 4);
+  p.grad.Fill(100.0f);  // norm 200
+  SgdConfig config;
+  config.learning_rate = 1.0f;
+  config.momentum = 0.0f;
+  config.max_grad_norm = 2.0f;
+  SgdOptimizer optimizer({&p}, config);
+  optimizer.Step();
+  double norm = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    norm += static_cast<double>(p.value[i]) * p.value[i];
+  }
+  EXPECT_NEAR(std::sqrt(norm), 2.0, 1e-4);
+}
+
+TEST(BlockListBuilderTest, EmitsRulesForAdHostsOnly) {
+  // The §6 extension: derive a block list from the classifier's verdicts.
+  // With an oracle "classifier" (threshold 0 blocks everything / 1.1 blocks
+  // nothing) the emitted rules must cover all / no hosts respectively.
+  std::vector<AdNetwork> networks = BuildAdNetworks(AdEcosystemConfig{});
+  SiteGenerator generator(SiteGenConfig{}, networks);
+  PercivalNetConfig profile = TestProfile();
+
+  AdClassifier block_all(BuildPercivalNet(profile), profile, 0.0f);
+  BlockListBuildConfig config;
+  config.sites = 4;
+  config.pages_per_site = 1;
+  BlockListBuildResult all = BuildBlockListFromCrawl(generator, block_all, config);
+  EXPECT_GT(all.frames_classified, 0);
+  EXPECT_EQ(all.rules.size(),
+            [&] {
+              int eligible = 0;
+              for (const auto& [host, obs] : all.hosts) {
+                eligible += obs.images >= config.min_observations ? 1 : 0;
+              }
+              return static_cast<size_t>(eligible);
+            }());
+
+  AdClassifier block_none(BuildPercivalNet(profile), profile, 1.1f);
+  BlockListBuildResult none = BuildBlockListFromCrawl(generator, block_none, config);
+  EXPECT_TRUE(none.rules.empty());
+
+  // Emitted rules must parse and load into the engine.
+  FilterEngine engine;
+  EXPECT_EQ(engine.AddList(all.rules), static_cast<int>(all.rules.size()));
+}
+
+}  // namespace
+}  // namespace percival

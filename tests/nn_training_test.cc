@@ -1,0 +1,269 @@
+// Network / loss / optimizer / serialization tests, including an
+// end-to-end convergence check on a tiny separable problem.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/base/rng.h"
+#include "src/nn/activation.h"
+#include "src/nn/conv.h"
+#include "src/nn/loss.h"
+#include "src/nn/network.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/pool.h"
+#include "src/nn/serialize.h"
+
+namespace percival {
+namespace {
+
+Network TinyNet(uint64_t seed) {
+  Rng rng(seed);
+  Network net;
+  net.Add<Conv2D>(1, 4, 3, 1, 1, rng, "c1");
+  net.Add<Relu>();
+  net.Add<Conv2D>(4, 2, 1, 1, 0, rng, "c2");
+  net.Add<GlobalAvgPool>();
+  return net;
+}
+
+TEST(NetworkTest, ForwardShape) {
+  Network net = TinyNet(1);
+  Tensor input(3, 6, 6, 1);
+  Tensor out = net.Forward(input);
+  EXPECT_EQ(out.shape(), (TensorShape{3, 1, 1, 2}));
+}
+
+TEST(NetworkTest, OutputShapeWithoutRunning) {
+  Network net = TinyNet(1);
+  EXPECT_EQ(net.OutputShape(TensorShape{5, 8, 8, 1}), (TensorShape{5, 1, 1, 2}));
+}
+
+TEST(NetworkTest, ParameterCollection) {
+  Network net = TinyNet(1);
+  // c1: weights+bias, c2: weights+bias.
+  EXPECT_EQ(net.Parameters().size(), 4u);
+  EXPECT_EQ(net.ParameterCount(), (9 * 1 * 4 + 4) + (4 * 2 + 2));
+  EXPECT_EQ(net.ModelBytes(), net.ParameterCount() * 4);
+}
+
+TEST(NetworkTest, ZeroGradsClears) {
+  Network net = TinyNet(1);
+  for (Parameter* p : net.Parameters()) {
+    p->grad.Fill(3.0f);
+  }
+  net.ZeroGrads();
+  for (Parameter* p : net.Parameters()) {
+    EXPECT_EQ(p->grad.Max(), 0.0f);
+  }
+}
+
+TEST(NetworkTest, ForwardUpToIntermediateShape) {
+  Network net = TinyNet(1);
+  Tensor input(1, 6, 6, 1);
+  Tensor features = net.ForwardUpTo(input, 2);  // after c1+relu
+  EXPECT_EQ(features.shape(), (TensorShape{1, 6, 6, 4}));
+}
+
+TEST(NetworkTest, SummaryMentionsLayers) {
+  Network net = TinyNet(1);
+  const std::string summary = net.Summary(TensorShape{1, 6, 6, 1});
+  EXPECT_NE(summary.find("c1"), std::string::npos);
+  EXPECT_NE(summary.find("global_avgpool"), std::string::npos);
+}
+
+TEST(LossTest, PerfectPredictionLowLoss) {
+  Tensor logits(1, 1, 1, 2);
+  logits[0] = -10.0f;
+  logits[1] = 10.0f;
+  LossResult result = SoftmaxCrossEntropy(logits, {1});
+  EXPECT_LT(result.loss, 1e-3f);
+  EXPECT_EQ(result.correct, 1);
+}
+
+TEST(LossTest, WrongPredictionHighLoss) {
+  Tensor logits(1, 1, 1, 2);
+  logits[0] = 10.0f;
+  logits[1] = -10.0f;
+  LossResult result = SoftmaxCrossEntropy(logits, {1});
+  EXPECT_GT(result.loss, 5.0f);
+  EXPECT_EQ(result.correct, 0);
+}
+
+TEST(LossTest, GradientIsSoftmaxMinusOneHot) {
+  Tensor logits(1, 1, 1, 2);
+  logits[0] = 0.0f;
+  logits[1] = 0.0f;
+  LossResult result = SoftmaxCrossEntropy(logits, {0});
+  EXPECT_NEAR(result.grad_logits[0], 0.5f - 1.0f, 1e-5f);
+  EXPECT_NEAR(result.grad_logits[1], 0.5f, 1e-5f);
+}
+
+TEST(LossTest, GradientScaledByBatch) {
+  Tensor logits(2, 1, 1, 2);
+  LossResult result = SoftmaxCrossEntropy(logits, {0, 1});
+  EXPECT_NEAR(result.grad_logits[0], (0.5f - 1.0f) / 2.0f, 1e-5f);
+}
+
+TEST(OptimizerTest, StepMovesAgainstGradient) {
+  Parameter p;
+  p.name = "w";
+  p.value = Tensor(1, 1, 1, 1);
+  p.grad = Tensor(1, 1, 1, 1);
+  p.value[0] = 1.0f;
+  p.grad[0] = 2.0f;
+  SgdConfig config;
+  config.learning_rate = 0.1f;
+  config.momentum = 0.0f;
+  SgdOptimizer optimizer({&p}, config);
+  optimizer.Step();
+  EXPECT_NEAR(p.value[0], 1.0f - 0.2f, 1e-6f);
+}
+
+TEST(OptimizerTest, MomentumAccumulates) {
+  Parameter p;
+  p.value = Tensor(1, 1, 1, 1);
+  p.grad = Tensor(1, 1, 1, 1);
+  p.grad[0] = 1.0f;
+  SgdConfig config;
+  config.learning_rate = 0.1f;
+  config.momentum = 0.9f;
+  SgdOptimizer optimizer({&p}, config);
+  optimizer.Step();  // v = -0.1
+  optimizer.Step();  // v = -0.19
+  EXPECT_NEAR(p.value[0], -0.29f, 1e-5f);
+}
+
+TEST(OptimizerTest, StepDecayAfterConfiguredEpochs) {
+  Parameter p;
+  p.value = Tensor(1, 1, 1, 1);
+  p.grad = Tensor(1, 1, 1, 1);
+  SgdConfig config;
+  config.learning_rate = 0.001f;
+  config.lr_decay_every_epochs = 30;
+  config.lr_decay_factor = 0.1f;
+  SgdOptimizer optimizer({&p}, config);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    optimizer.EndEpoch();
+  }
+  EXPECT_NEAR(optimizer.current_learning_rate(), 0.0001f, 1e-8f);
+}
+
+TEST(OptimizerTest, WeightDecayShrinksWeights) {
+  Parameter p;
+  p.value = Tensor(1, 1, 1, 1);
+  p.grad = Tensor(1, 1, 1, 1);
+  p.value[0] = 10.0f;
+  SgdConfig config;
+  config.learning_rate = 0.1f;
+  config.momentum = 0.0f;
+  config.weight_decay = 0.5f;
+  SgdOptimizer optimizer({&p}, config);
+  optimizer.Step();
+  EXPECT_LT(p.value[0], 10.0f);
+}
+
+TEST(TrainingConvergenceTest, LearnsSeparableToyProblem) {
+  // Class 0: dark images; class 1: bright images.
+  Network net = TinyNet(11);
+  SgdConfig sgd;
+  sgd.learning_rate = 0.05f;
+  SgdOptimizer optimizer(net.Parameters(), sgd);
+  Rng rng(12);
+
+  auto make_batch = [&](Tensor* batch, std::vector<int>* labels) {
+    *batch = Tensor(8, 6, 6, 1);
+    labels->clear();
+    for (int i = 0; i < 8; ++i) {
+      const bool bright = rng.NextBool();
+      labels->push_back(bright ? 1 : 0);
+      for (int64_t j = 0; j < batch->SampleElements(); ++j) {
+        batch->SampleData(i)[j] =
+            (bright ? 0.8f : 0.2f) + rng.NextFloat(-0.1f, 0.1f);
+      }
+    }
+  };
+
+  float last_loss = 0.0f;
+  for (int step = 0; step < 60; ++step) {
+    Tensor batch;
+    std::vector<int> labels;
+    make_batch(&batch, &labels);
+    net.ZeroGrads();
+    Tensor logits = net.Forward(batch);
+    LossResult loss = SoftmaxCrossEntropy(logits, labels);
+    net.Backward(loss.grad_logits);
+    optimizer.Step();
+    last_loss = loss.loss;
+  }
+  EXPECT_LT(last_loss, 0.3f);
+
+  // Verify classification on fresh data.
+  Tensor batch;
+  std::vector<int> labels;
+  make_batch(&batch, &labels);
+  Tensor logits = net.Forward(batch);
+  int correct = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (logits.ArgMaxInSample(i) == labels[static_cast<size_t>(i)]) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 7);
+}
+
+TEST(SerializeTest, RoundTripPreservesWeights) {
+  Network net = TinyNet(21);
+  std::vector<uint8_t> bytes = SerializeWeights(net);
+  Network restored = TinyNet(99);  // different init
+  ASSERT_TRUE(DeserializeWeights(restored, bytes));
+  std::vector<Parameter*> a = net.Parameters();
+  std::vector<Parameter*> b = restored.Parameters();
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (int64_t j = 0; j < a[i]->value.size(); ++j) {
+      EXPECT_EQ(a[i]->value[j], b[i]->value[j]);
+    }
+  }
+}
+
+TEST(SerializeTest, RejectsCorruptedMagic) {
+  Network net = TinyNet(22);
+  std::vector<uint8_t> bytes = SerializeWeights(net);
+  bytes[0] = 'X';
+  Network restored = TinyNet(22);
+  EXPECT_FALSE(DeserializeWeights(restored, bytes));
+}
+
+TEST(SerializeTest, RejectsTruncation) {
+  Network net = TinyNet(23);
+  std::vector<uint8_t> bytes = SerializeWeights(net);
+  bytes.resize(bytes.size() / 2);
+  Network restored = TinyNet(23);
+  EXPECT_FALSE(DeserializeWeights(restored, bytes));
+}
+
+TEST(SerializeTest, RejectsArchitectureMismatch) {
+  Network net = TinyNet(24);
+  std::vector<uint8_t> bytes = SerializeWeights(net);
+  Rng rng(25);
+  Network other;
+  other.Add<Conv2D>(1, 4, 3, 1, 1, rng, "different_name");
+  other.Add<Conv2D>(4, 2, 1, 1, 0, rng, "c2");
+  EXPECT_FALSE(DeserializeWeights(other, bytes));
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Network net = TinyNet(26);
+  const std::string path = ::testing::TempDir() + "/weights_test.pcvw";
+  ASSERT_TRUE(SaveWeightsToFile(net, path));
+  Network restored = TinyNet(27);
+  ASSERT_TRUE(LoadWeightsFromFile(restored, path));
+  EXPECT_EQ(net.Parameters()[0]->value[0], restored.Parameters()[0]->value[0]);
+}
+
+TEST(SerializeTest, LoadMissingFileFails) {
+  Network net = TinyNet(28);
+  EXPECT_FALSE(LoadWeightsFromFile(net, "/nonexistent/path/weights.pcvw"));
+}
+
+}  // namespace
+}  // namespace percival

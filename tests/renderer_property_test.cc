@@ -1,0 +1,215 @@
+// Property tests over randomly generated pages: layout invariants, the
+// choke-point counting invariant, filter monotonicity at render level, and
+// the §6 element-memoization feature.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/base/rng.h"
+#include "src/img/codec.h"
+#include "src/renderer/html_parser.h"
+#include "src/renderer/layout.h"
+#include "src/renderer/renderer.h"
+#include "src/webgen/ad_network.h"
+#include "src/webgen/sitegen.h"
+
+namespace percival {
+namespace {
+
+// Counts interceptor invocations per URL and optionally blocks a URL set.
+class CountingInterceptor : public ImageInterceptor {
+ public:
+  bool OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
+                      const std::string& source_url) override {
+    (void)info;
+    (void)pixels;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++seen_[source_url];
+    return block_.count(source_url) > 0;
+  }
+  void BlockUrl(const std::string& url) { block_.insert(url); }
+  const std::map<std::string, int>& seen() const { return seen_; }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, int> seen_;
+  std::set<std::string> block_;
+};
+
+// Random nested HTML with images; returns the page and its image count.
+WebPage RandomPage(Rng& rng, int* image_count) {
+  WebPage page;
+  page.url = "https://random.example/";
+  std::string html = "<body>";
+  int images = 0;
+  const int blocks = rng.NextInt(1, 8);
+  for (int b = 0; b < blocks; ++b) {
+    const int depth = rng.NextInt(0, 3);
+    for (int d = 0; d < depth; ++d) {
+      html += "<div>";
+    }
+    if (rng.NextBool(0.7)) {
+      const std::string url = "https://img.example/" + std::to_string(b) + ".pif";
+      html += "<img src=\"" + url + "\" width=\"" + std::to_string(rng.NextInt(8, 64)) +
+              "\" height=\"" + std::to_string(rng.NextInt(8, 64)) + "\"/>";
+      WebResource resource;
+      resource.type = ResourceType::kImage;
+      resource.bytes = EncodePif(Bitmap(8, 8, Color{static_cast<uint8_t>(b * 20), 50, 99, 255}));
+      resource.latency_ms = rng.NextFloat(1.0f, 50.0f);
+      page.resources[url] = std::move(resource);
+      ++images;
+    } else {
+      html += "<p>text block</p>";
+    }
+    for (int d = 0; d < depth; ++d) {
+      html += "</div>";
+    }
+  }
+  html += "</body>";
+  page.html = html;
+  *image_count = images;
+  return page;
+}
+
+void CheckLayoutInvariants(const LayoutBox& box) {
+  EXPECT_GE(box.rect.w, 0);
+  EXPECT_GE(box.rect.h, 0);
+  // Flow children of the same parent must not overlap vertically.
+  const LayoutBox* previous_flow = nullptr;
+  for (const auto& child : box.children) {
+    const DomNode* node = child->node;
+    const bool absolute = node != nullptr && (node->HasAttr("x") || node->HasAttr("y"));
+    if (!absolute && child->rect.h > 0) {
+      if (previous_flow != nullptr) {
+        EXPECT_GE(child->rect.y, previous_flow->rect.Bottom())
+            << "flow children overlap vertically";
+      }
+      previous_flow = child.get();
+    }
+    CheckLayoutInvariants(*child);
+  }
+}
+
+TEST(RendererPropertyTest, LayoutInvariantsHoldOnRandomTrees) {
+  Rng rng(71);
+  for (int trial = 0; trial < 80; ++trial) {
+    int images = 0;
+    WebPage page = RandomPage(rng, &images);
+    DomTree dom = ParseHtml(page.html);
+    auto layout = ComputeLayout(*dom, 512);
+    CheckLayoutInvariants(*layout);
+    EXPECT_GE(DocumentHeight(*layout), 0);
+  }
+}
+
+TEST(RendererPropertyTest, ChokePointCountsEqualDistinctImages) {
+  // Property: on any random page, the interceptor runs exactly once per
+  // distinct fetched image URL per decoded frame (here all single-frame).
+  Rng rng(72);
+  for (int trial = 0; trial < 40; ++trial) {
+    int images = 0;
+    WebPage page = RandomPage(rng, &images);
+    CountingInterceptor interceptor;
+    RenderOptions options;
+    options.interceptor = &interceptor;
+    RenderResult result = RenderPage(page, options);
+    EXPECT_EQ(static_cast<int>(interceptor.seen().size()), result.stats.images_decoded);
+    for (const auto& [url, count] : interceptor.seen()) {
+      EXPECT_EQ(count, 1) << url;
+    }
+  }
+}
+
+TEST(RendererPropertyTest, FilterOnlyEverReducesWork) {
+  // With any rule set, enabling the filter must not increase requests
+  // fetched, images decoded, or render time components tied to fetching.
+  Rng rng(73);
+  std::vector<AdNetwork> networks = BuildAdNetworks(AdEcosystemConfig{});
+  SiteGenerator generator(SiteGenConfig{}, networks);
+  FilterEngine filter;
+  filter.AddList(BuildSyntheticEasyList(networks));
+  for (int trial = 0; trial < 10; ++trial) {
+    WebPage page = generator.GeneratePage(trial, 0);
+    RenderOptions plain;
+    plain.render_framebuffer = false;
+    RenderResult unfiltered = RenderPage(page, plain);
+    RenderOptions filtered = plain;
+    filtered.filter = &filter;
+    RenderResult with_filter = RenderPage(page, filtered);
+    EXPECT_LE(with_filter.stats.images_decoded, unfiltered.stats.images_decoded);
+    EXPECT_LE(with_filter.metrics.fetch_ms, unfiltered.metrics.fetch_ms + 1e-9);
+  }
+}
+
+TEST(RendererPropertyTest, ElementMemoizationHidesContainersOnRevisit) {
+  // §6 feature: first visit blocks in-raster (dangling container remains in
+  // layout); second visit with the remembered URL set hides the container
+  // entirely and skips the fetch.
+  WebPage page;
+  page.url = "https://memo.example/";
+  page.html =
+      "<div class=\"story\"><p>caption text</p>"
+      "<img src=\"https://ads.example/a.pif\" width=\"16\" height=\"16\"/></div>";
+  WebResource resource;
+  resource.type = ResourceType::kImage;
+  resource.bytes = EncodePif(Bitmap(16, 16, Color{200, 0, 0, 255}));
+  page.resources["https://ads.example/a.pif"] = resource;
+
+  CountingInterceptor interceptor;
+  interceptor.BlockUrl("https://ads.example/a.pif");
+  RenderOptions first_visit;
+  first_visit.interceptor = &interceptor;
+  RenderResult first = RenderPage(page, first_visit);
+  EXPECT_EQ(first.stats.frames_blocked, 1);
+  EXPECT_EQ(first.stats.elements_hidden_by_memo, 0);
+
+  // Remember what was blocked; revisit.
+  std::set<std::string> remembered;
+  for (const ImageOutcome& outcome : first.image_outcomes) {
+    if (outcome.blocked_by_percival) {
+      remembered.insert(outcome.url);
+    }
+  }
+  ASSERT_EQ(remembered.size(), 1u);
+  RenderOptions revisit;
+  revisit.interceptor = &interceptor;
+  revisit.remembered_blocked_urls = &remembered;
+  RenderResult second = RenderPage(page, revisit);
+  EXPECT_EQ(second.stats.elements_hidden_by_memo, 1);
+  EXPECT_EQ(second.stats.images_decoded, 0);  // fetch skipped entirely
+  EXPECT_EQ(second.stats.requests, 0);
+}
+
+TEST(RendererPropertyTest, RenderTimeComponentsAreNonNegativeAndAdditive) {
+  Rng rng(74);
+  for (int trial = 0; trial < 20; ++trial) {
+    int images = 0;
+    WebPage page = RandomPage(rng, &images);
+    RenderResult result = RenderPage(page, RenderOptions{});
+    const PageMetrics& m = result.metrics;
+    EXPECT_GE(m.parse_ms, 0.0);
+    EXPECT_GE(m.fetch_ms, 0.0);
+    EXPECT_GE(m.script_ms, 0.0);
+    EXPECT_GE(m.raster_ms, 0.0);
+    EXPECT_NEAR(m.dom_complete, m.parse_ms + m.fetch_ms + m.script_ms + m.raster_ms, 1e-9);
+  }
+}
+
+TEST(RendererPropertyTest, HtmlParserNeverCrashesOnRandomMarkup) {
+  Rng rng(75);
+  static const char kAlphabet[] = "<>/=\"' abcdiv";
+  for (int trial = 0; trial < 1500; ++trial) {
+    std::string html;
+    const int length = rng.NextInt(0, 60);
+    for (int i = 0; i < length; ++i) {
+      html += kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)];
+    }
+    DomTree dom = ParseHtml(html);
+    ASSERT_NE(dom, nullptr);
+    EXPECT_GE(dom->SubtreeSize(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace percival

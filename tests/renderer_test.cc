@@ -1,0 +1,431 @@
+// Renderer tests: HTML parsing, DOM, layout, display list, deferred image
+// decoding, tiled raster, and the full RenderPage pipeline with its
+// choke-point invariant (every painted image passes the interceptor once).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+
+#include "src/img/codec.h"
+#include "src/renderer/display_list.h"
+#include "src/renderer/html_parser.h"
+#include "src/renderer/image_pipeline.h"
+#include "src/renderer/layout.h"
+#include "src/renderer/raster.h"
+#include "src/renderer/renderer.h"
+
+namespace percival {
+namespace {
+
+// Records every frame the pipeline shows it; optionally blocks by URL.
+class RecordingInterceptor : public ImageInterceptor {
+ public:
+  bool OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
+                      const std::string& source_url) override {
+    (void)info;
+    (void)pixels;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++seen_[source_url];
+    return block_all_;
+  }
+  int TimesSeen(const std::string& url) const {
+    auto it = seen_.find(url);
+    return it == seen_.end() ? 0 : it->second;
+  }
+  int TotalCalls() const {
+    int total = 0;
+    for (const auto& [url, count] : seen_) {
+      total += count;
+    }
+    return total;
+  }
+  void set_block_all(bool value) { block_all_ = value; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, int> seen_;
+  bool block_all_ = false;
+};
+
+std::vector<uint8_t> SolidImageBytes(Color color, int w = 8, int h = 8) {
+  return EncodePif(Bitmap(w, h, color));
+}
+
+TEST(HtmlParserTest, NestedStructure) {
+  DomTree dom = ParseHtml("<div id=\"a\"><p>hello</p><img src=\"x.png\"/></div>");
+  ASSERT_EQ(dom->children().size(), 1u);
+  const DomNode& div = *dom->children()[0];
+  EXPECT_EQ(div.tag(), "div");
+  EXPECT_EQ(div.GetAttr("id"), "a");
+  ASSERT_EQ(div.children().size(), 2u);
+  EXPECT_EQ(div.children()[0]->tag(), "p");
+  EXPECT_EQ(div.children()[1]->tag(), "img");
+  EXPECT_EQ(div.children()[1]->GetAttr("src"), "x.png");
+}
+
+TEST(HtmlParserTest, AttributesQuotedAndBare) {
+  DomTree dom = ParseHtml("<div class='a b' width=100 hidden></div>");
+  const DomNode& div = *dom->children()[0];
+  EXPECT_EQ(div.GetAttr("class"), "a b");
+  EXPECT_EQ(div.GetIntAttr("width", 0), 100);
+  EXPECT_TRUE(div.HasAttr("hidden"));
+}
+
+TEST(HtmlParserTest, VoidTagsDoNotNest) {
+  DomTree dom = ParseHtml("<img src=\"a\"><p>text</p>");
+  ASSERT_EQ(dom->children().size(), 2u);
+  EXPECT_EQ(dom->children()[0]->tag(), "img");
+  EXPECT_TRUE(dom->children()[0]->children().empty());
+}
+
+TEST(HtmlParserTest, StrayCloseTagIgnored) {
+  DomTree dom = ParseHtml("</div><p>ok</p>");
+  ASSERT_EQ(dom->children().size(), 1u);
+  EXPECT_EQ(dom->children()[0]->tag(), "p");
+}
+
+TEST(HtmlParserTest, TextNodesCaptured) {
+  DomTree dom = ParseHtml("<p>hello world</p>");
+  const DomNode& p = *dom->children()[0];
+  ASSERT_EQ(p.children().size(), 1u);
+  EXPECT_EQ(p.children()[0]->tag(), "#text");
+  EXPECT_EQ(p.children()[0]->text(), "hello world");
+}
+
+TEST(DomTest, DescriptorSplitsClasses) {
+  DomNode node("div");
+  node.SetAttr("class", "a  b c");
+  node.SetAttr("id", "x");
+  ElementDescriptor descriptor = node.Descriptor();
+  EXPECT_EQ(descriptor.tag, "div");
+  EXPECT_EQ(descriptor.id, "x");
+  EXPECT_EQ(descriptor.classes, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(DomTest, SubtreeSizeAndVisit) {
+  DomTree dom = ParseHtml("<div><p>a</p><p>b</p></div>");
+  EXPECT_EQ(dom->SubtreeSize(), 6);  // document + div + 2p + 2 text
+  int count = 0;
+  dom->Visit([&count](DomNode&) { ++count; });
+  EXPECT_EQ(count, 6);
+}
+
+TEST(LayoutTest, VerticalStacking) {
+  DomTree dom = ParseHtml(
+      "<div height=\"50\"></div><div height=\"30\"></div><div height=\"20\"></div>");
+  auto layout = ComputeLayout(*dom, 400);
+  ASSERT_EQ(layout->children.size(), 3u);
+  EXPECT_EQ(layout->children[0]->rect.y, 0);
+  EXPECT_EQ(layout->children[1]->rect.y, 50);
+  EXPECT_EQ(layout->children[2]->rect.y, 80);
+  EXPECT_EQ(DocumentHeight(*layout), 100);
+}
+
+TEST(LayoutTest, AbsolutePositioningDoesNotDisturbFlow) {
+  DomTree dom = ParseHtml(
+      "<div height=\"40\"></div><div x=\"700\" y=\"10\" width=\"80\" height=\"200\"></div>"
+      "<div height=\"40\"></div>");
+  auto layout = ComputeLayout(*dom, 1024);
+  EXPECT_EQ(layout->children[1]->rect.x, 700);
+  EXPECT_EQ(layout->children[1]->rect.y, 10);
+  // Third div flows right after the first.
+  EXPECT_EQ(layout->children[2]->rect.y, 40);
+}
+
+TEST(LayoutTest, HiddenNodesCollapse) {
+  DomTree dom = ParseHtml("<div height=\"40\"></div><div height=\"60\"></div>");
+  dom->children()[0]->hidden_by_filter = true;
+  auto layout = ComputeLayout(*dom, 400);
+  EXPECT_EQ(layout->children[0]->rect.h, 0);
+  EXPECT_EQ(layout->children[1]->rect.y, 0);
+  EXPECT_EQ(DocumentHeight(*layout), 60);
+}
+
+TEST(LayoutTest, WidthDefaultsToParent) {
+  DomTree dom = ParseHtml("<div><p height=\"10\"></p></div>");
+  auto layout = ComputeLayout(*dom, 333);
+  EXPECT_EQ(layout->children[0]->rect.w, 333);
+}
+
+TEST(DisplayListTest, EmitsImageAndBackgroundItems) {
+  DomTree dom = ParseHtml(
+      "<div bg=\"#FF0000\" height=\"10\"></div><img src=\"u.pif\" width=\"20\" height=\"10\"/>"
+      "<div bgimg=\"bg.pif\" height=\"10\"></div>");
+  auto layout = ComputeLayout(*dom, 100);
+  DisplayList items = BuildDisplayList(*layout);
+  int color_items = 0;
+  int image_items = 0;
+  for (const DisplayItem& item : items) {
+    if (item.kind == DisplayItemKind::kColorRect) {
+      ++color_items;
+      EXPECT_EQ(item.color.r, 255);
+    }
+    if (item.kind == DisplayItemKind::kImage) {
+      ++image_items;
+    }
+  }
+  EXPECT_EQ(color_items, 1);
+  EXPECT_EQ(image_items, 2);  // img src + CSS background image
+}
+
+TEST(DisplayListTest, HiddenElementsEmitNothing) {
+  DomTree dom = ParseHtml("<img src=\"u.pif\" width=\"20\" height=\"10\"/>");
+  dom->children()[0]->hidden_by_filter = true;
+  auto layout = ComputeLayout(*dom, 100);
+  EXPECT_TRUE(BuildDisplayList(*layout).empty());
+}
+
+TEST(ImagePipelineTest, DecodeOnceIsIdempotent) {
+  DeferredImageDecoder decoder("u", SolidImageBytes(Color{1, 2, 3, 255}));
+  RecordingInterceptor interceptor;
+  const DecodedImage& first = decoder.DecodeOnce(&interceptor);
+  const DecodedImage& second = decoder.DecodeOnce(&interceptor);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(interceptor.TimesSeen("u"), 1);
+  EXPECT_FALSE(first.decode_failed);
+}
+
+TEST(ImagePipelineTest, BlockedFrameIsCleared) {
+  DeferredImageDecoder decoder("u", SolidImageBytes(Color{200, 10, 10, 255}));
+  RecordingInterceptor interceptor;
+  interceptor.set_block_all(true);
+  const DecodedImage& result = decoder.DecodeOnce(&interceptor);
+  EXPECT_EQ(result.frames_blocked, 1);
+  EXPECT_EQ(result.frames[0].GetPixel(0, 0).a, 0);  // cleared
+}
+
+TEST(ImagePipelineTest, AnimatedFramesEachIntercepted) {
+  Bitmap a(4, 4, Color{1, 1, 1, 255});
+  Bitmap b(4, 4, Color{2, 2, 2, 255});
+  DeferredImageDecoder decoder("anim", EncodeAnim({a, b}));
+  RecordingInterceptor interceptor;
+  const DecodedImage& result = decoder.DecodeOnce(&interceptor);
+  EXPECT_EQ(result.frames.size(), 2u);
+  EXPECT_EQ(interceptor.TimesSeen("anim"), 2);
+}
+
+TEST(ImagePipelineTest, MalformedBytesFailGracefully) {
+  DeferredImageDecoder decoder("bad", {1, 2, 3, 4, 5});
+  const DecodedImage& result = decoder.DecodeOnce(nullptr);
+  EXPECT_TRUE(result.decode_failed);
+}
+
+TEST(ImagePipelineTest, CacheRegistersOnce) {
+  ImageDecodeCache cache;
+  cache.Register("u", SolidImageBytes(Color{5, 5, 5, 255}));
+  cache.Register("u", SolidImageBytes(Color{9, 9, 9, 255}));  // ignored
+  EXPECT_EQ(cache.registered_count(), 1);
+  DeferredImageDecoder* decoder = cache.Find("u");
+  ASSERT_NE(decoder, nullptr);
+  const DecodedImage& result = decoder->DecodeOnce(nullptr);
+  EXPECT_EQ(result.frames[0].GetPixel(0, 0).r, 5);
+  EXPECT_EQ(cache.Find("missing"), nullptr);
+}
+
+TEST(RasterTest, PaintsImagePixels) {
+  DisplayList items;
+  DisplayItem item;
+  item.kind = DisplayItemKind::kImage;
+  item.rect = Rect{0, 0, 8, 8};
+  item.image_url = "u";
+  items.push_back(item);
+  ImageDecodeCache cache;
+  cache.Register("u", SolidImageBytes(Color{10, 200, 30, 255}));
+  RasterConfig config;
+  config.tile_size = 4;
+  config.raster_threads = 2;
+  RasterResult result = RasterizeDisplayList(items, 8, 8, cache, config);
+  EXPECT_EQ(result.tiles, 4);
+  EXPECT_EQ(result.framebuffer.GetPixel(3, 3), (Color{10, 200, 30, 255}));
+}
+
+TEST(RasterTest, InterceptorCalledOncePerImageDespiteManyTiles) {
+  DisplayList items;
+  DisplayItem item;
+  item.kind = DisplayItemKind::kImage;
+  item.rect = Rect{0, 0, 64, 64};  // spans many tiles
+  item.image_url = "u";
+  items.push_back(item);
+  ImageDecodeCache cache;
+  cache.Register("u", SolidImageBytes(Color{1, 2, 3, 255}, 16, 16));
+  RecordingInterceptor interceptor;
+  RasterConfig config;
+  config.tile_size = 8;
+  config.raster_threads = 4;
+  config.interceptor = &interceptor;
+  RasterizeDisplayList(items, 64, 64, cache, config);
+  EXPECT_EQ(interceptor.TimesSeen("u"), 1);
+}
+
+TEST(RasterTest, BlockedImageLeavesBackground) {
+  DisplayList items;
+  DisplayItem item;
+  item.kind = DisplayItemKind::kImage;
+  item.rect = Rect{0, 0, 8, 8};
+  item.image_url = "u";
+  items.push_back(item);
+  ImageDecodeCache cache;
+  cache.Register("u", SolidImageBytes(Color{200, 0, 0, 255}));
+  RecordingInterceptor interceptor;
+  interceptor.set_block_all(true);
+  RasterConfig config;
+  config.interceptor = &interceptor;
+  RasterResult result = RasterizeDisplayList(items, 8, 8, cache, config);
+  // Cleared frame has alpha 0, so the white background shows through.
+  EXPECT_EQ(result.framebuffer.GetPixel(4, 4), (Color{255, 255, 255, 255}));
+}
+
+// --- Full pipeline -----------------------------------------------------------
+
+WebPage MakePageWithImages() {
+  WebPage page;
+  page.url = "https://site.example/page";
+  page.html =
+      "<body><img src=\"https://cdn.example/a.pif\" width=\"8\" height=\"8\"/>"
+      "<div bgimg=\"https://cdn.example/b.pif\" height=\"8\"></div>"
+      "<iframe src=\"https://frames.example/f\" width=\"20\" height=\"20\"></iframe>"
+      "<script src=\"https://tags.example/t.js\"></script></body>";
+  WebResource a;
+  a.type = ResourceType::kImage;
+  a.bytes = SolidImageBytes(Color{1, 0, 0, 255});
+  a.latency_ms = 10;
+  page.resources["https://cdn.example/a.pif"] = a;
+  WebResource b;
+  b.type = ResourceType::kImage;
+  b.bytes = SolidImageBytes(Color{0, 1, 0, 255});
+  b.latency_ms = 20;
+  page.resources["https://cdn.example/b.pif"] = b;
+  WebResource frame;
+  frame.type = ResourceType::kSubdocument;
+  const std::string frame_html =
+      "<img src=\"https://cdn.example/c.pif\" width=\"8\" height=\"8\"/>";
+  frame.bytes.assign(frame_html.begin(), frame_html.end());
+  frame.latency_ms = 30;
+  page.resources["https://frames.example/f"] = frame;
+  WebResource c;
+  c.type = ResourceType::kImage;
+  c.bytes = SolidImageBytes(Color{0, 0, 1, 255});
+  c.latency_ms = 5;
+  page.resources["https://cdn.example/c.pif"] = c;
+  WebResource script;
+  script.type = ResourceType::kScript;
+  const std::string script_body = "inject-img https://cdn.example/d.pif 8 8\n";
+  script.bytes.assign(script_body.begin(), script_body.end());
+  script.latency_ms = 15;
+  page.resources["https://tags.example/t.js"] = script;
+  WebResource d;
+  d.type = ResourceType::kImage;
+  d.bytes = SolidImageBytes(Color{7, 7, 7, 255});
+  d.latency_ms = 5;
+  page.resources["https://cdn.example/d.pif"] = d;
+  return page;
+}
+
+TEST(RenderPageTest, ChokePointSeesEveryLoadPath) {
+  // img tag, CSS background, iframe-embedded, and JS-injected images must
+  // all pass through the interceptor — the paper's core design goal (§3.1).
+  WebPage page = MakePageWithImages();
+  RecordingInterceptor interceptor;
+  RenderOptions options;
+  options.interceptor = &interceptor;
+  RenderResult result = RenderPage(page, options);
+  EXPECT_EQ(interceptor.TimesSeen("https://cdn.example/a.pif"), 1);
+  EXPECT_EQ(interceptor.TimesSeen("https://cdn.example/b.pif"), 1);
+  EXPECT_EQ(interceptor.TimesSeen("https://cdn.example/c.pif"), 1);
+  EXPECT_EQ(interceptor.TimesSeen("https://cdn.example/d.pif"), 1);
+  EXPECT_EQ(result.stats.images_decoded, 4);
+  EXPECT_EQ(result.stats.iframes_rendered, 1);
+  EXPECT_EQ(result.stats.scripts_executed, 1);
+}
+
+TEST(RenderPageTest, MetricsAreConsistent) {
+  WebPage page = MakePageWithImages();
+  RenderResult result = RenderPage(page, RenderOptions{});
+  EXPECT_GE(result.metrics.dom_complete, result.metrics.dom_loading);
+  EXPECT_GE(result.metrics.fetch_ms, 30.0);  // slowest chain: iframe
+  EXPECT_GT(result.metrics.parse_ms, 0.0);
+}
+
+TEST(RenderPageTest, FilterBlocksRequestsBeforeFetch) {
+  WebPage page = MakePageWithImages();
+  FilterEngine filter;
+  filter.AddRule("||cdn.example^$image");
+  RenderOptions options;
+  options.filter = &filter;
+  RenderResult result = RenderPage(page, options);
+  EXPECT_GT(result.stats.requests_blocked_by_filter, 0);
+  // Blocked images never decode.
+  for (const ImageOutcome& outcome : result.image_outcomes) {
+    if (outcome.url.find("cdn.example") != std::string::npos) {
+      EXPECT_FALSE(outcome.fetched);
+      EXPECT_FALSE(outcome.decoded);
+    }
+  }
+}
+
+TEST(RenderPageTest, CosmeticFilterHidesSubtreeAndSkipsItsImages) {
+  WebPage page;
+  page.url = "https://site.example/";
+  page.html =
+      "<div class=\"ad-banner\"><img src=\"https://cdn.example/x.pif\" width=\"8\" "
+      "height=\"8\"/></div>";
+  WebResource x;
+  x.type = ResourceType::kImage;
+  x.bytes = SolidImageBytes(Color{1, 1, 1, 255});
+  page.resources["https://cdn.example/x.pif"] = x;
+  FilterEngine filter;
+  filter.AddRule("##.ad-banner");
+  RenderOptions options;
+  options.filter = &filter;
+  RenderResult result = RenderPage(page, options);
+  EXPECT_EQ(result.stats.elements_hidden_by_filter, 1);
+  EXPECT_EQ(result.stats.images_decoded, 0);
+}
+
+TEST(RenderPageTest, PercivalBlockingClearsPixels) {
+  WebPage page = MakePageWithImages();
+  RecordingInterceptor interceptor;
+  interceptor.set_block_all(true);
+  RenderOptions options;
+  options.interceptor = &interceptor;
+  RenderResult result = RenderPage(page, options);
+  EXPECT_EQ(result.stats.frames_blocked, result.stats.frames_decoded);
+  for (const ImageOutcome& outcome : result.image_outcomes) {
+    if (outcome.decoded) {
+      EXPECT_TRUE(outcome.blocked_by_percival);
+    }
+  }
+}
+
+TEST(RenderPageTest, MissingResourceDoesNotCrash) {
+  WebPage page;
+  page.url = "https://site.example/";
+  page.html = "<img src=\"https://nowhere.example/missing.pif\" width=\"8\" height=\"8\"/>";
+  RenderResult result = RenderPage(page, RenderOptions{});
+  EXPECT_EQ(result.stats.images_decoded, 0);
+  EXPECT_EQ(result.stats.requests, 1);
+}
+
+TEST(RenderPageTest, SyncClassificationAddsRenderTime) {
+  WebPage page = MakePageWithImages();
+  RenderResult baseline = RenderPage(page, RenderOptions{});
+
+  // An artificially slow interceptor must increase render time.
+  class SlowInterceptor : public ImageInterceptor {
+   public:
+    bool OnDecodedFrame(const ImageInfo&, Bitmap&, const std::string&) override {
+      volatile double sink = 0.0;
+      for (int i = 0; i < 2000000; ++i) {
+        sink = sink + 1.0;
+      }
+      return false;
+    }
+  } slow;
+  RenderOptions options;
+  options.interceptor = &slow;
+  RenderResult treated = RenderPage(page, options);
+  EXPECT_GT(treated.metrics.RenderTime(), baseline.metrics.RenderTime());
+}
+
+}  // namespace
+}  // namespace percival

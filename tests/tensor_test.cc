@@ -1,0 +1,149 @@
+// Unit tests for the tensor container and the im2col/col2im kernels.
+#include <gtest/gtest.h>
+
+#include "src/nn/ops.h"
+#include "src/nn/tensor.h"
+
+namespace percival {
+namespace {
+
+TEST(TensorShapeTest, ElementsProduct) {
+  TensorShape shape{2, 3, 4, 5};
+  EXPECT_EQ(shape.Elements(), 120);
+}
+
+TEST(TensorTest, ConstructZeroInitialized) {
+  Tensor t(1, 2, 2, 3);
+  EXPECT_EQ(t.size(), 12);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, AtIndexingRoundTrips) {
+  Tensor t(2, 3, 4, 5);
+  t.at(1, 2, 3, 4) = 42.0f;
+  EXPECT_EQ(t.at(1, 2, 3, 4), 42.0f);
+  // Last element of the buffer.
+  EXPECT_EQ(t[t.size() - 1], 42.0f);
+}
+
+TEST(TensorTest, SampleDataOffsets) {
+  Tensor t(3, 2, 2, 1);
+  t.at(2, 0, 0, 0) = 9.0f;
+  EXPECT_EQ(t.SampleData(2)[0], 9.0f);
+  EXPECT_EQ(t.SampleElements(), 4);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t(1, 2, 2, 2);
+  t[5] = 3.5f;
+  t.Reshape(TensorShape{1, 1, 1, 8});
+  EXPECT_EQ(t[5], 3.5f);
+  EXPECT_EQ(t.shape().c, 8);
+}
+
+TEST(TensorTest, ReshapeMismatchedElementsDies) {
+  Tensor t(1, 2, 2, 2);
+  EXPECT_DEATH(t.Reshape(TensorShape{1, 1, 1, 7}), "reshape");
+}
+
+TEST(TensorTest, AddAndScale) {
+  Tensor a(1, 1, 1, 3);
+  Tensor b(1, 1, 1, 3);
+  a[0] = 1.0f;
+  a[1] = 2.0f;
+  a[2] = 3.0f;
+  b.Fill(1.0f);
+  a.Add(b);
+  a.Scale(2.0f);
+  EXPECT_EQ(a[0], 4.0f);
+  EXPECT_EQ(a[1], 6.0f);
+  EXPECT_EQ(a[2], 8.0f);
+}
+
+TEST(TensorTest, ArgMaxInSample) {
+  Tensor t(2, 1, 1, 4);
+  t.at(0, 0, 0, 2) = 5.0f;
+  t.at(1, 0, 0, 0) = 1.0f;
+  EXPECT_EQ(t.ArgMaxInSample(0), 2);
+  EXPECT_EQ(t.ArgMaxInSample(1), 0);
+}
+
+TEST(TensorTest, SumMinMax) {
+  Tensor t(1, 1, 1, 4);
+  t[0] = -1.0f;
+  t[1] = 2.0f;
+  t[2] = 0.5f;
+  t[3] = 3.5f;
+  EXPECT_FLOAT_EQ(t.Sum(), 5.0f);
+  EXPECT_FLOAT_EQ(t.Min(), -1.0f);
+  EXPECT_FLOAT_EQ(t.Max(), 3.5f);
+}
+
+TEST(OpsTest, ConvOutputSizeFormula) {
+  EXPECT_EQ(ConvOutputSize(224, 3, 2, 1), 112);
+  EXPECT_EQ(ConvOutputSize(112, 2, 2, 0), 56);
+  EXPECT_EQ(ConvOutputSize(5, 3, 1, 1), 5);
+  EXPECT_EQ(ConvOutputSize(7, 7, 1, 0), 1);
+}
+
+TEST(OpsTest, Im2ColIdentityKernel) {
+  // 1x1 kernel, stride 1, no pad: columns equal the input.
+  const int h = 3;
+  const int w = 3;
+  const int c = 2;
+  std::vector<float> input(static_cast<size_t>(h * w * c));
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(i);
+  }
+  std::vector<float> columns(input.size());
+  Im2Col(input.data(), h, w, c, 1, 1, 0, columns.data());
+  EXPECT_EQ(columns, input);
+}
+
+TEST(OpsTest, Im2ColZeroPadsBorders) {
+  // 3x3 kernel with pad 1 on a 1x1 input: only the centre tap is non-zero.
+  std::vector<float> input = {7.0f};
+  std::vector<float> columns(9, -1.0f);
+  Im2Col(input.data(), 1, 1, 1, 3, 1, 1, columns.data());
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(columns[static_cast<size_t>(i)], i == 4 ? 7.0f : 0.0f);
+  }
+}
+
+TEST(OpsTest, Col2ImInvertsIm2ColFor1x1) {
+  const int h = 2;
+  const int w = 2;
+  const int c = 3;
+  std::vector<float> columns(static_cast<size_t>(h * w * c));
+  for (size_t i = 0; i < columns.size(); ++i) {
+    columns[i] = static_cast<float>(i + 1);
+  }
+  std::vector<float> grad(columns.size(), 0.0f);
+  Col2Im(columns.data(), h, w, c, 1, 1, 0, grad.data());
+  EXPECT_EQ(grad, columns);
+}
+
+TEST(OpsTest, Col2ImAccumulatesOverlaps) {
+  // 2x2 kernel stride 1 on 3x3: centre pixel is covered by 4 windows.
+  const int h = 3;
+  const int w = 3;
+  std::vector<float> columns(static_cast<size_t>(2 * 2 * 2 * 2), 1.0f);
+  std::vector<float> grad(9, 0.0f);
+  Col2Im(columns.data(), h, w, 1, 2, 1, 0, grad.data());
+  EXPECT_EQ(grad[4], 4.0f);  // centre
+  EXPECT_EQ(grad[0], 1.0f);  // corner
+}
+
+TEST(OpsTest, DotAndAxpy) {
+  std::vector<float> a = {1, 2, 3, 4, 5};
+  std::vector<float> b = {5, 4, 3, 2, 1};
+  EXPECT_FLOAT_EQ(Dot(5, a.data(), b.data()), 35.0f);
+  Axpy(5, 2.0f, a.data(), b.data());
+  EXPECT_FLOAT_EQ(b[0], 7.0f);
+  EXPECT_FLOAT_EQ(b[4], 11.0f);
+}
+
+}  // namespace
+}  // namespace percival

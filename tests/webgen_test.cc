@@ -1,0 +1,281 @@
+// Synthetic-web generator tests: ad/content imagery, languages, ad networks
+// and the generated EasyList, site pages, Facebook feed, image search.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/filter/engine.h"
+#include "src/img/codec.h"
+#include "src/img/draw.h"
+#include "src/webgen/ad_network.h"
+#include "src/webgen/adgen.h"
+#include "src/webgen/contentgen.h"
+#include "src/webgen/facebook.h"
+#include "src/webgen/language.h"
+#include "src/webgen/search.h"
+#include "src/webgen/sitegen.h"
+
+namespace percival {
+namespace {
+
+TEST(AdGenTest, DeterministicForSeed) {
+  AdImageOptions options;
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(GenerateAdImage(a, options), GenerateAdImage(b, options));
+}
+
+TEST(AdGenTest, SlotSizesMatchIabGeometry) {
+  int w = 0;
+  int h = 0;
+  AdSlotSize(AdSlotKind::kBanner, &w, &h);
+  EXPECT_EQ(w, 320);
+  EXPECT_EQ(h, 100);
+  AdSlotSize(AdSlotKind::kSkyscraper, &w, &h);
+  EXPECT_GT(h, w);  // portrait unit
+}
+
+TEST(AdGenTest, ImageHasContent) {
+  Rng rng(6);
+  Bitmap ad = GenerateAdImage(rng, AdImageOptions{});
+  EXPECT_GT(NonBackgroundFraction(ad, Color{255, 255, 255, 255}), 0.2);
+}
+
+class AdLanguageTest : public ::testing::TestWithParam<Language> {};
+
+TEST_P(AdLanguageTest, GeneratesForEveryLanguage) {
+  Rng rng(7);
+  AdImageOptions options;
+  options.language = GetParam();
+  Bitmap ad = GenerateAdImage(rng, options);
+  EXPECT_GT(ad.width(), 0);
+  EXPECT_GT(NonBackgroundFraction(ad, Color{255, 255, 255, 255}), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLanguages, AdLanguageTest,
+                         ::testing::Values(Language::kEnglish, Language::kArabic,
+                                           Language::kSpanish, Language::kFrench,
+                                           Language::kKorean, Language::kChinese,
+                                           Language::kPortuguese, Language::kGerman));
+
+TEST(LanguageTest, CjkMarketsRelyMoreOnText) {
+  EXPECT_GT(TextOnlyAdProbability(Language::kKorean),
+            TextOnlyAdProbability(Language::kEnglish));
+  EXPECT_GT(TextOnlyAdProbability(Language::kChinese),
+            TextOnlyAdProbability(Language::kFrench));
+}
+
+TEST(LanguageTest, Fig9CoversFivePaperLanguages) {
+  EXPECT_EQ(Fig9Languages().size(), 5u);
+}
+
+TEST(ContentGenTest, AllKindsRender) {
+  for (ContentKind kind : {ContentKind::kLandscape, ContentKind::kPortrait,
+                           ContentKind::kTexture, ContentKind::kDocument,
+                           ContentKind::kProductPhoto}) {
+    Rng rng(static_cast<uint64_t>(kind) + 10);
+    ContentImageOptions options;
+    options.kind = kind;
+    Bitmap image = GenerateContentImage(rng, options);
+    EXPECT_GT(image.width(), 0);
+    EXPECT_GT(image.height(), 0);
+  }
+}
+
+TEST(ContentGenTest, SampleKindRespectsProductProbability) {
+  Rng rng(11);
+  int products = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (SampleContentKind(rng, 0.1) == ContentKind::kProductPhoto) {
+      ++products;
+    }
+  }
+  EXPECT_GT(products, 120);
+  EXPECT_LT(products, 300);
+}
+
+TEST(AdNetworkTest, BuildsConfiguredCount) {
+  AdEcosystemConfig config;
+  config.network_count = 8;
+  config.listed_fraction = 1.0;
+  std::vector<AdNetwork> networks = BuildAdNetworks(config);
+  EXPECT_EQ(networks.size(), 8u);
+  for (const AdNetwork& network : networks) {
+    EXPECT_TRUE(network.listed);
+    EXPECT_NE(network.host.find(".example"), std::string::npos);
+  }
+}
+
+TEST(AdNetworkTest, PartialCoverageLeavesLongTail) {
+  AdEcosystemConfig config;
+  config.network_count = 40;
+  config.listed_fraction = 0.5;
+  std::vector<AdNetwork> networks = BuildAdNetworks(config);
+  int listed = 0;
+  for (const AdNetwork& network : networks) {
+    listed += network.listed ? 1 : 0;
+  }
+  EXPECT_GT(listed, 8);
+  EXPECT_LT(listed, 32);
+}
+
+TEST(EasyListGenTest, RulesParseAndBlockListedNetworks) {
+  AdEcosystemConfig config;
+  config.listed_fraction = 1.0;
+  std::vector<AdNetwork> networks = BuildAdNetworks(config);
+  FilterEngine engine;
+  engine.AddList(BuildSyntheticEasyList(networks));
+  EXPECT_GT(engine.network_rule_count(), 0);
+  EXPECT_GT(engine.cosmetic_rule_count(), 0);
+  for (const AdNetwork& network : networks) {
+    RequestContext request;
+    request.url = Url::Parse("https://" + network.host + network.path_prefix + "x.pif");
+    request.page_host = "news-site-1.example";
+    request.type = ResourceType::kImage;
+    EXPECT_TRUE(engine.ShouldBlockRequest(request).blocked) << network.host;
+  }
+}
+
+TEST(EasyListGenTest, BenignCdnWhitelisted) {
+  std::vector<AdNetwork> networks = BuildAdNetworks(AdEcosystemConfig{});
+  FilterEngine engine;
+  engine.AddList(BuildSyntheticEasyList(networks));
+  RequestContext request;
+  // This URL matches the "/adimg/*.pif$image" style path rules but is on
+  // the whitelisted static CDN.
+  request.url = Url::Parse("https://static.sitecdn.example/adimg/photo.pif");
+  request.page_host = "news-site-1.example";
+  request.type = ResourceType::kImage;
+  EXPECT_FALSE(engine.ShouldBlockRequest(request).blocked);
+}
+
+TEST(SiteGenTest, DeterministicPages) {
+  SiteGenerator generator(SiteGenConfig{}, BuildAdNetworks(AdEcosystemConfig{}));
+  WebPage a = generator.GeneratePage(3, 4);
+  WebPage b = generator.GeneratePage(3, 4);
+  EXPECT_EQ(a.html, b.html);
+  EXPECT_EQ(a.resources.size(), b.resources.size());
+}
+
+TEST(SiteGenTest, PagesContainAdsAndContent) {
+  SiteGenerator generator(SiteGenConfig{}, BuildAdNetworks(AdEcosystemConfig{}));
+  int ads = 0;
+  int non_ads = 0;
+  for (int page_index = 0; page_index < 5; ++page_index) {
+    WebPage page = generator.GeneratePage(0, page_index);
+    for (const auto& [url, resource] : page.resources) {
+      if (resource.type == ResourceType::kImage) {
+        (resource.is_ad ? ads : non_ads) += 1;
+      }
+    }
+  }
+  EXPECT_GT(ads, 0);
+  EXPECT_GT(non_ads, 0);
+}
+
+TEST(SiteGenTest, AdImagesDecodable) {
+  SiteGenerator generator(SiteGenConfig{}, BuildAdNetworks(AdEcosystemConfig{}));
+  WebPage page = generator.GeneratePage(1, 1);
+  for (const auto& [url, resource] : page.resources) {
+    if (resource.type == ResourceType::kImage) {
+      EXPECT_TRUE(DecodeFirstFrame(resource.bytes).has_value()) << url;
+    }
+  }
+}
+
+TEST(SiteGenTest, DifferentPagesDiffer) {
+  SiteGenerator generator(SiteGenConfig{}, BuildAdNetworks(AdEcosystemConfig{}));
+  EXPECT_NE(generator.GeneratePage(0, 0).html, generator.GeneratePage(0, 1).html);
+  EXPECT_NE(generator.GeneratePage(0, 0).html, generator.GeneratePage(1, 0).html);
+}
+
+TEST(FacebookTest, SessionMixMatchesConfig) {
+  FacebookSessionConfig config;
+  config.feed_posts = 200;
+  config.right_column_ads = 6;
+  std::vector<FeedItem> items = GenerateFacebookSession(config);
+  EXPECT_EQ(items.size(), 206u);
+  int sponsored = 0;
+  int right_column = 0;
+  int brand = 0;
+  for (const FeedItem& item : items) {
+    switch (item.slot) {
+      case FeedSlot::kSponsoredPost:
+        ++sponsored;
+        EXPECT_TRUE(item.is_ad);
+        break;
+      case FeedSlot::kRightColumnAd:
+        ++right_column;
+        EXPECT_TRUE(item.is_ad);
+        break;
+      case FeedSlot::kBrandPost:
+        ++brand;
+        EXPECT_FALSE(item.is_ad);
+        break;
+      case FeedSlot::kOrganicPost:
+        EXPECT_FALSE(item.is_ad);
+        break;
+    }
+  }
+  EXPECT_EQ(right_column, 6);
+  EXPECT_GT(sponsored, 10);
+  EXPECT_GT(brand, 10);
+}
+
+TEST(FacebookTest, PageUsesObfuscatedClassesForFeedPosts) {
+  FacebookSessionConfig config;
+  config.feed_posts = 30;
+  WebPage page = BuildFacebookPage(config);
+  // No stable ad-container class should appear in the feed markup.
+  for (const std::string& klass : AdContainerClasses()) {
+    EXPECT_EQ(page.html.find("class=\"" + klass + "\""), std::string::npos) << klass;
+  }
+  // And two sessions rotate their obfuscated names.
+  FacebookSessionConfig other = config;
+  other.seed = config.seed + 1;
+  EXPECT_NE(BuildFacebookPage(other).html, page.html);
+}
+
+TEST(SearchTest, Fig13QueriesPresent) {
+  std::vector<SearchQueryProfile> queries = Fig13Queries();
+  ASSERT_EQ(queries.size(), 7u);
+  std::set<std::string> names;
+  for (const SearchQueryProfile& profile : queries) {
+    names.insert(profile.query);
+  }
+  EXPECT_TRUE(names.count("Obama"));
+  EXPECT_TRUE(names.count("Advertisement"));
+  EXPECT_TRUE(names.count("iPhone"));
+}
+
+TEST(SearchTest, AdIntentControlsMix) {
+  SearchQueryProfile low;
+  low.query = "low";
+  low.ad_intent = 0.05;
+  SearchQueryProfile high;
+  high.query = "high";
+  high.ad_intent = 0.9;
+  int low_ads = 0;
+  int high_ads = 0;
+  for (const SearchResultImage& result : GenerateSearchResults(low, 200, 1)) {
+    low_ads += (result.is_ad && *result.is_ad) ? 1 : 0;
+  }
+  for (const SearchResultImage& result : GenerateSearchResults(high, 200, 1)) {
+    high_ads += (result.is_ad && *result.is_ad) ? 1 : 0;
+  }
+  EXPECT_LT(low_ads, 30);
+  EXPECT_GT(high_ads, 150);
+}
+
+TEST(SearchTest, UnlabelableQueriesWithholdTruth) {
+  SearchQueryProfile profile;
+  profile.query = "Shoes";
+  profile.ad_intent = 0.5;
+  profile.labelable = false;
+  for (const SearchResultImage& result : GenerateSearchResults(profile, 20, 2)) {
+    EXPECT_FALSE(result.is_ad.has_value());
+  }
+}
+
+}  // namespace
+}  // namespace percival
