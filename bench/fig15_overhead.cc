@@ -6,6 +6,7 @@
 
 #include "bench/bench_common.h"
 #include "src/eval/metrics.h"
+#include "src/nn/gemm.h"
 #include "src/renderer/renderer.h"
 
 namespace percival {
@@ -30,6 +31,10 @@ void Run() {
   ModelZoo zoo;
   AdClassifier classifier = MakeSharedClassifier(zoo);
   BenchWorld world = MakeBenchWorld(0.75, 7);
+
+  // Deployment configuration: the batched GEMM engine fans conv rows out
+  // over this pool whenever a raster worker blocks on a classification.
+  ScopedInferencePool inference_pool;
 
   const int kPages = 120;
   const double chromium = MedianRenderMs(world, nullptr, nullptr, kPages);

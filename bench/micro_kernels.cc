@@ -3,13 +3,18 @@
 // decode, bitmap-to-tensor preprocessing, and filter-rule matching.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "src/base/rng.h"
+#include "src/base/thread_pool.h"
+#include "src/core/classifier.h"
 #include "src/core/model.h"
 #include "src/filter/engine.h"
 #include "src/img/codec.h"
 #include "src/img/resize.h"
 #include "src/nn/conv.h"
 #include "src/nn/fire.h"
+#include "src/nn/gemm.h"
 #include "src/webgen/ad_network.h"
 #include "src/webgen/adgen.h"
 
@@ -25,17 +30,33 @@ Tensor RandomTensor(const TensorShape& shape, uint64_t seed) {
   return tensor;
 }
 
-void BM_Conv3x3(benchmark::State& state) {
+// The conv A/B triple behind the ≥3x acceptance line: identical layer and
+// input, forward path flipped between the naive oracle, the single-threaded
+// GEMM engine, and GEMM + thread-pool fan-out. items/sec == MACs/sec.
+void RunConvForward(benchmark::State& state, bool use_gemm, bool threaded) {
   const int size = static_cast<int>(state.range(0));
   Rng rng(1);
   Conv2D conv(16, 16, 3, 1, 1, rng);
+  conv.set_use_gemm(use_gemm);
   Tensor input = RandomTensor(TensorShape{1, size, size, 16}, 2);
+  std::unique_ptr<ScopedInferencePool> pool;
+  if (threaded) {
+    pool = std::make_unique<ScopedInferencePool>();
+  }
   for (auto _ : state) {
     benchmark::DoNotOptimize(conv.Forward(input));
   }
   state.SetItemsProcessed(state.iterations() * conv.ForwardMacs(input.shape()));
 }
-BENCHMARK(BM_Conv3x3)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Conv3x3Naive(benchmark::State& state) { RunConvForward(state, false, false); }
+BENCHMARK(BM_Conv3x3Naive)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Conv3x3Gemm(benchmark::State& state) { RunConvForward(state, true, false); }
+BENCHMARK(BM_Conv3x3Gemm)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Conv3x3GemmThreaded(benchmark::State& state) { RunConvForward(state, true, true); }
+BENCHMARK(BM_Conv3x3GemmThreaded)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_FireModule(benchmark::State& state) {
   const int size = static_cast<int>(state.range(0));
@@ -58,6 +79,17 @@ void BM_PercivalForwardExperiment(benchmark::State& state) {
 }
 BENCHMARK(BM_PercivalForwardExperiment);
 
+void BM_PercivalForwardExperimentThreaded(benchmark::State& state) {
+  ScopedInferencePool pool;
+  PercivalNetConfig config = ExperimentProfile();
+  Network net = BuildPercivalNet(config);
+  Tensor input = RandomTensor(config.InputShape(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Forward(input));
+  }
+}
+BENCHMARK(BM_PercivalForwardExperimentThreaded);
+
 void BM_PercivalForwardPaper(benchmark::State& state) {
   PercivalNetConfig config = PaperProfile();
   Network net = BuildPercivalNet(config);
@@ -67,6 +99,60 @@ void BM_PercivalForwardPaper(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PercivalForwardPaper)->Iterations(2);
+
+void BM_PercivalForwardPaperThreaded(benchmark::State& state) {
+  ScopedInferencePool pool;
+  PercivalNetConfig config = PaperProfile();
+  Network net = BuildPercivalNet(config);
+  Tensor input = RandomTensor(config.InputShape(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Forward(input));
+  }
+}
+BENCHMARK(BM_PercivalForwardPaperThreaded)->Iterations(2);
+
+// Batched classification: one stacked forward for 8 creatives vs 8 separate
+// Classify() calls (BM_ClassifySingle) over the same bitmaps. Both variants
+// run under the inference pool so the comparison isolates batching itself.
+void BM_ClassifySingle(benchmark::State& state) {
+  ScopedInferencePool pool;
+  PercivalNetConfig config = ExperimentProfile();
+  AdClassifier classifier(BuildPercivalNet(config), config);
+  Rng rng(11);
+  std::vector<Bitmap> ads;
+  for (int i = 0; i < 8; ++i) {
+    AdImageOptions options;
+    ads.push_back(GenerateAdImage(rng, options));
+  }
+  for (auto _ : state) {
+    for (const Bitmap& ad : ads) {
+      benchmark::DoNotOptimize(classifier.Classify(ad));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ClassifySingle);
+
+void BM_ClassifyBatch8(benchmark::State& state) {
+  ScopedInferencePool pool;
+  PercivalNetConfig config = ExperimentProfile();
+  AdClassifier classifier(BuildPercivalNet(config), config);
+  Rng rng(11);
+  std::vector<Bitmap> ads;
+  for (int i = 0; i < 8; ++i) {
+    AdImageOptions options;
+    ads.push_back(GenerateAdImage(rng, options));
+  }
+  std::vector<const Bitmap*> batch;
+  for (const Bitmap& ad : ads) {
+    batch.push_back(&ad);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.ClassifyBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ClassifyBatch8);
 
 void BM_DecodePif(benchmark::State& state) {
   Rng rng(4);

@@ -1,8 +1,16 @@
 #include "src/base/thread_pool.h"
 
+#include <atomic>
+
 #include "src/base/logging.h"
 
 namespace percival {
+
+namespace {
+// Set for the lifetime of each worker thread; lets IsWorkerThread() answer
+// without any synchronization.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   PCHECK_GE(num_threads, 1);
@@ -38,14 +46,68 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::IsWorkerThread() const { return tls_worker_pool == this; }
+
 void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
-  for (int i = 0; i < count; ++i) {
-    Submit([&fn, i] { fn(i); });
+  if (count <= 0) {
+    return;
   }
-  Wait();
+  // From inside a worker (or with nothing to fan out to) run inline: every
+  // other worker may be blocked in a ParallelFor of its own, so queueing and
+  // waiting here could leave no thread free to make progress.
+  if (count == 1 || IsWorkerThread() || num_threads() <= 1) {
+    for (int i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  // Work-stealing loop shared by the caller and the helpers. The latch
+  // counts completed *iterations*, not helper tasks: once every iteration
+  // has run, the caller returns even if some helper tasks are still queued
+  // behind unrelated work (they find the range drained and exit). That also
+  // means a caller that claims every iteration itself never blocks on the
+  // pool — so fanning out while holding a lock the workers contend on
+  // cannot deadlock. State (including a copy of fn) is shared, because a
+  // straggler helper may outlive this frame.
+  struct State {
+    std::function<void(int)> fn;
+    int count = 0;
+    std::atomic<int> next{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    int completed = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->fn = fn;
+  state->count = count;
+  auto drain = [](const std::shared_ptr<State>& s) {
+    int i;
+    int ran = 0;
+    while ((i = s->next.fetch_add(1)) < s->count) {
+      s->fn(i);
+      ++ran;
+    }
+    if (ran > 0) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      s->completed += ran;
+      if (s->completed == s->count) {
+        s->done.notify_all();
+      }
+    }
+  };
+
+  const int helpers = std::min(num_threads(), count) - 1;
+  for (int h = 0; h < helpers; ++h) {
+    Submit([state, drain] { drain(state); });
+  }
+  drain(state);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&state] { return state->completed == state->count; });
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {

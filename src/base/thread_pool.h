@@ -34,7 +34,15 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  // Runs `fn(i)` for i in [0, count) across the pool and waits.
+  // True when called from one of this pool's worker threads. Kernels use it
+  // to fall back to serial execution instead of fanning out from inside a
+  // worker (a nested blocking ParallelFor could otherwise stall the pool).
+  bool IsWorkerThread() const;
+
+  // Runs `fn(i)` for i in [0, count) across the pool and waits. The calling
+  // thread participates, and the wait covers only this call's iterations
+  // (concurrent Submit() traffic does not extend it). Safe to call from a
+  // worker thread: it then runs inline on the caller.
   void ParallelFor(int count, const std::function<void(int)>& fn);
 
  private:

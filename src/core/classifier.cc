@@ -6,6 +6,7 @@
 #include "src/base/stopwatch.h"
 #include "src/img/resize.h"
 #include "src/nn/activation.h"
+#include "src/nn/gemm.h"
 
 namespace percival {
 
@@ -32,6 +33,53 @@ ClassifyResult AdClassifier::Classify(const Bitmap& image) {
     stats_.total_latency_ms += result.latency_ms;
   }
   return result;
+}
+
+std::vector<ClassifyResult> AdClassifier::ClassifyBatch(
+    const std::vector<const Bitmap*>& images) {
+  const int batch = static_cast<int>(images.size());
+  if (batch == 0) {
+    return {};
+  }
+  Stopwatch preprocess_timer;
+
+  // Stack the preprocessed samples into one NHWC tensor. Resize + normalize
+  // dominates for large creatives, so it fans out over the inference pool.
+  Tensor input(batch, config_.input_size, config_.input_size, config_.input_channels);
+  InferenceParallelFor(
+      batch, input.SampleElements() * 8, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          BitmapToTensorInto(*images[static_cast<size_t>(i)], config_.input_size,
+                             config_.input_channels, input.SampleData(static_cast<int>(i)));
+        }
+      });
+  const double preprocess_ms = preprocess_timer.ElapsedMs();
+
+  std::vector<ClassifyResult> results(static_cast<size_t>(batch));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // The forward timer starts after the lock is acquired: overlapping
+    // batches queueing on the network mutex must not bill their wait as
+    // classification latency.
+    Stopwatch forward_timer;
+    Tensor logits = network_.Forward(input);
+    Softmax softmax;
+    Tensor probs = softmax.Forward(logits);
+    const double elapsed = preprocess_ms + forward_timer.ElapsedMs();
+    const double per_image = elapsed / batch;
+    for (int i = 0; i < batch; ++i) {
+      ClassifyResult& r = results[static_cast<size_t>(i)];
+      r.ad_probability = probs.at(i, 0, 0, 1);
+      r.is_ad = r.ad_probability >= threshold_;
+      r.latency_ms = per_image;
+      ++stats_.classified;
+      if (r.is_ad) {
+        ++stats_.blocked;
+      }
+    }
+    stats_.total_latency_ms += elapsed;
+  }
+  return results;
 }
 
 bool AdClassifier::OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
@@ -67,21 +115,52 @@ bool AsyncAdClassifier::OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
   }
   ++stats_.cache_misses;
   // Not yet known: let the frame render now (no added latency) and queue
-  // the pixels for off-critical-path classification.
-  pending_.emplace_back(key, pixels);
+  // the pixels for off-critical-path classification — unless the same
+  // creative is already queued or being classified by an in-flight drain.
+  if (in_flight_.insert(key).second) {
+    pending_.emplace_back(key, pixels);
+  }
   return false;
 }
 
-void AsyncAdClassifier::DrainPending() {
+void AsyncAdClassifier::DrainPending(ThreadPool* pool, int batch_size) {
+  batch_size = std::max(batch_size, 1);
   std::vector<std::pair<uint64_t, Bitmap>> work;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     work.swap(pending_);
+    // Keys stay in in_flight_ until their result is memoized below, so
+    // frames decoded mid-drain cannot re-queue a creative being classified.
   }
-  for (auto& [key, bitmap] : work) {
-    const ClassifyResult result = inner_.Classify(bitmap);
+  if (work.empty()) {
+    return;
+  }
+
+  const int batches = (static_cast<int>(work.size()) + batch_size - 1) / batch_size;
+  auto run_batch = [&](int index) {
+    const size_t begin = static_cast<size_t>(index) * static_cast<size_t>(batch_size);
+    const size_t end = std::min(work.size(), begin + static_cast<size_t>(batch_size));
+    std::vector<const Bitmap*> images;
+    images.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      images.push_back(&work[i].second);
+    }
+    const std::vector<ClassifyResult> results = inner_.ClassifyBatch(images);
     std::lock_guard<std::mutex> lock(mutex_);
-    memo_[key] = result.is_ad;
+    for (size_t i = begin; i < end; ++i) {
+      memo_[work[i].first] = results[i - begin].is_ad;
+      in_flight_.erase(work[i].first);
+    }
+  };
+
+  if (pool != nullptr && batches > 1) {
+    // Batches overlap: while one batch holds the network lock for its
+    // forward pass, others preprocess their bitmaps.
+    pool->ParallelFor(batches, run_batch);
+  } else {
+    for (int i = 0; i < batches; ++i) {
+      run_batch(i);
+    }
   }
 }
 

@@ -43,11 +43,15 @@ Bitmap ResizeBilinear(const Bitmap& source, int out_width, int out_height) {
 }
 
 Tensor BitmapToTensor(const Bitmap& source, int size, int channels) {
+  Tensor tensor(1, size, size, channels);
+  BitmapToTensorInto(source, size, channels, tensor.data());
+  return tensor;
+}
+
+void BitmapToTensorInto(const Bitmap& source, int size, int channels, float* out) {
   PCHECK(channels == 3 || channels == 4);
   Bitmap scaled =
       (source.width() == size && source.height() == size) ? source : ResizeBilinear(source, size, size);
-  Tensor tensor(1, size, size, channels);
-  float* out = tensor.data();
   const uint8_t* src = scaled.data();
   const int64_t pixels = static_cast<int64_t>(size) * size;
   for (int64_t p = 0; p < pixels; ++p) {
@@ -55,7 +59,6 @@ Tensor BitmapToTensor(const Bitmap& source, int size, int channels) {
       out[p * channels + c] = static_cast<float>(src[p * 4 + c]) / 255.0f;
     }
   }
-  return tensor;
 }
 
 Bitmap TensorPlaneToBitmap(const Tensor& tensor, int n, int channel) {

@@ -17,6 +17,11 @@ Bitmap ResizeBilinear(const Bitmap& source, int out_width, int out_height);
 // bilinearly. `channels` is 3 (RGB) or 4 (RGBA; the paper feeds 224x224x4).
 Tensor BitmapToTensor(const Bitmap& source, int size, int channels);
 
+// Same conversion written into a caller-provided buffer of size*size*channels
+// floats — lets batched classification fill one sample slot of a stacked
+// NHWC tensor without an intermediate allocation and copy.
+void BitmapToTensorInto(const Bitmap& source, int size, int channels, float* out);
+
 // Writes a tensor sample's channel-0 plane as an 8-bit grayscale bitmap
 // (used to dump Grad-CAM salience maps).
 Bitmap TensorPlaneToBitmap(const Tensor& tensor, int n, int channel);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/base/logging.h"
+#include "src/nn/gemm.h"
 
 namespace percival {
 
@@ -11,12 +12,15 @@ Tensor Relu::Forward(const Tensor& input) {
   input_shape_ = input.shape();
   Tensor output(input_shape_);
   mask_.assign(static_cast<size_t>(input.size()), 0);
-  for (int64_t i = 0; i < input.size(); ++i) {
-    if (input[i] > 0.0f) {
-      output[i] = input[i];
-      mask_[static_cast<size_t>(i)] = 1;
+  // Memory-bound, so only large feature maps are worth fanning out.
+  InferenceParallelFor(input.size(), 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      if (input[i] > 0.0f) {
+        output[i] = input[i];
+        mask_[static_cast<size_t>(i)] = 1;
+      }
     }
-  }
+  });
   return output;
 }
 

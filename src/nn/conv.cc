@@ -1,9 +1,11 @@
 #include "src/nn/conv.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "src/base/logging.h"
+#include "src/nn/gemm.h"
 #include "src/nn/ops.h"
 
 namespace percival {
@@ -15,7 +17,8 @@ Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int stride, int pa
       kernel_(kernel),
       stride_(stride),
       pad_(pad),
-      label_(std::move(name)) {
+      label_(std::move(name)),
+      use_gemm_(GemmEnabledByDefault()) {
   PCHECK_GT(in_channels, 0);
   PCHECK_GT(out_channels, 0);
   PCHECK_GT(kernel, 0);
@@ -58,6 +61,10 @@ int64_t Conv2D::ForwardMacs(const TensorShape& input) const {
 Tensor Conv2D::Forward(const Tensor& input) {
   PCHECK_EQ(input.shape().c, in_channels_) << Name();
   last_input_ = input;
+  return use_gemm_ ? ForwardGemm(input) : ForwardNaive(input);
+}
+
+Tensor Conv2D::ForwardNaive(const Tensor& input) {
   const TensorShape out_shape = OutputShape(input.shape());
   Tensor output(out_shape);
 
@@ -82,6 +89,56 @@ Tensor Conv2D::Forward(const Tensor& input) {
   return output;
 }
 
+Tensor Conv2D::ForwardGemm(const Tensor& input) {
+  const TensorShape out_shape = OutputShape(input.shape());
+  Tensor output(out_shape);
+
+  const int row_len = kernel_ * kernel_ * in_channels_;
+  const int64_t rows_per_sample = static_cast<int64_t>(out_shape.h) * out_shape.w;
+  const int64_t total_rows = static_cast<int64_t>(out_shape.n) * rows_per_sample;
+  if (total_rows == 0) {
+    return output;
+  }
+
+  // Repacked every call: the optimizer mutates weights_ in place between
+  // training steps. The buffer itself is reused, so steady state is a copy,
+  // not an allocation.
+  packed_filters_.resize(PackedPanelFloats(out_channels_, row_len));
+  PackFilterPanels(weights_.value.data(), out_channels_, row_len, packed_filters_.data());
+
+  // A 1x1 stride-1 unpadded convolution's patch matrix IS the input sample:
+  // every (h, w) pixel's channel vector is one contiguous A row. SqueezeNet
+  // is dominated by these (squeeze + expand1x1), so skipping the expansion
+  // matters as much as the kernel itself.
+  const bool identity_patches = kernel_ == 1 && stride_ == 1 && pad_ == 0;
+
+  const float* bias = bias_.value.data();
+  InferenceParallelFor(
+      total_rows, static_cast<int64_t>(row_len) * out_channels_,
+      [&](int64_t begin, int64_t end) {
+        ScratchArena& arena = LocalArena();
+        while (begin < end) {
+          const int n = static_cast<int>(begin / rows_per_sample);
+          const int64_t r0 = begin % rows_per_sample;
+          const int64_t r1 = std::min(rows_per_sample, r0 + (end - begin));
+          float* out = output.SampleData(n) + r0 * out_channels_;
+          const float* a;
+          if (identity_patches) {
+            a = input.SampleData(n) + r0 * row_len;
+          } else {
+            arena.Reset();
+            float* cols = arena.Alloc(static_cast<size_t>((r1 - r0) * row_len));
+            Im2ColRows(input.SampleData(n), input.shape().h, input.shape().w, in_channels_,
+                       kernel_, stride_, pad_, r0, r1, cols);
+            a = cols;
+          }
+          GemmPackedNT(r1 - r0, out_channels_, row_len, a, packed_filters_.data(), bias, out);
+          begin += r1 - r0;
+        }
+      });
+  return output;
+}
+
 Tensor Conv2D::Backward(const Tensor& grad_output) {
   const TensorShape& in_shape = last_input_.shape();
   const TensorShape out_shape = OutputShape(in_shape);
@@ -91,6 +148,9 @@ Tensor Conv2D::Backward(const Tensor& grad_output) {
   const int row_len = kernel_ * kernel_ * in_channels_;
   const int64_t rows = static_cast<int64_t>(out_shape.h) * out_shape.w;
   std::vector<float> grad_columns(static_cast<size_t>(rows * row_len));
+  // The GEMM forward path does not populate columns_; size it here before
+  // the per-sample Im2Col below writes into it.
+  columns_.resize(static_cast<size_t>(rows * row_len));
 
   const float* w = weights_.value.data();
   float* dw = weights_.grad.data();

@@ -1,4 +1,14 @@
 // 2-D convolution layer (NHWC, im2col + gemm lowering) with full backprop.
+//
+// Forward runs on one of two paths:
+//   * GEMM (default) — the register-blocked engine in gemm.h: filters are
+//     packed once per call, output pixels are expanded chunk-at-a-time into
+//     thread-local scratch and multiplied in 4x16 register tiles, with the
+//     chunks fanned out across the shared inference ThreadPool. 1x1/stride-1
+//     convolutions skip im2col entirely (the input already is the patch
+//     matrix).
+//   * naive — the original per-output-channel dot-product loop, kept as the
+//     bit-for-bit oracle the parity tests compare against.
 #ifndef PERCIVAL_SRC_NN_CONV_H_
 #define PERCIVAL_SRC_NN_CONV_H_
 
@@ -35,19 +45,30 @@ class Conv2D : public Layer {
   Parameter& weights() { return weights_; }
   Parameter& bias() { return bias_; }
 
+  // Selects the forward implementation. New layers inherit the process-wide
+  // default (GemmEnabledByDefault()); tests flip individual layers to pit
+  // the GEMM path against the naive oracle.
+  void set_use_gemm(bool use_gemm) { use_gemm_ = use_gemm; }
+  bool use_gemm() const { return use_gemm_; }
+
  private:
+  Tensor ForwardNaive(const Tensor& input);
+  Tensor ForwardGemm(const Tensor& input);
+
   int in_channels_;
   int out_channels_;
   int kernel_;
   int stride_;
   int pad_;
   std::string label_;
+  bool use_gemm_;
   Parameter weights_;
   Parameter bias_;
 
   // Cached forward state for backward.
   Tensor last_input_;
-  std::vector<float> columns_;  // im2col buffer for one sample
+  std::vector<float> columns_;        // im2col buffer for one sample (naive/backward)
+  std::vector<float> packed_filters_; // panel-packed weights for the GEMM path
 };
 
 }  // namespace percival

@@ -1,0 +1,259 @@
+#include "src/nn/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "src/base/logging.h"
+#include "src/base/thread_pool.h"
+
+namespace percival {
+
+namespace {
+
+std::atomic<ThreadPool*> g_inference_pool{nullptr};
+std::atomic<bool> g_gemm_default{true};
+
+}  // namespace
+
+// ----------------------------------------------------------- ScratchArena --
+
+float* ScratchArena::Alloc(size_t count) {
+  if (count == 0) {
+    count = 1;  // keep returned pointers distinct and dereferenceable
+  }
+  if (used_ + count > block_.size()) {
+    const size_t grown = std::max(count, CapacityFloats() * 2);
+    if (!block_.empty()) {
+      retired_.push_back(std::move(block_));
+    }
+    block_.assign(grown, 0.0f);
+    used_ = 0;
+  }
+  float* ptr = block_.data() + used_;
+  used_ += count;
+  return ptr;
+}
+
+void ScratchArena::Reset() {
+  if (!retired_.empty()) {
+    // Coalesce: one slab big enough for everything handed out last round.
+    size_t total = block_.size();
+    for (const auto& old : retired_) {
+      total += old.size();
+    }
+    retired_.clear();
+    block_.assign(total, 0.0f);
+  }
+  used_ = 0;
+}
+
+size_t ScratchArena::CapacityFloats() const {
+  size_t total = block_.size();
+  for (const auto& old : retired_) {
+    total += old.size();
+  }
+  return total;
+}
+
+ScratchArena& LocalArena() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+// ------------------------------------------------------- execution config --
+
+void SetInferenceThreadPool(ThreadPool* pool) { g_inference_pool.store(pool); }
+ThreadPool* InferenceThreadPool() { return g_inference_pool.load(); }
+
+void SetGemmEnabledByDefault(bool enabled) { g_gemm_default.store(enabled); }
+bool GemmEnabledByDefault() { return g_gemm_default.load(); }
+
+ScopedInferencePool::ScopedInferencePool(int num_threads)
+    : pool_(std::make_unique<ThreadPool>(
+          num_threads > 0 ? num_threads
+                          : std::max(1, static_cast<int>(std::thread::hardware_concurrency())))),
+      previous_(InferenceThreadPool()) {
+  SetInferenceThreadPool(pool_.get());
+}
+
+ScopedInferencePool::~ScopedInferencePool() { SetInferenceThreadPool(previous_); }
+
+// ----------------------------------------------------------------- packing --
+
+size_t PackedPanelFloats(int n, int k) {
+  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  return static_cast<size_t>(panels) * static_cast<size_t>(k) * kGemmTileN;
+}
+
+void PackFilterPanels(const float* b, int n, int k, float* packed) {
+  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  for (int panel = 0; panel < panels; ++panel) {
+    const int n0 = panel * kGemmTileN;
+    const int width = std::min(kGemmTileN, n - n0);
+    float* dst = packed + static_cast<size_t>(panel) * k * kGemmTileN;
+    for (int kk = 0; kk < k; ++kk) {
+      float* row = dst + static_cast<size_t>(kk) * kGemmTileN;
+      for (int j = 0; j < width; ++j) {
+        row[j] = b[static_cast<int64_t>(n0 + j) * k + kk];
+      }
+      for (int j = width; j < kGemmTileN; ++j) {
+        row[j] = 0.0f;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ micro-kernel --
+
+namespace {
+
+// Computes a full kGemmTileM x kGemmTileN tile: four A rows against one
+// packed panel. The accumulator array is small and fully unrolled, so the
+// compiler keeps it in vector registers through the K loop.
+void MicroKernel4xN(int k, const float* const a[kGemmTileM], const float* panel,
+                    float acc[kGemmTileM][kGemmTileN]) {
+  const float* a0 = a[0];
+  const float* a1 = a[1];
+  const float* a2 = a[2];
+  const float* a3 = a[3];
+  int kk = 0;
+  for (; kk + 2 <= k; kk += 2) {
+    const float* bp = panel + static_cast<size_t>(kk) * kGemmTileN;
+    const float* bq = bp + kGemmTileN;
+    const float v0 = a0[kk], w0 = a0[kk + 1];
+    const float v1 = a1[kk], w1 = a1[kk + 1];
+    const float v2 = a2[kk], w2 = a2[kk + 1];
+    const float v3 = a3[kk], w3 = a3[kk + 1];
+    for (int j = 0; j < kGemmTileN; ++j) {
+      acc[0][j] += v0 * bp[j] + w0 * bq[j];
+      acc[1][j] += v1 * bp[j] + w1 * bq[j];
+      acc[2][j] += v2 * bp[j] + w2 * bq[j];
+      acc[3][j] += v3 * bp[j] + w3 * bq[j];
+    }
+  }
+  for (; kk < k; ++kk) {
+    const float* bp = panel + static_cast<size_t>(kk) * kGemmTileN;
+    const float v0 = a0[kk];
+    const float v1 = a1[kk];
+    const float v2 = a2[kk];
+    const float v3 = a3[kk];
+    for (int j = 0; j < kGemmTileN; ++j) {
+      acc[0][j] += v0 * bp[j];
+      acc[1][j] += v1 * bp[j];
+      acc[2][j] += v2 * bp[j];
+      acc[3][j] += v3 * bp[j];
+    }
+  }
+}
+
+// Remainder kernel: one A row against one packed panel.
+void MicroKernel1xN(int k, const float* a, const float* panel, float acc[kGemmTileN]) {
+  for (int kk = 0; kk < k; ++kk) {
+    const float* bp = panel + static_cast<size_t>(kk) * kGemmTileN;
+    const float v = a[kk];
+    for (int j = 0; j < kGemmTileN; ++j) {
+      acc[j] += v * bp[j];
+    }
+  }
+}
+
+void StoreTileRow(const float acc[kGemmTileN], const float* bias, int n0, int width,
+                  float* c_row) {
+  if (bias != nullptr) {
+    for (int j = 0; j < width; ++j) {
+      c_row[n0 + j] = acc[j] + bias[n0 + j];
+    }
+  } else {
+    for (int j = 0; j < width; ++j) {
+      c_row[n0 + j] = acc[j];
+    }
+  }
+}
+
+}  // namespace
+
+void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b,
+                  const float* bias, float* c) {
+  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  int64_t row = 0;
+  for (; row + kGemmTileM <= m; row += kGemmTileM) {
+    const float* rows[kGemmTileM];
+    for (int i = 0; i < kGemmTileM; ++i) {
+      rows[i] = a + (row + i) * k;
+    }
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * kGemmTileN;
+      const int width = std::min(kGemmTileN, n - n0);
+      const float* pb = packed_b + static_cast<size_t>(panel) * k * kGemmTileN;
+      float acc[kGemmTileM][kGemmTileN] = {};
+      MicroKernel4xN(k, rows, pb, acc);
+      for (int i = 0; i < kGemmTileM; ++i) {
+        StoreTileRow(acc[i], bias, n0, width, c + (row + i) * n);
+      }
+    }
+  }
+  for (; row < m; ++row) {
+    const float* ar = a + row * k;
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * kGemmTileN;
+      const int width = std::min(kGemmTileN, n - n0);
+      const float* pb = packed_b + static_cast<size_t>(panel) * k * kGemmTileN;
+      float acc[kGemmTileN] = {};
+      MicroKernel1xN(k, ar, pb, acc);
+      StoreTileRow(acc, bias, n0, width, c + row * n);
+    }
+  }
+}
+
+void InferenceParallelFor(int64_t total, int64_t macs_per_item,
+                          const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool* pool = InferenceThreadPool();
+  const int64_t macs = total * std::max<int64_t>(macs_per_item, 1);
+  if (pool == nullptr || pool->IsWorkerThread() || pool->num_threads() <= 1 ||
+      macs < kMinMacsPerParallelKernel || total <= 1) {
+    fn(0, total);
+    return;
+  }
+  // Oversubscribe lightly so uneven chunks do not leave workers idle.
+  const int64_t target_chunks = static_cast<int64_t>(pool->num_threads()) * 4;
+  const int64_t chunk = std::max<int64_t>(1, (total + target_chunks - 1) / target_chunks);
+  const int chunks = static_cast<int>((total + chunk - 1) / chunk);
+  pool->ParallelFor(chunks, [&](int index) {
+    const int64_t begin = static_cast<int64_t>(index) * chunk;
+    const int64_t end = std::min(total, begin + chunk);
+    fn(begin, end);
+  });
+}
+
+void GemmNT(int64_t m, int n, int k, const float* a, const float* b, const float* bias,
+            float* c, ThreadPool* pool) {
+  PCHECK_GE(m, 0);
+  PCHECK_GT(n, 0);
+  PCHECK_GT(k, 0);
+  ScratchArena& arena = LocalArena();
+  arena.Reset();
+  float* packed = arena.Alloc(PackedPanelFloats(n, k));
+  PackFilterPanels(b, n, k, packed);
+
+  const int64_t macs_per_row = static_cast<int64_t>(n) * k;
+  if (pool == nullptr || pool->IsWorkerThread() || pool->num_threads() <= 1 ||
+      m * macs_per_row < kMinMacsPerParallelKernel) {
+    GemmPackedNT(m, n, k, a, packed, bias, c);
+    return;
+  }
+  const int64_t target_chunks = static_cast<int64_t>(pool->num_threads()) * 4;
+  // Round chunks to the tile height so only the final chunk runs the
+  // remainder kernel.
+  int64_t chunk = std::max<int64_t>(kGemmTileM, (m + target_chunks - 1) / target_chunks);
+  chunk = (chunk + kGemmTileM - 1) / kGemmTileM * kGemmTileM;
+  const int chunks = static_cast<int>((m + chunk - 1) / chunk);
+  pool->ParallelFor(chunks, [&](int index) {
+    const int64_t begin = static_cast<int64_t>(index) * chunk;
+    const int64_t end = std::min(m, begin + chunk);
+    GemmPackedNT(end - begin, n, k, a + begin * k, packed, bias, c + begin * n);
+  });
+}
+
+}  // namespace percival

@@ -1,0 +1,118 @@
+// Register-blocked GEMM engine for the inference hot path.
+//
+// Convolutions lower to C[M x N] = A[M x K] * B[N x K]^T + bias, where A is
+// an im2col patch matrix (M = output pixels, K = kernel*kernel*in_channels)
+// and B holds one flattened filter per row (N = out_channels). The engine
+// packs B into column-panel form once per call, then walks A in 4x16
+// register tiles so the inner loop is a fully unrolled multiply-accumulate
+// that the compiler vectorizes; large problems split their M rows across the
+// shared inference ThreadPool.
+//
+// A thread-local ScratchArena backs every transient buffer (packed panels,
+// im2col chunks), so steady-state inference performs zero heap allocation
+// once the arena has warmed up to the network's working-set size.
+#ifndef PERCIVAL_SRC_NN_GEMM_H_
+#define PERCIVAL_SRC_NN_GEMM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace percival {
+
+class ThreadPool;
+
+// GEMM register-tile geometry. kTileM x kTileN accumulators stay hot
+// through the K loop; 4x16 measured fastest of the shapes tried on the
+// baseline x86-64 target (4x8, 8x8, 8x16, 4x32 all trailed it in the conv
+// micro-bench).
+inline constexpr int kGemmTileM = 4;
+inline constexpr int kGemmTileN = 16;
+
+// Bump allocator for transient kernel buffers. Alloc() never invalidates
+// previously returned pointers (full blocks are retired, not reallocated);
+// Reset() recycles all space and coalesces retired blocks so the steady
+// state is a single reused slab.
+class ScratchArena {
+ public:
+  float* Alloc(size_t count);
+  void Reset();
+
+  // Total floats currently reserved (diagnostics / allocation tests).
+  size_t CapacityFloats() const;
+
+ private:
+  std::vector<float> block_;
+  size_t used_ = 0;
+  std::vector<std::vector<float>> retired_;
+};
+
+// The calling thread's arena. Worker threads in the inference pool each get
+// their own, which is what makes concurrent forward passes allocation-free
+// without locking.
+ScratchArena& LocalArena();
+
+// Process-wide inference execution knobs. The pool is borrowed, not owned:
+// callers must clear it (set nullptr) before destroying the pool. A null
+// pool (the default) runs every kernel on the calling thread.
+void SetInferenceThreadPool(ThreadPool* pool);
+ThreadPool* InferenceThreadPool();
+
+// RAII deployment helper: owns a ThreadPool (default: one worker per
+// hardware thread) and installs it as the inference pool for its lifetime,
+// restoring whatever pool was installed before on destruction.
+class ScopedInferencePool {
+ public:
+  explicit ScopedInferencePool(int num_threads = 0);  // 0 = hardware threads
+  ~ScopedInferencePool();
+  ScopedInferencePool(const ScopedInferencePool&) = delete;
+  ScopedInferencePool& operator=(const ScopedInferencePool&) = delete;
+
+  ThreadPool& pool() { return *pool_; }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* previous_ = nullptr;
+};
+
+// Default forward implementation for newly constructed Conv2D layers:
+// true = GEMM engine, false = naive per-channel dot products (the oracle
+// path the parity tests compare against).
+void SetGemmEnabledByDefault(bool enabled);
+bool GemmEnabledByDefault();
+
+// Packs row-major B[N x K] into column panels of kGemmTileN filters:
+// packed[panel][k][j] = B[(panel*kGemmTileN + j) * K + k], zero-padded past
+// N. `packed` must hold PackedPanelFloats(N, K) floats.
+size_t PackedPanelFloats(int n, int k);
+void PackFilterPanels(const float* b, int n, int k, float* packed);
+
+// C[M x N] += nothing; computes C = A * B^T + bias over pre-packed panels.
+// A is row-major [M x K] with contiguous rows; C is row-major [M x N].
+// `bias` may be null (treated as zeros). Runs on the calling thread.
+void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b,
+                  const float* bias, float* c);
+
+// Convenience one-shot GEMM: packs `b` (row-major [N x K]) into the local
+// arena and multiplies. When `pool` is non-null and the problem is large
+// enough, M rows are split across the pool. Resets the calling thread's
+// arena — callers must not hold LocalArena() pointers across this call.
+void GemmNT(int64_t m, int n, int k, const float* a, const float* b, const float* bias,
+            float* c, ThreadPool* pool = nullptr);
+
+// Minimum multiply-accumulate count before a kernel bothers fanning out to
+// the thread pool; below this the submit/wake latency dominates.
+inline constexpr int64_t kMinMacsPerParallelKernel = 1 << 16;
+
+// Runs fn(begin, end) over [0, total) in contiguous chunks, using the
+// inference pool when it is set, the range is large enough, and the caller
+// is not already a pool worker (nested fan-out would deadlock the pool's
+// fixed workers). `macs_per_item` scales the profitability test.
+void InferenceParallelFor(int64_t total, int64_t macs_per_item,
+                          const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_NN_GEMM_H_

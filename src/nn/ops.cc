@@ -16,25 +16,32 @@ void Im2Col(const float* input, int height, int width, int channels, int kernel,
             int pad, float* columns) {
   const int out_h = ConvOutputSize(height, kernel, stride, pad);
   const int out_w = ConvOutputSize(width, kernel, stride, pad);
+  Im2ColRows(input, height, width, channels, kernel, stride, pad, 0,
+             static_cast<int64_t>(out_h) * out_w, columns);
+}
+
+void Im2ColRows(const float* input, int height, int width, int channels, int kernel, int stride,
+                int pad, int64_t row_begin, int64_t row_end, float* columns) {
+  const int out_w = ConvOutputSize(width, kernel, stride, pad);
   const int row_len = kernel * kernel * channels;
-  for (int oh = 0; oh < out_h; ++oh) {
-    for (int ow = 0; ow < out_w; ++ow) {
-      float* row = columns + (static_cast<int64_t>(oh) * out_w + ow) * row_len;
-      for (int kh = 0; kh < kernel; ++kh) {
-        const int ih = oh * stride + kh - pad;
-        float* dst = row + kh * kernel * channels;
-        if (ih < 0 || ih >= height) {
-          std::memset(dst, 0, sizeof(float) * static_cast<size_t>(kernel) * channels);
-          continue;
-        }
-        for (int kw = 0; kw < kernel; ++kw) {
-          const int iw = ow * stride + kw - pad;
-          if (iw < 0 || iw >= width) {
-            std::memset(dst + kw * channels, 0, sizeof(float) * static_cast<size_t>(channels));
-          } else {
-            const float* src = input + (static_cast<int64_t>(ih) * width + iw) * channels;
-            std::memcpy(dst + kw * channels, src, sizeof(float) * static_cast<size_t>(channels));
-          }
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const int oh = static_cast<int>(r / out_w);
+    const int ow = static_cast<int>(r % out_w);
+    float* row = columns + (r - row_begin) * row_len;
+    for (int kh = 0; kh < kernel; ++kh) {
+      const int ih = oh * stride + kh - pad;
+      float* dst = row + kh * kernel * channels;
+      if (ih < 0 || ih >= height) {
+        std::memset(dst, 0, sizeof(float) * static_cast<size_t>(kernel) * channels);
+        continue;
+      }
+      for (int kw = 0; kw < kernel; ++kw) {
+        const int iw = ow * stride + kw - pad;
+        if (iw < 0 || iw >= width) {
+          std::memset(dst + kw * channels, 0, sizeof(float) * static_cast<size_t>(channels));
+        } else {
+          const float* src = input + (static_cast<int64_t>(ih) * width + iw) * channels;
+          std::memcpy(dst + kw * channels, src, sizeof(float) * static_cast<size_t>(channels));
         }
       }
     }

@@ -19,6 +19,13 @@ int ConvOutputSize(int size, int kernel, int stride, int pad);
 void Im2Col(const float* input, int height, int width, int channels, int kernel, int stride,
             int pad, float* columns);
 
+// Row-ranged Im2Col: writes only output rows [row_begin, row_end) — row r
+// is output pixel (r / out_w, r % out_w) — starting at columns[0]. Lets the
+// GEMM engine expand each parallel chunk into a small thread-local buffer
+// instead of materializing the whole patch matrix.
+void Im2ColRows(const float* input, int height, int width, int channels, int kernel, int stride,
+                int pad, int64_t row_begin, int64_t row_end, float* columns);
+
 // Scatter-adds a column matrix back into an NHWC sample (inverse of Im2Col).
 // `input_grad` must be pre-zeroed by the caller.
 void Col2Im(const float* columns, int height, int width, int channels, int kernel, int stride,

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/base/logging.h"
+#include "src/nn/gemm.h"
 #include "src/nn/ops.h"
 
 namespace percival {
@@ -31,39 +32,49 @@ Tensor MaxPool2D::Forward(const Tensor& input) {
   argmax_.assign(static_cast<size_t>(out_shape.Elements()), 0);
 
   const int channels = input_shape_.c;
-  int64_t out_index = 0;
-  for (int n = 0; n < out_shape.n; ++n) {
-    const float* in = input.SampleData(n);
-    const int64_t sample_base = static_cast<int64_t>(n) * input.SampleElements();
-    for (int oh = 0; oh < out_shape.h; ++oh) {
-      for (int ow = 0; ow < out_shape.w; ++ow) {
-        for (int c = 0; c < channels; ++c) {
-          float best = -std::numeric_limits<float>::infinity();
-          int64_t best_index = 0;
-          for (int kh = 0; kh < kernel_; ++kh) {
-            const int ih = oh * stride_ + kh;
-            if (ih >= input_shape_.h) {
-              continue;
-            }
-            for (int kw = 0; kw < kernel_; ++kw) {
-              const int iw = ow * stride_ + kw;
-              if (iw >= input_shape_.w) {
+  // One work item per output pixel row (n, oh, ow): indices derive from the
+  // flat row id, so disjoint ranges write disjoint output/argmax slices and
+  // the whole loop fans out over the inference pool.
+  const int64_t pixels_per_sample = static_cast<int64_t>(out_shape.h) * out_shape.w;
+  const int64_t total_pixels = static_cast<int64_t>(out_shape.n) * pixels_per_sample;
+  InferenceParallelFor(
+      total_pixels, static_cast<int64_t>(kernel_) * kernel_ * channels,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t p = begin; p < end; ++p) {
+          const int n = static_cast<int>(p / pixels_per_sample);
+          const int64_t within = p % pixels_per_sample;
+          const int oh = static_cast<int>(within / out_shape.w);
+          const int ow = static_cast<int>(within % out_shape.w);
+          const float* in = input.SampleData(n);
+          const int64_t sample_base = static_cast<int64_t>(n) * input.SampleElements();
+          int64_t out_index = p * channels;
+          for (int c = 0; c < channels; ++c) {
+            float best = -std::numeric_limits<float>::infinity();
+            int64_t best_index = 0;
+            for (int kh = 0; kh < kernel_; ++kh) {
+              const int ih = oh * stride_ + kh;
+              if (ih >= input_shape_.h) {
                 continue;
               }
-              const int64_t idx = (static_cast<int64_t>(ih) * input_shape_.w + iw) * channels + c;
-              if (in[idx] > best) {
-                best = in[idx];
-                best_index = idx;
+              for (int kw = 0; kw < kernel_; ++kw) {
+                const int iw = ow * stride_ + kw;
+                if (iw >= input_shape_.w) {
+                  continue;
+                }
+                const int64_t idx =
+                    (static_cast<int64_t>(ih) * input_shape_.w + iw) * channels + c;
+                if (in[idx] > best) {
+                  best = in[idx];
+                  best_index = idx;
+                }
               }
             }
+            output[out_index] = best;
+            argmax_[static_cast<size_t>(out_index)] = sample_base + best_index;
+            ++out_index;
           }
-          output[out_index] = best;
-          argmax_[static_cast<size_t>(out_index)] = sample_base + best_index;
-          ++out_index;
         }
-      }
-    }
-  }
+      });
   return output;
 }
 

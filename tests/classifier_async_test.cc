@@ -1,0 +1,171 @@
+// Concurrency coverage for AsyncAdClassifier: OnDecodedFrame and
+// DrainPending hammered from many threads must keep the cache bookkeeping
+// consistent (every lookup is exactly one hit or one miss) and must never
+// classify the same pixel hash twice, with or without a worker pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/base/thread_pool.h"
+#include "src/core/classifier.h"
+#include "src/core/model.h"
+#include "src/img/bitmap.h"
+
+namespace percival {
+namespace {
+
+// Deterministic distinct bitmaps: each id gets a unique pixel pattern, so
+// unique ids <=> unique pixel hashes.
+Bitmap MakeBitmap(int id) {
+  Bitmap bitmap(16, 12);
+  for (int y = 0; y < bitmap.height(); ++y) {
+    for (int x = 0; x < bitmap.width(); ++x) {
+      bitmap.SetPixel(x, y,
+                      Color{static_cast<uint8_t>((id * 37 + x) & 0xff),
+                            static_cast<uint8_t>((id * 101 + y) & 0xff),
+                            static_cast<uint8_t>(id & 0xff), 255});
+    }
+  }
+  return bitmap;
+}
+
+AdClassifier MakeTestClassifier() {
+  PercivalNetConfig config = TestProfile();
+  return AdClassifier(BuildPercivalNet(config), config);
+}
+
+struct HammerOutcome {
+  int64_t total_lookups = 0;
+  int unique_images = 0;
+};
+
+// N threads interleave frame lookups with drains; returns totals for the
+// bookkeeping assertions.
+HammerOutcome Hammer(AsyncAdClassifier& async, ThreadPool* drain_pool, int num_threads,
+                     int iterations, int unique_images) {
+  std::vector<Bitmap> images;
+  images.reserve(static_cast<size_t>(unique_images));
+  for (int i = 0; i < unique_images; ++i) {
+    images.push_back(MakeBitmap(i));
+  }
+
+  std::atomic<int64_t> lookups{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < iterations; ++i) {
+        Bitmap& image = images[static_cast<size_t>((t * 13 + i * 7) % unique_images)];
+        async.OnDecodedFrame(image.info(), image, "https://ads.example/creative");
+        lookups.fetch_add(1);
+        if (i % 16 == 9) {
+          async.DrainPending(drain_pool, 4);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  async.DrainPending(drain_pool, 4);
+  return HammerOutcome{lookups.load(), unique_images};
+}
+
+void ExpectConsistent(const AsyncAdClassifier& async, const AdClassifier& inner,
+                      const HammerOutcome& outcome) {
+  const ClassifierStats stats = async.stats();
+  // Every OnDecodedFrame call resolved as exactly one hit or one miss.
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, outcome.total_lookups);
+  // Every unique creative was eventually classified and memoized...
+  EXPECT_EQ(async.cache_size(), outcome.unique_images);
+  // ...exactly once: duplicate queue entries or double drains would inflate
+  // the inner classifier's forward-pass count.
+  EXPECT_EQ(inner.stats().classified, outcome.unique_images);
+}
+
+TEST(AsyncAdClassifierConcurrencyTest, SingleThreadedDrainStaysConsistent) {
+  AdClassifier inner = MakeTestClassifier();
+  AsyncAdClassifier async(inner);
+  const HammerOutcome outcome = Hammer(async, nullptr, 4, 64, 10);
+  ExpectConsistent(async, inner, outcome);
+}
+
+TEST(AsyncAdClassifierConcurrencyTest, PooledDrainStaysConsistent) {
+  AdClassifier inner = MakeTestClassifier();
+  AsyncAdClassifier async(inner);
+  ThreadPool pool(4);
+  const HammerOutcome outcome = Hammer(async, &pool, 4, 64, 12);
+  ExpectConsistent(async, inner, outcome);
+}
+
+TEST(AsyncAdClassifierConcurrencyTest, MemoizedDecisionsMatchSyncClassifier) {
+  AdClassifier inner = MakeTestClassifier();
+  AsyncAdClassifier async(inner);
+  AdClassifier oracle = MakeTestClassifier();
+
+  const int kImages = 6;
+  std::vector<Bitmap> images;
+  for (int i = 0; i < kImages; ++i) {
+    images.push_back(MakeBitmap(i));
+  }
+  for (Bitmap& image : images) {
+    // First sight never blocks (asynchronous mode renders immediately).
+    EXPECT_FALSE(async.OnDecodedFrame(image.info(), image, "url"));
+  }
+  async.DrainPending();
+  for (Bitmap& image : images) {
+    const ClassifyResult expected = oracle.Classify(image);
+    const bool memoized = async.OnDecodedFrame(image.info(), image, "url");
+    // Batched and single forwards may round differently, so only compare
+    // decisions that are not knife-edge at the 0.5 threshold.
+    if (std::abs(expected.ad_probability - 0.5f) > 1e-3f) {
+      EXPECT_EQ(memoized, expected.is_ad);
+    }
+  }
+  EXPECT_EQ(async.stats().cache_hits, kImages);
+}
+
+TEST(AsyncAdClassifierConcurrencyTest, RepeatedCreativeQueuedOnce) {
+  AdClassifier inner = MakeTestClassifier();
+  AsyncAdClassifier async(inner);
+  Bitmap image = MakeBitmap(7);
+  // The same creative decoded many times before any drain runs...
+  for (int i = 0; i < 25; ++i) {
+    async.OnDecodedFrame(image.info(), image, "url");
+  }
+  async.DrainPending();
+  // ...costs exactly one forward pass.
+  EXPECT_EQ(inner.stats().classified, 1);
+  EXPECT_EQ(async.cache_size(), 1);
+  EXPECT_EQ(async.stats().cache_misses, 25);
+}
+
+TEST(AsyncAdClassifierConcurrencyTest, BatchResultsMatchSingleClassify) {
+  AdClassifier batch_classifier = MakeTestClassifier();
+  AdClassifier single_classifier = MakeTestClassifier();
+
+  std::vector<Bitmap> images;
+  std::vector<const Bitmap*> pointers;
+  for (int i = 0; i < 9; ++i) {
+    images.push_back(MakeBitmap(100 + i));
+  }
+  for (const Bitmap& image : images) {
+    pointers.push_back(&image);
+  }
+  const std::vector<ClassifyResult> batched = batch_classifier.ClassifyBatch(pointers);
+  ASSERT_EQ(batched.size(), images.size());
+  for (size_t i = 0; i < images.size(); ++i) {
+    const ClassifyResult single = single_classifier.Classify(images[i]);
+    EXPECT_NEAR(batched[i].ad_probability, single.ad_probability, 1e-4f) << "image " << i;
+    if (std::abs(single.ad_probability - 0.5f) > 1e-3f) {
+      EXPECT_EQ(batched[i].is_ad, single.is_ad) << "image " << i;
+    }
+  }
+  EXPECT_EQ(batch_classifier.stats().classified, static_cast<int64_t>(images.size()));
+}
+
+}  // namespace
+}  // namespace percival
