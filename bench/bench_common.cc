@@ -1,8 +1,14 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
 
+#include "src/base/stopwatch.h"
 #include "src/crawler/pipeline_crawler.h"
+#include "src/nn/gemm.h"
 #include "src/train/trainer.h"
 #include "src/webgen/adgen.h"
 #include "src/webgen/contentgen.h"
@@ -99,6 +105,77 @@ void PrintHeader(const std::string& title) {
   std::printf("\n==========================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("==========================================================\n");
+}
+
+// ------------------------------------------------- kernel timing harness --
+
+BenchReport::BenchReport(std::string tag) : tag_(std::move(tag)) {}
+
+BenchTiming BenchReport::Run(const std::string& name, int reps, int64_t macs_per_rep,
+                             const std::function<void()>& fn) {
+  reps = std::max(reps, 1);
+  fn();  // warmup: page in weights, grow arenas, prime caches
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch timer;
+    fn();
+    samples.push_back(timer.ElapsedMs());
+  }
+  std::sort(samples.begin(), samples.end());
+  BenchTiming timing;
+  timing.name = name;
+  timing.reps = reps;
+  timing.min_ms = samples.front();
+  const size_t mid = samples.size() / 2;
+  timing.median_ms = samples.size() % 2 == 1
+                         ? samples[mid]
+                         : 0.5 * (samples[mid - 1] + samples[mid]);
+  if (macs_per_rep > 0 && timing.median_ms > 0.0) {
+    timing.gmacs = static_cast<double>(macs_per_rep) / (timing.median_ms * 1e6);
+  }
+  Record(timing);
+  return timing;
+}
+
+void BenchReport::Record(BenchTiming timing) {
+  if (timing.gmacs > 0.0) {
+    std::printf("%-44s %4d reps  median %9.3f ms  min %9.3f ms  %7.2f GMAC/s\n",
+                timing.name.c_str(), timing.reps, timing.median_ms, timing.min_ms,
+                timing.gmacs);
+  } else {
+    std::printf("%-44s %4d reps  median %9.3f ms  min %9.3f ms\n", timing.name.c_str(),
+                timing.reps, timing.median_ms, timing.min_ms);
+  }
+  std::fflush(stdout);
+  timings_.push_back(std::move(timing));
+}
+
+std::string BenchReport::WriteJson() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("PERCIVAL_BENCH_DIR")) {
+    dir = env;
+  }
+  const std::string path = dir + "/BENCH_" + tag_ + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return "";
+  }
+  out << "{\n  \"bench\": \"" << tag_ << "\",\n  \"simd\": \"" << ActiveGemmKernelName()
+      << "\",\n  \"results\": [\n";
+  for (size_t i = 0; i < timings_.size(); ++i) {
+    const BenchTiming& t = timings_[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"name\": \"%s\", \"reps\": %d, \"median_ms\": %.6f, "
+                  "\"min_ms\": %.6f, \"gmacs\": %.4f}%s\n",
+                  t.name.c_str(), t.reps, t.median_ms, t.min_ms, t.gmacs,
+                  i + 1 < timings_.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+  out.flush();  // surface disk-full/quota failures before reporting success
+  return out ? path : "";
 }
 
 }  // namespace percival

@@ -1,9 +1,13 @@
 // Shared infrastructure for the experiment benches: the canonical synthetic
-// web, the EasyList stand-in, and the train-once classifier every figure
-// reuses (cached on disk via ModelZoo).
+// web, the EasyList stand-in, the train-once classifier every figure reuses
+// (cached on disk via ModelZoo), and the kernel-timing harness that reports
+// median + min over repetitions and emits machine-readable BENCH_*.json so
+// the perf trajectory is tracked across PRs.
 #ifndef PERCIVAL_BENCH_BENCH_COMMON_H_
 #define PERCIVAL_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,6 +57,45 @@ Dataset SampleDataset(const SampledDatasetOptions& options);
 
 // Prints a section header so the combined bench log reads like the paper.
 void PrintHeader(const std::string& title);
+
+// ------------------------------------------------- kernel timing harness --
+
+// One benchmark measurement. Wall times are per repetition; medians are
+// robust against scheduler noise on shared runners, the min approximates
+// the no-interference floor.
+struct BenchTiming {
+  std::string name;
+  int reps = 0;
+  double median_ms = 0.0;
+  double min_ms = 0.0;
+  double gmacs = 0.0;  // GMAC/s at the median rep; 0 for non-MAC kernels
+};
+
+// Collects kernel timings and serializes them as BENCH_<tag>.json.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string tag);
+
+  // Runs `fn` once untimed (warmup), then `reps` timed repetitions; records
+  // the result and prints one human-readable line. `macs_per_rep` > 0 adds
+  // a GMAC/s column computed from the median.
+  BenchTiming Run(const std::string& name, int reps, int64_t macs_per_rep,
+                  const std::function<void()>& fn);
+
+  // Records an externally measured timing (e.g. fig15's render medians).
+  void Record(BenchTiming timing);
+
+  // Writes BENCH_<tag>.json to the current directory (override the
+  // directory with $PERCIVAL_BENCH_DIR). Returns the path written, or an
+  // empty string on I/O failure.
+  std::string WriteJson() const;
+
+  const std::vector<BenchTiming>& timings() const { return timings_; }
+
+ private:
+  std::string tag_;
+  std::vector<BenchTiming> timings_;
+};
 
 }  // namespace percival
 

@@ -2,7 +2,9 @@
 // +4.55% (178.23 ms), Brave +19.07% (281.85 ms) — the absolute overhead is
 // similar, but Brave's baseline is smaller (block lists remove work), so
 // the relative overhead is larger.
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "src/eval/metrics.h"
@@ -12,8 +14,9 @@
 namespace percival {
 namespace {
 
-double MedianRenderMs(const BenchWorld& world, AdClassifier* classifier,
-                      const FilterEngine* filter, int pages) {
+// Renders `pages` pages and reports the median + min page render time.
+BenchTiming RenderTimes(const std::string& name, const BenchWorld& world,
+                        AdClassifier* classifier, const FilterEngine* filter, int pages) {
   std::vector<double> samples;
   for (int i = 0; i < pages; ++i) {
     const WebPage page = world.generator->GeneratePage(i % 40, i / 40);
@@ -23,7 +26,12 @@ double MedianRenderMs(const BenchWorld& world, AdClassifier* classifier,
     options.interceptor = classifier;
     samples.push_back(RenderPage(page, options).metrics.RenderTime());
   }
-  return EmpiricalCdf(std::move(samples)).Quantile(0.5);
+  BenchTiming timing;
+  timing.name = name;
+  timing.reps = pages;
+  timing.min_ms = *std::min_element(samples.begin(), samples.end());
+  timing.median_ms = EmpiricalCdf(std::move(samples)).Quantile(0.5);
+  return timing;
 }
 
 void Run() {
@@ -37,10 +45,30 @@ void Run() {
   ScopedInferencePool inference_pool;
 
   const int kPages = 120;
-  const double chromium = MedianRenderMs(world, nullptr, nullptr, kPages);
-  const double chromium_percival = MedianRenderMs(world, &classifier, nullptr, kPages);
-  const double brave = MedianRenderMs(world, nullptr, &world.easylist, kPages);
-  const double brave_percival = MedianRenderMs(world, &classifier, &world.easylist, kPages);
+  BenchReport report("fig15_overhead");
+  report.Record(RenderTimes("render_chromium", world, nullptr, nullptr, kPages));
+  report.Record(
+      RenderTimes("render_chromium_percival", world, &classifier, nullptr, kPages));
+  report.Record(RenderTimes("render_brave", world, nullptr, &world.easylist, kPages));
+  report.Record(
+      RenderTimes("render_brave_percival", world, &classifier, &world.easylist, kPages));
+  const double chromium = report.timings()[0].median_ms;
+  const double chromium_percival = report.timings()[1].median_ms;
+  const double brave = report.timings()[2].median_ms;
+  const double brave_percival = report.timings()[3].median_ms;
+
+  // Overhead rows: median_ms is the median-to-median difference, min_ms the
+  // floor-to-floor (min-to-min) difference.
+  BenchTiming overhead;
+  overhead.name = "overhead_chromium_ms";
+  overhead.reps = kPages;
+  overhead.median_ms = chromium_percival - chromium;
+  overhead.min_ms = report.timings()[1].min_ms - report.timings()[0].min_ms;
+  report.Record(overhead);
+  overhead.name = "overhead_brave_ms";
+  overhead.median_ms = brave_percival - brave;
+  overhead.min_ms = report.timings()[3].min_ms - report.timings()[2].min_ms;
+  report.Record(overhead);
 
   TextTable table({"Baseline", "Treatment", "Overhead (%)", "Overhead (ms)"});
   table.AddRow({"Chromium", "Chromium + PERCIVAL",
@@ -57,6 +85,10 @@ void Run() {
       "\nShape check: overhead is single-digit-to-moderate percent on the\n"
       "Chromium baseline and a larger *percentage* on Brave (smaller base),\n"
       "reproducing the paper's relationship.\n");
+  const std::string json = report.WriteJson();
+  if (!json.empty()) {
+    std::printf("wrote %s\n", json.c_str());
+  }
 }
 
 }  // namespace

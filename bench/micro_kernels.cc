@@ -1,10 +1,21 @@
-// Micro-benchmarks (google-benchmark) for the hot kernels: convolution
-// lowering, fire modules, full-network inference at both profiles, codec
+// Micro-benchmarks for the hot kernels: the conv GEMM engine (naive oracle
+// vs scalar tile kernel vs the compiled SIMD kernel, fused and threaded
+// variants), fire modules, full-network inference at both profiles, codec
 // decode, bitmap-to-tensor preprocessing, and filter-rule matching.
-#include <benchmark/benchmark.h>
-
+//
+// Self-timed via bench_common's BenchReport: every kernel runs a warmup
+// plus N repetitions and reports median + min; all results are written to
+// BENCH_micro_kernels.json for cross-PR perf tracking.
+//
+// Usage: micro_kernels [--filter=substring] [--reps-scale=X]
+//   --filter      only run benches whose name contains the substring
+//   --reps-scale  multiply every rep count (0.1 for a quick CI smoke)
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 
+#include "bench/bench_common.h"
 #include "src/base/rng.h"
 #include "src/base/thread_pool.h"
 #include "src/core/classifier.h"
@@ -21,6 +32,9 @@
 namespace percival {
 namespace {
 
+// Results are funneled here so the optimizer cannot delete a kernel body.
+volatile float g_sink = 0.0f;
+
 Tensor RandomTensor(const TensorShape& shape, uint64_t seed) {
   Tensor tensor(shape);
   Rng rng(seed);
@@ -30,166 +44,179 @@ Tensor RandomTensor(const TensorShape& shape, uint64_t seed) {
   return tensor;
 }
 
-// The conv A/B triple behind the ≥3x acceptance line: identical layer and
-// input, forward path flipped between the naive oracle, the single-threaded
-// GEMM engine, and GEMM + thread-pool fan-out. items/sec == MACs/sec.
-void RunConvForward(benchmark::State& state, bool use_gemm, bool threaded) {
-  const int size = static_cast<int>(state.range(0));
-  Rng rng(1);
-  Conv2D conv(16, 16, 3, 1, 1, rng);
-  conv.set_use_gemm(use_gemm);
-  Tensor input = RandomTensor(TensorShape{1, size, size, 16}, 2);
-  std::unique_ptr<ScopedInferencePool> pool;
-  if (threaded) {
-    pool = std::make_unique<ScopedInferencePool>();
+struct Options {
+  std::string filter;
+  double reps_scale = 1.0;
+};
+
+void RunSuite(const Options& options) {
+  BenchReport report("micro_kernels");
+  auto bench = [&](const std::string& name, int reps, int64_t macs_per_rep,
+                   const std::function<void()>& fn) {
+    if (!options.filter.empty() && name.find(options.filter) == std::string::npos) {
+      return;
+    }
+    reps = std::max(1, static_cast<int>(reps * options.reps_scale));
+    report.Run(name, reps, macs_per_rep, fn);
+  };
+
+  // The conv A/B/C quartet behind the acceptance line: identical layer and
+  // input, forward flipped between the naive oracle, the scalar tile kernel
+  // (the PR 1 compiler-vectorized engine), the compiled SIMD kernel, and
+  // SIMD + fused ReLU epilogue.
+  for (int size : {16, 32, 64}) {
+    Rng rng(1);
+    Conv2D conv(16, 16, 3, 1, 1, rng);
+    Tensor input = RandomTensor(TensorShape{1, size, size, 16}, 2);
+    const int64_t macs = conv.ForwardMacs(input.shape());
+    const std::string suffix = "_" + std::to_string(size);
+    const int reps = size >= 64 ? 20 : 40;
+
+    conv.set_use_gemm(false);
+    bench("conv3x3_naive" + suffix, reps, macs, [&] { g_sink += conv.Forward(input)[0]; });
+    conv.set_use_gemm(true);
+    bench("conv3x3_gemm_scalar" + suffix, reps, macs, [&] {
+      SetGemmForceScalar(true);
+      g_sink += conv.Forward(input)[0];
+      SetGemmForceScalar(false);
+    });
+    bench("conv3x3_gemm_simd" + suffix, reps, macs,
+          [&] { g_sink += conv.Forward(input)[0]; });
+    bench("conv3x3_gemm_simd_fused_relu" + suffix, reps, macs,
+          [&] { g_sink += conv.ForwardFused(input, GemmEpilogue::kBiasRelu)[0]; });
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(conv.Forward(input));
+
+  {
+    ScopedInferencePool pool;
+    Rng rng(1);
+    Conv2D conv(16, 16, 3, 1, 1, rng);
+    Tensor input = RandomTensor(TensorShape{1, 64, 64, 16}, 2);
+    bench("conv3x3_gemm_simd_threaded_64", 20, conv.ForwardMacs(input.shape()),
+          [&] { g_sink += conv.Forward(input)[0]; });
   }
-  state.SetItemsProcessed(state.iterations() * conv.ForwardMacs(input.shape()));
-}
 
-void BM_Conv3x3Naive(benchmark::State& state) { RunConvForward(state, false, false); }
-BENCHMARK(BM_Conv3x3Naive)->Arg(16)->Arg(32)->Arg(64);
-
-void BM_Conv3x3Gemm(benchmark::State& state) { RunConvForward(state, true, false); }
-BENCHMARK(BM_Conv3x3Gemm)->Arg(16)->Arg(32)->Arg(64);
-
-void BM_Conv3x3GemmThreaded(benchmark::State& state) { RunConvForward(state, true, true); }
-BENCHMARK(BM_Conv3x3GemmThreaded)->Arg(16)->Arg(32)->Arg(64);
-
-void BM_FireModule(benchmark::State& state) {
-  const int size = static_cast<int>(state.range(0));
-  Rng rng(1);
-  FireModule fire(32, 8, 32, rng);
-  Tensor input = RandomTensor(TensorShape{1, size, size, 32}, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(fire.Forward(input));
+  {
+    // SqueezeNet's dominant shape: 1x1 identity-patch conv.
+    Rng rng(1);
+    Conv2D conv(64, 16, 1, 1, 0, rng);
+    Tensor input = RandomTensor(TensorShape{1, 32, 32, 64}, 2);
+    const int64_t macs = conv.ForwardMacs(input.shape());
+    bench("conv1x1_gemm_scalar_32", 40, macs, [&] {
+      SetGemmForceScalar(true);
+      g_sink += conv.Forward(input)[0];
+      SetGemmForceScalar(false);
+    });
+    bench("conv1x1_gemm_simd_32", 40, macs, [&] { g_sink += conv.Forward(input)[0]; });
   }
-}
-BENCHMARK(BM_FireModule)->Arg(8)->Arg(16)->Arg(32);
 
-void BM_PercivalForwardExperiment(benchmark::State& state) {
-  PercivalNetConfig config = ExperimentProfile();
-  Network net = BuildPercivalNet(config);
-  Tensor input = RandomTensor(config.InputShape(), 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(net.Forward(input));
-  }
-}
-BENCHMARK(BM_PercivalForwardExperiment);
-
-void BM_PercivalForwardExperimentThreaded(benchmark::State& state) {
-  ScopedInferencePool pool;
-  PercivalNetConfig config = ExperimentProfile();
-  Network net = BuildPercivalNet(config);
-  Tensor input = RandomTensor(config.InputShape(), 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(net.Forward(input));
-  }
-}
-BENCHMARK(BM_PercivalForwardExperimentThreaded);
-
-void BM_PercivalForwardPaper(benchmark::State& state) {
-  PercivalNetConfig config = PaperProfile();
-  Network net = BuildPercivalNet(config);
-  Tensor input = RandomTensor(config.InputShape(), 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(net.Forward(input));
-  }
-}
-BENCHMARK(BM_PercivalForwardPaper)->Iterations(2);
-
-void BM_PercivalForwardPaperThreaded(benchmark::State& state) {
-  ScopedInferencePool pool;
-  PercivalNetConfig config = PaperProfile();
-  Network net = BuildPercivalNet(config);
-  Tensor input = RandomTensor(config.InputShape(), 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(net.Forward(input));
-  }
-}
-BENCHMARK(BM_PercivalForwardPaperThreaded)->Iterations(2);
-
-// Batched classification: one stacked forward for 8 creatives vs 8 separate
-// Classify() calls (BM_ClassifySingle) over the same bitmaps. Both variants
-// run under the inference pool so the comparison isolates batching itself.
-void BM_ClassifySingle(benchmark::State& state) {
-  ScopedInferencePool pool;
-  PercivalNetConfig config = ExperimentProfile();
-  AdClassifier classifier(BuildPercivalNet(config), config);
-  Rng rng(11);
-  std::vector<Bitmap> ads;
-  for (int i = 0; i < 8; ++i) {
-    AdImageOptions options;
-    ads.push_back(GenerateAdImage(rng, options));
-  }
-  for (auto _ : state) {
-    for (const Bitmap& ad : ads) {
-      benchmark::DoNotOptimize(classifier.Classify(ad));
+  for (int size : {8, 16, 32}) {
+    Rng rng(1);
+    FireModule fire(32, 8, 32, rng);
+    Tensor input = RandomTensor(TensorShape{1, size, size, 32}, 2);
+    const int64_t macs = fire.ForwardMacs(input.shape());
+    const std::string suffix = "_" + std::to_string(size);
+    bench("fire_fused" + suffix, 30, macs, [&] { g_sink += fire.Forward(input)[0]; });
+    if (size == 32) {
+      fire.set_use_fused(false);
+      bench("fire_unfused" + suffix, 30, macs, [&] { g_sink += fire.Forward(input)[0]; });
+      fire.set_use_fused(true);
     }
   }
-  state.SetItemsProcessed(state.iterations() * 8);
-}
-BENCHMARK(BM_ClassifySingle);
 
-void BM_ClassifyBatch8(benchmark::State& state) {
-  ScopedInferencePool pool;
-  PercivalNetConfig config = ExperimentProfile();
-  AdClassifier classifier(BuildPercivalNet(config), config);
-  Rng rng(11);
-  std::vector<Bitmap> ads;
-  for (int i = 0; i < 8; ++i) {
-    AdImageOptions options;
-    ads.push_back(GenerateAdImage(rng, options));
+  {
+    PercivalNetConfig config = ExperimentProfile();
+    Network net = BuildPercivalNet(config);
+    Tensor input = RandomTensor(config.InputShape(), 3);
+    const int64_t macs = net.ForwardMacs(input.shape());
+    bench("percival_forward_experiment", 20, macs, [&] { g_sink += net.Forward(input)[0]; });
+    ScopedInferencePool pool;
+    bench("percival_forward_experiment_threaded", 20, macs,
+          [&] { g_sink += net.Forward(input)[0]; });
   }
-  std::vector<const Bitmap*> batch;
-  for (const Bitmap& ad : ads) {
-    batch.push_back(&ad);
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(classifier.ClassifyBatch(batch));
-  }
-  state.SetItemsProcessed(state.iterations() * 8);
-}
-BENCHMARK(BM_ClassifyBatch8);
 
-void BM_DecodePif(benchmark::State& state) {
-  Rng rng(4);
-  AdImageOptions options;
-  Bitmap ad = GenerateAdImage(rng, options);
-  std::vector<uint8_t> bytes = EncodePif(ad);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(DecodePif(bytes));
+  {
+    PercivalNetConfig config = PaperProfile();
+    Network net = BuildPercivalNet(config);
+    Tensor input = RandomTensor(config.InputShape(), 3);
+    const int64_t macs = net.ForwardMacs(input.shape());
+    bench("percival_forward_paper", 3, macs, [&] { g_sink += net.Forward(input)[0]; });
   }
-  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(ad.byte_size()));
-}
-BENCHMARK(BM_DecodePif);
 
-void BM_BitmapToTensor(benchmark::State& state) {
-  Rng rng(5);
-  AdImageOptions options;
-  Bitmap ad = GenerateAdImage(rng, options);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(BitmapToTensor(ad, 64, 3));
+  {
+    // Batched classification: one stacked forward for 8 creatives vs 8
+    // separate Classify() calls over the same bitmaps, both under the pool.
+    ScopedInferencePool pool;
+    PercivalNetConfig config = ExperimentProfile();
+    AdClassifier classifier(BuildPercivalNet(config), config);
+    Rng rng(11);
+    std::vector<Bitmap> ads;
+    for (int i = 0; i < 8; ++i) {
+      AdImageOptions ad_options;
+      ads.push_back(GenerateAdImage(rng, ad_options));
+    }
+    std::vector<const Bitmap*> batch;
+    for (const Bitmap& ad : ads) {
+      batch.push_back(&ad);
+    }
+    bench("classify_single_x8", 10, 0, [&] {
+      for (const Bitmap& ad : ads) {
+        g_sink += classifier.Classify(ad).ad_probability;
+      }
+    });
+    bench("classify_batch_8", 10, 0,
+          [&] { g_sink += classifier.ClassifyBatch(batch)[0].ad_probability; });
   }
-}
-BENCHMARK(BM_BitmapToTensor);
 
-void BM_FilterMatch(benchmark::State& state) {
-  FilterEngine engine;
-  engine.AddList(BuildSyntheticEasyList(BuildAdNetworks(AdEcosystemConfig{})));
-  RequestContext request;
-  request.url = Url::Parse("https://cdn.adnet3.example/banner3/1-2-3.pif");
-  request.page_host = "news-site-1.example";
-  request.type = ResourceType::kImage;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.ShouldBlockRequest(request));
+  {
+    Rng rng(4);
+    AdImageOptions ad_options;
+    Bitmap ad = GenerateAdImage(rng, ad_options);
+    std::vector<uint8_t> bytes = EncodePif(ad);
+    bench("decode_pif", 30, 0, [&] { g_sink += DecodePif(bytes).value_or(Bitmap()).width(); });
+    bench("bitmap_to_tensor", 30, 0, [&] { g_sink += BitmapToTensor(ad, 64, 3)[0]; });
+  }
+
+  {
+    FilterEngine engine;
+    engine.AddList(BuildSyntheticEasyList(BuildAdNetworks(AdEcosystemConfig{})));
+    RequestContext request;
+    request.url = Url::Parse("https://cdn.adnet3.example/banner3/1-2-3.pif");
+    request.page_host = "news-site-1.example";
+    request.type = ResourceType::kImage;
+    bench("filter_match", 50, 0,
+          [&] { g_sink += engine.ShouldBlockRequest(request).blocked ? 1.0f : 0.0f; });
+  }
+
+  const std::string path = report.WriteJson();
+  if (!path.empty()) {
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::printf("\nWARNING: failed to write BENCH_micro_kernels.json\n");
   }
 }
-BENCHMARK(BM_FilterMatch);
 
 }  // namespace
 }  // namespace percival
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  percival::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--filter=", 9) == 0) {
+      options.filter = arg + 9;
+    } else if (std::strncmp(arg, "--reps-scale=", 13) == 0) {
+      char* end = nullptr;
+      options.reps_scale = std::strtod(arg + 13, &end);
+      if (end == arg + 13 || *end != '\0' || options.reps_scale <= 0.0) {
+        std::printf("invalid --reps-scale value: %s\n", arg + 13);
+        return 1;
+      }
+    } else {
+      std::printf("usage: micro_kernels [--filter=substring] [--reps-scale=X]\n");
+      return 1;
+    }
+  }
+  percival::LogSimdPathOnce();
+  percival::RunSuite(options);
+  return 0;
+}

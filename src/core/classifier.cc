@@ -11,7 +11,13 @@
 namespace percival {
 
 AdClassifier::AdClassifier(Network network, const PercivalNetConfig& config, float threshold)
-    : config_(config), network_(std::move(network)), threshold_(threshold) {}
+    : config_(config), network_(std::move(network)), threshold_(threshold) {
+  LogSimdPathOnce();
+  // Reserve the constructing thread's forward workspace now; a first
+  // classification issued from another thread warms that thread's arena
+  // organically (the plan is thread-local, see Network::PlanForward).
+  network_.PlanForward(config_.InputShape());
+}
 
 ClassifyResult AdClassifier::Classify(const Bitmap& image) {
   Stopwatch timer;

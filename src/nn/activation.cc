@@ -24,6 +24,16 @@ Tensor Relu::Forward(const Tensor& input) {
   return output;
 }
 
+void Relu::SetMaskFromOutput(const Tensor& output) {
+  input_shape_ = output.shape();
+  mask_.assign(static_cast<size_t>(output.size()), 0);
+  for (int64_t i = 0; i < output.size(); ++i) {
+    if (output[i] > 0.0f) {
+      mask_[static_cast<size_t>(i)] = 1;
+    }
+  }
+}
+
 Tensor Relu::Backward(const Tensor& grad_output) {
   PCHECK_EQ(grad_output.size(), static_cast<int64_t>(mask_.size()));
   Tensor grad_input(input_shape_);

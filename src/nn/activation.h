@@ -16,6 +16,12 @@ class Relu : public Layer {
   std::string Name() const override { return "relu"; }
   TensorShape OutputShape(const TensorShape& input) const override { return input; }
 
+  // Rebuilds the backward mask from an already-computed ReLU *output*
+  // (output > 0 iff input > 0, so the masks are identical). Lets fused
+  // Conv+ReLU paths skip materializing the pre-activation tensor while
+  // keeping Backward() exact.
+  void SetMaskFromOutput(const Tensor& output);
+
  private:
   std::vector<uint8_t> mask_;  // 1 where input > 0
   TensorShape input_shape_;

@@ -58,10 +58,48 @@ int64_t Conv2D::ForwardMacs(const TensorShape& input) const {
   return out.Elements() * kernel_ * kernel_ * in_channels_;
 }
 
+size_t Conv2D::ForwardScratchFloats(const TensorShape& input) const {
+  if (kernel_ == 1 && stride_ == 1 && pad_ == 0) {
+    return 0;  // identity patches: no im2col buffer
+  }
+  const TensorShape out = OutputShape(input);
+  return static_cast<size_t>(out.h) * out.w * kernel_ * kernel_ * in_channels_;
+}
+
 Tensor Conv2D::Forward(const Tensor& input) {
   PCHECK_EQ(input.shape().c, in_channels_) << Name();
+  if (use_gemm_) {
+    return ForwardFused(input, GemmEpilogue::kBias);
+  }
   last_input_ = input;
-  return use_gemm_ ? ForwardGemm(input) : ForwardNaive(input);
+  return ForwardNaive(input);
+}
+
+Tensor Conv2D::ForwardFused(const Tensor& input, GemmEpilogue epilogue) {
+  const TensorShape out_shape = OutputShape(input.shape());
+  Tensor output(out_shape);
+  ForwardInto(input, epilogue, output.data(), out_shape.c,
+              static_cast<int64_t>(out_shape.h) * out_shape.w * out_shape.c);
+  return output;
+}
+
+void Conv2D::SetWeights(const Tensor& weights, const Tensor& bias) {
+  PCHECK(weights.shape() == weights_.value.shape()) << Name();
+  PCHECK(bias.shape() == bias_.value.shape()) << Name();
+  weights_.value = weights;
+  bias_.value = bias;
+  weights_.MarkDirty();
+  bias_.MarkDirty();
+}
+
+const float* Conv2D::PackedFilters() {
+  if (packed_version_ != weights_.version) {
+    const int row_len = kernel_ * kernel_ * in_channels_;
+    packed_filters_.resize(PackedPanelFloats(out_channels_, row_len));
+    PackFilterPanels(weights_.value.data(), out_channels_, row_len, packed_filters_.data());
+    packed_version_ = weights_.version;
+  }
+  return packed_filters_.data();
 }
 
 Tensor Conv2D::ForwardNaive(const Tensor& input) {
@@ -89,22 +127,21 @@ Tensor Conv2D::ForwardNaive(const Tensor& input) {
   return output;
 }
 
-Tensor Conv2D::ForwardGemm(const Tensor& input) {
-  const TensorShape out_shape = OutputShape(input.shape());
-  Tensor output(out_shape);
+void Conv2D::ForwardInto(const Tensor& input, GemmEpilogue epilogue, float* out, int64_t ldc,
+                         int64_t sample_stride) {
+  PCHECK_EQ(input.shape().c, in_channels_) << Name();
+  PCHECK(use_gemm_) << Name() << " ForwardInto requires the GEMM path";
+  last_input_ = input;
 
+  const TensorShape out_shape = OutputShape(input.shape());
   const int row_len = kernel_ * kernel_ * in_channels_;
   const int64_t rows_per_sample = static_cast<int64_t>(out_shape.h) * out_shape.w;
   const int64_t total_rows = static_cast<int64_t>(out_shape.n) * rows_per_sample;
   if (total_rows == 0) {
-    return output;
+    return;
   }
 
-  // Repacked every call: the optimizer mutates weights_ in place between
-  // training steps. The buffer itself is reused, so steady state is a copy,
-  // not an allocation.
-  packed_filters_.resize(PackedPanelFloats(out_channels_, row_len));
-  PackFilterPanels(weights_.value.data(), out_channels_, row_len, packed_filters_.data());
+  const float* packed = PackedFilters();
 
   // A 1x1 stride-1 unpadded convolution's patch matrix IS the input sample:
   // every (h, w) pixel's channel vector is one contiguous A row. SqueezeNet
@@ -121,7 +158,7 @@ Tensor Conv2D::ForwardGemm(const Tensor& input) {
           const int n = static_cast<int>(begin / rows_per_sample);
           const int64_t r0 = begin % rows_per_sample;
           const int64_t r1 = std::min(rows_per_sample, r0 + (end - begin));
-          float* out = output.SampleData(n) + r0 * out_channels_;
+          float* c = out + n * sample_stride + r0 * ldc;
           const float* a;
           if (identity_patches) {
             a = input.SampleData(n) + r0 * row_len;
@@ -132,11 +169,10 @@ Tensor Conv2D::ForwardGemm(const Tensor& input) {
                        kernel_, stride_, pad_, r0, r1, cols);
             a = cols;
           }
-          GemmPackedNT(r1 - r0, out_channels_, row_len, a, packed_filters_.data(), bias, out);
+          GemmPackedEx(r1 - r0, out_channels_, row_len, a, packed, bias, epilogue, c, ldc);
           begin += r1 - r0;
         }
       });
-  return output;
 }
 
 Tensor Conv2D::Backward(const Tensor& grad_output) {

@@ -1,21 +1,30 @@
 // 2-D convolution layer (NHWC, im2col + gemm lowering) with full backprop.
 //
 // Forward runs on one of two paths:
-//   * GEMM (default) — the register-blocked engine in gemm.h: filters are
-//     packed once per call, output pixels are expanded chunk-at-a-time into
-//     thread-local scratch and multiplied in 4x16 register tiles, with the
-//     chunks fanned out across the shared inference ThreadPool. 1x1/stride-1
-//     convolutions skip im2col entirely (the input already is the patch
-//     matrix).
+//   * GEMM (default) — the SIMD engine in gemm.h: output pixels are expanded
+//     chunk-at-a-time into thread-local scratch and multiplied in 4x16
+//     register tiles, with the chunks fanned out across the shared inference
+//     ThreadPool. 1x1/stride-1 convolutions skip im2col entirely (the input
+//     already is the patch matrix). Panel-packed filters are cached across
+//     forward calls and invalidated by the weight Parameter's version
+//     counter, so a frozen net packs exactly once — the classifier runs the
+//     same weights on every decoded frame.
 //   * naive — the original per-output-channel dot-product loop, kept as the
 //     bit-for-bit oracle the parity tests compare against.
+//
+// ForwardInto() additionally fuses the bias + activation epilogue into the
+// GEMM store and writes rows at a caller-chosen stride, which is how
+// Conv->ReLU avoids materializing a pre-activation tensor and FireModule
+// writes its expand branches straight into the concat output.
 #ifndef PERCIVAL_SRC_NN_CONV_H_
 #define PERCIVAL_SRC_NN_CONV_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "src/base/rng.h"
+#include "src/nn/gemm.h"
 #include "src/nn/layer.h"
 
 namespace percival {
@@ -33,6 +42,24 @@ class Conv2D : public Layer {
   std::vector<Parameter*> Parameters() override { return {&weights_, &bias_}; }
   TensorShape OutputShape(const TensorShape& input) const override;
   int64_t ForwardMacs(const TensorShape& input) const override;
+  size_t ForwardScratchFloats(const TensorShape& input) const override;
+
+  // Fused inference forward on the GEMM path: writes epilogue(conv + bias)
+  // for every output pixel directly to out + n*sample_stride + row*ldc,
+  // where row runs over the out_h*out_w pixels of sample n. ldc >= the
+  // layer's out_channels lets the caller target a channel slice of a wider
+  // tensor. Caches the same backward state as Forward().
+  void ForwardInto(const Tensor& input, GemmEpilogue epilogue, float* out, int64_t ldc,
+                   int64_t sample_stride);
+
+  // Fused conv producing its own tensor (Conv -> ReLU in one pass when
+  // `epilogue` is kBiasRelu). Requires use_gemm().
+  Tensor ForwardFused(const Tensor& input, GemmEpilogue epilogue);
+
+  // Replaces the weight/bias values (shape-checked) and invalidates the
+  // packed-panel cache. Prefer this over mutating weights().value in place,
+  // which requires a manual weights().MarkDirty() to keep the cache honest.
+  void SetWeights(const Tensor& weights, const Tensor& bias);
 
   int in_channels() const { return in_channels_; }
   int out_channels() const { return out_channels_; }
@@ -53,7 +80,9 @@ class Conv2D : public Layer {
 
  private:
   Tensor ForwardNaive(const Tensor& input);
-  Tensor ForwardGemm(const Tensor& input);
+
+  // Repacks filter panels iff weights_.version moved since the last pack.
+  const float* PackedFilters();
 
   int in_channels_;
   int out_channels_;
@@ -67,8 +96,12 @@ class Conv2D : public Layer {
 
   // Cached forward state for backward.
   Tensor last_input_;
-  std::vector<float> columns_;        // im2col buffer for one sample (naive/backward)
-  std::vector<float> packed_filters_; // panel-packed weights for the GEMM path
+  std::vector<float> columns_;  // im2col buffer for one sample (naive/backward)
+
+  // Persistent panel-packed weights for the GEMM path, valid while
+  // packed_version_ == weights_.version (0 = never packed).
+  std::vector<float> packed_filters_;
+  uint64_t packed_version_ = 0;
 };
 
 }  // namespace percival

@@ -1,8 +1,10 @@
 #include "src/nn/fire.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/base/logging.h"
+#include "src/nn/gemm.h"
 
 namespace percival {
 
@@ -47,7 +49,47 @@ int64_t FireModule::ForwardMacs(const TensorShape& input) const {
          expand3x3_.ForwardMacs(squeezed);
 }
 
+size_t FireModule::ForwardScratchFloats(const TensorShape& input) const {
+  // The three convs run sequentially and each resets the arena first, so
+  // the requirement is the maximum, not the sum.
+  const TensorShape squeezed{input.n, input.h, input.w, squeeze_channels_};
+  return std::max({squeeze_.ForwardScratchFloats(input),
+                   expand1x1_.ForwardScratchFloats(squeezed),
+                   expand3x3_.ForwardScratchFloats(squeezed)});
+}
+
+void FireModule::set_use_gemm(bool use_gemm) {
+  squeeze_.set_use_gemm(use_gemm);
+  expand1x1_.set_use_gemm(use_gemm);
+  expand3x3_.set_use_gemm(use_gemm);
+}
+
 Tensor FireModule::Forward(const Tensor& input) {
+  if (use_fused_ && squeeze_.use_gemm() && expand1x1_.use_gemm() && expand3x3_.use_gemm()) {
+    // Squeeze + ReLU in one GEMM pass; the mask Backward() needs is
+    // recovered from the post-activation output (exactly equal to the
+    // pre-activation sign mask).
+    Tensor squeezed = squeeze_.ForwardFused(input, GemmEpilogue::kBiasRelu);
+    squeeze_relu_.SetMaskFromOutput(squeezed);
+
+    // Each expand branch writes relu(conv + bias) straight into its
+    // channel-half of the concat tensor: no expand intermediates, no
+    // interleave copy, no separate ReLU sweep.
+    const TensorShape out_shape = OutputShape(input.shape());
+    Tensor joined(out_shape);
+    const int64_t ldc = out_shape.c;
+    const int64_t sample_stride = static_cast<int64_t>(out_shape.h) * out_shape.w * ldc;
+    expand1x1_.ForwardInto(squeezed, GemmEpilogue::kBiasRelu, joined.data(), ldc,
+                           sample_stride);
+    expand3x3_.ForwardInto(squeezed, GemmEpilogue::kBiasRelu,
+                           joined.data() + expand_channels_, ldc, sample_stride);
+    expand_relu_.SetMaskFromOutput(joined);
+    return joined;
+  }
+  return ForwardReference(input);
+}
+
+Tensor FireModule::ForwardReference(const Tensor& input) {
   Tensor squeezed = squeeze_relu_.Forward(squeeze_.Forward(input));
   Tensor left = expand1x1_.Forward(squeezed);
   Tensor right = expand3x3_.Forward(squeezed);

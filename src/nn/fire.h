@@ -3,6 +3,13 @@
 // A fire module squeezes the channel count with a 1x1 convolution, then
 // expands it with parallel 1x1 and 3x3 convolutions whose outputs are
 // concatenated along the channel axis.
+//
+// On the GEMM path the whole module runs fused: the squeeze conv folds its
+// ReLU into the GEMM epilogue, and each expand conv writes epilogue(conv)
+// directly into its channel-half of the concat output tensor (relu(concat)
+// == concat(relu), elementwise), deleting both the interleave copy and the
+// two expand intermediates. Backward is unchanged — the ReLU masks are
+// reconstructed from the fused outputs, which is exact.
 #ifndef PERCIVAL_SRC_NN_FIRE_H_
 #define PERCIVAL_SRC_NN_FIRE_H_
 
@@ -31,13 +38,27 @@ class FireModule : public Layer {
   std::vector<Parameter*> Parameters() override;
   TensorShape OutputShape(const TensorShape& input) const override;
   int64_t ForwardMacs(const TensorShape& input) const override;
+  size_t ForwardScratchFloats(const TensorShape& input) const override;
 
   int out_channels() const { return 2 * expand_channels_; }
 
+  // Flips all three inner convolutions between the GEMM engine and the
+  // naive oracle (the fused path requires GEMM on every conv).
+  void set_use_gemm(bool use_gemm);
+
+  // Disables operator fusion while keeping the GEMM convs: the module runs
+  // the layer-by-layer reference path (conv, relu, conv x2, interleave
+  // copy, relu). The parity tests pit the fused path against this.
+  void set_use_fused(bool use_fused) { use_fused_ = use_fused; }
+  bool use_fused() const { return use_fused_; }
+
  private:
+  Tensor ForwardReference(const Tensor& input);
+
   int squeeze_channels_;
   int expand_channels_;
   std::string label_;
+  bool use_fused_ = true;
   Conv2D squeeze_;
   Relu squeeze_relu_;
   Conv2D expand1x1_;

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <mutex>
 #include <thread>
 
 #include "src/base/logging.h"
 #include "src/base/thread_pool.h"
+#include "src/nn/simd.h"
 
 namespace percival {
 
@@ -14,6 +16,7 @@ namespace {
 
 std::atomic<ThreadPool*> g_inference_pool{nullptr};
 std::atomic<bool> g_gemm_default{true};
+std::atomic<bool> g_force_scalar{false};
 
 }  // namespace
 
@@ -49,6 +52,14 @@ void ScratchArena::Reset() {
   used_ = 0;
 }
 
+void ScratchArena::Reserve(size_t count) {
+  Reset();
+  if (block_.size() < count) {
+    block_.assign(count, 0.0f);
+  }
+  used_ = 0;
+}
+
 size_t ScratchArena::CapacityFloats() const {
   size_t total = block_.size();
   for (const auto& old : retired_) {
@@ -70,11 +81,27 @@ ThreadPool* InferenceThreadPool() { return g_inference_pool.load(); }
 void SetGemmEnabledByDefault(bool enabled) { g_gemm_default.store(enabled); }
 bool GemmEnabledByDefault() { return g_gemm_default.load(); }
 
+void SetGemmForceScalar(bool force) { g_force_scalar.store(force); }
+bool GemmForceScalar() { return g_force_scalar.load(); }
+
+const char* ActiveGemmKernelName() {
+  return GemmForceScalar() ? "scalar" : kSimdPathName;
+}
+
+void LogSimdPathOnce() {
+  static std::once_flag logged;
+  std::call_once(logged, [] {
+    LogLine(std::string("gemm: compiled SIMD path ") + kSimdPathName + ", tile " +
+            std::to_string(kGemmTileM) + "x" + std::to_string(kGemmTileN));
+  });
+}
+
 ScopedInferencePool::ScopedInferencePool(int num_threads)
     : pool_(std::make_unique<ThreadPool>(
           num_threads > 0 ? num_threads
                           : std::max(1, static_cast<int>(std::thread::hardware_concurrency())))),
       previous_(InferenceThreadPool()) {
+  LogSimdPathOnce();
   SetInferenceThreadPool(pool_.get());
 }
 
@@ -109,9 +136,14 @@ void PackFilterPanels(const float* b, int n, int k, float* packed) {
 
 namespace {
 
-// Computes a full kGemmTileM x kGemmTileN tile: four A rows against one
-// packed panel. The accumulator array is small and fully unrolled, so the
-// compiler keeps it in vector registers through the K loop.
+static_assert(kGemmTileM == 4 && kGemmTileN == 16,
+              "the intrinsic micro-kernels are written for a 4x16 tile");
+
+// Scalar 4x16 tile kernel. Always compiled: it is the fallback on targets
+// without SSE2 and the oracle the parity tests (and SetGemmForceScalar)
+// pit the intrinsic kernels against. The accumulator array is small and
+// fully unrolled, so the compiler keeps it in vector registers through the
+// K loop.
 void MicroKernel4xN(int k, const float* const a[kGemmTileM], const float* panel,
                     float acc[kGemmTileM][kGemmTileN]) {
   const float* a0 = a[0];
@@ -159,52 +191,256 @@ void MicroKernel1xN(int k, const float* a, const float* panel, float acc[kGemmTi
   }
 }
 
-void StoreTileRow(const float acc[kGemmTileN], const float* bias, int n0, int width,
-                  float* c_row) {
-  if (bias != nullptr) {
-    for (int j = 0; j < width; ++j) {
-      c_row[n0 + j] = acc[j] + bias[n0 + j];
+// Epilogue-aware store of one tile row from an accumulator buffer. `ep` and
+// `bias` are loop-invariant, so the compiler hoists the branches.
+void StoreTileRow(const float acc[kGemmTileN], const float* bias, GemmEpilogue ep, int n0,
+                  int width, float* c_row) {
+  for (int j = 0; j < width; ++j) {
+    float v = acc[j];
+    if (ep != GemmEpilogue::kNone && bias != nullptr) {
+      v += bias[n0 + j];
     }
-  } else {
-    for (int j = 0; j < width; ++j) {
-      c_row[n0 + j] = acc[j];
+    if (ep == GemmEpilogue::kBiasRelu && v < 0.0f) {
+      v = 0.0f;
     }
+    c_row[n0 + j] = v;
   }
 }
 
-}  // namespace
-
-void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b,
-                  const float* bias, float* c) {
-  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
-  int64_t row = 0;
-  for (; row + kGemmTileM <= m; row += kGemmTileM) {
+// Handles everything the full-width intrinsic path does not: remainder rows
+// (m % 4) and the zero-padded partial panel at the right edge of C.
+void TileRowsScalar(int64_t row_begin, int64_t row_end, int panel_begin, int panel_end, int n,
+                    int k, const float* a, const float* packed_b, const float* bias,
+                    GemmEpilogue ep, float* c, int64_t ldc) {
+  int64_t row = row_begin;
+  for (; row + kGemmTileM <= row_end; row += kGemmTileM) {
     const float* rows[kGemmTileM];
     for (int i = 0; i < kGemmTileM; ++i) {
       rows[i] = a + (row + i) * k;
     }
-    for (int panel = 0; panel < panels; ++panel) {
+    for (int panel = panel_begin; panel < panel_end; ++panel) {
       const int n0 = panel * kGemmTileN;
       const int width = std::min(kGemmTileN, n - n0);
       const float* pb = packed_b + static_cast<size_t>(panel) * k * kGemmTileN;
       float acc[kGemmTileM][kGemmTileN] = {};
       MicroKernel4xN(k, rows, pb, acc);
       for (int i = 0; i < kGemmTileM; ++i) {
-        StoreTileRow(acc[i], bias, n0, width, c + (row + i) * n);
+        StoreTileRow(acc[i], bias, ep, n0, width, c + (row + i) * ldc);
       }
     }
   }
-  for (; row < m; ++row) {
+  for (; row < row_end; ++row) {
     const float* ar = a + row * k;
-    for (int panel = 0; panel < panels; ++panel) {
+    for (int panel = panel_begin; panel < panel_end; ++panel) {
       const int n0 = panel * kGemmTileN;
       const int width = std::min(kGemmTileN, n - n0);
       const float* pb = packed_b + static_cast<size_t>(panel) * k * kGemmTileN;
       float acc[kGemmTileN] = {};
       MicroKernel1xN(k, ar, pb, acc);
-      StoreTileRow(acc, bias, n0, width, c + row * n);
+      StoreTileRow(acc, bias, ep, n0, width, c + row * ldc);
     }
   }
+}
+
+void GemmPackedExScalar(int64_t m, int n, int k, const float* a, const float* packed_b,
+                        const float* bias, GemmEpilogue ep, float* c, int64_t ldc) {
+  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  TileRowsScalar(0, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
+}
+
+#if defined(PERCIVAL_SIMD_AVX2)
+
+// 4x16 tile: four broadcast A values FMA into 8 ymm accumulators per K step
+// (2 ymm per row). 8 accumulators + 2 panel loads + 1 broadcast = 11 of the
+// 16 ymm registers, so nothing spills.
+inline void Tile4x16Avx2(int k, const float* a0, const float* a1, const float* a2,
+                         const float* a3, const float* panel, __m256 acc[8]) {
+  for (int kk = 0; kk < k; ++kk) {
+    const float* bp = panel + static_cast<size_t>(kk) * kGemmTileN;
+    const __m256 b0 = _mm256_loadu_ps(bp);
+    const __m256 b1 = _mm256_loadu_ps(bp + 8);
+    __m256 v = _mm256_broadcast_ss(a0 + kk);
+    acc[0] = _mm256_fmadd_ps(v, b0, acc[0]);
+    acc[1] = _mm256_fmadd_ps(v, b1, acc[1]);
+    v = _mm256_broadcast_ss(a1 + kk);
+    acc[2] = _mm256_fmadd_ps(v, b0, acc[2]);
+    acc[3] = _mm256_fmadd_ps(v, b1, acc[3]);
+    v = _mm256_broadcast_ss(a2 + kk);
+    acc[4] = _mm256_fmadd_ps(v, b0, acc[4]);
+    acc[5] = _mm256_fmadd_ps(v, b1, acc[5]);
+    v = _mm256_broadcast_ss(a3 + kk);
+    acc[6] = _mm256_fmadd_ps(v, b0, acc[6]);
+    acc[7] = _mm256_fmadd_ps(v, b1, acc[7]);
+  }
+}
+
+inline void StoreRowAvx2(__m256 lo, __m256 hi, const float* bias16, GemmEpilogue ep,
+                         float* dst) {
+  if (ep != GemmEpilogue::kNone && bias16 != nullptr) {
+    lo = _mm256_add_ps(lo, _mm256_loadu_ps(bias16));
+    hi = _mm256_add_ps(hi, _mm256_loadu_ps(bias16 + 8));
+  }
+  if (ep == GemmEpilogue::kBiasRelu) {
+    const __m256 zero = _mm256_setzero_ps();
+    lo = _mm256_max_ps(lo, zero);
+    hi = _mm256_max_ps(hi, zero);
+  }
+  _mm256_storeu_ps(dst, lo);
+  _mm256_storeu_ps(dst + 8, hi);
+}
+
+void GemmPackedExAvx2(int64_t m, int n, int k, const float* a, const float* packed_b,
+                      const float* bias, GemmEpilogue ep, float* c, int64_t ldc) {
+  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  int64_t row = 0;
+  for (; row + kGemmTileM <= m; row += kGemmTileM) {
+    const float* a0 = a + row * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c_row = c + row * ldc;
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * kGemmTileN;
+      const int width = std::min(kGemmTileN, n - n0);
+      const float* pb = packed_b + static_cast<size_t>(panel) * k * kGemmTileN;
+      __m256 acc[8] = {_mm256_setzero_ps(), _mm256_setzero_ps(), _mm256_setzero_ps(),
+                       _mm256_setzero_ps(), _mm256_setzero_ps(), _mm256_setzero_ps(),
+                       _mm256_setzero_ps(), _mm256_setzero_ps()};
+      // The packed panel is zero-padded to the full tile width, so the
+      // vector K loop is safe even for partial panels (narrow squeeze
+      // layers); only the store needs width handling.
+      Tile4x16Avx2(k, a0, a1, a2, a3, pb, acc);
+      if (width == kGemmTileN) {
+        const float* b16 = bias != nullptr ? bias + n0 : nullptr;
+        StoreRowAvx2(acc[0], acc[1], b16, ep, c_row + n0);
+        StoreRowAvx2(acc[2], acc[3], b16, ep, c_row + ldc + n0);
+        StoreRowAvx2(acc[4], acc[5], b16, ep, c_row + 2 * ldc + n0);
+        StoreRowAvx2(acc[6], acc[7], b16, ep, c_row + 3 * ldc + n0);
+      } else {
+        float buf[kGemmTileM][kGemmTileN];
+        for (int i = 0; i < kGemmTileM; ++i) {
+          _mm256_storeu_ps(buf[i], acc[2 * i]);
+          _mm256_storeu_ps(buf[i] + 8, acc[2 * i + 1]);
+          StoreTileRow(buf[i], bias, ep, n0, width, c_row + i * ldc);
+        }
+      }
+    }
+  }
+  // Remainder rows (m % 4) across every panel.
+  TileRowsScalar(row, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
+}
+
+#elif defined(PERCIVAL_SIMD_SSE2)
+
+// 4x8 half-tile: the 16-wide panel is processed in two passes of 8 columns
+// (offset jb in {0, 8}) so the working set is 8 xmm accumulators + 2 panel
+// loads + 1 broadcast, fitting x86-64's 16 xmm registers without spills.
+inline void Tile4x8Sse2(int k, const float* a0, const float* a1, const float* a2,
+                        const float* a3, const float* panel, int jb, __m128 acc[8]) {
+  for (int kk = 0; kk < k; ++kk) {
+    const float* bp = panel + static_cast<size_t>(kk) * kGemmTileN + jb;
+    const __m128 b0 = _mm_loadu_ps(bp);
+    const __m128 b1 = _mm_loadu_ps(bp + 4);
+    __m128 v = _mm_set1_ps(a0[kk]);
+    acc[0] = _mm_add_ps(acc[0], _mm_mul_ps(v, b0));
+    acc[1] = _mm_add_ps(acc[1], _mm_mul_ps(v, b1));
+    v = _mm_set1_ps(a1[kk]);
+    acc[2] = _mm_add_ps(acc[2], _mm_mul_ps(v, b0));
+    acc[3] = _mm_add_ps(acc[3], _mm_mul_ps(v, b1));
+    v = _mm_set1_ps(a2[kk]);
+    acc[4] = _mm_add_ps(acc[4], _mm_mul_ps(v, b0));
+    acc[5] = _mm_add_ps(acc[5], _mm_mul_ps(v, b1));
+    v = _mm_set1_ps(a3[kk]);
+    acc[6] = _mm_add_ps(acc[6], _mm_mul_ps(v, b0));
+    acc[7] = _mm_add_ps(acc[7], _mm_mul_ps(v, b1));
+  }
+}
+
+inline void StoreRowSse2(__m128 lo, __m128 hi, const float* bias8, GemmEpilogue ep,
+                         float* dst) {
+  if (ep != GemmEpilogue::kNone && bias8 != nullptr) {
+    lo = _mm_add_ps(lo, _mm_loadu_ps(bias8));
+    hi = _mm_add_ps(hi, _mm_loadu_ps(bias8 + 4));
+  }
+  if (ep == GemmEpilogue::kBiasRelu) {
+    const __m128 zero = _mm_setzero_ps();
+    lo = _mm_max_ps(lo, zero);
+    hi = _mm_max_ps(hi, zero);
+  }
+  _mm_storeu_ps(dst, lo);
+  _mm_storeu_ps(dst + 4, hi);
+}
+
+void GemmPackedExSse2(int64_t m, int n, int k, const float* a, const float* packed_b,
+                      const float* bias, GemmEpilogue ep, float* c, int64_t ldc) {
+  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  int64_t row = 0;
+  for (; row + kGemmTileM <= m; row += kGemmTileM) {
+    const float* a0 = a + row * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c_row = c + row * ldc;
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * kGemmTileN;
+      const int width = std::min(kGemmTileN, n - n0);
+      const float* pb = packed_b + static_cast<size_t>(panel) * k * kGemmTileN;
+      for (int jb = 0; jb < kGemmTileN; jb += 8) {
+        if (jb >= width) {
+          break;  // fully in the zero-padded tail, nothing to store
+        }
+        __m128 acc[8] = {_mm_setzero_ps(), _mm_setzero_ps(), _mm_setzero_ps(),
+                         _mm_setzero_ps(), _mm_setzero_ps(), _mm_setzero_ps(),
+                         _mm_setzero_ps(), _mm_setzero_ps()};
+        // The packed panel is zero-padded to the full tile width, so the
+        // vector K loop is safe even for partial panels (narrow squeeze
+        // layers); only the store needs width handling.
+        Tile4x8Sse2(k, a0, a1, a2, a3, pb, jb, acc);
+        if (width - jb >= 8) {
+          const float* b8 = bias != nullptr ? bias + n0 + jb : nullptr;
+          StoreRowSse2(acc[0], acc[1], b8, ep, c_row + n0 + jb);
+          StoreRowSse2(acc[2], acc[3], b8, ep, c_row + ldc + n0 + jb);
+          StoreRowSse2(acc[4], acc[5], b8, ep, c_row + 2 * ldc + n0 + jb);
+          StoreRowSse2(acc[6], acc[7], b8, ep, c_row + 3 * ldc + n0 + jb);
+        } else {
+          float buf[kGemmTileM][8];
+          for (int i = 0; i < kGemmTileM; ++i) {
+            _mm_storeu_ps(buf[i], acc[2 * i]);
+            _mm_storeu_ps(buf[i] + 4, acc[2 * i + 1]);
+            StoreTileRow(buf[i], bias, ep, n0 + jb, width - jb, c_row + i * ldc);
+          }
+        }
+      }
+    }
+  }
+  // Remainder rows (m % 4) across every panel.
+  TileRowsScalar(row, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
+}
+
+#endif  // SIMD variant
+
+}  // namespace
+
+void GemmPackedEx(int64_t m, int n, int k, const float* a, const float* packed_b,
+                  const float* bias, GemmEpilogue epilogue, float* c, int64_t ldc) {
+  PCHECK_GE(ldc, n);
+#if defined(PERCIVAL_SIMD_AVX2)
+  if (!GemmForceScalar()) {
+    GemmPackedExAvx2(m, n, k, a, packed_b, bias, epilogue, c, ldc);
+    return;
+  }
+#elif defined(PERCIVAL_SIMD_SSE2)
+  if (!GemmForceScalar()) {
+    GemmPackedExSse2(m, n, k, a, packed_b, bias, epilogue, c, ldc);
+    return;
+  }
+#endif
+  GemmPackedExScalar(m, n, k, a, packed_b, bias, epilogue, c, ldc);
+}
+
+void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b,
+                  const float* bias, float* c) {
+  GemmPackedEx(m, n, k, a, packed_b, bias, GemmEpilogue::kBias, c, n);
 }
 
 void InferenceParallelFor(int64_t total, int64_t macs_per_item,

@@ -3,14 +3,22 @@
 // Convolutions lower to C[M x N] = A[M x K] * B[N x K]^T + bias, where A is
 // an im2col patch matrix (M = output pixels, K = kernel*kernel*in_channels)
 // and B holds one flattened filter per row (N = out_channels). The engine
-// packs B into column-panel form once per call, then walks A in 4x16
-// register tiles so the inner loop is a fully unrolled multiply-accumulate
-// that the compiler vectorizes; large problems split their M rows across the
-// shared inference ThreadPool.
+// packs B into column-panel form, then walks A in 4x16 register tiles whose
+// inner loop is an explicitly vectorized multiply-accumulate (AVX2+FMA /
+// SSE2 / portable scalar, selected at compile time by simd.h); large
+// problems split their M rows across the shared inference ThreadPool.
 //
-// A thread-local ScratchArena backs every transient buffer (packed panels,
-// im2col chunks), so steady-state inference performs zero heap allocation
-// once the arena has warmed up to the network's working-set size.
+// The epilogue (bias add, optional ReLU) is folded into the tile store, so
+// a fused Conv->ReLU never materializes the pre-activation tensor, and the
+// output row stride is a parameter, so a caller can aim the kernel directly
+// at a channel slice of a larger tensor (FireModule's concat halves).
+//
+// A thread-local ScratchArena backs every transient buffer (im2col chunks,
+// plus the packed panels of one-shot GemmNT calls), so steady-state
+// inference performs zero heap allocation once the arena has warmed up.
+// Conv2D's inference packing does NOT live here: its panels persist in a
+// per-layer cache across forwards, invalidated by the weight Parameter's
+// version counter (see conv.h).
 #ifndef PERCIVAL_SRC_NN_GEMM_H_
 #define PERCIVAL_SRC_NN_GEMM_H_
 
@@ -39,6 +47,11 @@ class ScratchArena {
  public:
   float* Alloc(size_t count);
   void Reset();
+
+  // Resets the arena and grows it to at least `count` floats in one slab.
+  // Invalidates previously returned pointers (like Reset); used by
+  // Network::PlanForward so even the first inference never grows the arena.
+  void Reserve(size_t count);
 
   // Total floats currently reserved (diagnostics / allocation tests).
   size_t CapacityFloats() const;
@@ -83,15 +96,42 @@ class ScopedInferencePool {
 void SetGemmEnabledByDefault(bool enabled);
 bool GemmEnabledByDefault();
 
+// When true, GemmPackedEx routes to the always-compiled scalar micro-kernel
+// instead of the intrinsic one, so a single binary can exercise (and
+// benchmark) both paths. Intrinsic builds default to false.
+void SetGemmForceScalar(bool force);
+bool GemmForceScalar();
+
+// Name of the kernel GemmPackedEx dispatches to right now ("avx2+fma",
+// "sse2", or "scalar"; force-scalar reports "scalar").
+const char* ActiveGemmKernelName();
+
+// Logs the compiled SIMD path + tile geometry once per process (startup
+// breadcrumb for bench logs and deployments).
+void LogSimdPathOnce();
+
 // Packs row-major B[N x K] into column panels of kGemmTileN filters:
 // packed[panel][k][j] = B[(panel*kGemmTileN + j) * K + k], zero-padded past
 // N. `packed` must hold PackedPanelFloats(N, K) floats.
 size_t PackedPanelFloats(int n, int k);
 void PackFilterPanels(const float* b, int n, int k, float* packed);
 
-// C[M x N] += nothing; computes C = A * B^T + bias over pre-packed panels.
-// A is row-major [M x K] with contiguous rows; C is row-major [M x N].
-// `bias` may be null (treated as zeros). Runs on the calling thread.
+// Post-accumulation transform applied inside the micro-kernel's store, so
+// fused layers never materialize a pre-activation intermediate.
+enum class GemmEpilogue {
+  kNone,      // C = A * B^T             (bias ignored)
+  kBias,      // C = A * B^T + bias      (null bias treated as zeros)
+  kBiasRelu,  // C = max(0, A * B^T + bias)
+};
+
+// Computes C = epilogue(A * B^T + bias) over pre-packed panels. A is
+// row-major [M x K] with contiguous rows; output row i starts at c + i*ldc
+// (ldc >= n), which lets a caller write into a channel slice of a wider
+// tensor. Runs on the calling thread.
+void GemmPackedEx(int64_t m, int n, int k, const float* a, const float* packed_b,
+                  const float* bias, GemmEpilogue epilogue, float* c, int64_t ldc);
+
+// Compatibility wrapper: dense C (ldc == n), bias-only epilogue.
 void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b,
                   const float* bias, float* c);
 

@@ -22,6 +22,13 @@ struct Parameter {
   std::string name;
   Tensor value;
   Tensor grad;
+  // Monotonic mutation counter for layers that cache derived forms of
+  // `value` (e.g. Conv2D's packed GEMM panels persist across forwards and
+  // repack only when this moves). Every code path that writes `value` in
+  // place — optimizer step, deserialize, transfer — must call MarkDirty().
+  uint64_t version = 1;
+
+  void MarkDirty() { ++version; }
 };
 
 class Layer {
@@ -43,6 +50,12 @@ class Layer {
   // Multiply-accumulate count of one forward pass for the given input shape.
   // Used for the Fig. 3 architecture accounting.
   virtual int64_t ForwardMacs(const TensorShape& input) const { return 0; }
+
+  // Upper bound on the thread-local ScratchArena floats one Forward() call
+  // may request for the given input shape. Network::PlanForward() reserves
+  // the running maximum across layers up front, so even the first inference
+  // after model load never grows the arena.
+  virtual size_t ForwardScratchFloats(const TensorShape& input) const { return 0; }
 
   int64_t ParameterCount() {
     int64_t total = 0;

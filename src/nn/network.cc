@@ -1,13 +1,32 @@
 #include "src/nn/network.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
 #include "src/base/logging.h"
+#include "src/nn/gemm.h"
 
 namespace percival {
 
-Tensor Network::Forward(const Tensor& input) { return ForwardUpTo(input, layers_.size()); }
+Tensor Network::Forward(const Tensor& input) {
+  if (!planned_ || !(planned_shape_ == input.shape())) {
+    PlanForward(input.shape());
+  }
+  return ForwardUpTo(input, layers_.size());
+}
+
+void Network::PlanForward(const TensorShape& input) {
+  size_t worst = 0;
+  TensorShape shape = input;
+  for (const auto& layer : layers_) {
+    worst = std::max(worst, layer->ForwardScratchFloats(shape));
+    shape = layer->OutputShape(shape);
+  }
+  LocalArena().Reserve(worst);
+  planned_shape_ = input;
+  planned_ = true;
+}
 
 Tensor Network::ForwardUpTo(const Tensor& input, size_t layer_count) {
   PCHECK_LE(layer_count, layers_.size());

@@ -21,14 +21,26 @@ class Network {
   LayerType& Add(Args&&... args) {
     auto layer = std::make_unique<LayerType>(std::forward<Args>(args)...);
     LayerType& ref = *layer;
-    layers_.push_back(std::move(layer));
+    AddLayer(std::move(layer));
     return ref;
   }
 
-  void AddLayer(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+  void AddLayer(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+    planned_ = false;  // the forward plan no longer covers this layer
+  }
 
-  // Runs all layers in order.
+  // Runs all layers in order. Re-plans the scratch workspace automatically
+  // when the input shape differs from the last planned one.
   Tensor Forward(const Tensor& input);
+
+  // Walks the layers once, computing the worst-case per-layer scratch
+  // requirement for `input`, and reserves the *calling thread's* arena up
+  // front — so the next Forward() on this thread performs zero arena
+  // growth, including the very first inference after model load. Threads
+  // that never plan (e.g. pool workers, which see smaller per-chunk
+  // buffers) warm their arenas organically as before.
+  void PlanForward(const TensorShape& input);
 
   // Runs a forward pass but stops after `layer_count` layers; used by
   // Grad-CAM to obtain intermediate feature maps.
@@ -64,6 +76,8 @@ class Network {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  TensorShape planned_shape_{};
+  bool planned_ = false;
 };
 
 }  // namespace percival

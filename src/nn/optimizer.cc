@@ -40,6 +40,8 @@ void SgdOptimizer::Step() {
       v[j] = config_.momentum * v[j] - learning_rate_ * g;
       p->value[j] += v[j];
     }
+    // Invalidate any packed-weight caches derived from the old values.
+    p->MarkDirty();
   }
 }
 

@@ -113,6 +113,10 @@ bool DeserializeWeights(Network& net, const std::vector<uint8_t>& bytes) {
     if (!reader.ReadRaw(p->value.data(), sizeof(float) * static_cast<size_t>(p->value.size()))) {
       return false;
     }
+    // The layer may hold a packed form of the previous values (Conv2D's
+    // GEMM panels); loading must invalidate it or forwards would keep
+    // using the old weights.
+    p->MarkDirty();
   }
   return reader.AtEnd();
 }

@@ -1,0 +1,41 @@
+// Compile-time SIMD dispatch for the GEMM micro-kernels.
+//
+// Exactly one PERCIVAL_SIMD_* macro is defined to 1, chosen from what the
+// compiler was allowed to emit (-march flags / defaults):
+//   * PERCIVAL_SIMD_AVX2   — AVX2 + FMA: 8-wide fused multiply-add, the
+//     16-wide panel is two ymm registers per row.
+//   * PERCIVAL_SIMD_SSE2   — 4-wide multiply+add (baseline x86-64 always
+//     has SSE2, so this is the default Release path without -march=native).
+//   * PERCIVAL_SIMD_SCALAR — portable fallback, also kept compiled on every
+//     target as the oracle the parity tests pit the intrinsic paths against.
+//
+// The selection is deliberately compile-time: the classifier ships as one
+// binary per target, and a runtime-dispatch indirection in a kernel this
+// small costs more than it saves. kSimdPathName is logged once at startup
+// so bench logs record which path produced the numbers.
+#ifndef PERCIVAL_SRC_NN_SIMD_H_
+#define PERCIVAL_SRC_NN_SIMD_H_
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define PERCIVAL_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64) || (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define PERCIVAL_SIMD_SSE2 1
+#include <emmintrin.h>
+#else
+#define PERCIVAL_SIMD_SCALAR 1
+#endif
+
+namespace percival {
+
+#if defined(PERCIVAL_SIMD_AVX2)
+inline constexpr const char* kSimdPathName = "avx2+fma";
+#elif defined(PERCIVAL_SIMD_SSE2)
+inline constexpr const char* kSimdPathName = "sse2";
+#else
+inline constexpr const char* kSimdPathName = "scalar";
+#endif
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_NN_SIMD_H_

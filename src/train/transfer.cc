@@ -64,6 +64,7 @@ void InitFromPretrained(Network& target, Network& pretrained, int blocks) {
   for (size_t i = 0; i < params_to_copy; ++i) {
     PCHECK(dst[i]->value.shape() == src[i]->value.shape()) << dst[i]->name;
     dst[i]->value = src[i]->value;
+    dst[i]->MarkDirty();
   }
 }
 

@@ -253,6 +253,71 @@ TEST(GemmKernelTest, NullBiasMeansZero) {
   }
 }
 
+// Every compiled kernel must agree: the intrinsic path (AVX2 or SSE2,
+// whatever this binary was built with) against the always-compiled scalar
+// fallback, over shapes covering full tiles, remainder rows, and partial
+// panels. On a scalar-only build both runs take the same path and the test
+// degenerates to determinism.
+TEST(GemmKernelTest, IntrinsicAndScalarKernelsAgree) {
+  Rng rng(71);
+  for (const auto& [m, n, k] : std::vector<std::array<int, 3>>{
+           {4, 16, 9}, {7, 16, 33}, {64, 48, 144}, {13, 21, 27}, {3, 5, 8}}) {
+    std::vector<float> a(static_cast<size_t>(m) * k);
+    std::vector<float> b(static_cast<size_t>(n) * k);
+    std::vector<float> bias(static_cast<size_t>(n));
+    for (auto& v : a) v = rng.NextFloat(-1.0f, 1.0f);
+    for (auto& v : b) v = rng.NextFloat(-1.0f, 1.0f);
+    for (auto& v : bias) v = rng.NextFloat(-1.0f, 1.0f);
+    std::vector<float> packed(PackedPanelFloats(n, k));
+    PackFilterPanels(b.data(), n, k, packed.data());
+
+    std::vector<float> simd(static_cast<size_t>(m) * n);
+    std::vector<float> scalar(static_cast<size_t>(m) * n);
+    GemmPackedEx(m, n, k, a.data(), packed.data(), bias.data(), GemmEpilogue::kBiasRelu,
+                 simd.data(), n);
+    SetGemmForceScalar(true);
+    GemmPackedEx(m, n, k, a.data(), packed.data(), bias.data(), GemmEpilogue::kBiasRelu,
+                 scalar.data(), n);
+    SetGemmForceScalar(false);
+    for (size_t i = 0; i < simd.size(); ++i) {
+      EXPECT_NEAR(simd[i], scalar[i], kParityTolerance)
+          << "m=" << m << " n=" << n << " k=" << k << " at " << i;
+    }
+  }
+}
+
+// Strided output: writing a GEMM result into a channel slice of a wider
+// buffer (FireModule's concat halves) must leave the other columns alone.
+TEST(GemmKernelTest, StridedOutputWritesOnlyItsSlice) {
+  const int m = 9, n = 5, k = 12;
+  const int64_t ldc = 13;
+  Rng rng(72);
+  std::vector<float> a(static_cast<size_t>(m) * k);
+  std::vector<float> b(static_cast<size_t>(n) * k);
+  for (auto& v : a) v = rng.NextFloat(-1.0f, 1.0f);
+  for (auto& v : b) v = rng.NextFloat(-1.0f, 1.0f);
+  std::vector<float> packed(PackedPanelFloats(n, k));
+  PackFilterPanels(b.data(), n, k, packed.data());
+
+  std::vector<float> dense(static_cast<size_t>(m) * n);
+  GemmPackedEx(m, n, k, a.data(), packed.data(), nullptr, GemmEpilogue::kNone, dense.data(),
+               n);
+  const int64_t offset = 6;
+  std::vector<float> wide(static_cast<size_t>(m) * ldc, -3.0f);
+  GemmPackedEx(m, n, k, a.data(), packed.data(), nullptr, GemmEpilogue::kNone,
+               wide.data() + offset, ldc);
+  for (int i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < ldc; ++j) {
+      const float got = wide[static_cast<size_t>(i) * ldc + j];
+      if (j >= offset && j < offset + n) {
+        EXPECT_NEAR(got, dense[static_cast<size_t>(i) * n + (j - offset)], kParityTolerance);
+      } else {
+        EXPECT_EQ(got, -3.0f) << "row " << i << " col " << j << " clobbered";
+      }
+    }
+  }
+}
+
 TEST(GemmKernelTest, PooledMatchesSerial) {
   const int m = 200, n = 23, k = 50;
   Rng rng(53);
@@ -287,6 +352,49 @@ TEST(ScratchArenaTest, PointersSurviveGrowthUntilReset) {
   arena.Alloc(16);
   arena.Alloc(1 << 16);
   EXPECT_EQ(arena.CapacityFloats(), warmed);
+}
+
+// Regression for Reset() coalescing under growth-while-retired: a round
+// that retires multiple blocks must (a) keep every outstanding pointer
+// readable until the Reset, and (b) coalesce into a slab large enough that
+// the same allocation pattern never retires again — the steady state is a
+// single reused slab with stable capacity.
+TEST(ScratchArenaTest, GrowthWhileRetiredCoalescesToSingleSlab) {
+  ScratchArena arena;
+  const size_t sizes[] = {24, 300, 5000, 70000};
+  std::vector<float*> ptrs;
+  for (size_t i = 0; i < 4; ++i) {
+    float* p = arena.Alloc(sizes[i]);  // each Alloc outgrows and retires the last block
+    p[0] = static_cast<float>(i + 1);
+    p[sizes[i] - 1] = static_cast<float>(100 + i);
+    ptrs.push_back(p);
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ptrs[i][0], static_cast<float>(i + 1)) << "block " << i << " lost after growth";
+    EXPECT_EQ(ptrs[i][sizes[i] - 1], static_cast<float>(100 + i));
+  }
+  arena.Reset();
+  const size_t warmed = arena.CapacityFloats();
+  for (int round = 0; round < 3; ++round) {
+    for (size_t size : sizes) {
+      arena.Alloc(size);
+    }
+    EXPECT_EQ(arena.CapacityFloats(), warmed) << "round " << round << " grew the arena";
+    arena.Reset();
+    EXPECT_EQ(arena.CapacityFloats(), warmed) << "round " << round << " reset changed capacity";
+  }
+}
+
+TEST(ScratchArenaTest, ReserveMakesFirstRoundAllocationFree) {
+  ScratchArena arena;
+  arena.Reserve(4096);
+  const size_t reserved = arena.CapacityFloats();
+  EXPECT_GE(reserved, 4096u);
+  arena.Alloc(1000);
+  arena.Alloc(3000);
+  EXPECT_EQ(arena.CapacityFloats(), reserved) << "reserved arena grew on first use";
+  arena.Reserve(16);  // smaller reservation must not shrink the slab
+  EXPECT_EQ(arena.CapacityFloats(), reserved);
 }
 
 TEST(ScratchArenaTest, SteadyStateForwardDoesNotGrowArena) {

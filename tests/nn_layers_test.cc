@@ -88,12 +88,18 @@ void CheckParameterGradients(Layer& layer, const TensorShape& input_shape, uint6
     for (int check = 0; check < 6; ++check) {
       const int64_t i =
           static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(p->value.size())));
+      // In-place value writes must MarkDirty() so layers holding packed
+      // forms of the parameter (Conv2D's GEMM panels) repack on the next
+      // forward instead of differentiating a stale cache.
       const float saved = p->value[i];
       p->value[i] = saved + epsilon;
+      p->MarkDirty();
       const double up = loss();
       p->value[i] = saved - epsilon;
+      p->MarkDirty();
       const double down = loss();
       p->value[i] = saved;
+      p->MarkDirty();
       const double numeric = (up - down) / (2.0 * epsilon);
       EXPECT_NEAR(p->grad[i], numeric, tolerance + 0.05 * std::abs(numeric))
           << p->name << " grad at " << i;
