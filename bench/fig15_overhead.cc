@@ -38,6 +38,10 @@ void Run() {
   PrintHeader("Fig. 15 — PERCIVAL render overhead (median, synchronous mode)");
   ModelZoo zoo;
   AdClassifier classifier = MakeSharedClassifier(zoo);
+  // Same trained weights, int8 inference engine: the float-vs-int8 pair
+  // shares one JSON so the quantization win is tracked across PRs.
+  AdClassifier classifier_int8 = MakeSharedClassifier(zoo);
+  classifier_int8.SetPrecision(Precision::kInt8);
   BenchWorld world = MakeBenchWorld(0.75, 7);
 
   // Deployment configuration: the batched GEMM engine fans conv rows out
@@ -52,10 +56,16 @@ void Run() {
   report.Record(RenderTimes("render_brave", world, nullptr, &world.easylist, kPages));
   report.Record(
       RenderTimes("render_brave_percival", world, &classifier, &world.easylist, kPages));
+  report.Record(
+      RenderTimes("render_chromium_percival_int8", world, &classifier_int8, nullptr, kPages));
+  report.Record(RenderTimes("render_brave_percival_int8", world, &classifier_int8,
+                            &world.easylist, kPages));
   const double chromium = report.timings()[0].median_ms;
   const double chromium_percival = report.timings()[1].median_ms;
   const double brave = report.timings()[2].median_ms;
   const double brave_percival = report.timings()[3].median_ms;
+  const double chromium_int8 = report.timings()[4].median_ms;
+  const double brave_int8 = report.timings()[5].median_ms;
 
   // Overhead rows: median_ms is the median-to-median difference, min_ms the
   // floor-to-floor (min-to-min) difference.
@@ -69,6 +79,14 @@ void Run() {
   overhead.median_ms = brave_percival - brave;
   overhead.min_ms = report.timings()[3].min_ms - report.timings()[2].min_ms;
   report.Record(overhead);
+  overhead.name = "overhead_chromium_int8_ms";
+  overhead.median_ms = chromium_int8 - chromium;
+  overhead.min_ms = report.timings()[4].min_ms - report.timings()[0].min_ms;
+  report.Record(overhead);
+  overhead.name = "overhead_brave_int8_ms";
+  overhead.median_ms = brave_int8 - brave;
+  overhead.min_ms = report.timings()[5].min_ms - report.timings()[2].min_ms;
+  report.Record(overhead);
 
   TextTable table({"Baseline", "Treatment", "Overhead (%)", "Overhead (ms)"});
   table.AddRow({"Chromium", "Chromium + PERCIVAL",
@@ -77,9 +95,17 @@ void Run() {
   table.AddRow({"Brave", "Brave + PERCIVAL",
                 TextTable::Fixed((brave_percival - brave) / brave * 100.0, 2),
                 TextTable::Fixed(brave_percival - brave, 2)});
+  table.AddRow({"Chromium", "Chromium + PERCIVAL int8",
+                TextTable::Fixed((chromium_int8 - chromium) / chromium * 100.0, 2),
+                TextTable::Fixed(chromium_int8 - chromium, 2)});
+  table.AddRow({"Brave", "Brave + PERCIVAL int8",
+                TextTable::Fixed((brave_int8 - brave) / brave * 100.0, 2),
+                TextTable::Fixed(brave_int8 - brave, 2)});
   std::printf("%s", table.Render().c_str());
   std::printf("medians: chromium=%.1f ms, +percival=%.1f ms, brave=%.1f ms, +percival=%.1f ms\n",
               chromium, chromium_percival, brave, brave_percival);
+  std::printf("int8 medians: chromium+percival=%.1f ms, brave+percival=%.1f ms\n",
+              chromium_int8, brave_int8);
   std::printf("paper: Chromium +4.55%% (178.23 ms), Brave +19.07%% (281.85 ms)\n");
   std::printf(
       "\nShape check: overhead is single-digit-to-moderate percent on the\n"

@@ -1,7 +1,10 @@
 // Micro-benchmarks for the hot kernels: the conv GEMM engine (naive oracle
-// vs scalar tile kernel vs the compiled SIMD kernel, fused and threaded
-// variants), fire modules, full-network inference at both profiles, codec
-// decode, bitmap-to-tensor preprocessing, and filter-rule matching.
+// vs scalar tile kernel vs the compiled SIMD kernel, fused, threaded, and
+// int8-quantized variants), fire modules, full-network inference at both
+// profiles (train mode, eval mode, and int8), codec decode,
+// bitmap-to-tensor preprocessing, and filter-rule matching. The float and
+// int8 entries run on identical layers and inputs so BENCH_*.json tracks
+// the quantization multiplier across PRs.
 //
 // Self-timed via bench_common's BenchReport: every kernel runs a warmup
 // plus N repetitions and reports median + min; all results are written to
@@ -84,6 +87,21 @@ void RunSuite(const Options& options) {
           [&] { g_sink += conv.Forward(input)[0]; });
     bench("conv3x3_gemm_simd_fused_relu" + suffix, reps, macs,
           [&] { g_sink += conv.ForwardFused(input, GemmEpilogue::kBiasRelu)[0]; });
+
+    // Float-vs-int8 on the identical layer and input: the quantized path
+    // includes per-forward activation range + quantization, so the GMAC/s
+    // delta is the honest end-to-end win, not just the kernel speedup.
+    conv.SetPrecision(Precision::kInt8);
+    bench("conv3x3_gemm_int8_scalar" + suffix, reps, macs, [&] {
+      SetGemmForceScalar(true);
+      g_sink += conv.Forward(input)[0];
+      SetGemmForceScalar(false);
+    });
+    bench("conv3x3_gemm_int8_simd" + suffix, reps, macs,
+          [&] { g_sink += conv.Forward(input)[0]; });
+    bench("conv3x3_gemm_int8_fused_relu" + suffix, reps, macs,
+          [&] { g_sink += conv.ForwardFused(input, GemmEpilogue::kBiasRelu)[0]; });
+    conv.SetPrecision(Precision::kFloat32);
   }
 
   {
@@ -107,6 +125,9 @@ void RunSuite(const Options& options) {
       SetGemmForceScalar(false);
     });
     bench("conv1x1_gemm_simd_32", 40, macs, [&] { g_sink += conv.Forward(input)[0]; });
+    conv.SetPrecision(Precision::kInt8);
+    bench("conv1x1_gemm_int8_32", 40, macs, [&] { g_sink += conv.Forward(input)[0]; });
+    conv.SetPrecision(Precision::kFloat32);
   }
 
   for (int size : {8, 16, 32}) {
@@ -116,6 +137,9 @@ void RunSuite(const Options& options) {
     const int64_t macs = fire.ForwardMacs(input.shape());
     const std::string suffix = "_" + std::to_string(size);
     bench("fire_fused" + suffix, 30, macs, [&] { g_sink += fire.Forward(input)[0]; });
+    fire.SetPrecision(Precision::kInt8);
+    bench("fire_fused_int8" + suffix, 30, macs, [&] { g_sink += fire.Forward(input)[0]; });
+    fire.SetPrecision(Precision::kFloat32);
     if (size == 32) {
       fire.set_use_fused(false);
       bench("fire_unfused" + suffix, 30, macs, [&] { g_sink += fire.Forward(input)[0]; });
@@ -129,6 +153,16 @@ void RunSuite(const Options& options) {
     Tensor input = RandomTensor(config.InputShape(), 3);
     const int64_t macs = net.ForwardMacs(input.shape());
     bench("percival_forward_experiment", 20, macs, [&] { g_sink += net.Forward(input)[0]; });
+    // Deployment configuration ladder: eval mode drops the backward-state
+    // bookkeeping, int8 swaps the GEMM engine under it.
+    net.SetTrainingMode(false);
+    bench("percival_forward_experiment_eval", 20, macs,
+          [&] { g_sink += net.Forward(input)[0]; });
+    net.SetPrecision(Precision::kInt8);
+    bench("percival_forward_experiment_int8", 20, macs,
+          [&] { g_sink += net.Forward(input)[0]; });
+    net.SetPrecision(Precision::kFloat32);
+    net.SetTrainingMode(true);
     ScopedInferencePool pool;
     bench("percival_forward_experiment_threaded", 20, macs,
           [&] { g_sink += net.Forward(input)[0]; });

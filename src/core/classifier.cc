@@ -13,10 +13,25 @@ namespace percival {
 AdClassifier::AdClassifier(Network network, const PercivalNetConfig& config, float threshold)
     : config_(config), network_(std::move(network)), threshold_(threshold) {
   LogSimdPathOnce();
+  // Frozen deployment: eval mode stops every forward from capturing
+  // backward state (ReLU masks, pool argmax, per-conv input copies).
+  network_.SetTrainingMode(false);
   // Reserve the constructing thread's forward workspace now; a first
   // classification issued from another thread warms that thread's arena
   // organically (the plan is thread-local, see Network::PlanForward).
   network_.PlanForward(config_.InputShape());
+}
+
+void AdClassifier::SetPrecision(Precision precision) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  precision_ = precision;
+  network_.SetPrecision(precision);
+  network_.PlanForward(config_.InputShape());
+}
+
+Precision AdClassifier::precision() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return precision_;
 }
 
 ClassifyResult AdClassifier::Classify(const Bitmap& image) {

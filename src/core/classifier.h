@@ -45,8 +45,16 @@ struct ClassifierStats {
 class AdClassifier : public ImageInterceptor {
  public:
   // Takes ownership of a trained network built from `config`. `threshold`
-  // is the ad-probability above which a frame is blocked.
+  // is the ad-probability above which a frame is blocked. The network is
+  // switched to eval mode (frozen deployment: forwards retain no backward
+  // state); callers that want to keep training it should do so on their own
+  // Network copy, or call network().SetTrainingMode(true).
   AdClassifier(Network network, const PercivalNetConfig& config, float threshold = 0.5f);
+
+  // Switches the deployed network between float32 and int8 inference and
+  // re-plans the forward workspace. Thread-safe with concurrent Classify().
+  void SetPrecision(Precision precision);
+  Precision precision() const;
 
   // Runs one forward pass on `image` (resized to the profile's input).
   // Thread-safe: the network's forward state is guarded by a mutex, which
@@ -77,6 +85,7 @@ class AdClassifier : public ImageInterceptor {
   PercivalNetConfig config_;
   Network network_;
   float threshold_;
+  Precision precision_ = Precision::kFloat32;
   int min_dimension_ = 0;
   mutable std::mutex mutex_;
   ClassifierStats stats_;

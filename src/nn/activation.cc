@@ -11,6 +11,16 @@ namespace percival {
 Tensor Relu::Forward(const Tensor& input) {
   input_shape_ = input.shape();
   Tensor output(input_shape_);
+  if (!training_) {
+    // Eval mode: same outputs, no mask sweep or retention.
+    mask_.clear();
+    InferenceParallelFor(input.size(), 1, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        output[i] = input[i] > 0.0f ? input[i] : 0.0f;
+      }
+    });
+    return output;
+  }
   mask_.assign(static_cast<size_t>(input.size()), 0);
   // Memory-bound, so only large feature maps are worth fanning out.
   InferenceParallelFor(input.size(), 1, [&](int64_t begin, int64_t end) {
@@ -26,6 +36,10 @@ Tensor Relu::Forward(const Tensor& input) {
 
 void Relu::SetMaskFromOutput(const Tensor& output) {
   input_shape_ = output.shape();
+  if (!training_) {
+    mask_.clear();
+    return;
+  }
   mask_.assign(static_cast<size_t>(output.size()), 0);
   for (int64_t i = 0; i < output.size(); ++i) {
     if (output[i] > 0.0f) {
@@ -35,6 +49,7 @@ void Relu::SetMaskFromOutput(const Tensor& output) {
 }
 
 Tensor Relu::Backward(const Tensor& grad_output) {
+  PCHECK(training_) << "relu Backward called in eval mode";
   PCHECK_EQ(grad_output.size(), static_cast<int64_t>(mask_.size()));
   Tensor grad_input(input_shape_);
   for (int64_t i = 0; i < grad_output.size(); ++i) {
@@ -62,11 +77,14 @@ Tensor Softmax::Forward(const Tensor& input) {
       out[c] /= total;
     }
   }
-  last_output_ = output;
+  if (training_) {
+    last_output_ = output;
+  }
   return output;
 }
 
 Tensor Softmax::Backward(const Tensor& grad_output) {
+  PCHECK(training_) << "softmax Backward called in eval mode";
   PCHECK_EQ(grad_output.size(), last_output_.size());
   Tensor grad_input(last_output_.shape());
   const int channels = last_output_.shape().c;

@@ -19,7 +19,8 @@ class Relu : public Layer {
   // Rebuilds the backward mask from an already-computed ReLU *output*
   // (output > 0 iff input > 0, so the masks are identical). Lets fused
   // Conv+ReLU paths skip materializing the pre-activation tensor while
-  // keeping Backward() exact.
+  // keeping Backward() exact. In eval mode this is a no-op — the mask sweep
+  // is exactly the backward state an inference deployment never reads.
   void SetMaskFromOutput(const Tensor& output);
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "src/base/logging.h"
@@ -59,11 +60,23 @@ int64_t Conv2D::ForwardMacs(const TensorShape& input) const {
 }
 
 size_t Conv2D::ForwardScratchFloats(const TensorShape& input) const {
-  if (kernel_ == 1 && stride_ == 1 && pad_ == 0) {
-    return 0;  // identity patches: no im2col buffer
-  }
+  const bool identity_patches = kernel_ == 1 && stride_ == 1 && pad_ == 0;
   const TensorShape out = OutputShape(input);
-  return static_cast<size_t>(out.h) * out.w * kernel_ * kernel_ * in_channels_;
+  const size_t rows = static_cast<size_t>(out.h) * out.w;
+  const size_t row_len = static_cast<size_t>(kernel_) * kernel_ * in_channels_;
+  const size_t im2col_floats = identity_patches ? 0 : rows * row_len;
+  if (precision_ != Precision::kInt8) {
+    return im2col_floats;
+  }
+  // The quantized path gathers uint8 patch rows (padded to the int8 K
+  // unit) instead of float im2col rows; a K-aligned 1x1 conv reads the
+  // quantized input directly and stages nothing.
+  const int k_padded = Int8PaddedK(static_cast<int>(row_len));
+  if (identity_patches && static_cast<size_t>(k_padded) == row_len) {
+    return 0;
+  }
+  const size_t code_bytes = rows * static_cast<size_t>(k_padded);
+  return (code_bytes + sizeof(float) - 1) / sizeof(float);
 }
 
 Tensor Conv2D::Forward(const Tensor& input) {
@@ -71,7 +84,11 @@ Tensor Conv2D::Forward(const Tensor& input) {
   if (use_gemm_) {
     return ForwardFused(input, GemmEpilogue::kBias);
   }
-  last_input_ = input;
+  PCHECK(precision_ == Precision::kFloat32)
+      << Name() << " int8 precision requires the GEMM path";
+  if (training_) {
+    last_input_ = input;
+  }
   return ForwardNaive(input);
 }
 
@@ -100,6 +117,15 @@ const float* Conv2D::PackedFilters() {
     packed_version_ = weights_.version;
   }
   return packed_filters_.data();
+}
+
+const Int8PackedFilters& Conv2D::PackedFiltersInt8() {
+  if (packed_int8_version_ != weights_.version) {
+    const int row_len = kernel_ * kernel_ * in_channels_;
+    PackFilterPanelsInt8(weights_.value.data(), out_channels_, row_len, &packed_filters_int8_);
+    packed_int8_version_ = weights_.version;
+  }
+  return packed_filters_int8_;
 }
 
 Tensor Conv2D::ForwardNaive(const Tensor& input) {
@@ -131,8 +157,18 @@ void Conv2D::ForwardInto(const Tensor& input, GemmEpilogue epilogue, float* out,
                          int64_t sample_stride) {
   PCHECK_EQ(input.shape().c, in_channels_) << Name();
   PCHECK(use_gemm_) << Name() << " ForwardInto requires the GEMM path";
-  last_input_ = input;
+  if (training_) {
+    last_input_ = input;
+  }
+  if (precision_ == Precision::kInt8) {
+    ForwardIntoInt8(input, epilogue, out, ldc, sample_stride);
+  } else {
+    ForwardIntoFloat(input, epilogue, out, ldc, sample_stride);
+  }
+}
 
+void Conv2D::ForwardIntoFloat(const Tensor& input, GemmEpilogue epilogue, float* out,
+                              int64_t ldc, int64_t sample_stride) {
   const TensorShape out_shape = OutputShape(input.shape());
   const int row_len = kernel_ * kernel_ * in_channels_;
   const int64_t rows_per_sample = static_cast<int64_t>(out_shape.h) * out_shape.w;
@@ -175,7 +211,87 @@ void Conv2D::ForwardInto(const Tensor& input, GemmEpilogue epilogue, float* out,
       });
 }
 
+void Conv2D::ForwardIntoInt8(const Tensor& input, GemmEpilogue epilogue, float* out,
+                             int64_t ldc, int64_t sample_stride) {
+  const TensorShape out_shape = OutputShape(input.shape());
+  const int row_len = kernel_ * kernel_ * in_channels_;
+  const int k_padded = Int8PaddedK(row_len);
+  const int64_t rows_per_sample = static_cast<int64_t>(out_shape.h) * out_shape.w;
+  const int64_t total_rows = static_cast<int64_t>(out_shape.n) * rows_per_sample;
+  if (total_rows == 0) {
+    return;
+  }
+
+  const Int8PackedFilters& packed = PackedFiltersInt8();
+
+  // Per-tensor activation parameters from the input's observed range (one
+  // fused min/max pass), computed once up front so every parallel chunk
+  // sees identical codes — the forward is deterministic regardless of pool
+  // size. The range always covers 0, so the zero point encodes both real
+  // zeros and the im2col padding taps exactly.
+  float min_v = 0.0f;
+  float max_v = 0.0f;
+  const float* in_data = input.data();
+  MinMaxRange(in_data, input.size(), &min_v, &max_v);
+  const ActivationQuant quant = ComputeActivationQuant(min_v, max_v);
+  const uint8_t pad_code = static_cast<uint8_t>(quant.zero_point);
+
+  // Quantize the input tensor once — NOT the im2col expansion, which holds
+  // kernel^2 copies of every element. The patch rows are then gathered
+  // directly in uint8 (4x less traffic than a float im2col + quantize).
+  quantized_input_.resize(static_cast<size_t>(input.size()));
+  QuantizeActivations(in_data, input.size(), quant, quantized_input_.data());
+
+  const int64_t sample_codes = input.SampleElements();
+  const bool identity_patches = kernel_ == 1 && stride_ == 1 && pad_ == 0;
+  // A 1x1 conv whose channel count is already a multiple of the int8 K
+  // unit needs no gather at all: the quantized input rows ARE the A rows.
+  const bool direct_rows = identity_patches && k_padded == row_len;
+  const float* bias = bias_.value.data();
+  InferenceParallelFor(
+      total_rows, static_cast<int64_t>(row_len) * out_channels_,
+      [&](int64_t begin, int64_t end) {
+        ScratchArena& arena = LocalArena();
+        while (begin < end) {
+          const int n = static_cast<int>(begin / rows_per_sample);
+          const int64_t r0 = begin % rows_per_sample;
+          const int64_t r1 = std::min(rows_per_sample, r0 + (end - begin));
+          const int64_t chunk_rows = r1 - r0;
+          float* c = out + n * sample_stride + r0 * ldc;
+          const uint8_t* sample = quantized_input_.data() + n * sample_codes;
+          const uint8_t* a;
+          if (direct_rows) {
+            a = sample + r0 * row_len;
+          } else {
+            arena.Reset();
+            uint8_t* codes = reinterpret_cast<uint8_t*>(arena.Alloc(
+                (static_cast<size_t>(chunk_rows) * k_padded + sizeof(float) - 1) /
+                sizeof(float)));
+            if (identity_patches) {
+              // Only the per-row K tail needs padding.
+              for (int64_t r = 0; r < chunk_rows; ++r) {
+                uint8_t* dst = codes + r * k_padded;
+                std::memcpy(dst, sample + (r0 + r) * row_len,
+                            static_cast<size_t>(row_len));
+                std::memset(dst + row_len, pad_code,
+                            static_cast<size_t>(k_padded - row_len));
+              }
+            } else {
+              Im2ColRowsU8(sample, input.shape().h, input.shape().w, in_channels_, kernel_,
+                           stride_, pad_, r0, r1, pad_code, k_padded, codes);
+            }
+            a = codes;
+          }
+          GemmInt8PackedEx(chunk_rows, a, packed, quant, bias, epilogue, c, ldc);
+          begin += chunk_rows;
+        }
+      });
+}
+
 Tensor Conv2D::Backward(const Tensor& grad_output) {
+  PCHECK(training_) << Name() << " Backward called in eval mode";
+  PCHECK(precision_ == Precision::kFloat32)
+      << Name() << " int8 is an inference-only path; train in float32";
   const TensorShape& in_shape = last_input_.shape();
   const TensorShape out_shape = OutputShape(in_shape);
   PCHECK(grad_output.shape() == out_shape) << Name();

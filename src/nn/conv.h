@@ -16,6 +16,20 @@
 // GEMM store and writes rows at a caller-chosen stride, which is how
 // Conv->ReLU avoids materializing a pre-activation tensor and FireModule
 // writes its expand branches straight into the concat output.
+//
+// SetPrecision(Precision::kInt8) switches the GEMM forward to the quantized
+// engine: per-output-channel int8 weights are quantized at pack time and
+// cached alongside the float panels (both invalidated by the weight
+// Parameter's version counter), activations are quantized per tensor from
+// the input's observed range, and the dequantize + bias + ReLU epilogue
+// lands in the same GemmEpilogue store — so fused Conv->ReLU and the
+// FireModule concat writes run unchanged in int8. The float path stays the
+// training/backward engine and the parity oracle; Backward in int8 mode
+// fails loudly.
+//
+// In eval mode (SetTrainingMode(false)) the forward skips the deep
+// last_input_ copy — the only backward state this layer retains — and
+// Backward fails loudly.
 #ifndef PERCIVAL_SRC_NN_CONV_H_
 #define PERCIVAL_SRC_NN_CONV_H_
 
@@ -78,11 +92,22 @@ class Conv2D : public Layer {
   void set_use_gemm(bool use_gemm) { use_gemm_ = use_gemm; }
   bool use_gemm() const { return use_gemm_; }
 
+  // Runtime precision mode. kInt8 requires the GEMM path (checked on
+  // Forward) and is inference-only: Backward PCHECKs against it.
+  void SetPrecision(Precision precision) override { precision_ = precision; }
+  Precision precision() const { return precision_; }
+
  private:
   Tensor ForwardNaive(const Tensor& input);
+  void ForwardIntoFloat(const Tensor& input, GemmEpilogue epilogue, float* out, int64_t ldc,
+                        int64_t sample_stride);
+  void ForwardIntoInt8(const Tensor& input, GemmEpilogue epilogue, float* out, int64_t ldc,
+                       int64_t sample_stride);
 
   // Repacks filter panels iff weights_.version moved since the last pack.
   const float* PackedFilters();
+  // Same contract for the quantized panels + per-channel scale metadata.
+  const Int8PackedFilters& PackedFiltersInt8();
 
   int in_channels_;
   int out_channels_;
@@ -91,17 +116,28 @@ class Conv2D : public Layer {
   int pad_;
   std::string label_;
   bool use_gemm_;
+  Precision precision_ = Precision::kFloat32;
   Parameter weights_;
   Parameter bias_;
 
-  // Cached forward state for backward.
+  // Cached forward state for backward (training mode only).
   Tensor last_input_;
   std::vector<float> columns_;  // im2col buffer for one sample (naive/backward)
 
-  // Persistent panel-packed weights for the GEMM path, valid while
-  // packed_version_ == weights_.version (0 = never packed).
+  // Persistent panel-packed weights for the GEMM path, valid while the
+  // matching version equals weights_.version (0 = never packed). The float
+  // and int8 caches version independently, so flipping precision back and
+  // forth never repacks frozen weights.
   std::vector<float> packed_filters_;
   uint64_t packed_version_ = 0;
+  Int8PackedFilters packed_filters_int8_;
+  uint64_t packed_int8_version_ = 0;
+
+  // Whole-input uint8 codes for the quantized forward (quantized once per
+  // forward; the per-chunk patch gather then moves bytes, not floats).
+  // Plain scratch, not backward state — sized on first int8 forward, steady
+  // thereafter.
+  std::vector<uint8_t> quantized_input_;
 };
 
 }  // namespace percival

@@ -64,6 +64,21 @@ void FireModule::set_use_gemm(bool use_gemm) {
   expand3x3_.set_use_gemm(use_gemm);
 }
 
+void FireModule::SetTrainingMode(bool training) {
+  training_ = training;
+  squeeze_.SetTrainingMode(training);
+  expand1x1_.SetTrainingMode(training);
+  expand3x3_.SetTrainingMode(training);
+  squeeze_relu_.SetTrainingMode(training);
+  expand_relu_.SetTrainingMode(training);
+}
+
+void FireModule::SetPrecision(Precision precision) {
+  squeeze_.SetPrecision(precision);
+  expand1x1_.SetPrecision(precision);
+  expand3x3_.SetPrecision(precision);
+}
+
 Tensor FireModule::Forward(const Tensor& input) {
   if (use_fused_ && squeeze_.use_gemm() && expand1x1_.use_gemm() && expand3x3_.use_gemm()) {
     // Squeeze + ReLU in one GEMM pass; the mask Backward() needs is
@@ -113,6 +128,7 @@ Tensor FireModule::ForwardReference(const Tensor& input) {
 }
 
 Tensor FireModule::Backward(const Tensor& grad_output) {
+  PCHECK(training_) << Name() << " Backward called in eval mode";
   Tensor grad_joined = expand_relu_.Backward(grad_output);
 
   const int e = expand_channels_;

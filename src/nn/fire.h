@@ -46,6 +46,16 @@ class FireModule : public Layer {
   // naive oracle (the fused path requires GEMM on every conv).
   void set_use_gemm(bool use_gemm);
 
+  // Propagates to the inner convs and ReLUs. Eval mode additionally skips
+  // the module's two ReLU mask sweeps (the masks are the only backward
+  // state the fused path materializes).
+  void SetTrainingMode(bool training) override;
+
+  // Runs all three inner convolutions at the given precision; with kInt8
+  // the fused path (squeeze ReLU epilogue + direct concat writes) runs
+  // unchanged on the quantized kernels.
+  void SetPrecision(Precision precision) override;
+
   // Disables operator fusion while keeping the GEMM convs: the module runs
   // the layer-by-layer reference path (conv, relu, conv x2, interleave
   // copy, relu). The parity tests pit the fused path against this.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <mutex>
 #include <thread>
@@ -88,11 +89,16 @@ const char* ActiveGemmKernelName() {
   return GemmForceScalar() ? "scalar" : kSimdPathName;
 }
 
+const char* ActiveInt8KernelName() {
+  return GemmForceScalar() ? "scalar" : kSimdInt8PathName;
+}
+
 void LogSimdPathOnce() {
   static std::once_flag logged;
   std::call_once(logged, [] {
     LogLine(std::string("gemm: compiled SIMD path ") + kSimdPathName + ", tile " +
-            std::to_string(kGemmTileM) + "x" + std::to_string(kGemmTileN));
+            std::to_string(kGemmTileM) + "x" + std::to_string(kGemmTileN) +
+            ", int8 path " + kSimdInt8PathName);
   });
 }
 
@@ -132,12 +138,207 @@ void PackFilterPanels(const float* b, int n, int k, float* packed) {
   }
 }
 
+// ------------------------------------------------------- int8 quantization --
+
+ActivationQuant ComputeActivationQuant(float min_value, float max_value) {
+  // The range always covers 0 so im2col zero padding is exactly encodable.
+  min_value = std::min(min_value, 0.0f);
+  max_value = std::max(max_value, 0.0f);
+  ActivationQuant quant;
+  quant.scale = (max_value - min_value) / 255.0f;
+  if (quant.scale <= 0.0f) {
+    quant.scale = 1.0f;  // all-zero tensor: any scale maps 0 -> zero_point
+  }
+  const float zp = std::nearbyint(-min_value / quant.scale);
+  quant.zero_point = static_cast<int32_t>(std::min(255.0f, std::max(0.0f, zp)));
+  return quant;
+}
+
+void QuantizeActivations(const float* src, int64_t count, const ActivationQuant& quant,
+                         uint8_t* dst) {
+  const float inv_scale = 1.0f / quant.scale;
+  int64_t i = 0;
+  // Vectorized body: cvtps_epi32 rounds half-to-even exactly like the
+  // scalar nearbyint tail (both follow the default rounding mode), so the
+  // produced codes are identical regardless of where the vector loop ends.
+  // By construction src/scale + zero_point lands in ~[0, 255.5], so the
+  // int16 pack saturation is unreachable and the u8 pack implements the
+  // [0, 255] clamp.
+#if defined(PERCIVAL_SIMD_AVX512)
+  const __m512 vinv = _mm512_set1_ps(inv_scale);
+  const __m512i vzp = _mm512_set1_epi32(quant.zero_point);
+  const __m512i vzero = _mm512_setzero_si512();
+  for (; i + 16 <= count; i += 16) {
+    const __m512 v = _mm512_mul_ps(_mm512_loadu_ps(src + i), vinv);
+    __m512i q = _mm512_add_epi32(_mm512_cvtps_epi32(v), vzp);
+    q = _mm512_max_epi32(q, vzero);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm512_cvtusepi32_epi8(q));
+  }
+#elif defined(PERCIVAL_SIMD_AVX2)
+  const __m256 vinv = _mm256_set1_ps(inv_scale);
+  const __m256i vzp = _mm256_set1_epi32(quant.zero_point);
+  for (; i + 16 <= count; i += 16) {
+    const __m256i q0 = _mm256_add_epi32(
+        _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(src + i), vinv)), vzp);
+    const __m256i q1 = _mm256_add_epi32(
+        _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(src + i + 8), vinv)), vzp);
+    __m256i p16 = _mm256_packs_epi32(q0, q1);
+    p16 = _mm256_permute4x64_epi64(p16, 0xD8);
+    __m256i p8 = _mm256_packus_epi16(p16, p16);
+    p8 = _mm256_permute4x64_epi64(p8, 0xD8);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm256_castsi256_si128(p8));
+  }
+#elif defined(PERCIVAL_SIMD_SSE2)
+  const __m128 vinv = _mm_set1_ps(inv_scale);
+  const __m128i vzp = _mm_set1_epi32(quant.zero_point);
+  for (; i + 16 <= count; i += 16) {
+    const __m128i q0 =
+        _mm_add_epi32(_mm_cvtps_epi32(_mm_mul_ps(_mm_loadu_ps(src + i), vinv)), vzp);
+    const __m128i q1 =
+        _mm_add_epi32(_mm_cvtps_epi32(_mm_mul_ps(_mm_loadu_ps(src + i + 4), vinv)), vzp);
+    const __m128i q2 =
+        _mm_add_epi32(_mm_cvtps_epi32(_mm_mul_ps(_mm_loadu_ps(src + i + 8), vinv)), vzp);
+    const __m128i q3 =
+        _mm_add_epi32(_mm_cvtps_epi32(_mm_mul_ps(_mm_loadu_ps(src + i + 12), vinv)), vzp);
+    const __m128i p8 =
+        _mm_packus_epi16(_mm_packs_epi32(q0, q1), _mm_packs_epi32(q2, q3));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), p8);
+  }
+#endif
+  for (; i < count; ++i) {
+    const int32_t q =
+        quant.zero_point + static_cast<int32_t>(std::nearbyint(src[i] * inv_scale));
+    dst[i] = static_cast<uint8_t>(std::min(255, std::max(0, q)));
+  }
+}
+
+void MinMaxRange(const float* data, int64_t count, float* min_out, float* max_out) {
+  float min_v = 0.0f;
+  float max_v = 0.0f;
+  int64_t i = 0;
+#if defined(PERCIVAL_SIMD_AVX512)
+  if (count >= 16) {
+    __m512 vmin = _mm512_setzero_ps();
+    __m512 vmax = _mm512_setzero_ps();
+    for (; i + 16 <= count; i += 16) {
+      const __m512 v = _mm512_loadu_ps(data + i);
+      vmin = _mm512_min_ps(vmin, v);
+      vmax = _mm512_max_ps(vmax, v);
+    }
+    min_v = _mm512_reduce_min_ps(vmin);
+    max_v = _mm512_reduce_max_ps(vmax);
+  }
+#elif defined(PERCIVAL_SIMD_AVX2)
+  if (count >= 8) {
+    __m256 vmin = _mm256_setzero_ps();
+    __m256 vmax = _mm256_setzero_ps();
+    for (; i + 8 <= count; i += 8) {
+      const __m256 v = _mm256_loadu_ps(data + i);
+      vmin = _mm256_min_ps(vmin, v);
+      vmax = _mm256_max_ps(vmax, v);
+    }
+    float lanes[8];
+    _mm256_storeu_ps(lanes, vmin);
+    for (float lane : lanes) {
+      min_v = std::min(min_v, lane);
+    }
+    _mm256_storeu_ps(lanes, vmax);
+    for (float lane : lanes) {
+      max_v = std::max(max_v, lane);
+    }
+  }
+#elif defined(PERCIVAL_SIMD_SSE2)
+  if (count >= 4) {
+    __m128 vmin = _mm_setzero_ps();
+    __m128 vmax = _mm_setzero_ps();
+    for (; i + 4 <= count; i += 4) {
+      const __m128 v = _mm_loadu_ps(data + i);
+      vmin = _mm_min_ps(vmin, v);
+      vmax = _mm_max_ps(vmax, v);
+    }
+    float lanes[4];
+    _mm_storeu_ps(lanes, vmin);
+    for (float lane : lanes) {
+      min_v = std::min(min_v, lane);
+    }
+    _mm_storeu_ps(lanes, vmax);
+    for (float lane : lanes) {
+      max_v = std::max(max_v, lane);
+    }
+  }
+#endif
+  for (; i < count; ++i) {
+    min_v = std::min(min_v, data[i]);
+    max_v = std::max(max_v, data[i]);
+  }
+  *min_out = min_v;
+  *max_out = max_v;
+}
+
+size_t PackedPanelBytesInt8(int n, int k) {
+  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  return static_cast<size_t>(panels) * static_cast<size_t>(Int8PaddedK(k)) * kGemmTileN;
+}
+
+void PackFilterPanelsInt8(const float* b, int n, int k, Int8PackedFilters* packed) {
+  PCHECK_GT(n, 0);
+  PCHECK_GT(k, 0);
+  packed->n = n;
+  packed->k = k;
+  packed->k_padded = Int8PaddedK(k);
+  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  const int groups = packed->k_padded / kInt8KUnit;
+  packed->data.assign(PackedPanelBytesInt8(n, k), 0);
+  packed->scales.assign(static_cast<size_t>(panels) * kGemmTileN, 0.0f);
+  packed->row_sums.assign(static_cast<size_t>(panels) * kGemmTileN, 0);
+
+  // Per-output-channel symmetric quantization, then the 4-K interleave:
+  // panel-major, K-group, channel, 4 consecutive K bytes.
+  std::vector<int8_t> q_row(static_cast<size_t>(packed->k_padded), 0);
+  for (int oc = 0; oc < n; ++oc) {
+    const float* row = b + static_cast<int64_t>(oc) * k;
+    float amax = 0.0f;
+    for (int kk = 0; kk < k; ++kk) {
+      amax = std::max(amax, std::abs(row[kk]));
+    }
+    const float scale = amax > 0.0f ? amax / static_cast<float>(kInt8WeightMax) : 1.0f;
+    const float inv_scale = 1.0f / scale;
+    int32_t row_sum = 0;
+    std::fill(q_row.begin(), q_row.end(), static_cast<int8_t>(0));
+    for (int kk = 0; kk < k; ++kk) {
+      const int32_t q = static_cast<int32_t>(std::nearbyint(row[kk] * inv_scale));
+      const int32_t clamped = std::min(kInt8WeightMax, std::max(-kInt8WeightMax, q));
+      q_row[static_cast<size_t>(kk)] = static_cast<int8_t>(clamped);
+      row_sum += clamped;
+    }
+    packed->scales[static_cast<size_t>(oc)] = scale;
+    packed->row_sums[static_cast<size_t>(oc)] = row_sum;
+
+    const int panel = oc / kGemmTileN;
+    const int j = oc % kGemmTileN;
+    int8_t* panel_base =
+        packed->data.data() +
+        static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
+    for (int g = 0; g < groups; ++g) {
+      int8_t* dst = panel_base + (static_cast<size_t>(g) * kGemmTileN + j) * kInt8KUnit;
+      for (int t = 0; t < kInt8KUnit; ++t) {
+        dst[t] = q_row[static_cast<size_t>(g) * kInt8KUnit + t];
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------------ micro-kernel --
 
 namespace {
 
+#if defined(PERCIVAL_SIMD_AVX512)
+static_assert(kGemmTileM == 4 && kGemmTileN == 32,
+              "the AVX-512 micro-kernels are written for a 4x32 tile");
+#else
 static_assert(kGemmTileM == 4 && kGemmTileN == 16,
-              "the intrinsic micro-kernels are written for a 4x16 tile");
+              "the SSE2/AVX2 micro-kernels are written for a 4x16 tile");
+#endif
 
 // Scalar 4x16 tile kernel. Always compiled: it is the fallback on targets
 // without SSE2 and the oracle the parity tests (and SetGemmForceScalar)
@@ -248,7 +449,90 @@ void GemmPackedExScalar(int64_t m, int n, int k, const float* a, const float* pa
   TileRowsScalar(0, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
 }
 
-#if defined(PERCIVAL_SIMD_AVX2)
+#if defined(PERCIVAL_SIMD_AVX512)
+
+// 4x32 tile: four broadcast A values FMA into 8 zmm accumulators per K step
+// (2 zmm per row). The register budget mirrors the AVX2 4x16 tile — 8
+// accumulators + 2 panel loads + 1 broadcast — but each lane is twice as
+// wide, so one tile covers a full 32-channel panel.
+inline void Tile4x32Avx512(int k, const float* a0, const float* a1, const float* a2,
+                           const float* a3, const float* panel, __m512 acc[8]) {
+  for (int kk = 0; kk < k; ++kk) {
+    const float* bp = panel + static_cast<size_t>(kk) * kGemmTileN;
+    const __m512 b0 = _mm512_loadu_ps(bp);
+    const __m512 b1 = _mm512_loadu_ps(bp + 16);
+    __m512 v = _mm512_set1_ps(a0[kk]);
+    acc[0] = _mm512_fmadd_ps(v, b0, acc[0]);
+    acc[1] = _mm512_fmadd_ps(v, b1, acc[1]);
+    v = _mm512_set1_ps(a1[kk]);
+    acc[2] = _mm512_fmadd_ps(v, b0, acc[2]);
+    acc[3] = _mm512_fmadd_ps(v, b1, acc[3]);
+    v = _mm512_set1_ps(a2[kk]);
+    acc[4] = _mm512_fmadd_ps(v, b0, acc[4]);
+    acc[5] = _mm512_fmadd_ps(v, b1, acc[5]);
+    v = _mm512_set1_ps(a3[kk]);
+    acc[6] = _mm512_fmadd_ps(v, b0, acc[6]);
+    acc[7] = _mm512_fmadd_ps(v, b1, acc[7]);
+  }
+}
+
+inline void StoreRowAvx512(__m512 lo, __m512 hi, const float* bias32, GemmEpilogue ep,
+                           float* dst) {
+  if (ep != GemmEpilogue::kNone && bias32 != nullptr) {
+    lo = _mm512_add_ps(lo, _mm512_loadu_ps(bias32));
+    hi = _mm512_add_ps(hi, _mm512_loadu_ps(bias32 + 16));
+  }
+  if (ep == GemmEpilogue::kBiasRelu) {
+    const __m512 zero = _mm512_setzero_ps();
+    lo = _mm512_max_ps(lo, zero);
+    hi = _mm512_max_ps(hi, zero);
+  }
+  _mm512_storeu_ps(dst, lo);
+  _mm512_storeu_ps(dst + 16, hi);
+}
+
+void GemmPackedExAvx512(int64_t m, int n, int k, const float* a, const float* packed_b,
+                        const float* bias, GemmEpilogue ep, float* c, int64_t ldc) {
+  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  int64_t row = 0;
+  for (; row + kGemmTileM <= m; row += kGemmTileM) {
+    const float* a0 = a + row * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c_row = c + row * ldc;
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * kGemmTileN;
+      const int width = std::min(kGemmTileN, n - n0);
+      const float* pb = packed_b + static_cast<size_t>(panel) * k * kGemmTileN;
+      __m512 acc[8] = {_mm512_setzero_ps(), _mm512_setzero_ps(), _mm512_setzero_ps(),
+                       _mm512_setzero_ps(), _mm512_setzero_ps(), _mm512_setzero_ps(),
+                       _mm512_setzero_ps(), _mm512_setzero_ps()};
+      // The packed panel is zero-padded to the full tile width, so the
+      // vector K loop is safe even for partial panels; only the store needs
+      // width handling.
+      Tile4x32Avx512(k, a0, a1, a2, a3, pb, acc);
+      if (width == kGemmTileN) {
+        const float* b32 = bias != nullptr ? bias + n0 : nullptr;
+        StoreRowAvx512(acc[0], acc[1], b32, ep, c_row + n0);
+        StoreRowAvx512(acc[2], acc[3], b32, ep, c_row + ldc + n0);
+        StoreRowAvx512(acc[4], acc[5], b32, ep, c_row + 2 * ldc + n0);
+        StoreRowAvx512(acc[6], acc[7], b32, ep, c_row + 3 * ldc + n0);
+      } else {
+        float buf[kGemmTileM][kGemmTileN];
+        for (int i = 0; i < kGemmTileM; ++i) {
+          _mm512_storeu_ps(buf[i], acc[2 * i]);
+          _mm512_storeu_ps(buf[i] + 16, acc[2 * i + 1]);
+          StoreTileRow(buf[i], bias, ep, n0, width, c_row + i * ldc);
+        }
+      }
+    }
+  }
+  // Remainder rows (m % 4) across every panel.
+  TileRowsScalar(row, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
+}
+
+#elif defined(PERCIVAL_SIMD_AVX2)
 
 // 4x16 tile: four broadcast A values FMA into 8 ymm accumulators per K step
 // (2 ymm per row). 8 accumulators + 2 panel loads + 1 broadcast = 11 of the
@@ -419,12 +703,305 @@ void GemmPackedExSse2(int64_t m, int n, int k, const float* a, const float* pack
 
 #endif  // SIMD variant
 
+// ------------------------------------------------------- int8 micro-kernel --
+
+// Dequantizing store of one tile row of int32 accumulators:
+// c[j] = epilogue(a_scale * w_scale[j] * (acc[j] - zp * row_sum[j]) + bias).
+// `scales` / `row_sums` are the panel-padded arrays indexed from n0.
+void StoreInt8TileRow(const int32_t acc[kGemmTileN], const Int8PackedFilters& packed,
+                      const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
+                      int n0, int width, float* c_row) {
+  const float* scales = packed.scales.data();
+  const int32_t* row_sums = packed.row_sums.data();
+  for (int j = 0; j < width; ++j) {
+    const int32_t corrected = acc[j] - quant.zero_point * row_sums[n0 + j];
+    float v = quant.scale * scales[n0 + j] * static_cast<float>(corrected);
+    if (ep != GemmEpilogue::kNone && bias != nullptr) {
+      v += bias[n0 + j];
+    }
+    if (ep == GemmEpilogue::kBiasRelu && v < 0.0f) {
+      v = 0.0f;
+    }
+    c_row[n0 + j] = v;
+  }
+}
+
+// Scalar int8 tile kernel over the interleaved panel layout. Always
+// compiled: the oracle for the maddubs kernels (integer accumulation is
+// exact, so intrinsic and scalar paths agree to the last epilogue ulp) and
+// the fallback for builds without SSSE3.
+void Int8TileRowsScalar(int64_t row_begin, int64_t row_end, const uint8_t* a,
+                        const Int8PackedFilters& packed, const ActivationQuant& quant,
+                        const float* bias, GemmEpilogue ep, float* c, int64_t ldc) {
+  const int n = packed.n;
+  const int k_padded = packed.k_padded;
+  const int groups = k_padded / kInt8KUnit;
+  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  int64_t row = row_begin;
+  for (; row + kGemmTileM <= row_end; row += kGemmTileM) {
+    const uint8_t* rows[kGemmTileM];
+    for (int i = 0; i < kGemmTileM; ++i) {
+      rows[i] = a + (row + i) * k_padded;
+    }
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * kGemmTileN;
+      const int width = std::min(kGemmTileN, n - n0);
+      const int8_t* pb = packed.data.data() +
+                         static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
+      int32_t acc[kGemmTileM][kGemmTileN] = {};
+      for (int g = 0; g < groups; ++g) {
+        const int8_t* group = pb + static_cast<size_t>(g) * kGemmTileN * kInt8KUnit;
+        for (int i = 0; i < kGemmTileM; ++i) {
+          const uint8_t* ar = rows[i] + g * kInt8KUnit;
+          for (int j = 0; j < kGemmTileN; ++j) {
+            const int8_t* bj = group + j * kInt8KUnit;
+            acc[i][j] += static_cast<int32_t>(ar[0]) * bj[0] +
+                         static_cast<int32_t>(ar[1]) * bj[1] +
+                         static_cast<int32_t>(ar[2]) * bj[2] +
+                         static_cast<int32_t>(ar[3]) * bj[3];
+          }
+        }
+      }
+      for (int i = 0; i < kGemmTileM; ++i) {
+        StoreInt8TileRow(acc[i], packed, quant, bias, ep, n0, width, c + (row + i) * ldc);
+      }
+    }
+  }
+  for (; row < row_end; ++row) {
+    const uint8_t* ar = a + row * k_padded;
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * kGemmTileN;
+      const int width = std::min(kGemmTileN, n - n0);
+      const int8_t* pb = packed.data.data() +
+                         static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
+      int32_t acc[kGemmTileN] = {};
+      for (int g = 0; g < groups; ++g) {
+        const int8_t* group = pb + static_cast<size_t>(g) * kGemmTileN * kInt8KUnit;
+        const uint8_t* ag = ar + g * kInt8KUnit;
+        for (int j = 0; j < kGemmTileN; ++j) {
+          const int8_t* bj = group + j * kInt8KUnit;
+          acc[j] += static_cast<int32_t>(ag[0]) * bj[0] +
+                    static_cast<int32_t>(ag[1]) * bj[1] +
+                    static_cast<int32_t>(ag[2]) * bj[2] +
+                    static_cast<int32_t>(ag[3]) * bj[3];
+        }
+      }
+      StoreInt8TileRow(acc, packed, quant, bias, ep, n0, width, c + row * ldc);
+    }
+  }
+}
+
+void GemmInt8PackedExScalar(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
+                            const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
+                            float* c, int64_t ldc) {
+  Int8TileRowsScalar(0, m, a, packed, quant, bias, ep, c, ldc);
+}
+
+#if !defined(PERCIVAL_SIMD_INT8_SCALAR)
+// Broadcast of 4 consecutive uint8 activation codes as one 32-bit lane
+// pattern; rows of the quantized A matrix are k_padded (multiple of 4)
+// bytes, so the load is always 4-byte aligned and in bounds.
+inline int32_t LoadKGroup(const uint8_t* p) {
+  int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+#endif
+
+#if defined(PERCIVAL_SIMD_INT8_AVX512)
+
+// 4 rows x one 32-channel panel. Per K group: 2 zmm panel loads (32
+// channels x 4 bytes), one 4-byte broadcast per row; maddubs pairs
+// u8*s8 into 16-bit, madd(ones) finishes the 4-K reduction into int32 —
+// lane c of the result is exactly channel c's 4-tap dot product. 8 zmm
+// accumulators, same budget as the float tile.
+void GemmInt8PackedExAvx512(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
+                            const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
+                            float* c, int64_t ldc) {
+  const int n = packed.n;
+  const int k_padded = packed.k_padded;
+  const int groups = k_padded / kInt8KUnit;
+  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  const __m512i ones = _mm512_set1_epi16(1);
+  int64_t row = 0;
+  for (; row + kGemmTileM <= m; row += kGemmTileM) {
+    const uint8_t* a0 = a + row * k_padded;
+    const uint8_t* a1 = a0 + k_padded;
+    const uint8_t* a2 = a1 + k_padded;
+    const uint8_t* a3 = a2 + k_padded;
+    float* c_row = c + row * ldc;
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * kGemmTileN;
+      const int width = std::min(kGemmTileN, n - n0);
+      const int8_t* pb = packed.data.data() +
+                         static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
+      __m512i acc[8] = {_mm512_setzero_si512(), _mm512_setzero_si512(),
+                        _mm512_setzero_si512(), _mm512_setzero_si512(),
+                        _mm512_setzero_si512(), _mm512_setzero_si512(),
+                        _mm512_setzero_si512(), _mm512_setzero_si512()};
+      for (int g = 0; g < groups; ++g) {
+        const int8_t* group = pb + static_cast<size_t>(g) * kGemmTileN * kInt8KUnit;
+        const __m512i b0 = _mm512_loadu_si512(group);
+        const __m512i b1 = _mm512_loadu_si512(group + 64);
+        __m512i va = _mm512_set1_epi32(LoadKGroup(a0 + g * kInt8KUnit));
+        acc[0] = _mm512_add_epi32(acc[0], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b0), ones));
+        acc[1] = _mm512_add_epi32(acc[1], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b1), ones));
+        va = _mm512_set1_epi32(LoadKGroup(a1 + g * kInt8KUnit));
+        acc[2] = _mm512_add_epi32(acc[2], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b0), ones));
+        acc[3] = _mm512_add_epi32(acc[3], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b1), ones));
+        va = _mm512_set1_epi32(LoadKGroup(a2 + g * kInt8KUnit));
+        acc[4] = _mm512_add_epi32(acc[4], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b0), ones));
+        acc[5] = _mm512_add_epi32(acc[5], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b1), ones));
+        va = _mm512_set1_epi32(LoadKGroup(a3 + g * kInt8KUnit));
+        acc[6] = _mm512_add_epi32(acc[6], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b0), ones));
+        acc[7] = _mm512_add_epi32(acc[7], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b1), ones));
+      }
+      int32_t buf[kGemmTileM][kGemmTileN];
+      for (int i = 0; i < kGemmTileM; ++i) {
+        _mm512_storeu_si512(buf[i], acc[2 * i]);
+        _mm512_storeu_si512(buf[i] + 16, acc[2 * i + 1]);
+        StoreInt8TileRow(buf[i], packed, quant, bias, ep, n0, width, c_row + i * ldc);
+      }
+    }
+  }
+  Int8TileRowsScalar(row, m, a, packed, quant, bias, ep, c, ldc);
+}
+
+#elif defined(PERCIVAL_SIMD_INT8_AVX2)
+
+// 4 rows x one 16-channel panel, 256-bit maddubs/madd: per K group, b0
+// covers channels 0..7 and b1 channels 8..15 (4 bytes each); lane c of
+// madd(maddubs(va, b), ones) is channel c's exact 4-tap dot product.
+void GemmInt8PackedExAvx2(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
+                          const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
+                          float* c, int64_t ldc) {
+  const int n = packed.n;
+  const int k_padded = packed.k_padded;
+  const int groups = k_padded / kInt8KUnit;
+  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  const __m256i ones = _mm256_set1_epi16(1);
+  int64_t row = 0;
+  for (; row + kGemmTileM <= m; row += kGemmTileM) {
+    const uint8_t* a0 = a + row * k_padded;
+    const uint8_t* a1 = a0 + k_padded;
+    const uint8_t* a2 = a1 + k_padded;
+    const uint8_t* a3 = a2 + k_padded;
+    float* c_row = c + row * ldc;
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * kGemmTileN;
+      const int width = std::min(kGemmTileN, n - n0);
+      const int8_t* pb = packed.data.data() +
+                         static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
+      __m256i acc[8] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
+                        _mm256_setzero_si256(), _mm256_setzero_si256(),
+                        _mm256_setzero_si256(), _mm256_setzero_si256(),
+                        _mm256_setzero_si256(), _mm256_setzero_si256()};
+      for (int g = 0; g < groups; ++g) {
+        const int8_t* group = pb + static_cast<size_t>(g) * kGemmTileN * kInt8KUnit;
+        const __m256i b0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(group));
+        const __m256i b1 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(group + 32));
+        __m256i va = _mm256_set1_epi32(LoadKGroup(a0 + g * kInt8KUnit));
+        acc[0] = _mm256_add_epi32(acc[0], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b0), ones));
+        acc[1] = _mm256_add_epi32(acc[1], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b1), ones));
+        va = _mm256_set1_epi32(LoadKGroup(a1 + g * kInt8KUnit));
+        acc[2] = _mm256_add_epi32(acc[2], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b0), ones));
+        acc[3] = _mm256_add_epi32(acc[3], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b1), ones));
+        va = _mm256_set1_epi32(LoadKGroup(a2 + g * kInt8KUnit));
+        acc[4] = _mm256_add_epi32(acc[4], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b0), ones));
+        acc[5] = _mm256_add_epi32(acc[5], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b1), ones));
+        va = _mm256_set1_epi32(LoadKGroup(a3 + g * kInt8KUnit));
+        acc[6] = _mm256_add_epi32(acc[6], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b0), ones));
+        acc[7] = _mm256_add_epi32(acc[7], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b1), ones));
+      }
+      int32_t buf[kGemmTileM][kGemmTileN];
+      for (int i = 0; i < kGemmTileM; ++i) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(buf[i]), acc[2 * i]);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(buf[i] + 8), acc[2 * i + 1]);
+        StoreInt8TileRow(buf[i], packed, quant, bias, ep, n0, width, c_row + i * ldc);
+      }
+    }
+  }
+  Int8TileRowsScalar(row, m, a, packed, quant, bias, ep, c, ldc);
+}
+
+#elif defined(PERCIVAL_SIMD_INT8_SSSE3)
+
+// 128-bit half of the AVX2 kernel: each 8-channel half of the panel is two
+// xmm loads (channels jb..jb+3 and jb+4..jb+7), processed in separate jb
+// passes so the working set stays at 8 xmm accumulators.
+void GemmInt8PackedExSsse3(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
+                           const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
+                           float* c, int64_t ldc) {
+  const int n = packed.n;
+  const int k_padded = packed.k_padded;
+  const int groups = k_padded / kInt8KUnit;
+  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  const __m128i ones = _mm_set1_epi16(1);
+  int64_t row = 0;
+  for (; row + kGemmTileM <= m; row += kGemmTileM) {
+    const uint8_t* a0 = a + row * k_padded;
+    const uint8_t* a1 = a0 + k_padded;
+    const uint8_t* a2 = a1 + k_padded;
+    const uint8_t* a3 = a2 + k_padded;
+    float* c_row = c + row * ldc;
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * kGemmTileN;
+      const int width = std::min(kGemmTileN, n - n0);
+      const int8_t* pb = packed.data.data() +
+                         static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
+      for (int jb = 0; jb < kGemmTileN; jb += 8) {
+        if (jb >= width) {
+          break;  // fully in the zero-padded tail, nothing to store
+        }
+        __m128i acc[8] = {_mm_setzero_si128(), _mm_setzero_si128(), _mm_setzero_si128(),
+                          _mm_setzero_si128(), _mm_setzero_si128(), _mm_setzero_si128(),
+                          _mm_setzero_si128(), _mm_setzero_si128()};
+        for (int g = 0; g < groups; ++g) {
+          const int8_t* group =
+              pb + static_cast<size_t>(g) * kGemmTileN * kInt8KUnit + jb * kInt8KUnit;
+          const __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(group));
+          const __m128i b1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(group + 16));
+          __m128i va = _mm_set1_epi32(LoadKGroup(a0 + g * kInt8KUnit));
+          acc[0] = _mm_add_epi32(acc[0], _mm_madd_epi16(_mm_maddubs_epi16(va, b0), ones));
+          acc[1] = _mm_add_epi32(acc[1], _mm_madd_epi16(_mm_maddubs_epi16(va, b1), ones));
+          va = _mm_set1_epi32(LoadKGroup(a1 + g * kInt8KUnit));
+          acc[2] = _mm_add_epi32(acc[2], _mm_madd_epi16(_mm_maddubs_epi16(va, b0), ones));
+          acc[3] = _mm_add_epi32(acc[3], _mm_madd_epi16(_mm_maddubs_epi16(va, b1), ones));
+          va = _mm_set1_epi32(LoadKGroup(a2 + g * kInt8KUnit));
+          acc[4] = _mm_add_epi32(acc[4], _mm_madd_epi16(_mm_maddubs_epi16(va, b0), ones));
+          acc[5] = _mm_add_epi32(acc[5], _mm_madd_epi16(_mm_maddubs_epi16(va, b1), ones));
+          va = _mm_set1_epi32(LoadKGroup(a3 + g * kInt8KUnit));
+          acc[6] = _mm_add_epi32(acc[6], _mm_madd_epi16(_mm_maddubs_epi16(va, b0), ones));
+          acc[7] = _mm_add_epi32(acc[7], _mm_madd_epi16(_mm_maddubs_epi16(va, b1), ones));
+        }
+        int32_t buf[kGemmTileM][8];
+        for (int i = 0; i < kGemmTileM; ++i) {
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(buf[i]), acc[2 * i]);
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(buf[i] + 4), acc[2 * i + 1]);
+          StoreInt8TileRow(buf[i], packed, quant, bias, ep, n0 + jb,
+                           std::min(8, width - jb), c_row + i * ldc);
+        }
+      }
+    }
+  }
+  Int8TileRowsScalar(row, m, a, packed, quant, bias, ep, c, ldc);
+}
+
+#endif  // int8 SIMD variant
+
 }  // namespace
 
 void GemmPackedEx(int64_t m, int n, int k, const float* a, const float* packed_b,
                   const float* bias, GemmEpilogue epilogue, float* c, int64_t ldc) {
   PCHECK_GE(ldc, n);
-#if defined(PERCIVAL_SIMD_AVX2)
+#if defined(PERCIVAL_SIMD_AVX512)
+  if (!GemmForceScalar()) {
+    GemmPackedExAvx512(m, n, k, a, packed_b, bias, epilogue, c, ldc);
+    return;
+  }
+#elif defined(PERCIVAL_SIMD_AVX2)
   if (!GemmForceScalar()) {
     GemmPackedExAvx2(m, n, k, a, packed_b, bias, epilogue, c, ldc);
     return;
@@ -441,6 +1018,30 @@ void GemmPackedEx(int64_t m, int n, int k, const float* a, const float* packed_b
 void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b,
                   const float* bias, float* c) {
   GemmPackedEx(m, n, k, a, packed_b, bias, GemmEpilogue::kBias, c, n);
+}
+
+void GemmInt8PackedEx(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
+                      const ActivationQuant& quant, const float* bias, GemmEpilogue epilogue,
+                      float* c, int64_t ldc) {
+  PCHECK_GE(ldc, packed.n);
+  PCHECK_EQ(packed.k_padded % kInt8KUnit, 0);
+#if defined(PERCIVAL_SIMD_INT8_AVX512)
+  if (!GemmForceScalar()) {
+    GemmInt8PackedExAvx512(m, a, packed, quant, bias, epilogue, c, ldc);
+    return;
+  }
+#elif defined(PERCIVAL_SIMD_INT8_AVX2)
+  if (!GemmForceScalar()) {
+    GemmInt8PackedExAvx2(m, a, packed, quant, bias, epilogue, c, ldc);
+    return;
+  }
+#elif defined(PERCIVAL_SIMD_INT8_SSSE3)
+  if (!GemmForceScalar()) {
+    GemmInt8PackedExSsse3(m, a, packed, quant, bias, epilogue, c, ldc);
+    return;
+  }
+#endif
+  GemmInt8PackedExScalar(m, a, packed, quant, bias, epilogue, c, ldc);
 }
 
 void InferenceParallelFor(int64_t total, int64_t macs_per_item,

@@ -28,6 +28,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/nn/simd.h"
+
 namespace percival {
 
 class ThreadPool;
@@ -35,9 +37,14 @@ class ThreadPool;
 // GEMM register-tile geometry. kTileM x kTileN accumulators stay hot
 // through the K loop; 4x16 measured fastest of the shapes tried on the
 // baseline x86-64 target (4x8, 8x8, 8x16, 4x32 all trailed it in the conv
-// micro-bench).
+// micro-bench). An AVX-512 build widens the panel to 4x32 — two zmm
+// accumulators per row, the same register budget as the AVX2 4x16 tile.
 inline constexpr int kGemmTileM = 4;
+#if defined(PERCIVAL_SIMD_AVX512)
+inline constexpr int kGemmTileN = 32;
+#else
 inline constexpr int kGemmTileN = 16;
+#endif
 
 // Bump allocator for transient kernel buffers. Alloc() never invalidates
 // previously returned pointers (full blocks are retired, not reallocated);
@@ -102,9 +109,13 @@ bool GemmEnabledByDefault();
 void SetGemmForceScalar(bool force);
 bool GemmForceScalar();
 
-// Name of the kernel GemmPackedEx dispatches to right now ("avx2+fma",
-// "sse2", or "scalar"; force-scalar reports "scalar").
+// Name of the kernel GemmPackedEx dispatches to right now ("avx512",
+// "avx2+fma", "sse2", or "scalar"; force-scalar reports "scalar").
 const char* ActiveGemmKernelName();
+
+// Same for the int8 kernel GemmInt8PackedEx dispatches to
+// ("avx512bw-maddubs", "avx2-maddubs", "ssse3-maddubs", or "scalar").
+const char* ActiveInt8KernelName();
 
 // Logs the compiled SIMD path + tile geometry once per process (startup
 // breadcrumb for bench logs and deployments).
@@ -134,6 +145,81 @@ void GemmPackedEx(int64_t m, int n, int k, const float* a, const float* packed_b
 // Compatibility wrapper: dense C (ldc == n), bias-only epilogue.
 void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b,
                   const float* bias, float* c);
+
+// ------------------------------------------------- int8 quantized engine --
+//
+// The quantized path computes C = epilogue(s_a * s_w[j] * (Q_A * Q_B^T -
+// zp * rowsum[j]) + bias), where Q_A holds per-tensor asymmetric uint8
+// activations (a ~= s_a * (q - zp)) and Q_B per-output-channel symmetric
+// int8 weights (w ~= s_w[j] * q). Accumulation is exact int32; dequantize +
+// bias + ReLU fold into the store, so the int8 path reuses the same
+// GemmEpilogue contract as the float engine.
+//
+// Weight codes are clamped to [-kInt8WeightMax, kInt8WeightMax] = [-64, 64]
+// rather than the full int8 range: the maddubs kernels accumulate via
+// pmaddubsw, whose 16-bit pairwise add saturates, and 64 is the largest
+// magnitude that provably cannot saturate (2 * 255 * 64 = 32640 <= 32767;
+// 65 would admit 33150). Per-channel scales absorb most of the lost bit;
+// the clamp is part of the quantization contract so every kernel tier (and
+// every host) produces identical codes.
+inline constexpr int kInt8WeightMax = 64;
+
+// K-dimension packing unit of the int8 panels: pmaddubsw + pmaddwd reduce
+// four u8*s8 products into one int32 lane, so K is zero-padded to a
+// multiple of 4 and the panel interleaves 4 consecutive K bytes per
+// channel: packed[panel][k_group][j][0..3].
+inline constexpr int kInt8KUnit = 4;
+
+inline int Int8PaddedK(int k) { return (k + kInt8KUnit - 1) / kInt8KUnit * kInt8KUnit; }
+
+// Per-tensor asymmetric uint8 activation quantization parameters. The
+// representable range always includes 0 (zero padding from im2col must be
+// exactly encodable), so zero_point lands in [0, 255].
+struct ActivationQuant {
+  float scale = 1.0f;
+  int32_t zero_point = 0;
+};
+
+// Derives quantization parameters from an observed activation range.
+ActivationQuant ComputeActivationQuant(float min_value, float max_value);
+
+// Vectorized single-pass min/max over `count` floats (the per-forward
+// activation range scan). Results are exact — min/max reductions are
+// order-independent — and *min_out/*max_out start from 0, matching the
+// quantization contract that the range covers 0.
+void MinMaxRange(const float* data, int64_t count, float* min_out, float* max_out);
+
+// dst[i] = clamp(round(src[i] / scale) + zero_point, 0, 255).
+void QuantizeActivations(const float* src, int64_t count, const ActivationQuant& quant,
+                         uint8_t* dst);
+
+// Panel-packed int8 filters plus the per-channel dequantization metadata
+// the epilogue needs. `scales` and `row_sums` are padded to the full panel
+// width (panels * kGemmTileN) so the vector epilogue loads never run past
+// the end; entries beyond `n` are zero.
+struct Int8PackedFilters {
+  std::vector<int8_t> data;
+  std::vector<float> scales;     // w ~= scales[j] * q_w[j][k]
+  std::vector<int32_t> row_sums; // sum_k q_w[j][k], for the zero-point term
+  int n = 0;
+  int k = 0;
+  int k_padded = 0;
+};
+
+size_t PackedPanelBytesInt8(int n, int k);
+
+// Quantizes row-major float B[N x K] per output channel and packs it into
+// the interleaved int8 panel layout described above.
+void PackFilterPanelsInt8(const float* b, int n, int k, Int8PackedFilters* packed);
+
+// Computes C = epilogue(dequant(Q_A * packed) + bias) over pre-quantized A
+// rows. Each A row holds `packed.k_padded` uint8 codes (zero-padded K tail;
+// the pad value is irrelevant because the packed B tail is zero). Output
+// row i starts at c + i*ldc. Runs on the calling thread; honors
+// SetGemmForceScalar like the float engine.
+void GemmInt8PackedEx(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
+                      const ActivationQuant& quant, const float* bias, GemmEpilogue epilogue,
+                      float* c, int64_t ldc);
 
 // Convenience one-shot GEMM: packs `b` (row-major [N x K]) into the local
 // arena and multiplies. When `pool` is non-null and the problem is large

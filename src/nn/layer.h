@@ -17,6 +17,15 @@
 
 namespace percival {
 
+// Numeric precision of a layer's inference forward pass. kInt8 runs the
+// quantized GEMM engine (per-channel int8 weights, per-tensor uint8
+// activations, float dequantized outputs); training and backward always use
+// float32, which also serves as the parity oracle for the quantized path.
+enum class Precision {
+  kFloat32,
+  kInt8,
+};
+
 // A trainable weight with its gradient accumulator.
 struct Parameter {
   std::string name;
@@ -37,6 +46,18 @@ class Layer {
 
   virtual Tensor Forward(const Tensor& input) = 0;
   virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  // Train/eval switch. In eval mode (training == false) Forward must not
+  // retain backward state — no input copies, no activation masks, no argmax
+  // indices — and Backward fails loudly. Outputs are identical in both
+  // modes; eval only elides the bookkeeping a frozen deployment never uses.
+  // Layers with children must override and propagate.
+  virtual void SetTrainingMode(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  // Selects the inference precision. Layers without a quantized path ignore
+  // this; Conv2D (and containers holding convs) honor it on Forward.
+  virtual void SetPrecision(Precision precision) { (void)precision; }
 
   // Human-readable layer description, e.g. "conv3x3/2 3->64".
   virtual std::string Name() const = 0;
@@ -64,6 +85,9 @@ class Layer {
     }
     return total;
   }
+
+ protected:
+  bool training_ = true;
 };
 
 }  // namespace percival

@@ -37,11 +37,28 @@ Tensor Network::ForwardUpTo(const Tensor& input, size_t layer_count) {
   return current;
 }
 
+void Network::SetTrainingMode(bool training) {
+  training_ = training;
+  for (auto& layer : layers_) {
+    layer->SetTrainingMode(training);
+  }
+}
+
+void Network::SetPrecision(Precision precision) {
+  precision_ = precision;
+  for (auto& layer : layers_) {
+    layer->SetPrecision(precision);
+  }
+  planned_ = false;  // int8 forwards stage activation codes in the arena
+}
+
 Tensor Network::Backward(const Tensor& grad_output) {
   return BackwardFrom(grad_output, 0);
 }
 
 Tensor Network::BackwardFrom(const Tensor& grad_output, size_t layer_index) {
+  PCHECK(training_) << "Network::Backward called in eval mode; call "
+                       "SetTrainingMode(true) before training";
   Tensor current = grad_output;
   for (size_t i = layers_.size(); i > layer_index; --i) {
     current = layers_[i - 1]->Backward(current);

@@ -26,6 +26,9 @@ class Network {
   }
 
   void AddLayer(std::unique_ptr<Layer> layer) {
+    // Late-added layers inherit the network's current mode and precision.
+    layer->SetTrainingMode(training_);
+    layer->SetPrecision(precision_);
     layers_.push_back(std::move(layer));
     planned_ = false;  // the forward plan no longer covers this layer
   }
@@ -45,6 +48,19 @@ class Network {
   // Runs a forward pass but stops after `layer_count` layers; used by
   // Grad-CAM to obtain intermediate feature maps.
   Tensor ForwardUpTo(const Tensor& input, size_t layer_count);
+
+  // Train/eval switch for every layer. In eval mode forwards retain no
+  // backward state (no input copies, ReLU masks, or pool argmax capture)
+  // and Backward/BackwardFrom fail loudly. Networks start in training mode;
+  // deployment wrappers (AdClassifier) switch to eval on construction.
+  void SetTrainingMode(bool training);
+  bool training() const { return training_; }
+
+  // Sets every layer's inference precision (Precision::kInt8 routes convs
+  // through the quantized GEMM engine) and invalidates the forward plan —
+  // the quantized path stages activation codes in the arena, so the scratch
+  // requirement differs from float.
+  void SetPrecision(Precision precision);
 
   // Propagates `grad_output` back through all layers, accumulating parameter
   // gradients; returns the gradient w.r.t. the network input.
@@ -78,6 +94,8 @@ class Network {
   std::vector<std::unique_ptr<Layer>> layers_;
   TensorShape planned_shape_{};
   bool planned_ = false;
+  bool training_ = true;
+  Precision precision_ = Precision::kFloat32;
 };
 
 }  // namespace percival

@@ -48,6 +48,37 @@ void Im2ColRows(const float* input, int height, int width, int channels, int ker
   }
 }
 
+void Im2ColRowsU8(const uint8_t* input, int height, int width, int channels, int kernel,
+                  int stride, int pad, int64_t row_begin, int64_t row_end, uint8_t pad_value,
+                  int row_stride, uint8_t* columns) {
+  const int out_w = ConvOutputSize(width, kernel, stride, pad);
+  const int row_len = kernel * kernel * channels;
+  PCHECK_GE(row_stride, row_len);
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const int oh = static_cast<int>(r / out_w);
+    const int ow = static_cast<int>(r % out_w);
+    uint8_t* row = columns + (r - row_begin) * row_stride;
+    for (int kh = 0; kh < kernel; ++kh) {
+      const int ih = oh * stride + kh - pad;
+      uint8_t* dst = row + kh * kernel * channels;
+      if (ih < 0 || ih >= height) {
+        std::memset(dst, pad_value, static_cast<size_t>(kernel) * channels);
+        continue;
+      }
+      for (int kw = 0; kw < kernel; ++kw) {
+        const int iw = ow * stride + kw - pad;
+        if (iw < 0 || iw >= width) {
+          std::memset(dst + kw * channels, pad_value, static_cast<size_t>(channels));
+        } else {
+          const uint8_t* src = input + (static_cast<int64_t>(ih) * width + iw) * channels;
+          std::memcpy(dst + kw * channels, src, static_cast<size_t>(channels));
+        }
+      }
+    }
+    std::memset(row + row_len, pad_value, static_cast<size_t>(row_stride - row_len));
+  }
+}
+
 void Col2Im(const float* columns, int height, int width, int channels, int kernel, int stride,
             int pad, float* input_grad) {
   const int out_h = ConvOutputSize(height, kernel, stride, pad);

@@ -26,6 +26,15 @@ void Im2Col(const float* input, int height, int width, int channels, int kernel,
 void Im2ColRows(const float* input, int height, int width, int channels, int kernel, int stride,
                 int pad, int64_t row_begin, int64_t row_end, float* columns);
 
+// Uint8 variant for the quantized inference path: expands rows of an
+// already-quantized NHWC sample. Rows are written at `row_stride` bytes
+// (>= kernel*kernel*channels); out-of-bounds taps and the [row_len,
+// row_stride) tail are filled with `pad_value` (the quantization zero
+// point, i.e. the exact code for real 0).
+void Im2ColRowsU8(const uint8_t* input, int height, int width, int channels, int kernel,
+                  int stride, int pad, int64_t row_begin, int64_t row_end, uint8_t pad_value,
+                  int row_stride, uint8_t* columns);
+
 // Scatter-adds a column matrix back into an NHWC sample (inverse of Im2Col).
 // `input_grad` must be pre-zeroed by the caller.
 void Col2Im(const float* columns, int height, int width, int channels, int kernel, int stride,

@@ -29,7 +29,14 @@ Tensor MaxPool2D::Forward(const Tensor& input) {
   input_shape_ = input.shape();
   const TensorShape out_shape = OutputShape(input_shape_);
   Tensor output(out_shape);
-  argmax_.assign(static_cast<size_t>(out_shape.Elements()), 0);
+  // Eval mode skips the argmax capture — backward routing state a frozen
+  // deployment never reads.
+  const bool capture_argmax = training_;
+  if (capture_argmax) {
+    argmax_.assign(static_cast<size_t>(out_shape.Elements()), 0);
+  } else {
+    argmax_.clear();
+  }
 
   const int channels = input_shape_.c;
   // One work item per output pixel row (n, oh, ow): indices derive from the
@@ -70,7 +77,9 @@ Tensor MaxPool2D::Forward(const Tensor& input) {
               }
             }
             output[out_index] = best;
-            argmax_[static_cast<size_t>(out_index)] = sample_base + best_index;
+            if (capture_argmax) {
+              argmax_[static_cast<size_t>(out_index)] = sample_base + best_index;
+            }
             ++out_index;
           }
         }
@@ -79,6 +88,9 @@ Tensor MaxPool2D::Forward(const Tensor& input) {
 }
 
 Tensor MaxPool2D::Backward(const Tensor& grad_output) {
+  PCHECK(training_) << Name() << " Backward called in eval mode";
+  PCHECK_EQ(grad_output.size(), static_cast<int64_t>(argmax_.size()))
+      << Name() << " Backward without a matching training-mode Forward";
   Tensor grad_input(input_shape_);
   for (int64_t i = 0; i < grad_output.size(); ++i) {
     grad_input[argmax_[static_cast<size_t>(i)]] += grad_output[i];

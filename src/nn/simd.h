@@ -2,6 +2,9 @@
 //
 // Exactly one PERCIVAL_SIMD_* macro is defined to 1, chosen from what the
 // compiler was allowed to emit (-march flags / defaults):
+//   * PERCIVAL_SIMD_AVX512 — AVX-512F + BW: 16-wide fused multiply-add, the
+//     float tile widens to 4x32 (2 zmm per row) and the int8 kernel runs
+//     512-bit maddubs/madd.
 //   * PERCIVAL_SIMD_AVX2   — AVX2 + FMA: 8-wide fused multiply-add, the
 //     16-wide panel is two ymm registers per row.
 //   * PERCIVAL_SIMD_SSE2   — 4-wide multiply+add (baseline x86-64 always
@@ -9,31 +12,66 @@
 //   * PERCIVAL_SIMD_SCALAR — portable fallback, also kept compiled on every
 //     target as the oracle the parity tests pit the intrinsic paths against.
 //
+// The int8 quantized kernels have their own sub-dispatch because their key
+// instruction (pmaddubsw) arrived with SSSE3, not SSE2: a baseline build
+// therefore pairs SSE2 float kernels with the scalar int8 kernel, while any
+// -march with SSSE3 upgrades int8 to 128-bit maddubs.
+//
 // The selection is deliberately compile-time: the classifier ships as one
 // binary per target, and a runtime-dispatch indirection in a kernel this
-// small costs more than it saves. kSimdPathName is logged once at startup
-// so bench logs record which path produced the numbers.
+// small costs more than it saves. kSimdPathName / kSimdInt8PathName are
+// logged once at startup so bench logs record which paths produced the
+// numbers.
 #ifndef PERCIVAL_SRC_NN_SIMD_H_
 #define PERCIVAL_SRC_NN_SIMD_H_
 
-#if defined(__AVX2__) && defined(__FMA__)
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+#define PERCIVAL_SIMD_AVX512 1
+#include <immintrin.h>
+#elif defined(__AVX2__) && defined(__FMA__)
 #define PERCIVAL_SIMD_AVX2 1
 #include <immintrin.h>
 #elif defined(__SSE2__) || defined(_M_X64) || (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
 #define PERCIVAL_SIMD_SSE2 1
 #include <emmintrin.h>
+#if defined(__SSSE3__)
+#include <tmmintrin.h>
+#endif
 #else
 #define PERCIVAL_SIMD_SCALAR 1
 #endif
 
+// Int8 kernel tier, derived from the float tier above.
+#if defined(PERCIVAL_SIMD_AVX512)
+#define PERCIVAL_SIMD_INT8_AVX512 1
+#elif defined(PERCIVAL_SIMD_AVX2)
+#define PERCIVAL_SIMD_INT8_AVX2 1
+#elif defined(PERCIVAL_SIMD_SSE2) && defined(__SSSE3__)
+#define PERCIVAL_SIMD_INT8_SSSE3 1
+#else
+#define PERCIVAL_SIMD_INT8_SCALAR 1
+#endif
+
 namespace percival {
 
-#if defined(PERCIVAL_SIMD_AVX2)
+#if defined(PERCIVAL_SIMD_AVX512)
+inline constexpr const char* kSimdPathName = "avx512";
+#elif defined(PERCIVAL_SIMD_AVX2)
 inline constexpr const char* kSimdPathName = "avx2+fma";
 #elif defined(PERCIVAL_SIMD_SSE2)
 inline constexpr const char* kSimdPathName = "sse2";
 #else
 inline constexpr const char* kSimdPathName = "scalar";
+#endif
+
+#if defined(PERCIVAL_SIMD_INT8_AVX512)
+inline constexpr const char* kSimdInt8PathName = "avx512bw-maddubs";
+#elif defined(PERCIVAL_SIMD_INT8_AVX2)
+inline constexpr const char* kSimdInt8PathName = "avx2-maddubs";
+#elif defined(PERCIVAL_SIMD_INT8_SSSE3)
+inline constexpr const char* kSimdInt8PathName = "ssse3-maddubs";
+#else
+inline constexpr const char* kSimdInt8PathName = "scalar";
 #endif
 
 }  // namespace percival

@@ -1,0 +1,164 @@
+// Tests for the eval-mode forward: outputs identical to training mode, no
+// backward state retained (ReLU masks, pool argmax, conv input copies),
+// loud Backward rejection, and an allocation-free steady state for the
+// frozen deployment path (AdClassifier constructs its network in eval
+// mode).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/rng.h"
+#include "src/core/classifier.h"
+#include "src/core/model.h"
+#include "src/nn/activation.h"
+#include "src/nn/conv.h"
+#include "src/nn/fire.h"
+#include "src/nn/gemm.h"
+#include "src/nn/network.h"
+#include "src/nn/pool.h"
+
+namespace percival {
+namespace {
+
+Tensor RandomTensor(const TensorShape& shape, uint64_t seed) {
+  Tensor tensor(shape);
+  Rng rng(seed);
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    tensor[i] = rng.NextFloat(-1.0f, 1.0f);
+  }
+  return tensor;
+}
+
+Network MakeStack(Rng& rng) {
+  Network net;
+  net.Add<Conv2D>(3, 12, 3, 1, 1, rng, "conv1");
+  net.Add<Relu>();
+  net.Add<MaxPool2D>(2, 2);
+  net.Add<FireModule>(12, 4, 8, rng, "fire1");
+  net.Add<GlobalAvgPool>();
+  net.Add<Softmax>();
+  return net;
+}
+
+// Eval mode elides bookkeeping only — every layer's outputs must be
+// bit-identical to the training-mode forward.
+TEST(EvalModeTest, ForwardOutputsIdenticalToTrainingMode) {
+  Rng rng(3);
+  Network net = MakeStack(rng);
+  Tensor input = RandomTensor(TensorShape{2, 12, 12, 3}, 4);
+
+  net.SetTrainingMode(true);
+  Tensor train_out = net.Forward(input);
+  net.SetTrainingMode(false);
+  Tensor eval_out = net.Forward(input);
+
+  ASSERT_TRUE(train_out.shape() == eval_out.shape());
+  for (int64_t i = 0; i < train_out.size(); ++i) {
+    ASSERT_EQ(train_out[i], eval_out[i]) << "eval forward diverged at " << i;
+  }
+}
+
+TEST(EvalModeTest, BackwardInEvalModeFailsLoudly) {
+  Rng rng(5);
+  Network net = MakeStack(rng);
+  net.SetTrainingMode(false);
+  Tensor input = RandomTensor(TensorShape{1, 8, 8, 3}, 6);
+  net.Forward(input);
+  Tensor grad = RandomTensor(net.OutputShape(input.shape()), 7);
+  EXPECT_DEATH(net.Backward(grad), "eval mode");
+}
+
+TEST(EvalModeTest, LayerLevelBackwardAlsoRejected) {
+  Rng rng(8);
+  Conv2D conv(2, 4, 3, 1, 1, rng);
+  conv.SetTrainingMode(false);
+  Tensor input = RandomTensor(TensorShape{1, 6, 6, 2}, 9);
+  Tensor out = conv.Forward(input);
+  EXPECT_DEATH(conv.Backward(out), "eval mode");
+
+  Relu relu;
+  relu.SetTrainingMode(false);
+  Tensor activated = relu.Forward(out);
+  EXPECT_DEATH(relu.Backward(activated), "eval mode");
+
+  MaxPool2D pool(2, 2);
+  pool.SetTrainingMode(false);
+  Tensor pooled = pool.Forward(activated);
+  EXPECT_DEATH(pool.Backward(pooled), "eval mode");
+}
+
+// An eval forward must drop previously captured backward state, not merely
+// stop refreshing it: after one eval pass, flipping back to training and
+// calling Backward without a new forward dies on the cleared ReLU mask.
+TEST(EvalModeTest, EvalForwardClearsCapturedBackwardState) {
+  Rng rng(10);
+  Network net = MakeStack(rng);
+  Tensor input = RandomTensor(TensorShape{1, 8, 8, 3}, 11);
+
+  net.SetTrainingMode(true);
+  net.Forward(input);  // captures masks/argmax
+  net.SetTrainingMode(false);
+  net.Forward(input);  // must clear them
+  net.SetTrainingMode(true);
+  Tensor grad = RandomTensor(net.OutputShape(input.shape()), 12);
+  EXPECT_DEATH(net.Backward(grad), "PCHECK");
+}
+
+// The frozen deployment path: after PlanForward, eval-mode forwards perform
+// zero arena growth from the first inference on — in float and in int8.
+TEST(EvalModeTest, EvalForwardIsArenaAllocationFree) {
+  Rng rng(13);
+  Network net = MakeStack(rng);
+  net.SetTrainingMode(false);
+
+  for (Precision precision : {Precision::kFloat32, Precision::kInt8}) {
+    net.SetPrecision(precision);
+    const TensorShape input_shape{1, 16, 16, 3};
+    net.PlanForward(input_shape);
+    const size_t reserved = LocalArena().CapacityFloats();
+    Tensor input = RandomTensor(input_shape, 14);
+    for (int i = 0; i < 3; ++i) {
+      net.Forward(input);
+      ASSERT_EQ(LocalArena().CapacityFloats(), reserved)
+          << "forward grew the arena (precision "
+          << (precision == Precision::kInt8 ? "int8" : "float32") << ")";
+    }
+  }
+}
+
+TEST(EvalModeTest, AdClassifierConstructsInEvalMode) {
+  const PercivalNetConfig config = TestProfile();
+  AdClassifier classifier(BuildPercivalNet(config), config);
+  EXPECT_FALSE(classifier.network().training());
+  EXPECT_EQ(classifier.precision(), Precision::kFloat32);
+
+  // And the precision switch reaches the deployed network: int8 changes the
+  // produced probabilities (quantization is visible), float restores them.
+  Rng rng(17);
+  Tensor probe = RandomTensor(config.InputShape(), 18);
+  Tensor float_out = classifier.network().Forward(probe);
+  classifier.SetPrecision(Precision::kInt8);
+  Tensor int8_out = classifier.network().Forward(probe);
+  EXPECT_EQ(classifier.precision(), Precision::kInt8);
+  float worst = 0.0f;
+  for (int64_t i = 0; i < float_out.size(); ++i) {
+    worst = std::max(worst, std::abs(float_out[i] - int8_out[i]));
+  }
+  EXPECT_GT(worst, 0.0f);
+}
+
+// New layers added after the mode switch inherit the network's mode.
+TEST(EvalModeTest, AddedLayersInheritEvalMode) {
+  Rng rng(19);
+  Network net;
+  net.SetTrainingMode(false);
+  net.Add<Relu>();
+  Tensor input = RandomTensor(TensorShape{1, 4, 4, 2}, 20);
+  net.Forward(input);
+  net.SetTrainingMode(true);  // network flag flips, but the mask was never built
+  EXPECT_DEATH(net.Backward(input), "PCHECK");
+}
+
+}  // namespace
+}  // namespace percival

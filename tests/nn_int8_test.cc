@@ -1,0 +1,329 @@
+// Tests for the int8 quantized inference engine: kernel-level parity
+// between the intrinsic maddubs path and the always-compiled scalar int8
+// oracle, conv-level error bounds against the float32 oracle derived from
+// the actual quantization scales, persistent int8 pack-cache invalidation
+// through the Parameter::version counter, and the end-to-end accuracy guard
+// (float-vs-int8 top-1 agreement on a deterministic synthetic ad/non-ad
+// batch).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/core/model.h"
+#include "src/img/resize.h"
+#include "src/nn/activation.h"
+#include "src/nn/conv.h"
+#include "src/nn/fire.h"
+#include "src/nn/gemm.h"
+#include "src/nn/network.h"
+#include "src/nn/optimizer.h"
+#include "src/webgen/adgen.h"
+#include "src/webgen/contentgen.h"
+
+namespace percival {
+namespace {
+
+Tensor RandomTensor(const TensorShape& shape, uint64_t seed, float lo = -1.0f,
+                    float hi = 1.0f) {
+  Tensor tensor(shape);
+  Rng rng(seed);
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    tensor[i] = rng.NextFloat(lo, hi);
+  }
+  return tensor;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  EXPECT_TRUE(a.shape() == b.shape());
+  float worst = 0.0f;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+// Re-derives the per-channel weight scale the packer uses.
+float WeightScale(const Tensor& weights, int oc, int row_len) {
+  const float* row = weights.data() + static_cast<int64_t>(oc) * row_len;
+  float amax = 0.0f;
+  for (int k = 0; k < row_len; ++k) {
+    amax = std::max(amax, std::abs(row[k]));
+  }
+  return amax > 0.0f ? amax / static_cast<float>(kInt8WeightMax) : 1.0f;
+}
+
+// ---------------------------------------------- kernel-level exact parity --
+
+// The integer accumulation is exact in every tier, so the intrinsic kernels
+// must agree with the scalar int8 oracle to the last epilogue ulp across
+// randomized shapes (including partial panels and remainder rows).
+TEST(Int8KernelTest, IntrinsicMatchesScalarOracle) {
+  Rng shape_rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int m = 1 + static_cast<int>(shape_rng.NextBelow(23));
+    const int n = 1 + static_cast<int>(shape_rng.NextBelow(2 * kGemmTileN + 7));
+    const int k = 1 + static_cast<int>(shape_rng.NextBelow(70));
+
+    Tensor b = RandomTensor(TensorShape{1, 1, n, k}, 900 + trial);
+    Int8PackedFilters packed;
+    PackFilterPanelsInt8(b.data(), n, k, &packed);
+
+    // Random uint8 activation codes, including the extremes.
+    Rng code_rng(1000 + static_cast<uint64_t>(trial));
+    std::vector<uint8_t> a(static_cast<size_t>(m) * packed.k_padded, 0);
+    for (auto& v : a) {
+      v = static_cast<uint8_t>(code_rng.NextBelow(256));
+    }
+    ActivationQuant quant;
+    quant.scale = 0.01f + 0.05f * static_cast<float>(code_rng.NextBelow(10));
+    quant.zero_point = static_cast<int32_t>(code_rng.NextBelow(256));
+    Tensor bias = RandomTensor(TensorShape{1, 1, 1, n}, 1100 + trial);
+
+    const GemmEpilogue eps[] = {GemmEpilogue::kNone, GemmEpilogue::kBias,
+                                GemmEpilogue::kBiasRelu};
+    const GemmEpilogue ep = eps[shape_rng.NextBelow(3)];
+
+    std::vector<float> c_simd(static_cast<size_t>(m) * n, -777.0f);
+    std::vector<float> c_scalar(static_cast<size_t>(m) * n, 777.0f);
+    GemmInt8PackedEx(m, a.data(), packed, quant, bias.data(), ep, c_simd.data(), n);
+    SetGemmForceScalar(true);
+    GemmInt8PackedEx(m, a.data(), packed, quant, bias.data(), ep, c_scalar.data(), n);
+    SetGemmForceScalar(false);
+
+    for (size_t i = 0; i < c_simd.size(); ++i) {
+      ASSERT_NEAR(c_simd[i], c_scalar[i], 1e-4f)
+          << "m=" << m << " n=" << n << " k=" << k << " at " << i;
+    }
+  }
+}
+
+// Weight codes must stay inside [-kInt8WeightMax, kInt8WeightMax]: that
+// clamp is what makes the pmaddubsw 16-bit pairwise add provably
+// saturation-free, so it is part of the quantization contract.
+TEST(Int8KernelTest, WeightCodesRespectSaturationBound) {
+  Tensor b = RandomTensor(TensorShape{1, 1, 24, 50}, 77, -3.0f, 3.0f);
+  Int8PackedFilters packed;
+  PackFilterPanelsInt8(b.data(), 24, 50, &packed);
+  for (int8_t code : packed.data) {
+    ASSERT_GE(code, -kInt8WeightMax);
+    ASSERT_LE(code, kInt8WeightMax);
+  }
+  // And the worst-case pmaddubsw pair cannot saturate int16.
+  ASSERT_LT(2 * 255 * kInt8WeightMax, 32768);
+}
+
+// ------------------------------------------------ conv-level error bounds --
+
+// int8 conv output must sit within the analytic quantization error bound of
+// the float naive oracle: |err| <= sum_k |a| * s_w + sum_k |w| * s_a +
+// K * s_a * s_w (coefficient 1 per term absorbs rounding plus the
+// zero-point nudge at the range edges).
+TEST(Int8ConvTest, MatchesFloatOracleWithinQuantizationBound) {
+  Rng shape_rng(11);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int in_channels = 1 + static_cast<int>(shape_rng.NextBelow(8));
+    const int out_channels = 1 + static_cast<int>(shape_rng.NextBelow(2 * kGemmTileN + 3));
+    const int kernels[] = {1, 3, 5};
+    const int kernel = kernels[shape_rng.NextBelow(3)];
+    const int stride = 1 + static_cast<int>(shape_rng.NextBelow(2));
+    const int pad = static_cast<int>(shape_rng.NextBelow(static_cast<uint64_t>(kernel / 2 + 1)));
+    const int min_side = std::max(1, kernel - 2 * pad);
+    const int h = min_side + static_cast<int>(shape_rng.NextBelow(10));
+    const int w = min_side + static_cast<int>(shape_rng.NextBelow(10));
+    const int n = 1 + static_cast<int>(shape_rng.NextBelow(2));
+
+    Rng rng(500 + static_cast<uint64_t>(trial));
+    Conv2D conv(in_channels, out_channels, kernel, stride, pad, rng);
+    Tensor input = RandomTensor(TensorShape{n, h, w, in_channels},
+                                600 + static_cast<uint64_t>(trial));
+
+    conv.set_use_gemm(false);
+    Tensor expected = conv.Forward(input);
+    conv.set_use_gemm(true);
+    conv.SetPrecision(Precision::kInt8);
+    Tensor quantized = conv.Forward(input);
+    conv.SetPrecision(Precision::kFloat32);
+
+    const int row_len = kernel * kernel * in_channels;
+    const ActivationQuant quant = ComputeActivationQuant(input.Min(), input.Max());
+    const float amax = std::max(std::abs(input.Min()), std::abs(input.Max()));
+    ASSERT_TRUE(expected.shape() == quantized.shape());
+    for (int64_t i = 0; i < expected.size(); ++i) {
+      const int oc = static_cast<int>(i % out_channels);
+      const float s_w = WeightScale(conv.weights().value, oc, row_len);
+      float abs_w_sum = 0.0f;
+      const float* w_row = conv.weights().value.data() + static_cast<int64_t>(oc) * row_len;
+      for (int kk = 0; kk < row_len; ++kk) {
+        abs_w_sum += std::abs(w_row[kk]);
+      }
+      const float bound = static_cast<float>(row_len) * amax * s_w +
+                          abs_w_sum * quant.scale +
+                          static_cast<float>(row_len) * quant.scale * s_w + 1e-3f;
+      ASSERT_LE(std::abs(expected[i] - quantized[i]), bound)
+          << conv.Name() << " element " << i;
+    }
+  }
+}
+
+// The fused fire module (squeeze ReLU epilogue + direct concat writes) must
+// track its float counterpart closely in int8; unit-range inputs keep the
+// quantization error small, so a fixed tolerance is meaningful here.
+TEST(Int8FireTest, FusedFireTracksFloatReference) {
+  Rng rng(21);
+  FireModule fire(16, 4, 16, rng);
+  Tensor input = RandomTensor(TensorShape{2, 9, 9, 16}, 22);
+
+  Tensor reference = fire.Forward(input);
+  fire.SetPrecision(Precision::kInt8);
+  Tensor quantized = fire.Forward(input);
+  fire.SetPrecision(Precision::kFloat32);
+
+  // Two stacked quantized convs (squeeze then expand) roughly double the
+  // single-conv error; 0.06 observed on the seed shapes.
+  EXPECT_LE(MaxAbsDiff(reference, quantized), 0.1f) << fire.Name();
+  for (int64_t i = 0; i < quantized.size(); ++i) {
+    ASSERT_GE(quantized[i], 0.0f) << "int8 fused ReLU let a negative through";
+  }
+}
+
+// ------------------------------------------------- int8 pack-cache tests --
+
+TEST(Int8PackedCacheTest, SetWeightsInvalidatesInt8Pack) {
+  Rng rng(31);
+  Conv2D conv(3, 10, 1, 1, 0, rng);
+  conv.SetPrecision(Precision::kInt8);
+  Tensor input = RandomTensor(TensorShape{1, 6, 6, 3}, 32);
+  Tensor before = conv.Forward(input);
+
+  Tensor new_weights = RandomTensor(conv.weights().value.shape(), 33);
+  Tensor new_bias = RandomTensor(conv.bias().value.shape(), 34);
+  conv.SetWeights(new_weights, new_bias);
+  Tensor after = conv.Forward(input);
+  EXPECT_GT(MaxAbsDiff(before, after), 1e-3f) << "stale int8 pack survived SetWeights";
+
+  // The refreshed pack must re-quantize the *new* weights: compare against
+  // the float oracle within a loose quantization tolerance.
+  conv.SetPrecision(Precision::kFloat32);
+  conv.set_use_gemm(false);
+  Tensor oracle = conv.Forward(input);
+  EXPECT_LE(MaxAbsDiff(oracle, after), 0.05f);
+}
+
+TEST(Int8PackedCacheTest, OptimizerStepInvalidatesInt8Pack) {
+  Rng rng(41);
+  Conv2D conv(2, 6, 3, 1, 1, rng);
+  conv.SetPrecision(Precision::kInt8);
+  Tensor input = RandomTensor(TensorShape{1, 7, 7, 2}, 42);
+  Tensor before = conv.Forward(input);
+
+  conv.weights().grad.Fill(0.5f);
+  conv.bias().grad.Fill(0.25f);
+  SgdConfig config;
+  config.learning_rate = 0.1f;
+  config.momentum = 0.0f;
+  config.max_grad_norm = 0.0f;
+  SgdOptimizer optimizer(conv.Parameters(), config);
+  optimizer.Step();
+
+  Tensor after = conv.Forward(input);
+  EXPECT_GT(MaxAbsDiff(before, after), 1e-3f)
+      << "int8 forward unchanged after optimizer step: stale quantized pack";
+}
+
+TEST(Int8PackedCacheTest, ManualMutationRequiresMarkDirty) {
+  Rng rng(51);
+  Conv2D conv(2, 4, 1, 1, 0, rng);
+  conv.SetPrecision(Precision::kInt8);
+  Tensor input = RandomTensor(TensorShape{1, 4, 4, 2}, 52);
+  Tensor before = conv.Forward(input);
+
+  for (int64_t i = 0; i < conv.weights().value.size(); ++i) {
+    conv.weights().value[i] += 1.0f;
+  }
+  Tensor stale = conv.Forward(input);
+  EXPECT_LE(MaxAbsDiff(before, stale), 1e-6f) << "unmarked mutation should hit the cache";
+
+  conv.weights().MarkDirty();
+  Tensor fresh = conv.Forward(input);
+  EXPECT_GT(MaxAbsDiff(before, fresh), 1e-3f);
+}
+
+// -------------------------------------------------------- accuracy guard --
+
+// Quantizing the deployed network must not change its decisions: top-1
+// agreement with the float path on a deterministic synthetic ad/non-ad
+// batch stays >= 99%, and every logit stays within a fixed tolerance. The
+// int8 kernels are exact integer math, so this guard is deterministic for a
+// given seed on every SIMD tier.
+TEST(Int8AccuracyGuardTest, TopOneAgreementAndLogitTolerance) {
+  const PercivalNetConfig config = TestProfile();
+  Network float_net = BuildPercivalNet(config);
+  Network int8_net = BuildPercivalNet(config);  // same init_seed -> same weights
+  int8_net.SetPrecision(Precision::kInt8);
+  float_net.SetTrainingMode(false);
+  int8_net.SetTrainingMode(false);
+
+  const int kBatch = 64;
+  Rng rng(123);
+  std::vector<Bitmap> images;
+  images.reserve(kBatch);
+  for (int i = 0; i < kBatch; ++i) {
+    if (i % 2 == 0) {
+      AdImageOptions options;
+      images.push_back(GenerateAdImage(rng, options));
+    } else {
+      ContentImageOptions options;
+      images.push_back(GenerateContentImage(rng, options));
+    }
+  }
+
+  Tensor batch(kBatch, config.input_size, config.input_size, config.input_channels);
+  for (int i = 0; i < kBatch; ++i) {
+    BitmapToTensorInto(images[static_cast<size_t>(i)], config.input_size,
+                       config.input_channels, batch.SampleData(i));
+  }
+
+  Tensor float_logits = float_net.Forward(batch);
+  Tensor int8_logits = int8_net.Forward(batch);
+  ASSERT_TRUE(float_logits.shape() == int8_logits.shape());
+
+  int agree = 0;
+  float worst_logit_diff = 0.0f;
+  for (int i = 0; i < kBatch; ++i) {
+    if (float_logits.ArgMaxInSample(i) == int8_logits.ArgMaxInSample(i)) {
+      ++agree;
+    }
+    for (int c = 0; c < config.classes; ++c) {
+      worst_logit_diff = std::max(
+          worst_logit_diff, std::abs(float_logits.at(i, 0, 0, c) - int8_logits.at(i, 0, 0, c)));
+    }
+  }
+  const double agreement = static_cast<double>(agree) / kBatch;
+  EXPECT_GE(agreement, 0.99) << "int8 flipped " << (kBatch - agree) << " of " << kBatch
+                             << " top-1 decisions";
+  EXPECT_LE(worst_logit_diff, 0.05f) << "int8 logits drifted past the guard tolerance";
+}
+
+// Precision is a runtime switch: the same network must produce float-exact
+// results again after switching back from int8.
+TEST(Int8PrecisionModeTest, SwitchingBackRestoresFloatPath) {
+  const PercivalNetConfig config = TestProfile();
+  Network net = BuildPercivalNet(config);
+  net.SetTrainingMode(false);
+  Tensor input = RandomTensor(config.InputShape(), 9, 0.0f, 1.0f);
+
+  Tensor float_before = net.Forward(input);
+  net.SetPrecision(Precision::kInt8);
+  Tensor int8_out = net.Forward(input);
+  net.SetPrecision(Precision::kFloat32);
+  Tensor float_after = net.Forward(input);
+
+  EXPECT_EQ(MaxAbsDiff(float_before, float_after), 0.0f);
+  EXPECT_GT(MaxAbsDiff(float_before, int8_out), 0.0f);  // int8 really ran
+}
+
+}  // namespace
+}  // namespace percival
