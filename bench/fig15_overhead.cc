@@ -4,7 +4,10 @@
 // the relative overhead is larger.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "src/eval/metrics.h"
@@ -14,14 +17,38 @@
 namespace percival {
 namespace {
 
+// Core allocation for the bench. Raster workers and the inference pool used
+// to be sized independently (raster pinned at 4, pool at
+// hardware_concurrency), which oversubscribed small hosts — both pools
+// fighting for the same cores inflates render time into the "overhead" —
+// and understated overhead on big ones (4 raster threads leave most cores
+// to inference, a split no browser deployment gets). Both sides now derive
+// from hardware_concurrency(): raster takes half the cores by default
+// (--raster-threads overrides), inference gets the rest, and the split is
+// recorded in the BENCH JSON so cross-host numbers stay interpretable.
+struct ThreadSplit {
+  int hardware = 1;
+  int raster = 1;
+  int inference = 1;
+};
+
+ThreadSplit ComputeThreadSplit(int raster_override) {
+  ThreadSplit split;
+  split.hardware = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  split.raster = raster_override > 0 ? raster_override : std::max(1, split.hardware / 2);
+  split.inference = std::max(1, split.hardware - split.raster);
+  return split;
+}
+
 // Renders `pages` pages and reports the median + min page render time.
 BenchTiming RenderTimes(const std::string& name, const BenchWorld& world,
-                        AdClassifier* classifier, const FilterEngine* filter, int pages) {
+                        AdClassifier* classifier, const FilterEngine* filter, int pages,
+                        int raster_threads) {
   std::vector<double> samples;
   for (int i = 0; i < pages; ++i) {
     const WebPage page = world.generator->GeneratePage(i % 40, i / 40);
     RenderOptions options;
-    options.raster_threads = 4;
+    options.raster_threads = raster_threads;
     options.filter = filter;
     options.interceptor = classifier;
     samples.push_back(RenderPage(page, options).metrics.RenderTime());
@@ -34,8 +61,10 @@ BenchTiming RenderTimes(const std::string& name, const BenchWorld& world,
   return timing;
 }
 
-void Run() {
+void Run(const ThreadSplit& split) {
   PrintHeader("Fig. 15 — PERCIVAL render overhead (median, synchronous mode)");
+  std::printf("threads: %d hardware -> %d raster + %d inference\n", split.hardware,
+              split.raster, split.inference);
   ModelZoo zoo;
   AdClassifier classifier = MakeSharedClassifier(zoo);
   // Same trained weights, int8 inference engine: the float-vs-int8 pair
@@ -46,26 +75,48 @@ void Run() {
 
   // Deployment configuration: the batched GEMM engine fans conv rows out
   // over this pool whenever a raster worker blocks on a classification.
-  ScopedInferencePool inference_pool;
+  // Sized to the cores the raster workers leave free (see ThreadSplit).
+  ScopedInferencePool inference_pool(split.inference);
 
   const int kPages = 120;
   BenchReport report("fig15_overhead");
-  report.Record(RenderTimes("render_chromium", world, nullptr, nullptr, kPages));
-  report.Record(
-      RenderTimes("render_chromium_percival", world, &classifier, nullptr, kPages));
-  report.Record(RenderTimes("render_brave", world, nullptr, &world.easylist, kPages));
-  report.Record(
-      RenderTimes("render_brave_percival", world, &classifier, &world.easylist, kPages));
-  report.Record(
-      RenderTimes("render_chromium_percival_int8", world, &classifier_int8, nullptr, kPages));
-  report.Record(RenderTimes("render_brave_percival_int8", world, &classifier_int8,
-                            &world.easylist, kPages));
-  const double chromium = report.timings()[0].median_ms;
-  const double chromium_percival = report.timings()[1].median_ms;
-  const double brave = report.timings()[2].median_ms;
-  const double brave_percival = report.timings()[3].median_ms;
-  const double chromium_int8 = report.timings()[4].median_ms;
-  const double brave_int8 = report.timings()[5].median_ms;
+  // Config rows: the thread split the timings below were taken under
+  // (median_ms/min_ms carry the count — these are settings, not timings).
+  BenchTiming config_row;
+  config_row.reps = 1;
+  config_row.name = "raster_threads";
+  config_row.median_ms = split.raster;
+  config_row.min_ms = split.raster;
+  report.Record(config_row);
+  config_row.name = "inference_threads";
+  config_row.median_ms = split.inference;
+  config_row.min_ms = split.inference;
+  report.Record(config_row);
+  const BenchTiming t_chromium =
+      RenderTimes("render_chromium", world, nullptr, nullptr, kPages, split.raster);
+  const BenchTiming t_chromium_percival = RenderTimes("render_chromium_percival", world,
+                                                      &classifier, nullptr, kPages, split.raster);
+  const BenchTiming t_brave =
+      RenderTimes("render_brave", world, nullptr, &world.easylist, kPages, split.raster);
+  const BenchTiming t_brave_percival = RenderTimes(
+      "render_brave_percival", world, &classifier, &world.easylist, kPages, split.raster);
+  const BenchTiming t_chromium_int8 = RenderTimes("render_chromium_percival_int8", world,
+                                                  &classifier_int8, nullptr, kPages, split.raster);
+  const BenchTiming t_brave_int8 = RenderTimes("render_brave_percival_int8", world,
+                                               &classifier_int8, &world.easylist, kPages,
+                                               split.raster);
+  report.Record(t_chromium);
+  report.Record(t_chromium_percival);
+  report.Record(t_brave);
+  report.Record(t_brave_percival);
+  report.Record(t_chromium_int8);
+  report.Record(t_brave_int8);
+  const double chromium = t_chromium.median_ms;
+  const double chromium_percival = t_chromium_percival.median_ms;
+  const double brave = t_brave.median_ms;
+  const double brave_percival = t_brave_percival.median_ms;
+  const double chromium_int8 = t_chromium_int8.median_ms;
+  const double brave_int8 = t_brave_int8.median_ms;
 
   // Overhead rows: median_ms is the median-to-median difference, min_ms the
   // floor-to-floor (min-to-min) difference.
@@ -73,19 +124,19 @@ void Run() {
   overhead.name = "overhead_chromium_ms";
   overhead.reps = kPages;
   overhead.median_ms = chromium_percival - chromium;
-  overhead.min_ms = report.timings()[1].min_ms - report.timings()[0].min_ms;
+  overhead.min_ms = t_chromium_percival.min_ms - t_chromium.min_ms;
   report.Record(overhead);
   overhead.name = "overhead_brave_ms";
   overhead.median_ms = brave_percival - brave;
-  overhead.min_ms = report.timings()[3].min_ms - report.timings()[2].min_ms;
+  overhead.min_ms = t_brave_percival.min_ms - t_brave.min_ms;
   report.Record(overhead);
   overhead.name = "overhead_chromium_int8_ms";
   overhead.median_ms = chromium_int8 - chromium;
-  overhead.min_ms = report.timings()[4].min_ms - report.timings()[0].min_ms;
+  overhead.min_ms = t_chromium_int8.min_ms - t_chromium.min_ms;
   report.Record(overhead);
   overhead.name = "overhead_brave_int8_ms";
   overhead.median_ms = brave_int8 - brave;
-  overhead.min_ms = report.timings()[5].min_ms - report.timings()[2].min_ms;
+  overhead.min_ms = t_brave_int8.min_ms - t_brave.min_ms;
   report.Record(overhead);
 
   TextTable table({"Baseline", "Treatment", "Overhead (%)", "Overhead (ms)"});
@@ -120,7 +171,22 @@ void Run() {
 }  // namespace
 }  // namespace percival
 
-int main() {
-  percival::Run();
+int main(int argc, char** argv) {
+  int raster_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--raster-threads=", 17) == 0) {
+      char* end = nullptr;
+      raster_override = static_cast<int>(std::strtol(arg + 17, &end, 10));
+      if (end == arg + 17 || *end != '\0' || raster_override <= 0) {
+        std::printf("invalid --raster-threads value: %s\n", arg + 17);
+        return 1;
+      }
+    } else {
+      std::printf("usage: fig15_overhead [--raster-threads=N]\n");
+      return 1;
+    }
+  }
+  percival::Run(percival::ComputeThreadSplit(raster_override));
   return 0;
 }

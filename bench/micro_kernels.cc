@@ -29,6 +29,7 @@
 #include "src/nn/conv.h"
 #include "src/nn/fire.h"
 #include "src/nn/gemm.h"
+#include "src/nn/serialize.h"
 #include "src/webgen/ad_network.h"
 #include "src/webgen/adgen.h"
 
@@ -226,6 +227,42 @@ void RunSuite(const Options& options) {
     std::printf("\nwrote %s\n", path.c_str());
   } else {
     std::printf("\nWARNING: failed to write BENCH_micro_kernels.json\n");
+  }
+
+  // Serialized model sizes for the experiment profile: the v1 float
+  // checkpoint vs the v2 int8 deployment artifact. Not timings — the
+  // median_ms/min_ms fields carry bytes (and the ratio row v1/v2) so the
+  // artifact shrink rides the same machine-readable BENCH_*.json channel
+  // CI already uploads. Honors --filter like every other entry (the rows
+  // share the "pcvw" prefix).
+  if (options.filter.empty() ||
+      std::string("pcvw_v1_experiment_bytes pcvw_v2_experiment_bytes pcvw_v1_over_v2_ratio")
+              .find(options.filter) != std::string::npos) {
+    BenchReport sizes("model_sizes");
+    PercivalNetConfig config = ExperimentProfile();
+    Network net = BuildPercivalNet(config);
+    const double v1_bytes = static_cast<double>(SerializeWeights(net).size());
+    const double v2_bytes = static_cast<double>(SerializeWeightsInt8(net).size());
+    BenchTiming row;
+    row.reps = 1;
+    row.name = "pcvw_v1_experiment_bytes";
+    row.median_ms = v1_bytes;
+    row.min_ms = v1_bytes;
+    sizes.Record(row);
+    row.name = "pcvw_v2_experiment_bytes";
+    row.median_ms = v2_bytes;
+    row.min_ms = v2_bytes;
+    sizes.Record(row);
+    row.name = "pcvw_v1_over_v2_ratio";
+    row.median_ms = v1_bytes / v2_bytes;
+    row.min_ms = row.median_ms;
+    sizes.Record(row);
+    std::printf("model sizes (experiment profile): v1 %.0f bytes, v2 %.0f bytes (%.2fx)\n",
+                v1_bytes, v2_bytes, v1_bytes / v2_bytes);
+    const std::string sizes_path = sizes.WriteJson();
+    if (!sizes_path.empty()) {
+      std::printf("wrote %s\n", sizes_path.c_str());
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include "src/img/resize.h"
 #include "src/nn/activation.h"
 #include "src/nn/gemm.h"
+#include "src/nn/serialize.h"
 
 namespace percival {
 
@@ -32,6 +33,25 @@ void AdClassifier::SetPrecision(Precision precision) {
 Precision AdClassifier::precision() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return precision_;
+}
+
+bool AdClassifier::LoadWeights(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // One read, then peek + deserialize the SAME bytes: re-opening the file
+  // to sniff the version would race a concurrent artifact swap.
+  std::vector<uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes) || !DeserializeWeights(network_, bytes)) {
+    return false;
+  }
+  // A v2 artifact runs on the int8 engine it was quantized for — keyed on
+  // the file header, not on whether its payloads survived the clamp check:
+  // a wider-clamp artifact on a narrower build still runs int8, just
+  // requantized from the dequantized floats (the deserializer logs that).
+  precision_ =
+      PeekWeightsVersion(bytes) == 2 ? Precision::kInt8 : Precision::kFloat32;
+  network_.SetPrecision(precision_);
+  network_.PlanForward(config_.InputShape());
+  return true;
 }
 
 ClassifyResult AdClassifier::Classify(const Bitmap& image) {

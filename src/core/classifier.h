@@ -56,6 +56,16 @@ class AdClassifier : public ImageInterceptor {
   void SetPrecision(Precision precision);
   Precision precision() const;
 
+  // Loads a PCVW weight file (either format) into the deployed network.
+  // A v2 int8 artifact flips the classifier to int8 inference — its
+  // pre-quantized codes feed the pack cache directly (or, for an artifact
+  // quantized under a wider clamp than this build supports, the weights
+  // requantize locally), so this is THE deployment path for the 4x-smaller
+  // shipped model; a v1 float checkpoint restores float32. Returns false
+  // (network untouched, mode unchanged) on a missing or corrupt file.
+  // Thread-safe with Classify().
+  bool LoadWeights(const std::string& path);
+
   // Runs one forward pass on `image` (resized to the profile's input).
   // Thread-safe: the network's forward state is guarded by a mutex, which
   // mirrors one classifier instance shared across raster workers.

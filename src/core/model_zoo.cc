@@ -32,12 +32,24 @@ std::string ModelZoo::PathFor(const std::string& name) const {
   return directory_ + "/" + name + ".pcvw";
 }
 
+std::string ModelZoo::QuantizedPathFor(const std::string& name) const {
+  return directory_ + "/" + name + ".int8.pcvw";
+}
+
 Network ModelZoo::GetOrTrain(const std::string& name, const PercivalNetConfig& config,
                              const std::function<void(Network&)>& train) {
   Network net = BuildPercivalNet(config);
+  // DeserializeWeights sniffs the PCVW version, so whichever format sits at
+  // the checkpoint path loads; a deployment cache holding only the small
+  // int8 artifact is also accepted.
   const std::string path = PathFor(name);
   if (LoadWeightsFromFile(net, path)) {
     LogLine("model zoo: loaded '" + name + "' from " + path);
+    return net;
+  }
+  const std::string quantized_path = QuantizedPathFor(name);
+  if (LoadWeightsFromFile(net, quantized_path)) {
+    LogLine("model zoo: loaded int8 artifact '" + name + "' from " + quantized_path);
     return net;
   }
   LogLine("model zoo: training '" + name + "' (no cache at " + path + ")");
@@ -48,6 +60,18 @@ Network ModelZoo::GetOrTrain(const std::string& name, const PercivalNetConfig& c
   return net;
 }
 
-void ModelZoo::Evict(const std::string& name) { std::remove(PathFor(name).c_str()); }
+std::string ModelZoo::SaveQuantized(const std::string& name, Network& net) {
+  const std::string path = QuantizedPathFor(name);
+  if (!SaveWeightsToFileInt8(net, path)) {
+    LogLine("model zoo: warning, could not save int8 artifact '" + name + "' to " + path);
+    return std::string();
+  }
+  return path;
+}
+
+void ModelZoo::Evict(const std::string& name) {
+  std::remove(PathFor(name).c_str());
+  std::remove(QuantizedPathFor(name).c_str());
+}
 
 }  // namespace percival

@@ -23,17 +23,27 @@ class ModelZoo {
 
   // Returns a network built from `config`, with weights loaded from cache
   // when a file for `name` exists; otherwise invokes `train` (which
-  // receives the freshly built network) and saves the result.
+  // receives the freshly built network) and saves the result. Cached files
+  // may be either PCVW format: the float v1 checkpoint is preferred, and a
+  // host shipping only the ~4x-smaller int8 v2 artifact (see SaveQuantized)
+  // loads that transparently instead.
   Network GetOrTrain(const std::string& name, const PercivalNetConfig& config,
                      const std::function<void(Network&)>& train);
 
-  // Deletes a cached entry (tests).
+  // Writes the int8 v2 deployment artifact for an already trained/loaded
+  // network next to the float checkpoint (<name>.int8.pcvw). Returns the
+  // path written, or an empty string on failure.
+  std::string SaveQuantized(const std::string& name, Network& net);
+
+  // Deletes a cached entry, both the float checkpoint and the quantized
+  // artifact (tests).
   void Evict(const std::string& name);
 
   const std::string& directory() const { return directory_; }
 
  private:
   std::string PathFor(const std::string& name) const;
+  std::string QuantizedPathFor(const std::string& name) const;
   std::string directory_;
 };
 

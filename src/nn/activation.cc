@@ -79,6 +79,10 @@ Tensor Softmax::Forward(const Tensor& input) {
   }
   if (training_) {
     last_output_ = output;
+  } else {
+    // Eval drops the retained output (like Relu's mask / MaxPool's argmax)
+    // so a later train-mode Backward can never run against stale state.
+    last_output_ = Tensor();
   }
   return output;
 }

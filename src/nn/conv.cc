@@ -88,6 +88,11 @@ Tensor Conv2D::Forward(const Tensor& input) {
       << Name() << " int8 precision requires the GEMM path";
   if (training_) {
     last_input_ = input;
+  } else {
+    // Eval must drop previously captured state, not merely stop refreshing
+    // it: a stale same-shaped copy would let a later train-mode Backward
+    // silently compute gradients against the wrong input.
+    last_input_ = Tensor();
   }
   return ForwardNaive(input);
 }
@@ -122,7 +127,19 @@ const float* Conv2D::PackedFilters() {
 const Int8PackedFilters& Conv2D::PackedFiltersInt8() {
   if (packed_int8_version_ != weights_.version) {
     const int row_len = kernel_ * kernel_ * in_channels_;
-    PackFilterPanelsInt8(weights_.value.data(), out_channels_, row_len, &packed_filters_int8_);
+    const QuantizedWeights* pre = weights_.quantized.get();
+    if (pre != nullptr && pre->version == weights_.version &&
+        pre->codes.size() == static_cast<size_t>(weights_.value.size()) &&
+        pre->scales.size() == static_cast<size_t>(out_channels_)) {
+      // Pre-quantized weights (PCVW v2 load): pack the exact serialized
+      // codes — no requantization, and bit-identical int8 inference to the
+      // build that wrote them.
+      PackQuantizedFilterPanelsInt8(pre->codes.data(), pre->scales.data(), out_channels_,
+                                    row_len, &packed_filters_int8_);
+    } else {
+      PackFilterPanelsInt8(weights_.value.data(), out_channels_, row_len,
+                           &packed_filters_int8_);
+    }
     packed_int8_version_ = weights_.version;
   }
   return packed_filters_int8_;
@@ -159,6 +176,10 @@ void Conv2D::ForwardInto(const Tensor& input, GemmEpilogue epilogue, float* out,
   PCHECK(use_gemm_) << Name() << " ForwardInto requires the GEMM path";
   if (training_) {
     last_input_ = input;
+  } else {
+    // See Forward(): eval clears the copy so a stale one can never feed a
+    // later Backward.
+    last_input_ = Tensor();
   }
   if (precision_ == Precision::kInt8) {
     ForwardIntoInt8(input, epilogue, out, ldc, sample_stride);

@@ -107,6 +107,9 @@ class Conv2D : public Layer {
   // Repacks filter panels iff weights_.version moved since the last pack.
   const float* PackedFilters();
   // Same contract for the quantized panels + per-channel scale metadata.
+  // When the weight Parameter carries a fresh pre-quantized payload (PCVW
+  // v2 load), its codes are packed directly — no pack-time requantization,
+  // and the int8 forward reproduces the serializing build bit-for-bit.
   const Int8PackedFilters& PackedFiltersInt8();
 
   int in_channels_;

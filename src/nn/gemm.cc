@@ -280,51 +280,86 @@ size_t PackedPanelBytesInt8(int n, int k) {
   return static_cast<size_t>(panels) * static_cast<size_t>(Int8PaddedK(k)) * kGemmTileN;
 }
 
-void PackFilterPanelsInt8(const float* b, int n, int k, Int8PackedFilters* packed) {
+float QuantizeWeightRow(const float* row, int k, int8_t* codes) {
+  float amax = 0.0f;
+  for (int kk = 0; kk < k; ++kk) {
+    amax = std::max(amax, std::abs(row[kk]));
+  }
+  const float scale = amax > 0.0f ? amax / static_cast<float>(kInt8WeightMax) : 1.0f;
+  const float inv_scale = 1.0f / scale;
+  for (int kk = 0; kk < k; ++kk) {
+    const int32_t q = static_cast<int32_t>(std::nearbyint(row[kk] * inv_scale));
+    codes[kk] = static_cast<int8_t>(std::min(kInt8WeightMax, std::max(-kInt8WeightMax, q)));
+  }
+  return scale;
+}
+
+namespace {
+
+// Shared tail of the two int8 packers: sizes `packed`, then interleaves one
+// channel's zero-padded code row at a time (panel-major, K-group, channel,
+// 4 consecutive K bytes) while recording scales and row sums.
+void SizeInt8Panels(int n, int k, Int8PackedFilters* packed) {
   PCHECK_GT(n, 0);
   PCHECK_GT(k, 0);
   packed->n = n;
   packed->k = k;
   packed->k_padded = Int8PaddedK(k);
   const int panels = (n + kGemmTileN - 1) / kGemmTileN;
-  const int groups = packed->k_padded / kInt8KUnit;
   packed->data.assign(PackedPanelBytesInt8(n, k), 0);
   packed->scales.assign(static_cast<size_t>(panels) * kGemmTileN, 0.0f);
   packed->row_sums.assign(static_cast<size_t>(panels) * kGemmTileN, 0);
+}
 
-  // Per-output-channel symmetric quantization, then the 4-K interleave:
-  // panel-major, K-group, channel, 4 consecutive K bytes.
+void InterleaveInt8CodeRow(const int8_t* q_row_padded, int oc, Int8PackedFilters* packed) {
+  const int groups = packed->k_padded / kInt8KUnit;
+  const int panel = oc / kGemmTileN;
+  const int j = oc % kGemmTileN;
+  int8_t* panel_base = packed->data.data() +
+                       static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
+  for (int g = 0; g < groups; ++g) {
+    int8_t* dst = panel_base + (static_cast<size_t>(g) * kGemmTileN + j) * kInt8KUnit;
+    for (int t = 0; t < kInt8KUnit; ++t) {
+      dst[t] = q_row_padded[static_cast<size_t>(g) * kInt8KUnit + t];
+    }
+  }
+}
+
+}  // namespace
+
+void PackFilterPanelsInt8(const float* b, int n, int k, Int8PackedFilters* packed) {
+  SizeInt8Panels(n, k, packed);
   std::vector<int8_t> q_row(static_cast<size_t>(packed->k_padded), 0);
   for (int oc = 0; oc < n; ++oc) {
-    const float* row = b + static_cast<int64_t>(oc) * k;
-    float amax = 0.0f;
-    for (int kk = 0; kk < k; ++kk) {
-      amax = std::max(amax, std::abs(row[kk]));
-    }
-    const float scale = amax > 0.0f ? amax / static_cast<float>(kInt8WeightMax) : 1.0f;
-    const float inv_scale = 1.0f / scale;
-    int32_t row_sum = 0;
     std::fill(q_row.begin(), q_row.end(), static_cast<int8_t>(0));
+    packed->scales[static_cast<size_t>(oc)] =
+        QuantizeWeightRow(b + static_cast<int64_t>(oc) * k, k, q_row.data());
+    int32_t row_sum = 0;
     for (int kk = 0; kk < k; ++kk) {
-      const int32_t q = static_cast<int32_t>(std::nearbyint(row[kk] * inv_scale));
-      const int32_t clamped = std::min(kInt8WeightMax, std::max(-kInt8WeightMax, q));
-      q_row[static_cast<size_t>(kk)] = static_cast<int8_t>(clamped);
-      row_sum += clamped;
+      row_sum += q_row[static_cast<size_t>(kk)];
     }
-    packed->scales[static_cast<size_t>(oc)] = scale;
     packed->row_sums[static_cast<size_t>(oc)] = row_sum;
+    InterleaveInt8CodeRow(q_row.data(), oc, packed);
+  }
+}
 
-    const int panel = oc / kGemmTileN;
-    const int j = oc % kGemmTileN;
-    int8_t* panel_base =
-        packed->data.data() +
-        static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
-    for (int g = 0; g < groups; ++g) {
-      int8_t* dst = panel_base + (static_cast<size_t>(g) * kGemmTileN + j) * kInt8KUnit;
-      for (int t = 0; t < kInt8KUnit; ++t) {
-        dst[t] = q_row[static_cast<size_t>(g) * kInt8KUnit + t];
-      }
+void PackQuantizedFilterPanelsInt8(const int8_t* codes, const float* scales, int n, int k,
+                                   Int8PackedFilters* packed) {
+  SizeInt8Panels(n, k, packed);
+  std::vector<int8_t> q_row(static_cast<size_t>(packed->k_padded), 0);
+  for (int oc = 0; oc < n; ++oc) {
+    const int8_t* row = codes + static_cast<int64_t>(oc) * k;
+    std::fill(q_row.begin() + k, q_row.end(), static_cast<int8_t>(0));
+    int32_t row_sum = 0;
+    for (int kk = 0; kk < k; ++kk) {
+      PCHECK_LE(std::abs(static_cast<int>(row[kk])), kInt8WeightMax)
+          << "pre-quantized code outside this build's saturation-safe range";
+      q_row[static_cast<size_t>(kk)] = row[kk];
+      row_sum += row[kk];
     }
+    packed->scales[static_cast<size_t>(oc)] = scales[oc];
+    packed->row_sums[static_cast<size_t>(oc)] = row_sum;
+    InterleaveInt8CodeRow(q_row.data(), oc, packed);
   }
 }
 
@@ -727,9 +762,13 @@ void StoreInt8TileRow(const int32_t acc[kGemmTileN], const Int8PackedFilters& pa
 }
 
 // Scalar int8 tile kernel over the interleaved panel layout. Always
-// compiled: the oracle for the maddubs kernels (integer accumulation is
-// exact, so intrinsic and scalar paths agree to the last epilogue ulp) and
-// the fallback for builds without SSSE3.
+// compiled: the oracle for the intrinsic kernels and the fallback for
+// builds without SSSE3. Accumulation is wide int32 throughout, which makes
+// it bit-exact against BOTH intrinsic families for their respective weight
+// contracts: the maddubs tiers never saturate under ±64 codes, and the
+// VNNI tier's vpdpbusd is itself an exact int32 sum under the full ±127
+// codes — so SetGemmForceScalar parity holds to the last epilogue ulp on
+// every tier.
 void Int8TileRowsScalar(int64_t row_begin, int64_t row_end, const uint8_t* a,
                         const Int8PackedFilters& packed, const ActivationQuant& quant,
                         const float* bias, GemmEpilogue ep, float* c, int64_t ldc) {
@@ -808,7 +847,67 @@ inline int32_t LoadKGroup(const uint8_t* p) {
 }
 #endif
 
-#if defined(PERCIVAL_SIMD_INT8_AVX512)
+#if defined(PERCIVAL_SIMD_INT8_VNNI)
+
+// 4 rows x one 32-channel panel on AVX-512 VNNI. Same walk as the maddubs
+// AVX-512 kernel, but vpdpbusd replaces the maddubs/madd/add triple: lane c
+// of _mm512_dpbusd_epi32(acc, va, b) is acc[c] plus channel c's exact 4-tap
+// u8*s8 dot product, summed directly in int32 with no saturating 16-bit
+// intermediate — which is why this tier runs the full ±127 weight codes
+// (see kInt8WeightMax). One instruction per accumulator per K group instead
+// of three, 8 zmm accumulators, same register budget as the float tile.
+void GemmInt8PackedExVnni(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
+                          const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
+                          float* c, int64_t ldc) {
+  const int n = packed.n;
+  const int k_padded = packed.k_padded;
+  const int groups = k_padded / kInt8KUnit;
+  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  int64_t row = 0;
+  for (; row + kGemmTileM <= m; row += kGemmTileM) {
+    const uint8_t* a0 = a + row * k_padded;
+    const uint8_t* a1 = a0 + k_padded;
+    const uint8_t* a2 = a1 + k_padded;
+    const uint8_t* a3 = a2 + k_padded;
+    float* c_row = c + row * ldc;
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * kGemmTileN;
+      const int width = std::min(kGemmTileN, n - n0);
+      const int8_t* pb = packed.data.data() +
+                         static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
+      __m512i acc[8] = {_mm512_setzero_si512(), _mm512_setzero_si512(),
+                        _mm512_setzero_si512(), _mm512_setzero_si512(),
+                        _mm512_setzero_si512(), _mm512_setzero_si512(),
+                        _mm512_setzero_si512(), _mm512_setzero_si512()};
+      for (int g = 0; g < groups; ++g) {
+        const int8_t* group = pb + static_cast<size_t>(g) * kGemmTileN * kInt8KUnit;
+        const __m512i b0 = _mm512_loadu_si512(group);
+        const __m512i b1 = _mm512_loadu_si512(group + 64);
+        __m512i va = _mm512_set1_epi32(LoadKGroup(a0 + g * kInt8KUnit));
+        acc[0] = _mm512_dpbusd_epi32(acc[0], va, b0);
+        acc[1] = _mm512_dpbusd_epi32(acc[1], va, b1);
+        va = _mm512_set1_epi32(LoadKGroup(a1 + g * kInt8KUnit));
+        acc[2] = _mm512_dpbusd_epi32(acc[2], va, b0);
+        acc[3] = _mm512_dpbusd_epi32(acc[3], va, b1);
+        va = _mm512_set1_epi32(LoadKGroup(a2 + g * kInt8KUnit));
+        acc[4] = _mm512_dpbusd_epi32(acc[4], va, b0);
+        acc[5] = _mm512_dpbusd_epi32(acc[5], va, b1);
+        va = _mm512_set1_epi32(LoadKGroup(a3 + g * kInt8KUnit));
+        acc[6] = _mm512_dpbusd_epi32(acc[6], va, b0);
+        acc[7] = _mm512_dpbusd_epi32(acc[7], va, b1);
+      }
+      int32_t buf[kGemmTileM][kGemmTileN];
+      for (int i = 0; i < kGemmTileM; ++i) {
+        _mm512_storeu_si512(buf[i], acc[2 * i]);
+        _mm512_storeu_si512(buf[i] + 16, acc[2 * i + 1]);
+        StoreInt8TileRow(buf[i], packed, quant, bias, ep, n0, width, c_row + i * ldc);
+      }
+    }
+  }
+  Int8TileRowsScalar(row, m, a, packed, quant, bias, ep, c, ldc);
+}
+
+#elif defined(PERCIVAL_SIMD_INT8_AVX512)
 
 // 4 rows x one 32-channel panel. Per K group: 2 zmm panel loads (32
 // channels x 4 bytes), one 4-byte broadcast per row; maddubs pairs
@@ -1025,7 +1124,12 @@ void GemmInt8PackedEx(int64_t m, const uint8_t* a, const Int8PackedFilters& pack
                       float* c, int64_t ldc) {
   PCHECK_GE(ldc, packed.n);
   PCHECK_EQ(packed.k_padded % kInt8KUnit, 0);
-#if defined(PERCIVAL_SIMD_INT8_AVX512)
+#if defined(PERCIVAL_SIMD_INT8_VNNI)
+  if (!GemmForceScalar()) {
+    GemmInt8PackedExVnni(m, a, packed, quant, bias, epilogue, c, ldc);
+    return;
+  }
+#elif defined(PERCIVAL_SIMD_INT8_AVX512)
   if (!GemmForceScalar()) {
     GemmInt8PackedExAvx512(m, a, packed, quant, bias, epilogue, c, ldc);
     return;

@@ -114,7 +114,8 @@ bool GemmForceScalar();
 const char* ActiveGemmKernelName();
 
 // Same for the int8 kernel GemmInt8PackedEx dispatches to
-// ("avx512bw-maddubs", "avx2-maddubs", "ssse3-maddubs", or "scalar").
+// ("avx512vnni-vpdpbusd", "avx512bw-maddubs", "avx2-maddubs",
+// "ssse3-maddubs", or "scalar").
 const char* ActiveInt8KernelName();
 
 // Logs the compiled SIMD path + tile geometry once per process (startup
@@ -155,14 +156,27 @@ void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b
 // bias + ReLU fold into the store, so the int8 path reuses the same
 // GemmEpilogue contract as the float engine.
 //
-// Weight codes are clamped to [-kInt8WeightMax, kInt8WeightMax] = [-64, 64]
-// rather than the full int8 range: the maddubs kernels accumulate via
-// pmaddubsw, whose 16-bit pairwise add saturates, and 64 is the largest
-// magnitude that provably cannot saturate (2 * 255 * 64 = 32640 <= 32767;
-// 65 would admit 33150). Per-channel scales absorb most of the lost bit;
-// the clamp is part of the quantization contract so every kernel tier (and
-// every host) produces identical codes.
+// Weight codes are clamped to [-kInt8WeightMax, kInt8WeightMax], a
+// per-tier constant baked into the quantization contract:
+//   * maddubs tiers (avx512bw / avx2 / ssse3 / their scalar oracle runs)
+//     accumulate via pmaddubsw, whose 16-bit pairwise add saturates; 64 is
+//     the largest magnitude that provably cannot saturate
+//     (2 * 255 * 64 = 32640 <= 32767; 65 would admit 33150).
+//   * the VNNI tier (vpdpbusd) sums the four u8*s8 products straight into
+//     int32 with no 16-bit intermediate, so it quantizes to the full ±127
+//     int8 range — one extra bit of weight precision for free.
+// The always-compiled scalar oracle accumulates in wide int32 for ANY code
+// magnitude, so SetGemmForceScalar parity stays bit-exact on both tiers:
+// against maddubs kernels because ±64 codes make their saturating adds
+// exact, against vpdpbusd because both are exact int32 sums. A build's
+// clamp is recorded in serialized v2 weight files, so artifacts quantized
+// under the wider VNNI contract are never fed to a saturating kernel (the
+// loader falls back to requantizing from the dequantized floats instead).
+#if defined(PERCIVAL_SIMD_INT8_VNNI)
+inline constexpr int kInt8WeightMax = 127;
+#else
 inline constexpr int kInt8WeightMax = 64;
+#endif
 
 // K-dimension packing unit of the int8 panels: pmaddubsw + pmaddwd reduce
 // four u8*s8 products into one int32 lane, so K is zero-padded to a
@@ -208,9 +222,24 @@ struct Int8PackedFilters {
 
 size_t PackedPanelBytesInt8(int n, int k);
 
+// Quantizes one length-k float filter row to symmetric int8 codes in
+// [-kInt8WeightMax, kInt8WeightMax] and returns the scale (w ~= scale * q).
+// This is THE weight quantizer: the pack-time path and the v2 serializer
+// both call it, which is what makes a serialized-then-reloaded model's int8
+// forward bit-identical to the pack-time-quantized one.
+float QuantizeWeightRow(const float* row, int k, int8_t* codes);
+
 // Quantizes row-major float B[N x K] per output channel and packs it into
 // the interleaved int8 panel layout described above.
 void PackFilterPanelsInt8(const float* b, int n, int k, Int8PackedFilters* packed);
+
+// Packs pre-quantized codes (row-major [N x K], e.g. loaded from a PCVW v2
+// file) with their per-channel scales into the same panel layout, skipping
+// requantization entirely. Codes must already respect this build's
+// kInt8WeightMax clamp — the caller (the v2 deserializer) checks the file's
+// recorded clamp against the compiled tier before taking this path.
+void PackQuantizedFilterPanelsInt8(const int8_t* codes, const float* scales, int n, int k,
+                                   Int8PackedFilters* packed);
 
 // Computes C = epilogue(dequant(Q_A * packed) + bias) over pre-quantized A
 // rows. Each A row holds `packed.k_padded` uint8 codes (zero-padded K tail;

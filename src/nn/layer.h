@@ -26,6 +26,21 @@ enum class Precision {
   kInt8,
 };
 
+// Pre-quantized int8 weight codes riding alongside a Parameter's float
+// value. Attached by the PCVW v2 deserializer: `value` then holds the
+// dequantized floats (scale * code — the training/backward/oracle view)
+// while layers with an int8 pack cache (Conv2D) pack these exact codes
+// instead of requantizing, so a reloaded model's int8 forward is
+// bit-identical to the writer's. Valid only while `version` equals the
+// owning Parameter's version: any later mutation (optimizer step, SetWeights,
+// another load) strands the payload and the pack cache falls back to
+// quantizing the current floats.
+struct QuantizedWeights {
+  std::vector<int8_t> codes;  // row-major [channels][k] symmetric int8
+  std::vector<float> scales;  // per output channel, w ~= scale * code
+  uint64_t version = 0;
+};
+
 // A trainable weight with its gradient accumulator.
 struct Parameter {
   std::string name;
@@ -36,6 +51,9 @@ struct Parameter {
   // repack only when this moves). Every code path that writes `value` in
   // place — optimizer step, deserialize, transfer — must call MarkDirty().
   uint64_t version = 1;
+  // Optional pre-quantized codes for `value` (see QuantizedWeights).
+  // shared_ptr keeps Parameter copyable; consumers must check `version`.
+  std::shared_ptr<QuantizedWeights> quantized;
 
   void MarkDirty() { ++version; }
 };

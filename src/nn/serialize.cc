@@ -1,16 +1,26 @@
 #include "src/nn/serialize.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 
+#include "src/base/hash.h"
 #include "src/base/logging.h"
+#include "src/nn/gemm.h"
 
 namespace percival {
 
 namespace {
 
 constexpr char kMagic[4] = {'P', 'C', 'V', 'W'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionFloat = 1;
+constexpr uint32_t kVersionInt8 = 2;
+
+// v2 per-parameter record kinds.
+constexpr uint8_t kRecordFloat32 = 0;
+constexpr uint8_t kRecordInt8PerChannel = 1;
 
 void AppendRaw(std::vector<uint8_t>& out, const void* data, size_t size) {
   const auto* bytes = static_cast<const uint8_t*>(data);
@@ -27,12 +37,19 @@ void AppendString(std::vector<uint8_t>& out, const std::string& text) {
   AppendRaw(out, text.data(), text.size());
 }
 
+// Bounds-checked cursor over an untrusted byte buffer. All checks are
+// written as `size > remaining` (never `pos_ + size > total`): model files
+// cross a trust boundary once deployed artifacts are fetched, and the
+// additive form wraps for attacker-controlled sizes near SIZE_MAX, turning
+// the check into an out-of-bounds read.
 class Reader {
  public:
   explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
 
+  size_t Remaining() const { return bytes_.size() - pos_; }
+
   bool ReadRaw(void* dst, size_t size) {
-    if (pos_ + size > bytes_.size()) {
+    if (size > Remaining()) {
       return false;
     }
     std::memcpy(dst, bytes_.data() + pos_, size);
@@ -47,7 +64,7 @@ class Reader {
 
   bool ReadString(std::string* text) {
     uint32_t size = 0;
-    if (!ReadValue(&size) || pos_ + size > bytes_.size()) {
+    if (!ReadValue(&size) || size > Remaining()) {
       return false;
     }
     text->assign(reinterpret_cast<const char*>(bytes_.data() + pos_), size);
@@ -62,12 +79,97 @@ class Reader {
   size_t pos_ = 0;
 };
 
+// Conv weight tensors are the quantization targets: [out_channels, 1, 1,
+// kernel*kernel*in_channels] named "<layer>.weight". Biases and any future
+// non-conv parameter serialize as float records inside v2.
+bool IsQuantizableWeight(const Parameter& p) {
+  const TensorShape& s = p.value.shape();
+  const std::string suffix = ".weight";
+  return p.name.size() > suffix.size() &&
+         p.name.compare(p.name.size() - suffix.size(), suffix.size(), suffix) == 0 &&
+         s.h == 1 && s.w == 1 && s.n >= 1 && s.c >= 1;
+}
+
+// v2 stores no per-record names or shapes: one FNV-1a hash over the
+// ordered (name, shape) sequence pins the exact architecture the artifact
+// was written for, and every record's geometry derives from the DESTINATION
+// network — a hostile file controls no allocation size at all, and the
+// artifact sheds ~1 KB of header per model (it ships to every browser
+// install, so the deployment format is kept minimal).
+uint64_t ManifestHash(const std::vector<Parameter*>& params) {
+  uint64_t hash = HashBytes(nullptr, 0);  // FNV offset basis
+  for (const Parameter* p : params) {
+    hash = HashCombine(hash, HashString(p->name));
+    const TensorShape& s = p->value.shape();
+    const int32_t dims[4] = {s.n, s.h, s.w, s.c};
+    hash = HashCombine(hash, HashBytes(dims, sizeof(dims)));
+  }
+  return hash;
+}
+
+// One fully parsed + validated parameter record, held until the whole
+// buffer has been accepted. Commit only then — a bad record mid-stream must
+// not leave the network half-loaded.
+struct StagedRecord {
+  std::vector<float> values;
+  std::shared_ptr<QuantizedWeights> quantized;  // null for float records
+};
+
+bool ParseFloatRecord(Reader& reader, const Parameter& p, StagedRecord* staged) {
+  staged->values.resize(static_cast<size_t>(p.value.size()));
+  return reader.ReadRaw(staged->values.data(), sizeof(float) * staged->values.size());
+}
+
+bool ParseInt8Record(Reader& reader, const Parameter& p, uint32_t file_weight_max,
+                     StagedRecord* staged) {
+  // Record geometry comes from the destination parameter, never the file:
+  // channels per-scale, size/channels codes per channel.
+  const uint32_t channels = static_cast<uint32_t>(p.value.shape().n);
+  const uint32_t k = static_cast<uint32_t>(p.value.size() / p.value.shape().n);
+  auto quant = std::make_shared<QuantizedWeights>();
+  quant->scales.resize(channels);
+  quant->codes.resize(static_cast<size_t>(channels) * k);
+  if (!reader.ReadRaw(quant->scales.data(), sizeof(float) * quant->scales.size()) ||
+      !reader.ReadRaw(quant->codes.data(), quant->codes.size())) {
+    return false;
+  }
+  for (float scale : quant->scales) {
+    if (!std::isfinite(scale) || scale <= 0.0f) {
+      return false;
+    }
+  }
+  for (int8_t code : quant->codes) {
+    if (std::abs(static_cast<int>(code)) > static_cast<int>(file_weight_max)) {
+      return false;
+    }
+  }
+  // The float view is the dequantized weights: training/backward and the
+  // float parity oracle keep working on a v2 load (at quantized precision).
+  staged->values.resize(quant->codes.size());
+  for (uint32_t ch = 0; ch < channels; ++ch) {
+    const float scale = quant->scales[ch];
+    const int8_t* row = quant->codes.data() + static_cast<size_t>(ch) * k;
+    float* dst = staged->values.data() + static_cast<size_t>(ch) * k;
+    for (uint32_t kk = 0; kk < k; ++kk) {
+      dst[kk] = scale * static_cast<float>(row[kk]);
+    }
+  }
+  // Only hand the codes to the int8 pack cache when they respect this
+  // build's saturation contract; a wider-clamp artifact (VNNI ±127) on a
+  // narrower build (maddubs ±64) falls back to requantizing the floats.
+  if (file_weight_max > static_cast<uint32_t>(kInt8WeightMax)) {
+    quant.reset();
+  }
+  staged->quantized = std::move(quant);
+  return true;
+}
+
 }  // namespace
 
 std::vector<uint8_t> SerializeWeights(Network& net) {
   std::vector<uint8_t> out;
   AppendRaw(out, kMagic, sizeof(kMagic));
-  AppendValue(out, kVersion);
+  AppendValue(out, kVersionFloat);
   std::vector<Parameter*> params = net.Parameters();
   AppendValue(out, static_cast<uint32_t>(params.size()));
   for (Parameter* p : params) {
@@ -82,47 +184,147 @@ std::vector<uint8_t> SerializeWeights(Network& net) {
   return out;
 }
 
+std::vector<uint8_t> SerializeWeightsInt8(Network& net) {
+  std::vector<uint8_t> out;
+  AppendRaw(out, kMagic, sizeof(kMagic));
+  AppendValue(out, kVersionInt8);
+  AppendValue(out, static_cast<uint32_t>(kInt8WeightMax));
+  std::vector<Parameter*> params = net.Parameters();
+  AppendValue(out, static_cast<uint32_t>(params.size()));
+  AppendValue(out, ManifestHash(params));
+  std::vector<int8_t> codes;
+  for (Parameter* p : params) {
+    if (!IsQuantizableWeight(*p)) {
+      AppendValue(out, kRecordFloat32);
+      AppendRaw(out, p->value.data(), sizeof(float) * static_cast<size_t>(p->value.size()));
+      continue;
+    }
+    const uint32_t channels = static_cast<uint32_t>(p->value.shape().n);
+    const uint32_t k = static_cast<uint32_t>(p->value.size() / p->value.shape().n);
+    AppendValue(out, kRecordInt8PerChannel);
+    // Same quantizer as the pack-time path (QuantizeWeightRow), so a
+    // reloaded artifact's int8 panels hold byte-identical codes.
+    codes.resize(static_cast<size_t>(channels) * k);
+    std::vector<float> scales(channels);
+    for (uint32_t ch = 0; ch < channels; ++ch) {
+      scales[ch] = QuantizeWeightRow(p->value.data() + static_cast<size_t>(ch) * k,
+                                     static_cast<int>(k),
+                                     codes.data() + static_cast<size_t>(ch) * k);
+    }
+    AppendRaw(out, scales.data(), sizeof(float) * scales.size());
+    AppendRaw(out, codes.data(), codes.size());
+  }
+  return out;
+}
+
 bool DeserializeWeights(Network& net, const std::vector<uint8_t>& bytes) {
   Reader reader(bytes);
   char magic[4];
   uint32_t version = 0;
   uint32_t count = 0;
+  uint32_t file_weight_max = 0;
   if (!reader.ReadRaw(magic, sizeof(magic)) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return false;
   }
-  if (!reader.ReadValue(&version) || version != kVersion) {
+  if (!reader.ReadValue(&version) ||
+      (version != kVersionFloat && version != kVersionInt8)) {
     return false;
+  }
+  if (version == kVersionInt8) {
+    if (!reader.ReadValue(&file_weight_max) || file_weight_max == 0 ||
+        file_weight_max > 127) {
+      return false;
+    }
   }
   std::vector<Parameter*> params = net.Parameters();
   if (!reader.ReadValue(&count) || count != params.size()) {
     return false;
   }
-  for (Parameter* p : params) {
-    std::string name;
-    TensorShape shape;
-    if (!reader.ReadString(&name) || name != p->name) {
+  if (version == kVersionInt8) {
+    // The manifest hash pins the ordered (name, shape) sequence the
+    // artifact was written for; any architecture/profile mismatch fails
+    // here, before a single record is parsed. (v1 keeps per-record names
+    // and shapes instead — friendlier for inspecting checkpoints.)
+    uint64_t manifest = 0;
+    if (!reader.ReadValue(&manifest) || manifest != ManifestHash(params)) {
       return false;
     }
-    if (!reader.ReadValue(&shape.n) || !reader.ReadValue(&shape.h) ||
-        !reader.ReadValue(&shape.w) || !reader.ReadValue(&shape.c)) {
+  }
+
+  // Phase 1: parse and validate the ENTIRE buffer into staging storage.
+  // Nothing in `net` is mutated until every record has been accepted.
+  std::vector<StagedRecord> staged(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    Parameter* p = params[i];
+    if (version == kVersionFloat) {
+      std::string name;
+      TensorShape shape;
+      if (!reader.ReadString(&name) || name != p->name) {
+        return false;
+      }
+      if (!reader.ReadValue(&shape.n) || !reader.ReadValue(&shape.h) ||
+          !reader.ReadValue(&shape.w) || !reader.ReadValue(&shape.c)) {
+        return false;
+      }
+      if (!(shape == p->value.shape())) {
+        return false;
+      }
+      if (!ParseFloatRecord(reader, *p, &staged[i])) {
+        return false;
+      }
+      continue;
+    }
+    uint8_t kind = 0;
+    if (!reader.ReadValue(&kind)) {
       return false;
     }
-    if (!(shape == p->value.shape())) {
+    if (kind == kRecordFloat32) {
+      if (!ParseFloatRecord(reader, *p, &staged[i])) {
+        return false;
+      }
+    } else if (kind == kRecordInt8PerChannel) {
+      // Only the conv weight tensors the writer quantizes may carry int8
+      // records; a flipped kind byte on a bias is corruption, not a format.
+      if (!IsQuantizableWeight(*p) ||
+          !ParseInt8Record(reader, *p, file_weight_max, &staged[i])) {
+        return false;
+      }
+    } else {
       return false;
     }
-    if (!reader.ReadRaw(p->value.data(), sizeof(float) * static_cast<size_t>(p->value.size()))) {
-      return false;
-    }
+  }
+  if (!reader.AtEnd()) {
+    return false;
+  }
+  if (version == kVersionInt8 && file_weight_max > static_cast<uint32_t>(kInt8WeightMax)) {
+    // Payloads were dropped wholesale by ParseInt8Record; say so once —
+    // inference still runs (requantized from the dequantized floats under
+    // the local clamp), but not bit-identically to the writing build.
+    LogLine("pcvw: v2 artifact clamp ±" + std::to_string(file_weight_max) +
+            " exceeds this build's ±" + std::to_string(kInt8WeightMax) +
+            "; requantizing weights under the local clamp");
+  }
+
+  // Phase 2: commit. From here on nothing can fail.
+  for (size_t i = 0; i < params.size(); ++i) {
+    Parameter* p = params[i];
+    std::memcpy(p->value.data(), staged[i].values.data(),
+                sizeof(float) * staged[i].values.size());
     // The layer may hold a packed form of the previous values (Conv2D's
     // GEMM panels); loading must invalidate it or forwards would keep
     // using the old weights.
     p->MarkDirty();
+    p->quantized = std::move(staged[i].quantized);
+    if (p->quantized != nullptr) {
+      p->quantized->version = p->version;
+    }
   }
-  return reader.AtEnd();
+  return true;
 }
 
-bool SaveWeightsToFile(Network& net, const std::string& path) {
-  std::vector<uint8_t> bytes = SerializeWeights(net);
+namespace {
+
+bool WriteBytesToFile(const std::vector<uint8_t>& bytes, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return false;
@@ -132,15 +334,43 @@ bool SaveWeightsToFile(Network& net, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-bool LoadWeightsFromFile(Network& net, const std::string& path) {
+}  // namespace
+
+bool SaveWeightsToFile(Network& net, const std::string& path) {
+  return WriteBytesToFile(SerializeWeights(net), path);
+}
+
+bool SaveWeightsToFileInt8(Network& net, const std::string& path) {
+  return WriteBytesToFile(SerializeWeightsInt8(net), path);
+}
+
+int PeekWeightsVersion(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < sizeof(kMagic) + sizeof(uint32_t) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return 0;
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
+  if (version != kVersionFloat && version != kVersionInt8) {
+    return 0;
+  }
+  return static_cast<int>(version);
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* bytes) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
     return false;
   }
   const std::streamsize size = in.tellg();
   in.seekg(0);
-  std::vector<uint8_t> bytes(static_cast<size_t>(size));
-  if (!in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+  bytes->resize(static_cast<size_t>(size));
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(bytes->data()), size));
+}
+
+bool LoadWeightsFromFile(Network& net, const std::string& path) {
+  std::vector<uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes)) {
     return false;
   }
   return DeserializeWeights(net, bytes);

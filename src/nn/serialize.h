@@ -1,8 +1,31 @@
-// Binary weight serialization.
+// Binary weight serialization (PCVW format, versions 1 and 2).
 //
-// Format: magic "PCVW", version, parameter count, then for each parameter its
-// name, shape, and raw float32 data. Loading validates names and shapes
-// against the destination network, so a profile mismatch fails loudly.
+// v1 — float32 training checkpoint: magic "PCVW", version, parameter count,
+// then per parameter its name, shape, and raw float32 data.
+//
+// v2 — int8 deployment artifact (~4x smaller): same magic, version 2, plus
+// the weight-code clamp (kInt8WeightMax) of the build that wrote it and a
+// manifest hash over the ordered (name, shape) parameter sequence — v2
+// records carry no per-record names or shapes, so an architecture mismatch
+// is rejected on the hash before any record parses and a hostile file
+// controls no allocation size. Conv weight records carry per-output-channel
+// symmetric int8 codes + one float scale per channel (quantized by the same
+// QuantizeWeightRow the pack-time path uses); biases and any non-conv
+// parameter stay raw float32. Loading a v2 file reconstructs the float
+// values by dequantizing (scale * code) and
+// attaches the exact codes to each Parameter as a QuantizedWeights payload,
+// which Conv2D's int8 pack cache consumes directly — so int8 inference from
+// a reloaded artifact is bit-identical to quantizing the original floats at
+// pack time. If the file's recorded clamp exceeds this build's (a ±127 VNNI
+// artifact on a ±64 maddubs build), the payload is dropped and the pack
+// cache requantizes the dequantized floats under the local clamp instead —
+// degraded precision, never a saturating kernel.
+//
+// DeserializeWeights reads either version, validates names and shapes
+// against the destination network (a profile mismatch fails loudly), and is
+// atomic: the entire buffer is parsed and validated into staging storage
+// before any parameter is touched, so a corrupt or truncated file leaves
+// the network exactly as it was.
 #ifndef PERCIVAL_SRC_NN_SERIALIZE_H_
 #define PERCIVAL_SRC_NN_SERIALIZE_H_
 
@@ -13,16 +36,36 @@
 
 namespace percival {
 
-// Serializes all parameters of `net` into a byte buffer.
+// Serializes all parameters of `net` as a v1 float32 checkpoint.
 std::vector<uint8_t> SerializeWeights(Network& net);
 
-// Restores parameters into `net`. Returns false (leaving `net` unspecified)
-// on any structural mismatch or truncation.
+// Serializes `net` as a v2 int8 artifact: conv weights as per-channel int8
+// codes + scales under this build's kInt8WeightMax contract, everything
+// else float32. Quantization is lossy — keep the v1 checkpoint for
+// training; ship v2.
+std::vector<uint8_t> SerializeWeightsInt8(Network& net);
+
+// Restores parameters into `net` from a v1 or v2 buffer. Returns false on
+// any structural mismatch, truncation, or corruption — in which case `net`
+// is left completely untouched (no partially applied records).
 bool DeserializeWeights(Network& net, const std::vector<uint8_t>& bytes);
 
-// File helpers. Return false on I/O failure.
+// File helpers. Return false on I/O failure (the loaders also on parse
+// failure, leaving `net` untouched).
 bool SaveWeightsToFile(Network& net, const std::string& path);
+bool SaveWeightsToFileInt8(Network& net, const std::string& path);
 bool LoadWeightsFromFile(Network& net, const std::string& path);
+
+// Reads just the PCVW header out of an in-memory buffer: 1 for a float
+// checkpoint, 2 for an int8 artifact, 0 when not PCVW. Lets deployment
+// wrappers pick the inference engine an artifact was built for without
+// relying on whether its payloads survived the clamp-compatibility check.
+// Deliberately buffer-only: peek the same bytes you deserialize (re-opening
+// the file to sniff would race a concurrent artifact swap).
+int PeekWeightsVersion(const std::vector<uint8_t>& bytes);
+
+// Reads a whole file into `bytes` (binary). Returns false on I/O failure.
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* bytes);
 
 }  // namespace percival
 

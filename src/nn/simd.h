@@ -15,7 +15,12 @@
 // The int8 quantized kernels have their own sub-dispatch because their key
 // instruction (pmaddubsw) arrived with SSSE3, not SSE2: a baseline build
 // therefore pairs SSE2 float kernels with the scalar int8 kernel, while any
-// -march with SSSE3 upgrades int8 to 128-bit maddubs.
+// -march with SSSE3 upgrades int8 to 128-bit maddubs. Above the AVX-512BW
+// maddubs tier sits AVX-512 VNNI: vpdpbusd fuses the maddubs/madd/add
+// triple into one instruction AND accumulates the four u8*s8 products
+// directly into int32 — no 16-bit intermediate, so the ±64 weight-code
+// clamp the saturating tiers need does not apply (see kInt8WeightMax in
+// gemm.h, which widens to ±127 on this tier).
 //
 // The selection is deliberately compile-time: the classifier ships as one
 // binary per target, and a runtime-dispatch indirection in a kernel this
@@ -42,7 +47,9 @@
 #endif
 
 // Int8 kernel tier, derived from the float tier above.
-#if defined(PERCIVAL_SIMD_AVX512)
+#if defined(PERCIVAL_SIMD_AVX512) && defined(__AVX512VNNI__)
+#define PERCIVAL_SIMD_INT8_VNNI 1
+#elif defined(PERCIVAL_SIMD_AVX512)
 #define PERCIVAL_SIMD_INT8_AVX512 1
 #elif defined(PERCIVAL_SIMD_AVX2)
 #define PERCIVAL_SIMD_INT8_AVX2 1
@@ -64,7 +71,9 @@ inline constexpr const char* kSimdPathName = "sse2";
 inline constexpr const char* kSimdPathName = "scalar";
 #endif
 
-#if defined(PERCIVAL_SIMD_INT8_AVX512)
+#if defined(PERCIVAL_SIMD_INT8_VNNI)
+inline constexpr const char* kSimdInt8PathName = "avx512vnni-vpdpbusd";
+#elif defined(PERCIVAL_SIMD_INT8_AVX512)
 inline constexpr const char* kSimdInt8PathName = "avx512bw-maddubs";
 #elif defined(PERCIVAL_SIMD_INT8_AVX2)
 inline constexpr const char* kSimdInt8PathName = "avx2-maddubs";

@@ -105,6 +105,39 @@ TEST(EvalModeTest, EvalForwardClearsCapturedBackwardState) {
   EXPECT_DEATH(net.Backward(grad), "PCHECK");
 }
 
+// Same invariant per layer for the state the stack test cannot isolate: an
+// eval forward clears Conv2D's last_input_ copy — a stale same-shaped copy
+// would let a train-mode Backward silently compute gradients against the
+// previous batch.
+TEST(EvalModeTest, ConvEvalForwardClearsLastInput) {
+  Rng rng(20);
+  Conv2D conv(3, 6, 3, 1, 1, rng);
+  Tensor first = RandomTensor(TensorShape{1, 6, 6, 3}, 21);
+  Tensor second = RandomTensor(TensorShape{1, 6, 6, 3}, 22);
+
+  conv.SetTrainingMode(true);
+  conv.Forward(first);  // captures last_input_
+  conv.SetTrainingMode(false);
+  conv.Forward(second);  // must clear it, not keep the stale copy
+  conv.SetTrainingMode(true);
+  Tensor grad = RandomTensor(conv.OutputShape(first.shape()), 23);
+  EXPECT_DEATH(conv.Backward(grad), "PCHECK");
+}
+
+// And Softmax's retained output (its only backward state).
+TEST(EvalModeTest, SoftmaxEvalForwardClearsLastOutput) {
+  Softmax softmax;
+  Tensor logits = RandomTensor(TensorShape{2, 1, 1, 4}, 24);
+
+  softmax.SetTrainingMode(true);
+  softmax.Forward(logits);
+  softmax.SetTrainingMode(false);
+  softmax.Forward(logits);
+  softmax.SetTrainingMode(true);
+  Tensor grad = RandomTensor(TensorShape{2, 1, 1, 4}, 25);
+  EXPECT_DEATH(softmax.Backward(grad), "PCHECK");
+}
+
 // The frozen deployment path: after PlanForward, eval-mode forwards perform
 // zero arena growth from the first inference on — in float and in int8.
 TEST(EvalModeTest, EvalForwardIsArenaAllocationFree) {

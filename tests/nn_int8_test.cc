@@ -100,9 +100,11 @@ TEST(Int8KernelTest, IntrinsicMatchesScalarOracle) {
   }
 }
 
-// Weight codes must stay inside [-kInt8WeightMax, kInt8WeightMax]: that
-// clamp is what makes the pmaddubsw 16-bit pairwise add provably
-// saturation-free, so it is part of the quantization contract.
+// Weight codes must stay inside [-kInt8WeightMax, kInt8WeightMax], the
+// per-tier quantization contract: on the maddubs tiers the clamp is what
+// makes the pmaddubsw 16-bit pairwise add provably saturation-free; the
+// VNNI tier accumulates u8*s8 quads directly in int32 (no 16-bit
+// intermediate), so its contract widens to the full ±127 range.
 TEST(Int8KernelTest, WeightCodesRespectSaturationBound) {
   Tensor b = RandomTensor(TensorShape{1, 1, 24, 50}, 77, -3.0f, 3.0f);
   Int8PackedFilters packed;
@@ -111,8 +113,13 @@ TEST(Int8KernelTest, WeightCodesRespectSaturationBound) {
     ASSERT_GE(code, -kInt8WeightMax);
     ASSERT_LE(code, kInt8WeightMax);
   }
-  // And the worst-case pmaddubsw pair cannot saturate int16.
+#if defined(PERCIVAL_SIMD_INT8_VNNI)
+  // vpdpbusd never saturates; the full int8 range must be in play.
+  ASSERT_EQ(kInt8WeightMax, 127);
+#else
+  // The worst-case pmaddubsw pair cannot saturate int16.
   ASSERT_LT(2 * 255 * kInt8WeightMax, 32768);
+#endif
 }
 
 // ------------------------------------------------ conv-level error bounds --
