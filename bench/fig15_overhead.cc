@@ -3,11 +3,14 @@
 // similar, but Brave's baseline is smaller (block lists remove work), so
 // the relative overhead is larger.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/eval/metrics.h"
@@ -168,11 +171,98 @@ void Run(const ThreadSplit& split) {
   }
 }
 
+// Fig. 15, threaded second half: overhead vs inference-pool size. Renders
+// the Chromium baseline once, then the PERCIVAL treatment at every pool
+// size from 1 to hardware_concurrency (dense to 4, then doubling), and
+// derives a recommended pool size from the curve: the smallest pool within
+// 5% of the best overhead — past that knee extra inference threads only
+// steal raster cores. The curve and the recommendation land in
+// BENCH_fig15_thread_sweep.json; ComputeThreadSplit's default (raster =
+// half the cores, inference = the rest) is the policy this sweep validated
+// on multi-core hosts, and --raster-threads remains the per-host override.
+void RunThreadSweep(const ThreadSplit& split) {
+  PrintHeader("Fig. 15 (second half) — overhead vs inference-pool size");
+  std::printf("threads: %d hardware, raster fixed at %d\n", split.hardware, split.raster);
+  ModelZoo zoo;
+  AdClassifier classifier = MakeSharedClassifier(zoo);
+  BenchWorld world = MakeBenchWorld(0.75, 7);
+  const int kPages = 60;
+
+  BenchReport report("fig15_thread_sweep");
+  BenchTiming config_row;
+  config_row.reps = 1;
+  config_row.name = "raster_threads";
+  config_row.median_ms = split.raster;
+  config_row.min_ms = split.raster;
+  report.Record(config_row);
+
+  const BenchTiming base =
+      RenderTimes("render_chromium_base", world, nullptr, nullptr, kPages, split.raster);
+  report.Record(base);
+
+  std::vector<int> pool_sizes;
+  for (int n = 1; n <= split.hardware; n = n < 4 ? n + 1 : n * 2) {
+    pool_sizes.push_back(n);
+  }
+  if (pool_sizes.back() != split.hardware) {
+    pool_sizes.push_back(split.hardware);
+  }
+
+  double best_overhead = 0.0;
+  bool have_best = false;
+  std::vector<std::pair<int, double>> curve;
+  for (const int n : pool_sizes) {
+    ScopedInferencePool pool(n);
+    const BenchTiming t = RenderTimes("render_chromium_percival_pool" + std::to_string(n),
+                                      world, &classifier, nullptr, kPages, split.raster);
+    report.Record(t);
+    const double overhead = t.median_ms - base.median_ms;
+    BenchTiming row;
+    row.name = "sweep_overhead_pool" + std::to_string(n) + "_ms";
+    row.reps = kPages;
+    row.median_ms = overhead;
+    row.min_ms = t.min_ms - base.min_ms;
+    report.Record(row);
+    curve.emplace_back(n, overhead);
+    if (!have_best || overhead < best_overhead) {
+      best_overhead = overhead;
+      have_best = true;
+    }
+    std::printf("pool %2d: render %.2f ms (overhead %+.2f ms)\n", n, t.median_ms, overhead);
+  }
+
+  // The knee: smallest pool within 5% (plus a 0.1 ms noise floor) of the
+  // best overhead.
+  int recommended = pool_sizes.back();
+  for (const auto& [n, overhead] : curve) {
+    if (overhead <= best_overhead + std::max(0.05 * std::abs(best_overhead), 0.1)) {
+      recommended = n;
+      break;
+    }
+  }
+  BenchTiming rec_row;
+  rec_row.reps = 1;
+  rec_row.name = "sweep_recommended_inference_threads";
+  rec_row.median_ms = recommended;
+  rec_row.min_ms = recommended;
+  report.Record(rec_row);
+  std::printf(
+      "recommended inference pool: %d threads (smallest within 5%% of the best "
+      "overhead %.2f ms); default split keeps raster = half the cores and gives "
+      "inference the rest\n",
+      recommended, best_overhead);
+  const std::string json = report.WriteJson();
+  if (!json.empty()) {
+    std::printf("wrote %s\n", json.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace percival
 
 int main(int argc, char** argv) {
   int raster_override = 0;
+  bool sweep = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--raster-threads=", 17) == 0) {
@@ -182,11 +272,18 @@ int main(int argc, char** argv) {
         std::printf("invalid --raster-threads value: %s\n", arg + 17);
         return 1;
       }
+    } else if (std::strcmp(arg, "--sweep-threads") == 0) {
+      sweep = true;
     } else {
-      std::printf("usage: fig15_overhead [--raster-threads=N]\n");
+      std::printf("usage: fig15_overhead [--raster-threads=N] [--sweep-threads]\n");
       return 1;
     }
   }
-  percival::Run(percival::ComputeThreadSplit(raster_override));
+  const percival::ThreadSplit split = percival::ComputeThreadSplit(raster_override);
+  if (sweep) {
+    percival::RunThreadSweep(split);
+  } else {
+    percival::Run(split);
+  }
   return 0;
 }

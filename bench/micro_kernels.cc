@@ -148,6 +148,90 @@ void RunSuite(const Options& options) {
     }
   }
 
+  // Narrow-squeeze fire modules (8/16ch — the shapes the ROADMAP flagged as
+  // underutilizing the 32-wide AVX-512 panel), float vs int8, pinned to
+  // each panel width this build implements on identical layers and inputs.
+  // The panel<native> rows are the A/B baseline; the planner's heuristic
+  // picks the 16-wide tile for every conv in these modules, and the
+  // panel16-vs-panel32 int8 ratio is the acceptance number.
+  {
+    struct NarrowFire {
+      int in;
+      int squeeze;
+      int expand;
+      const char* tag;
+    };
+    const NarrowFire shapes[] = {{32, 8, 16, "s8e16"}, {64, 16, 16, "s16e16"}};
+    std::vector<int> widths{kGemmTileN};
+    if (kGemmTileNMin != kGemmTileN) {
+      widths.push_back(kGemmTileNMin);  // narrow == native on 16-wide tiers
+    }
+    for (const NarrowFire& cfg : shapes) {
+      for (const int width : widths) {
+        SetPlannerPanelOverride(width);
+        Rng rng(1);
+        FireModule fire(cfg.in, cfg.squeeze, cfg.expand, rng);
+        // Deployment configuration: eval mode, like the classifier runs it
+        // (training-mode input copies and mask sweeps would bury the kernel
+        // delta under width-independent bookkeeping).
+        fire.SetTrainingMode(false);
+        const TensorShape shape{1, 32, 32, cfg.in};
+        fire.PlanKernels(shape);
+        SetPlannerPanelOverride(0);
+        Tensor input = RandomTensor(shape, 2);
+        const int64_t macs = fire.ForwardMacs(shape);
+        const std::string name =
+            std::string("fire_") + cfg.tag + "_panel" + std::to_string(width);
+        bench(name + "_float_32", 30, macs, [&] { g_sink += fire.Forward(input)[0]; });
+        fire.SetPrecision(Precision::kInt8);
+        bench(name + "_int8_32", 30, macs, [&] { g_sink += fire.Forward(input)[0]; });
+        fire.SetPrecision(Precision::kFloat32);
+      }
+    }
+  }
+
+  // Layout experiment (ROADMAP): the identical 3x3 conv pinned to each
+  // activation layout, float and int8. kh-kw-c has won on every host
+  // measured — its per-tap contiguous gather beats the channel-strided
+  // c-outer one — which is why the planner's default stays put; these rows
+  // keep the experiment honest on new hosts.
+  for (const bool c_outer : {false, true}) {
+    Rng rng(1);
+    Conv2D conv(16, 32, 3, 1, 1, rng);
+    KernelPlan plan = conv.plan();
+    plan.layout = c_outer ? ActivationLayout::kCOuter : ActivationLayout::kKhKwC;
+    conv.SetKernelPlan(plan);
+    Tensor input = RandomTensor(TensorShape{1, 32, 32, 16}, 2);
+    const int64_t macs = conv.ForwardMacs(input.shape());
+    const std::string name =
+        std::string("conv3x3_layout_") + (c_outer ? "couter" : "khkwc");
+    bench(name + "_simd_32", 40, macs, [&] { g_sink += conv.Forward(input)[0]; });
+    conv.SetPrecision(Precision::kInt8);
+    bench(name + "_int8_32", 40, macs, [&] { g_sink += conv.Forward(input)[0]; });
+    conv.SetPrecision(Precision::kFloat32);
+  }
+
+  // The planner's per-layer decisions for the experiment deployment profile
+  // (int8 eval — the browser configuration) ride the same JSON so the
+  // layout/panel experiment is measured, not guessed: median_ms carries the
+  // chosen panel width, min_ms is 1 when the layer chose c-outer.
+  if (options.filter.empty()) {
+    PercivalNetConfig config = ExperimentProfile();
+    Network net = BuildPercivalNet(config);
+    net.SetTrainingMode(false);
+    net.SetPrecision(Precision::kInt8);
+    net.PlanForward(config.InputShape());
+    std::printf("%s\n", net.KernelPlanSummary().c_str());
+    for (const KernelPlanRow& row : net.CollectKernelPlanRows()) {
+      BenchTiming t;
+      t.reps = 1;
+      t.name = "plan_" + row.layer + "_panel_width";
+      t.median_ms = row.panel_width;
+      t.min_ms = row.c_outer ? 1 : 0;
+      report.Record(t);
+    }
+  }
+
   {
     PercivalNetConfig config = ExperimentProfile();
     Network net = BuildPercivalNet(config);
@@ -200,6 +284,18 @@ void RunSuite(const Options& options) {
     });
     bench("classify_batch_8", 10, 0,
           [&] { g_sink += classifier.ClassifyBatch(batch)[0].ad_probability; });
+
+    // Int8 deployment pair: u8-direct preprocessing (resize straight to
+    // codes, no float staging tensor) vs the float-then-quantize pipeline
+    // on the same classifier and creatives.
+    classifier.SetPrecision(Precision::kInt8);
+    bench("classify_batch_8_int8_u8direct", 10, 0,
+          [&] { g_sink += classifier.ClassifyBatch(batch)[0].ad_probability; });
+    classifier.set_use_u8_direct(false);
+    bench("classify_batch_8_int8_staged", 10, 0,
+          [&] { g_sink += classifier.ClassifyBatch(batch)[0].ad_probability; });
+    classifier.set_use_u8_direct(true);
+    classifier.SetPrecision(Precision::kFloat32);
   }
 
   {
@@ -209,6 +305,12 @@ void RunSuite(const Options& options) {
     std::vector<uint8_t> bytes = EncodePif(ad);
     bench("decode_pif", 30, 0, [&] { g_sink += DecodePif(bytes).value_or(Bitmap()).width(); });
     bench("bitmap_to_tensor", 30, 0, [&] { g_sink += BitmapToTensor(ad, 64, 3)[0]; });
+    // The fused resize->quantize preprocessing the int8 classify path uses.
+    std::vector<uint8_t> codes(static_cast<size_t>(64) * 64 * 3);
+    bench("bitmap_to_tensor_u8", 30, 0, [&] {
+      BitmapToTensorU8Into(ad, 64, 3, 1.0f / 255.0f, 0, codes.data());
+      g_sink += static_cast<float>(codes[0]);
+    });
   }
 
   {

@@ -21,6 +21,41 @@ AdClassifier::AdClassifier(Network network, const PercivalNetConfig& config, flo
   // classification issued from another thread warms that thread's arena
   // organically (the plan is thread-local, see Network::PlanForward).
   network_.PlanForward(config_.InputShape());
+  RefreshU8DirectLocked();
+}
+
+void AdClassifier::RefreshU8DirectLocked() {
+  u8_direct_active_ = use_u8_direct_ && precision_ == Precision::kInt8 &&
+                      network_.AcceptsQuantizedInput();
+  if (!u8_direct_active_) {
+    return;
+  }
+  // The classifier always feeds pixels / 255, so the network input lives in
+  // [0, 1]. Pin that (or the artifact's calibrated range, when it shipped
+  // one) as the first conv's input calibration: BOTH pipelines — u8-direct
+  // and float-then-quantize — then derive one shared quantization from it,
+  // which is what makes their classifications bit-identical. The
+  // quantization itself is NOT cached here: snapshots re-derive it from the
+  // conv's live calibration (see InputQuantLocked), so changing the
+  // calibration later — e.g. a capture batch run on network() — keeps both
+  // pipelines in lockstep instead of silently splitting them.
+  float lo = 0.0f;
+  float hi = 1.0f;
+  if (!network_.layer(0).InputCalibration(&lo, &hi)) {
+    const ActivationCalibration unit_range{0.0f, 1.0f, true};
+    network_.layer(0).ConsumeCalibration(&unit_range, 1);
+  }
+  LogLine(std::string("classifier: u8-direct preprocessing on (") +
+          network_.KernelPlanSummary() + ")");
+}
+
+ActivationQuant AdClassifier::InputQuantLocked() const {
+  // [0, 1] matches the pin RefreshU8DirectLocked installs, so the fallback
+  // only applies if someone cleared the calibration through network().
+  float lo = 0.0f;
+  float hi = 1.0f;
+  network_.layer(0).InputCalibration(&lo, &hi);
+  return ComputeActivationQuant(lo, hi);
 }
 
 void AdClassifier::SetPrecision(Precision precision) {
@@ -28,11 +63,23 @@ void AdClassifier::SetPrecision(Precision precision) {
   precision_ = precision;
   network_.SetPrecision(precision);
   network_.PlanForward(config_.InputShape());
+  RefreshU8DirectLocked();
 }
 
 Precision AdClassifier::precision() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return precision_;
+}
+
+void AdClassifier::set_use_u8_direct(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  use_u8_direct_ = enabled;
+  RefreshU8DirectLocked();
+}
+
+bool AdClassifier::u8_direct_active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return u8_direct_active_;
 }
 
 bool AdClassifier::LoadWeights(const std::string& path) {
@@ -51,16 +98,72 @@ bool AdClassifier::LoadWeights(const std::string& path) {
       PeekWeightsVersion(bytes) == 2 ? Precision::kInt8 : Precision::kFloat32;
   network_.SetPrecision(precision_);
   network_.PlanForward(config_.InputShape());
+  RefreshU8DirectLocked();
   return true;
+}
+
+AdClassifier::U8DirectSnapshot AdClassifier::SnapshotU8Direct() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  U8DirectSnapshot snapshot;
+  snapshot.active = u8_direct_active_;
+  if (snapshot.active) {
+    const ActivationQuant quant = InputQuantLocked();
+    snapshot.scale = quant.scale;
+    snapshot.zero_point = quant.zero_point;
+  }
+  return snapshot;
+}
+
+bool AdClassifier::U8SnapshotStaleLocked(const U8DirectSnapshot& snapshot) const {
+  if (!u8_direct_active_) {
+    return true;
+  }
+  const ActivationQuant quant = InputQuantLocked();
+  return quant.scale != snapshot.scale || quant.zero_point != snapshot.zero_point;
+}
+
+QuantizedTensorView AdClassifier::MakeU8View(const U8DirectSnapshot& snapshot,
+                                             const uint8_t* codes, int batch) const {
+  QuantizedTensorView view;
+  view.data = codes;
+  view.shape = config_.InputShape(batch);
+  view.scale = snapshot.scale;
+  view.zero_point = snapshot.zero_point;
+  return view;
 }
 
 ClassifyResult AdClassifier::Classify(const Bitmap& image) {
   Stopwatch timer;
-  Tensor input = BitmapToTensor(image, config_.input_size, config_.input_channels);
+  // Snapshot the u8-direct state so preprocessing can run outside the
+  // network lock (mirrors the float path, which also preprocesses first).
+  U8DirectSnapshot u8 = SnapshotU8Direct();
+  Tensor input;
+  // Reused per thread: steady-state u8-direct classification allocates
+  // neither a float staging tensor nor a fresh code buffer.
+  thread_local std::vector<uint8_t> codes;
+  if (u8.active) {
+    codes.resize(static_cast<size_t>(config_.InputShape().Elements()));
+    BitmapToTensorU8Into(image, config_.input_size, config_.input_channels, u8.scale,
+                         u8.zero_point, codes.data());
+  } else {
+    input = BitmapToTensor(image, config_.input_size, config_.input_channels);
+  }
   ClassifyResult result;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    Tensor logits = network_.Forward(input);
+    if (u8.active && U8SnapshotStaleLocked(u8)) {
+      // Precision or calibration flipped between the snapshot and the lock
+      // (rare): the prepared codes are stale — fall back to the float path.
+      u8.active = false;
+      input = BitmapToTensor(image, config_.input_size, config_.input_channels);
+    }
+    Tensor logits;
+    if (u8.active) {
+      logits = network_.ForwardQuantized(MakeU8View(u8, codes.data(), 1));
+      ++stats_.u8_direct;
+    } else {
+      logits = network_.Forward(input);
+    }
     Softmax softmax;
     Tensor probs = softmax.Forward(logits);
     // Class 1 == ad by convention throughout the repo.
@@ -84,26 +187,60 @@ std::vector<ClassifyResult> AdClassifier::ClassifyBatch(
   }
   Stopwatch preprocess_timer;
 
-  // Stack the preprocessed samples into one NHWC tensor. Resize + normalize
-  // dominates for large creatives, so it fans out over the inference pool.
-  Tensor input(batch, config_.input_size, config_.input_size, config_.input_channels);
-  InferenceParallelFor(
-      batch, input.SampleElements() * 8, [&](int64_t begin, int64_t end) {
-        for (int64_t i = begin; i < end; ++i) {
-          BitmapToTensorInto(*images[static_cast<size_t>(i)], config_.input_size,
-                             config_.input_channels, input.SampleData(static_cast<int>(i)));
-        }
-      });
+  U8DirectSnapshot u8 = SnapshotU8Direct();
+
+  // Stack the preprocessed samples into one NHWC tensor — or, on the
+  // u8-direct path, one NHWC uint8 code buffer (no float staging tensor).
+  // Resize dominates for large creatives, so it fans out over the pool.
+  const int64_t sample_elements = static_cast<int64_t>(config_.input_size) *
+                                  config_.input_size * config_.input_channels;
+  Tensor input;
+  thread_local std::vector<uint8_t> codes;
+  auto preprocess_u8 = [&] {
+    codes.resize(static_cast<size_t>(batch) * static_cast<size_t>(sample_elements));
+    InferenceParallelFor(batch, sample_elements * 8, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        BitmapToTensorU8Into(*images[static_cast<size_t>(i)], config_.input_size,
+                             config_.input_channels, u8.scale, u8.zero_point,
+                             codes.data() + i * sample_elements);
+      }
+    });
+  };
+  auto preprocess_float = [&] {
+    input = Tensor(batch, config_.input_size, config_.input_size, config_.input_channels);
+    InferenceParallelFor(batch, sample_elements * 8, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        BitmapToTensorInto(*images[static_cast<size_t>(i)], config_.input_size,
+                           config_.input_channels, input.SampleData(static_cast<int>(i)));
+      }
+    });
+  };
+  if (u8.active) {
+    preprocess_u8();
+  } else {
+    preprocess_float();
+  }
   const double preprocess_ms = preprocess_timer.ElapsedMs();
 
   std::vector<ClassifyResult> results(static_cast<size_t>(batch));
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (u8.active && U8SnapshotStaleLocked(u8)) {
+      // See Classify(): the snapshot went stale — redo in float.
+      u8.active = false;
+      preprocess_float();
+    }
     // The forward timer starts after the lock is acquired: overlapping
     // batches queueing on the network mutex must not bill their wait as
     // classification latency.
     Stopwatch forward_timer;
-    Tensor logits = network_.Forward(input);
+    Tensor logits;
+    if (u8.active) {
+      logits = network_.ForwardQuantized(MakeU8View(u8, codes.data(), batch));
+      stats_.u8_direct += batch;
+    } else {
+      logits = network_.Forward(input);
+    }
     Softmax softmax;
     Tensor probs = softmax.Forward(logits);
     const double elapsed = preprocess_ms + forward_timer.ElapsedMs();

@@ -20,6 +20,7 @@
 #include "src/base/thread_pool.h"
 #include "src/core/model.h"
 #include "src/img/bitmap.h"
+#include "src/nn/gemm.h"
 #include "src/nn/network.h"
 #include "src/renderer/image_pipeline.h"
 
@@ -36,6 +37,9 @@ struct ClassifierStats {
   int64_t blocked = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  // Classifications whose preprocessing went straight to uint8 codes (the
+  // int8 u8-direct path) — no float staging tensor existed for these.
+  int64_t u8_direct = 0;
   double total_latency_ms = 0.0;
   double MeanLatencyMs() const {
     return classified == 0 ? 0.0 : total_latency_ms / static_cast<double>(classified);
@@ -86,12 +90,48 @@ class AdClassifier : public ImageInterceptor {
   // paper's slot sizes start around 100px on the short edge.
   void set_min_dimension(int pixels) { min_dimension_ = pixels; }
 
+  // u8-direct preprocessing: in int8 mode the classifier resizes bitmaps
+  // straight to uint8 activation codes (BitmapToTensorU8Into) and feeds the
+  // network's first conv through Network::ForwardQuantized — the classify
+  // path never materializes the float staging tensor, skips the first
+  // conv's MinMaxRange + QuantizeActivations sweeps, and is bit-identical
+  // to the float-then-quantize pipeline (the first conv's input calibration
+  // pins one shared quantization; [0, 1] — the range BitmapToTensor output
+  // always lies in — is installed when the artifact carried none). On by
+  // default; the knob exists for A/B measurement and parity tests.
+  void set_use_u8_direct(bool enabled);
+  bool u8_direct_active() const;
+
   const PercivalNetConfig& config() const { return config_; }
   Network& network() { return network_; }
   ClassifierStats stats() const;
   void ResetStats();
 
  private:
+  // Recomputes the u8-direct state after a precision or weight change.
+  // Caller holds mutex_ (or is the constructor).
+  void RefreshU8DirectLocked();
+
+  // One coherent read of the u8-direct state, taken before preprocessing
+  // runs outside the network lock. The quantization is derived from the
+  // first conv's LIVE input calibration (InputQuantLocked), never cached,
+  // so calibration changes made through network() are always picked up.
+  // StaleLocked() re-checks the snapshot once the lock is held: a
+  // concurrent SetPrecision/LoadWeights/calibration change between the two
+  // points invalidates the prepared codes, and the caller falls back to
+  // float preprocessing. Both Classify() and ClassifyBatch() share this
+  // protocol so the staleness invariant lives in exactly one place.
+  struct U8DirectSnapshot {
+    bool active = false;
+    float scale = 1.0f;
+    int32_t zero_point = 0;
+  };
+  ActivationQuant InputQuantLocked() const;
+  U8DirectSnapshot SnapshotU8Direct() const;
+  bool U8SnapshotStaleLocked(const U8DirectSnapshot& snapshot) const;
+  QuantizedTensorView MakeU8View(const U8DirectSnapshot& snapshot, const uint8_t* codes,
+                                 int batch) const;
+
   PercivalNetConfig config_;
   Network network_;
   float threshold_;
@@ -99,6 +139,11 @@ class AdClassifier : public ImageInterceptor {
   int min_dimension_ = 0;
   mutable std::mutex mutex_;
   ClassifierStats stats_;
+  // u8-direct state (guarded by mutex_): whether the next classification
+  // may preprocess straight to uint8. The input quantization is NOT stored
+  // here — it is re-derived from the first conv's calibration per snapshot.
+  bool use_u8_direct_ = true;
+  bool u8_direct_active_ = false;
 };
 
 // Asynchronous deployment wrapper with result memoization (§2.2's

@@ -61,6 +61,40 @@ void BitmapToTensorInto(const Bitmap& source, int size, int channels, float* out
   }
 }
 
+void BitmapToTensorU8Into(const Bitmap& source, int size, int channels, float scale,
+                          int32_t zero_point, uint8_t* out) {
+  PCHECK(channels == 3 || channels == 4);
+  PCHECK_GT(scale, 0.0f);
+  // 256 source bytes -> 256 possible normalized floats -> 256 codes. The
+  // LUT body must stay the exact expression QuantizeActivations applies to
+  // BitmapToTensorInto's output (p / 255, scaled, nearbyint, clamp): that
+  // identity is what makes u8-direct preprocessing bit-identical to the
+  // float staging pipeline, and it is test-asserted.
+  uint8_t lut[256];
+  const float inv_scale = 1.0f / scale;
+  for (int p = 0; p < 256; ++p) {
+    const float v = static_cast<float>(p) / 255.0f;
+    const int32_t q = zero_point + static_cast<int32_t>(std::nearbyint(v * inv_scale));
+    lut[p] = static_cast<uint8_t>(std::min(255, std::max(0, q)));
+  }
+  // Borrow the source when it is already at target size — this is the
+  // deployment hot path, and copying the bitmap just to read it would put
+  // a per-call allocation right back where the float staging tensor was.
+  Bitmap resized;
+  const Bitmap* scaled = &source;
+  if (source.width() != size || source.height() != size) {
+    resized = ResizeBilinear(source, size, size);
+    scaled = &resized;
+  }
+  const uint8_t* src = scaled->data();
+  const int64_t pixels = static_cast<int64_t>(size) * size;
+  for (int64_t p = 0; p < pixels; ++p) {
+    for (int c = 0; c < channels; ++c) {
+      out[p * channels + c] = lut[src[p * 4 + c]];
+    }
+  }
+}
+
 Bitmap TensorPlaneToBitmap(const Tensor& tensor, int n, int channel) {
   const TensorShape& s = tensor.shape();
   PCHECK_LT(n, s.n);

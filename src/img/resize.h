@@ -22,6 +22,16 @@ Tensor BitmapToTensor(const Bitmap& source, int size, int channels);
 // NHWC tensor without an intermediate allocation and copy.
 void BitmapToTensorInto(const Bitmap& source, int size, int channels, float* out);
 
+// Fused resize -> quantize for the int8 deployment path: converts straight
+// to uint8 activation codes under value ~= scale * (code - zero_point),
+// never materializing the float tensor. Each source byte maps through a
+// 256-entry LUT computed with the exact float expression the
+// BitmapToTensorInto + QuantizeActivations pair evaluates, so the produced
+// codes are bit-identical to the float-then-quantize pipeline under the
+// same quantization parameters.
+void BitmapToTensorU8Into(const Bitmap& source, int size, int channels, float scale,
+                          int32_t zero_point, uint8_t* out);
+
 // Writes a tensor sample's channel-0 plane as an 8-bit grayscale bitmap
 // (used to dump Grad-CAM salience maps).
 Bitmap TensorPlaneToBitmap(const Tensor& tensor, int n, int channel);

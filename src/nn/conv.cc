@@ -114,33 +114,165 @@ void Conv2D::SetWeights(const Tensor& weights, const Tensor& bias) {
   bias_.MarkDirty();
 }
 
+void Conv2D::PlanKernels(const TensorShape& input) {
+  (void)input;  // the heuristic keys on the layer's own geometry
+  if (plan_pinned_) {
+    return;  // an explicit SetKernelPlan pin outranks the heuristic
+  }
+  plan_ = ChooseConvKernelPlan(out_channels_, kernel_);
+}
+
+void Conv2D::SetKernelPlan(const KernelPlan& plan) {
+  PCHECK(ValidPanelWidth(plan.panel_width))
+      << Name() << " panel width " << plan.panel_width << " not implemented by this build";
+  plan_ = plan;
+  if (kernel_ == 1) {
+    plan_.layout = ActivationLayout::kKhKwC;  // the K orders coincide
+  }
+  plan_pinned_ = true;
+}
+
+void Conv2D::AppendKernelPlanRows(std::vector<KernelPlanRow>* out) const {
+  KernelPlanRow row;
+  row.layer = label_;
+  row.panel_width = plan_.panel_width;
+  row.c_outer = plan_.layout == ActivationLayout::kCOuter;
+  row.int8 = precision_ == Precision::kInt8;
+  row.u8_direct = AcceptsQuantizedInput();
+  out->push_back(std::move(row));
+}
+
+void Conv2D::SetInputCalibration(float min_value, float max_value) {
+  PCHECK_LE(min_value, max_value) << Name();
+  has_input_calibration_ = true;
+  calib_min_ = min_value;
+  calib_max_ = max_value;
+}
+
+void Conv2D::ClearInputCalibration() {
+  has_input_calibration_ = false;
+  calib_min_ = 0.0f;
+  calib_max_ = 0.0f;
+}
+
+bool Conv2D::InputCalibration(float* min_value, float* max_value) const {
+  if (!has_input_calibration_) {
+    return false;
+  }
+  *min_value = calib_min_;
+  *max_value = calib_max_;
+  return true;
+}
+
+void Conv2D::SetCalibrationCapture(bool capture) {
+  if (capture && !calibration_capture_) {
+    ClearInputCalibration();  // a new calibration batch starts fresh
+  }
+  calibration_capture_ = capture;
+}
+
+void Conv2D::AppendCalibration(std::vector<ActivationCalibration>* out) const {
+  ActivationCalibration entry;
+  entry.min_value = calib_min_;
+  entry.max_value = calib_max_;
+  entry.valid = has_input_calibration_;
+  out->push_back(entry);
+}
+
+size_t Conv2D::ConsumeCalibration(const ActivationCalibration* entries, size_t count) {
+  if (count < 1) {
+    return 0;
+  }
+  if (entries[0].valid) {
+    SetInputCalibration(entries[0].min_value, entries[0].max_value);
+  } else {
+    ClearInputCalibration();
+  }
+  return 1;
+}
+
+namespace {
+
+// Permutes one flattened filter row from the storage order (kh, kw, c) into
+// the c-outer K order (c, kh, kw) — the same permutation the c-outer im2col
+// gathers apply to activation rows.
+template <typename T>
+void ReorderRowToCOuter(const T* src, int kernel, int channels, T* dst) {
+  const int taps = kernel * kernel;
+  for (int tap = 0; tap < taps; ++tap) {
+    for (int c = 0; c < channels; ++c) {
+      dst[c * taps + tap] = src[tap * channels + c];
+    }
+  }
+}
+
+}  // namespace
+
+const float* Conv2D::WeightRowsForLayout() {
+  if (plan_.layout != ActivationLayout::kCOuter || kernel_ == 1) {
+    return weights_.value.data();
+  }
+  const int row_len = kernel_ * kernel_ * in_channels_;
+  reordered_weights_.resize(static_cast<size_t>(weights_.value.size()));
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    ReorderRowToCOuter(weights_.value.data() + static_cast<int64_t>(oc) * row_len, kernel_,
+                       in_channels_, reordered_weights_.data() + static_cast<int64_t>(oc) * row_len);
+  }
+  return reordered_weights_.data();
+}
+
+void Conv2D::ReleaseReorderScratch() {
+  reordered_weights_.clear();
+  reordered_weights_.shrink_to_fit();
+  reordered_codes_.clear();
+  reordered_codes_.shrink_to_fit();
+}
+
 const float* Conv2D::PackedFilters() {
-  if (packed_version_ != weights_.version) {
+  if (packed_version_ != weights_.version || !(packed_plan_ == plan_)) {
     const int row_len = kernel_ * kernel_ * in_channels_;
-    packed_filters_.resize(PackedPanelFloats(out_channels_, row_len));
-    PackFilterPanels(weights_.value.data(), out_channels_, row_len, packed_filters_.data());
+    packed_filters_.resize(PackedPanelFloats(out_channels_, row_len, plan_.panel_width));
+    PackFilterPanels(WeightRowsForLayout(), out_channels_, row_len, packed_filters_.data(),
+                     plan_.panel_width);
+    ReleaseReorderScratch();  // only the packed panels persist
     packed_version_ = weights_.version;
+    packed_plan_ = plan_;
   }
   return packed_filters_.data();
 }
 
 const Int8PackedFilters& Conv2D::PackedFiltersInt8() {
-  if (packed_int8_version_ != weights_.version) {
+  if (packed_int8_version_ != weights_.version || !(packed_int8_plan_ == plan_)) {
     const int row_len = kernel_ * kernel_ * in_channels_;
+    const bool c_outer = plan_.layout == ActivationLayout::kCOuter && kernel_ > 1;
     const QuantizedWeights* pre = weights_.quantized.get();
     if (pre != nullptr && pre->version == weights_.version &&
         pre->codes.size() == static_cast<size_t>(weights_.value.size()) &&
         pre->scales.size() == static_cast<size_t>(out_channels_)) {
       // Pre-quantized weights (PCVW v2 load): pack the exact serialized
       // codes — no requantization, and bit-identical int8 inference to the
-      // build that wrote them.
-      PackQuantizedFilterPanelsInt8(pre->codes.data(), pre->scales.data(), out_channels_,
-                                    row_len, &packed_filters_int8_);
+      // build that wrote them. Permuting the K order within a row changes
+      // neither the per-channel scale nor the row sum, so the c-outer plan
+      // preserves that bit-identity.
+      const int8_t* codes = pre->codes.data();
+      if (c_outer) {
+        reordered_codes_.resize(pre->codes.size());
+        for (int oc = 0; oc < out_channels_; ++oc) {
+          ReorderRowToCOuter(pre->codes.data() + static_cast<int64_t>(oc) * row_len, kernel_,
+                             in_channels_,
+                             reordered_codes_.data() + static_cast<int64_t>(oc) * row_len);
+        }
+        codes = reordered_codes_.data();
+      }
+      PackQuantizedFilterPanelsInt8(codes, pre->scales.data(), out_channels_, row_len,
+                                    &packed_filters_int8_, plan_.panel_width);
     } else {
-      PackFilterPanelsInt8(weights_.value.data(), out_channels_, row_len,
-                           &packed_filters_int8_);
+      PackFilterPanelsInt8(WeightRowsForLayout(), out_channels_, row_len,
+                           &packed_filters_int8_, plan_.panel_width);
     }
+    ReleaseReorderScratch();  // only the packed panels persist
     packed_int8_version_ = weights_.version;
+    packed_int8_plan_ = plan_;
   }
   return packed_filters_int8_;
 }
@@ -180,6 +312,18 @@ void Conv2D::ForwardInto(const Tensor& input, GemmEpilogue epilogue, float* out,
     // See Forward(): eval clears the copy so a stale one can never feed a
     // later Backward.
     last_input_ = Tensor();
+  }
+  if (calibration_capture_) {
+    // Accumulate the observed input range across the calibration batch.
+    float lo = 0.0f;
+    float hi = 0.0f;
+    MinMaxRange(input.data(), input.size(), &lo, &hi);
+    if (has_input_calibration_) {
+      calib_min_ = std::min(calib_min_, lo);
+      calib_max_ = std::max(calib_max_, hi);
+    } else {
+      SetInputCalibration(lo, hi);
+    }
   }
   if (precision_ == Precision::kInt8) {
     ForwardIntoInt8(input, epilogue, out, ldc, sample_stride);
@@ -222,11 +366,17 @@ void Conv2D::ForwardIntoFloat(const Tensor& input, GemmEpilogue epilogue, float*
           } else {
             arena.Reset();
             float* cols = arena.Alloc(static_cast<size_t>((r1 - r0) * row_len));
-            Im2ColRows(input.SampleData(n), input.shape().h, input.shape().w, in_channels_,
-                       kernel_, stride_, pad_, r0, r1, cols);
+            if (plan_.layout == ActivationLayout::kCOuter) {
+              Im2ColRowsCOuter(input.SampleData(n), input.shape().h, input.shape().w,
+                               in_channels_, kernel_, stride_, pad_, r0, r1, cols);
+            } else {
+              Im2ColRows(input.SampleData(n), input.shape().h, input.shape().w, in_channels_,
+                         kernel_, stride_, pad_, r0, r1, cols);
+            }
             a = cols;
           }
-          GemmPackedEx(r1 - r0, out_channels_, row_len, a, packed, bias, epilogue, c, ldc);
+          GemmPackedEx(r1 - r0, out_channels_, row_len, a, packed, bias, epilogue, c, ldc,
+                       plan_.panel_width);
           begin += r1 - r0;
         }
       });
@@ -234,7 +384,59 @@ void Conv2D::ForwardIntoFloat(const Tensor& input, GemmEpilogue epilogue, float*
 
 void Conv2D::ForwardIntoInt8(const Tensor& input, GemmEpilogue epilogue, float* out,
                              int64_t ldc, int64_t sample_stride) {
-  const TensorShape out_shape = OutputShape(input.shape());
+  // Per-tensor activation parameters, computed once up front so every
+  // parallel chunk sees identical codes — the forward is deterministic
+  // regardless of pool size. A calibrated layer reuses the range recorded
+  // from its calibration batch (deployment skips the per-forward MinMaxRange
+  // pass entirely; out-of-range values saturate); otherwise one fused
+  // min/max pass observes the range. Either way the range covers 0, so the
+  // zero point encodes both real zeros and the im2col padding taps exactly.
+  float min_v = 0.0f;
+  float max_v = 0.0f;
+  const float* in_data = input.data();
+  if (has_input_calibration_ && !calibration_capture_) {
+    min_v = calib_min_;
+    max_v = calib_max_;
+  } else {
+    MinMaxRange(in_data, input.size(), &min_v, &max_v);
+  }
+  const ActivationQuant quant = ComputeActivationQuant(min_v, max_v);
+
+  // Quantize the input tensor once — NOT the im2col expansion, which holds
+  // kernel^2 copies of every element. The patch rows are then gathered
+  // directly in uint8 (4x less traffic than a float im2col + quantize).
+  quantized_input_.resize(static_cast<size_t>(input.size()));
+  QuantizeActivations(in_data, input.size(), quant, quantized_input_.data());
+
+  Int8ForwardOverCodes(quantized_input_.data(), input.shape(), quant, epilogue, out, ldc,
+                       sample_stride);
+}
+
+bool Conv2D::AcceptsQuantizedInput() const {
+  return use_gemm_ && precision_ == Precision::kInt8 && !training_;
+}
+
+Tensor Conv2D::ForwardQuantized(const QuantizedTensorView& input) {
+  PCHECK(AcceptsQuantizedInput())
+      << Name() << " u8-direct input requires the GEMM path, int8 precision, and eval mode";
+  PCHECK_EQ(input.shape.c, in_channels_) << Name();
+  PCHECK(input.data != nullptr) << Name();
+  last_input_ = Tensor();  // eval contract: no backward state survives
+  ActivationQuant quant;
+  quant.scale = input.scale;
+  quant.zero_point = input.zero_point;
+  const TensorShape out_shape = OutputShape(input.shape);
+  Tensor output(out_shape);
+  Int8ForwardOverCodes(input.data, input.shape, quant, GemmEpilogue::kBias, output.data(),
+                       out_shape.c,
+                       static_cast<int64_t>(out_shape.h) * out_shape.w * out_shape.c);
+  return output;
+}
+
+void Conv2D::Int8ForwardOverCodes(const uint8_t* codes, const TensorShape& in_shape,
+                                  const ActivationQuant& quant, GemmEpilogue epilogue,
+                                  float* out, int64_t ldc, int64_t sample_stride) {
+  const TensorShape out_shape = OutputShape(in_shape);
   const int row_len = kernel_ * kernel_ * in_channels_;
   const int k_padded = Int8PaddedK(row_len);
   const int64_t rows_per_sample = static_cast<int64_t>(out_shape.h) * out_shape.w;
@@ -244,30 +446,14 @@ void Conv2D::ForwardIntoInt8(const Tensor& input, GemmEpilogue epilogue, float* 
   }
 
   const Int8PackedFilters& packed = PackedFiltersInt8();
-
-  // Per-tensor activation parameters from the input's observed range (one
-  // fused min/max pass), computed once up front so every parallel chunk
-  // sees identical codes — the forward is deterministic regardless of pool
-  // size. The range always covers 0, so the zero point encodes both real
-  // zeros and the im2col padding taps exactly.
-  float min_v = 0.0f;
-  float max_v = 0.0f;
-  const float* in_data = input.data();
-  MinMaxRange(in_data, input.size(), &min_v, &max_v);
-  const ActivationQuant quant = ComputeActivationQuant(min_v, max_v);
   const uint8_t pad_code = static_cast<uint8_t>(quant.zero_point);
-
-  // Quantize the input tensor once — NOT the im2col expansion, which holds
-  // kernel^2 copies of every element. The patch rows are then gathered
-  // directly in uint8 (4x less traffic than a float im2col + quantize).
-  quantized_input_.resize(static_cast<size_t>(input.size()));
-  QuantizeActivations(in_data, input.size(), quant, quantized_input_.data());
-
-  const int64_t sample_codes = input.SampleElements();
+  const int64_t sample_codes =
+      static_cast<int64_t>(in_shape.h) * in_shape.w * in_shape.c;
   const bool identity_patches = kernel_ == 1 && stride_ == 1 && pad_ == 0;
   // A 1x1 conv whose channel count is already a multiple of the int8 K
   // unit needs no gather at all: the quantized input rows ARE the A rows.
   const bool direct_rows = identity_patches && k_padded == row_len;
+  const bool c_outer = plan_.layout == ActivationLayout::kCOuter && kernel_ > 1;
   const float* bias = bias_.value.data();
   InferenceParallelFor(
       total_rows, static_cast<int64_t>(row_len) * out_channels_,
@@ -279,29 +465,32 @@ void Conv2D::ForwardIntoInt8(const Tensor& input, GemmEpilogue epilogue, float* 
           const int64_t r1 = std::min(rows_per_sample, r0 + (end - begin));
           const int64_t chunk_rows = r1 - r0;
           float* c = out + n * sample_stride + r0 * ldc;
-          const uint8_t* sample = quantized_input_.data() + n * sample_codes;
+          const uint8_t* sample = codes + n * sample_codes;
           const uint8_t* a;
           if (direct_rows) {
             a = sample + r0 * row_len;
           } else {
             arena.Reset();
-            uint8_t* codes = reinterpret_cast<uint8_t*>(arena.Alloc(
+            uint8_t* chunk = reinterpret_cast<uint8_t*>(arena.Alloc(
                 (static_cast<size_t>(chunk_rows) * k_padded + sizeof(float) - 1) /
                 sizeof(float)));
             if (identity_patches) {
               // Only the per-row K tail needs padding.
               for (int64_t r = 0; r < chunk_rows; ++r) {
-                uint8_t* dst = codes + r * k_padded;
+                uint8_t* dst = chunk + r * k_padded;
                 std::memcpy(dst, sample + (r0 + r) * row_len,
                             static_cast<size_t>(row_len));
                 std::memset(dst + row_len, pad_code,
                             static_cast<size_t>(k_padded - row_len));
               }
+            } else if (c_outer) {
+              Im2ColRowsU8COuter(sample, in_shape.h, in_shape.w, in_channels_, kernel_,
+                                 stride_, pad_, r0, r1, pad_code, k_padded, chunk);
             } else {
-              Im2ColRowsU8(sample, input.shape().h, input.shape().w, in_channels_, kernel_,
-                           stride_, pad_, r0, r1, pad_code, k_padded, codes);
+              Im2ColRowsU8(sample, in_shape.h, in_shape.w, in_channels_, kernel_,
+                           stride_, pad_, r0, r1, pad_code, k_padded, chunk);
             }
-            a = codes;
+            a = chunk;
           }
           GemmInt8PackedEx(chunk_rows, a, packed, quant, bias, epilogue, c, ldc);
           begin += chunk_rows;

@@ -97,20 +97,67 @@ class Conv2D : public Layer {
   void SetPrecision(Precision precision) override { precision_ = precision; }
   Precision precision() const { return precision_; }
 
+  // Kernel plan: panel width + activation layout the GEMM forward runs
+  // under. PlanKernels (called by Network::PlanForward) picks it from the
+  // layer shape + compiled SIMD tier; SetKernelPlan pins it explicitly for
+  // A/B measurement — a pinned plan survives later PlanKernels calls
+  // (which PlanForward issues on every input-shape change), so the A/B
+  // really measures the pinned kernel; ClearKernelPlanPin restores the
+  // heuristic. Both pack caches are keyed on (weight version, plan), so a
+  // plan change repacks exactly once per cache.
+  void PlanKernels(const TensorShape& input) override;
+  void SetKernelPlan(const KernelPlan& plan);
+  void ClearKernelPlanPin() { plan_pinned_ = false; }
+  const KernelPlan& plan() const { return plan_; }
+  void AppendKernelPlanRows(std::vector<KernelPlanRow>* out) const override;
+
+  // u8-direct input: in int8 eval mode the conv consumes caller-quantized
+  // uint8 codes, skipping the float staging tensor, the per-forward
+  // MinMaxRange pass, AND the whole-tensor QuantizeActivations sweep.
+  bool AcceptsQuantizedInput() const override;
+  Tensor ForwardQuantized(const QuantizedTensorView& input) override;
+
+  // Input-range calibration: when set, the int8 forward derives its
+  // activation quantization from this range instead of scanning the input
+  // (deployment skips one full pass over the tensor per conv). Capture mode
+  // accumulates the range across float forwards; see Layer for the
+  // protocol. Values outside a calibrated range saturate to the range edge,
+  // the standard calibration trade.
+  void SetInputCalibration(float min_value, float max_value);
+  void ClearInputCalibration();
+  bool InputCalibration(float* min_value, float* max_value) const override;
+  void SetCalibrationCapture(bool capture) override;
+  size_t CalibrationSlots() const override { return 1; }
+  void AppendCalibration(std::vector<ActivationCalibration>* out) const override;
+  size_t ConsumeCalibration(const ActivationCalibration* entries, size_t count) override;
+
  private:
   Tensor ForwardNaive(const Tensor& input);
   void ForwardIntoFloat(const Tensor& input, GemmEpilogue epilogue, float* out, int64_t ldc,
                         int64_t sample_stride);
   void ForwardIntoInt8(const Tensor& input, GemmEpilogue epilogue, float* out, int64_t ldc,
                        int64_t sample_stride);
+  // Shared tail of the int8 forwards: patch-gathers `codes` (whole-sample
+  // uint8 NHWC codes) per the plan's layout and runs the quantized GEMM.
+  void Int8ForwardOverCodes(const uint8_t* codes, const TensorShape& in_shape,
+                            const ActivationQuant& quant, GemmEpilogue epilogue, float* out,
+                            int64_t ldc, int64_t sample_stride);
 
-  // Repacks filter panels iff weights_.version moved since the last pack.
+  // Repacks filter panels iff (weights_.version, plan_) moved since the
+  // last pack.
   const float* PackedFilters();
   // Same contract for the quantized panels + per-channel scale metadata.
   // When the weight Parameter carries a fresh pre-quantized payload (PCVW
   // v2 load), its codes are packed directly — no pack-time requantization,
   // and the int8 forward reproduces the serializing build bit-for-bit.
   const Int8PackedFilters& PackedFiltersInt8();
+
+  // Weight rows reordered into the plan's K order ((c, kh, kw) for
+  // kCOuter); the identity for kKhKwC and 1x1 kernels. The reorder buffer
+  // is pack-time scratch: callers (the two Packed* repackers) release it
+  // once the panels are packed.
+  const float* WeightRowsForLayout();
+  void ReleaseReorderScratch();
 
   int in_channels_;
   int out_channels_;
@@ -127,19 +174,41 @@ class Conv2D : public Layer {
   Tensor last_input_;
   std::vector<float> columns_;  // im2col buffer for one sample (naive/backward)
 
+  // Per-layer kernel plan (panel width + activation layout) the GEMM
+  // forwards and the pack caches run under. Defaults to the native panel
+  // width and kh-kw-c layout, i.e. the pre-planner behavior. `plan_pinned_`
+  // marks an explicit SetKernelPlan choice that PlanKernels must not
+  // overwrite.
+  KernelPlan plan_;
+  bool plan_pinned_ = false;
+
+  // Input activation calibration (see SetInputCalibration).
+  bool calibration_capture_ = false;
+  bool has_input_calibration_ = false;
+  float calib_min_ = 0.0f;
+  float calib_max_ = 0.0f;
+
   // Persistent panel-packed weights for the GEMM path, valid while the
-  // matching version equals weights_.version (0 = never packed). The float
-  // and int8 caches version independently, so flipping precision back and
-  // forth never repacks frozen weights.
+  // matching (version, plan) pair equals the current one (version 0 =
+  // never packed). The float and int8 caches key independently, so flipping
+  // precision back and forth never repacks frozen weights; a plan change
+  // repacks each cache once.
   std::vector<float> packed_filters_;
   uint64_t packed_version_ = 0;
+  KernelPlan packed_plan_;
   Int8PackedFilters packed_filters_int8_;
   uint64_t packed_int8_version_ = 0;
+  KernelPlan packed_int8_plan_;
+
+  // Scratch for weight rows permuted into the c-outer K order before
+  // packing (pack-time only, empty under kKhKwC).
+  std::vector<float> reordered_weights_;
+  std::vector<int8_t> reordered_codes_;
 
   // Whole-input uint8 codes for the quantized forward (quantized once per
   // forward; the per-chunk patch gather then moves bytes, not floats).
   // Plain scratch, not backward state — sized on first int8 forward, steady
-  // thereafter.
+  // thereafter. The u8-direct path (ForwardQuantized) bypasses it entirely.
   std::vector<uint8_t> quantized_input_;
 };
 

@@ -79,6 +79,38 @@ void FireModule::SetPrecision(Precision precision) {
   expand3x3_.SetPrecision(precision);
 }
 
+void FireModule::PlanKernels(const TensorShape& input) {
+  const TensorShape squeezed{input.n, input.h, input.w, squeeze_channels_};
+  squeeze_.PlanKernels(input);
+  expand1x1_.PlanKernels(squeezed);
+  expand3x3_.PlanKernels(squeezed);
+}
+
+void FireModule::AppendKernelPlanRows(std::vector<KernelPlanRow>* out) const {
+  squeeze_.AppendKernelPlanRows(out);
+  expand1x1_.AppendKernelPlanRows(out);
+  expand3x3_.AppendKernelPlanRows(out);
+}
+
+void FireModule::SetCalibrationCapture(bool capture) {
+  squeeze_.SetCalibrationCapture(capture);
+  expand1x1_.SetCalibrationCapture(capture);
+  expand3x3_.SetCalibrationCapture(capture);
+}
+
+void FireModule::AppendCalibration(std::vector<ActivationCalibration>* out) const {
+  squeeze_.AppendCalibration(out);
+  expand1x1_.AppendCalibration(out);
+  expand3x3_.AppendCalibration(out);
+}
+
+size_t FireModule::ConsumeCalibration(const ActivationCalibration* entries, size_t count) {
+  size_t consumed = squeeze_.ConsumeCalibration(entries, count);
+  consumed += expand1x1_.ConsumeCalibration(entries + consumed, count - consumed);
+  consumed += expand3x3_.ConsumeCalibration(entries + consumed, count - consumed);
+  return consumed;
+}
+
 Tensor FireModule::Forward(const Tensor& input) {
   if (use_fused_ && squeeze_.use_gemm() && expand1x1_.use_gemm() && expand3x3_.use_gemm()) {
     // Squeeze + ReLU in one GEMM pass; the mask Backward() needs is

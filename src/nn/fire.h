@@ -56,6 +56,22 @@ class FireModule : public Layer {
   // unchanged on the quantized kernels.
   void SetPrecision(Precision precision) override;
 
+  // Kernel planning / plan reporting / calibration: each inner conv plans
+  // against its real input shape (squeeze sees the module input, both
+  // expands see the squeezed map), so an 8-16ch squeeze picks the narrow
+  // panel while a wide expand keeps the full one.
+  void PlanKernels(const TensorShape& input) override;
+  void AppendKernelPlanRows(std::vector<KernelPlanRow>* out) const override;
+  void SetCalibrationCapture(bool capture) override;
+  size_t CalibrationSlots() const override { return 3; }
+  void AppendCalibration(std::vector<ActivationCalibration>* out) const override;
+  size_t ConsumeCalibration(const ActivationCalibration* entries, size_t count) override;
+
+  // Inner-conv access for tests and benches (plan inspection, pinning).
+  Conv2D& squeeze() { return squeeze_; }
+  Conv2D& expand1x1() { return expand1x1_; }
+  Conv2D& expand3x3() { return expand3x3_; }
+
   // Disables operator fusion while keeping the GEMM convs: the module runs
   // the layer-by-layer reference path (conv, relu, conv x2, interleave
   // copy, relu). The parity tests pit the fused path against this.

@@ -18,6 +18,8 @@ namespace {
 std::atomic<ThreadPool*> g_inference_pool{nullptr};
 std::atomic<bool> g_gemm_default{true};
 std::atomic<bool> g_force_scalar{false};
+std::atomic<int> g_planner_panel_override{0};
+std::atomic<LayoutPolicy> g_planner_layout_policy{LayoutPolicy::kAuto};
 
 }  // namespace
 
@@ -113,25 +115,69 @@ ScopedInferencePool::ScopedInferencePool(int num_threads)
 
 ScopedInferencePool::~ScopedInferencePool() { SetInferenceThreadPool(previous_); }
 
-// ----------------------------------------------------------------- packing --
+// ------------------------------------------------------------- planner --
 
-size_t PackedPanelFloats(int n, int k) {
-  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
-  return static_cast<size_t>(panels) * static_cast<size_t>(k) * kGemmTileN;
+const char* LayoutName(ActivationLayout layout) {
+  return layout == ActivationLayout::kCOuter ? "c-outer" : "kh-kw-c";
 }
 
-void PackFilterPanels(const float* b, int n, int k, float* packed) {
-  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+void SetPlannerPanelOverride(int width) {
+  PCHECK(width == 0 || ValidPanelWidth(width))
+      << "panel override " << width << " is not a width this build's kernels implement";
+  g_planner_panel_override.store(width);
+}
+
+int PlannerPanelOverride() { return g_planner_panel_override.load(); }
+
+void SetPlannerLayoutPolicy(LayoutPolicy policy) { g_planner_layout_policy.store(policy); }
+
+LayoutPolicy PlannerLayoutPolicy() { return g_planner_layout_policy.load(); }
+
+KernelPlan ChooseConvKernelPlan(int out_channels, int kernel) {
+  KernelPlan plan;
+  const int override_width = PlannerPanelOverride();
+  if (override_width != 0) {
+    plan.panel_width = override_width;
+  } else if (kGemmTileN > kGemmTileNMin && out_channels <= kGemmTileNMin) {
+    // A <=16-channel layer fills at most half the native 32-wide panel;
+    // the 16-wide sub-tile halves the per-K-step panel loads and FMAs.
+    plan.panel_width = kGemmTileNMin;
+  }
+  const LayoutPolicy policy = PlannerLayoutPolicy();
+  if (kernel > 1) {
+    if (policy == LayoutPolicy::kForceCOuter) {
+      plan.layout = ActivationLayout::kCOuter;
+    } else if (policy == LayoutPolicy::kAuto) {
+      // Measured default: kh-kw-c. The c-outer gather trades the per-tap
+      // contiguous memcpy for channel-strided scalar loads, which loses on
+      // NHWC inputs at every channel count tried (see the
+      // conv3x3_layout_* rows in BENCH_micro_kernels.json).
+      plan.layout = ActivationLayout::kKhKwC;
+    }
+  }
+  return plan;
+}
+
+// ----------------------------------------------------------------- packing --
+
+size_t PackedPanelFloats(int n, int k, int panel_width) {
+  const int panels = (n + panel_width - 1) / panel_width;
+  return static_cast<size_t>(panels) * static_cast<size_t>(k) * panel_width;
+}
+
+void PackFilterPanels(const float* b, int n, int k, float* packed, int panel_width) {
+  PCHECK(ValidPanelWidth(panel_width));
+  const int panels = (n + panel_width - 1) / panel_width;
   for (int panel = 0; panel < panels; ++panel) {
-    const int n0 = panel * kGemmTileN;
-    const int width = std::min(kGemmTileN, n - n0);
-    float* dst = packed + static_cast<size_t>(panel) * k * kGemmTileN;
+    const int n0 = panel * panel_width;
+    const int width = std::min(panel_width, n - n0);
+    float* dst = packed + static_cast<size_t>(panel) * k * panel_width;
     for (int kk = 0; kk < k; ++kk) {
-      float* row = dst + static_cast<size_t>(kk) * kGemmTileN;
+      float* row = dst + static_cast<size_t>(kk) * panel_width;
       for (int j = 0; j < width; ++j) {
         row[j] = b[static_cast<int64_t>(n0 + j) * k + kk];
       }
-      for (int j = width; j < kGemmTileN; ++j) {
+      for (int j = width; j < panel_width; ++j) {
         row[j] = 0.0f;
       }
     }
@@ -275,9 +321,9 @@ void MinMaxRange(const float* data, int64_t count, float* min_out, float* max_ou
   *max_out = max_v;
 }
 
-size_t PackedPanelBytesInt8(int n, int k) {
-  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
-  return static_cast<size_t>(panels) * static_cast<size_t>(Int8PaddedK(k)) * kGemmTileN;
+size_t PackedPanelBytesInt8(int n, int k, int panel_width) {
+  const int panels = (n + panel_width - 1) / panel_width;
+  return static_cast<size_t>(panels) * static_cast<size_t>(Int8PaddedK(k)) * panel_width;
 }
 
 float QuantizeWeightRow(const float* row, int k, int8_t* codes) {
@@ -299,26 +345,29 @@ namespace {
 // Shared tail of the two int8 packers: sizes `packed`, then interleaves one
 // channel's zero-padded code row at a time (panel-major, K-group, channel,
 // 4 consecutive K bytes) while recording scales and row sums.
-void SizeInt8Panels(int n, int k, Int8PackedFilters* packed) {
+void SizeInt8Panels(int n, int k, int panel_width, Int8PackedFilters* packed) {
   PCHECK_GT(n, 0);
   PCHECK_GT(k, 0);
+  PCHECK(ValidPanelWidth(panel_width));
   packed->n = n;
   packed->k = k;
   packed->k_padded = Int8PaddedK(k);
-  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
-  packed->data.assign(PackedPanelBytesInt8(n, k), 0);
-  packed->scales.assign(static_cast<size_t>(panels) * kGemmTileN, 0.0f);
-  packed->row_sums.assign(static_cast<size_t>(panels) * kGemmTileN, 0);
+  packed->panel_width = panel_width;
+  const int panels = (n + panel_width - 1) / panel_width;
+  packed->data.assign(PackedPanelBytesInt8(n, k, panel_width), 0);
+  packed->scales.assign(static_cast<size_t>(panels) * panel_width, 0.0f);
+  packed->row_sums.assign(static_cast<size_t>(panels) * panel_width, 0);
 }
 
 void InterleaveInt8CodeRow(const int8_t* q_row_padded, int oc, Int8PackedFilters* packed) {
+  const int pw = packed->panel_width;
   const int groups = packed->k_padded / kInt8KUnit;
-  const int panel = oc / kGemmTileN;
-  const int j = oc % kGemmTileN;
+  const int panel = oc / pw;
+  const int j = oc % pw;
   int8_t* panel_base = packed->data.data() +
-                       static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
+                       static_cast<size_t>(panel) * groups * pw * kInt8KUnit;
   for (int g = 0; g < groups; ++g) {
-    int8_t* dst = panel_base + (static_cast<size_t>(g) * kGemmTileN + j) * kInt8KUnit;
+    int8_t* dst = panel_base + (static_cast<size_t>(g) * pw + j) * kInt8KUnit;
     for (int t = 0; t < kInt8KUnit; ++t) {
       dst[t] = q_row_padded[static_cast<size_t>(g) * kInt8KUnit + t];
     }
@@ -327,8 +376,9 @@ void InterleaveInt8CodeRow(const int8_t* q_row_padded, int oc, Int8PackedFilters
 
 }  // namespace
 
-void PackFilterPanelsInt8(const float* b, int n, int k, Int8PackedFilters* packed) {
-  SizeInt8Panels(n, k, packed);
+void PackFilterPanelsInt8(const float* b, int n, int k, Int8PackedFilters* packed,
+                          int panel_width) {
+  SizeInt8Panels(n, k, panel_width, packed);
   std::vector<int8_t> q_row(static_cast<size_t>(packed->k_padded), 0);
   for (int oc = 0; oc < n; ++oc) {
     std::fill(q_row.begin(), q_row.end(), static_cast<int8_t>(0));
@@ -344,8 +394,8 @@ void PackFilterPanelsInt8(const float* b, int n, int k, Int8PackedFilters* packe
 }
 
 void PackQuantizedFilterPanelsInt8(const int8_t* codes, const float* scales, int n, int k,
-                                   Int8PackedFilters* packed) {
-  SizeInt8Panels(n, k, packed);
+                                   Int8PackedFilters* packed, int panel_width) {
+  SizeInt8Panels(n, k, panel_width, packed);
   std::vector<int8_t> q_row(static_cast<size_t>(packed->k_padded), 0);
   for (int oc = 0; oc < n; ++oc) {
     const int8_t* row = codes + static_cast<int64_t>(oc) * k;
@@ -374,27 +424,29 @@ static_assert(kGemmTileM == 4 && kGemmTileN == 32,
 static_assert(kGemmTileM == 4 && kGemmTileN == 16,
               "the SSE2/AVX2 micro-kernels are written for a 4x16 tile");
 #endif
+static_assert(kGemmTileNMin == 16, "the 16-wide sub-tile kernels assume width 16");
 
-// Scalar 4x16 tile kernel. Always compiled: it is the fallback on targets
-// without SSE2 and the oracle the parity tests (and SetGemmForceScalar)
-// pit the intrinsic kernels against. The accumulator array is small and
-// fully unrolled, so the compiler keeps it in vector registers through the
-// K loop.
+// Scalar 4xPW tile kernel, templated on the panel width the packer used.
+// Always compiled: it is the fallback on targets without SSE2 and the
+// oracle the parity tests (and SetGemmForceScalar) pit the intrinsic
+// kernels against. The accumulator array is small and fully unrolled, so
+// the compiler keeps it in vector registers through the K loop.
+template <int PW>
 void MicroKernel4xN(int k, const float* const a[kGemmTileM], const float* panel,
-                    float acc[kGemmTileM][kGemmTileN]) {
+                    float acc[kGemmTileM][PW]) {
   const float* a0 = a[0];
   const float* a1 = a[1];
   const float* a2 = a[2];
   const float* a3 = a[3];
   int kk = 0;
   for (; kk + 2 <= k; kk += 2) {
-    const float* bp = panel + static_cast<size_t>(kk) * kGemmTileN;
-    const float* bq = bp + kGemmTileN;
+    const float* bp = panel + static_cast<size_t>(kk) * PW;
+    const float* bq = bp + PW;
     const float v0 = a0[kk], w0 = a0[kk + 1];
     const float v1 = a1[kk], w1 = a1[kk + 1];
     const float v2 = a2[kk], w2 = a2[kk + 1];
     const float v3 = a3[kk], w3 = a3[kk + 1];
-    for (int j = 0; j < kGemmTileN; ++j) {
+    for (int j = 0; j < PW; ++j) {
       acc[0][j] += v0 * bp[j] + w0 * bq[j];
       acc[1][j] += v1 * bp[j] + w1 * bq[j];
       acc[2][j] += v2 * bp[j] + w2 * bq[j];
@@ -402,12 +454,12 @@ void MicroKernel4xN(int k, const float* const a[kGemmTileM], const float* panel,
     }
   }
   for (; kk < k; ++kk) {
-    const float* bp = panel + static_cast<size_t>(kk) * kGemmTileN;
+    const float* bp = panel + static_cast<size_t>(kk) * PW;
     const float v0 = a0[kk];
     const float v1 = a1[kk];
     const float v2 = a2[kk];
     const float v3 = a3[kk];
-    for (int j = 0; j < kGemmTileN; ++j) {
+    for (int j = 0; j < PW; ++j) {
       acc[0][j] += v0 * bp[j];
       acc[1][j] += v1 * bp[j];
       acc[2][j] += v2 * bp[j];
@@ -417,19 +469,21 @@ void MicroKernel4xN(int k, const float* const a[kGemmTileM], const float* panel,
 }
 
 // Remainder kernel: one A row against one packed panel.
-void MicroKernel1xN(int k, const float* a, const float* panel, float acc[kGemmTileN]) {
+template <int PW>
+void MicroKernel1xN(int k, const float* a, const float* panel, float acc[PW]) {
   for (int kk = 0; kk < k; ++kk) {
-    const float* bp = panel + static_cast<size_t>(kk) * kGemmTileN;
+    const float* bp = panel + static_cast<size_t>(kk) * PW;
     const float v = a[kk];
-    for (int j = 0; j < kGemmTileN; ++j) {
+    for (int j = 0; j < PW; ++j) {
       acc[j] += v * bp[j];
     }
   }
 }
 
-// Epilogue-aware store of one tile row from an accumulator buffer. `ep` and
-// `bias` are loop-invariant, so the compiler hoists the branches.
-void StoreTileRow(const float acc[kGemmTileN], const float* bias, GemmEpilogue ep, int n0,
+// Epilogue-aware store of one tile row from an accumulator buffer (any
+// width >= `width`). `ep` and `bias` are loop-invariant, so the compiler
+// hoists the branches.
+void StoreTileRow(const float* acc, const float* bias, GemmEpilogue ep, int n0,
                   int width, float* c_row) {
   for (int j = 0; j < width; ++j) {
     float v = acc[j];
@@ -445,6 +499,7 @@ void StoreTileRow(const float acc[kGemmTileN], const float* bias, GemmEpilogue e
 
 // Handles everything the full-width intrinsic path does not: remainder rows
 // (m % 4) and the zero-padded partial panel at the right edge of C.
+template <int PW>
 void TileRowsScalar(int64_t row_begin, int64_t row_end, int panel_begin, int panel_end, int n,
                     int k, const float* a, const float* packed_b, const float* bias,
                     GemmEpilogue ep, float* c, int64_t ldc) {
@@ -455,11 +510,11 @@ void TileRowsScalar(int64_t row_begin, int64_t row_end, int panel_begin, int pan
       rows[i] = a + (row + i) * k;
     }
     for (int panel = panel_begin; panel < panel_end; ++panel) {
-      const int n0 = panel * kGemmTileN;
-      const int width = std::min(kGemmTileN, n - n0);
-      const float* pb = packed_b + static_cast<size_t>(panel) * k * kGemmTileN;
-      float acc[kGemmTileM][kGemmTileN] = {};
-      MicroKernel4xN(k, rows, pb, acc);
+      const int n0 = panel * PW;
+      const int width = std::min(PW, n - n0);
+      const float* pb = packed_b + static_cast<size_t>(panel) * k * PW;
+      float acc[kGemmTileM][PW] = {};
+      MicroKernel4xN<PW>(k, rows, pb, acc);
       for (int i = 0; i < kGemmTileM; ++i) {
         StoreTileRow(acc[i], bias, ep, n0, width, c + (row + i) * ldc);
       }
@@ -468,20 +523,25 @@ void TileRowsScalar(int64_t row_begin, int64_t row_end, int panel_begin, int pan
   for (; row < row_end; ++row) {
     const float* ar = a + row * k;
     for (int panel = panel_begin; panel < panel_end; ++panel) {
-      const int n0 = panel * kGemmTileN;
-      const int width = std::min(kGemmTileN, n - n0);
-      const float* pb = packed_b + static_cast<size_t>(panel) * k * kGemmTileN;
-      float acc[kGemmTileN] = {};
-      MicroKernel1xN(k, ar, pb, acc);
+      const int n0 = panel * PW;
+      const int width = std::min(PW, n - n0);
+      const float* pb = packed_b + static_cast<size_t>(panel) * k * PW;
+      float acc[PW] = {};
+      MicroKernel1xN<PW>(k, ar, pb, acc);
       StoreTileRow(acc, bias, ep, n0, width, c + row * ldc);
     }
   }
 }
 
 void GemmPackedExScalar(int64_t m, int n, int k, const float* a, const float* packed_b,
-                        const float* bias, GemmEpilogue ep, float* c, int64_t ldc) {
-  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
-  TileRowsScalar(0, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
+                        const float* bias, GemmEpilogue ep, float* c, int64_t ldc,
+                        int panel_width) {
+  const int panels = (n + panel_width - 1) / panel_width;
+  if (panel_width == kGemmTileNMin) {
+    TileRowsScalar<kGemmTileNMin>(0, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
+  } else {
+    TileRowsScalar<kGemmTileN>(0, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
+  }
 }
 
 #if defined(PERCIVAL_SIMD_AVX512)
@@ -564,7 +624,65 @@ void GemmPackedExAvx512(int64_t m, int n, int k, const float* a, const float* pa
     }
   }
   // Remainder rows (m % 4) across every panel.
-  TileRowsScalar(row, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
+  TileRowsScalar<kGemmTileN>(row, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
+}
+
+// 16-wide sub-tile on AVX-512: one zmm covers the whole panel row, so a
+// 4x16 tile is 4 accumulators, one panel load and 4 FMAs per K step —
+// half the panel traffic and half the multiply work of the 4x32 tile,
+// which is exactly the save on layers whose <=16 output channels would
+// leave the wide panel's upper lanes multiplying zero padding.
+inline void StoreRowAvx512W16(__m512 v, const float* bias16, GemmEpilogue ep, float* dst) {
+  if (ep != GemmEpilogue::kNone && bias16 != nullptr) {
+    v = _mm512_add_ps(v, _mm512_loadu_ps(bias16));
+  }
+  if (ep == GemmEpilogue::kBiasRelu) {
+    v = _mm512_max_ps(v, _mm512_setzero_ps());
+  }
+  _mm512_storeu_ps(dst, v);
+}
+
+void GemmPackedExAvx512W16(int64_t m, int n, int k, const float* a, const float* packed_b,
+                           const float* bias, GemmEpilogue ep, float* c, int64_t ldc) {
+  constexpr int PW = kGemmTileNMin;
+  constexpr int kRows = 8;  // one zmm per row leaves budget for an 8-row tile
+  const int panels = (n + PW - 1) / PW;
+  int64_t row = 0;
+  for (; row + kRows <= m; row += kRows) {
+    const float* rows[kRows];
+    for (int i = 0; i < kRows; ++i) {
+      rows[i] = a + (row + i) * k;
+    }
+    float* c_row = c + row * ldc;
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * PW;
+      const int width = std::min(PW, n - n0);
+      const float* pb = packed_b + static_cast<size_t>(panel) * k * PW;
+      __m512 acc[kRows];
+      for (int i = 0; i < kRows; ++i) {
+        acc[i] = _mm512_setzero_ps();
+      }
+      for (int kk = 0; kk < k; ++kk) {
+        const __m512 b0 = _mm512_loadu_ps(pb + static_cast<size_t>(kk) * PW);
+        for (int i = 0; i < kRows; ++i) {
+          acc[i] = _mm512_fmadd_ps(_mm512_set1_ps(rows[i][kk]), b0, acc[i]);
+        }
+      }
+      if (width == PW) {
+        const float* b16 = bias != nullptr ? bias + n0 : nullptr;
+        for (int i = 0; i < kRows; ++i) {
+          StoreRowAvx512W16(acc[i], b16, ep, c_row + i * ldc + n0);
+        }
+      } else {
+        float buf[PW];
+        for (int i = 0; i < kRows; ++i) {
+          _mm512_storeu_ps(buf, acc[i]);
+          StoreTileRow(buf, bias, ep, n0, width, c_row + i * ldc);
+        }
+      }
+    }
+  }
+  TileRowsScalar<PW>(row, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
 }
 
 #elif defined(PERCIVAL_SIMD_AVX2)
@@ -646,7 +764,7 @@ void GemmPackedExAvx2(int64_t m, int n, int k, const float* a, const float* pack
     }
   }
   // Remainder rows (m % 4) across every panel.
-  TileRowsScalar(row, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
+  TileRowsScalar<kGemmTileN>(row, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
 }
 
 #elif defined(PERCIVAL_SIMD_SSE2)
@@ -733,7 +851,7 @@ void GemmPackedExSse2(int64_t m, int n, int k, const float* a, const float* pack
     }
   }
   // Remainder rows (m % 4) across every panel.
-  TileRowsScalar(row, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
+  TileRowsScalar<kGemmTileN>(row, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
 }
 
 #endif  // SIMD variant
@@ -741,19 +859,28 @@ void GemmPackedExSse2(int64_t m, int n, int k, const float* a, const float* pack
 // ------------------------------------------------------- int8 micro-kernel --
 
 // Dequantizing store of one tile row of int32 accumulators:
-// c[j] = epilogue(a_scale * w_scale[j] * (acc[j] - zp * row_sum[j]) + bias).
+// c[j] = epilogue(fma(a_scale * w_scale[j], acc[j] - zp * row_sum[j], bias)).
 // `scales` / `row_sums` are the panel-padded arrays indexed from n0.
-void StoreInt8TileRow(const int32_t acc[kGemmTileN], const Int8PackedFilters& packed,
+//
+// The bias addition is an EXPLICIT single-rounding fused multiply-add, here
+// and in the vectorized AVX-512 epilogue below. With a plain `mul` + `add`
+// the compiler's default fp-contraction is free to fuse some inlined copies
+// and not others, and the cross-width / cross-tier bit-exactness contract
+// would then hinge on compiler whim per call site (observed: the 4x32
+// kernel's epilogue contracted while the 4x16 one's did not, a last-ulp
+// split the parity tests caught). Spelling the fma out pins one rounding
+// everywhere.
+void StoreInt8TileRow(const int32_t* acc, const Int8PackedFilters& packed,
                       const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
                       int n0, int width, float* c_row) {
   const float* scales = packed.scales.data();
   const int32_t* row_sums = packed.row_sums.data();
+  const bool add_bias = ep != GemmEpilogue::kNone && bias != nullptr;
   for (int j = 0; j < width; ++j) {
     const int32_t corrected = acc[j] - quant.zero_point * row_sums[n0 + j];
-    float v = quant.scale * scales[n0 + j] * static_cast<float>(corrected);
-    if (ep != GemmEpilogue::kNone && bias != nullptr) {
-      v += bias[n0 + j];
-    }
+    const float combined = quant.scale * scales[n0 + j];
+    float v = add_bias ? std::fma(combined, static_cast<float>(corrected), bias[n0 + j])
+                       : combined * static_cast<float>(corrected);
     if (ep == GemmEpilogue::kBiasRelu && v < 0.0f) {
       v = 0.0f;
     }
@@ -761,21 +888,22 @@ void StoreInt8TileRow(const int32_t acc[kGemmTileN], const Int8PackedFilters& pa
   }
 }
 
-// Scalar int8 tile kernel over the interleaved panel layout. Always
-// compiled: the oracle for the intrinsic kernels and the fallback for
-// builds without SSSE3. Accumulation is wide int32 throughout, which makes
-// it bit-exact against BOTH intrinsic families for their respective weight
-// contracts: the maddubs tiers never saturate under ±64 codes, and the
-// VNNI tier's vpdpbusd is itself an exact int32 sum under the full ±127
-// codes — so SetGemmForceScalar parity holds to the last epilogue ulp on
-// every tier.
+// Scalar int8 tile kernel over the interleaved panel layout, templated on
+// the width the panels were packed at. Always compiled: the oracle for the
+// intrinsic kernels and the fallback for builds without SSSE3. Accumulation
+// is wide int32 throughout, which makes it bit-exact against BOTH intrinsic
+// families for their respective weight contracts: the maddubs tiers never
+// saturate under ±64 codes, and the VNNI tier's vpdpbusd is itself an exact
+// int32 sum under the full ±127 codes — so SetGemmForceScalar parity holds
+// to the last epilogue ulp on every tier and at either panel width.
+template <int PW>
 void Int8TileRowsScalar(int64_t row_begin, int64_t row_end, const uint8_t* a,
                         const Int8PackedFilters& packed, const ActivationQuant& quant,
                         const float* bias, GemmEpilogue ep, float* c, int64_t ldc) {
   const int n = packed.n;
   const int k_padded = packed.k_padded;
   const int groups = k_padded / kInt8KUnit;
-  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
+  const int panels = (n + PW - 1) / PW;
   int64_t row = row_begin;
   for (; row + kGemmTileM <= row_end; row += kGemmTileM) {
     const uint8_t* rows[kGemmTileM];
@@ -783,16 +911,16 @@ void Int8TileRowsScalar(int64_t row_begin, int64_t row_end, const uint8_t* a,
       rows[i] = a + (row + i) * k_padded;
     }
     for (int panel = 0; panel < panels; ++panel) {
-      const int n0 = panel * kGemmTileN;
-      const int width = std::min(kGemmTileN, n - n0);
+      const int n0 = panel * PW;
+      const int width = std::min(PW, n - n0);
       const int8_t* pb = packed.data.data() +
-                         static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
-      int32_t acc[kGemmTileM][kGemmTileN] = {};
+                         static_cast<size_t>(panel) * groups * PW * kInt8KUnit;
+      int32_t acc[kGemmTileM][PW] = {};
       for (int g = 0; g < groups; ++g) {
-        const int8_t* group = pb + static_cast<size_t>(g) * kGemmTileN * kInt8KUnit;
+        const int8_t* group = pb + static_cast<size_t>(g) * PW * kInt8KUnit;
         for (int i = 0; i < kGemmTileM; ++i) {
           const uint8_t* ar = rows[i] + g * kInt8KUnit;
-          for (int j = 0; j < kGemmTileN; ++j) {
+          for (int j = 0; j < PW; ++j) {
             const int8_t* bj = group + j * kInt8KUnit;
             acc[i][j] += static_cast<int32_t>(ar[0]) * bj[0] +
                          static_cast<int32_t>(ar[1]) * bj[1] +
@@ -809,15 +937,15 @@ void Int8TileRowsScalar(int64_t row_begin, int64_t row_end, const uint8_t* a,
   for (; row < row_end; ++row) {
     const uint8_t* ar = a + row * k_padded;
     for (int panel = 0; panel < panels; ++panel) {
-      const int n0 = panel * kGemmTileN;
-      const int width = std::min(kGemmTileN, n - n0);
+      const int n0 = panel * PW;
+      const int width = std::min(PW, n - n0);
       const int8_t* pb = packed.data.data() +
-                         static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
-      int32_t acc[kGemmTileN] = {};
+                         static_cast<size_t>(panel) * groups * PW * kInt8KUnit;
+      int32_t acc[PW] = {};
       for (int g = 0; g < groups; ++g) {
-        const int8_t* group = pb + static_cast<size_t>(g) * kGemmTileN * kInt8KUnit;
+        const int8_t* group = pb + static_cast<size_t>(g) * PW * kInt8KUnit;
         const uint8_t* ag = ar + g * kInt8KUnit;
-        for (int j = 0; j < kGemmTileN; ++j) {
+        for (int j = 0; j < PW; ++j) {
           const int8_t* bj = group + j * kInt8KUnit;
           acc[j] += static_cast<int32_t>(ag[0]) * bj[0] +
                     static_cast<int32_t>(ag[1]) * bj[1] +
@@ -833,7 +961,11 @@ void Int8TileRowsScalar(int64_t row_begin, int64_t row_end, const uint8_t* a,
 void GemmInt8PackedExScalar(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
                             const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
                             float* c, int64_t ldc) {
-  Int8TileRowsScalar(0, m, a, packed, quant, bias, ep, c, ldc);
+  if (packed.panel_width == kGemmTileNMin) {
+    Int8TileRowsScalar<kGemmTileNMin>(0, m, a, packed, quant, bias, ep, c, ldc);
+  } else {
+    Int8TileRowsScalar<kGemmTileN>(0, m, a, packed, quant, bias, ep, c, ldc);
+  }
 }
 
 #if !defined(PERCIVAL_SIMD_INT8_SCALAR)
@@ -844,6 +976,41 @@ inline int32_t LoadKGroup(const uint8_t* p) {
   int32_t v;
   std::memcpy(&v, p, sizeof(v));
   return v;
+}
+#endif
+
+#if defined(PERCIVAL_SIMD_AVX512)
+// Vectorized dequantizing store of one 16-lane accumulator segment
+// (channels n0..n0+15 of a panel): the int8 epilogue is otherwise a scalar
+// per-element loop, and at the narrow shapes the planner targets it costs
+// more than the K loop it follows. Every float operation replicates the
+// scalar StoreInt8TileRow exactly — one combined-scale multiply, then an
+// EXPLICIT fused multiply-add with the bias (see the contraction note
+// there), then max(0, ·) — so force-scalar parity stays bit-exact.
+// `scales`/`row_sums` are padded to the full panel, making the 16-wide
+// metadata loads safe even when only `width` lanes store (masked, like the
+// bias load, which has no padding).
+inline void StoreInt8RowAvx512(__m512i acc, const Int8PackedFilters& packed,
+                               const ActivationQuant& quant, const float* bias,
+                               GemmEpilogue ep, int n0, int width, float* dst) {
+  const __mmask16 mask =
+      width >= 16 ? static_cast<__mmask16>(0xFFFF) : static_cast<__mmask16>((1u << width) - 1);
+  const __m512i row_sums = _mm512_loadu_si512(packed.row_sums.data() + n0);
+  const __m512i corrected =
+      _mm512_sub_epi32(acc, _mm512_mullo_epi32(_mm512_set1_epi32(quant.zero_point), row_sums));
+  const __m512 combined =
+      _mm512_mul_ps(_mm512_set1_ps(quant.scale), _mm512_loadu_ps(packed.scales.data() + n0));
+  const __m512 corrected_f = _mm512_cvtepi32_ps(corrected);
+  __m512 v;
+  if (ep != GemmEpilogue::kNone && bias != nullptr) {
+    v = _mm512_fmadd_ps(combined, corrected_f, _mm512_maskz_loadu_ps(mask, bias + n0));
+  } else {
+    v = _mm512_mul_ps(combined, corrected_f);
+  }
+  if (ep == GemmEpilogue::kBiasRelu) {
+    v = _mm512_max_ps(v, _mm512_setzero_ps());
+  }
+  _mm512_mask_storeu_ps(dst + n0, mask, v);
 }
 #endif
 
@@ -896,15 +1063,64 @@ void GemmInt8PackedExVnni(int64_t m, const uint8_t* a, const Int8PackedFilters& 
         acc[6] = _mm512_dpbusd_epi32(acc[6], va, b0);
         acc[7] = _mm512_dpbusd_epi32(acc[7], va, b1);
       }
-      int32_t buf[kGemmTileM][kGemmTileN];
       for (int i = 0; i < kGemmTileM; ++i) {
-        _mm512_storeu_si512(buf[i], acc[2 * i]);
-        _mm512_storeu_si512(buf[i] + 16, acc[2 * i + 1]);
-        StoreInt8TileRow(buf[i], packed, quant, bias, ep, n0, width, c_row + i * ldc);
+        float* dst = c_row + i * ldc;
+        StoreInt8RowAvx512(acc[2 * i], packed, quant, bias, ep, n0, std::min(width, 16),
+                           dst);
+        if (width > 16) {
+          StoreInt8RowAvx512(acc[2 * i + 1], packed, quant, bias, ep, n0 + 16, width - 16,
+                             dst);
+        }
       }
     }
   }
-  Int8TileRowsScalar(row, m, a, packed, quant, bias, ep, c, ldc);
+  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc);
+}
+
+// 16-wide VNNI sub-tile: one zmm covers the panel's 16 channels x 4 K
+// bytes, so each K group is one load + one vpdpbusd per row instead of the
+// 4x32 tile's two loads + two per row — and the single accumulator per row
+// leaves room for an 8-row tile, halving panel traffic again. The
+// accumulators dequantize and store straight from registers.
+void GemmInt8PackedExVnniW16(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
+                             const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
+                             float* c, int64_t ldc) {
+  constexpr int PW = kGemmTileNMin;
+  constexpr int kRows = 8;
+  const int n = packed.n;
+  const int k_padded = packed.k_padded;
+  const int groups = k_padded / kInt8KUnit;
+  const int panels = (n + PW - 1) / PW;
+  int64_t row = 0;
+  for (; row + kRows <= m; row += kRows) {
+    const uint8_t* rows[kRows];
+    for (int i = 0; i < kRows; ++i) {
+      rows[i] = a + (row + i) * k_padded;
+    }
+    float* c_row = c + row * ldc;
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * PW;
+      const int width = std::min(PW, n - n0);
+      const int8_t* pb = packed.data.data() +
+                         static_cast<size_t>(panel) * groups * PW * kInt8KUnit;
+      __m512i acc[kRows];
+      for (int i = 0; i < kRows; ++i) {
+        acc[i] = _mm512_setzero_si512();
+      }
+      for (int g = 0; g < groups; ++g) {
+        const __m512i b0 =
+            _mm512_loadu_si512(pb + static_cast<size_t>(g) * PW * kInt8KUnit);
+        for (int i = 0; i < kRows; ++i) {
+          acc[i] = _mm512_dpbusd_epi32(
+              acc[i], _mm512_set1_epi32(LoadKGroup(rows[i] + g * kInt8KUnit)), b0);
+        }
+      }
+      for (int i = 0; i < kRows; ++i) {
+        StoreInt8RowAvx512(acc[i], packed, quant, bias, ep, n0, width, c_row + i * ldc);
+      }
+    }
+  }
+  Int8TileRowsScalar<PW>(row, m, a, packed, quant, bias, ep, c, ldc);
 }
 
 #elif defined(PERCIVAL_SIMD_INT8_AVX512)
@@ -955,15 +1171,64 @@ void GemmInt8PackedExAvx512(int64_t m, const uint8_t* a, const Int8PackedFilters
         acc[6] = _mm512_add_epi32(acc[6], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b0), ones));
         acc[7] = _mm512_add_epi32(acc[7], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b1), ones));
       }
-      int32_t buf[kGemmTileM][kGemmTileN];
       for (int i = 0; i < kGemmTileM; ++i) {
-        _mm512_storeu_si512(buf[i], acc[2 * i]);
-        _mm512_storeu_si512(buf[i] + 16, acc[2 * i + 1]);
-        StoreInt8TileRow(buf[i], packed, quant, bias, ep, n0, width, c_row + i * ldc);
+        float* dst = c_row + i * ldc;
+        StoreInt8RowAvx512(acc[2 * i], packed, quant, bias, ep, n0, std::min(width, 16),
+                           dst);
+        if (width > 16) {
+          StoreInt8RowAvx512(acc[2 * i + 1], packed, quant, bias, ep, n0 + 16, width - 16,
+                             dst);
+        }
       }
     }
   }
-  Int8TileRowsScalar(row, m, a, packed, quant, bias, ep, c, ldc);
+  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc);
+}
+
+// 16-wide maddubs sub-tile: the AVX-512BW analogue of the VNNI W16 kernel
+// above — one zmm panel load per K group, maddubs/madd pair per row, 8-row
+// tile.
+void GemmInt8PackedExAvx512W16(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
+                               const ActivationQuant& quant, const float* bias,
+                               GemmEpilogue ep, float* c, int64_t ldc) {
+  constexpr int PW = kGemmTileNMin;
+  constexpr int kRows = 8;
+  const int n = packed.n;
+  const int k_padded = packed.k_padded;
+  const int groups = k_padded / kInt8KUnit;
+  const int panels = (n + PW - 1) / PW;
+  const __m512i ones = _mm512_set1_epi16(1);
+  int64_t row = 0;
+  for (; row + kRows <= m; row += kRows) {
+    const uint8_t* rows[kRows];
+    for (int i = 0; i < kRows; ++i) {
+      rows[i] = a + (row + i) * k_padded;
+    }
+    float* c_row = c + row * ldc;
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * PW;
+      const int width = std::min(PW, n - n0);
+      const int8_t* pb = packed.data.data() +
+                         static_cast<size_t>(panel) * groups * PW * kInt8KUnit;
+      __m512i acc[kRows];
+      for (int i = 0; i < kRows; ++i) {
+        acc[i] = _mm512_setzero_si512();
+      }
+      for (int g = 0; g < groups; ++g) {
+        const __m512i b0 =
+            _mm512_loadu_si512(pb + static_cast<size_t>(g) * PW * kInt8KUnit);
+        for (int i = 0; i < kRows; ++i) {
+          const __m512i va = _mm512_set1_epi32(LoadKGroup(rows[i] + g * kInt8KUnit));
+          acc[i] =
+              _mm512_add_epi32(acc[i], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b0), ones));
+        }
+      }
+      for (int i = 0; i < kRows; ++i) {
+        StoreInt8RowAvx512(acc[i], packed, quant, bias, ep, n0, width, c_row + i * ldc);
+      }
+    }
+  }
+  Int8TileRowsScalar<PW>(row, m, a, packed, quant, bias, ep, c, ldc);
 }
 
 #elif defined(PERCIVAL_SIMD_INT8_AVX2)
@@ -1022,7 +1287,7 @@ void GemmInt8PackedExAvx2(int64_t m, const uint8_t* a, const Int8PackedFilters& 
       }
     }
   }
-  Int8TileRowsScalar(row, m, a, packed, quant, bias, ep, c, ldc);
+  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc);
 }
 
 #elif defined(PERCIVAL_SIMD_INT8_SSSE3)
@@ -1085,7 +1350,7 @@ void GemmInt8PackedExSsse3(int64_t m, const uint8_t* a, const Int8PackedFilters&
       }
     }
   }
-  Int8TileRowsScalar(row, m, a, packed, quant, bias, ep, c, ldc);
+  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc);
 }
 
 #endif  // int8 SIMD variant
@@ -1093,11 +1358,17 @@ void GemmInt8PackedExSsse3(int64_t m, const uint8_t* a, const Int8PackedFilters&
 }  // namespace
 
 void GemmPackedEx(int64_t m, int n, int k, const float* a, const float* packed_b,
-                  const float* bias, GemmEpilogue epilogue, float* c, int64_t ldc) {
+                  const float* bias, GemmEpilogue epilogue, float* c, int64_t ldc,
+                  int panel_width) {
   PCHECK_GE(ldc, n);
+  PCHECK(ValidPanelWidth(panel_width));
 #if defined(PERCIVAL_SIMD_AVX512)
   if (!GemmForceScalar()) {
-    GemmPackedExAvx512(m, n, k, a, packed_b, bias, epilogue, c, ldc);
+    if (panel_width == kGemmTileNMin) {
+      GemmPackedExAvx512W16(m, n, k, a, packed_b, bias, epilogue, c, ldc);
+    } else {
+      GemmPackedExAvx512(m, n, k, a, packed_b, bias, epilogue, c, ldc);
+    }
     return;
   }
 #elif defined(PERCIVAL_SIMD_AVX2)
@@ -1111,7 +1382,7 @@ void GemmPackedEx(int64_t m, int n, int k, const float* a, const float* packed_b
     return;
   }
 #endif
-  GemmPackedExScalar(m, n, k, a, packed_b, bias, epilogue, c, ldc);
+  GemmPackedExScalar(m, n, k, a, packed_b, bias, epilogue, c, ldc, panel_width);
 }
 
 void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b,
@@ -1124,14 +1395,23 @@ void GemmInt8PackedEx(int64_t m, const uint8_t* a, const Int8PackedFilters& pack
                       float* c, int64_t ldc) {
   PCHECK_GE(ldc, packed.n);
   PCHECK_EQ(packed.k_padded % kInt8KUnit, 0);
+  PCHECK(ValidPanelWidth(packed.panel_width));
 #if defined(PERCIVAL_SIMD_INT8_VNNI)
   if (!GemmForceScalar()) {
-    GemmInt8PackedExVnni(m, a, packed, quant, bias, epilogue, c, ldc);
+    if (packed.panel_width == kGemmTileNMin) {
+      GemmInt8PackedExVnniW16(m, a, packed, quant, bias, epilogue, c, ldc);
+    } else {
+      GemmInt8PackedExVnni(m, a, packed, quant, bias, epilogue, c, ldc);
+    }
     return;
   }
 #elif defined(PERCIVAL_SIMD_INT8_AVX512)
   if (!GemmForceScalar()) {
-    GemmInt8PackedExAvx512(m, a, packed, quant, bias, epilogue, c, ldc);
+    if (packed.panel_width == kGemmTileNMin) {
+      GemmInt8PackedExAvx512W16(m, a, packed, quant, bias, epilogue, c, ldc);
+    } else {
+      GemmInt8PackedExAvx512(m, a, packed, quant, bias, epilogue, c, ldc);
+    }
     return;
   }
 #elif defined(PERCIVAL_SIMD_INT8_AVX2)

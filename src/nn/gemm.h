@@ -39,12 +39,28 @@ class ThreadPool;
 // baseline x86-64 target (4x8, 8x8, 8x16, 4x32 all trailed it in the conv
 // micro-bench). An AVX-512 build widens the panel to 4x32 — two zmm
 // accumulators per row, the same register budget as the AVX2 4x16 tile.
+//
+// kGemmTileN is the MAXIMUM panel width of the build. The pack and kernel
+// entry points additionally accept a runtime panel width of kGemmTileNMin
+// (16): on AVX-512 that selects a 4x16 sub-tile (one zmm per row) whose K
+// loop does half the panel loads and half the FMA work of the 4x32 tile —
+// the right shape for layers with <= 16 output channels, where the wide
+// panel spends most of its lanes on zero padding. On the AVX2/SSE2 tiers 16
+// IS the native width, so the narrow selection is the identity and the only
+// valid one. The per-layer choice is made by the kernel planner below.
 inline constexpr int kGemmTileM = 4;
 #if defined(PERCIVAL_SIMD_AVX512)
 inline constexpr int kGemmTileN = 32;
 #else
 inline constexpr int kGemmTileN = 16;
 #endif
+inline constexpr int kGemmTileNMin = 16;
+
+// True for the panel widths this build's kernels implement: the native
+// kGemmTileN and the 16-wide sub-tile (identical on non-AVX-512 tiers).
+inline constexpr bool ValidPanelWidth(int width) {
+  return width == kGemmTileN || width == kGemmTileNMin;
+}
 
 // Bump allocator for transient kernel buffers. Alloc() never invalidates
 // previously returned pointers (full blocks are retired, not reallocated);
@@ -122,11 +138,67 @@ const char* ActiveInt8KernelName();
 // breadcrumb for bench logs and deployments).
 void LogSimdPathOnce();
 
-// Packs row-major B[N x K] into column panels of kGemmTileN filters:
-// packed[panel][k][j] = B[(panel*kGemmTileN + j) * K + k], zero-padded past
-// N. `packed` must hold PackedPanelFloats(N, K) floats.
-size_t PackedPanelFloats(int n, int k);
-void PackFilterPanels(const float* b, int n, int k, float* packed);
+// ------------------------------------------------------- kernel planner --
+//
+// Per-layer kernel decisions. Every hot-path component consumes a
+// KernelPlan instead of a hard-coded choice: the GEMM pack + micro-kernels
+// honor the panel width, the im2col gathers and the weight packers honor
+// the activation layout, and Conv2D keys its pack caches on (weight
+// version, plan) so a plan flip repacks exactly once. Plans are chosen at
+// Network::PlanForward time from layer shape + the compiled SIMD tier (see
+// ChooseConvKernelPlan), and can be pinned globally for A/B measurement.
+
+// K-order of an im2col patch row (and of the matching packed filter rows).
+//   * kKhKwC — (kh, kw, c): each kernel tap contributes `channels`
+//     contiguous floats, the layout NHWC gathers produce naturally.
+//   * kCOuter — (c, kh, kw): channel-outer, so a 1x1-dominated network's
+//     rare 3x3 layers see each channel's kernel window as one contiguous
+//     run. The GEMM is K-order-agnostic (A rows and B rows just have to
+//     agree); only the gather and the weight packer change.
+enum class ActivationLayout : uint8_t {
+  kKhKwC = 0,
+  kCOuter = 1,
+};
+
+const char* LayoutName(ActivationLayout layout);
+
+struct KernelPlan {
+  ActivationLayout layout = ActivationLayout::kKhKwC;
+  int panel_width = kGemmTileN;
+};
+
+inline bool operator==(const KernelPlan& a, const KernelPlan& b) {
+  return a.layout == b.layout && a.panel_width == b.panel_width;
+}
+inline bool operator!=(const KernelPlan& a, const KernelPlan& b) { return !(a == b); }
+
+// Global pinning knobs for layout/panel A/B experiments (benches, tests,
+// README "how to pin"). 0 / kAuto restore the heuristic. They affect plans
+// chosen AFTER the call — re-run PlanKernels (or Network::PlanForward) to
+// apply them to existing layers.
+void SetPlannerPanelOverride(int width);  // 0 = auto; else 16 or kGemmTileN
+int PlannerPanelOverride();
+
+enum class LayoutPolicy : uint8_t { kAuto = 0, kForceKhKwC = 1, kForceCOuter = 2 };
+void SetPlannerLayoutPolicy(LayoutPolicy policy);
+LayoutPolicy PlannerLayoutPolicy();
+
+// The planner heuristic: narrow layers (out_channels <= 16) take the
+// 16-wide sub-tile on builds whose native panel is wider — the wide panel
+// would spend >= half its lanes on zero padding — and everything else keeps
+// the native width. The layout default is kKhKwC: measured on NHWC inputs
+// (see BENCH_micro_kernels.json's conv3x3_layout_* rows), the (kh, kw, c)
+// gather's contiguous per-tap memcpys beat the strided channel-outer
+// gather, so kCOuter stays an explicitly pinned experiment. 1x1 kernels
+// normalize to kKhKwC (the two orders coincide).
+KernelPlan ChooseConvKernelPlan(int out_channels, int kernel);
+
+// Packs row-major B[N x K] into column panels of `panel_width` filters:
+// packed[panel][k][j] = B[(panel*panel_width + j) * K + k], zero-padded
+// past N. `packed` must hold PackedPanelFloats(N, K, panel_width) floats.
+size_t PackedPanelFloats(int n, int k, int panel_width = kGemmTileN);
+void PackFilterPanels(const float* b, int n, int k, float* packed,
+                      int panel_width = kGemmTileN);
 
 // Post-accumulation transform applied inside the micro-kernel's store, so
 // fused layers never materialize a pre-activation intermediate.
@@ -139,9 +211,11 @@ enum class GemmEpilogue {
 // Computes C = epilogue(A * B^T + bias) over pre-packed panels. A is
 // row-major [M x K] with contiguous rows; output row i starts at c + i*ldc
 // (ldc >= n), which lets a caller write into a channel slice of a wider
-// tensor. Runs on the calling thread.
+// tensor. `panel_width` must match the width `packed_b` was packed at.
+// Runs on the calling thread.
 void GemmPackedEx(int64_t m, int n, int k, const float* a, const float* packed_b,
-                  const float* bias, GemmEpilogue epilogue, float* c, int64_t ldc);
+                  const float* bias, GemmEpilogue epilogue, float* c, int64_t ldc,
+                  int panel_width = kGemmTileN);
 
 // Compatibility wrapper: dense C (ldc == n), bias-only epilogue.
 void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b,
@@ -209,8 +283,9 @@ void QuantizeActivations(const float* src, int64_t count, const ActivationQuant&
 
 // Panel-packed int8 filters plus the per-channel dequantization metadata
 // the epilogue needs. `scales` and `row_sums` are padded to the full panel
-// width (panels * kGemmTileN) so the vector epilogue loads never run past
-// the end; entries beyond `n` are zero.
+// width (panels * panel_width) so the vector epilogue loads never run past
+// the end; entries beyond `n` are zero. The width the panels were packed at
+// travels with the data, so the kernel dispatch needs no extra plumbing.
 struct Int8PackedFilters {
   std::vector<int8_t> data;
   std::vector<float> scales;     // w ~= scales[j] * q_w[j][k]
@@ -218,9 +293,10 @@ struct Int8PackedFilters {
   int n = 0;
   int k = 0;
   int k_padded = 0;
+  int panel_width = kGemmTileN;
 };
 
-size_t PackedPanelBytesInt8(int n, int k);
+size_t PackedPanelBytesInt8(int n, int k, int panel_width = kGemmTileN);
 
 // Quantizes one length-k float filter row to symmetric int8 codes in
 // [-kInt8WeightMax, kInt8WeightMax] and returns the scale (w ~= scale * q).
@@ -231,7 +307,8 @@ float QuantizeWeightRow(const float* row, int k, int8_t* codes);
 
 // Quantizes row-major float B[N x K] per output channel and packs it into
 // the interleaved int8 panel layout described above.
-void PackFilterPanelsInt8(const float* b, int n, int k, Int8PackedFilters* packed);
+void PackFilterPanelsInt8(const float* b, int n, int k, Int8PackedFilters* packed,
+                          int panel_width = kGemmTileN);
 
 // Packs pre-quantized codes (row-major [N x K], e.g. loaded from a PCVW v2
 // file) with their per-channel scales into the same panel layout, skipping
@@ -239,7 +316,7 @@ void PackFilterPanelsInt8(const float* b, int n, int k, Int8PackedFilters* packe
 // kInt8WeightMax clamp — the caller (the v2 deserializer) checks the file's
 // recorded clamp against the compiled tier before taking this path.
 void PackQuantizedFilterPanelsInt8(const int8_t* codes, const float* scales, int n, int k,
-                                   Int8PackedFilters* packed);
+                                   Int8PackedFilters* packed, int panel_width = kGemmTileN);
 
 // Computes C = epilogue(dequant(Q_A * packed) + bias) over pre-quantized A
 // rows. Each A row holds `packed.k_padded` uint8 codes (zero-padded K tail;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/logging.h"
 #include "src/nn/tensor.h"
 
 namespace percival {
@@ -39,6 +40,38 @@ struct QuantizedWeights {
   std::vector<int8_t> codes;  // row-major [channels][k] symmetric int8
   std::vector<float> scales;  // per output channel, w ~= scale * code
   uint64_t version = 0;
+};
+
+// A calibrated activation range for one quantized tensor (a conv layer's
+// input), observed over a calibration batch. `valid` distinguishes "never
+// calibrated" from a genuine [0, 0] range. Serialized as the optional PCVW
+// v2 trailer so deployment forwards skip the per-forward MinMaxRange pass.
+struct ActivationCalibration {
+  float min_value = 0.0f;
+  float max_value = 0.0f;
+  bool valid = false;
+};
+
+// One layer's kernel-plan decision, flattened for logging / bench JSON
+// (plain strings + ints so this header stays independent of the GEMM
+// engine's types; Conv2D translates its KernelPlan into this shape).
+struct KernelPlanRow {
+  std::string layer;
+  int panel_width = 0;
+  bool c_outer = false;
+  bool int8 = false;
+  bool u8_direct = false;  // layer would accept a pre-quantized u8 input
+};
+
+// A borrowed view of an already-quantized uint8 activation tensor:
+// value ~= scale * (code - zero_point), NHWC codes at `data`. The
+// deployment preprocessing path hands this straight to the first conv so
+// the int8 classify path never materializes a float staging tensor.
+struct QuantizedTensorView {
+  const uint8_t* data = nullptr;
+  TensorShape shape{};
+  float scale = 1.0f;
+  int32_t zero_point = 0;
 };
 
 // A trainable weight with its gradient accumulator.
@@ -76,6 +109,56 @@ class Layer {
   // Selects the inference precision. Layers without a quantized path ignore
   // this; Conv2D (and containers holding convs) honor it on Forward.
   virtual void SetPrecision(Precision precision) { (void)precision; }
+
+  // Kernel planning hook, called by Network::PlanForward with the layer's
+  // input shape: layers with shape-sensitive kernel choices (Conv2D's panel
+  // width / activation layout) pick their plan here; containers propagate
+  // to children with the correct child shapes. Layers without plannable
+  // kernels ignore it.
+  virtual void PlanKernels(const TensorShape& input) { (void)input; }
+
+  // Appends one row per plannable kernel this layer owns (containers
+  // recurse) so benches and logs can record the planner's decisions.
+  virtual void AppendKernelPlanRows(std::vector<KernelPlanRow>* out) const { (void)out; }
+
+  // True when this layer can consume a pre-quantized uint8 input tensor
+  // directly (Conv2D in int8 eval mode). The deployment wrapper checks the
+  // network's FIRST layer and, when eligible, preprocesses bitmaps straight
+  // to uint8 codes — no float staging tensor on the int8 classify path.
+  virtual bool AcceptsQuantizedInput() const { return false; }
+
+  // Runs the layer over caller-quantized input codes. Only meaningful when
+  // AcceptsQuantizedInput(); the default fails loudly.
+  virtual Tensor ForwardQuantized(const QuantizedTensorView& input) {
+    (void)input;
+    PCHECK(false) << Name() << " does not accept quantized input";
+    return Tensor();
+  }
+
+  // Calibration protocol. Capture mode (SetCalibrationCapture(true) resets
+  // any previous range and starts accumulating; false stops and keeps the
+  // accumulated range) records each quantized tensor's observed activation
+  // range during float forwards. CalibrationSlots / AppendCalibration /
+  // ConsumeCalibration walk the ranges in a deterministic layer order so
+  // the PCVW v2 trailer can ship them; ConsumeCalibration returns how many
+  // entries the layer (and its children) consumed.
+  virtual void SetCalibrationCapture(bool capture) { (void)capture; }
+  virtual size_t CalibrationSlots() const { return 0; }
+  virtual void AppendCalibration(std::vector<ActivationCalibration>* out) const {
+    (void)out;
+  }
+  virtual size_t ConsumeCalibration(const ActivationCalibration* entries, size_t count) {
+    (void)entries;
+    (void)count;
+    return 0;
+  }
+
+  // Reports the layer's calibrated input range, when it has one.
+  virtual bool InputCalibration(float* min_value, float* max_value) const {
+    (void)min_value;
+    (void)max_value;
+    return false;
+  }
 
   // Human-readable layer description, e.g. "conv3x3/2 3->64".
   virtual std::string Name() const = 0;

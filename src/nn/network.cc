@@ -20,12 +20,96 @@ void Network::PlanForward(const TensorShape& input) {
   size_t worst = 0;
   TensorShape shape = input;
   for (const auto& layer : layers_) {
+    // Plans first: a layer's scratch requirement may depend on its plan.
+    layer->PlanKernels(shape);
     worst = std::max(worst, layer->ForwardScratchFloats(shape));
     shape = layer->OutputShape(shape);
   }
   LocalArena().Reserve(worst);
   planned_shape_ = input;
   planned_ = true;
+}
+
+Tensor Network::ForwardQuantized(const QuantizedTensorView& input) {
+  PCHECK(!layers_.empty());
+  PCHECK(layers_[0]->AcceptsQuantizedInput())
+      << "first layer (" << layers_[0]->Name() << ") cannot consume quantized input";
+  if (!planned_ || !(planned_shape_ == input.shape)) {
+    PlanForward(input.shape);
+  }
+  Tensor current = layers_[0]->ForwardQuantized(input);
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    current = layers_[i]->Forward(current);
+  }
+  return current;
+}
+
+bool Network::AcceptsQuantizedInput() const {
+  return !layers_.empty() && layers_[0]->AcceptsQuantizedInput();
+}
+
+std::vector<KernelPlanRow> Network::CollectKernelPlanRows() const {
+  std::vector<KernelPlanRow> rows;
+  for (const auto& layer : layers_) {
+    layer->AppendKernelPlanRows(&rows);
+  }
+  return rows;
+}
+
+std::string Network::KernelPlanSummary() const {
+  const std::vector<KernelPlanRow> rows = CollectKernelPlanRows();
+  int narrow = 0;
+  int c_outer = 0;
+  for (const KernelPlanRow& row : rows) {
+    if (row.panel_width < kGemmTileN) {
+      ++narrow;
+    }
+    if (row.c_outer) {
+      ++c_outer;
+    }
+  }
+  std::ostringstream out;
+  out << "planner: " << rows.size() << " convs, " << narrow << " narrow-panel(16), "
+      << c_outer << " c-outer"
+      << (AcceptsQuantizedInput() ? ", u8-direct input" : "");
+  return out.str();
+}
+
+void Network::SetCalibrationCapture(bool capture) {
+  for (auto& layer : layers_) {
+    layer->SetCalibrationCapture(capture);
+  }
+}
+
+size_t Network::CalibrationSlots() const {
+  size_t slots = 0;
+  for (const auto& layer : layers_) {
+    slots += layer->CalibrationSlots();
+  }
+  return slots;
+}
+
+std::vector<ActivationCalibration> Network::CollectCalibration() const {
+  std::vector<ActivationCalibration> entries;
+  for (const auto& layer : layers_) {
+    layer->AppendCalibration(&entries);
+  }
+  return entries;
+}
+
+bool Network::LoadCalibration(const std::vector<ActivationCalibration>& entries) {
+  // A short vector would leave later layers' (possibly stale) calibrations
+  // untouched while this function reported success — reject it before any
+  // layer consumes an entry.
+  if (entries.size() != CalibrationSlots()) {
+    return false;
+  }
+  size_t consumed = 0;
+  for (auto& layer : layers_) {
+    consumed += layer->ConsumeCalibration(entries.data() + consumed,
+                                          entries.size() - consumed);
+  }
+  return consumed == entries.size();
 }
 
 Tensor Network::ForwardUpTo(const Tensor& input, size_t layer_count) {

@@ -37,13 +37,35 @@ class Network {
   // when the input shape differs from the last planned one.
   Tensor Forward(const Tensor& input);
 
-  // Walks the layers once, computing the worst-case per-layer scratch
-  // requirement for `input`, and reserves the *calling thread's* arena up
-  // front — so the next Forward() on this thread performs zero arena
-  // growth, including the very first inference after model load. Threads
-  // that never plan (e.g. pool workers, which see smaller per-chunk
-  // buffers) warm their arenas organically as before.
+  // Runs all layers over a pre-quantized uint8 input: the FIRST layer must
+  // accept quantized input (AcceptsQuantizedInput(), i.e. a conv in int8
+  // eval mode); the rest of the network runs normally on its float output.
+  // This is the deployment path that keeps the int8 classify pipeline free
+  // of the float staging tensor.
+  Tensor ForwardQuantized(const QuantizedTensorView& input);
+  bool AcceptsQuantizedInput() const;
+
+  // Walks the layers once: each layer picks its kernel plan (panel width /
+  // activation layout — see Conv2D::PlanKernels) for its actual input
+  // shape, then the worst-case per-layer scratch requirement is computed
+  // and the *calling thread's* arena reserved up front — so the next
+  // Forward() on this thread performs zero arena growth, including the very
+  // first inference after model load. Threads that never plan (e.g. pool
+  // workers, which see smaller per-chunk buffers) warm their arenas
+  // organically as before.
   void PlanForward(const TensorShape& input);
+
+  // The planner's decisions, one row per plannable kernel (for bench JSON)
+  // and as a condensed one-line summary (for deployment logs).
+  std::vector<KernelPlanRow> CollectKernelPlanRows() const;
+  std::string KernelPlanSummary() const;
+
+  // Calibration plumbing (see Layer): capture toggling, the deterministic
+  // per-layer range walk the PCVW v2 trailer serializes, and its inverse.
+  void SetCalibrationCapture(bool capture);
+  size_t CalibrationSlots() const;
+  std::vector<ActivationCalibration> CollectCalibration() const;
+  bool LoadCalibration(const std::vector<ActivationCalibration>& entries);
 
   // Runs a forward pass but stops after `layer_count` layers; used by
   // Grad-CAM to obtain intermediate feature maps.

@@ -27,6 +27,11 @@ void Im2ColRows(const float* input, int height, int width, int channels, int ker
   for (int64_t r = row_begin; r < row_end; ++r) {
     const int oh = static_cast<int>(r / out_w);
     const int ow = static_cast<int>(r % out_w);
+    // Consecutive kw taps read consecutive input pixels, so a kh-row whose
+    // kw span is fully in bounds is ONE contiguous kernel*channels copy —
+    // the common case everywhere but the image border.
+    const int iw0 = ow * stride - pad;
+    const bool kw_span_in_bounds = iw0 >= 0 && iw0 + kernel <= width;
     float* row = columns + (r - row_begin) * row_len;
     for (int kh = 0; kh < kernel; ++kh) {
       const int ih = oh * stride + kh - pad;
@@ -35,8 +40,13 @@ void Im2ColRows(const float* input, int height, int width, int channels, int ker
         std::memset(dst, 0, sizeof(float) * static_cast<size_t>(kernel) * channels);
         continue;
       }
+      if (kw_span_in_bounds) {
+        std::memcpy(dst, input + (static_cast<int64_t>(ih) * width + iw0) * channels,
+                    sizeof(float) * static_cast<size_t>(kernel) * channels);
+        continue;
+      }
       for (int kw = 0; kw < kernel; ++kw) {
-        const int iw = ow * stride + kw - pad;
+        const int iw = iw0 + kw;
         if (iw < 0 || iw >= width) {
           std::memset(dst + kw * channels, 0, sizeof(float) * static_cast<size_t>(channels));
         } else {
@@ -57,6 +67,9 @@ void Im2ColRowsU8(const uint8_t* input, int height, int width, int channels, int
   for (int64_t r = row_begin; r < row_end; ++r) {
     const int oh = static_cast<int>(r / out_w);
     const int ow = static_cast<int>(r % out_w);
+    // See Im2ColRows: an in-bounds kw span is one contiguous copy.
+    const int iw0 = ow * stride - pad;
+    const bool kw_span_in_bounds = iw0 >= 0 && iw0 + kernel <= width;
     uint8_t* row = columns + (r - row_begin) * row_stride;
     for (int kh = 0; kh < kernel; ++kh) {
       const int ih = oh * stride + kh - pad;
@@ -65,13 +78,82 @@ void Im2ColRowsU8(const uint8_t* input, int height, int width, int channels, int
         std::memset(dst, pad_value, static_cast<size_t>(kernel) * channels);
         continue;
       }
+      if (kw_span_in_bounds) {
+        std::memcpy(dst, input + (static_cast<int64_t>(ih) * width + iw0) * channels,
+                    static_cast<size_t>(kernel) * channels);
+        continue;
+      }
       for (int kw = 0; kw < kernel; ++kw) {
-        const int iw = ow * stride + kw - pad;
+        const int iw = iw0 + kw;
         if (iw < 0 || iw >= width) {
           std::memset(dst + kw * channels, pad_value, static_cast<size_t>(channels));
         } else {
           const uint8_t* src = input + (static_cast<int64_t>(ih) * width + iw) * channels;
           std::memcpy(dst + kw * channels, src, static_cast<size_t>(channels));
+        }
+      }
+    }
+    std::memset(row + row_len, pad_value, static_cast<size_t>(row_stride - row_len));
+  }
+}
+
+void Im2ColRowsCOuter(const float* input, int height, int width, int channels, int kernel,
+                      int stride, int pad, int64_t row_begin, int64_t row_end,
+                      float* columns) {
+  const int out_w = ConvOutputSize(width, kernel, stride, pad);
+  const int row_len = kernel * kernel * channels;
+  const int taps = kernel * kernel;
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const int oh = static_cast<int>(r / out_w);
+    const int ow = static_cast<int>(r % out_w);
+    float* row = columns + (r - row_begin) * row_len;
+    for (int kh = 0; kh < kernel; ++kh) {
+      const int ih = oh * stride + kh - pad;
+      const bool row_valid = ih >= 0 && ih < height;
+      for (int kw = 0; kw < kernel; ++kw) {
+        const int iw = ow * stride + kw - pad;
+        const int tap = kh * kernel + kw;
+        if (!row_valid || iw < 0 || iw >= width) {
+          for (int c = 0; c < channels; ++c) {
+            row[c * taps + tap] = 0.0f;
+          }
+          continue;
+        }
+        const float* src = input + (static_cast<int64_t>(ih) * width + iw) * channels;
+        for (int c = 0; c < channels; ++c) {
+          row[c * taps + tap] = src[c];
+        }
+      }
+    }
+  }
+}
+
+void Im2ColRowsU8COuter(const uint8_t* input, int height, int width, int channels, int kernel,
+                        int stride, int pad, int64_t row_begin, int64_t row_end,
+                        uint8_t pad_value, int row_stride, uint8_t* columns) {
+  const int out_w = ConvOutputSize(width, kernel, stride, pad);
+  const int row_len = kernel * kernel * channels;
+  const int taps = kernel * kernel;
+  PCHECK_GE(row_stride, row_len);
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const int oh = static_cast<int>(r / out_w);
+    const int ow = static_cast<int>(r % out_w);
+    uint8_t* row = columns + (r - row_begin) * row_stride;
+    for (int kh = 0; kh < kernel; ++kh) {
+      const int ih = oh * stride + kh - pad;
+      const bool row_valid = ih >= 0 && ih < height;
+      for (int kw = 0; kw < kernel; ++kw) {
+        const int iw = ow * stride + kw - pad;
+        const int tap = kh * kernel + kw;
+        if (!row_valid || iw < 0 || iw >= width) {
+          for (int c = 0; c < channels; ++c) {
+            row[c * taps + tap] = pad_value;
+          }
+          continue;
+        }
+        const uint8_t* src = input + (static_cast<int64_t>(ih) * width + iw) * channels;
+        for (int c = 0; c < channels; ++c) {
+          row[c * taps + tap] = src[c];
         }
       }
     }

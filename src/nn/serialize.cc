@@ -22,6 +22,11 @@ constexpr uint32_t kVersionInt8 = 2;
 constexpr uint8_t kRecordFloat32 = 0;
 constexpr uint8_t kRecordInt8PerChannel = 1;
 
+// v2 optional trailer tags (after the last parameter record). A v2 file may
+// end right after its records (no trailer — older writers) or carry exactly
+// one calibration trailer; anything else is rejected.
+constexpr uint8_t kTrailerCalibration = 0xC1;
+
 void AppendRaw(std::vector<uint8_t>& out, const void* data, size_t size) {
   const auto* bytes = static_cast<const uint8_t*>(data);
   out.insert(out.end(), bytes, bytes + size);
@@ -214,6 +219,34 @@ std::vector<uint8_t> SerializeWeightsInt8(Network& net) {
     AppendRaw(out, scales.data(), sizeof(float) * scales.size());
     AppendRaw(out, codes.data(), codes.size());
   }
+  // Optional calibration trailer: per-tensor activation ranges recorded
+  // from a calibration batch (Network::SetCalibrationCapture + forwards),
+  // in the same deterministic layer walk the loader replays. Written
+  // all-or-nothing — a partially calibrated network ships no trailer, and
+  // its deployment forwards fall back to the per-forward MinMaxRange scan.
+  const std::vector<ActivationCalibration> calibration = net.CollectCalibration();
+  bool all_valid = !calibration.empty();
+  for (const ActivationCalibration& entry : calibration) {
+    all_valid = all_valid && entry.valid;
+  }
+  if (all_valid) {
+    AppendValue(out, kTrailerCalibration);
+    AppendValue(out, static_cast<uint32_t>(calibration.size()));
+    for (const ActivationCalibration& entry : calibration) {
+      AppendValue(out, entry.min_value);
+      AppendValue(out, entry.max_value);
+    }
+  } else if (!calibration.empty()) {
+    size_t valid = 0;
+    for (const ActivationCalibration& entry : calibration) {
+      valid += entry.valid ? 1 : 0;
+    }
+    if (valid > 0) {
+      LogLine("pcvw: " + std::to_string(valid) + "/" + std::to_string(calibration.size()) +
+              " tensors calibrated; omitting the calibration trailer (capture a full "
+              "batch to ship one)");
+    }
+  }
   return out;
 }
 
@@ -293,6 +326,36 @@ bool DeserializeWeights(Network& net, const std::vector<uint8_t>& bytes) {
       return false;
     }
   }
+  // Optional v2 trailer(s). The calibration trailer's count must equal the
+  // destination network's slot count — like record geometry, a hostile file
+  // controls no allocation size (the entries are read into a vector sized
+  // by the NET, after the count check) — and every range must be finite and
+  // ordered. v2 files without a trailer (older writers) load unchanged; v1
+  // never carries one.
+  std::vector<ActivationCalibration> staged_calibration;
+  if (version == kVersionInt8 && !reader.AtEnd()) {
+    uint8_t tag = 0;
+    uint32_t calib_count = 0;
+    if (!reader.ReadValue(&tag) || tag != kTrailerCalibration) {
+      return false;
+    }
+    if (!reader.ReadValue(&calib_count) ||
+        calib_count != static_cast<uint32_t>(net.CalibrationSlots()) || calib_count == 0) {
+      return false;
+    }
+    staged_calibration.resize(calib_count);
+    for (uint32_t i = 0; i < calib_count; ++i) {
+      ActivationCalibration& entry = staged_calibration[i];
+      if (!reader.ReadValue(&entry.min_value) || !reader.ReadValue(&entry.max_value)) {
+        return false;
+      }
+      if (!std::isfinite(entry.min_value) || !std::isfinite(entry.max_value) ||
+          entry.min_value > entry.max_value) {
+        return false;
+      }
+      entry.valid = true;
+    }
+  }
   if (!reader.AtEnd()) {
     return false;
   }
@@ -319,6 +382,17 @@ bool DeserializeWeights(Network& net, const std::vector<uint8_t>& bytes) {
       p->quantized->version = p->version;
     }
   }
+  // Always replay the calibration walk: a trailer restores its ranges, and
+  // a trailer-less (or v1) artifact CLEARS any previously loaded ones —
+  // stale ranges from an earlier artifact would silently quantize the new
+  // weights' activations against the old model's distribution. (The
+  // pre-quantized weight payloads are version-guarded against exactly this
+  // staleness; invalid entries are calibration's equivalent.)
+  if (staged_calibration.empty()) {
+    staged_calibration.assign(net.CalibrationSlots(), ActivationCalibration{});
+  }
+  // Count was validated against the slot walk above, so this cannot fail.
+  net.LoadCalibration(staged_calibration);
   return true;
 }
 

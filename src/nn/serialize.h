@@ -43,6 +43,15 @@ std::vector<uint8_t> SerializeWeights(Network& net);
 // codes + scales under this build's kInt8WeightMax contract, everything
 // else float32. Quantization is lossy — keep the v1 checkpoint for
 // training; ship v2.
+//
+// When every quantized tensor in `net` carries a calibrated activation
+// range (run a calibration batch under Network::SetCalibrationCapture(true)
+// first), the artifact additionally ends in an optional calibration
+// trailer: tag 0xC1, a u32 entry count (must equal the destination
+// network's calibration-slot walk), then (min, max) float pairs in layer
+// order. Loading a trailer restores each conv's input calibration, so
+// deployment int8 forwards skip the per-forward MinMaxRange pass; v2 files
+// without the trailer still load and fall back to the scan.
 std::vector<uint8_t> SerializeWeightsInt8(Network& net);
 
 // Restores parameters into `net` from a v1 or v2 buffer. Returns false on

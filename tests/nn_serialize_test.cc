@@ -6,6 +6,7 @@
 // guarantee that a failed load leaves the destination network untouched.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -407,6 +408,182 @@ TEST(SerializeClassifierTest, LoadWeightsPicksPrecisionFromFormat) {
 
   EXPECT_FALSE(classifier.LoadWeights(dir + "/does_not_exist.pcvw"));
   EXPECT_TRUE(classifier.precision() == Precision::kFloat32);
+}
+
+// ------------------------------------------------- calibration trailer --
+
+// A v2 artifact written after a calibration batch carries the activation
+// ranges; loading it restores them (deployment skips the per-forward
+// MinMaxRange pass), and the calibrated int8 forward is bit-identical
+// between writer and reader.
+TEST(SerializeCalibrationTest, TrailerRoundTripRestoresRangesAndForward) {
+  Network writer = ProfileNet(3);
+  writer.SetTrainingMode(false);
+  const Tensor batch = RandomTensor(TestProfile().InputShape(4), 11, 0.0f, 1.0f);
+
+  // Calibration pass: float forwards under capture record every conv's
+  // observed input range.
+  writer.SetCalibrationCapture(true);
+  writer.Forward(batch);
+  writer.SetCalibrationCapture(false);
+  const std::vector<ActivationCalibration> written = writer.CollectCalibration();
+  ASSERT_EQ(written.size(), writer.CalibrationSlots());
+  for (const ActivationCalibration& entry : written) {
+    ASSERT_TRUE(entry.valid) << "capture pass left a conv uncalibrated";
+  }
+
+  const std::vector<uint8_t> with_trailer = SerializeWeightsInt8(writer);
+  Network reader = ProfileNet(997);
+  ASSERT_TRUE(DeserializeWeights(reader, with_trailer));
+  reader.SetTrainingMode(false);
+  const std::vector<ActivationCalibration> loaded = reader.CollectCalibration();
+  ASSERT_EQ(loaded.size(), written.size());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    ASSERT_TRUE(loaded[i].valid);
+    ASSERT_EQ(loaded[i].min_value, written[i].min_value);
+    ASSERT_EQ(loaded[i].max_value, written[i].max_value);
+  }
+
+  writer.SetPrecision(Precision::kInt8);
+  reader.SetPrecision(Precision::kInt8);
+  const Tensor input = RandomTensor(TestProfile().InputShape(), 12, 0.0f, 1.0f);
+  EXPECT_EQ(MaxAbsDiff(writer.Forward(input), reader.Forward(input)), 0.0f)
+      << "calibrated v2 reload is not bit-identical";
+}
+
+// Without a capture pass the artifact has no trailer (and still loads — the
+// pre-trailer v2 format), and a calibrated load actually changes the int8
+// quantization (proof the per-forward range scan is being skipped).
+TEST(SerializeCalibrationTest, TrailerIsOptionalAndActuallyUsed) {
+  Network writer = ProfileNet(5);
+  const std::vector<uint8_t> plain = SerializeWeightsInt8(writer);
+  Network reader = ProfileNet(996);
+  ASSERT_TRUE(DeserializeWeights(reader, plain));
+  for (const ActivationCalibration& entry : reader.CollectCalibration()) {
+    EXPECT_FALSE(entry.valid) << "trailer-less v2 load invented a calibration";
+  }
+
+  // A deliberately wrong calibration range must change the quantized
+  // output: if the forward still scanned the input per-forward, the range
+  // would be identical in both runs and so would the codes.
+  Rng rng(61);
+  Conv2D conv(3, 8, 3, 1, 1, rng);
+  conv.SetPrecision(Precision::kInt8);
+  const Tensor input = RandomTensor(TensorShape{1, 8, 8, 3}, 62, 0.0f, 1.0f);
+  Tensor scanned = conv.Forward(input);
+  conv.SetInputCalibration(0.0f, 4.0f);  // 4x the real range -> coarser codes
+  Tensor calibrated = conv.Forward(input);
+  EXPECT_GT(MaxAbsDiff(scanned, calibrated), 0.0f)
+      << "calibration was ignored: the forward still derives its range by scanning";
+
+  // Capture restarts fresh and accumulates the union of batch ranges.
+  conv.SetPrecision(Precision::kFloat32);
+  conv.SetCalibrationCapture(true);
+  conv.Forward(RandomTensor(TensorShape{1, 8, 8, 3}, 63, -0.5f, 0.5f));
+  conv.Forward(RandomTensor(TensorShape{1, 8, 8, 3}, 64, 0.0f, 2.0f));
+  conv.SetCalibrationCapture(false);
+  float lo = 0.0f;
+  float hi = 0.0f;
+  ASSERT_TRUE(conv.InputCalibration(&lo, &hi));
+  EXPECT_LT(lo, -0.4f);
+  EXPECT_GT(hi, 1.5f);
+}
+
+// Loading a trailer-less artifact (v2 or v1) over a previously calibrated
+// network must CLEAR the old ranges: stale calibrations would quantize the
+// new weights' activations against the old model's distribution.
+TEST(SerializeCalibrationTest, TrailerlessLoadClearsStaleCalibration) {
+  Network calibrated_writer = ProfileNet(7);
+  calibrated_writer.SetTrainingMode(false);
+  calibrated_writer.SetCalibrationCapture(true);
+  calibrated_writer.Forward(RandomTensor(TestProfile().InputShape(), 14, 0.0f, 1.0f));
+  calibrated_writer.SetCalibrationCapture(false);
+  const std::vector<uint8_t> with_trailer = SerializeWeightsInt8(calibrated_writer);
+
+  Network target = ProfileNet(994);
+  ASSERT_TRUE(DeserializeWeights(target, with_trailer));
+  for (const ActivationCalibration& entry : target.CollectCalibration()) {
+    ASSERT_TRUE(entry.valid);
+  }
+
+  Network plain_writer = ProfileNet(8);
+  ASSERT_TRUE(DeserializeWeights(target, SerializeWeightsInt8(plain_writer)));
+  for (const ActivationCalibration& entry : target.CollectCalibration()) {
+    EXPECT_FALSE(entry.valid) << "trailer-less v2 load kept a stale calibration";
+  }
+
+  ASSERT_TRUE(DeserializeWeights(target, with_trailer));
+  ASSERT_TRUE(DeserializeWeights(target, SerializeWeights(plain_writer)));
+  for (const ActivationCalibration& entry : target.CollectCalibration()) {
+    EXPECT_FALSE(entry.valid) << "v1 load kept a stale calibration";
+  }
+
+  // The public LoadCalibration API rejects an under-sized vector outright —
+  // accepting it would "succeed" while leaving later layers untouched.
+  const std::vector<ActivationCalibration> too_short{{0.0f, 1.0f, true}};
+  EXPECT_FALSE(target.LoadCalibration(too_short));
+}
+
+// Hostile trailers: wrong tag, wrong count, truncation, non-finite or
+// inverted ranges, and trailing garbage all reject atomically.
+TEST(SerializeCalibrationTest, HostileTrailersRejected) {
+  Network writer = ProfileNet(6);
+  writer.SetTrainingMode(false);
+  writer.SetCalibrationCapture(true);
+  writer.Forward(RandomTensor(TestProfile().InputShape(), 13, 0.0f, 1.0f));
+  writer.SetCalibrationCapture(false);
+  const std::vector<uint8_t> good = SerializeWeightsInt8(writer);
+  Network uncalibrated = ProfileNet(6);
+  const std::vector<uint8_t> plain = SerializeWeightsInt8(uncalibrated);
+  ASSERT_GT(good.size(), plain.size());
+  const size_t trailer_at = plain.size();
+
+  Network target = ProfileNet(995);
+  const NetSnapshot snap = Snapshot(target);
+  auto expect_rejected = [&](std::vector<uint8_t> bytes, const char* what) {
+    EXPECT_FALSE(DeserializeWeights(target, bytes)) << what;
+    ExpectUnchanged(target, snap);
+  };
+
+  {
+    std::vector<uint8_t> bad = good;
+    bad[trailer_at] = 0x7F;  // unknown trailer tag
+    expect_rejected(std::move(bad), "unknown tag");
+  }
+  {
+    std::vector<uint8_t> bad = good;
+    bad[trailer_at + 1] ^= 0xFF;  // count mismatch
+    expect_rejected(std::move(bad), "count mismatch");
+  }
+  for (size_t cut = trailer_at + 1; cut < good.size(); cut += 3) {
+    std::vector<uint8_t> bad(good.begin(), good.begin() + cut);
+    expect_rejected(std::move(bad), "truncated trailer");
+  }
+  {
+    std::vector<uint8_t> bad = good;
+    const float nan_value = std::nanf("");
+    std::memcpy(bad.data() + trailer_at + 1 + sizeof(uint32_t), &nan_value,
+                sizeof(nan_value));
+    expect_rejected(std::move(bad), "non-finite range");
+  }
+  {
+    std::vector<uint8_t> bad = good;
+    // min > max: swap in an inverted pair for the first entry.
+    const float lo = 2.0f;
+    const float hi = -1.0f;
+    std::memcpy(bad.data() + trailer_at + 1 + sizeof(uint32_t), &lo, sizeof(lo));
+    std::memcpy(bad.data() + trailer_at + 1 + sizeof(uint32_t) + sizeof(float), &hi,
+                sizeof(hi));
+    expect_rejected(std::move(bad), "inverted range");
+  }
+  {
+    std::vector<uint8_t> bad = good;
+    bad.push_back(0);  // trailing garbage after a valid trailer
+    expect_rejected(std::move(bad), "trailing garbage");
+  }
+
+  // The unmodified trailer still loads into the same target.
+  EXPECT_TRUE(DeserializeWeights(target, good));
 }
 
 }  // namespace
