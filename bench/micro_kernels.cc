@@ -254,6 +254,39 @@ void RunSuite(const Options& options) {
   }
 
   {
+    // Zero-float dataflow A/B: the same calibrated int8 eval network and
+    // pre-quantized input codes, with the requantize-in-epilogue plan off
+    // (float-staged activations + separate QuantizeActivations sweeps)
+    // versus on (u8 codes flow conv-to-conv, no float activation tensor).
+    // The logits are bit-identical; only the dataflow differs.
+    PercivalNetConfig config = ExperimentProfile();
+    Network net = BuildPercivalNet(config);
+    net.SetTrainingMode(false);
+    net.SetCalibrationCapture(true);
+    net.Forward(RandomTensor(config.InputShape(), 5));
+    net.SetCalibrationCapture(false);
+    net.SetPrecision(Precision::kInt8);
+    const int64_t macs = net.ForwardMacs(config.InputShape());
+
+    Tensor input = RandomTensor(config.InputShape(), 3);
+    float lo = 0.0f;
+    float hi = 1.0f;
+    net.layer(0).InputCalibration(&lo, &hi);
+    const ActivationQuant quant = ComputeActivationQuant(lo, hi);
+    std::vector<uint8_t> codes(static_cast<size_t>(input.size()));
+    QuantizeActivations(input.data(), input.size(), quant, codes.data());
+    const QuantizedTensorView view{codes.data(), input.shape(), quant.scale,
+                                   quant.zero_point};
+
+    SetDataflowRequantEnabled(false);
+    bench("percival_forward_experiment_int8_staged", 20, macs,
+          [&] { g_sink += net.ForwardQuantized(view)[0]; });
+    SetDataflowRequantEnabled(true);
+    bench("percival_forward_experiment_int8_zerofloat", 20, macs,
+          [&] { g_sink += net.ForwardQuantized(view)[0]; });
+  }
+
+  {
     PercivalNetConfig config = PaperProfile();
     Network net = BuildPercivalNet(config);
     Tensor input = RandomTensor(config.InputShape(), 3);

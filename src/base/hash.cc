@@ -12,6 +12,18 @@ uint64_t HashBytes(const void* data, size_t size) {
   return hash;
 }
 
+uint64_t HashBytesSeeded(const void* data, size_t size, uint64_t seed) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  // Mix the seed into the FNV offset basis so seed 0 still differs from
+  // the unseeded HashBytes stream.
+  uint64_t hash = 0xCBF29CE484222325ULL ^ (seed + 0x9E3779B97F4A7C15ULL);
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
 uint64_t HashString(std::string_view text) { return HashBytes(text.data(), text.size()); }
 
 uint64_t HashU8(const std::vector<uint8_t>& bytes) { return HashBytes(bytes.data(), bytes.size()); }

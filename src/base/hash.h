@@ -15,6 +15,12 @@ namespace percival {
 // 64-bit FNV-1a over an arbitrary byte range.
 uint64_t HashBytes(const void* data, size_t size);
 
+// FNV-1a with a caller-chosen offset basis: an independent second hash over
+// the same bytes. Pairing it with HashBytes gives an effective 128-bit key
+// (the AsyncAdClassifier memo uses it to verify that a 64-bit hash match is
+// really the same payload, not a collision).
+uint64_t HashBytesSeeded(const void* data, size_t size, uint64_t seed);
+
 // Convenience overloads.
 uint64_t HashString(std::string_view text);
 uint64_t HashU8(const std::vector<uint8_t>& bytes);

@@ -11,6 +11,35 @@
 
 namespace percival {
 
+namespace {
+
+// Per-thread u8 preprocessing buffer shared by Classify and ClassifyBatch
+// (one thread never interleaves the two mid-classification). Previously two
+// separate thread_local vectors ratcheted up to the largest frame/batch
+// ever seen and kept that capacity for the thread's lifetime; sizing now
+// goes through SizeCodeBuffer, which releases the excess once the required
+// size drops below half the held capacity.
+std::vector<uint8_t>& ThreadCodeBuffer() {
+  thread_local std::vector<uint8_t> codes;
+  return codes;
+}
+
+void SizeCodeBuffer(std::vector<uint8_t>& codes, size_t needed) {
+  if (codes.capacity() > 2 * needed) {
+    std::vector<uint8_t>(needed).swap(codes);
+  } else {
+    codes.resize(needed);
+  }
+}
+
+// Seed for the memo's independent verification hash (any constant works;
+// it only has to define a second FNV stream over the pixels).
+constexpr uint64_t kVerifyHashSeed = 0x5CA1AB1EULL;
+
+}  // namespace
+
+size_t ClassifierCodeBufferCapacity() { return ThreadCodeBuffer().capacity(); }
+
 AdClassifier::AdClassifier(Network network, const PercivalNetConfig& config, float threshold)
     : config_(config), network_(std::move(network)), threshold_(threshold) {
   LogSimdPathOnce();
@@ -140,9 +169,9 @@ ClassifyResult AdClassifier::Classify(const Bitmap& image) {
   Tensor input;
   // Reused per thread: steady-state u8-direct classification allocates
   // neither a float staging tensor nor a fresh code buffer.
-  thread_local std::vector<uint8_t> codes;
+  std::vector<uint8_t>& codes = ThreadCodeBuffer();
   if (u8.active) {
-    codes.resize(static_cast<size_t>(config_.InputShape().Elements()));
+    SizeCodeBuffer(codes, static_cast<size_t>(config_.InputShape().Elements()));
     BitmapToTensorU8Into(image, config_.input_size, config_.input_channels, u8.scale,
                          u8.zero_point, codes.data());
   } else {
@@ -195,9 +224,10 @@ std::vector<ClassifyResult> AdClassifier::ClassifyBatch(
   const int64_t sample_elements = static_cast<int64_t>(config_.input_size) *
                                   config_.input_size * config_.input_channels;
   Tensor input;
-  thread_local std::vector<uint8_t> codes;
+  std::vector<uint8_t>& codes = ThreadCodeBuffer();
   auto preprocess_u8 = [&] {
-    codes.resize(static_cast<size_t>(batch) * static_cast<size_t>(sample_elements));
+    SizeCodeBuffer(codes,
+                   static_cast<size_t>(batch) * static_cast<size_t>(sample_elements));
     InferenceParallelFor(batch, sample_elements * 8, [&](int64_t begin, int64_t end) {
       for (int64_t i = begin; i < end; ++i) {
         BitmapToTensorU8Into(*images[static_cast<size_t>(i)], config_.input_size,
@@ -280,30 +310,43 @@ void AdClassifier::ResetStats() {
   stats_ = ClassifierStats{};
 }
 
+void AsyncAdClassifier::SetPrimaryHashForTest(HashFn fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  primary_hash_ = fn != nullptr ? fn : &HashBytes;
+}
+
 bool AsyncAdClassifier::OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
                                        const std::string& source_url) {
   (void)info;
   (void)source_url;
-  const uint64_t key = HashBytes(pixels.data(), pixels.byte_size());
   std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t key = primary_hash_(pixels.data(), pixels.byte_size());
+  const uint64_t verify = HashBytesSeeded(pixels.data(), pixels.byte_size(), kVerifyHashSeed);
   auto it = memo_.find(key);
   if (it != memo_.end()) {
-    ++stats_.cache_hits;
-    return it->second;  // Memoized decision applies immediately.
+    if (it->second.verify == verify) {
+      ++stats_.cache_hits;
+      return it->second.is_ad;  // Memoized decision applies immediately.
+    }
+    // Same 64-bit hash, different payload: applying the cached decision
+    // would block/pass the wrong creative. Count it and classify this frame
+    // on its own.
+    ++stats_.hash_collisions;
   }
   ++stats_.cache_misses;
   // Not yet known: let the frame render now (no added latency) and queue
   // the pixels for off-critical-path classification — unless the same
-  // creative is already queued or being classified by an in-flight drain.
-  if (in_flight_.insert(key).second) {
-    pending_.emplace_back(key, pixels);
+  // creative (primary AND verify hash) is already queued or being
+  // classified by an in-flight drain.
+  if (in_flight_.insert(HashCombine(key, verify)).second) {
+    pending_.push_back(PendingFrame{key, verify, pixels});
   }
   return false;
 }
 
 void AsyncAdClassifier::DrainPending(ThreadPool* pool, int batch_size) {
   batch_size = std::max(batch_size, 1);
-  std::vector<std::pair<uint64_t, Bitmap>> work;
+  std::vector<PendingFrame> work;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     work.swap(pending_);
@@ -321,13 +364,16 @@ void AsyncAdClassifier::DrainPending(ThreadPool* pool, int batch_size) {
     std::vector<const Bitmap*> images;
     images.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {
-      images.push_back(&work[i].second);
+      images.push_back(&work[i].pixels);
     }
     const std::vector<ClassifyResult> results = inner_.ClassifyBatch(images);
     std::lock_guard<std::mutex> lock(mutex_);
     for (size_t i = begin; i < end; ++i) {
-      memo_[work[i].first] = results[i - begin].is_ad;
-      in_flight_.erase(work[i].first);
+      // Last writer wins if two colliding creatives were in this drain; the
+      // evicted one re-classifies on its next frame (counted as a
+      // collision) instead of inheriting the winner's decision.
+      memo_[work[i].key] = MemoEntry{work[i].verify, results[i - begin].is_ad};
+      in_flight_.erase(HashCombine(work[i].key, work[i].verify));
     }
   };
 

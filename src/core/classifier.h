@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/hash.h"
 #include "src/base/thread_pool.h"
 #include "src/core/model.h"
 #include "src/img/bitmap.h"
@@ -40,6 +41,10 @@ struct ClassifierStats {
   // Classifications whose preprocessing went straight to uint8 codes (the
   // int8 u8-direct path) — no float staging tensor existed for these.
   int64_t u8_direct = 0;
+  // Memo lookups whose 64-bit pixel hash matched a cached entry but whose
+  // verification hash did not — a genuine collision. The colliding frame is
+  // re-classified instead of inheriting the cached decision.
+  int64_t hash_collisions = 0;
   double total_latency_ms = 0.0;
   double MeanLatencyMs() const {
     return classified == 0 ? 0.0 : total_latency_ms / static_cast<double>(classified);
@@ -157,6 +162,12 @@ class AsyncAdClassifier : public ImageInterceptor {
   bool OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
                       const std::string& source_url) override;
 
+  // Replaces the primary 64-bit pixel hash (tests force collisions with a
+  // deliberately weak hash; the seeded verification hash must then keep
+  // distinct creatives from sharing one memoized decision).
+  using HashFn = uint64_t (*)(const void* data, size_t size);
+  void SetPrimaryHashForTest(HashFn fn);
+
   // Runs any pending classifications (the "async worker" drained between
   // frames); in a browser this happens off the critical path. Pending frames
   // are grouped into ClassifyBatch() calls of `batch_size`; when `pool` is
@@ -170,15 +181,37 @@ class AsyncAdClassifier : public ImageInterceptor {
   ClassifierStats stats() const;
 
  private:
+  // A memo entry keeps the independent verification hash of the pixels it
+  // was computed from: a primary-hash match alone is not proof of payload
+  // equality, and inheriting a decision across a collision would block (or
+  // pass) the wrong creative. See ClassifierStats::hash_collisions.
+  struct MemoEntry {
+    uint64_t verify = 0;
+    bool is_ad = false;
+  };
+  struct PendingFrame {
+    uint64_t key = 0;     // primary hash
+    uint64_t verify = 0;  // seeded verification hash
+    Bitmap pixels;
+  };
+
   AdClassifier& inner_;
   mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, bool> memo_;
-  // Keys either queued in pending_ or being classified by an in-flight
-  // drain; blocks duplicate work for repeated creatives.
+  HashFn primary_hash_ = &HashBytes;
+  std::unordered_map<uint64_t, MemoEntry> memo_;
+  // Combined (primary, verify) keys either queued in pending_ or being
+  // classified by an in-flight drain; blocks duplicate work for repeated
+  // creatives without letting a primary-hash collision alias two of them.
   std::unordered_set<uint64_t> in_flight_;
-  std::vector<std::pair<uint64_t, Bitmap>> pending_;
+  std::vector<PendingFrame> pending_;
   ClassifierStats stats_;
 };
+
+// Test hook: capacity (bytes) of the calling thread's u8 preprocessing
+// code buffer. The buffer is shared by Classify/ClassifyBatch and shrinks
+// when the required size drops well below its capacity, so a burst of large
+// batches no longer pins peak memory for the life of the thread.
+size_t ClassifierCodeBufferCapacity();
 
 }  // namespace percival
 

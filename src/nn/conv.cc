@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <sstream>
+#include <type_traits>
 
 #include "src/base/logging.h"
 #include "src/nn/gemm.h"
@@ -382,8 +383,7 @@ void Conv2D::ForwardIntoFloat(const Tensor& input, GemmEpilogue epilogue, float*
       });
 }
 
-void Conv2D::ForwardIntoInt8(const Tensor& input, GemmEpilogue epilogue, float* out,
-                             int64_t ldc, int64_t sample_stride) {
+ActivationQuant Conv2D::QuantizeInputActivations(const Tensor& input) {
   // Per-tensor activation parameters, computed once up front so every
   // parallel chunk sees identical codes — the forward is deterministic
   // regardless of pool size. A calibrated layer reuses the range recorded
@@ -407,9 +407,75 @@ void Conv2D::ForwardIntoInt8(const Tensor& input, GemmEpilogue epilogue, float* 
   // directly in uint8 (4x less traffic than a float im2col + quantize).
   quantized_input_.resize(static_cast<size_t>(input.size()));
   QuantizeActivations(in_data, input.size(), quant, quantized_input_.data());
+  return quant;
+}
 
-  Int8ForwardOverCodes(quantized_input_.data(), input.shape(), quant, epilogue, out, ldc,
+void Conv2D::ForwardIntoInt8(const Tensor& input, GemmEpilogue epilogue, float* out,
+                             int64_t ldc, int64_t sample_stride) {
+  const ActivationQuant quant = QuantizeInputActivations(input);
+  Int8ForwardOverCodes(quantized_input_.data(), input.shape(), quant, epilogue,
+                       ActivationQuant{}, out, ldc, sample_stride);
+}
+
+void Conv2D::ForwardIntoU8(const Tensor& input, GemmEpilogue epilogue,
+                           const ActivationQuant& out_quant, uint8_t* out, int64_t ldc,
+                           int64_t sample_stride) {
+  PCHECK(AcceptsQuantizedInput())
+      << Name() << " u8 output requires the GEMM path, int8 precision, and eval mode";
+  PCHECK_EQ(input.shape().c, in_channels_) << Name();
+  last_input_ = Tensor();  // eval contract: no backward state survives
+  const ActivationQuant quant = QuantizeInputActivations(input);
+  Int8ForwardOverCodes(quantized_input_.data(), input.shape(), quant, epilogue, out_quant,
+                       out, ldc, sample_stride);
+}
+
+void Conv2D::ForwardQuantizedInto(const QuantizedTensorView& input, GemmEpilogue epilogue,
+                                  float* out, int64_t ldc, int64_t sample_stride) {
+  PCHECK(AcceptsQuantizedInput())
+      << Name() << " u8-direct input requires the GEMM path, int8 precision, and eval mode";
+  PCHECK_EQ(input.shape.c, in_channels_) << Name();
+  PCHECK(input.data != nullptr) << Name();
+  last_input_ = Tensor();
+  ActivationQuant quant;
+  quant.scale = input.scale;
+  quant.zero_point = input.zero_point;
+  Int8ForwardOverCodes(input.data, input.shape, quant, epilogue, ActivationQuant{}, out,
+                       ldc, sample_stride);
+}
+
+void Conv2D::ForwardQuantizedIntoU8(const QuantizedTensorView& input, GemmEpilogue epilogue,
+                                    const ActivationQuant& out_quant, uint8_t* out,
+                                    int64_t ldc, int64_t sample_stride) {
+  PCHECK(AcceptsQuantizedInput())
+      << Name() << " u8-direct input requires the GEMM path, int8 precision, and eval mode";
+  PCHECK_EQ(input.shape.c, in_channels_) << Name();
+  PCHECK(input.data != nullptr) << Name();
+  last_input_ = Tensor();
+  ActivationQuant quant;
+  quant.scale = input.scale;
+  quant.zero_point = input.zero_point;
+  Int8ForwardOverCodes(input.data, input.shape, quant, epilogue, out_quant, out, ldc,
                        sample_stride);
+}
+
+void Conv2D::ForwardToCodes(const Tensor& input, float out_scale, int32_t out_zero_point,
+                            uint8_t* out) {
+  ActivationQuant out_quant;
+  out_quant.scale = out_scale;
+  out_quant.zero_point = out_zero_point;
+  const TensorShape out_shape = OutputShape(input.shape());
+  ForwardIntoU8(input, GemmEpilogue::kBias, out_quant, out, out_shape.c,
+                static_cast<int64_t>(out_shape.h) * out_shape.w * out_shape.c);
+}
+
+void Conv2D::ForwardQuantizedToCodes(const QuantizedTensorView& input, float out_scale,
+                                     int32_t out_zero_point, uint8_t* out) {
+  ActivationQuant out_quant;
+  out_quant.scale = out_scale;
+  out_quant.zero_point = out_zero_point;
+  const TensorShape out_shape = OutputShape(input.shape);
+  ForwardQuantizedIntoU8(input, GemmEpilogue::kBias, out_quant, out, out_shape.c,
+                         static_cast<int64_t>(out_shape.h) * out_shape.w * out_shape.c);
 }
 
 bool Conv2D::AcceptsQuantizedInput() const {
@@ -427,15 +493,17 @@ Tensor Conv2D::ForwardQuantized(const QuantizedTensorView& input) {
   quant.zero_point = input.zero_point;
   const TensorShape out_shape = OutputShape(input.shape);
   Tensor output(out_shape);
-  Int8ForwardOverCodes(input.data, input.shape, quant, GemmEpilogue::kBias, output.data(),
-                       out_shape.c,
+  Int8ForwardOverCodes(input.data, input.shape, quant, GemmEpilogue::kBias,
+                       ActivationQuant{}, output.data(), out_shape.c,
                        static_cast<int64_t>(out_shape.h) * out_shape.w * out_shape.c);
   return output;
 }
 
+template <typename OutT>
 void Conv2D::Int8ForwardOverCodes(const uint8_t* codes, const TensorShape& in_shape,
                                   const ActivationQuant& quant, GemmEpilogue epilogue,
-                                  float* out, int64_t ldc, int64_t sample_stride) {
+                                  const ActivationQuant& out_quant, OutT* out, int64_t ldc,
+                                  int64_t sample_stride) {
   const TensorShape out_shape = OutputShape(in_shape);
   const int row_len = kernel_ * kernel_ * in_channels_;
   const int k_padded = Int8PaddedK(row_len);
@@ -464,7 +532,7 @@ void Conv2D::Int8ForwardOverCodes(const uint8_t* codes, const TensorShape& in_sh
           const int64_t r0 = begin % rows_per_sample;
           const int64_t r1 = std::min(rows_per_sample, r0 + (end - begin));
           const int64_t chunk_rows = r1 - r0;
-          float* c = out + n * sample_stride + r0 * ldc;
+          OutT* c = out + n * sample_stride + r0 * ldc;
           const uint8_t* sample = codes + n * sample_codes;
           const uint8_t* a;
           if (direct_rows) {
@@ -492,7 +560,12 @@ void Conv2D::Int8ForwardOverCodes(const uint8_t* codes, const TensorShape& in_sh
             }
             a = chunk;
           }
-          GemmInt8PackedEx(chunk_rows, a, packed, quant, bias, epilogue, c, ldc);
+          if constexpr (std::is_same_v<OutT, uint8_t>) {
+            GemmInt8PackedExU8(chunk_rows, a, packed, quant, bias, epilogue, out_quant, c,
+                               ldc);
+          } else {
+            GemmInt8PackedEx(chunk_rows, a, packed, quant, bias, epilogue, c, ldc);
+          }
           begin += chunk_rows;
         }
       });

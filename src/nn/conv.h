@@ -117,6 +117,38 @@ class Conv2D : public Layer {
   bool AcceptsQuantizedInput() const override;
   Tensor ForwardQuantized(const QuantizedTensorView& input) override;
 
+  // Zero-float dataflow (requantize-in-epilogue): the GEMM store quantizes
+  // straight to the CONSUMER's uint8 codes instead of floats, so two
+  // adjacent int8 convs exchange codes with no float tensor in between.
+  // The float value being requantized is bit-identical to what the float
+  // stores above produce, so codes match a float store + QuantizeActivations
+  // sweep exactly (see RequantEpilogueSink in gemm.cc). All four combinations
+  // of {float, u8} input x {float, u8} output now exist:
+  //   ForwardInto           float -> float   (above)
+  //   ForwardIntoU8         float -> u8
+  //   ForwardQuantizedInto  u8    -> float   (ForwardQuantized minus the
+  //                                           output Tensor allocation)
+  //   ForwardQuantizedIntoU8 u8   -> u8      (the steady-state hot path)
+  // The u8 writers are eval/int8-only (PCHECKed) and honor ldc /
+  // sample_stride like ForwardInto, so FireModule aims them at channel
+  // slices of its concat buffer.
+  void ForwardIntoU8(const Tensor& input, GemmEpilogue epilogue,
+                     const ActivationQuant& out_quant, uint8_t* out, int64_t ldc,
+                     int64_t sample_stride);
+  void ForwardQuantizedInto(const QuantizedTensorView& input, GemmEpilogue epilogue,
+                            float* out, int64_t ldc, int64_t sample_stride);
+  void ForwardQuantizedIntoU8(const QuantizedTensorView& input, GemmEpilogue epilogue,
+                              const ActivationQuant& out_quant, uint8_t* out, int64_t ldc,
+                              int64_t sample_stride);
+
+  // Layer-protocol wrappers over the u8 writers (dense output, kBias
+  // epilogue — the network applies activations as separate layers).
+  bool CanEmitQuantizedCodes() const override { return AcceptsQuantizedInput(); }
+  void ForwardToCodes(const Tensor& input, float out_scale, int32_t out_zero_point,
+                      uint8_t* out) override;
+  void ForwardQuantizedToCodes(const QuantizedTensorView& input, float out_scale,
+                               int32_t out_zero_point, uint8_t* out) override;
+
   // Input-range calibration: when set, the int8 forward derives its
   // activation quantization from this range instead of scanning the input
   // (deployment skips one full pass over the tensor per conv). Capture mode
@@ -138,10 +170,18 @@ class Conv2D : public Layer {
   void ForwardIntoInt8(const Tensor& input, GemmEpilogue epilogue, float* out, int64_t ldc,
                        int64_t sample_stride);
   // Shared tail of the int8 forwards: patch-gathers `codes` (whole-sample
-  // uint8 NHWC codes) per the plan's layout and runs the quantized GEMM.
+  // uint8 NHWC codes) per the plan's layout and runs the quantized GEMM,
+  // storing either dequantized floats (OutT = float; out_quant ignored) or
+  // requantized consumer codes (OutT = uint8_t).
+  template <typename OutT>
   void Int8ForwardOverCodes(const uint8_t* codes, const TensorShape& in_shape,
-                            const ActivationQuant& quant, GemmEpilogue epilogue, float* out,
-                            int64_t ldc, int64_t sample_stride);
+                            const ActivationQuant& quant, GemmEpilogue epilogue,
+                            const ActivationQuant& out_quant, OutT* out, int64_t ldc,
+                            int64_t sample_stride);
+  // Shared front half of the float-input int8 forwards: captures / applies
+  // calibration, quantizes the input into quantized_input_, and returns the
+  // chosen activation quant.
+  ActivationQuant QuantizeInputActivations(const Tensor& input);
 
   // Repacks filter panels iff (weights_.version, plan_) moved since the
   // last pack.

@@ -105,10 +105,131 @@ void FireModule::AppendCalibration(std::vector<ActivationCalibration>* out) cons
 }
 
 size_t FireModule::ConsumeCalibration(const ActivationCalibration* entries, size_t count) {
-  size_t consumed = squeeze_.ConsumeCalibration(entries, count);
-  consumed += expand1x1_.ConsumeCalibration(entries + consumed, count - consumed);
-  consumed += expand3x3_.ConsumeCalibration(entries + consumed, count - consumed);
+  // Clamp after every child: `count - consumed` is size_t arithmetic, so a
+  // child overreporting its take (or any future drift between slot counts)
+  // would wrap the remaining count to ~2^64 and hand the next child a wild
+  // pointer range. A truncated trailer (count < 3) stops cleanly instead.
+  size_t consumed = std::min(squeeze_.ConsumeCalibration(entries, count), count);
+  consumed += std::min(expand1x1_.ConsumeCalibration(entries + consumed, count - consumed),
+                       count - consumed);
+  consumed += std::min(expand3x3_.ConsumeCalibration(entries + consumed, count - consumed),
+                       count - consumed);
   return consumed;
+}
+
+bool FireModule::AcceptsQuantizedInput() const {
+  return use_fused_ && squeeze_.AcceptsQuantizedInput() && expand1x1_.AcceptsQuantizedInput() &&
+         expand3x3_.AcceptsQuantizedInput();
+}
+
+bool FireModule::QuantizedSqueezeHop(ActivationQuant* hop_quant) const {
+  float min1 = 0.0f, max1 = 0.0f, min2 = 0.0f, max2 = 0.0f;
+  if (!expand1x1_.InputCalibration(&min1, &max1) ||
+      !expand3x3_.InputCalibration(&min2, &max2)) {
+    return false;
+  }
+  if (min1 != min2 || max1 != max2) {
+    return false;
+  }
+  *hop_quant = ComputeActivationQuant(min1, max1);
+  return true;
+}
+
+Tensor FireModule::ForwardQuantized(const QuantizedTensorView& input) {
+  PCHECK(AcceptsQuantizedInput()) << Name() << " cannot run quantized";
+  const TensorShape out_shape = OutputShape(input.shape);
+  const TensorShape squeezed_shape{input.shape.n, input.shape.h, input.shape.w,
+                                   squeeze_channels_};
+  Tensor joined(out_shape);
+  const int64_t ldc = out_shape.c;
+  const int64_t sample_stride = static_cast<int64_t>(out_shape.h) * out_shape.w * ldc;
+  const int64_t squeezed_stride =
+      static_cast<int64_t>(squeezed_shape.h) * squeezed_shape.w * squeeze_channels_;
+  ActivationQuant hop;
+  if (QuantizedSqueezeHop(&hop)) {
+    squeezed_codes_.resize(static_cast<size_t>(squeezed_shape.Elements()));
+    squeeze_.ForwardQuantizedIntoU8(input, GemmEpilogue::kBiasRelu, hop,
+                                    squeezed_codes_.data(), squeeze_channels_, squeezed_stride);
+    QuantizedTensorView squeezed{squeezed_codes_.data(), squeezed_shape, hop.scale,
+                                 hop.zero_point};
+    expand1x1_.ForwardQuantizedInto(squeezed, GemmEpilogue::kBiasRelu, joined.data(), ldc,
+                                    sample_stride);
+    expand3x3_.ForwardQuantizedInto(squeezed, GemmEpilogue::kBiasRelu,
+                                    joined.data() + expand_channels_, ldc, sample_stride);
+  } else {
+    Tensor squeezed(squeezed_shape);
+    squeeze_.ForwardQuantizedInto(input, GemmEpilogue::kBiasRelu, squeezed.data(),
+                                  squeeze_channels_, squeezed_stride);
+    expand1x1_.ForwardInto(squeezed, GemmEpilogue::kBiasRelu, joined.data(), ldc,
+                           sample_stride);
+    expand3x3_.ForwardInto(squeezed, GemmEpilogue::kBiasRelu,
+                           joined.data() + expand_channels_, ldc, sample_stride);
+  }
+  return joined;
+}
+
+void FireModule::ForwardToCodes(const Tensor& input, float out_scale, int32_t out_zero_point,
+                                uint8_t* out) {
+  PCHECK(AcceptsQuantizedInput()) << Name() << " cannot emit quantized codes";
+  const TensorShape out_shape = OutputShape(input.shape());
+  const TensorShape squeezed_shape{input.shape().n, input.shape().h, input.shape().w,
+                                   squeeze_channels_};
+  const ActivationQuant out_quant{out_scale, out_zero_point};
+  const int64_t ldc = out_shape.c;
+  const int64_t sample_stride = static_cast<int64_t>(out_shape.h) * out_shape.w * ldc;
+  const int64_t squeezed_stride =
+      static_cast<int64_t>(squeezed_shape.h) * squeezed_shape.w * squeeze_channels_;
+  ActivationQuant hop;
+  if (QuantizedSqueezeHop(&hop)) {
+    squeezed_codes_.resize(static_cast<size_t>(squeezed_shape.Elements()));
+    squeeze_.ForwardIntoU8(input, GemmEpilogue::kBiasRelu, hop, squeezed_codes_.data(),
+                           squeeze_channels_, squeezed_stride);
+    QuantizedTensorView squeezed{squeezed_codes_.data(), squeezed_shape, hop.scale,
+                                 hop.zero_point};
+    expand1x1_.ForwardQuantizedIntoU8(squeezed, GemmEpilogue::kBiasRelu, out_quant, out, ldc,
+                                      sample_stride);
+    expand3x3_.ForwardQuantizedIntoU8(squeezed, GemmEpilogue::kBiasRelu, out_quant,
+                                      out + expand_channels_, ldc, sample_stride);
+  } else {
+    Tensor squeezed = squeeze_.ForwardFused(input, GemmEpilogue::kBiasRelu);
+    expand1x1_.ForwardIntoU8(squeezed, GemmEpilogue::kBiasRelu, out_quant, out, ldc,
+                             sample_stride);
+    expand3x3_.ForwardIntoU8(squeezed, GemmEpilogue::kBiasRelu, out_quant,
+                             out + expand_channels_, ldc, sample_stride);
+  }
+}
+
+void FireModule::ForwardQuantizedToCodes(const QuantizedTensorView& input, float out_scale,
+                                         int32_t out_zero_point, uint8_t* out) {
+  PCHECK(AcceptsQuantizedInput()) << Name() << " cannot emit quantized codes";
+  const TensorShape out_shape = OutputShape(input.shape);
+  const TensorShape squeezed_shape{input.shape.n, input.shape.h, input.shape.w,
+                                   squeeze_channels_};
+  const ActivationQuant out_quant{out_scale, out_zero_point};
+  const int64_t ldc = out_shape.c;
+  const int64_t sample_stride = static_cast<int64_t>(out_shape.h) * out_shape.w * ldc;
+  const int64_t squeezed_stride =
+      static_cast<int64_t>(squeezed_shape.h) * squeezed_shape.w * squeeze_channels_;
+  ActivationQuant hop;
+  if (QuantizedSqueezeHop(&hop)) {
+    squeezed_codes_.resize(static_cast<size_t>(squeezed_shape.Elements()));
+    squeeze_.ForwardQuantizedIntoU8(input, GemmEpilogue::kBiasRelu, hop,
+                                    squeezed_codes_.data(), squeeze_channels_, squeezed_stride);
+    QuantizedTensorView squeezed{squeezed_codes_.data(), squeezed_shape, hop.scale,
+                                 hop.zero_point};
+    expand1x1_.ForwardQuantizedIntoU8(squeezed, GemmEpilogue::kBiasRelu, out_quant, out, ldc,
+                                      sample_stride);
+    expand3x3_.ForwardQuantizedIntoU8(squeezed, GemmEpilogue::kBiasRelu, out_quant,
+                                      out + expand_channels_, ldc, sample_stride);
+  } else {
+    Tensor squeezed(squeezed_shape);
+    squeeze_.ForwardQuantizedInto(input, GemmEpilogue::kBiasRelu, squeezed.data(),
+                                  squeeze_channels_, squeezed_stride);
+    expand1x1_.ForwardIntoU8(squeezed, GemmEpilogue::kBiasRelu, out_quant, out, ldc,
+                             sample_stride);
+    expand3x3_.ForwardIntoU8(squeezed, GemmEpilogue::kBiasRelu, out_quant,
+                             out + expand_channels_, ldc, sample_stride);
+  }
 }
 
 Tensor FireModule::Forward(const Tensor& input) {

@@ -67,6 +67,27 @@ class FireModule : public Layer {
   void AppendCalibration(std::vector<ActivationCalibration>* out) const override;
   size_t ConsumeCalibration(const ActivationCalibration* entries, size_t count) override;
 
+  // The module's input calibration is the squeeze conv's.
+  bool InputCalibration(float* min_value, float* max_value) const override {
+    return squeeze_.InputCalibration(min_value, max_value);
+  }
+
+  // Zero-float dataflow: the fused module consumes and emits uint8 codes.
+  // When both expand convs carry a calibrated (shared) input range, the
+  // squeeze->expand hop is quantized too — squeeze requant-emits into the
+  // persistent `squeezed_codes_` buffer and the expands read codes, so the
+  // module runs bitmap-codes in, concat-codes out with no float activation
+  // tensor. Without expand calibration the hop falls back to a float
+  // squeezed tensor (the expands quantize it themselves), which keeps code
+  // emission available whenever the convs are int8-eval.
+  bool AcceptsQuantizedInput() const override;
+  Tensor ForwardQuantized(const QuantizedTensorView& input) override;
+  bool CanEmitQuantizedCodes() const override { return AcceptsQuantizedInput(); }
+  void ForwardToCodes(const Tensor& input, float out_scale, int32_t out_zero_point,
+                      uint8_t* out) override;
+  void ForwardQuantizedToCodes(const QuantizedTensorView& input, float out_scale,
+                               int32_t out_zero_point, uint8_t* out) override;
+
   // Inner-conv access for tests and benches (plan inspection, pinning).
   Conv2D& squeeze() { return squeeze_; }
   Conv2D& expand1x1() { return expand1x1_; }
@@ -80,6 +101,10 @@ class FireModule : public Layer {
 
  private:
   Tensor ForwardReference(const Tensor& input);
+  // True (filling *hop_quant) when the squeeze->expand hop can run
+  // quantized: both expand calibrations valid and equal (they observe the
+  // same squeezed tensor, so capture and the trailer always agree).
+  bool QuantizedSqueezeHop(ActivationQuant* hop_quant) const;
 
   int squeeze_channels_;
   int expand_channels_;
@@ -90,6 +115,11 @@ class FireModule : public Layer {
   Conv2D expand1x1_;
   Conv2D expand3x3_;
   Relu expand_relu_;
+
+  // Persistent uint8 buffer for the quantized squeeze->expand hop. Grows to
+  // the largest squeezed map seen and stays — steady-state forwards touch
+  // no allocator.
+  std::vector<uint8_t> squeezed_codes_;
 };
 
 }  // namespace percival

@@ -20,6 +20,7 @@ std::atomic<bool> g_gemm_default{true};
 std::atomic<bool> g_force_scalar{false};
 std::atomic<int> g_planner_panel_override{0};
 std::atomic<LayoutPolicy> g_planner_layout_policy{LayoutPolicy::kAuto};
+std::atomic<bool> g_dataflow_requant{true};
 
 }  // namespace
 
@@ -132,6 +133,10 @@ int PlannerPanelOverride() { return g_planner_panel_override.load(); }
 void SetPlannerLayoutPolicy(LayoutPolicy policy) { g_planner_layout_policy.store(policy); }
 
 LayoutPolicy PlannerLayoutPolicy() { return g_planner_layout_policy.load(); }
+
+void SetDataflowRequantEnabled(bool enabled) { g_dataflow_requant.store(enabled); }
+
+bool DataflowRequantEnabled() { return g_dataflow_requant.load(); }
 
 KernelPlan ChooseConvKernelPlan(int out_channels, int kernel) {
   KernelPlan plan;
@@ -858,21 +863,95 @@ void GemmPackedExSse2(int64_t m, int n, int k, const float* a, const float* pack
 
 // ------------------------------------------------------- int8 micro-kernel --
 
+// Epilogue output sinks. Every int8 micro-kernel below is templated on one
+// of these two policies, which own ONLY the final step of the epilogue —
+// where the dequantized float value goes:
+//   * FloatEpilogueSink stores it (the classic float-staged dataflow);
+//   * RequantEpilogueSink requantizes it to the CONSUMER layer's uint8
+//     codes with exactly the QuantizeActivations map (round half-to-even,
+//     + zero_point, clamp [0, 255]) so adjacent int8 convs hand codes to
+//     each other without a float activation tensor in between.
+// Everything upstream of the sink — int32 accumulation, zero-point
+// correction, combined-scale multiply, the EXPLICIT single-rounding fused
+// multiply-add with the bias — is shared, so the float being requantized is
+// bit-identical to the float the staged path would have stored. That is the
+// whole bit-exactness argument for the zero-float plan:
+//   requant-in-epilogue == float store + separate QuantizeActivations sweep
+// code for code, on every tier and at both panel widths.
+struct FloatEpilogueSink {
+  using Out = float;
+  void Put(float* c_row, int idx, float v) const { c_row[idx] = v; }
+#if defined(PERCIVAL_SIMD_AVX512)
+  void Store16(float* dst, int n0, __mmask16 mask, __m512 v) const {
+    _mm512_mask_storeu_ps(dst + n0, mask, v);
+  }
+#endif
+#if defined(PERCIVAL_SIMD_INT8_AVX2)
+  void Store8(float* dst, __m256 v) const { _mm256_storeu_ps(dst, v); }
+#endif
+#if defined(PERCIVAL_SIMD_INT8_SSSE3)
+  void Store4(float* dst, __m128 v) const { _mm_storeu_ps(dst, v); }
+#endif
+};
+
+struct RequantEpilogueSink {
+  using Out = uint8_t;
+  float inv_scale = 1.0f;  // 1 / consumer scale, divided once at dispatch
+  int32_t zero_point = 0;
+  // Mirrors the QuantizeActivations scalar tail exactly.
+  void Put(uint8_t* c_row, int idx, float v) const {
+    const int32_t q = zero_point + static_cast<int32_t>(std::nearbyint(v * inv_scale));
+    c_row[idx] = static_cast<uint8_t>(std::min(255, std::max(0, q)));
+  }
+  // The vector stores mirror the QuantizeActivations vector bodies:
+  // cvtps_epi32 rounds half-to-even like the scalar nearbyint, the max /
+  // saturating packs implement the [0, 255] clamp, so vector and scalar
+  // requantization agree code for code.
+#if defined(PERCIVAL_SIMD_AVX512)
+  void Store16(uint8_t* dst, int n0, __mmask16 mask, __m512 v) const {
+    __m512i q = _mm512_cvtps_epi32(_mm512_mul_ps(v, _mm512_set1_ps(inv_scale)));
+    q = _mm512_add_epi32(q, _mm512_set1_epi32(zero_point));
+    q = _mm512_max_epi32(q, _mm512_setzero_si512());
+    _mm512_mask_cvtusepi32_storeu_epi8(dst + n0, mask, q);
+  }
+#endif
+#if defined(PERCIVAL_SIMD_INT8_AVX2)
+  void Store8(uint8_t* dst, __m256 v) const {
+    __m256i q = _mm256_cvtps_epi32(_mm256_mul_ps(v, _mm256_set1_ps(inv_scale)));
+    q = _mm256_add_epi32(q, _mm256_set1_epi32(zero_point));
+    const __m128i p16 =
+        _mm_packs_epi32(_mm256_castsi256_si128(q), _mm256_extracti128_si256(q, 1));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst), _mm_packus_epi16(p16, p16));
+  }
+#endif
+#if defined(PERCIVAL_SIMD_INT8_SSSE3)
+  void Store4(uint8_t* dst, __m128 v) const {
+    __m128i q = _mm_cvtps_epi32(_mm_mul_ps(v, _mm_set1_ps(inv_scale)));
+    q = _mm_add_epi32(q, _mm_set1_epi32(zero_point));
+    const __m128i p8 = _mm_packus_epi16(_mm_packs_epi32(q, q), _mm_setzero_si128());
+    const int32_t out = _mm_cvtsi128_si32(p8);
+    std::memcpy(dst, &out, sizeof(out));
+  }
+#endif
+};
+
 // Dequantizing store of one tile row of int32 accumulators:
-// c[j] = epilogue(fma(a_scale * w_scale[j], acc[j] - zp * row_sum[j], bias)).
-// `scales` / `row_sums` are the panel-padded arrays indexed from n0.
+// c[j] = sink(epilogue(fma(a_scale * w_scale[j], acc[j] - zp * row_sum[j],
+// bias))). `scales` / `row_sums` are the panel-padded arrays indexed from
+// n0.
 //
 // The bias addition is an EXPLICIT single-rounding fused multiply-add, here
-// and in the vectorized AVX-512 epilogue below. With a plain `mul` + `add`
-// the compiler's default fp-contraction is free to fuse some inlined copies
-// and not others, and the cross-width / cross-tier bit-exactness contract
-// would then hinge on compiler whim per call site (observed: the 4x32
-// kernel's epilogue contracted while the 4x16 one's did not, a last-ulp
-// split the parity tests caught). Spelling the fma out pins one rounding
-// everywhere.
+// and in the vectorized AVX-512 / AVX2 / SSE epilogues below. With a plain
+// `mul` + `add` the compiler's default fp-contraction is free to fuse some
+// inlined copies and not others, and the cross-width / cross-tier
+// bit-exactness contract would then hinge on compiler whim per call site
+// (observed: the 4x32 kernel's epilogue contracted while the 4x16 one's did
+// not, a last-ulp split the parity tests caught). Spelling the fma out pins
+// one rounding everywhere.
+template <typename Sink>
 void StoreInt8TileRow(const int32_t* acc, const Int8PackedFilters& packed,
                       const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                      int n0, int width, float* c_row) {
+                      int n0, int width, typename Sink::Out* c_row, const Sink& sink) {
   const float* scales = packed.scales.data();
   const int32_t* row_sums = packed.row_sums.data();
   const bool add_bias = ep != GemmEpilogue::kNone && bias != nullptr;
@@ -884,7 +963,7 @@ void StoreInt8TileRow(const int32_t* acc, const Int8PackedFilters& packed,
     if (ep == GemmEpilogue::kBiasRelu && v < 0.0f) {
       v = 0.0f;
     }
-    c_row[n0 + j] = v;
+    sink.Put(c_row, n0 + j, v);
   }
 }
 
@@ -896,10 +975,11 @@ void StoreInt8TileRow(const int32_t* acc, const Int8PackedFilters& packed,
 // saturate under ±64 codes, and the VNNI tier's vpdpbusd is itself an exact
 // int32 sum under the full ±127 codes — so SetGemmForceScalar parity holds
 // to the last epilogue ulp on every tier and at either panel width.
-template <int PW>
+template <int PW, typename Sink>
 void Int8TileRowsScalar(int64_t row_begin, int64_t row_end, const uint8_t* a,
                         const Int8PackedFilters& packed, const ActivationQuant& quant,
-                        const float* bias, GemmEpilogue ep, float* c, int64_t ldc) {
+                        const float* bias, GemmEpilogue ep, typename Sink::Out* c,
+                        int64_t ldc, const Sink& sink) {
   const int n = packed.n;
   const int k_padded = packed.k_padded;
   const int groups = k_padded / kInt8KUnit;
@@ -930,7 +1010,8 @@ void Int8TileRowsScalar(int64_t row_begin, int64_t row_end, const uint8_t* a,
         }
       }
       for (int i = 0; i < kGemmTileM; ++i) {
-        StoreInt8TileRow(acc[i], packed, quant, bias, ep, n0, width, c + (row + i) * ldc);
+        StoreInt8TileRow(acc[i], packed, quant, bias, ep, n0, width, c + (row + i) * ldc,
+                         sink);
       }
     }
   }
@@ -953,18 +1034,19 @@ void Int8TileRowsScalar(int64_t row_begin, int64_t row_end, const uint8_t* a,
                     static_cast<int32_t>(ag[3]) * bj[3];
         }
       }
-      StoreInt8TileRow(acc, packed, quant, bias, ep, n0, width, c + row * ldc);
+      StoreInt8TileRow(acc, packed, quant, bias, ep, n0, width, c + row * ldc, sink);
     }
   }
 }
 
+template <typename Sink>
 void GemmInt8PackedExScalar(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
                             const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                            float* c, int64_t ldc) {
+                            typename Sink::Out* c, int64_t ldc, const Sink& sink) {
   if (packed.panel_width == kGemmTileNMin) {
-    Int8TileRowsScalar<kGemmTileNMin>(0, m, a, packed, quant, bias, ep, c, ldc);
+    Int8TileRowsScalar<kGemmTileNMin>(0, m, a, packed, quant, bias, ep, c, ldc, sink);
   } else {
-    Int8TileRowsScalar<kGemmTileN>(0, m, a, packed, quant, bias, ep, c, ldc);
+    Int8TileRowsScalar<kGemmTileN>(0, m, a, packed, quant, bias, ep, c, ldc, sink);
   }
 }
 
@@ -989,10 +1071,13 @@ inline int32_t LoadKGroup(const uint8_t* p) {
 // there), then max(0, ·) — so force-scalar parity stays bit-exact.
 // `scales`/`row_sums` are padded to the full panel, making the 16-wide
 // metadata loads safe even when only `width` lanes store (masked, like the
-// bias load, which has no padding).
+// bias load, which has no padding). The sink owns the final store: masked
+// float store, or masked requantize-to-u8.
+template <typename Sink>
 inline void StoreInt8RowAvx512(__m512i acc, const Int8PackedFilters& packed,
                                const ActivationQuant& quant, const float* bias,
-                               GemmEpilogue ep, int n0, int width, float* dst) {
+                               GemmEpilogue ep, int n0, int width, typename Sink::Out* dst,
+                               const Sink& sink) {
   const __mmask16 mask =
       width >= 16 ? static_cast<__mmask16>(0xFFFF) : static_cast<__mmask16>((1u << width) - 1);
   const __m512i row_sums = _mm512_loadu_si512(packed.row_sums.data() + n0);
@@ -1010,7 +1095,7 @@ inline void StoreInt8RowAvx512(__m512i acc, const Int8PackedFilters& packed,
   if (ep == GemmEpilogue::kBiasRelu) {
     v = _mm512_max_ps(v, _mm512_setzero_ps());
   }
-  _mm512_mask_storeu_ps(dst + n0, mask, v);
+  sink.Store16(dst, n0, mask, v);
 }
 #endif
 
@@ -1023,9 +1108,10 @@ inline void StoreInt8RowAvx512(__m512i acc, const Int8PackedFilters& packed,
 // intermediate — which is why this tier runs the full ±127 weight codes
 // (see kInt8WeightMax). One instruction per accumulator per K group instead
 // of three, 8 zmm accumulators, same register budget as the float tile.
+template <typename Sink>
 void GemmInt8PackedExVnni(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
                           const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                          float* c, int64_t ldc) {
+                          typename Sink::Out* c, int64_t ldc, const Sink& sink) {
   const int n = packed.n;
   const int k_padded = packed.k_padded;
   const int groups = k_padded / kInt8KUnit;
@@ -1036,7 +1122,7 @@ void GemmInt8PackedExVnni(int64_t m, const uint8_t* a, const Int8PackedFilters& 
     const uint8_t* a1 = a0 + k_padded;
     const uint8_t* a2 = a1 + k_padded;
     const uint8_t* a3 = a2 + k_padded;
-    float* c_row = c + row * ldc;
+    typename Sink::Out* c_row = c + row * ldc;
     for (int panel = 0; panel < panels; ++panel) {
       const int n0 = panel * kGemmTileN;
       const int width = std::min(kGemmTileN, n - n0);
@@ -1064,17 +1150,17 @@ void GemmInt8PackedExVnni(int64_t m, const uint8_t* a, const Int8PackedFilters& 
         acc[7] = _mm512_dpbusd_epi32(acc[7], va, b1);
       }
       for (int i = 0; i < kGemmTileM; ++i) {
-        float* dst = c_row + i * ldc;
+        typename Sink::Out* dst = c_row + i * ldc;
         StoreInt8RowAvx512(acc[2 * i], packed, quant, bias, ep, n0, std::min(width, 16),
-                           dst);
+                           dst, sink);
         if (width > 16) {
           StoreInt8RowAvx512(acc[2 * i + 1], packed, quant, bias, ep, n0 + 16, width - 16,
-                             dst);
+                             dst, sink);
         }
       }
     }
   }
-  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc);
+  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc, sink);
 }
 
 // 16-wide VNNI sub-tile: one zmm covers the panel's 16 channels x 4 K
@@ -1082,9 +1168,10 @@ void GemmInt8PackedExVnni(int64_t m, const uint8_t* a, const Int8PackedFilters& 
 // 4x32 tile's two loads + two per row — and the single accumulator per row
 // leaves room for an 8-row tile, halving panel traffic again. The
 // accumulators dequantize and store straight from registers.
+template <typename Sink>
 void GemmInt8PackedExVnniW16(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
                              const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                             float* c, int64_t ldc) {
+                             typename Sink::Out* c, int64_t ldc, const Sink& sink) {
   constexpr int PW = kGemmTileNMin;
   constexpr int kRows = 8;
   const int n = packed.n;
@@ -1097,7 +1184,7 @@ void GemmInt8PackedExVnniW16(int64_t m, const uint8_t* a, const Int8PackedFilter
     for (int i = 0; i < kRows; ++i) {
       rows[i] = a + (row + i) * k_padded;
     }
-    float* c_row = c + row * ldc;
+    typename Sink::Out* c_row = c + row * ldc;
     for (int panel = 0; panel < panels; ++panel) {
       const int n0 = panel * PW;
       const int width = std::min(PW, n - n0);
@@ -1116,11 +1203,12 @@ void GemmInt8PackedExVnniW16(int64_t m, const uint8_t* a, const Int8PackedFilter
         }
       }
       for (int i = 0; i < kRows; ++i) {
-        StoreInt8RowAvx512(acc[i], packed, quant, bias, ep, n0, width, c_row + i * ldc);
+        StoreInt8RowAvx512(acc[i], packed, quant, bias, ep, n0, width, c_row + i * ldc,
+                           sink);
       }
     }
   }
-  Int8TileRowsScalar<PW>(row, m, a, packed, quant, bias, ep, c, ldc);
+  Int8TileRowsScalar<PW>(row, m, a, packed, quant, bias, ep, c, ldc, sink);
 }
 
 #elif defined(PERCIVAL_SIMD_INT8_AVX512)
@@ -1130,9 +1218,10 @@ void GemmInt8PackedExVnniW16(int64_t m, const uint8_t* a, const Int8PackedFilter
 // u8*s8 into 16-bit, madd(ones) finishes the 4-K reduction into int32 —
 // lane c of the result is exactly channel c's 4-tap dot product. 8 zmm
 // accumulators, same budget as the float tile.
+template <typename Sink>
 void GemmInt8PackedExAvx512(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
                             const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                            float* c, int64_t ldc) {
+                            typename Sink::Out* c, int64_t ldc, const Sink& sink) {
   const int n = packed.n;
   const int k_padded = packed.k_padded;
   const int groups = k_padded / kInt8KUnit;
@@ -1144,7 +1233,7 @@ void GemmInt8PackedExAvx512(int64_t m, const uint8_t* a, const Int8PackedFilters
     const uint8_t* a1 = a0 + k_padded;
     const uint8_t* a2 = a1 + k_padded;
     const uint8_t* a3 = a2 + k_padded;
-    float* c_row = c + row * ldc;
+    typename Sink::Out* c_row = c + row * ldc;
     for (int panel = 0; panel < panels; ++panel) {
       const int n0 = panel * kGemmTileN;
       const int width = std::min(kGemmTileN, n - n0);
@@ -1172,25 +1261,27 @@ void GemmInt8PackedExAvx512(int64_t m, const uint8_t* a, const Int8PackedFilters
         acc[7] = _mm512_add_epi32(acc[7], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b1), ones));
       }
       for (int i = 0; i < kGemmTileM; ++i) {
-        float* dst = c_row + i * ldc;
+        typename Sink::Out* dst = c_row + i * ldc;
         StoreInt8RowAvx512(acc[2 * i], packed, quant, bias, ep, n0, std::min(width, 16),
-                           dst);
+                           dst, sink);
         if (width > 16) {
           StoreInt8RowAvx512(acc[2 * i + 1], packed, quant, bias, ep, n0 + 16, width - 16,
-                             dst);
+                             dst, sink);
         }
       }
     }
   }
-  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc);
+  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc, sink);
 }
 
 // 16-wide maddubs sub-tile: the AVX-512BW analogue of the VNNI W16 kernel
 // above — one zmm panel load per K group, maddubs/madd pair per row, 8-row
 // tile.
+template <typename Sink>
 void GemmInt8PackedExAvx512W16(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
                                const ActivationQuant& quant, const float* bias,
-                               GemmEpilogue ep, float* c, int64_t ldc) {
+                               GemmEpilogue ep, typename Sink::Out* c, int64_t ldc,
+                               const Sink& sink) {
   constexpr int PW = kGemmTileNMin;
   constexpr int kRows = 8;
   const int n = packed.n;
@@ -1204,7 +1295,7 @@ void GemmInt8PackedExAvx512W16(int64_t m, const uint8_t* a, const Int8PackedFilt
     for (int i = 0; i < kRows; ++i) {
       rows[i] = a + (row + i) * k_padded;
     }
-    float* c_row = c + row * ldc;
+    typename Sink::Out* c_row = c + row * ldc;
     for (int panel = 0; panel < panels; ++panel) {
       const int n0 = panel * PW;
       const int width = std::min(PW, n - n0);
@@ -1224,21 +1315,61 @@ void GemmInt8PackedExAvx512W16(int64_t m, const uint8_t* a, const Int8PackedFilt
         }
       }
       for (int i = 0; i < kRows; ++i) {
-        StoreInt8RowAvx512(acc[i], packed, quant, bias, ep, n0, width, c_row + i * ldc);
+        StoreInt8RowAvx512(acc[i], packed, quant, bias, ep, n0, width, c_row + i * ldc,
+                           sink);
       }
     }
   }
-  Int8TileRowsScalar<PW>(row, m, a, packed, quant, bias, ep, c, ldc);
+  Int8TileRowsScalar<PW>(row, m, a, packed, quant, bias, ep, c, ldc, sink);
 }
 
 #elif defined(PERCIVAL_SIMD_INT8_AVX2)
 
+// Vectorized epilogue over one row's int32 accumulator buffer (dumped from
+// the ymm accumulators): full 8-lane groups run the vector dequantize —
+// zero-point correction, combined-scale multiply, the bias folded via
+// hardware FMA (the same single rounding as the scalar std::fma, see the
+// contraction note at StoreInt8TileRow), max(0, ·) — and the sub-8 tail
+// reuses the scalar store, which is lane-for-lane the same math. The
+// `scales`/`row_sums` loads are panel-padded; the bias load is bounded by
+// j + 8 <= width <= n - n0.
+template <typename Sink>
+inline void StoreInt8RowAvx2(const int32_t* acc, const Int8PackedFilters& packed,
+                             const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
+                             int n0, int width, typename Sink::Out* c_row, const Sink& sink) {
+  const bool add_bias = ep != GemmEpilogue::kNone && bias != nullptr;
+  const __m256i vzp = _mm256_set1_epi32(quant.zero_point);
+  const __m256 vscale = _mm256_set1_ps(quant.scale);
+  int j = 0;
+  for (; j + 8 <= width; j += 8) {
+    const __m256i row_sums = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(packed.row_sums.data() + n0 + j));
+    const __m256i corrected = _mm256_sub_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j)),
+        _mm256_mullo_epi32(vzp, row_sums));
+    const __m256 combined =
+        _mm256_mul_ps(vscale, _mm256_loadu_ps(packed.scales.data() + n0 + j));
+    const __m256 corrected_f = _mm256_cvtepi32_ps(corrected);
+    __m256 v = add_bias ? _mm256_fmadd_ps(combined, corrected_f,
+                                          _mm256_loadu_ps(bias + n0 + j))
+                        : _mm256_mul_ps(combined, corrected_f);
+    if (ep == GemmEpilogue::kBiasRelu) {
+      v = _mm256_max_ps(v, _mm256_setzero_ps());
+    }
+    sink.Store8(c_row + n0 + j, v);
+  }
+  if (j < width) {
+    StoreInt8TileRow(acc + j, packed, quant, bias, ep, n0 + j, width - j, c_row, sink);
+  }
+}
+
 // 4 rows x one 16-channel panel, 256-bit maddubs/madd: per K group, b0
 // covers channels 0..7 and b1 channels 8..15 (4 bytes each); lane c of
 // madd(maddubs(va, b), ones) is channel c's exact 4-tap dot product.
+template <typename Sink>
 void GemmInt8PackedExAvx2(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
                           const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                          float* c, int64_t ldc) {
+                          typename Sink::Out* c, int64_t ldc, const Sink& sink) {
   const int n = packed.n;
   const int k_padded = packed.k_padded;
   const int groups = k_padded / kInt8KUnit;
@@ -1250,7 +1381,7 @@ void GemmInt8PackedExAvx2(int64_t m, const uint8_t* a, const Int8PackedFilters& 
     const uint8_t* a1 = a0 + k_padded;
     const uint8_t* a2 = a1 + k_padded;
     const uint8_t* a3 = a2 + k_padded;
-    float* c_row = c + row * ldc;
+    typename Sink::Out* c_row = c + row * ldc;
     for (int panel = 0; panel < panels; ++panel) {
       const int n0 = panel * kGemmTileN;
       const int width = std::min(kGemmTileN, n - n0);
@@ -1283,21 +1414,80 @@ void GemmInt8PackedExAvx2(int64_t m, const uint8_t* a, const Int8PackedFilters& 
       for (int i = 0; i < kGemmTileM; ++i) {
         _mm256_storeu_si256(reinterpret_cast<__m256i*>(buf[i]), acc[2 * i]);
         _mm256_storeu_si256(reinterpret_cast<__m256i*>(buf[i] + 8), acc[2 * i + 1]);
-        StoreInt8TileRow(buf[i], packed, quant, bias, ep, n0, width, c_row + i * ldc);
+        StoreInt8RowAvx2(buf[i], packed, quant, bias, ep, n0, width, c_row + i * ldc, sink);
       }
     }
   }
-  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc);
+  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc, sink);
 }
 
 #elif defined(PERCIVAL_SIMD_INT8_SSSE3)
 
+// SSE2 32-bit lane multiply (_mm_mullo_epi32 is SSE4.1, above this tier):
+// even/odd lane products via _mm_mul_epu32, whose low 32 bits are correct
+// for any operand signs, then re-interleave.
+inline __m128i MulLo32Sse2(__m128i a, __m128i b) {
+  const __m128i even = _mm_mul_epu32(a, b);
+  const __m128i odd = _mm_mul_epu32(_mm_srli_epi64(a, 32), _mm_srli_epi64(b, 32));
+  return _mm_unpacklo_epi32(_mm_shuffle_epi32(even, _MM_SHUFFLE(0, 0, 2, 0)),
+                            _mm_shuffle_epi32(odd, _MM_SHUFFLE(0, 0, 2, 0)));
+}
+
+// 128-bit analogue of StoreInt8RowAvx2 for the pre-FMA SSSE3 tier. The
+// zero-point correction, combined-scale multiply, ReLU, and the
+// requantizing pack are vectorized; the bias fold stays four scalar
+// std::fma calls because this ISA has no fused multiply-add and emulating
+// one (e.g. in binary64) can double-round a last ulp away from the scalar
+// oracle — the explicit fma calls keep the cross-tier contract exact, and
+// glibc dispatches them to the FMA3 hardware instruction when the CPU has
+// one.
+template <typename Sink>
+inline void StoreInt8RowSse(const int32_t* acc, const Int8PackedFilters& packed,
+                            const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
+                            int n0, int width, typename Sink::Out* c_row, const Sink& sink) {
+  const bool add_bias = ep != GemmEpilogue::kNone && bias != nullptr;
+  const __m128i vzp = _mm_set1_epi32(quant.zero_point);
+  const __m128 vscale = _mm_set1_ps(quant.scale);
+  int j = 0;
+  for (; j + 4 <= width; j += 4) {
+    const __m128i row_sums =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(packed.row_sums.data() + n0 + j));
+    const __m128i corrected =
+        _mm_sub_epi32(_mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + j)),
+                      MulLo32Sse2(vzp, row_sums));
+    const __m128 combined = _mm_mul_ps(vscale, _mm_loadu_ps(packed.scales.data() + n0 + j));
+    const __m128 corrected_f = _mm_cvtepi32_ps(corrected);
+    __m128 v;
+    if (add_bias) {
+      alignas(16) float cf[4];
+      alignas(16) float cb[4];
+      alignas(16) float out[4];
+      _mm_store_ps(cf, corrected_f);
+      _mm_store_ps(cb, combined);
+      for (int l = 0; l < 4; ++l) {
+        out[l] = std::fma(cb[l], cf[l], bias[n0 + j + l]);
+      }
+      v = _mm_load_ps(out);
+    } else {
+      v = _mm_mul_ps(combined, corrected_f);
+    }
+    if (ep == GemmEpilogue::kBiasRelu) {
+      v = _mm_max_ps(v, _mm_setzero_ps());
+    }
+    sink.Store4(c_row + n0 + j, v);
+  }
+  if (j < width) {
+    StoreInt8TileRow(acc + j, packed, quant, bias, ep, n0 + j, width - j, c_row, sink);
+  }
+}
+
 // 128-bit half of the AVX2 kernel: each 8-channel half of the panel is two
 // xmm loads (channels jb..jb+3 and jb+4..jb+7), processed in separate jb
 // passes so the working set stays at 8 xmm accumulators.
+template <typename Sink>
 void GemmInt8PackedExSsse3(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
                            const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                           float* c, int64_t ldc) {
+                           typename Sink::Out* c, int64_t ldc, const Sink& sink) {
   const int n = packed.n;
   const int k_padded = packed.k_padded;
   const int groups = k_padded / kInt8KUnit;
@@ -1309,7 +1499,7 @@ void GemmInt8PackedExSsse3(int64_t m, const uint8_t* a, const Int8PackedFilters&
     const uint8_t* a1 = a0 + k_padded;
     const uint8_t* a2 = a1 + k_padded;
     const uint8_t* a3 = a2 + k_padded;
-    float* c_row = c + row * ldc;
+    typename Sink::Out* c_row = c + row * ldc;
     for (int panel = 0; panel < panels; ++panel) {
       const int n0 = panel * kGemmTileN;
       const int width = std::min(kGemmTileN, n - n0);
@@ -1344,16 +1534,58 @@ void GemmInt8PackedExSsse3(int64_t m, const uint8_t* a, const Int8PackedFilters&
         for (int i = 0; i < kGemmTileM; ++i) {
           _mm_storeu_si128(reinterpret_cast<__m128i*>(buf[i]), acc[2 * i]);
           _mm_storeu_si128(reinterpret_cast<__m128i*>(buf[i] + 4), acc[2 * i + 1]);
-          StoreInt8TileRow(buf[i], packed, quant, bias, ep, n0 + jb,
-                           std::min(8, width - jb), c_row + i * ldc);
+          StoreInt8RowSse(buf[i], packed, quant, bias, ep, n0 + jb,
+                          std::min(8, width - jb), c_row + i * ldc, sink);
         }
       }
     }
   }
-  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc);
+  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc, sink);
 }
 
 #endif  // int8 SIMD variant
+
+// Shared tier dispatch for both epilogue sinks; the public entry points
+// below instantiate it with the float store and the requantizing store.
+template <typename Sink>
+void GemmInt8PackedDispatch(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
+                            const ActivationQuant& quant, const float* bias,
+                            GemmEpilogue epilogue, typename Sink::Out* c, int64_t ldc,
+                            const Sink& sink) {
+  PCHECK_GE(ldc, packed.n);
+  PCHECK_EQ(packed.k_padded % kInt8KUnit, 0);
+  PCHECK(ValidPanelWidth(packed.panel_width));
+#if defined(PERCIVAL_SIMD_INT8_VNNI)
+  if (!GemmForceScalar()) {
+    if (packed.panel_width == kGemmTileNMin) {
+      GemmInt8PackedExVnniW16(m, a, packed, quant, bias, epilogue, c, ldc, sink);
+    } else {
+      GemmInt8PackedExVnni(m, a, packed, quant, bias, epilogue, c, ldc, sink);
+    }
+    return;
+  }
+#elif defined(PERCIVAL_SIMD_INT8_AVX512)
+  if (!GemmForceScalar()) {
+    if (packed.panel_width == kGemmTileNMin) {
+      GemmInt8PackedExAvx512W16(m, a, packed, quant, bias, epilogue, c, ldc, sink);
+    } else {
+      GemmInt8PackedExAvx512(m, a, packed, quant, bias, epilogue, c, ldc, sink);
+    }
+    return;
+  }
+#elif defined(PERCIVAL_SIMD_INT8_AVX2)
+  if (!GemmForceScalar()) {
+    GemmInt8PackedExAvx2(m, a, packed, quant, bias, epilogue, c, ldc, sink);
+    return;
+  }
+#elif defined(PERCIVAL_SIMD_INT8_SSSE3)
+  if (!GemmForceScalar()) {
+    GemmInt8PackedExSsse3(m, a, packed, quant, bias, epilogue, c, ldc, sink);
+    return;
+  }
+#endif
+  GemmInt8PackedExScalar(m, a, packed, quant, bias, epilogue, c, ldc, sink);
+}
 
 }  // namespace
 
@@ -1393,39 +1625,17 @@ void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b
 void GemmInt8PackedEx(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
                       const ActivationQuant& quant, const float* bias, GemmEpilogue epilogue,
                       float* c, int64_t ldc) {
-  PCHECK_GE(ldc, packed.n);
-  PCHECK_EQ(packed.k_padded % kInt8KUnit, 0);
-  PCHECK(ValidPanelWidth(packed.panel_width));
-#if defined(PERCIVAL_SIMD_INT8_VNNI)
-  if (!GemmForceScalar()) {
-    if (packed.panel_width == kGemmTileNMin) {
-      GemmInt8PackedExVnniW16(m, a, packed, quant, bias, epilogue, c, ldc);
-    } else {
-      GemmInt8PackedExVnni(m, a, packed, quant, bias, epilogue, c, ldc);
-    }
-    return;
-  }
-#elif defined(PERCIVAL_SIMD_INT8_AVX512)
-  if (!GemmForceScalar()) {
-    if (packed.panel_width == kGemmTileNMin) {
-      GemmInt8PackedExAvx512W16(m, a, packed, quant, bias, epilogue, c, ldc);
-    } else {
-      GemmInt8PackedExAvx512(m, a, packed, quant, bias, epilogue, c, ldc);
-    }
-    return;
-  }
-#elif defined(PERCIVAL_SIMD_INT8_AVX2)
-  if (!GemmForceScalar()) {
-    GemmInt8PackedExAvx2(m, a, packed, quant, bias, epilogue, c, ldc);
-    return;
-  }
-#elif defined(PERCIVAL_SIMD_INT8_SSSE3)
-  if (!GemmForceScalar()) {
-    GemmInt8PackedExSsse3(m, a, packed, quant, bias, epilogue, c, ldc);
-    return;
-  }
-#endif
-  GemmInt8PackedExScalar(m, a, packed, quant, bias, epilogue, c, ldc);
+  GemmInt8PackedDispatch(m, a, packed, quant, bias, epilogue, c, ldc, FloatEpilogueSink{});
+}
+
+void GemmInt8PackedExU8(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
+                        const ActivationQuant& quant, const float* bias,
+                        GemmEpilogue epilogue, const ActivationQuant& out_quant, uint8_t* c,
+                        int64_t ldc) {
+  RequantEpilogueSink sink;
+  sink.inv_scale = 1.0f / out_quant.scale;
+  sink.zero_point = out_quant.zero_point;
+  GemmInt8PackedDispatch(m, a, packed, quant, bias, epilogue, c, ldc, sink);
 }
 
 void InferenceParallelFor(int64_t total, int64_t macs_per_item,

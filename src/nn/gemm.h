@@ -327,6 +327,30 @@ void GemmInt8PackedEx(int64_t m, const uint8_t* a, const Int8PackedFilters& pack
                       const ActivationQuant& quant, const float* bias, GemmEpilogue epilogue,
                       float* c, int64_t ldc);
 
+// Requantize-in-epilogue variant: identical accumulation and dequantize
+// math to GemmInt8PackedEx, but instead of storing the float result, the
+// epilogue requantizes it to the CONSUMER's uint8 codes with `out_quant` —
+// the same clamp(round(v / scale) + zero_point, 0, 255) map as
+// QuantizeActivations — so an int8 conv whose consumer is another int8 conv
+// never materializes a float activation tensor. The float value being
+// requantized is bit-identical to what GemmInt8PackedEx would have stored
+// (same std::fma / hardware-FMA epilogue per tier), so a requantized store
+// followed by the consumer equals the float-staged store + a separate
+// QuantizeActivations sweep, code for code. Output row i starts at
+// c + i*ldc (ldc in uint8 elements).
+void GemmInt8PackedExU8(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
+                        const ActivationQuant& quant, const float* bias,
+                        GemmEpilogue epilogue, const ActivationQuant& out_quant, uint8_t* c,
+                        int64_t ldc);
+
+// Master switch for the zero-float dataflow plan. When true (the default),
+// Network::PlanForward links adjacent calibrated int8 convs with the
+// requantize-in-epilogue store above; false restores the float-staged
+// dataflow everywhere (A/B benches, fallback). Takes effect at the next
+// PlanForward.
+void SetDataflowRequantEnabled(bool enabled);
+bool DataflowRequantEnabled();
+
 // Convenience one-shot GEMM: packs `b` (row-major [N x K]) into the local
 // arena and multiplies. When `pool` is non-null and the problem is large
 // enough, M rows are split across the pool. Resets the calling thread's

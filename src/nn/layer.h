@@ -135,6 +135,47 @@ class Layer {
     return Tensor();
   }
 
+  // Zero-float dataflow protocol (the requantize-in-epilogue plan chosen by
+  // Network::PlanForward). Three roles:
+  //   * EMITTERS (int8 convs, fire modules in eval mode) can write their
+  //     output directly as uint8 codes under a caller-chosen quantization —
+  //     the consumer layer's calibrated input quant — via ForwardToCodes
+  //     (float input) / ForwardQuantizedToCodes (code input). `out` receives
+  //     OutputShape(input).Elements() dense NHWC codes.
+  //   * TRANSFORMS (eval ReLU, MaxPool) are quantization-preserving maps on
+  //     codes: quantization is monotone, so max-based ops commute with it
+  //     exactly (relu(code) = max(code, zp) because quantize(0) == zp).
+  //     ForwardCodes rewrites input codes to output codes under the SAME
+  //     (scale, zero_point).
+  //   * everything else breaks the code chain and the network falls back to
+  //     the float path at that point.
+  // Scale/zero-point travel as plain scalars so this header stays
+  // independent of the GEMM engine's ActivationQuant. Defaults fail loudly;
+  // the planner only routes codes at layers that advertise support.
+  virtual bool CanEmitQuantizedCodes() const { return false; }
+  virtual void ForwardToCodes(const Tensor& input, float out_scale, int32_t out_zero_point,
+                              uint8_t* out) {
+    (void)input;
+    (void)out_scale;
+    (void)out_zero_point;
+    (void)out;
+    PCHECK(false) << Name() << " cannot emit quantized codes";
+  }
+  virtual void ForwardQuantizedToCodes(const QuantizedTensorView& input, float out_scale,
+                                       int32_t out_zero_point, uint8_t* out) {
+    (void)input;
+    (void)out_scale;
+    (void)out_zero_point;
+    (void)out;
+    PCHECK(false) << Name() << " cannot emit quantized codes";
+  }
+  virtual bool SupportsCodeTransform() const { return false; }
+  virtual void ForwardCodes(const QuantizedTensorView& input, uint8_t* out) {
+    (void)input;
+    (void)out;
+    PCHECK(false) << Name() << " cannot transform quantized codes";
+  }
+
   // Calibration protocol. Capture mode (SetCalibrationCapture(true) resets
   // any previous range and starts accumulating; false stops and keeps the
   // accumulated range) records each quantized tensor's observed activation

@@ -10,8 +10,12 @@
 namespace percival {
 
 Tensor Network::Forward(const Tensor& input) {
-  if (!planned_ || !(planned_shape_ == input.shape())) {
+  if (!planned_ || !(planned_shape_ == input.shape()) ||
+      dataflow_enabled_at_plan_ != DataflowRequantEnabled()) {
     PlanForward(input.shape());
+  }
+  if (DataflowActive()) {
+    return RunDataflow(&input, nullptr);
   }
   return ForwardUpTo(input, layers_.size());
 }
@@ -19,23 +23,159 @@ Tensor Network::Forward(const Tensor& input) {
 void Network::PlanForward(const TensorShape& input) {
   size_t worst = 0;
   TensorShape shape = input;
+  std::vector<TensorShape> input_shapes;
+  input_shapes.reserve(layers_.size());
   for (const auto& layer : layers_) {
     // Plans first: a layer's scratch requirement may depend on its plan.
+    input_shapes.push_back(shape);
     layer->PlanKernels(shape);
     worst = std::max(worst, layer->ForwardScratchFloats(shape));
     shape = layer->OutputShape(shape);
   }
   LocalArena().Reserve(worst);
+  PlanDataflow(input_shapes);
   planned_shape_ = input;
   planned_ = true;
+}
+
+void Network::PlanDataflow(const std::vector<TensorShape>& input_shapes) {
+  dataflow_.assign(layers_.size(), DataflowStep{});
+  dataflow_enabled_at_plan_ = DataflowRequantEnabled();
+  const bool eligible = precision_ == Precision::kInt8 && !training_ &&
+                        !calibration_capture_ && dataflow_enabled_at_plan_;
+  if (!eligible) {
+    return;
+  }
+  // Walk the layer list linking emitters to consumers. `codes_live` tracks
+  // whether layer i's input arrives as uint8 codes under the current plan.
+  size_t max_code_bytes = 0;
+  bool codes_live = false;
+  size_t i = 0;
+  while (i < layers_.size()) {
+    bool linked = false;
+    if (layers_[i]->CanEmitQuantizedCodes()) {
+      // The link holds if every layer until the next non-transform is a
+      // code transform and that consumer takes quantized input with a
+      // calibrated range (the range supplies the emit quantization).
+      size_t j = i + 1;
+      while (j < layers_.size() && layers_[j]->SupportsCodeTransform()) {
+        ++j;
+      }
+      float min_value = 0.0f;
+      float max_value = 0.0f;
+      if (j < layers_.size() && layers_[j]->AcceptsQuantizedInput() &&
+          layers_[j]->InputCalibration(&min_value, &max_value)) {
+        const ActivationQuant quant = ComputeActivationQuant(min_value, max_value);
+        dataflow_[i].mode = DataflowStep::Mode::kEmit;
+        dataflow_[i].scale = quant.scale;
+        dataflow_[i].zero_point = quant.zero_point;
+        for (size_t t = i; t < j; ++t) {
+          dataflow_[t].out_shape = layers_[t]->OutputShape(input_shapes[t]);
+          if (t > i) {
+            dataflow_[t].mode = DataflowStep::Mode::kTransform;
+          }
+          max_code_bytes = std::max(
+              max_code_bytes, static_cast<size_t>(dataflow_[t].out_shape.Elements()));
+        }
+        codes_live = true;
+        linked = true;
+        i = j;  // the consumer decides next: extend the chain or break it
+      }
+    }
+    if (!linked) {
+      // Layer i runs unlinked: float layer, or a consumer that terminates
+      // the chain (RunDataflow hands it the codes via ForwardQuantized).
+      codes_live = false;
+      ++i;
+    }
+  }
+  (void)codes_live;
+  if (max_code_bytes > 0) {
+    code_buffers_[0].resize(max_code_bytes);
+    code_buffers_[1].resize(max_code_bytes);
+  }
+}
+
+bool Network::DataflowActive() const {
+  for (const DataflowStep& step : dataflow_) {
+    if (step.mode == DataflowStep::Mode::kEmit) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Network::RequantLinkCount() const {
+  size_t links = 0;
+  for (const DataflowStep& step : dataflow_) {
+    if (step.mode == DataflowStep::Mode::kEmit) {
+      ++links;
+    }
+  }
+  return links;
+}
+
+Tensor Network::RunDataflow(const Tensor* float_in, const QuantizedTensorView* code_in) {
+  PCHECK((float_in != nullptr) != (code_in != nullptr));
+  Tensor current;
+  QuantizedTensorView codes{};
+  bool codes_live = code_in != nullptr;
+  if (codes_live) {
+    codes = *code_in;
+  } else {
+    current = *float_in;
+  }
+  int turn = 0;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const DataflowStep& step = dataflow_[i];
+    switch (step.mode) {
+      case DataflowStep::Mode::kEmit: {
+        uint8_t* out = code_buffers_[turn].data();
+        turn ^= 1;
+        if (codes_live) {
+          layers_[i]->ForwardQuantizedToCodes(codes, step.scale, step.zero_point, out);
+        } else {
+          layers_[i]->ForwardToCodes(current, step.scale, step.zero_point, out);
+          current = Tensor();
+        }
+        codes = QuantizedTensorView{out, step.out_shape, step.scale, step.zero_point};
+        codes_live = true;
+        break;
+      }
+      case DataflowStep::Mode::kTransform: {
+        uint8_t* out = code_buffers_[turn].data();
+        turn ^= 1;
+        layers_[i]->ForwardCodes(codes, out);
+        codes = QuantizedTensorView{out, step.out_shape, codes.scale, codes.zero_point};
+        break;
+      }
+      case DataflowStep::Mode::kFloat: {
+        if (codes_live) {
+          // Chain break: this layer consumes the live codes and returns the
+          // network to the float path.
+          current = layers_[i]->ForwardQuantized(codes);
+          codes_live = false;
+        } else {
+          current = layers_[i]->Forward(current);
+        }
+        break;
+      }
+    }
+  }
+  PCHECK(!codes_live) << "dataflow plan ended with live codes and no consumer";
+  return current;
 }
 
 Tensor Network::ForwardQuantized(const QuantizedTensorView& input) {
   PCHECK(!layers_.empty());
   PCHECK(layers_[0]->AcceptsQuantizedInput())
       << "first layer (" << layers_[0]->Name() << ") cannot consume quantized input";
-  if (!planned_ || !(planned_shape_ == input.shape)) {
+  if (!planned_ || !(planned_shape_ == input.shape) ||
+      dataflow_enabled_at_plan_ != DataflowRequantEnabled()) {
     PlanForward(input.shape);
+  }
+  if (DataflowActive()) {
+    return RunDataflow(nullptr, &input);
   }
   Tensor current = layers_[0]->ForwardQuantized(input);
   for (size_t i = 1; i < layers_.size(); ++i) {
@@ -76,9 +216,13 @@ std::string Network::KernelPlanSummary() const {
 }
 
 void Network::SetCalibrationCapture(bool capture) {
+  calibration_capture_ = capture;
   for (auto& layer : layers_) {
     layer->SetCalibrationCapture(capture);
   }
+  // Capture needs float forwards to observe ranges (and stopping capture
+  // may have produced the calibrations a dataflow plan feeds on).
+  planned_ = false;
 }
 
 size_t Network::CalibrationSlots() const {
@@ -109,6 +253,8 @@ bool Network::LoadCalibration(const std::vector<ActivationCalibration>& entries)
     consumed += layer->ConsumeCalibration(entries.data() + consumed,
                                           entries.size() - consumed);
   }
+  // Fresh calibrations can enable (or change) requant links.
+  planned_ = false;
   return consumed == entries.size();
 }
 
@@ -126,6 +272,7 @@ void Network::SetTrainingMode(bool training) {
   for (auto& layer : layers_) {
     layer->SetTrainingMode(training);
   }
+  planned_ = false;  // the dataflow plan is eval-only
 }
 
 void Network::SetPrecision(Precision precision) {

@@ -60,6 +60,26 @@ class Network {
   std::vector<KernelPlanRow> CollectKernelPlanRows() const;
   std::string KernelPlanSummary() const;
 
+  // Zero-float dataflow plan, chosen by PlanForward alongside the kernel
+  // plans. In int8 eval mode (outside calibration capture, and with the
+  // global SetDataflowRequantEnabled knob on) the planner links each
+  // code-emitting layer to its downstream consumer: when the layers between
+  // them are all code transforms (eval ReLU / MaxPool) and the consumer
+  // both accepts quantized input and carries a calibrated input range, the
+  // emitter's GEMM epilogue requantizes straight to the consumer's uint8
+  // codes and the chain runs through network-owned ping-pong code buffers —
+  // no float activation tensor and no per-forward heap allocation between
+  // the linked layers. Layers outside a link run the float path unchanged,
+  // so uncalibrated models behave exactly as before.
+  // RequantLinkCount() reports how many emit links the current plan holds
+  // (0 = plan inert, pure float-staged behavior).
+  size_t RequantLinkCount() const;
+  // Capacity of the ping-pong code buffers in bytes (steady-state assertion
+  // hook for tests).
+  size_t CodeBufferCapacity() const {
+    return code_buffers_[0].capacity() + code_buffers_[1].capacity();
+  }
+
   // Calibration plumbing (see Layer): capture toggling, the deterministic
   // per-layer range walk the PCVW v2 trailer serializes, and its inverse.
   void SetCalibrationCapture(bool capture);
@@ -113,11 +133,38 @@ class Network {
   std::string Summary(const TensorShape& input) const;
 
  private:
+  // One dataflow decision per layer (see RequantLinkCount above). kEmit
+  // carries the consumer's quantization; kTransform rewrites codes under
+  // the incoming quantization. A consumer needs no marker: it is simply a
+  // non-emitting layer reached while codes are live, and the runtime hands
+  // it the code view via ForwardQuantized.
+  struct DataflowStep {
+    enum class Mode { kFloat, kEmit, kTransform };
+    Mode mode = Mode::kFloat;
+    float scale = 1.0f;
+    int32_t zero_point = 0;
+    TensorShape out_shape{};
+  };
+
+  void PlanDataflow(const std::vector<TensorShape>& input_shapes);
+  bool DataflowActive() const;
+  // Runs the planned layer walk. Exactly one of `float_in` / `code_in` is
+  // non-null: the float entry (Forward) or the u8-direct entry
+  // (ForwardQuantized, codes live from layer 0).
+  Tensor RunDataflow(const Tensor* float_in, const QuantizedTensorView* code_in);
+
   std::vector<std::unique_ptr<Layer>> layers_;
   TensorShape planned_shape_{};
   bool planned_ = false;
   bool training_ = true;
   Precision precision_ = Precision::kFloat32;
+  bool calibration_capture_ = false;
+
+  std::vector<DataflowStep> dataflow_;
+  bool dataflow_enabled_at_plan_ = false;
+  // Ping-pong uint8 buffers the code chain alternates through (emitters and
+  // transforms never write the buffer they read). Sized once at plan time.
+  std::vector<uint8_t> code_buffers_[2];
 };
 
 }  // namespace percival

@@ -1,5 +1,6 @@
 #include "src/nn/ops.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/logging.h"
@@ -183,6 +184,48 @@ void Col2Im(const float* columns, int height, int width, int channels, int kerne
           const float* src = row + (kh * kernel + kw) * channels;
           for (int c = 0; c < channels; ++c) {
             dst[c] += src[c];
+          }
+        }
+      }
+    }
+  }
+}
+
+void ReluCodes(const uint8_t* in, int64_t count, int32_t zero_point, uint8_t* out) {
+  const uint8_t zp = static_cast<uint8_t>(std::min<int32_t>(255, std::max<int32_t>(0, zero_point)));
+  for (int64_t i = 0; i < count; ++i) {
+    out[i] = in[i] > zp ? in[i] : zp;
+  }
+}
+
+void MaxPoolCodes(const uint8_t* in, int height, int width, int channels, int kernel,
+                  int stride, uint8_t* out) {
+  const int out_h = ConvOutputSize(height, kernel, stride, 0);
+  const int out_w = ConvOutputSize(width, kernel, stride, 0);
+  for (int oh = 0; oh < out_h; ++oh) {
+    for (int ow = 0; ow < out_w; ++ow) {
+      uint8_t* dst = out + (static_cast<int64_t>(oh) * out_w + ow) * channels;
+      bool first = true;
+      for (int kh = 0; kh < kernel; ++kh) {
+        const int ih = oh * stride + kh;
+        if (ih >= height) {
+          continue;
+        }
+        for (int kw = 0; kw < kernel; ++kw) {
+          const int iw = ow * stride + kw;
+          if (iw >= width) {
+            continue;
+          }
+          const uint8_t* src = in + (static_cast<int64_t>(ih) * width + iw) * channels;
+          if (first) {
+            std::memcpy(dst, src, static_cast<size_t>(channels));
+            first = false;
+          } else {
+            for (int c = 0; c < channels; ++c) {
+              if (src[c] > dst[c]) {
+                dst[c] = src[c];
+              }
+            }
           }
         }
       }

@@ -53,6 +53,22 @@ void Im2ColRowsU8COuter(const uint8_t* input, int height, int width, int channel
 void Col2Im(const float* columns, int height, int width, int channels, int kernel, int stride,
             int pad, float* input_grad);
 
+// Quantized-code transforms for the zero-float dataflow plan. Both operate
+// on uint8 activation codes (value ~= scale * (code - zero_point)) and are
+// EXACT images of their float counterparts: quantization is monotone, so
+// max-based ops commute with it — relu(v) quantizes to max(code, zp)
+// because quantize(0) == zero_point, and a max-pool window's max code is
+// the code of the window's max value.
+
+// out[i] = max(in[i], zero_point). `in == out` aliasing is allowed.
+void ReluCodes(const uint8_t* in, int64_t count, int32_t zero_point, uint8_t* out);
+
+// Max-pools one NHWC uint8 sample with edge-clipped windows (pad 0,
+// output size ConvOutputSize(dim, kernel, stride, 0)), matching
+// MaxPool2D::Forward. `out` must not alias `in`.
+void MaxPoolCodes(const uint8_t* in, int height, int width, int channels, int kernel,
+                  int stride, uint8_t* out);
+
 // dst[i] += a * src[i] for i < n.
 void Axpy(int64_t n, float a, const float* src, float* dst);
 

@@ -87,6 +87,19 @@ Tensor MaxPool2D::Forward(const Tensor& input) {
   return output;
 }
 
+void MaxPool2D::ForwardCodes(const QuantizedTensorView& input, uint8_t* out) {
+  PCHECK(!training_) << Name() << " ForwardCodes in training mode";
+  input_shape_ = input.shape;
+  argmax_.clear();
+  const TensorShape out_shape = OutputShape(input_shape_);
+  const int64_t in_sample = static_cast<int64_t>(input_shape_.h) * input_shape_.w * input_shape_.c;
+  const int64_t out_sample = static_cast<int64_t>(out_shape.h) * out_shape.w * out_shape.c;
+  for (int n = 0; n < input_shape_.n; ++n) {
+    MaxPoolCodes(input.data + n * in_sample, input_shape_.h, input_shape_.w, input_shape_.c,
+                 kernel_, stride_, out + n * out_sample);
+  }
+}
+
 Tensor MaxPool2D::Backward(const Tensor& grad_output) {
   PCHECK(training_) << Name() << " Backward called in eval mode";
   PCHECK_EQ(grad_output.size(), static_cast<int64_t>(argmax_.size()))

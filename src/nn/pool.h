@@ -18,6 +18,11 @@ class MaxPool2D : public Layer {
   std::string Name() const override;
   TensorShape OutputShape(const TensorShape& input) const override;
 
+  // Max over codes is exact (quantization is monotone), but it skips the
+  // argmax capture Backward needs — eval mode only.
+  bool SupportsCodeTransform() const override { return !training_; }
+  void ForwardCodes(const QuantizedTensorView& input, uint8_t* out) override;
+
  private:
   int kernel_;
   int stride_;

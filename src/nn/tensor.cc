@@ -1,6 +1,7 @@
 #include "src/nn/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "src/base/logging.h"
@@ -13,11 +14,26 @@ std::string TensorShape::ToString() const {
   return out.str();
 }
 
+namespace {
+std::atomic<uint64_t> g_tensor_constructions{0};
+std::atomic<uint64_t> g_tensor_elements{0};
+}  // namespace
+
+TensorAllocStats GetTensorAllocStats() {
+  TensorAllocStats stats;
+  stats.constructions = g_tensor_constructions.load(std::memory_order_relaxed);
+  stats.elements = g_tensor_elements.load(std::memory_order_relaxed);
+  return stats;
+}
+
 Tensor::Tensor(const TensorShape& shape) : shape_(shape) {
   PCHECK_GE(shape.n, 0);
   PCHECK_GE(shape.h, 0);
   PCHECK_GE(shape.w, 0);
   PCHECK_GE(shape.c, 0);
+  g_tensor_constructions.fetch_add(1, std::memory_order_relaxed);
+  g_tensor_elements.fetch_add(static_cast<uint64_t>(shape.Elements()),
+                              std::memory_order_relaxed);
   data_.assign(static_cast<size_t>(shape.Elements()), 0.0f);
 }
 

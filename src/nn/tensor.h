@@ -74,6 +74,16 @@ class Tensor {
   std::vector<float> data_;
 };
 
+// Process-wide counters over every sized Tensor construction (the only
+// place float activation storage is allocated). The zero-float dataflow
+// tests snapshot them around a steady-state forward to prove how many
+// float tensors — and how many float elements — a frame actually touches.
+struct TensorAllocStats {
+  uint64_t constructions = 0;  // sized Tensor constructors run
+  uint64_t elements = 0;       // total float elements across them
+};
+TensorAllocStats GetTensorAllocStats();
+
 }  // namespace percival
 
 #endif  // PERCIVAL_SRC_NN_TENSOR_H_

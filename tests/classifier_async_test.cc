@@ -167,5 +167,49 @@ TEST(AsyncAdClassifierConcurrencyTest, BatchResultsMatchSingleClassify) {
   EXPECT_EQ(batch_classifier.stats().classified, static_cast<int64_t>(images.size()));
 }
 
+// Forces every frame onto one primary hash bucket: distinct creatives must
+// NOT inherit each other's memoized decision (the seeded verification hash
+// catches the collision), every collision is counted, and true repeats of
+// the same creative still hit the cache.
+TEST(AsyncAdClassifierConcurrencyTest, PrimaryHashCollisionNeverAliasesDecisions) {
+  AdClassifier inner = MakeTestClassifier();
+  AdClassifier reference = MakeTestClassifier();  // same seed -> same decisions
+  AsyncAdClassifier async(inner);
+  async.SetPrimaryHashForTest([](const void*, size_t) -> uint64_t { return 42; });
+
+  Bitmap frame_a = MakeBitmap(1);
+  Bitmap frame_b = MakeBitmap(2);
+  const bool a_is_ad = reference.Classify(frame_a).is_ad;
+  const bool b_is_ad = reference.Classify(frame_b).is_ad;
+
+  // First visit of A: plain miss, classify off the critical path.
+  EXPECT_FALSE(async.OnDecodedFrame(frame_a.info(), frame_a, "https://a.example"));
+  async.DrainPending();
+  EXPECT_EQ(async.stats().hash_collisions, 0);
+  // True repeat of A hits and returns A's own decision.
+  EXPECT_EQ(async.OnDecodedFrame(frame_a.info(), frame_a, "https://a.example"), a_is_ad);
+
+  // B shares A's primary hash but not its pixels: the verification hash
+  // must refuse the memoized decision, count a collision, and classify B.
+  EXPECT_FALSE(async.OnDecodedFrame(frame_b.info(), frame_b, "https://b.example"));
+  EXPECT_EQ(async.stats().hash_collisions, 1);
+  async.DrainPending();
+
+  // B's decision is now memoized (last writer owns the bucket) and a repeat
+  // of B returns B's own decision, never A's.
+  EXPECT_EQ(async.OnDecodedFrame(frame_b.info(), frame_b, "https://b.example"), b_is_ad);
+  // A collides against B's entry and re-classifies rather than aliasing.
+  EXPECT_FALSE(async.OnDecodedFrame(frame_a.info(), frame_a, "https://a.example"));
+  EXPECT_GE(async.stats().hash_collisions, 2);
+  async.DrainPending();
+  EXPECT_EQ(async.OnDecodedFrame(frame_a.info(), frame_a, "https://a.example"), a_is_ad);
+
+  // Restoring the real hash ends the forced-collision regime.
+  async.SetPrimaryHashForTest(nullptr);
+  EXPECT_FALSE(async.OnDecodedFrame(frame_b.info(), frame_b, "https://b.example"));
+  async.DrainPending();
+  EXPECT_EQ(async.OnDecodedFrame(frame_b.info(), frame_b, "https://b.example"), b_is_ad);
+}
+
 }  // namespace
 }  // namespace percival

@@ -181,6 +181,42 @@ TEST(EvalModeTest, AdClassifierConstructsInEvalMode) {
   EXPECT_GT(worst, 0.0f);
 }
 
+// The thread-local u8 preprocessing buffer tracks the planned input: a
+// burst of large batches grows it, but once single-frame classification
+// resumes the buffer releases the burst capacity instead of pinning peak
+// memory for the life of the thread — and then holds steady in steady
+// state (no churn, no regrowth).
+TEST(EvalModeTest, ClassifierCodeBufferShrinksAfterLargeBatch) {
+  const PercivalNetConfig config = TestProfile();
+  AdClassifier classifier(BuildPercivalNet(config), config);
+  classifier.SetPrecision(Precision::kInt8);
+  ASSERT_TRUE(classifier.u8_direct_active());
+
+  const size_t frame_bytes = static_cast<size_t>(config.InputShape().Elements());
+
+  std::vector<Bitmap> bitmaps;
+  for (int i = 0; i < 8; ++i) {
+    bitmaps.emplace_back(40, 40, Color{static_cast<uint8_t>(20 * i + 5),
+                                       static_cast<uint8_t>(150 - 10 * i), 90, 255});
+  }
+  std::vector<const Bitmap*> batch;
+  for (const Bitmap& b : bitmaps) batch.push_back(&b);
+  classifier.ClassifyBatch(batch);
+  EXPECT_GE(ClassifierCodeBufferCapacity(), 8 * frame_bytes)
+      << "batch preprocessing should have grown the code buffer";
+
+  classifier.Classify(bitmaps[0]);
+  EXPECT_LE(ClassifierCodeBufferCapacity(), 2 * frame_bytes)
+      << "code buffer failed to shrink after the batch burst";
+
+  const size_t steady = ClassifierCodeBufferCapacity();
+  for (int i = 0; i < 4; ++i) {
+    classifier.Classify(bitmaps[static_cast<size_t>(i)]);
+    EXPECT_EQ(ClassifierCodeBufferCapacity(), steady)
+        << "steady-state single-frame classification churned the code buffer";
+  }
+}
+
 // New layers added after the mode switch inherit the network's mode.
 TEST(EvalModeTest, AddedLayersInheritEvalMode) {
   Rng rng(19);

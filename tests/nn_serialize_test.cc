@@ -16,6 +16,7 @@
 #include "src/core/model.h"
 #include "src/core/model_zoo.h"
 #include "src/nn/conv.h"
+#include "src/nn/fire.h"
 #include "src/nn/gemm.h"
 #include "src/nn/network.h"
 #include "src/nn/serialize.h"
@@ -584,6 +585,35 @@ TEST(SerializeCalibrationTest, HostileTrailersRejected) {
 
   // The unmodified trailer still loads into the same target.
   EXPECT_TRUE(DeserializeWeights(target, good));
+}
+
+// Regression: FireModule::ConsumeCalibration with fewer entries than its
+// three inner convs expect. The squeeze conv consumes the whole short run,
+// and the remaining count for the expand convs is computed in size_t
+// arithmetic — before the clamp, `count - consumed` underflowed to ~2^64
+// and handed the expand convs a giant bogus entry span. The module must
+// consume at most `count` entries and stop cleanly.
+TEST(SerializeCalibrationTest, FireTruncatedTrailerConsumesAtMostCount) {
+  Rng rng(31);
+  FireModule fire(8, 4, 8, rng);
+
+  const ActivationCalibration entries[3] = {
+      {0.0f, 1.0f, true}, {0.0f, 2.0f, true}, {0.0f, 3.0f, true}};
+  for (size_t count = 0; count <= 3; ++count) {
+    FireModule probe(8, 4, 8, rng);
+    const size_t consumed = probe.ConsumeCalibration(entries, count);
+    EXPECT_LE(consumed, count) << "count=" << count;
+  }
+
+  // A partial run applies exactly the prefix: one entry calibrates the
+  // squeeze conv only, and the module-level input calibration (the
+  // squeeze's) reflects it.
+  ASSERT_EQ(fire.ConsumeCalibration(entries, 1), 1u);
+  float lo = -1.0f;
+  float hi = -1.0f;
+  ASSERT_TRUE(fire.InputCalibration(&lo, &hi));
+  EXPECT_EQ(lo, 0.0f);
+  EXPECT_EQ(hi, 1.0f);
 }
 
 }  // namespace
