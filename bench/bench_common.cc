@@ -161,7 +161,13 @@ std::string BenchReport::WriteJson() const {
   if (!out) {
     return "";
   }
+  // "simd"/"simd_int8" are the RUNTIME-selected kernels (cpuid dispatch),
+  // so two differently-flagged builds of the same binary on the same host
+  // report the same paths; "cpu_features"/"simd_tier" record what the host
+  // offered and which ladder rung won. CI diffs these across build flavors.
   out << "{\n  \"bench\": \"" << tag_ << "\",\n  \"simd\": \"" << ActiveGemmKernelName()
+      << "\",\n  \"simd_int8\": \"" << ActiveInt8KernelName() << "\",\n  \"cpu_features\": \""
+      << CpuFeatureString() << "\",\n  \"simd_tier\": \"" << SimdTierName(ActiveSimdTier())
       << "\",\n  \"results\": [\n";
   for (size_t i = 0; i < timings_.size(); ++i) {
     const BenchTiming& t = timings_[i];

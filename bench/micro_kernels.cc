@@ -162,8 +162,8 @@ void RunSuite(const Options& options) {
       const char* tag;
     };
     const NarrowFire shapes[] = {{32, 8, 16, "s8e16"}, {64, 16, 16, "s16e16"}};
-    std::vector<int> widths{kGemmTileN};
-    if (kGemmTileNMin != kGemmTileN) {
+    std::vector<int> widths{GemmNativePanelWidth()};
+    if (kGemmTileNMin != widths[0]) {
       widths.push_back(kGemmTileNMin);  // narrow == native on 16-wide tiers
     }
     for (const NarrowFire& cfg : shapes) {

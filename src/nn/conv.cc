@@ -243,11 +243,18 @@ const float* Conv2D::PackedFilters() {
 }
 
 const Int8PackedFilters& Conv2D::PackedFiltersInt8() {
-  if (packed_int8_version_ != weights_.version || !(packed_int8_plan_ == plan_)) {
+  // Keyed additionally on the runtime weight clamp: a tier cap that flips
+  // the clamp without moving the panel width (vnni <-> avx512, both
+  // 32-wide) must still repack, or ±127 codes would reach a saturating
+  // maddubs kernel.
+  const int weight_max = Int8WeightMax();
+  if (packed_int8_version_ != weights_.version || !(packed_int8_plan_ == plan_) ||
+      packed_int8_weight_max_ != weight_max) {
     const int row_len = kernel_ * kernel_ * in_channels_;
     const bool c_outer = plan_.layout == ActivationLayout::kCOuter && kernel_ > 1;
     const QuantizedWeights* pre = weights_.quantized.get();
     if (pre != nullptr && pre->version == weights_.version &&
+        pre->weight_max <= weight_max &&
         pre->codes.size() == static_cast<size_t>(weights_.value.size()) &&
         pre->scales.size() == static_cast<size_t>(out_channels_)) {
       // Pre-quantized weights (PCVW v2 load): pack the exact serialized
@@ -274,6 +281,7 @@ const Int8PackedFilters& Conv2D::PackedFiltersInt8() {
     ReleaseReorderScratch();  // only the packed panels persist
     packed_int8_version_ = weights_.version;
     packed_int8_plan_ = plan_;
+    packed_int8_weight_max_ = weight_max;
   }
   return packed_filters_int8_;
 }

@@ -239,6 +239,7 @@ class Conv2D : public Layer {
   Int8PackedFilters packed_filters_int8_;
   uint64_t packed_int8_version_ = 0;
   KernelPlan packed_int8_plan_;
+  int packed_int8_weight_max_ = 0;  // Int8WeightMax() the cache was packed under
 
   // Scratch for weight rows permuted into the c-outer K order before
   // packing (pack-time only, empty under kKhKwC).

@@ -9,6 +9,7 @@
 
 #include "src/base/logging.h"
 #include "src/base/thread_pool.h"
+#include "src/nn/gemm_internal.h"
 #include "src/nn/simd.h"
 
 namespace percival {
@@ -21,6 +22,7 @@ std::atomic<bool> g_force_scalar{false};
 std::atomic<int> g_planner_panel_override{0};
 std::atomic<LayoutPolicy> g_planner_layout_policy{LayoutPolicy::kAuto};
 std::atomic<bool> g_dataflow_requant{true};
+std::atomic<bool> g_gap_codes{false};
 
 }  // namespace
 
@@ -77,6 +79,132 @@ ScratchArena& LocalArena() {
   return arena;
 }
 
+// ---------------------------------------------------- runtime dispatch --
+//
+// Every tier TU (gemm_tier_*.cc) exports one GemmKernelTable; resolution
+// starts at the active tier (cpuid detection capped by SetSimdTierCap) and
+// walks DOWN the ladder to the first table carrying the needed kernel — the
+// ssse3 rung carries only int8 kernels, so its float work resolves to the
+// sse2 table; the vnni rung carries only the vpdpbusd int8 kernels, so its
+// float work resolves to the avx512 table; the bottom of every walk is the
+// always-compiled scalar tile in gemm_internal.h. A tier whose -m flags
+// were unavailable at build time exported an all-null table and the walk
+// skips it, so one source tree still builds (slower) on a toolchain missing
+// the upper rungs.
+
+namespace {
+
+const GemmKernelTable* TierTable(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kSse2:
+      return &gemm_tier_sse2::Table();
+    case SimdTier::kSsse3:
+      return &gemm_tier_ssse3::Table();
+    case SimdTier::kAvx2:
+      return &gemm_tier_avx2::Table();
+    case SimdTier::kAvx512:
+      return &gemm_tier_avx512::Table();
+    case SimdTier::kVnni:
+      return &gemm_tier_vnni::Table();
+    case SimdTier::kScalar:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+// Whether a rung's defining kernels made it into this binary. The data
+// contracts (panel width, weight clamp) follow the highest COMPILED rung at
+// or below the active tier, not the detected one — claiming the VNNI ±127
+// clamp without the vpdpbusd kernel would saturate the maddubs fallback.
+bool TierCompiled(SimdTier tier) {
+  const GemmKernelTable* table = TierTable(tier);
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kSse2:
+      return table->gemm_packed != nullptr;
+    case SimdTier::kSsse3:
+    case SimdTier::kVnni:
+      return table->gemm_int8 != nullptr;
+    case SimdTier::kAvx2:
+    case SimdTier::kAvx512:
+      return table->gemm_packed != nullptr && table->gemm_int8 != nullptr;
+  }
+  return false;
+}
+
+// Highest compiled rung at or below min(detected, cap). This is the tier
+// that owns the data contracts right now.
+SimdTier ResolvedTier() {
+  int tier = static_cast<int>(ActiveSimdTier());
+  while (tier > 0 && !TierCompiled(static_cast<SimdTier>(tier))) {
+    --tier;
+  }
+  return static_cast<SimdTier>(tier);
+}
+
+const GemmKernelTable* ResolveFloat() {
+  for (int tier = static_cast<int>(ResolvedTier()); tier > 0; --tier) {
+    const GemmKernelTable* table = TierTable(static_cast<SimdTier>(tier));
+    if (table != nullptr && table->gemm_packed != nullptr) {
+      return table;
+    }
+  }
+  return nullptr;
+}
+
+const GemmKernelTable* ResolveInt8() {
+  for (int tier = static_cast<int>(ResolvedTier()); tier > 0; --tier) {
+    const GemmKernelTable* table = TierTable(static_cast<SimdTier>(tier));
+    if (table != nullptr && table->gemm_int8 != nullptr) {
+      return table;
+    }
+  }
+  return nullptr;
+}
+
+const GemmKernelTable* ResolveQuant() {
+  for (int tier = static_cast<int>(ResolvedTier()); tier > 0; --tier) {
+    const GemmKernelTable* table = TierTable(static_cast<SimdTier>(tier));
+    if (table != nullptr && table->quantize_activations != nullptr) {
+      return table;
+    }
+  }
+  return nullptr;
+}
+
+// Sinks for the baseline-compiled scalar fallback (force-scalar oracle /
+// no-SIMD host). The tier TUs carry their own copies with vector members;
+// these have only the scalar Put, which mirrors QuantizeActivations' tail.
+struct ScalarFloatSink {
+  using Out = float;
+  void Put(float* c_row, int idx, float v) const { c_row[idx] = v; }
+};
+
+struct ScalarRequantSink {
+  using Out = uint8_t;
+  float inv_scale = 1.0f;
+  int32_t zero_point = 0;
+  void Put(uint8_t* c_row, int idx, float v) const {
+    const int32_t q = zero_point + static_cast<int32_t>(std::nearbyint(v * inv_scale));
+    c_row[idx] = static_cast<uint8_t>(std::min(255, std::max(0, q)));
+  }
+};
+
+}  // namespace
+
+int GemmNativePanelWidth() {
+  return static_cast<int>(ResolvedTier()) >= static_cast<int>(SimdTier::kAvx512)
+             ? kGemmTileNMax
+             : kGemmTileNMin;
+}
+
+int Int8WeightMax() { return ResolvedTier() == SimdTier::kVnni ? 127 : 64; }
+
+bool ValidPanelWidth(int width) {
+  return width == kGemmTileNMin || width == kGemmTileNMax;
+}
+
 // ------------------------------------------------------- execution config --
 
 void SetInferenceThreadPool(ThreadPool* pool) { g_inference_pool.store(pool); }
@@ -89,19 +217,36 @@ void SetGemmForceScalar(bool force) { g_force_scalar.store(force); }
 bool GemmForceScalar() { return g_force_scalar.load(); }
 
 const char* ActiveGemmKernelName() {
-  return GemmForceScalar() ? "scalar" : kSimdPathName;
+  if (GemmForceScalar()) {
+    return "scalar";
+  }
+  const GemmKernelTable* table = ResolveFloat();
+  return table != nullptr ? table->float_name : "scalar";
 }
 
 const char* ActiveInt8KernelName() {
-  return GemmForceScalar() ? "scalar" : kSimdInt8PathName;
+  if (GemmForceScalar()) {
+    return "scalar";
+  }
+  const GemmKernelTable* table = ResolveInt8();
+  return table != nullptr ? table->int8_name : "scalar";
 }
 
 void LogSimdPathOnce() {
   static std::once_flag logged;
   std::call_once(logged, [] {
-    LogLine(std::string("gemm: compiled SIMD path ") + kSimdPathName + ", tile " +
-            std::to_string(kGemmTileM) + "x" + std::to_string(kGemmTileN) +
-            ", int8 path " + kSimdInt8PathName);
+    std::string line = std::string("gemm: cpu features ") + CpuFeatureString() +
+                       "; float path " + ActiveGemmKernelName() + " (tile " +
+                       std::to_string(kGemmTileM) + "x" +
+                       std::to_string(GemmNativePanelWidth()) + "), int8 path " +
+                       ActiveInt8KernelName();
+    if (static_cast<int>(SimdTierCap()) < static_cast<int>(DetectedSimdTier())) {
+      line += std::string(" [tier capped at ") + SimdTierName(ActiveSimdTier()) + "]";
+    }
+    if (GemmForceScalar()) {
+      line += " [force-scalar]";
+    }
+    LogLine(line);
   });
 }
 
@@ -138,12 +283,16 @@ void SetDataflowRequantEnabled(bool enabled) { g_dataflow_requant.store(enabled)
 
 bool DataflowRequantEnabled() { return g_dataflow_requant.load(); }
 
+void SetGapCodesEnabled(bool enabled) { g_gap_codes.store(enabled); }
+
+bool GapCodesEnabled() { return g_gap_codes.load(); }
+
 KernelPlan ChooseConvKernelPlan(int out_channels, int kernel) {
-  KernelPlan plan;
+  KernelPlan plan;  // panel_width defaults to the active tier's native width
   const int override_width = PlannerPanelOverride();
   if (override_width != 0) {
     plan.panel_width = override_width;
-  } else if (kGemmTileN > kGemmTileNMin && out_channels <= kGemmTileNMin) {
+  } else if (plan.panel_width > kGemmTileNMin && out_channels <= kGemmTileNMin) {
     // A <=16-channel layer fills at most half the native 32-wide panel;
     // the 16-wide sub-tile halves the per-K-step panel loads and FMAs.
     plan.panel_width = kGemmTileNMin;
@@ -207,56 +356,16 @@ ActivationQuant ComputeActivationQuant(float min_value, float max_value) {
 
 void QuantizeActivations(const float* src, int64_t count, const ActivationQuant& quant,
                          uint8_t* dst) {
+  // The tier entries produce codes identical to this scalar fallback
+  // (cvtps_epi32 rounds half-to-even exactly like nearbyint), so the
+  // dispatch is invisible in the output at any tier or cap.
+  const GemmKernelTable* table = ResolveQuant();
+  if (table != nullptr) {
+    table->quantize_activations(src, count, quant, dst);
+    return;
+  }
   const float inv_scale = 1.0f / quant.scale;
-  int64_t i = 0;
-  // Vectorized body: cvtps_epi32 rounds half-to-even exactly like the
-  // scalar nearbyint tail (both follow the default rounding mode), so the
-  // produced codes are identical regardless of where the vector loop ends.
-  // By construction src/scale + zero_point lands in ~[0, 255.5], so the
-  // int16 pack saturation is unreachable and the u8 pack implements the
-  // [0, 255] clamp.
-#if defined(PERCIVAL_SIMD_AVX512)
-  const __m512 vinv = _mm512_set1_ps(inv_scale);
-  const __m512i vzp = _mm512_set1_epi32(quant.zero_point);
-  const __m512i vzero = _mm512_setzero_si512();
-  for (; i + 16 <= count; i += 16) {
-    const __m512 v = _mm512_mul_ps(_mm512_loadu_ps(src + i), vinv);
-    __m512i q = _mm512_add_epi32(_mm512_cvtps_epi32(v), vzp);
-    q = _mm512_max_epi32(q, vzero);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm512_cvtusepi32_epi8(q));
-  }
-#elif defined(PERCIVAL_SIMD_AVX2)
-  const __m256 vinv = _mm256_set1_ps(inv_scale);
-  const __m256i vzp = _mm256_set1_epi32(quant.zero_point);
-  for (; i + 16 <= count; i += 16) {
-    const __m256i q0 = _mm256_add_epi32(
-        _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(src + i), vinv)), vzp);
-    const __m256i q1 = _mm256_add_epi32(
-        _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(src + i + 8), vinv)), vzp);
-    __m256i p16 = _mm256_packs_epi32(q0, q1);
-    p16 = _mm256_permute4x64_epi64(p16, 0xD8);
-    __m256i p8 = _mm256_packus_epi16(p16, p16);
-    p8 = _mm256_permute4x64_epi64(p8, 0xD8);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm256_castsi256_si128(p8));
-  }
-#elif defined(PERCIVAL_SIMD_SSE2)
-  const __m128 vinv = _mm_set1_ps(inv_scale);
-  const __m128i vzp = _mm_set1_epi32(quant.zero_point);
-  for (; i + 16 <= count; i += 16) {
-    const __m128i q0 =
-        _mm_add_epi32(_mm_cvtps_epi32(_mm_mul_ps(_mm_loadu_ps(src + i), vinv)), vzp);
-    const __m128i q1 =
-        _mm_add_epi32(_mm_cvtps_epi32(_mm_mul_ps(_mm_loadu_ps(src + i + 4), vinv)), vzp);
-    const __m128i q2 =
-        _mm_add_epi32(_mm_cvtps_epi32(_mm_mul_ps(_mm_loadu_ps(src + i + 8), vinv)), vzp);
-    const __m128i q3 =
-        _mm_add_epi32(_mm_cvtps_epi32(_mm_mul_ps(_mm_loadu_ps(src + i + 12), vinv)), vzp);
-    const __m128i p8 =
-        _mm_packus_epi16(_mm_packs_epi32(q0, q1), _mm_packs_epi32(q2, q3));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), p8);
-  }
-#endif
-  for (; i < count; ++i) {
+  for (int64_t i = 0; i < count; ++i) {
     const int32_t q =
         quant.zero_point + static_cast<int32_t>(std::nearbyint(src[i] * inv_scale));
     dst[i] = static_cast<uint8_t>(std::min(255, std::max(0, q)));
@@ -264,61 +373,14 @@ void QuantizeActivations(const float* src, int64_t count, const ActivationQuant&
 }
 
 void MinMaxRange(const float* data, int64_t count, float* min_out, float* max_out) {
+  const GemmKernelTable* table = ResolveQuant();
+  if (table != nullptr) {
+    table->min_max_range(data, count, min_out, max_out);
+    return;
+  }
   float min_v = 0.0f;
   float max_v = 0.0f;
-  int64_t i = 0;
-#if defined(PERCIVAL_SIMD_AVX512)
-  if (count >= 16) {
-    __m512 vmin = _mm512_setzero_ps();
-    __m512 vmax = _mm512_setzero_ps();
-    for (; i + 16 <= count; i += 16) {
-      const __m512 v = _mm512_loadu_ps(data + i);
-      vmin = _mm512_min_ps(vmin, v);
-      vmax = _mm512_max_ps(vmax, v);
-    }
-    min_v = _mm512_reduce_min_ps(vmin);
-    max_v = _mm512_reduce_max_ps(vmax);
-  }
-#elif defined(PERCIVAL_SIMD_AVX2)
-  if (count >= 8) {
-    __m256 vmin = _mm256_setzero_ps();
-    __m256 vmax = _mm256_setzero_ps();
-    for (; i + 8 <= count; i += 8) {
-      const __m256 v = _mm256_loadu_ps(data + i);
-      vmin = _mm256_min_ps(vmin, v);
-      vmax = _mm256_max_ps(vmax, v);
-    }
-    float lanes[8];
-    _mm256_storeu_ps(lanes, vmin);
-    for (float lane : lanes) {
-      min_v = std::min(min_v, lane);
-    }
-    _mm256_storeu_ps(lanes, vmax);
-    for (float lane : lanes) {
-      max_v = std::max(max_v, lane);
-    }
-  }
-#elif defined(PERCIVAL_SIMD_SSE2)
-  if (count >= 4) {
-    __m128 vmin = _mm_setzero_ps();
-    __m128 vmax = _mm_setzero_ps();
-    for (; i + 4 <= count; i += 4) {
-      const __m128 v = _mm_loadu_ps(data + i);
-      vmin = _mm_min_ps(vmin, v);
-      vmax = _mm_max_ps(vmax, v);
-    }
-    float lanes[4];
-    _mm_storeu_ps(lanes, vmin);
-    for (float lane : lanes) {
-      min_v = std::min(min_v, lane);
-    }
-    _mm_storeu_ps(lanes, vmax);
-    for (float lane : lanes) {
-      max_v = std::max(max_v, lane);
-    }
-  }
-#endif
-  for (; i < count; ++i) {
+  for (int64_t i = 0; i < count; ++i) {
     min_v = std::min(min_v, data[i]);
     max_v = std::max(max_v, data[i]);
   }
@@ -332,15 +394,16 @@ size_t PackedPanelBytesInt8(int n, int k, int panel_width) {
 }
 
 float QuantizeWeightRow(const float* row, int k, int8_t* codes) {
+  const int weight_max = Int8WeightMax();
   float amax = 0.0f;
   for (int kk = 0; kk < k; ++kk) {
     amax = std::max(amax, std::abs(row[kk]));
   }
-  const float scale = amax > 0.0f ? amax / static_cast<float>(kInt8WeightMax) : 1.0f;
+  const float scale = amax > 0.0f ? amax / static_cast<float>(weight_max) : 1.0f;
   const float inv_scale = 1.0f / scale;
   for (int kk = 0; kk < k; ++kk) {
     const int32_t q = static_cast<int32_t>(std::nearbyint(row[kk] * inv_scale));
-    codes[kk] = static_cast<int8_t>(std::min(kInt8WeightMax, std::max(-kInt8WeightMax, q)));
+    codes[kk] = static_cast<int8_t>(std::min(weight_max, std::max(-weight_max, q)));
   }
   return scale;
 }
@@ -401,14 +464,15 @@ void PackFilterPanelsInt8(const float* b, int n, int k, Int8PackedFilters* packe
 void PackQuantizedFilterPanelsInt8(const int8_t* codes, const float* scales, int n, int k,
                                    Int8PackedFilters* packed, int panel_width) {
   SizeInt8Panels(n, k, panel_width, packed);
+  const int weight_max = Int8WeightMax();
   std::vector<int8_t> q_row(static_cast<size_t>(packed->k_padded), 0);
   for (int oc = 0; oc < n; ++oc) {
     const int8_t* row = codes + static_cast<int64_t>(oc) * k;
     std::fill(q_row.begin() + k, q_row.end(), static_cast<int8_t>(0));
     int32_t row_sum = 0;
     for (int kk = 0; kk < k; ++kk) {
-      PCHECK_LE(std::abs(static_cast<int>(row[kk])), kInt8WeightMax)
-          << "pre-quantized code outside this build's saturation-safe range";
+      PCHECK_LE(std::abs(static_cast<int>(row[kk])), weight_max)
+          << "pre-quantized code outside the active tier's saturation-safe range";
       q_row[static_cast<size_t>(kk)] = row[kk];
       row_sum += row[kk];
     }
@@ -418,1203 +482,27 @@ void PackQuantizedFilterPanelsInt8(const int8_t* codes, const float* scales, int
   }
 }
 
-// ------------------------------------------------------------ micro-kernel --
+// ----------------------------------------------------- kernel entry points --
 
-namespace {
-
-#if defined(PERCIVAL_SIMD_AVX512)
-static_assert(kGemmTileM == 4 && kGemmTileN == 32,
-              "the AVX-512 micro-kernels are written for a 4x32 tile");
-#else
-static_assert(kGemmTileM == 4 && kGemmTileN == 16,
-              "the SSE2/AVX2 micro-kernels are written for a 4x16 tile");
-#endif
-static_assert(kGemmTileNMin == 16, "the 16-wide sub-tile kernels assume width 16");
-
-// Scalar 4xPW tile kernel, templated on the panel width the packer used.
-// Always compiled: it is the fallback on targets without SSE2 and the
-// oracle the parity tests (and SetGemmForceScalar) pit the intrinsic
-// kernels against. The accumulator array is small and fully unrolled, so
-// the compiler keeps it in vector registers through the K loop.
-template <int PW>
-void MicroKernel4xN(int k, const float* const a[kGemmTileM], const float* panel,
-                    float acc[kGemmTileM][PW]) {
-  const float* a0 = a[0];
-  const float* a1 = a[1];
-  const float* a2 = a[2];
-  const float* a3 = a[3];
-  int kk = 0;
-  for (; kk + 2 <= k; kk += 2) {
-    const float* bp = panel + static_cast<size_t>(kk) * PW;
-    const float* bq = bp + PW;
-    const float v0 = a0[kk], w0 = a0[kk + 1];
-    const float v1 = a1[kk], w1 = a1[kk + 1];
-    const float v2 = a2[kk], w2 = a2[kk + 1];
-    const float v3 = a3[kk], w3 = a3[kk + 1];
-    for (int j = 0; j < PW; ++j) {
-      acc[0][j] += v0 * bp[j] + w0 * bq[j];
-      acc[1][j] += v1 * bp[j] + w1 * bq[j];
-      acc[2][j] += v2 * bp[j] + w2 * bq[j];
-      acc[3][j] += v3 * bp[j] + w3 * bq[j];
-    }
-  }
-  for (; kk < k; ++kk) {
-    const float* bp = panel + static_cast<size_t>(kk) * PW;
-    const float v0 = a0[kk];
-    const float v1 = a1[kk];
-    const float v2 = a2[kk];
-    const float v3 = a3[kk];
-    for (int j = 0; j < PW; ++j) {
-      acc[0][j] += v0 * bp[j];
-      acc[1][j] += v1 * bp[j];
-      acc[2][j] += v2 * bp[j];
-      acc[3][j] += v3 * bp[j];
-    }
-  }
-}
-
-// Remainder kernel: one A row against one packed panel.
-template <int PW>
-void MicroKernel1xN(int k, const float* a, const float* panel, float acc[PW]) {
-  for (int kk = 0; kk < k; ++kk) {
-    const float* bp = panel + static_cast<size_t>(kk) * PW;
-    const float v = a[kk];
-    for (int j = 0; j < PW; ++j) {
-      acc[j] += v * bp[j];
-    }
-  }
-}
-
-// Epilogue-aware store of one tile row from an accumulator buffer (any
-// width >= `width`). `ep` and `bias` are loop-invariant, so the compiler
-// hoists the branches.
-void StoreTileRow(const float* acc, const float* bias, GemmEpilogue ep, int n0,
-                  int width, float* c_row) {
-  for (int j = 0; j < width; ++j) {
-    float v = acc[j];
-    if (ep != GemmEpilogue::kNone && bias != nullptr) {
-      v += bias[n0 + j];
-    }
-    if (ep == GemmEpilogue::kBiasRelu && v < 0.0f) {
-      v = 0.0f;
-    }
-    c_row[n0 + j] = v;
-  }
-}
-
-// Handles everything the full-width intrinsic path does not: remainder rows
-// (m % 4) and the zero-padded partial panel at the right edge of C.
-template <int PW>
-void TileRowsScalar(int64_t row_begin, int64_t row_end, int panel_begin, int panel_end, int n,
-                    int k, const float* a, const float* packed_b, const float* bias,
-                    GemmEpilogue ep, float* c, int64_t ldc) {
-  int64_t row = row_begin;
-  for (; row + kGemmTileM <= row_end; row += kGemmTileM) {
-    const float* rows[kGemmTileM];
-    for (int i = 0; i < kGemmTileM; ++i) {
-      rows[i] = a + (row + i) * k;
-    }
-    for (int panel = panel_begin; panel < panel_end; ++panel) {
-      const int n0 = panel * PW;
-      const int width = std::min(PW, n - n0);
-      const float* pb = packed_b + static_cast<size_t>(panel) * k * PW;
-      float acc[kGemmTileM][PW] = {};
-      MicroKernel4xN<PW>(k, rows, pb, acc);
-      for (int i = 0; i < kGemmTileM; ++i) {
-        StoreTileRow(acc[i], bias, ep, n0, width, c + (row + i) * ldc);
-      }
-    }
-  }
-  for (; row < row_end; ++row) {
-    const float* ar = a + row * k;
-    for (int panel = panel_begin; panel < panel_end; ++panel) {
-      const int n0 = panel * PW;
-      const int width = std::min(PW, n - n0);
-      const float* pb = packed_b + static_cast<size_t>(panel) * k * PW;
-      float acc[PW] = {};
-      MicroKernel1xN<PW>(k, ar, pb, acc);
-      StoreTileRow(acc, bias, ep, n0, width, c + row * ldc);
-    }
-  }
-}
-
-void GemmPackedExScalar(int64_t m, int n, int k, const float* a, const float* packed_b,
-                        const float* bias, GemmEpilogue ep, float* c, int64_t ldc,
-                        int panel_width) {
-  const int panels = (n + panel_width - 1) / panel_width;
-  if (panel_width == kGemmTileNMin) {
-    TileRowsScalar<kGemmTileNMin>(0, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
-  } else {
-    TileRowsScalar<kGemmTileN>(0, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
-  }
-}
-
-#if defined(PERCIVAL_SIMD_AVX512)
-
-// 4x32 tile: four broadcast A values FMA into 8 zmm accumulators per K step
-// (2 zmm per row). The register budget mirrors the AVX2 4x16 tile — 8
-// accumulators + 2 panel loads + 1 broadcast — but each lane is twice as
-// wide, so one tile covers a full 32-channel panel.
-inline void Tile4x32Avx512(int k, const float* a0, const float* a1, const float* a2,
-                           const float* a3, const float* panel, __m512 acc[8]) {
-  for (int kk = 0; kk < k; ++kk) {
-    const float* bp = panel + static_cast<size_t>(kk) * kGemmTileN;
-    const __m512 b0 = _mm512_loadu_ps(bp);
-    const __m512 b1 = _mm512_loadu_ps(bp + 16);
-    __m512 v = _mm512_set1_ps(a0[kk]);
-    acc[0] = _mm512_fmadd_ps(v, b0, acc[0]);
-    acc[1] = _mm512_fmadd_ps(v, b1, acc[1]);
-    v = _mm512_set1_ps(a1[kk]);
-    acc[2] = _mm512_fmadd_ps(v, b0, acc[2]);
-    acc[3] = _mm512_fmadd_ps(v, b1, acc[3]);
-    v = _mm512_set1_ps(a2[kk]);
-    acc[4] = _mm512_fmadd_ps(v, b0, acc[4]);
-    acc[5] = _mm512_fmadd_ps(v, b1, acc[5]);
-    v = _mm512_set1_ps(a3[kk]);
-    acc[6] = _mm512_fmadd_ps(v, b0, acc[6]);
-    acc[7] = _mm512_fmadd_ps(v, b1, acc[7]);
-  }
-}
-
-inline void StoreRowAvx512(__m512 lo, __m512 hi, const float* bias32, GemmEpilogue ep,
-                           float* dst) {
-  if (ep != GemmEpilogue::kNone && bias32 != nullptr) {
-    lo = _mm512_add_ps(lo, _mm512_loadu_ps(bias32));
-    hi = _mm512_add_ps(hi, _mm512_loadu_ps(bias32 + 16));
-  }
-  if (ep == GemmEpilogue::kBiasRelu) {
-    const __m512 zero = _mm512_setzero_ps();
-    lo = _mm512_max_ps(lo, zero);
-    hi = _mm512_max_ps(hi, zero);
-  }
-  _mm512_storeu_ps(dst, lo);
-  _mm512_storeu_ps(dst + 16, hi);
-}
-
-void GemmPackedExAvx512(int64_t m, int n, int k, const float* a, const float* packed_b,
-                        const float* bias, GemmEpilogue ep, float* c, int64_t ldc) {
-  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
-  int64_t row = 0;
-  for (; row + kGemmTileM <= m; row += kGemmTileM) {
-    const float* a0 = a + row * k;
-    const float* a1 = a0 + k;
-    const float* a2 = a1 + k;
-    const float* a3 = a2 + k;
-    float* c_row = c + row * ldc;
-    for (int panel = 0; panel < panels; ++panel) {
-      const int n0 = panel * kGemmTileN;
-      const int width = std::min(kGemmTileN, n - n0);
-      const float* pb = packed_b + static_cast<size_t>(panel) * k * kGemmTileN;
-      __m512 acc[8] = {_mm512_setzero_ps(), _mm512_setzero_ps(), _mm512_setzero_ps(),
-                       _mm512_setzero_ps(), _mm512_setzero_ps(), _mm512_setzero_ps(),
-                       _mm512_setzero_ps(), _mm512_setzero_ps()};
-      // The packed panel is zero-padded to the full tile width, so the
-      // vector K loop is safe even for partial panels; only the store needs
-      // width handling.
-      Tile4x32Avx512(k, a0, a1, a2, a3, pb, acc);
-      if (width == kGemmTileN) {
-        const float* b32 = bias != nullptr ? bias + n0 : nullptr;
-        StoreRowAvx512(acc[0], acc[1], b32, ep, c_row + n0);
-        StoreRowAvx512(acc[2], acc[3], b32, ep, c_row + ldc + n0);
-        StoreRowAvx512(acc[4], acc[5], b32, ep, c_row + 2 * ldc + n0);
-        StoreRowAvx512(acc[6], acc[7], b32, ep, c_row + 3 * ldc + n0);
-      } else {
-        float buf[kGemmTileM][kGemmTileN];
-        for (int i = 0; i < kGemmTileM; ++i) {
-          _mm512_storeu_ps(buf[i], acc[2 * i]);
-          _mm512_storeu_ps(buf[i] + 16, acc[2 * i + 1]);
-          StoreTileRow(buf[i], bias, ep, n0, width, c_row + i * ldc);
-        }
-      }
-    }
-  }
-  // Remainder rows (m % 4) across every panel.
-  TileRowsScalar<kGemmTileN>(row, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
-}
-
-// 16-wide sub-tile on AVX-512: one zmm covers the whole panel row, so a
-// 4x16 tile is 4 accumulators, one panel load and 4 FMAs per K step —
-// half the panel traffic and half the multiply work of the 4x32 tile,
-// which is exactly the save on layers whose <=16 output channels would
-// leave the wide panel's upper lanes multiplying zero padding.
-inline void StoreRowAvx512W16(__m512 v, const float* bias16, GemmEpilogue ep, float* dst) {
-  if (ep != GemmEpilogue::kNone && bias16 != nullptr) {
-    v = _mm512_add_ps(v, _mm512_loadu_ps(bias16));
-  }
-  if (ep == GemmEpilogue::kBiasRelu) {
-    v = _mm512_max_ps(v, _mm512_setzero_ps());
-  }
-  _mm512_storeu_ps(dst, v);
-}
-
-void GemmPackedExAvx512W16(int64_t m, int n, int k, const float* a, const float* packed_b,
-                           const float* bias, GemmEpilogue ep, float* c, int64_t ldc) {
-  constexpr int PW = kGemmTileNMin;
-  constexpr int kRows = 8;  // one zmm per row leaves budget for an 8-row tile
-  const int panels = (n + PW - 1) / PW;
-  int64_t row = 0;
-  for (; row + kRows <= m; row += kRows) {
-    const float* rows[kRows];
-    for (int i = 0; i < kRows; ++i) {
-      rows[i] = a + (row + i) * k;
-    }
-    float* c_row = c + row * ldc;
-    for (int panel = 0; panel < panels; ++panel) {
-      const int n0 = panel * PW;
-      const int width = std::min(PW, n - n0);
-      const float* pb = packed_b + static_cast<size_t>(panel) * k * PW;
-      __m512 acc[kRows];
-      for (int i = 0; i < kRows; ++i) {
-        acc[i] = _mm512_setzero_ps();
-      }
-      for (int kk = 0; kk < k; ++kk) {
-        const __m512 b0 = _mm512_loadu_ps(pb + static_cast<size_t>(kk) * PW);
-        for (int i = 0; i < kRows; ++i) {
-          acc[i] = _mm512_fmadd_ps(_mm512_set1_ps(rows[i][kk]), b0, acc[i]);
-        }
-      }
-      if (width == PW) {
-        const float* b16 = bias != nullptr ? bias + n0 : nullptr;
-        for (int i = 0; i < kRows; ++i) {
-          StoreRowAvx512W16(acc[i], b16, ep, c_row + i * ldc + n0);
-        }
-      } else {
-        float buf[PW];
-        for (int i = 0; i < kRows; ++i) {
-          _mm512_storeu_ps(buf, acc[i]);
-          StoreTileRow(buf, bias, ep, n0, width, c_row + i * ldc);
-        }
-      }
-    }
-  }
-  TileRowsScalar<PW>(row, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
-}
-
-#elif defined(PERCIVAL_SIMD_AVX2)
-
-// 4x16 tile: four broadcast A values FMA into 8 ymm accumulators per K step
-// (2 ymm per row). 8 accumulators + 2 panel loads + 1 broadcast = 11 of the
-// 16 ymm registers, so nothing spills.
-inline void Tile4x16Avx2(int k, const float* a0, const float* a1, const float* a2,
-                         const float* a3, const float* panel, __m256 acc[8]) {
-  for (int kk = 0; kk < k; ++kk) {
-    const float* bp = panel + static_cast<size_t>(kk) * kGemmTileN;
-    const __m256 b0 = _mm256_loadu_ps(bp);
-    const __m256 b1 = _mm256_loadu_ps(bp + 8);
-    __m256 v = _mm256_broadcast_ss(a0 + kk);
-    acc[0] = _mm256_fmadd_ps(v, b0, acc[0]);
-    acc[1] = _mm256_fmadd_ps(v, b1, acc[1]);
-    v = _mm256_broadcast_ss(a1 + kk);
-    acc[2] = _mm256_fmadd_ps(v, b0, acc[2]);
-    acc[3] = _mm256_fmadd_ps(v, b1, acc[3]);
-    v = _mm256_broadcast_ss(a2 + kk);
-    acc[4] = _mm256_fmadd_ps(v, b0, acc[4]);
-    acc[5] = _mm256_fmadd_ps(v, b1, acc[5]);
-    v = _mm256_broadcast_ss(a3 + kk);
-    acc[6] = _mm256_fmadd_ps(v, b0, acc[6]);
-    acc[7] = _mm256_fmadd_ps(v, b1, acc[7]);
-  }
-}
-
-inline void StoreRowAvx2(__m256 lo, __m256 hi, const float* bias16, GemmEpilogue ep,
-                         float* dst) {
-  if (ep != GemmEpilogue::kNone && bias16 != nullptr) {
-    lo = _mm256_add_ps(lo, _mm256_loadu_ps(bias16));
-    hi = _mm256_add_ps(hi, _mm256_loadu_ps(bias16 + 8));
-  }
-  if (ep == GemmEpilogue::kBiasRelu) {
-    const __m256 zero = _mm256_setzero_ps();
-    lo = _mm256_max_ps(lo, zero);
-    hi = _mm256_max_ps(hi, zero);
-  }
-  _mm256_storeu_ps(dst, lo);
-  _mm256_storeu_ps(dst + 8, hi);
-}
-
-void GemmPackedExAvx2(int64_t m, int n, int k, const float* a, const float* packed_b,
-                      const float* bias, GemmEpilogue ep, float* c, int64_t ldc) {
-  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
-  int64_t row = 0;
-  for (; row + kGemmTileM <= m; row += kGemmTileM) {
-    const float* a0 = a + row * k;
-    const float* a1 = a0 + k;
-    const float* a2 = a1 + k;
-    const float* a3 = a2 + k;
-    float* c_row = c + row * ldc;
-    for (int panel = 0; panel < panels; ++panel) {
-      const int n0 = panel * kGemmTileN;
-      const int width = std::min(kGemmTileN, n - n0);
-      const float* pb = packed_b + static_cast<size_t>(panel) * k * kGemmTileN;
-      __m256 acc[8] = {_mm256_setzero_ps(), _mm256_setzero_ps(), _mm256_setzero_ps(),
-                       _mm256_setzero_ps(), _mm256_setzero_ps(), _mm256_setzero_ps(),
-                       _mm256_setzero_ps(), _mm256_setzero_ps()};
-      // The packed panel is zero-padded to the full tile width, so the
-      // vector K loop is safe even for partial panels (narrow squeeze
-      // layers); only the store needs width handling.
-      Tile4x16Avx2(k, a0, a1, a2, a3, pb, acc);
-      if (width == kGemmTileN) {
-        const float* b16 = bias != nullptr ? bias + n0 : nullptr;
-        StoreRowAvx2(acc[0], acc[1], b16, ep, c_row + n0);
-        StoreRowAvx2(acc[2], acc[3], b16, ep, c_row + ldc + n0);
-        StoreRowAvx2(acc[4], acc[5], b16, ep, c_row + 2 * ldc + n0);
-        StoreRowAvx2(acc[6], acc[7], b16, ep, c_row + 3 * ldc + n0);
-      } else {
-        float buf[kGemmTileM][kGemmTileN];
-        for (int i = 0; i < kGemmTileM; ++i) {
-          _mm256_storeu_ps(buf[i], acc[2 * i]);
-          _mm256_storeu_ps(buf[i] + 8, acc[2 * i + 1]);
-          StoreTileRow(buf[i], bias, ep, n0, width, c_row + i * ldc);
-        }
-      }
-    }
-  }
-  // Remainder rows (m % 4) across every panel.
-  TileRowsScalar<kGemmTileN>(row, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
-}
-
-#elif defined(PERCIVAL_SIMD_SSE2)
-
-// 4x8 half-tile: the 16-wide panel is processed in two passes of 8 columns
-// (offset jb in {0, 8}) so the working set is 8 xmm accumulators + 2 panel
-// loads + 1 broadcast, fitting x86-64's 16 xmm registers without spills.
-inline void Tile4x8Sse2(int k, const float* a0, const float* a1, const float* a2,
-                        const float* a3, const float* panel, int jb, __m128 acc[8]) {
-  for (int kk = 0; kk < k; ++kk) {
-    const float* bp = panel + static_cast<size_t>(kk) * kGemmTileN + jb;
-    const __m128 b0 = _mm_loadu_ps(bp);
-    const __m128 b1 = _mm_loadu_ps(bp + 4);
-    __m128 v = _mm_set1_ps(a0[kk]);
-    acc[0] = _mm_add_ps(acc[0], _mm_mul_ps(v, b0));
-    acc[1] = _mm_add_ps(acc[1], _mm_mul_ps(v, b1));
-    v = _mm_set1_ps(a1[kk]);
-    acc[2] = _mm_add_ps(acc[2], _mm_mul_ps(v, b0));
-    acc[3] = _mm_add_ps(acc[3], _mm_mul_ps(v, b1));
-    v = _mm_set1_ps(a2[kk]);
-    acc[4] = _mm_add_ps(acc[4], _mm_mul_ps(v, b0));
-    acc[5] = _mm_add_ps(acc[5], _mm_mul_ps(v, b1));
-    v = _mm_set1_ps(a3[kk]);
-    acc[6] = _mm_add_ps(acc[6], _mm_mul_ps(v, b0));
-    acc[7] = _mm_add_ps(acc[7], _mm_mul_ps(v, b1));
-  }
-}
-
-inline void StoreRowSse2(__m128 lo, __m128 hi, const float* bias8, GemmEpilogue ep,
-                         float* dst) {
-  if (ep != GemmEpilogue::kNone && bias8 != nullptr) {
-    lo = _mm_add_ps(lo, _mm_loadu_ps(bias8));
-    hi = _mm_add_ps(hi, _mm_loadu_ps(bias8 + 4));
-  }
-  if (ep == GemmEpilogue::kBiasRelu) {
-    const __m128 zero = _mm_setzero_ps();
-    lo = _mm_max_ps(lo, zero);
-    hi = _mm_max_ps(hi, zero);
-  }
-  _mm_storeu_ps(dst, lo);
-  _mm_storeu_ps(dst + 4, hi);
-}
-
-void GemmPackedExSse2(int64_t m, int n, int k, const float* a, const float* packed_b,
-                      const float* bias, GemmEpilogue ep, float* c, int64_t ldc) {
-  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
-  int64_t row = 0;
-  for (; row + kGemmTileM <= m; row += kGemmTileM) {
-    const float* a0 = a + row * k;
-    const float* a1 = a0 + k;
-    const float* a2 = a1 + k;
-    const float* a3 = a2 + k;
-    float* c_row = c + row * ldc;
-    for (int panel = 0; panel < panels; ++panel) {
-      const int n0 = panel * kGemmTileN;
-      const int width = std::min(kGemmTileN, n - n0);
-      const float* pb = packed_b + static_cast<size_t>(panel) * k * kGemmTileN;
-      for (int jb = 0; jb < kGemmTileN; jb += 8) {
-        if (jb >= width) {
-          break;  // fully in the zero-padded tail, nothing to store
-        }
-        __m128 acc[8] = {_mm_setzero_ps(), _mm_setzero_ps(), _mm_setzero_ps(),
-                         _mm_setzero_ps(), _mm_setzero_ps(), _mm_setzero_ps(),
-                         _mm_setzero_ps(), _mm_setzero_ps()};
-        // The packed panel is zero-padded to the full tile width, so the
-        // vector K loop is safe even for partial panels (narrow squeeze
-        // layers); only the store needs width handling.
-        Tile4x8Sse2(k, a0, a1, a2, a3, pb, jb, acc);
-        if (width - jb >= 8) {
-          const float* b8 = bias != nullptr ? bias + n0 + jb : nullptr;
-          StoreRowSse2(acc[0], acc[1], b8, ep, c_row + n0 + jb);
-          StoreRowSse2(acc[2], acc[3], b8, ep, c_row + ldc + n0 + jb);
-          StoreRowSse2(acc[4], acc[5], b8, ep, c_row + 2 * ldc + n0 + jb);
-          StoreRowSse2(acc[6], acc[7], b8, ep, c_row + 3 * ldc + n0 + jb);
-        } else {
-          float buf[kGemmTileM][8];
-          for (int i = 0; i < kGemmTileM; ++i) {
-            _mm_storeu_ps(buf[i], acc[2 * i]);
-            _mm_storeu_ps(buf[i] + 4, acc[2 * i + 1]);
-            StoreTileRow(buf[i], bias, ep, n0 + jb, width - jb, c_row + i * ldc);
-          }
-        }
-      }
-    }
-  }
-  // Remainder rows (m % 4) across every panel.
-  TileRowsScalar<kGemmTileN>(row, m, 0, panels, n, k, a, packed_b, bias, ep, c, ldc);
-}
-
-#endif  // SIMD variant
-
-// ------------------------------------------------------- int8 micro-kernel --
-
-// Epilogue output sinks. Every int8 micro-kernel below is templated on one
-// of these two policies, which own ONLY the final step of the epilogue —
-// where the dequantized float value goes:
-//   * FloatEpilogueSink stores it (the classic float-staged dataflow);
-//   * RequantEpilogueSink requantizes it to the CONSUMER layer's uint8
-//     codes with exactly the QuantizeActivations map (round half-to-even,
-//     + zero_point, clamp [0, 255]) so adjacent int8 convs hand codes to
-//     each other without a float activation tensor in between.
-// Everything upstream of the sink — int32 accumulation, zero-point
-// correction, combined-scale multiply, the EXPLICIT single-rounding fused
-// multiply-add with the bias — is shared, so the float being requantized is
-// bit-identical to the float the staged path would have stored. That is the
-// whole bit-exactness argument for the zero-float plan:
-//   requant-in-epilogue == float store + separate QuantizeActivations sweep
-// code for code, on every tier and at both panel widths.
-struct FloatEpilogueSink {
-  using Out = float;
-  void Put(float* c_row, int idx, float v) const { c_row[idx] = v; }
-#if defined(PERCIVAL_SIMD_AVX512)
-  void Store16(float* dst, int n0, __mmask16 mask, __m512 v) const {
-    _mm512_mask_storeu_ps(dst + n0, mask, v);
-  }
-#endif
-#if defined(PERCIVAL_SIMD_INT8_AVX2)
-  void Store8(float* dst, __m256 v) const { _mm256_storeu_ps(dst, v); }
-#endif
-#if defined(PERCIVAL_SIMD_INT8_SSSE3)
-  void Store4(float* dst, __m128 v) const { _mm_storeu_ps(dst, v); }
-#endif
-};
-
-struct RequantEpilogueSink {
-  using Out = uint8_t;
-  float inv_scale = 1.0f;  // 1 / consumer scale, divided once at dispatch
-  int32_t zero_point = 0;
-  // Mirrors the QuantizeActivations scalar tail exactly.
-  void Put(uint8_t* c_row, int idx, float v) const {
-    const int32_t q = zero_point + static_cast<int32_t>(std::nearbyint(v * inv_scale));
-    c_row[idx] = static_cast<uint8_t>(std::min(255, std::max(0, q)));
-  }
-  // The vector stores mirror the QuantizeActivations vector bodies:
-  // cvtps_epi32 rounds half-to-even like the scalar nearbyint, the max /
-  // saturating packs implement the [0, 255] clamp, so vector and scalar
-  // requantization agree code for code.
-#if defined(PERCIVAL_SIMD_AVX512)
-  void Store16(uint8_t* dst, int n0, __mmask16 mask, __m512 v) const {
-    __m512i q = _mm512_cvtps_epi32(_mm512_mul_ps(v, _mm512_set1_ps(inv_scale)));
-    q = _mm512_add_epi32(q, _mm512_set1_epi32(zero_point));
-    q = _mm512_max_epi32(q, _mm512_setzero_si512());
-    _mm512_mask_cvtusepi32_storeu_epi8(dst + n0, mask, q);
-  }
-#endif
-#if defined(PERCIVAL_SIMD_INT8_AVX2)
-  void Store8(uint8_t* dst, __m256 v) const {
-    __m256i q = _mm256_cvtps_epi32(_mm256_mul_ps(v, _mm256_set1_ps(inv_scale)));
-    q = _mm256_add_epi32(q, _mm256_set1_epi32(zero_point));
-    const __m128i p16 =
-        _mm_packs_epi32(_mm256_castsi256_si128(q), _mm256_extracti128_si256(q, 1));
-    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst), _mm_packus_epi16(p16, p16));
-  }
-#endif
-#if defined(PERCIVAL_SIMD_INT8_SSSE3)
-  void Store4(uint8_t* dst, __m128 v) const {
-    __m128i q = _mm_cvtps_epi32(_mm_mul_ps(v, _mm_set1_ps(inv_scale)));
-    q = _mm_add_epi32(q, _mm_set1_epi32(zero_point));
-    const __m128i p8 = _mm_packus_epi16(_mm_packs_epi32(q, q), _mm_setzero_si128());
-    const int32_t out = _mm_cvtsi128_si32(p8);
-    std::memcpy(dst, &out, sizeof(out));
-  }
-#endif
-};
-
-// Dequantizing store of one tile row of int32 accumulators:
-// c[j] = sink(epilogue(fma(a_scale * w_scale[j], acc[j] - zp * row_sum[j],
-// bias))). `scales` / `row_sums` are the panel-padded arrays indexed from
-// n0.
-//
-// The bias addition is an EXPLICIT single-rounding fused multiply-add, here
-// and in the vectorized AVX-512 / AVX2 / SSE epilogues below. With a plain
-// `mul` + `add` the compiler's default fp-contraction is free to fuse some
-// inlined copies and not others, and the cross-width / cross-tier
-// bit-exactness contract would then hinge on compiler whim per call site
-// (observed: the 4x32 kernel's epilogue contracted while the 4x16 one's did
-// not, a last-ulp split the parity tests caught). Spelling the fma out pins
-// one rounding everywhere.
-template <typename Sink>
-void StoreInt8TileRow(const int32_t* acc, const Int8PackedFilters& packed,
-                      const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                      int n0, int width, typename Sink::Out* c_row, const Sink& sink) {
-  const float* scales = packed.scales.data();
-  const int32_t* row_sums = packed.row_sums.data();
-  const bool add_bias = ep != GemmEpilogue::kNone && bias != nullptr;
-  for (int j = 0; j < width; ++j) {
-    const int32_t corrected = acc[j] - quant.zero_point * row_sums[n0 + j];
-    const float combined = quant.scale * scales[n0 + j];
-    float v = add_bias ? std::fma(combined, static_cast<float>(corrected), bias[n0 + j])
-                       : combined * static_cast<float>(corrected);
-    if (ep == GemmEpilogue::kBiasRelu && v < 0.0f) {
-      v = 0.0f;
-    }
-    sink.Put(c_row, n0 + j, v);
-  }
-}
-
-// Scalar int8 tile kernel over the interleaved panel layout, templated on
-// the width the panels were packed at. Always compiled: the oracle for the
-// intrinsic kernels and the fallback for builds without SSSE3. Accumulation
-// is wide int32 throughout, which makes it bit-exact against BOTH intrinsic
-// families for their respective weight contracts: the maddubs tiers never
-// saturate under ±64 codes, and the VNNI tier's vpdpbusd is itself an exact
-// int32 sum under the full ±127 codes — so SetGemmForceScalar parity holds
-// to the last epilogue ulp on every tier and at either panel width.
-template <int PW, typename Sink>
-void Int8TileRowsScalar(int64_t row_begin, int64_t row_end, const uint8_t* a,
-                        const Int8PackedFilters& packed, const ActivationQuant& quant,
-                        const float* bias, GemmEpilogue ep, typename Sink::Out* c,
-                        int64_t ldc, const Sink& sink) {
-  const int n = packed.n;
-  const int k_padded = packed.k_padded;
-  const int groups = k_padded / kInt8KUnit;
-  const int panels = (n + PW - 1) / PW;
-  int64_t row = row_begin;
-  for (; row + kGemmTileM <= row_end; row += kGemmTileM) {
-    const uint8_t* rows[kGemmTileM];
-    for (int i = 0; i < kGemmTileM; ++i) {
-      rows[i] = a + (row + i) * k_padded;
-    }
-    for (int panel = 0; panel < panels; ++panel) {
-      const int n0 = panel * PW;
-      const int width = std::min(PW, n - n0);
-      const int8_t* pb = packed.data.data() +
-                         static_cast<size_t>(panel) * groups * PW * kInt8KUnit;
-      int32_t acc[kGemmTileM][PW] = {};
-      for (int g = 0; g < groups; ++g) {
-        const int8_t* group = pb + static_cast<size_t>(g) * PW * kInt8KUnit;
-        for (int i = 0; i < kGemmTileM; ++i) {
-          const uint8_t* ar = rows[i] + g * kInt8KUnit;
-          for (int j = 0; j < PW; ++j) {
-            const int8_t* bj = group + j * kInt8KUnit;
-            acc[i][j] += static_cast<int32_t>(ar[0]) * bj[0] +
-                         static_cast<int32_t>(ar[1]) * bj[1] +
-                         static_cast<int32_t>(ar[2]) * bj[2] +
-                         static_cast<int32_t>(ar[3]) * bj[3];
-          }
-        }
-      }
-      for (int i = 0; i < kGemmTileM; ++i) {
-        StoreInt8TileRow(acc[i], packed, quant, bias, ep, n0, width, c + (row + i) * ldc,
-                         sink);
-      }
-    }
-  }
-  for (; row < row_end; ++row) {
-    const uint8_t* ar = a + row * k_padded;
-    for (int panel = 0; panel < panels; ++panel) {
-      const int n0 = panel * PW;
-      const int width = std::min(PW, n - n0);
-      const int8_t* pb = packed.data.data() +
-                         static_cast<size_t>(panel) * groups * PW * kInt8KUnit;
-      int32_t acc[PW] = {};
-      for (int g = 0; g < groups; ++g) {
-        const int8_t* group = pb + static_cast<size_t>(g) * PW * kInt8KUnit;
-        const uint8_t* ag = ar + g * kInt8KUnit;
-        for (int j = 0; j < PW; ++j) {
-          const int8_t* bj = group + j * kInt8KUnit;
-          acc[j] += static_cast<int32_t>(ag[0]) * bj[0] +
-                    static_cast<int32_t>(ag[1]) * bj[1] +
-                    static_cast<int32_t>(ag[2]) * bj[2] +
-                    static_cast<int32_t>(ag[3]) * bj[3];
-        }
-      }
-      StoreInt8TileRow(acc, packed, quant, bias, ep, n0, width, c + row * ldc, sink);
-    }
-  }
-}
-
-template <typename Sink>
-void GemmInt8PackedExScalar(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
-                            const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                            typename Sink::Out* c, int64_t ldc, const Sink& sink) {
-  if (packed.panel_width == kGemmTileNMin) {
-    Int8TileRowsScalar<kGemmTileNMin>(0, m, a, packed, quant, bias, ep, c, ldc, sink);
-  } else {
-    Int8TileRowsScalar<kGemmTileN>(0, m, a, packed, quant, bias, ep, c, ldc, sink);
-  }
-}
-
-#if !defined(PERCIVAL_SIMD_INT8_SCALAR)
-// Broadcast of 4 consecutive uint8 activation codes as one 32-bit lane
-// pattern; rows of the quantized A matrix are k_padded (multiple of 4)
-// bytes, so the load is always 4-byte aligned and in bounds.
-inline int32_t LoadKGroup(const uint8_t* p) {
-  int32_t v;
-  std::memcpy(&v, p, sizeof(v));
-  return v;
-}
-#endif
-
-#if defined(PERCIVAL_SIMD_AVX512)
-// Vectorized dequantizing store of one 16-lane accumulator segment
-// (channels n0..n0+15 of a panel): the int8 epilogue is otherwise a scalar
-// per-element loop, and at the narrow shapes the planner targets it costs
-// more than the K loop it follows. Every float operation replicates the
-// scalar StoreInt8TileRow exactly — one combined-scale multiply, then an
-// EXPLICIT fused multiply-add with the bias (see the contraction note
-// there), then max(0, ·) — so force-scalar parity stays bit-exact.
-// `scales`/`row_sums` are padded to the full panel, making the 16-wide
-// metadata loads safe even when only `width` lanes store (masked, like the
-// bias load, which has no padding). The sink owns the final store: masked
-// float store, or masked requantize-to-u8.
-template <typename Sink>
-inline void StoreInt8RowAvx512(__m512i acc, const Int8PackedFilters& packed,
-                               const ActivationQuant& quant, const float* bias,
-                               GemmEpilogue ep, int n0, int width, typename Sink::Out* dst,
-                               const Sink& sink) {
-  const __mmask16 mask =
-      width >= 16 ? static_cast<__mmask16>(0xFFFF) : static_cast<__mmask16>((1u << width) - 1);
-  const __m512i row_sums = _mm512_loadu_si512(packed.row_sums.data() + n0);
-  const __m512i corrected =
-      _mm512_sub_epi32(acc, _mm512_mullo_epi32(_mm512_set1_epi32(quant.zero_point), row_sums));
-  const __m512 combined =
-      _mm512_mul_ps(_mm512_set1_ps(quant.scale), _mm512_loadu_ps(packed.scales.data() + n0));
-  const __m512 corrected_f = _mm512_cvtepi32_ps(corrected);
-  __m512 v;
-  if (ep != GemmEpilogue::kNone && bias != nullptr) {
-    v = _mm512_fmadd_ps(combined, corrected_f, _mm512_maskz_loadu_ps(mask, bias + n0));
-  } else {
-    v = _mm512_mul_ps(combined, corrected_f);
-  }
-  if (ep == GemmEpilogue::kBiasRelu) {
-    v = _mm512_max_ps(v, _mm512_setzero_ps());
-  }
-  sink.Store16(dst, n0, mask, v);
-}
-#endif
-
-#if defined(PERCIVAL_SIMD_INT8_VNNI)
-
-// 4 rows x one 32-channel panel on AVX-512 VNNI. Same walk as the maddubs
-// AVX-512 kernel, but vpdpbusd replaces the maddubs/madd/add triple: lane c
-// of _mm512_dpbusd_epi32(acc, va, b) is acc[c] plus channel c's exact 4-tap
-// u8*s8 dot product, summed directly in int32 with no saturating 16-bit
-// intermediate — which is why this tier runs the full ±127 weight codes
-// (see kInt8WeightMax). One instruction per accumulator per K group instead
-// of three, 8 zmm accumulators, same register budget as the float tile.
-template <typename Sink>
-void GemmInt8PackedExVnni(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
-                          const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                          typename Sink::Out* c, int64_t ldc, const Sink& sink) {
-  const int n = packed.n;
-  const int k_padded = packed.k_padded;
-  const int groups = k_padded / kInt8KUnit;
-  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
-  int64_t row = 0;
-  for (; row + kGemmTileM <= m; row += kGemmTileM) {
-    const uint8_t* a0 = a + row * k_padded;
-    const uint8_t* a1 = a0 + k_padded;
-    const uint8_t* a2 = a1 + k_padded;
-    const uint8_t* a3 = a2 + k_padded;
-    typename Sink::Out* c_row = c + row * ldc;
-    for (int panel = 0; panel < panels; ++panel) {
-      const int n0 = panel * kGemmTileN;
-      const int width = std::min(kGemmTileN, n - n0);
-      const int8_t* pb = packed.data.data() +
-                         static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
-      __m512i acc[8] = {_mm512_setzero_si512(), _mm512_setzero_si512(),
-                        _mm512_setzero_si512(), _mm512_setzero_si512(),
-                        _mm512_setzero_si512(), _mm512_setzero_si512(),
-                        _mm512_setzero_si512(), _mm512_setzero_si512()};
-      for (int g = 0; g < groups; ++g) {
-        const int8_t* group = pb + static_cast<size_t>(g) * kGemmTileN * kInt8KUnit;
-        const __m512i b0 = _mm512_loadu_si512(group);
-        const __m512i b1 = _mm512_loadu_si512(group + 64);
-        __m512i va = _mm512_set1_epi32(LoadKGroup(a0 + g * kInt8KUnit));
-        acc[0] = _mm512_dpbusd_epi32(acc[0], va, b0);
-        acc[1] = _mm512_dpbusd_epi32(acc[1], va, b1);
-        va = _mm512_set1_epi32(LoadKGroup(a1 + g * kInt8KUnit));
-        acc[2] = _mm512_dpbusd_epi32(acc[2], va, b0);
-        acc[3] = _mm512_dpbusd_epi32(acc[3], va, b1);
-        va = _mm512_set1_epi32(LoadKGroup(a2 + g * kInt8KUnit));
-        acc[4] = _mm512_dpbusd_epi32(acc[4], va, b0);
-        acc[5] = _mm512_dpbusd_epi32(acc[5], va, b1);
-        va = _mm512_set1_epi32(LoadKGroup(a3 + g * kInt8KUnit));
-        acc[6] = _mm512_dpbusd_epi32(acc[6], va, b0);
-        acc[7] = _mm512_dpbusd_epi32(acc[7], va, b1);
-      }
-      for (int i = 0; i < kGemmTileM; ++i) {
-        typename Sink::Out* dst = c_row + i * ldc;
-        StoreInt8RowAvx512(acc[2 * i], packed, quant, bias, ep, n0, std::min(width, 16),
-                           dst, sink);
-        if (width > 16) {
-          StoreInt8RowAvx512(acc[2 * i + 1], packed, quant, bias, ep, n0 + 16, width - 16,
-                             dst, sink);
-        }
-      }
-    }
-  }
-  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc, sink);
-}
-
-// 16-wide VNNI sub-tile: one zmm covers the panel's 16 channels x 4 K
-// bytes, so each K group is one load + one vpdpbusd per row instead of the
-// 4x32 tile's two loads + two per row — and the single accumulator per row
-// leaves room for an 8-row tile, halving panel traffic again. The
-// accumulators dequantize and store straight from registers.
-template <typename Sink>
-void GemmInt8PackedExVnniW16(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
-                             const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                             typename Sink::Out* c, int64_t ldc, const Sink& sink) {
-  constexpr int PW = kGemmTileNMin;
-  constexpr int kRows = 8;
-  const int n = packed.n;
-  const int k_padded = packed.k_padded;
-  const int groups = k_padded / kInt8KUnit;
-  const int panels = (n + PW - 1) / PW;
-  int64_t row = 0;
-  for (; row + kRows <= m; row += kRows) {
-    const uint8_t* rows[kRows];
-    for (int i = 0; i < kRows; ++i) {
-      rows[i] = a + (row + i) * k_padded;
-    }
-    typename Sink::Out* c_row = c + row * ldc;
-    for (int panel = 0; panel < panels; ++panel) {
-      const int n0 = panel * PW;
-      const int width = std::min(PW, n - n0);
-      const int8_t* pb = packed.data.data() +
-                         static_cast<size_t>(panel) * groups * PW * kInt8KUnit;
-      __m512i acc[kRows];
-      for (int i = 0; i < kRows; ++i) {
-        acc[i] = _mm512_setzero_si512();
-      }
-      for (int g = 0; g < groups; ++g) {
-        const __m512i b0 =
-            _mm512_loadu_si512(pb + static_cast<size_t>(g) * PW * kInt8KUnit);
-        for (int i = 0; i < kRows; ++i) {
-          acc[i] = _mm512_dpbusd_epi32(
-              acc[i], _mm512_set1_epi32(LoadKGroup(rows[i] + g * kInt8KUnit)), b0);
-        }
-      }
-      for (int i = 0; i < kRows; ++i) {
-        StoreInt8RowAvx512(acc[i], packed, quant, bias, ep, n0, width, c_row + i * ldc,
-                           sink);
-      }
-    }
-  }
-  Int8TileRowsScalar<PW>(row, m, a, packed, quant, bias, ep, c, ldc, sink);
-}
-
-#elif defined(PERCIVAL_SIMD_INT8_AVX512)
-
-// 4 rows x one 32-channel panel. Per K group: 2 zmm panel loads (32
-// channels x 4 bytes), one 4-byte broadcast per row; maddubs pairs
-// u8*s8 into 16-bit, madd(ones) finishes the 4-K reduction into int32 —
-// lane c of the result is exactly channel c's 4-tap dot product. 8 zmm
-// accumulators, same budget as the float tile.
-template <typename Sink>
-void GemmInt8PackedExAvx512(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
-                            const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                            typename Sink::Out* c, int64_t ldc, const Sink& sink) {
-  const int n = packed.n;
-  const int k_padded = packed.k_padded;
-  const int groups = k_padded / kInt8KUnit;
-  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
-  const __m512i ones = _mm512_set1_epi16(1);
-  int64_t row = 0;
-  for (; row + kGemmTileM <= m; row += kGemmTileM) {
-    const uint8_t* a0 = a + row * k_padded;
-    const uint8_t* a1 = a0 + k_padded;
-    const uint8_t* a2 = a1 + k_padded;
-    const uint8_t* a3 = a2 + k_padded;
-    typename Sink::Out* c_row = c + row * ldc;
-    for (int panel = 0; panel < panels; ++panel) {
-      const int n0 = panel * kGemmTileN;
-      const int width = std::min(kGemmTileN, n - n0);
-      const int8_t* pb = packed.data.data() +
-                         static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
-      __m512i acc[8] = {_mm512_setzero_si512(), _mm512_setzero_si512(),
-                        _mm512_setzero_si512(), _mm512_setzero_si512(),
-                        _mm512_setzero_si512(), _mm512_setzero_si512(),
-                        _mm512_setzero_si512(), _mm512_setzero_si512()};
-      for (int g = 0; g < groups; ++g) {
-        const int8_t* group = pb + static_cast<size_t>(g) * kGemmTileN * kInt8KUnit;
-        const __m512i b0 = _mm512_loadu_si512(group);
-        const __m512i b1 = _mm512_loadu_si512(group + 64);
-        __m512i va = _mm512_set1_epi32(LoadKGroup(a0 + g * kInt8KUnit));
-        acc[0] = _mm512_add_epi32(acc[0], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b0), ones));
-        acc[1] = _mm512_add_epi32(acc[1], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b1), ones));
-        va = _mm512_set1_epi32(LoadKGroup(a1 + g * kInt8KUnit));
-        acc[2] = _mm512_add_epi32(acc[2], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b0), ones));
-        acc[3] = _mm512_add_epi32(acc[3], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b1), ones));
-        va = _mm512_set1_epi32(LoadKGroup(a2 + g * kInt8KUnit));
-        acc[4] = _mm512_add_epi32(acc[4], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b0), ones));
-        acc[5] = _mm512_add_epi32(acc[5], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b1), ones));
-        va = _mm512_set1_epi32(LoadKGroup(a3 + g * kInt8KUnit));
-        acc[6] = _mm512_add_epi32(acc[6], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b0), ones));
-        acc[7] = _mm512_add_epi32(acc[7], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b1), ones));
-      }
-      for (int i = 0; i < kGemmTileM; ++i) {
-        typename Sink::Out* dst = c_row + i * ldc;
-        StoreInt8RowAvx512(acc[2 * i], packed, quant, bias, ep, n0, std::min(width, 16),
-                           dst, sink);
-        if (width > 16) {
-          StoreInt8RowAvx512(acc[2 * i + 1], packed, quant, bias, ep, n0 + 16, width - 16,
-                             dst, sink);
-        }
-      }
-    }
-  }
-  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc, sink);
-}
-
-// 16-wide maddubs sub-tile: the AVX-512BW analogue of the VNNI W16 kernel
-// above — one zmm panel load per K group, maddubs/madd pair per row, 8-row
-// tile.
-template <typename Sink>
-void GemmInt8PackedExAvx512W16(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
-                               const ActivationQuant& quant, const float* bias,
-                               GemmEpilogue ep, typename Sink::Out* c, int64_t ldc,
-                               const Sink& sink) {
-  constexpr int PW = kGemmTileNMin;
-  constexpr int kRows = 8;
-  const int n = packed.n;
-  const int k_padded = packed.k_padded;
-  const int groups = k_padded / kInt8KUnit;
-  const int panels = (n + PW - 1) / PW;
-  const __m512i ones = _mm512_set1_epi16(1);
-  int64_t row = 0;
-  for (; row + kRows <= m; row += kRows) {
-    const uint8_t* rows[kRows];
-    for (int i = 0; i < kRows; ++i) {
-      rows[i] = a + (row + i) * k_padded;
-    }
-    typename Sink::Out* c_row = c + row * ldc;
-    for (int panel = 0; panel < panels; ++panel) {
-      const int n0 = panel * PW;
-      const int width = std::min(PW, n - n0);
-      const int8_t* pb = packed.data.data() +
-                         static_cast<size_t>(panel) * groups * PW * kInt8KUnit;
-      __m512i acc[kRows];
-      for (int i = 0; i < kRows; ++i) {
-        acc[i] = _mm512_setzero_si512();
-      }
-      for (int g = 0; g < groups; ++g) {
-        const __m512i b0 =
-            _mm512_loadu_si512(pb + static_cast<size_t>(g) * PW * kInt8KUnit);
-        for (int i = 0; i < kRows; ++i) {
-          const __m512i va = _mm512_set1_epi32(LoadKGroup(rows[i] + g * kInt8KUnit));
-          acc[i] =
-              _mm512_add_epi32(acc[i], _mm512_madd_epi16(_mm512_maddubs_epi16(va, b0), ones));
-        }
-      }
-      for (int i = 0; i < kRows; ++i) {
-        StoreInt8RowAvx512(acc[i], packed, quant, bias, ep, n0, width, c_row + i * ldc,
-                           sink);
-      }
-    }
-  }
-  Int8TileRowsScalar<PW>(row, m, a, packed, quant, bias, ep, c, ldc, sink);
-}
-
-#elif defined(PERCIVAL_SIMD_INT8_AVX2)
-
-// Vectorized epilogue over one row's int32 accumulator buffer (dumped from
-// the ymm accumulators): full 8-lane groups run the vector dequantize —
-// zero-point correction, combined-scale multiply, the bias folded via
-// hardware FMA (the same single rounding as the scalar std::fma, see the
-// contraction note at StoreInt8TileRow), max(0, ·) — and the sub-8 tail
-// reuses the scalar store, which is lane-for-lane the same math. The
-// `scales`/`row_sums` loads are panel-padded; the bias load is bounded by
-// j + 8 <= width <= n - n0.
-template <typename Sink>
-inline void StoreInt8RowAvx2(const int32_t* acc, const Int8PackedFilters& packed,
-                             const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                             int n0, int width, typename Sink::Out* c_row, const Sink& sink) {
-  const bool add_bias = ep != GemmEpilogue::kNone && bias != nullptr;
-  const __m256i vzp = _mm256_set1_epi32(quant.zero_point);
-  const __m256 vscale = _mm256_set1_ps(quant.scale);
-  int j = 0;
-  for (; j + 8 <= width; j += 8) {
-    const __m256i row_sums = _mm256_loadu_si256(
-        reinterpret_cast<const __m256i*>(packed.row_sums.data() + n0 + j));
-    const __m256i corrected = _mm256_sub_epi32(
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j)),
-        _mm256_mullo_epi32(vzp, row_sums));
-    const __m256 combined =
-        _mm256_mul_ps(vscale, _mm256_loadu_ps(packed.scales.data() + n0 + j));
-    const __m256 corrected_f = _mm256_cvtepi32_ps(corrected);
-    __m256 v = add_bias ? _mm256_fmadd_ps(combined, corrected_f,
-                                          _mm256_loadu_ps(bias + n0 + j))
-                        : _mm256_mul_ps(combined, corrected_f);
-    if (ep == GemmEpilogue::kBiasRelu) {
-      v = _mm256_max_ps(v, _mm256_setzero_ps());
-    }
-    sink.Store8(c_row + n0 + j, v);
-  }
-  if (j < width) {
-    StoreInt8TileRow(acc + j, packed, quant, bias, ep, n0 + j, width - j, c_row, sink);
-  }
-}
-
-// 4 rows x one 16-channel panel, 256-bit maddubs/madd: per K group, b0
-// covers channels 0..7 and b1 channels 8..15 (4 bytes each); lane c of
-// madd(maddubs(va, b), ones) is channel c's exact 4-tap dot product.
-template <typename Sink>
-void GemmInt8PackedExAvx2(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
-                          const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                          typename Sink::Out* c, int64_t ldc, const Sink& sink) {
-  const int n = packed.n;
-  const int k_padded = packed.k_padded;
-  const int groups = k_padded / kInt8KUnit;
-  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
-  const __m256i ones = _mm256_set1_epi16(1);
-  int64_t row = 0;
-  for (; row + kGemmTileM <= m; row += kGemmTileM) {
-    const uint8_t* a0 = a + row * k_padded;
-    const uint8_t* a1 = a0 + k_padded;
-    const uint8_t* a2 = a1 + k_padded;
-    const uint8_t* a3 = a2 + k_padded;
-    typename Sink::Out* c_row = c + row * ldc;
-    for (int panel = 0; panel < panels; ++panel) {
-      const int n0 = panel * kGemmTileN;
-      const int width = std::min(kGemmTileN, n - n0);
-      const int8_t* pb = packed.data.data() +
-                         static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
-      __m256i acc[8] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
-                        _mm256_setzero_si256(), _mm256_setzero_si256(),
-                        _mm256_setzero_si256(), _mm256_setzero_si256(),
-                        _mm256_setzero_si256(), _mm256_setzero_si256()};
-      for (int g = 0; g < groups; ++g) {
-        const int8_t* group = pb + static_cast<size_t>(g) * kGemmTileN * kInt8KUnit;
-        const __m256i b0 =
-            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(group));
-        const __m256i b1 =
-            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(group + 32));
-        __m256i va = _mm256_set1_epi32(LoadKGroup(a0 + g * kInt8KUnit));
-        acc[0] = _mm256_add_epi32(acc[0], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b0), ones));
-        acc[1] = _mm256_add_epi32(acc[1], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b1), ones));
-        va = _mm256_set1_epi32(LoadKGroup(a1 + g * kInt8KUnit));
-        acc[2] = _mm256_add_epi32(acc[2], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b0), ones));
-        acc[3] = _mm256_add_epi32(acc[3], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b1), ones));
-        va = _mm256_set1_epi32(LoadKGroup(a2 + g * kInt8KUnit));
-        acc[4] = _mm256_add_epi32(acc[4], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b0), ones));
-        acc[5] = _mm256_add_epi32(acc[5], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b1), ones));
-        va = _mm256_set1_epi32(LoadKGroup(a3 + g * kInt8KUnit));
-        acc[6] = _mm256_add_epi32(acc[6], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b0), ones));
-        acc[7] = _mm256_add_epi32(acc[7], _mm256_madd_epi16(_mm256_maddubs_epi16(va, b1), ones));
-      }
-      int32_t buf[kGemmTileM][kGemmTileN];
-      for (int i = 0; i < kGemmTileM; ++i) {
-        _mm256_storeu_si256(reinterpret_cast<__m256i*>(buf[i]), acc[2 * i]);
-        _mm256_storeu_si256(reinterpret_cast<__m256i*>(buf[i] + 8), acc[2 * i + 1]);
-        StoreInt8RowAvx2(buf[i], packed, quant, bias, ep, n0, width, c_row + i * ldc, sink);
-      }
-    }
-  }
-  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc, sink);
-}
-
-#elif defined(PERCIVAL_SIMD_INT8_SSSE3)
-
-// SSE2 32-bit lane multiply (_mm_mullo_epi32 is SSE4.1, above this tier):
-// even/odd lane products via _mm_mul_epu32, whose low 32 bits are correct
-// for any operand signs, then re-interleave.
-inline __m128i MulLo32Sse2(__m128i a, __m128i b) {
-  const __m128i even = _mm_mul_epu32(a, b);
-  const __m128i odd = _mm_mul_epu32(_mm_srli_epi64(a, 32), _mm_srli_epi64(b, 32));
-  return _mm_unpacklo_epi32(_mm_shuffle_epi32(even, _MM_SHUFFLE(0, 0, 2, 0)),
-                            _mm_shuffle_epi32(odd, _MM_SHUFFLE(0, 0, 2, 0)));
-}
-
-// 128-bit analogue of StoreInt8RowAvx2 for the pre-FMA SSSE3 tier. The
-// zero-point correction, combined-scale multiply, ReLU, and the
-// requantizing pack are vectorized; the bias fold stays four scalar
-// std::fma calls because this ISA has no fused multiply-add and emulating
-// one (e.g. in binary64) can double-round a last ulp away from the scalar
-// oracle — the explicit fma calls keep the cross-tier contract exact, and
-// glibc dispatches them to the FMA3 hardware instruction when the CPU has
-// one.
-template <typename Sink>
-inline void StoreInt8RowSse(const int32_t* acc, const Int8PackedFilters& packed,
-                            const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                            int n0, int width, typename Sink::Out* c_row, const Sink& sink) {
-  const bool add_bias = ep != GemmEpilogue::kNone && bias != nullptr;
-  const __m128i vzp = _mm_set1_epi32(quant.zero_point);
-  const __m128 vscale = _mm_set1_ps(quant.scale);
-  int j = 0;
-  for (; j + 4 <= width; j += 4) {
-    const __m128i row_sums =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(packed.row_sums.data() + n0 + j));
-    const __m128i corrected =
-        _mm_sub_epi32(_mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + j)),
-                      MulLo32Sse2(vzp, row_sums));
-    const __m128 combined = _mm_mul_ps(vscale, _mm_loadu_ps(packed.scales.data() + n0 + j));
-    const __m128 corrected_f = _mm_cvtepi32_ps(corrected);
-    __m128 v;
-    if (add_bias) {
-      alignas(16) float cf[4];
-      alignas(16) float cb[4];
-      alignas(16) float out[4];
-      _mm_store_ps(cf, corrected_f);
-      _mm_store_ps(cb, combined);
-      for (int l = 0; l < 4; ++l) {
-        out[l] = std::fma(cb[l], cf[l], bias[n0 + j + l]);
-      }
-      v = _mm_load_ps(out);
-    } else {
-      v = _mm_mul_ps(combined, corrected_f);
-    }
-    if (ep == GemmEpilogue::kBiasRelu) {
-      v = _mm_max_ps(v, _mm_setzero_ps());
-    }
-    sink.Store4(c_row + n0 + j, v);
-  }
-  if (j < width) {
-    StoreInt8TileRow(acc + j, packed, quant, bias, ep, n0 + j, width - j, c_row, sink);
-  }
-}
-
-// 128-bit half of the AVX2 kernel: each 8-channel half of the panel is two
-// xmm loads (channels jb..jb+3 and jb+4..jb+7), processed in separate jb
-// passes so the working set stays at 8 xmm accumulators.
-template <typename Sink>
-void GemmInt8PackedExSsse3(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
-                           const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
-                           typename Sink::Out* c, int64_t ldc, const Sink& sink) {
-  const int n = packed.n;
-  const int k_padded = packed.k_padded;
-  const int groups = k_padded / kInt8KUnit;
-  const int panels = (n + kGemmTileN - 1) / kGemmTileN;
-  const __m128i ones = _mm_set1_epi16(1);
-  int64_t row = 0;
-  for (; row + kGemmTileM <= m; row += kGemmTileM) {
-    const uint8_t* a0 = a + row * k_padded;
-    const uint8_t* a1 = a0 + k_padded;
-    const uint8_t* a2 = a1 + k_padded;
-    const uint8_t* a3 = a2 + k_padded;
-    typename Sink::Out* c_row = c + row * ldc;
-    for (int panel = 0; panel < panels; ++panel) {
-      const int n0 = panel * kGemmTileN;
-      const int width = std::min(kGemmTileN, n - n0);
-      const int8_t* pb = packed.data.data() +
-                         static_cast<size_t>(panel) * groups * kGemmTileN * kInt8KUnit;
-      for (int jb = 0; jb < kGemmTileN; jb += 8) {
-        if (jb >= width) {
-          break;  // fully in the zero-padded tail, nothing to store
-        }
-        __m128i acc[8] = {_mm_setzero_si128(), _mm_setzero_si128(), _mm_setzero_si128(),
-                          _mm_setzero_si128(), _mm_setzero_si128(), _mm_setzero_si128(),
-                          _mm_setzero_si128(), _mm_setzero_si128()};
-        for (int g = 0; g < groups; ++g) {
-          const int8_t* group =
-              pb + static_cast<size_t>(g) * kGemmTileN * kInt8KUnit + jb * kInt8KUnit;
-          const __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(group));
-          const __m128i b1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(group + 16));
-          __m128i va = _mm_set1_epi32(LoadKGroup(a0 + g * kInt8KUnit));
-          acc[0] = _mm_add_epi32(acc[0], _mm_madd_epi16(_mm_maddubs_epi16(va, b0), ones));
-          acc[1] = _mm_add_epi32(acc[1], _mm_madd_epi16(_mm_maddubs_epi16(va, b1), ones));
-          va = _mm_set1_epi32(LoadKGroup(a1 + g * kInt8KUnit));
-          acc[2] = _mm_add_epi32(acc[2], _mm_madd_epi16(_mm_maddubs_epi16(va, b0), ones));
-          acc[3] = _mm_add_epi32(acc[3], _mm_madd_epi16(_mm_maddubs_epi16(va, b1), ones));
-          va = _mm_set1_epi32(LoadKGroup(a2 + g * kInt8KUnit));
-          acc[4] = _mm_add_epi32(acc[4], _mm_madd_epi16(_mm_maddubs_epi16(va, b0), ones));
-          acc[5] = _mm_add_epi32(acc[5], _mm_madd_epi16(_mm_maddubs_epi16(va, b1), ones));
-          va = _mm_set1_epi32(LoadKGroup(a3 + g * kInt8KUnit));
-          acc[6] = _mm_add_epi32(acc[6], _mm_madd_epi16(_mm_maddubs_epi16(va, b0), ones));
-          acc[7] = _mm_add_epi32(acc[7], _mm_madd_epi16(_mm_maddubs_epi16(va, b1), ones));
-        }
-        int32_t buf[kGemmTileM][8];
-        for (int i = 0; i < kGemmTileM; ++i) {
-          _mm_storeu_si128(reinterpret_cast<__m128i*>(buf[i]), acc[2 * i]);
-          _mm_storeu_si128(reinterpret_cast<__m128i*>(buf[i] + 4), acc[2 * i + 1]);
-          StoreInt8RowSse(buf[i], packed, quant, bias, ep, n0 + jb,
-                          std::min(8, width - jb), c_row + i * ldc, sink);
-        }
-      }
-    }
-  }
-  Int8TileRowsScalar<kGemmTileN>(row, m, a, packed, quant, bias, ep, c, ldc, sink);
-}
-
-#endif  // int8 SIMD variant
-
-// Shared tier dispatch for both epilogue sinks; the public entry points
-// below instantiate it with the float store and the requantizing store.
-template <typename Sink>
-void GemmInt8PackedDispatch(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
-                            const ActivationQuant& quant, const float* bias,
-                            GemmEpilogue epilogue, typename Sink::Out* c, int64_t ldc,
-                            const Sink& sink) {
-  PCHECK_GE(ldc, packed.n);
-  PCHECK_EQ(packed.k_padded % kInt8KUnit, 0);
-  PCHECK(ValidPanelWidth(packed.panel_width));
-#if defined(PERCIVAL_SIMD_INT8_VNNI)
-  if (!GemmForceScalar()) {
-    if (packed.panel_width == kGemmTileNMin) {
-      GemmInt8PackedExVnniW16(m, a, packed, quant, bias, epilogue, c, ldc, sink);
-    } else {
-      GemmInt8PackedExVnni(m, a, packed, quant, bias, epilogue, c, ldc, sink);
-    }
-    return;
-  }
-#elif defined(PERCIVAL_SIMD_INT8_AVX512)
-  if (!GemmForceScalar()) {
-    if (packed.panel_width == kGemmTileNMin) {
-      GemmInt8PackedExAvx512W16(m, a, packed, quant, bias, epilogue, c, ldc, sink);
-    } else {
-      GemmInt8PackedExAvx512(m, a, packed, quant, bias, epilogue, c, ldc, sink);
-    }
-    return;
-  }
-#elif defined(PERCIVAL_SIMD_INT8_AVX2)
-  if (!GemmForceScalar()) {
-    GemmInt8PackedExAvx2(m, a, packed, quant, bias, epilogue, c, ldc, sink);
-    return;
-  }
-#elif defined(PERCIVAL_SIMD_INT8_SSSE3)
-  if (!GemmForceScalar()) {
-    GemmInt8PackedExSsse3(m, a, packed, quant, bias, epilogue, c, ldc, sink);
-    return;
-  }
-#endif
-  GemmInt8PackedExScalar(m, a, packed, quant, bias, epilogue, c, ldc, sink);
-}
-
-}  // namespace
+static_assert(kGemmTileM == 4, "the tile kernels are written for 4-row tiles");
+static_assert(kGemmTileNMin == 16 && kGemmTileNMax == 32,
+              "the tile kernels implement panel widths 16 and 32");
 
 void GemmPackedEx(int64_t m, int n, int k, const float* a, const float* packed_b,
                   const float* bias, GemmEpilogue epilogue, float* c, int64_t ldc,
                   int panel_width) {
   PCHECK_GE(ldc, n);
   PCHECK(ValidPanelWidth(panel_width));
-#if defined(PERCIVAL_SIMD_AVX512)
+  LogSimdPathOnce();
   if (!GemmForceScalar()) {
-    if (panel_width == kGemmTileNMin) {
-      GemmPackedExAvx512W16(m, n, k, a, packed_b, bias, epilogue, c, ldc);
-    } else {
-      GemmPackedExAvx512(m, n, k, a, packed_b, bias, epilogue, c, ldc);
+    const GemmKernelTable* table = ResolveFloat();
+    if (table != nullptr) {
+      table->gemm_packed(m, n, k, a, packed_b, bias, epilogue, c, ldc, panel_width);
+      return;
     }
-    return;
   }
-#elif defined(PERCIVAL_SIMD_AVX2)
-  if (!GemmForceScalar()) {
-    GemmPackedExAvx2(m, n, k, a, packed_b, bias, epilogue, c, ldc);
-    return;
-  }
-#elif defined(PERCIVAL_SIMD_SSE2)
-  if (!GemmForceScalar()) {
-    GemmPackedExSse2(m, n, k, a, packed_b, bias, epilogue, c, ldc);
-    return;
-  }
-#endif
-  GemmPackedExScalar(m, n, k, a, packed_b, bias, epilogue, c, ldc, panel_width);
+  gemm_internal::GemmPackedScalarEntry(m, n, k, a, packed_b, bias, epilogue, c, ldc,
+                                       panel_width);
 }
 
 void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b,
@@ -1625,17 +513,40 @@ void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b
 void GemmInt8PackedEx(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
                       const ActivationQuant& quant, const float* bias, GemmEpilogue epilogue,
                       float* c, int64_t ldc) {
-  GemmInt8PackedDispatch(m, a, packed, quant, bias, epilogue, c, ldc, FloatEpilogueSink{});
+  PCHECK_GE(ldc, packed.n);
+  PCHECK_EQ(packed.k_padded % kInt8KUnit, 0);
+  PCHECK(ValidPanelWidth(packed.panel_width));
+  LogSimdPathOnce();
+  if (!GemmForceScalar()) {
+    const GemmKernelTable* table = ResolveInt8();
+    if (table != nullptr) {
+      table->gemm_int8(m, a, packed, quant, bias, epilogue, c, ldc);
+      return;
+    }
+  }
+  gemm_internal::GemmInt8Scalar(m, a, packed, quant, bias, epilogue, c, ldc,
+                                ScalarFloatSink{});
 }
 
 void GemmInt8PackedExU8(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
                         const ActivationQuant& quant, const float* bias,
                         GemmEpilogue epilogue, const ActivationQuant& out_quant, uint8_t* c,
                         int64_t ldc) {
-  RequantEpilogueSink sink;
+  PCHECK_GE(ldc, packed.n);
+  PCHECK_EQ(packed.k_padded % kInt8KUnit, 0);
+  PCHECK(ValidPanelWidth(packed.panel_width));
+  LogSimdPathOnce();
+  if (!GemmForceScalar()) {
+    const GemmKernelTable* table = ResolveInt8();
+    if (table != nullptr) {
+      table->gemm_int8_u8(m, a, packed, quant, bias, epilogue, out_quant, c, ldc);
+      return;
+    }
+  }
+  ScalarRequantSink sink;
   sink.inv_scale = 1.0f / out_quant.scale;
   sink.zero_point = out_quant.zero_point;
-  GemmInt8PackedDispatch(m, a, packed, quant, bias, epilogue, c, ldc, sink);
+  gemm_internal::GemmInt8Scalar(m, a, packed, quant, bias, epilogue, c, ldc, sink);
 }
 
 void InferenceParallelFor(int64_t total, int64_t macs_per_item,
@@ -1663,15 +574,16 @@ void GemmNT(int64_t m, int n, int k, const float* a, const float* b, const float
   PCHECK_GE(m, 0);
   PCHECK_GT(n, 0);
   PCHECK_GT(k, 0);
+  const int panel_width = GemmNativePanelWidth();
   ScratchArena& arena = LocalArena();
   arena.Reset();
-  float* packed = arena.Alloc(PackedPanelFloats(n, k));
-  PackFilterPanels(b, n, k, packed);
+  float* packed = arena.Alloc(PackedPanelFloats(n, k, panel_width));
+  PackFilterPanels(b, n, k, packed, panel_width);
 
   const int64_t macs_per_row = static_cast<int64_t>(n) * k;
   if (pool == nullptr || pool->IsWorkerThread() || pool->num_threads() <= 1 ||
       m * macs_per_row < kMinMacsPerParallelKernel) {
-    GemmPackedNT(m, n, k, a, packed, bias, c);
+    GemmPackedEx(m, n, k, a, packed, bias, GemmEpilogue::kBias, c, n, panel_width);
     return;
   }
   const int64_t target_chunks = static_cast<int64_t>(pool->num_threads()) * 4;
@@ -1683,7 +595,8 @@ void GemmNT(int64_t m, int n, int k, const float* a, const float* b, const float
   pool->ParallelFor(chunks, [&](int index) {
     const int64_t begin = static_cast<int64_t>(index) * chunk;
     const int64_t end = std::min(m, begin + chunk);
-    GemmPackedNT(end - begin, n, k, a + begin * k, packed, bias, c + begin * n);
+    GemmPackedEx(end - begin, n, k, a + begin * k, packed, bias, GemmEpilogue::kBias,
+                 c + begin * n, n, panel_width);
   });
 }
 

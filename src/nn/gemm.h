@@ -3,10 +3,11 @@
 // Convolutions lower to C[M x N] = A[M x K] * B[N x K]^T + bias, where A is
 // an im2col patch matrix (M = output pixels, K = kernel*kernel*in_channels)
 // and B holds one flattened filter per row (N = out_channels). The engine
-// packs B into column-panel form, then walks A in 4x16 register tiles whose
-// inner loop is an explicitly vectorized multiply-accumulate (AVX2+FMA /
-// SSE2 / portable scalar, selected at compile time by simd.h); large
-// problems split their M rows across the shared inference ThreadPool.
+// packs B into column-panel form, then walks A in 4x16 (or 4x32) register
+// tiles whose inner loop is an explicitly vectorized multiply-accumulate.
+// Every SIMD tier is compiled into the binary and the kernel is picked at
+// runtime by cpuid detection (see simd.h); large problems split their M
+// rows across the shared inference ThreadPool.
 //
 // The epilogue (bias add, optional ReLU) is folded into the tile store, so
 // a fused Conv->ReLU never materializes the pre-activation tensor, and the
@@ -37,30 +38,33 @@ class ThreadPool;
 // GEMM register-tile geometry. kTileM x kTileN accumulators stay hot
 // through the K loop; 4x16 measured fastest of the shapes tried on the
 // baseline x86-64 target (4x8, 8x8, 8x16, 4x32 all trailed it in the conv
-// micro-bench). An AVX-512 build widens the panel to 4x32 — two zmm
+// micro-bench). The AVX-512 tiers widen the panel to 4x32 — two zmm
 // accumulators per row, the same register budget as the AVX2 4x16 tile.
 //
-// kGemmTileN is the MAXIMUM panel width of the build. The pack and kernel
-// entry points additionally accept a runtime panel width of kGemmTileNMin
-// (16): on AVX-512 that selects a 4x16 sub-tile (one zmm per row) whose K
-// loop does half the panel loads and half the FMA work of the 4x32 tile —
-// the right shape for layers with <= 16 output channels, where the wide
-// panel spends most of its lanes on zero padding. On the AVX2/SSE2 tiers 16
-// IS the native width, so the narrow selection is the identity and the only
-// valid one. The per-layer choice is made by the kernel planner below.
+// Because every tier is compiled into one binary, the panel width of the
+// ACTIVE tier is a runtime value: GemmNativePanelWidth() below returns 32
+// when the runtime dispatch resolves to an AVX-512 tier and 16 otherwise.
+// kGemmTileNMin / kGemmTileNMax bound it at compile time for buffer sizing.
+// The pack and kernel entry points accept either packable width: on the
+// AVX-512 tiers a 16-wide pack selects a 4x16 sub-tile (one zmm per row)
+// whose K loop does half the panel loads and half the FMA work of the 4x32
+// tile — the right shape for layers with <= 16 output channels, where the
+// wide panel spends most of its lanes on zero padding. On the 16-native
+// tiers a 32-wide pack has no intrinsic tile and runs the scalar fallback
+// (correct, slow — it only arises when a tier cap drops the active tier
+// below the width an artifact was packed at; planners repack on the next
+// plan). The per-layer choice is made by the kernel planner below.
 inline constexpr int kGemmTileM = 4;
-#if defined(PERCIVAL_SIMD_AVX512)
-inline constexpr int kGemmTileN = 32;
-#else
-inline constexpr int kGemmTileN = 16;
-#endif
 inline constexpr int kGemmTileNMin = 16;
+inline constexpr int kGemmTileNMax = 32;
 
-// True for the panel widths this build's kernels implement: the native
-// kGemmTileN and the 16-wide sub-tile (identical on non-AVX-512 tiers).
-inline constexpr bool ValidPanelWidth(int width) {
-  return width == kGemmTileN || width == kGemmTileNMin;
-}
+// Native panel width of the active tier: 32 on the AVX-512 rungs, else 16.
+// Follows SetSimdTierCap — capping below avx512 narrows the native width at
+// the next plan/pack.
+int GemmNativePanelWidth();
+
+// True for the panel widths the kernel ladder can consume (16 and 32).
+bool ValidPanelWidth(int width);
 
 // Bump allocator for transient kernel buffers. Alloc() never invalidates
 // previously returned pointers (full blocks are retired, not reallocated);
@@ -119,14 +123,18 @@ class ScopedInferencePool {
 void SetGemmEnabledByDefault(bool enabled);
 bool GemmEnabledByDefault();
 
-// When true, GemmPackedEx routes to the always-compiled scalar micro-kernel
-// instead of the intrinsic one, so a single binary can exercise (and
-// benchmark) both paths. Intrinsic builds default to false.
+// When true, the kernel entry points route to the always-compiled scalar
+// micro-kernel instead of the active tier's intrinsic one, so a single
+// binary can exercise (and benchmark) both paths. The scalar oracle runs at
+// the CURRENT tier's panel width and weight clamp — it changes the kernel,
+// not the data contract — which is what makes force-scalar parity exact
+// under any SetSimdTierCap. Defaults to false.
 void SetGemmForceScalar(bool force);
 bool GemmForceScalar();
 
-// Name of the kernel GemmPackedEx dispatches to right now ("avx512",
-// "avx2+fma", "sse2", or "scalar"; force-scalar reports "scalar").
+// Name of the float kernel GemmPackedEx dispatches to right now ("avx512",
+// "avx2+fma", "sse2", or "scalar"; force-scalar reports "scalar"). Follows
+// SetSimdTierCap.
 const char* ActiveGemmKernelName();
 
 // Same for the int8 kernel GemmInt8PackedEx dispatches to
@@ -134,8 +142,10 @@ const char* ActiveGemmKernelName();
 // "ssse3-maddubs", or "scalar").
 const char* ActiveInt8KernelName();
 
-// Logs the compiled SIMD path + tile geometry once per process (startup
-// breadcrumb for bench logs and deployments).
+// Logs the detected CPU feature set and the runtime-selected float/int8
+// kernels + tile geometry exactly once per process (thread-safe, first
+// kernel use; also called by ScopedInferencePool). If a tier cap or
+// force-scalar pin overrode detection at log time, the line says so.
 void LogSimdPathOnce();
 
 // ------------------------------------------------------- kernel planner --
@@ -145,8 +155,10 @@ void LogSimdPathOnce();
 // honor the panel width, the im2col gathers and the weight packers honor
 // the activation layout, and Conv2D keys its pack caches on (weight
 // version, plan) so a plan flip repacks exactly once. Plans are chosen at
-// Network::PlanForward time from layer shape + the compiled SIMD tier (see
-// ChooseConvKernelPlan), and can be pinned globally for A/B measurement.
+// Network::PlanForward time from layer shape + the runtime-active SIMD tier
+// (see ChooseConvKernelPlan), and can be pinned globally for A/B
+// measurement. A SetSimdTierCap bumps the dispatch generation, which makes
+// Network re-plan (and layers repack) under the new tier's width and clamp.
 
 // K-order of an im2col patch row (and of the matching packed filter rows).
 //   * kKhKwC — (kh, kw, c): each kernel tap contributes `channels`
@@ -164,7 +176,7 @@ const char* LayoutName(ActivationLayout layout);
 
 struct KernelPlan {
   ActivationLayout layout = ActivationLayout::kKhKwC;
-  int panel_width = kGemmTileN;
+  int panel_width = GemmNativePanelWidth();
 };
 
 inline bool operator==(const KernelPlan& a, const KernelPlan& b) {
@@ -176,7 +188,7 @@ inline bool operator!=(const KernelPlan& a, const KernelPlan& b) { return !(a ==
 // README "how to pin"). 0 / kAuto restore the heuristic. They affect plans
 // chosen AFTER the call — re-run PlanKernels (or Network::PlanForward) to
 // apply them to existing layers.
-void SetPlannerPanelOverride(int width);  // 0 = auto; else 16 or kGemmTileN
+void SetPlannerPanelOverride(int width);  // 0 = auto; else 16 or 32
 int PlannerPanelOverride();
 
 enum class LayoutPolicy : uint8_t { kAuto = 0, kForceKhKwC = 1, kForceCOuter = 2 };
@@ -196,9 +208,9 @@ KernelPlan ChooseConvKernelPlan(int out_channels, int kernel);
 // Packs row-major B[N x K] into column panels of `panel_width` filters:
 // packed[panel][k][j] = B[(panel*panel_width + j) * K + k], zero-padded
 // past N. `packed` must hold PackedPanelFloats(N, K, panel_width) floats.
-size_t PackedPanelFloats(int n, int k, int panel_width = kGemmTileN);
+size_t PackedPanelFloats(int n, int k, int panel_width = GemmNativePanelWidth());
 void PackFilterPanels(const float* b, int n, int k, float* packed,
-                      int panel_width = kGemmTileN);
+                      int panel_width = GemmNativePanelWidth());
 
 // Post-accumulation transform applied inside the micro-kernel's store, so
 // fused layers never materialize a pre-activation intermediate.
@@ -215,7 +227,7 @@ enum class GemmEpilogue {
 // Runs on the calling thread.
 void GemmPackedEx(int64_t m, int n, int k, const float* a, const float* packed_b,
                   const float* bias, GemmEpilogue epilogue, float* c, int64_t ldc,
-                  int panel_width = kGemmTileN);
+                  int panel_width = GemmNativePanelWidth());
 
 // Compatibility wrapper: dense C (ldc == n), bias-only epilogue.
 void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b,
@@ -230,8 +242,8 @@ void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b
 // bias + ReLU fold into the store, so the int8 path reuses the same
 // GemmEpilogue contract as the float engine.
 //
-// Weight codes are clamped to [-kInt8WeightMax, kInt8WeightMax], a
-// per-tier constant baked into the quantization contract:
+// Weight codes are clamped to [-Int8WeightMax(), Int8WeightMax()], a
+// per-tier value baked into the quantization contract:
 //   * maddubs tiers (avx512bw / avx2 / ssse3 / their scalar oracle runs)
 //     accumulate via pmaddubsw, whose 16-bit pairwise add saturates; 64 is
 //     the largest magnitude that provably cannot saturate
@@ -242,15 +254,17 @@ void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b
 // The always-compiled scalar oracle accumulates in wide int32 for ANY code
 // magnitude, so SetGemmForceScalar parity stays bit-exact on both tiers:
 // against maddubs kernels because ±64 codes make their saturating adds
-// exact, against vpdpbusd because both are exact int32 sums. A build's
-// clamp is recorded in serialized v2 weight files, so artifacts quantized
-// under the wider VNNI contract are never fed to a saturating kernel (the
-// loader falls back to requantizing from the dequantized floats instead).
-#if defined(PERCIVAL_SIMD_INT8_VNNI)
-inline constexpr int kInt8WeightMax = 127;
-#else
-inline constexpr int kInt8WeightMax = 64;
-#endif
+// exact, against vpdpbusd because both are exact int32 sums. The clamp in
+// force at quantization time is recorded in serialized v2 weight files, so
+// an artifact quantized under the wider VNNI contract is never fed to a
+// saturating kernel — when the ACTIVE tier's clamp is narrower than the
+// file's (a ±127 artifact on a maddubs-only host, or under a tier cap), the
+// loader drops the quantized payload and requantizes from the dequantized
+// floats instead (see serialize.cc).
+
+// Weight-code clamp of the active tier: 127 on the VNNI rung, else 64.
+// Follows SetSimdTierCap like GemmNativePanelWidth().
+int Int8WeightMax();
 
 // K-dimension packing unit of the int8 panels: pmaddubsw + pmaddwd reduce
 // four u8*s8 products into one int32 lane, so K is zero-padded to a
@@ -293,13 +307,13 @@ struct Int8PackedFilters {
   int n = 0;
   int k = 0;
   int k_padded = 0;
-  int panel_width = kGemmTileN;
+  int panel_width = kGemmTileNMin;  // set by the packers
 };
 
-size_t PackedPanelBytesInt8(int n, int k, int panel_width = kGemmTileN);
+size_t PackedPanelBytesInt8(int n, int k, int panel_width = GemmNativePanelWidth());
 
 // Quantizes one length-k float filter row to symmetric int8 codes in
-// [-kInt8WeightMax, kInt8WeightMax] and returns the scale (w ~= scale * q).
+// [-Int8WeightMax(), Int8WeightMax()] and returns the scale (w ~= scale * q).
 // This is THE weight quantizer: the pack-time path and the v2 serializer
 // both call it, which is what makes a serialized-then-reloaded model's int8
 // forward bit-identical to the pack-time-quantized one.
@@ -308,15 +322,16 @@ float QuantizeWeightRow(const float* row, int k, int8_t* codes);
 // Quantizes row-major float B[N x K] per output channel and packs it into
 // the interleaved int8 panel layout described above.
 void PackFilterPanelsInt8(const float* b, int n, int k, Int8PackedFilters* packed,
-                          int panel_width = kGemmTileN);
+                          int panel_width = GemmNativePanelWidth());
 
 // Packs pre-quantized codes (row-major [N x K], e.g. loaded from a PCVW v2
 // file) with their per-channel scales into the same panel layout, skipping
-// requantization entirely. Codes must already respect this build's
-// kInt8WeightMax clamp — the caller (the v2 deserializer) checks the file's
-// recorded clamp against the compiled tier before taking this path.
+// requantization entirely. Codes must already respect the ACTIVE tier's
+// Int8WeightMax() clamp — the caller (the v2 deserializer) checks the
+// file's recorded clamp against the active tier before taking this path.
 void PackQuantizedFilterPanelsInt8(const int8_t* codes, const float* scales, int n, int k,
-                                   Int8PackedFilters* packed, int panel_width = kGemmTileN);
+                                   Int8PackedFilters* packed,
+                                   int panel_width = GemmNativePanelWidth());
 
 // Computes C = epilogue(dequant(Q_A * packed) + bias) over pre-quantized A
 // rows. Each A row holds `packed.k_padded` uint8 codes (zero-padded K tail;
@@ -350,6 +365,17 @@ void GemmInt8PackedExU8(int64_t m, const uint8_t* a, const Int8PackedFilters& pa
 // PlanForward.
 void SetDataflowRequantEnabled(bool enabled);
 bool DataflowRequantEnabled();
+
+// Opt-in extension of the code domain one layer further: when true,
+// GlobalAvgPool accepts quantized input from a calibrated int8 producer and
+// averages the uint8 codes with int32 accumulation, dequantizing only the
+// per-channel sums — so the final conv's requantized store feeds pooling
+// without a float activation tensor in between. Logits are no longer
+// bit-identical to the staged path (the average is computed in code space),
+// so this ships default-off behind its own 64-image >= 99% top-1 agreement
+// guard (tests/nn_requant_test.cc). Takes effect at the next PlanForward.
+void SetGapCodesEnabled(bool enabled);
+bool GapCodesEnabled();
 
 // Convenience one-shot GEMM: packs `b` (row-major [N x K]) into the local
 // arena and multiplies. When `pool` is non-null and the problem is large

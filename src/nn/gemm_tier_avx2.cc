@@ -1,0 +1,5 @@
+// The avx2 rung of the runtime kernel ladder. Compiled with this tier's -m
+// flags (see CMakeLists.txt); all kernel code lives in gemm_tier_impl.inc.
+#define PERCIVAL_TIER_AVX2 1
+#define PERCIVAL_TIER_NAMESPACE gemm_tier_avx2
+#include "src/nn/gemm_tier_impl.inc"

@@ -1,0 +1,5 @@
+// The ssse3 rung of the runtime kernel ladder. Compiled with this tier's -m
+// flags (see CMakeLists.txt); all kernel code lives in gemm_tier_impl.inc.
+#define PERCIVAL_TIER_SSSE3 1
+#define PERCIVAL_TIER_NAMESPACE gemm_tier_ssse3
+#include "src/nn/gemm_tier_impl.inc"

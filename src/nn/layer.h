@@ -40,6 +40,11 @@ struct QuantizedWeights {
   std::vector<int8_t> codes;  // row-major [channels][k] symmetric int8
   std::vector<float> scales;  // per output channel, w ~= scale * code
   uint64_t version = 0;
+  // Clamp the codes were quantized under (the writing tier's
+  // Int8WeightMax()). The pack cache only consumes the payload while the
+  // ACTIVE tier's clamp covers it — a tier cap can narrow the clamp after
+  // load, at which point packing falls back to requantizing the floats.
+  int weight_max = 64;
 };
 
 // A calibrated activation range for one quantized tensor (a conv layer's

@@ -11,7 +11,9 @@ namespace percival {
 
 Tensor Network::Forward(const Tensor& input) {
   if (!planned_ || !(planned_shape_ == input.shape()) ||
-      dataflow_enabled_at_plan_ != DataflowRequantEnabled()) {
+      dataflow_enabled_at_plan_ != DataflowRequantEnabled() ||
+      gap_codes_at_plan_ != GapCodesEnabled() ||
+      dispatch_generation_at_plan_ != SimdDispatchGeneration()) {
     PlanForward(input.shape());
   }
   if (DataflowActive()) {
@@ -35,12 +37,14 @@ void Network::PlanForward(const TensorShape& input) {
   LocalArena().Reserve(worst);
   PlanDataflow(input_shapes);
   planned_shape_ = input;
+  dispatch_generation_at_plan_ = SimdDispatchGeneration();
   planned_ = true;
 }
 
 void Network::PlanDataflow(const std::vector<TensorShape>& input_shapes) {
   dataflow_.assign(layers_.size(), DataflowStep{});
   dataflow_enabled_at_plan_ = DataflowRequantEnabled();
+  gap_codes_at_plan_ = GapCodesEnabled();
   const bool eligible = precision_ == Precision::kInt8 && !training_ &&
                         !calibration_capture_ && dataflow_enabled_at_plan_;
   if (!eligible) {
@@ -171,7 +175,9 @@ Tensor Network::ForwardQuantized(const QuantizedTensorView& input) {
   PCHECK(layers_[0]->AcceptsQuantizedInput())
       << "first layer (" << layers_[0]->Name() << ") cannot consume quantized input";
   if (!planned_ || !(planned_shape_ == input.shape) ||
-      dataflow_enabled_at_plan_ != DataflowRequantEnabled()) {
+      dataflow_enabled_at_plan_ != DataflowRequantEnabled() ||
+      gap_codes_at_plan_ != GapCodesEnabled() ||
+      dispatch_generation_at_plan_ != SimdDispatchGeneration()) {
     PlanForward(input.shape);
   }
   if (DataflowActive()) {
@@ -201,7 +207,7 @@ std::string Network::KernelPlanSummary() const {
   int narrow = 0;
   int c_outer = 0;
   for (const KernelPlanRow& row : rows) {
-    if (row.panel_width < kGemmTileN) {
+    if (row.panel_width < GemmNativePanelWidth()) {
       ++narrow;
     }
     if (row.c_outer) {

@@ -162,6 +162,11 @@ class Network {
 
   std::vector<DataflowStep> dataflow_;
   bool dataflow_enabled_at_plan_ = false;
+  bool gap_codes_at_plan_ = false;
+  // SimdDispatchGeneration() at plan time: a SetSimdTierCap between forwards
+  // bumps it, forcing a re-plan (and repack) under the new tier's panel
+  // width and weight clamp.
+  uint64_t dispatch_generation_at_plan_ = 0;
   // Ping-pong uint8 buffers the code chain alternates through (emitters and
   // transforms never write the buffer they read). Sized once at plan time.
   std::vector<uint8_t> code_buffers_[2];

@@ -1,5 +1,6 @@
 #include "src/nn/pool.h"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
 
@@ -113,6 +114,18 @@ Tensor MaxPool2D::Backward(const Tensor& grad_output) {
 
 Tensor GlobalAvgPool::Forward(const Tensor& input) {
   input_shape_ = input.shape();
+  if (calibration_capture_) {
+    float lo = 0.0f;
+    float hi = 0.0f;
+    MinMaxRange(input.data(), input.size(), &lo, &hi);
+    if (has_input_calibration_) {
+      lo = std::min(lo, calib_min_);
+      hi = std::max(hi, calib_max_);
+    }
+    has_input_calibration_ = true;
+    calib_min_ = lo;
+    calib_max_ = hi;
+  }
   Tensor output(input_shape_.n, 1, 1, input_shape_.c);
   const int64_t plane = static_cast<int64_t>(input_shape_.h) * input_shape_.w;
   PCHECK_GT(plane, 0);
@@ -130,6 +143,80 @@ Tensor GlobalAvgPool::Forward(const Tensor& input) {
     }
   }
   return output;
+}
+
+bool GlobalAvgPool::AcceptsQuantizedInput() const {
+  return GapCodesEnabled() && !training_ && has_input_calibration_;
+}
+
+Tensor GlobalAvgPool::ForwardQuantized(const QuantizedTensorView& input) {
+  PCHECK(!training_) << Name() << " ForwardQuantized in training mode";
+  input_shape_ = input.shape;
+  const int channels = input_shape_.c;
+  const int64_t plane = static_cast<int64_t>(input_shape_.h) * input_shape_.w;
+  PCHECK_GT(plane, 0);
+  // Codes max out at 255, so int32 sums are exact for any plane the
+  // classifier sees (saturation would need > 8.4M pixels per plane).
+  PCHECK_LT(plane, static_cast<int64_t>(1) << 23);
+  Tensor output(input_shape_.n, 1, 1, channels);
+  const int64_t sample = plane * channels;
+  sum_buffer_.assign(static_cast<size_t>(channels), 0);
+  for (int n = 0; n < input_shape_.n; ++n) {
+    const uint8_t* in = input.data + static_cast<int64_t>(n) * sample;
+    float* out = output.SampleData(n);
+    std::fill(sum_buffer_.begin(), sum_buffer_.end(), 0);
+    for (int64_t p = 0; p < plane; ++p) {
+      const uint8_t* row = in + p * channels;
+      for (int c = 0; c < channels; ++c) {
+        sum_buffer_[static_cast<size_t>(c)] += row[c];
+      }
+    }
+    // avg value = scale * (avg code - zp) = scale * (sum - plane*zp) / plane:
+    // one dequantize per channel instead of one per input element.
+    const float inv_plane = 1.0f / static_cast<float>(plane);
+    const int64_t zp_term = plane * static_cast<int64_t>(input.zero_point);
+    for (int c = 0; c < channels; ++c) {
+      const int64_t centered = static_cast<int64_t>(sum_buffer_[static_cast<size_t>(c)]) - zp_term;
+      out[c] = input.scale * (static_cast<float>(centered) * inv_plane);
+    }
+  }
+  return output;
+}
+
+void GlobalAvgPool::SetCalibrationCapture(bool capture) {
+  if (capture && !calibration_capture_) {
+    has_input_calibration_ = false;  // a new calibration batch starts fresh
+    calib_min_ = 0.0f;
+    calib_max_ = 0.0f;
+  }
+  calibration_capture_ = capture;
+}
+
+void GlobalAvgPool::AppendCalibration(std::vector<ActivationCalibration>* out) const {
+  ActivationCalibration entry;
+  entry.min_value = calib_min_;
+  entry.max_value = calib_max_;
+  entry.valid = has_input_calibration_;
+  out->push_back(entry);
+}
+
+size_t GlobalAvgPool::ConsumeCalibration(const ActivationCalibration* entries, size_t count) {
+  if (count < 1) {
+    return 0;
+  }
+  has_input_calibration_ = entries[0].valid;
+  calib_min_ = entries[0].min_value;
+  calib_max_ = entries[0].max_value;
+  return 1;
+}
+
+bool GlobalAvgPool::InputCalibration(float* min_value, float* max_value) const {
+  if (!has_input_calibration_) {
+    return false;
+  }
+  *min_value = calib_min_;
+  *max_value = calib_max_;
+  return true;
 }
 
 Tensor GlobalAvgPool::Backward(const Tensor& grad_output) {

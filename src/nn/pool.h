@@ -2,6 +2,7 @@
 #ifndef PERCIVAL_SRC_NN_POOL_H_
 #define PERCIVAL_SRC_NN_POOL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,15 @@ class MaxPool2D : public Layer {
 
 // Collapses each (h, w) plane to a single value: the paper's final
 // global-average-pool before SoftMax (Fig. 3).
+//
+// GAP-on-codes (opt-in via SetGapCodesEnabled): averaging commutes with the
+// affine dequantization map, so with a calibrated input range eval-mode GAP
+// can terminate the zero-float code chain itself — int32 sums over the
+// uint8 codes, one dequantize per channel — instead of forcing the emitting
+// conv back through a float store. The average is computed in code space,
+// so logits differ from the staged path by up to half a code step; the
+// knob therefore ships default-off behind a 64-image >= 99% top-1
+// agreement guard (tests/nn_requant_test.cc).
 class GlobalAvgPool : public Layer {
  public:
   Tensor Forward(const Tensor& input) override;
@@ -41,8 +51,27 @@ class GlobalAvgPool : public Layer {
     return TensorShape{input.n, 1, 1, input.c};
   }
 
+  // True only when the GAP-on-codes knob is on, the layer is in eval mode,
+  // and a calibrated input range exists (the planner also requires the
+  // range to derive the producer's emit quantization).
+  bool AcceptsQuantizedInput() const override;
+  Tensor ForwardQuantized(const QuantizedTensorView& input) override;
+
+  // One calibration slot (the pooled tensor's range), captured during float
+  // forwards like Conv2D's input slots and shipped in the PCVW v2 trailer.
+  void SetCalibrationCapture(bool capture) override;
+  size_t CalibrationSlots() const override { return 1; }
+  void AppendCalibration(std::vector<ActivationCalibration>* out) const override;
+  size_t ConsumeCalibration(const ActivationCalibration* entries, size_t count) override;
+  bool InputCalibration(float* min_value, float* max_value) const override;
+
  private:
   TensorShape input_shape_;
+  bool calibration_capture_ = false;
+  bool has_input_calibration_ = false;
+  float calib_min_ = 0.0f;
+  float calib_max_ = 0.0f;
+  std::vector<int32_t> sum_buffer_;  // per-channel code sums, reused across forwards
 };
 
 }  // namespace percival

@@ -132,6 +132,7 @@ bool ParseInt8Record(Reader& reader, const Parameter& p, uint32_t file_weight_ma
   const uint32_t channels = static_cast<uint32_t>(p.value.shape().n);
   const uint32_t k = static_cast<uint32_t>(p.value.size() / p.value.shape().n);
   auto quant = std::make_shared<QuantizedWeights>();
+  quant->weight_max = static_cast<int>(file_weight_max);
   quant->scales.resize(channels);
   quant->codes.resize(static_cast<size_t>(channels) * k);
   if (!reader.ReadRaw(quant->scales.data(), sizeof(float) * quant->scales.size()) ||
@@ -159,10 +160,10 @@ bool ParseInt8Record(Reader& reader, const Parameter& p, uint32_t file_weight_ma
       dst[kk] = scale * static_cast<float>(row[kk]);
     }
   }
-  // Only hand the codes to the int8 pack cache when they respect this
-  // build's saturation contract; a wider-clamp artifact (VNNI ±127) on a
-  // narrower build (maddubs ±64) falls back to requantizing the floats.
-  if (file_weight_max > static_cast<uint32_t>(kInt8WeightMax)) {
+  // Only hand the codes to the int8 pack cache when they respect the active
+  // tier's saturation contract; a wider-clamp artifact (VNNI ±127) on a
+  // narrower tier (maddubs ±64) falls back to requantizing the floats.
+  if (file_weight_max > static_cast<uint32_t>(Int8WeightMax())) {
     quant.reset();
   }
   staged->quantized = std::move(quant);
@@ -193,7 +194,7 @@ std::vector<uint8_t> SerializeWeightsInt8(Network& net) {
   std::vector<uint8_t> out;
   AppendRaw(out, kMagic, sizeof(kMagic));
   AppendValue(out, kVersionInt8);
-  AppendValue(out, static_cast<uint32_t>(kInt8WeightMax));
+  AppendValue(out, static_cast<uint32_t>(Int8WeightMax()));
   std::vector<Parameter*> params = net.Parameters();
   AppendValue(out, static_cast<uint32_t>(params.size()));
   AppendValue(out, ManifestHash(params));
@@ -359,12 +360,12 @@ bool DeserializeWeights(Network& net, const std::vector<uint8_t>& bytes) {
   if (!reader.AtEnd()) {
     return false;
   }
-  if (version == kVersionInt8 && file_weight_max > static_cast<uint32_t>(kInt8WeightMax)) {
+  if (version == kVersionInt8 && file_weight_max > static_cast<uint32_t>(Int8WeightMax())) {
     // Payloads were dropped wholesale by ParseInt8Record; say so once —
     // inference still runs (requantized from the dequantized floats under
     // the local clamp), but not bit-identically to the writing build.
     LogLine("pcvw: v2 artifact clamp ±" + std::to_string(file_weight_max) +
-            " exceeds this build's ±" + std::to_string(kInt8WeightMax) +
+            " exceeds the active tier's ±" + std::to_string(Int8WeightMax()) +
             "; requantizing weights under the local clamp");
   }
 

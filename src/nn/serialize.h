@@ -4,7 +4,7 @@
 // then per parameter its name, shape, and raw float32 data.
 //
 // v2 — int8 deployment artifact (~4x smaller): same magic, version 2, plus
-// the weight-code clamp (kInt8WeightMax) of the build that wrote it and a
+// the weight-code clamp (Int8WeightMax() of the writing tier) and a
 // manifest hash over the ordered (name, shape) parameter sequence — v2
 // records carry no per-record names or shapes, so an architecture mismatch
 // is rejected on the hash before any record parses and a hostile file
@@ -16,8 +16,9 @@
 // attaches the exact codes to each Parameter as a QuantizedWeights payload,
 // which Conv2D's int8 pack cache consumes directly — so int8 inference from
 // a reloaded artifact is bit-identical to quantizing the original floats at
-// pack time. If the file's recorded clamp exceeds this build's (a ±127 VNNI
-// artifact on a ±64 maddubs build), the payload is dropped and the pack
+// pack time. If the file's recorded clamp exceeds the ACTIVE tier's (a ±127
+// VNNI artifact on a maddubs-only host, or under a SetSimdTierCap), the
+// payload is dropped and the pack
 // cache requantizes the dequantized floats under the local clamp instead —
 // degraded precision, never a saturating kernel.
 //
@@ -40,7 +41,7 @@ namespace percival {
 std::vector<uint8_t> SerializeWeights(Network& net);
 
 // Serializes `net` as a v2 int8 artifact: conv weights as per-channel int8
-// codes + scales under this build's kInt8WeightMax contract, everything
+// codes + scales under the active tier's Int8WeightMax() contract, everything
 // else float32. Quantization is lossy — keep the v1 checkpoint for
 // training; ship v2.
 //

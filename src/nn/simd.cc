@@ -1,0 +1,145 @@
+#include "src/nn/simd.h"
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace percival {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+// XCR0 via xgetbv: which register states the OS saves/restores. Spelled as
+// inline asm so this TU needs no -mxsave flag (the instruction only runs
+// behind the cpuid OSXSAVE check below).
+uint64_t ReadXcr0() {
+  uint32_t eax = 0;
+  uint32_t edx = 0;
+  __asm__ __volatile__(".byte 0x0f, 0x01, 0xd0" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) {
+    return f;
+  }
+  f.sse2 = (edx & (1u << 26)) != 0;
+  f.ssse3 = (ecx & (1u << 9)) != 0;
+  const bool fma3 = (ecx & (1u << 12)) != 0;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  const uint64_t xcr0 = osxsave ? ReadXcr0() : 0;
+  // AVX needs xmm+ymm state (bits 1,2); AVX-512 additionally opmask,
+  // zmm-hi256, and hi16-zmm (bits 5,6,7).
+  const bool os_ymm = (xcr0 & 0x6) == 0x6;
+  const bool os_zmm = (xcr0 & 0xE6) == 0xE6;
+  f.fma = fma3 && avx && os_ymm;
+  unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+  if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) != 0) {
+    f.avx2 = avx && os_ymm && (ebx7 & (1u << 5)) != 0;
+    f.avx512f = os_zmm && (ebx7 & (1u << 16)) != 0;
+    f.avx512bw = os_zmm && (ebx7 & (1u << 30)) != 0;
+    f.avx512vnni = os_zmm && (ecx7 & (1u << 11)) != 0;
+  }
+  return f;
+}
+
+#else  // non-x86: scalar only
+
+CpuFeatures Detect() { return CpuFeatures{}; }
+
+#endif
+
+std::atomic<int> g_tier_cap{static_cast<int>(SimdTier::kVnni)};
+std::atomic<uint64_t> g_dispatch_generation{0};
+
+}  // namespace
+
+const CpuFeatures& DetectedCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+std::string CpuFeatureString() {
+  const CpuFeatures& f = DetectedCpuFeatures();
+  std::string out;
+  const auto add = [&out](bool have, const char* name) {
+    if (have) {
+      if (!out.empty()) {
+        out += ' ';
+      }
+      out += name;
+    }
+  };
+  add(f.sse2, "sse2");
+  add(f.ssse3, "ssse3");
+  add(f.fma, "fma");
+  add(f.avx2, "avx2");
+  add(f.avx512f, "avx512f");
+  add(f.avx512bw, "avx512bw");
+  add(f.avx512vnni, "avx512vnni");
+  return out.empty() ? "none" : out;
+}
+
+SimdTier DetectedSimdTier() {
+  static const SimdTier tier = [] {
+    const CpuFeatures& f = DetectedCpuFeatures();
+    if (f.avx512f && f.avx512bw && f.avx512vnni) {
+      return SimdTier::kVnni;
+    }
+    if (f.avx512f && f.avx512bw) {
+      return SimdTier::kAvx512;
+    }
+    if (f.avx2 && f.fma) {
+      return SimdTier::kAvx2;
+    }
+    if (f.ssse3) {
+      return SimdTier::kSsse3;
+    }
+    if (f.sse2) {
+      return SimdTier::kSse2;
+    }
+    return SimdTier::kScalar;
+  }();
+  return tier;
+}
+
+void SetSimdTierCap(SimdTier cap) {
+  g_tier_cap.store(static_cast<int>(cap));
+  g_dispatch_generation.fetch_add(1);
+}
+
+SimdTier SimdTierCap() { return static_cast<SimdTier>(g_tier_cap.load()); }
+
+SimdTier ActiveSimdTier() {
+  const SimdTier cap = SimdTierCap();
+  const SimdTier detected = DetectedSimdTier();
+  return static_cast<int>(cap) < static_cast<int>(detected) ? cap : detected;
+}
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kSse2:
+      return "sse2";
+    case SimdTier::kSsse3:
+      return "ssse3";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+    case SimdTier::kVnni:
+      return "vnni";
+  }
+  return "unknown";
+}
+
+uint64_t SimdDispatchGeneration() { return g_dispatch_generation.load(); }
+
+}  // namespace percival

@@ -1,87 +1,102 @@
-// Compile-time SIMD dispatch for the GEMM micro-kernels.
+// Runtime SIMD dispatch for the GEMM kernel ladder.
 //
-// Exactly one PERCIVAL_SIMD_* macro is defined to 1, chosen from what the
-// compiler was allowed to emit (-march flags / defaults):
-//   * PERCIVAL_SIMD_AVX512 — AVX-512F + BW: 16-wide fused multiply-add, the
-//     float tile widens to 4x32 (2 zmm per row) and the int8 kernel runs
-//     512-bit maddubs/madd.
-//   * PERCIVAL_SIMD_AVX2   — AVX2 + FMA: 8-wide fused multiply-add, the
-//     16-wide panel is two ymm registers per row.
-//   * PERCIVAL_SIMD_SSE2   — 4-wide multiply+add (baseline x86-64 always
-//     has SSE2, so this is the default Release path without -march=native).
-//   * PERCIVAL_SIMD_SCALAR — portable fallback, also kept compiled on every
-//     target as the oracle the parity tests pit the intrinsic paths against.
+// Percival ships as ONE binary to a fleet of heterogeneous machines, so the
+// kernel tier is a runtime value, not a compile-time choice: every float
+// tier (scalar / SSE2 / AVX2+FMA / AVX-512) and every int8 tier (scalar /
+// SSSE3 maddubs / AVX2 maddubs / AVX-512BW maddubs / AVX-512 VNNI) is
+// compiled into the library as its own `-m`-flagged translation unit
+// (src/nn/gemm_tier_*.cc), and cpuid + xgetbv pick the highest tier the
+// host CPU and OS actually support, once, at first use. The dispatch
+// indirection is one function-pointer call per GEMM invocation — noise
+// against a kernel that walks an entire im2col chunk — and in exchange the
+// default-flags Release build runs VNNI-speed int8 on a VNNI host instead
+// of the scalar tier a compile-time `-march` selection would have frozen
+// in.
 //
-// The int8 quantized kernels have their own sub-dispatch because their key
-// instruction (pmaddubsw) arrived with SSSE3, not SSE2: a baseline build
-// therefore pairs SSE2 float kernels with the scalar int8 kernel, while any
-// -march with SSSE3 upgrades int8 to 128-bit maddubs. Above the AVX-512BW
-// maddubs tier sits AVX-512 VNNI: vpdpbusd fuses the maddubs/madd/add
-// triple into one instruction AND accumulates the four u8*s8 products
-// directly into int32 — no 16-bit intermediate, so the ±64 weight-code
-// clamp the saturating tiers need does not apply (see kInt8WeightMax in
-// gemm.h, which widens to ±127 on this tier).
+// The ladder is a single ordered enum because the float and int8 tiers
+// advance together on x86:
 //
-// The selection is deliberately compile-time: the classifier ships as one
-// binary per target, and a runtime-dispatch indirection in a kernel this
-// small costs more than it saves. kSimdPathName / kSimdInt8PathName are
-// logged once at startup so bench logs record which paths produced the
-// numbers.
+//   tier      float kernels   int8 kernels        panel  weight clamp
+//   kScalar   scalar          scalar              16     ±64
+//   kSse2     sse2            scalar              16     ±64
+//   kSsse3    sse2            ssse3-maddubs       16     ±64
+//   kAvx2     avx2+fma        avx2-maddubs        16     ±64
+//   kAvx512   avx512          avx512bw-maddubs    32     ±64
+//   kVnni     avx512          avx512vnni-vpdpbusd 32     ±127
+//
+// (Panel width and clamp are surfaced as runtime values by gemm.h:
+// GemmNativePanelWidth() / Int8WeightMax().)
+//
+// SetSimdTierCap() pins the active tier at or below a rung, which is how a
+// single binary proves the whole parity ladder in one process: cap to each
+// supported tier in turn and the bit-exact int8 / 1e-4 float contracts must
+// hold at every rung (tests/nn_dispatch_test.cc). SetGemmForceScalar (in
+// gemm.h) remains the orthogonal scalar-oracle overlay: it reroutes kernels
+// to the always-compiled scalar tile at the CURRENT tier's panel width and
+// weight clamp, so oracle parity is exact at any cap.
 #ifndef PERCIVAL_SRC_NN_SIMD_H_
 #define PERCIVAL_SRC_NN_SIMD_H_
 
-#if defined(__AVX512F__) && defined(__AVX512BW__)
-#define PERCIVAL_SIMD_AVX512 1
-#include <immintrin.h>
-#elif defined(__AVX2__) && defined(__FMA__)
-#define PERCIVAL_SIMD_AVX2 1
-#include <immintrin.h>
-#elif defined(__SSE2__) || defined(_M_X64) || (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
-#define PERCIVAL_SIMD_SSE2 1
-#include <emmintrin.h>
-#if defined(__SSSE3__)
-#include <tmmintrin.h>
-#endif
-#else
-#define PERCIVAL_SIMD_SCALAR 1
-#endif
-
-// Int8 kernel tier, derived from the float tier above.
-#if defined(PERCIVAL_SIMD_AVX512) && defined(__AVX512VNNI__)
-#define PERCIVAL_SIMD_INT8_VNNI 1
-#elif defined(PERCIVAL_SIMD_AVX512)
-#define PERCIVAL_SIMD_INT8_AVX512 1
-#elif defined(PERCIVAL_SIMD_AVX2)
-#define PERCIVAL_SIMD_INT8_AVX2 1
-#elif defined(PERCIVAL_SIMD_SSE2) && defined(__SSSE3__)
-#define PERCIVAL_SIMD_INT8_SSSE3 1
-#else
-#define PERCIVAL_SIMD_INT8_SCALAR 1
-#endif
+#include <cstdint>
+#include <string>
 
 namespace percival {
 
-#if defined(PERCIVAL_SIMD_AVX512)
-inline constexpr const char* kSimdPathName = "avx512";
-#elif defined(PERCIVAL_SIMD_AVX2)
-inline constexpr const char* kSimdPathName = "avx2+fma";
-#elif defined(PERCIVAL_SIMD_SSE2)
-inline constexpr const char* kSimdPathName = "sse2";
-#else
-inline constexpr const char* kSimdPathName = "scalar";
-#endif
+// The combined kernel ladder, lowest to highest. Comparable: a tier
+// implies every tier below it on x86 hardware.
+enum class SimdTier : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kSsse3 = 2,
+  kAvx2 = 3,
+  kAvx512 = 4,
+  kVnni = 5,
+};
 
-#if defined(PERCIVAL_SIMD_INT8_VNNI)
-inline constexpr const char* kSimdInt8PathName = "avx512vnni-vpdpbusd";
-#elif defined(PERCIVAL_SIMD_INT8_AVX512)
-inline constexpr const char* kSimdInt8PathName = "avx512bw-maddubs";
-#elif defined(PERCIVAL_SIMD_INT8_AVX2)
-inline constexpr const char* kSimdInt8PathName = "avx2-maddubs";
-#elif defined(PERCIVAL_SIMD_INT8_SSSE3)
-inline constexpr const char* kSimdInt8PathName = "ssse3-maddubs";
-#else
-inline constexpr const char* kSimdInt8PathName = "scalar";
-#endif
+inline constexpr int kSimdTierCount = 6;
+
+// CPU capabilities as USABLE by this process: each flag requires the
+// instruction set (cpuid) AND the OS register state it needs (xgetbv —
+// ymm for AVX2, zmm/opmask for AVX-512). Detected once, then cached.
+struct CpuFeatures {
+  bool sse2 = false;
+  bool ssse3 = false;
+  bool fma = false;
+  bool avx2 = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512vnni = false;
+};
+
+const CpuFeatures& DetectedCpuFeatures();
+
+// Space-separated list of the usable feature flags ("sse2 ssse3 fma avx2
+// avx512f avx512bw avx512vnni"), or "none". Recorded in BENCH_*.json so
+// bench trajectories are attributable to the hardware that produced them.
+std::string CpuFeatureString();
+
+// The highest tier the host supports. Constant per process.
+SimdTier DetectedSimdTier();
+
+// Caps the active tier at `cap` (kVnni, the top rung, means uncapped — the
+// default). The effective tier is min(detected, cap); capping above the
+// detected tier never enables kernels the host cannot run. Bumps the
+// dispatch generation so planners repack under the new tier's panel width
+// and weight clamp at their next PlanForward.
+void SetSimdTierCap(SimdTier cap);
+SimdTier SimdTierCap();
+
+// min(DetectedSimdTier(), SimdTierCap()) — the tier the kernel dispatch in
+// gemm.cc resolves against right now.
+SimdTier ActiveSimdTier();
+
+// Short rung name: "scalar", "sse2", "ssse3", "avx2", "avx512", "vnni".
+const char* SimdTierName(SimdTier tier);
+
+// Monotonic counter bumped by SetSimdTierCap. Consumers that cache
+// tier-derived state (Network's kernel plans, Conv2D's pack caches key on
+// the derived values directly) compare it to decide whether to re-plan.
+uint64_t SimdDispatchGeneration();
 
 }  // namespace percival
 

@@ -82,9 +82,9 @@ TEST(GemmConvParityTest, Odd7x7Stride2NoPad) {
 }
 
 TEST(GemmConvParityTest, PanelEdgeChannelCounts) {
-  // Out-channel counts straddling the kGemmTileN panel width exercise the
+  // Out-channel counts straddling the GemmNativePanelWidth() panel width exercise the
   // zero-padded panel edge and the partial StoreTileRow.
-  for (int oc : {1, 3, kGemmTileN - 1, kGemmTileN, kGemmTileN + 1, 2 * kGemmTileN + 5}) {
+  for (int oc : {1, 3, GemmNativePanelWidth() - 1, GemmNativePanelWidth(), GemmNativePanelWidth() + 1, 2 * GemmNativePanelWidth() + 5}) {
     ExpectGemmMatchesNaive(ConvCase{3, oc, 3, 1, 1, 1, 10, 10},
                            100 + static_cast<uint64_t>(oc));
   }

@@ -114,7 +114,7 @@ TEST(LayoutTest, COuterConvMatchesBaselineFloat) {
   Rng shape_rng(61);
   for (int trial = 0; trial < 10; ++trial) {
     const int in_channels = 1 + static_cast<int>(shape_rng.NextBelow(12));
-    const int out_channels = 1 + static_cast<int>(shape_rng.NextBelow(2 * kGemmTileN + 5));
+    const int out_channels = 1 + static_cast<int>(shape_rng.NextBelow(2 * GemmNativePanelWidth() + 5));
     const int kernel = shape_rng.NextBelow(2) == 0 ? 3 : 5;
     const int pad = static_cast<int>(shape_rng.NextBelow(static_cast<uint64_t>(kernel / 2 + 1)));
     const int side = kernel + static_cast<int>(shape_rng.NextBelow(9));
@@ -176,15 +176,15 @@ TEST(PanelTest, KernelLevelPanelParityFloat) {
   Rng shape_rng(81);
   for (int trial = 0; trial < 20; ++trial) {
     const int m = 1 + static_cast<int>(shape_rng.NextBelow(21));
-    const int n = 1 + static_cast<int>(shape_rng.NextBelow(2 * kGemmTileN + 9));
+    const int n = 1 + static_cast<int>(shape_rng.NextBelow(2 * GemmNativePanelWidth() + 9));
     const int k = 1 + static_cast<int>(shape_rng.NextBelow(60));
     Tensor a = RandomTensor(TensorShape{1, 1, m, k}, 400 + trial);
     Tensor b = RandomTensor(TensorShape{1, 1, n, k}, 500 + trial);
     Tensor bias = RandomTensor(TensorShape{1, 1, 1, n}, 600 + trial);
 
-    std::vector<float> packed_native(PackedPanelFloats(n, k, kGemmTileN));
+    std::vector<float> packed_native(PackedPanelFloats(n, k, GemmNativePanelWidth()));
     std::vector<float> packed_narrow(PackedPanelFloats(n, k, kGemmTileNMin));
-    PackFilterPanels(b.data(), n, k, packed_native.data(), kGemmTileN);
+    PackFilterPanels(b.data(), n, k, packed_native.data(), GemmNativePanelWidth());
     PackFilterPanels(b.data(), n, k, packed_narrow.data(), kGemmTileNMin);
 
     for (const bool force_scalar : {false, true}) {
@@ -192,7 +192,7 @@ TEST(PanelTest, KernelLevelPanelParityFloat) {
       std::vector<float> c_narrow(static_cast<size_t>(m) * n, 1.0f);
       SetGemmForceScalar(force_scalar);
       GemmPackedEx(m, n, k, a.data(), packed_native.data(), bias.data(),
-                   GemmEpilogue::kBiasRelu, c_native.data(), n, kGemmTileN);
+                   GemmEpilogue::kBiasRelu, c_native.data(), n, GemmNativePanelWidth());
       GemmPackedEx(m, n, k, a.data(), packed_narrow.data(), bias.data(),
                    GemmEpilogue::kBiasRelu, c_narrow.data(), n, kGemmTileNMin);
       SetGemmForceScalar(false);
@@ -210,14 +210,14 @@ TEST(PanelTest, KernelLevelPanelParityInt8) {
   Rng shape_rng(91);
   for (int trial = 0; trial < 20; ++trial) {
     const int m = 1 + static_cast<int>(shape_rng.NextBelow(19));
-    const int n = 1 + static_cast<int>(shape_rng.NextBelow(2 * kGemmTileN + 9));
+    const int n = 1 + static_cast<int>(shape_rng.NextBelow(2 * GemmNativePanelWidth() + 9));
     const int k = 1 + static_cast<int>(shape_rng.NextBelow(50));
     Tensor b = RandomTensor(TensorShape{1, 1, n, k}, 700 + trial);
     Int8PackedFilters native;
     Int8PackedFilters narrow;
-    PackFilterPanelsInt8(b.data(), n, k, &native, kGemmTileN);
+    PackFilterPanelsInt8(b.data(), n, k, &native, GemmNativePanelWidth());
     PackFilterPanelsInt8(b.data(), n, k, &narrow, kGemmTileNMin);
-    ASSERT_EQ(native.panel_width, kGemmTileN);
+    ASSERT_EQ(native.panel_width, GemmNativePanelWidth());
     ASSERT_EQ(narrow.panel_width, kGemmTileNMin);
 
     Rng code_rng(800 + static_cast<uint64_t>(trial));
@@ -250,7 +250,7 @@ TEST(PanelTest, KernelLevelPanelParityInt8) {
 // Conv-level parity across panel widths, float and int8, fused fire module
 // included — the shapes the planner actually flips.
 TEST(PanelTest, ConvAndFireMatchAcrossPanelWidths) {
-  for (const int width : {kGemmTileNMin, kGemmTileN}) {
+  for (const int width : {kGemmTileNMin, GemmNativePanelWidth()}) {
     SCOPED_TRACE(width);
     Rng rng_a(17);
     Rng rng_b(17);
@@ -290,24 +290,24 @@ TEST(PlannerTest, NarrowShapesPickThe16WideTile) {
   narrow.PlanKernels(shape);
   edge.PlanKernels(shape);
   wide.PlanKernels(shape);
-  if (kGemmTileN > kGemmTileNMin) {
+  if (GemmNativePanelWidth() > kGemmTileNMin) {
     // AVX-512 build: narrow output channels take the 16-wide sub-tile.
     EXPECT_EQ(narrow.plan().panel_width, kGemmTileNMin);
     EXPECT_EQ(edge.plan().panel_width, kGemmTileNMin);
   } else {
-    EXPECT_EQ(narrow.plan().panel_width, kGemmTileN);
+    EXPECT_EQ(narrow.plan().panel_width, GemmNativePanelWidth());
   }
-  EXPECT_EQ(wide.plan().panel_width, kGemmTileN);
+  EXPECT_EQ(wide.plan().panel_width, GemmNativePanelWidth());
   EXPECT_EQ(narrow.plan().layout, ActivationLayout::kKhKwC);
 
   // Fire planning hands each inner conv its true input shape.
   Rng fire_rng(22);
   FireModule fire(64, 16, 64, fire_rng);
   fire.PlanKernels(TensorShape{1, 8, 8, 64});
-  if (kGemmTileN > kGemmTileNMin) {
+  if (GemmNativePanelWidth() > kGemmTileNMin) {
     EXPECT_EQ(fire.squeeze().plan().panel_width, kGemmTileNMin);
-    EXPECT_EQ(fire.expand1x1().plan().panel_width, kGemmTileN);
-    EXPECT_EQ(fire.expand3x3().plan().panel_width, kGemmTileN);
+    EXPECT_EQ(fire.expand1x1().plan().panel_width, GemmNativePanelWidth());
+    EXPECT_EQ(fire.expand3x3().plan().panel_width, GemmNativePanelWidth());
   }
 
   // Global pinning overrides the heuristic (the A/B knob benches use).
@@ -344,7 +344,7 @@ TEST(PlannerTest, PinnedPlanSurvivesReplanning) {
   EXPECT_EQ(conv.plan().layout, ActivationLayout::kCOuter);
   conv.ClearKernelPlanPin();
   conv.PlanKernels(shape);
-  EXPECT_EQ(conv.plan().panel_width, kGemmTileN);  // 64 channels -> native width
+  EXPECT_EQ(conv.plan().panel_width, GemmNativePanelWidth());  // 64 channels -> native width
   EXPECT_EQ(conv.plan().layout, ActivationLayout::kKhKwC);
 }
 

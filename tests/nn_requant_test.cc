@@ -48,7 +48,7 @@ struct RequantCase {
   int m = 0;
   int n = 0;
   int k = 0;
-  int panel_width = kGemmTileN;
+  int panel_width = GemmNativePanelWidth();
   GemmEpilogue epilogue = GemmEpilogue::kBias;
   ActivationQuant quant;
   ActivationQuant out_quant;
@@ -61,7 +61,7 @@ struct RequantCase {
 RequantCase MakeCase(Rng& shape_rng, int trial, int panel_width) {
   RequantCase c;
   c.m = 1 + static_cast<int>(shape_rng.NextBelow(23));
-  c.n = 1 + static_cast<int>(shape_rng.NextBelow(2 * kGemmTileN + 7));
+  c.n = 1 + static_cast<int>(shape_rng.NextBelow(2 * GemmNativePanelWidth() + 7));
   c.k = 1 + static_cast<int>(shape_rng.NextBelow(70));
   c.panel_width = panel_width;
 
@@ -96,8 +96,8 @@ RequantCase MakeCase(Rng& shape_rng, int trial, int panel_width) {
 TEST(RequantKernelTest, IntrinsicMatchesScalarOracleExactly) {
   Rng shape_rng(7);
   for (int trial = 0; trial < 30; ++trial) {
-    for (const int pw : {kGemmTileNMin, kGemmTileN}) {
-      RequantCase c = MakeCase(shape_rng, trial * 2 + (pw == kGemmTileN ? 1 : 0), pw);
+    for (const int pw : {kGemmTileNMin, GemmNativePanelWidth()}) {
+      RequantCase c = MakeCase(shape_rng, trial * 2 + (pw == GemmNativePanelWidth() ? 1 : 0), pw);
 
       std::vector<uint8_t> u8_simd(static_cast<size_t>(c.m) * c.n, 0xAA);
       std::vector<uint8_t> u8_scalar(static_cast<size_t>(c.m) * c.n, 0x55);
@@ -123,9 +123,9 @@ TEST(RequantKernelTest, IntrinsicMatchesScalarOracleExactly) {
 TEST(RequantKernelTest, RequantEqualsFloatStorePlusQuantize) {
   Rng shape_rng(9);
   for (int trial = 0; trial < 20; ++trial) {
-    for (const int pw : {kGemmTileNMin, kGemmTileN}) {
+    for (const int pw : {kGemmTileNMin, GemmNativePanelWidth()}) {
       for (const bool force_scalar : {false, true}) {
-        RequantCase c = MakeCase(shape_rng, 100 + trial * 4 + (pw == kGemmTileN ? 2 : 0) +
+        RequantCase c = MakeCase(shape_rng, 100 + trial * 4 + (pw == GemmNativePanelWidth() ? 2 : 0) +
                                                 (force_scalar ? 1 : 0),
                                  pw);
 
@@ -364,6 +364,70 @@ TEST(RequantAccuracyGuardTest, TopOneAgreementWithZeroFloatPlanActive) {
                              << kBatch << " top-1 decisions";
   EXPECT_LE(worst_logit_diff, 0.05f) << "zero-float logits drifted past the guard tolerance";
   (void)MaxAbsDiff;
+}
+
+// GAP-on-codes guard (the knob ships default-off): with SetGapCodesEnabled
+// the final conv's requantized store feeds GlobalAvgPool directly as codes
+// — one more requant link, no float activation tensor before pooling. The
+// average moves into code space, so logits are NOT bit-identical to the
+// staged path; this 64-image guard is what the knob's default-off ships
+// behind: >= 99% top-1 agreement against the float oracle.
+TEST(RequantAccuracyGuardTest, TopOneAgreementWithGapOnCodes) {
+  ASSERT_FALSE(GapCodesEnabled()) << "GAP-on-codes must ship default-off";
+  const PercivalNetConfig config = TestProfile();
+  Network float_net = BuildPercivalNet(config);
+  Network int8_net = BuildPercivalNet(config);  // same init_seed -> same weights
+  float_net.SetTrainingMode(false);
+  int8_net.SetTrainingMode(false);
+
+  const int kBatch = 64;
+  Rng rng(321);
+  std::vector<Bitmap> images;
+  images.reserve(kBatch);
+  for (int i = 0; i < kBatch; ++i) {
+    if (i % 2 == 0) {
+      AdImageOptions options;
+      images.push_back(GenerateAdImage(rng, options));
+    } else {
+      ContentImageOptions options;
+      images.push_back(GenerateContentImage(rng, options));
+    }
+  }
+  Tensor batch(kBatch, config.input_size, config.input_size, config.input_channels);
+  for (int i = 0; i < kBatch; ++i) {
+    BitmapToTensorInto(images[static_cast<size_t>(i)], config.input_size,
+                       config.input_channels, batch.SampleData(i));
+  }
+
+  // Calibration also captures GAP's input range — the slot the GAP link
+  // needs to derive conv_final's emit quantization.
+  int8_net.SetCalibrationCapture(true);
+  int8_net.Forward(batch);
+  int8_net.SetCalibrationCapture(false);
+  int8_net.SetPrecision(Precision::kInt8);
+
+  int8_net.Forward(batch);
+  const size_t links_without_gap = int8_net.RequantLinkCount();
+
+  SetGapCodesEnabled(true);
+  Tensor float_logits = float_net.Forward(batch);
+  Tensor int8_logits = int8_net.Forward(batch);  // knob change forces a re-plan
+  const size_t links_with_gap = int8_net.RequantLinkCount();
+  SetGapCodesEnabled(false);
+
+  ASSERT_GT(links_with_gap, links_without_gap)
+      << "GAP-on-codes did not add the conv_final -> global_avgpool link";
+  ASSERT_TRUE(float_logits.shape() == int8_logits.shape());
+
+  int agree = 0;
+  for (int i = 0; i < kBatch; ++i) {
+    if (float_logits.ArgMaxInSample(i) == int8_logits.ArgMaxInSample(i)) {
+      ++agree;
+    }
+  }
+  const double agreement = static_cast<double>(agree) / kBatch;
+  EXPECT_GE(agreement, 0.99) << "GAP-on-codes flipped " << (kBatch - agree) << " of "
+                             << kBatch << " top-1 decisions";
 }
 
 }  // namespace
