@@ -1,0 +1,112 @@
+#include "src/base/faultpoint.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace percival {
+namespace faultpoint {
+
+namespace internal {
+std::atomic<int64_t> g_armed_points{0};
+}  // namespace internal
+
+namespace {
+
+struct FaultState {
+  bool armed = false;
+  FaultSpec spec;
+  int64_t remaining = -1;  // firings left; < 0 = unlimited
+  int64_t fires = 0;       // cumulative, survives disarm
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::unordered_map<std::string, FaultState>& Registry() {
+  static std::unordered_map<std::string, FaultState> registry;
+  return registry;
+}
+
+}  // namespace
+
+void Arm(const std::string& name, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  FaultState& state = Registry()[name];
+  if (!state.armed) {
+    internal::g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.armed = true;
+  state.spec = spec;
+  state.remaining = spec.count;
+}
+
+void Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  if (it != Registry().end() && it->second.armed) {
+    it->second.armed = false;
+    internal::g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (auto& [name, state] : Registry()) {
+    if (state.armed) {
+      state.armed = false;
+      internal::g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool IsArmed(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  return it != Registry().end() && it->second.armed;
+}
+
+int64_t FireCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.fires;
+}
+
+namespace internal {
+
+bool FireSlow(const char* name) {
+  double delay_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    auto it = Registry().find(name);
+    if (it == Registry().end() || !it->second.armed) {
+      return false;
+    }
+    FaultState& state = it->second;
+    if (state.remaining == 0) {
+      // A finite count exhausted by a concurrent firing between the fast
+      // path and this lock: treat as disarmed.
+      state.armed = false;
+      g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (state.remaining > 0 && --state.remaining == 0) {
+      state.armed = false;  // this call consumes the last firing
+      g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+    }
+    ++state.fires;
+    delay_ms = state.spec.delay_ms;
+  }
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+  }
+  return true;
+}
+
+}  // namespace internal
+
+}  // namespace faultpoint
+}  // namespace percival

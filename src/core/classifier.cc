@@ -1,8 +1,14 @@
 #include "src/core/classifier.h"
 
 #include <algorithm>
+#include <chrono>
+#include <iterator>
+#include <new>
+#include <thread>
 
+#include "src/base/faultpoint.h"
 #include "src/base/hash.h"
+#include "src/base/logging.h"
 #include "src/base/stopwatch.h"
 #include "src/img/resize.h"
 #include "src/nn/activation.h"
@@ -111,6 +117,43 @@ bool AdClassifier::u8_direct_active() const {
   return u8_direct_active_;
 }
 
+void AdClassifier::SetServingPolicy(const ServingPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  policy_ = policy;
+}
+
+ServingPolicy AdClassifier::serving_policy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return policy_;
+}
+
+bool AdClassifier::LoadWeightsWithRetry(const std::string& path) {
+  const ServingPolicy policy = serving_policy();
+  const int retries = std::max(0, policy.reload_max_retries);
+  double backoff_ms = std::max(0.0, policy.reload_backoff_ms);
+  for (int attempt = 0;; ++attempt) {
+    // LoadWeights itself is stage-then-commit, so every failed attempt —
+    // including the last — leaves the previous good network serving.
+    if (LoadWeights(path)) {
+      return true;
+    }
+    if (attempt >= retries) {
+      LogLine("classifier: reload of '" + path + "' failed after " +
+              std::to_string(attempt + 1) +
+              " attempt(s); keeping the previous weights");
+      return false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.reload_retries;
+    }
+    if (backoff_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms *= 2.0;
+    }
+  }
+}
+
 bool AdClassifier::LoadWeights(const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   // One read, then peek + deserialize the SAME bytes: re-opening the file
@@ -186,22 +229,35 @@ ClassifyResult AdClassifier::Classify(const Bitmap& image) {
       u8.active = false;
       input = BitmapToTensor(image, config_.input_size, config_.input_channels);
     }
-    Tensor logits;
-    if (u8.active) {
-      logits = network_.ForwardQuantized(MakeU8View(u8, codes.data(), 1));
-      ++stats_.u8_direct;
-    } else {
-      logits = network_.Forward(input);
+    try {
+      Tensor logits;
+      if (u8.active) {
+        logits = network_.ForwardQuantized(MakeU8View(u8, codes.data(), 1));
+        ++stats_.u8_direct;
+      } else {
+        logits = network_.Forward(input);
+      }
+      Softmax softmax;
+      Tensor probs = softmax.Forward(logits);
+      // Class 1 == ad by convention throughout the repo.
+      result.ad_probability = probs.at(0, 0, 0, 1);
+    } catch (const std::bad_alloc&) {
+      // Forward scratch allocation failed: fail OPEN. Rendering an
+      // unclassified ad is recoverable (the next visit re-classifies);
+      // blocking content — or crashing the host browser — is not. The
+      // tensors and arena unwind cleanly, so the next forward starts fresh.
+      ++stats_.alloc_failovers;
+      result.ad_probability = 0.0f;
     }
-    Softmax softmax;
-    Tensor probs = softmax.Forward(logits);
-    // Class 1 == ad by convention throughout the repo.
-    result.ad_probability = probs.at(0, 0, 0, 1);
     result.is_ad = result.ad_probability >= threshold_;
     result.latency_ms = timer.ElapsedMs();
     ++stats_.classified;
     if (result.is_ad) {
       ++stats_.blocked;
+    }
+    if (policy_.classify_deadline_ms > 0.0 &&
+        result.latency_ms > policy_.classify_deadline_ms) {
+      ++stats_.deadline_misses;  // soft: the result above still stands
     }
     stats_.total_latency_ms += result.latency_ms;
   }
@@ -264,25 +320,39 @@ std::vector<ClassifyResult> AdClassifier::ClassifyBatch(
     // batches queueing on the network mutex must not bill their wait as
     // classification latency.
     Stopwatch forward_timer;
-    Tensor logits;
-    if (u8.active) {
-      logits = network_.ForwardQuantized(MakeU8View(u8, codes.data(), batch));
-      stats_.u8_direct += batch;
-    } else {
-      logits = network_.Forward(input);
+    Tensor probs;
+    bool failed_open = false;
+    try {
+      Tensor logits;
+      if (u8.active) {
+        logits = network_.ForwardQuantized(MakeU8View(u8, codes.data(), batch));
+        stats_.u8_direct += batch;
+      } else {
+        logits = network_.Forward(input);
+      }
+      Softmax softmax;
+      probs = softmax.Forward(logits);
+    } catch (const std::bad_alloc&) {
+      // See Classify(): the whole batch fails open rather than crashing or
+      // blocking — each frame renders and re-classifies on its next visit.
+      stats_.alloc_failovers += batch;
+      failed_open = true;
     }
-    Softmax softmax;
-    Tensor probs = softmax.Forward(logits);
     const double elapsed = preprocess_ms + forward_timer.ElapsedMs();
     const double per_image = elapsed / batch;
+    const bool missed_deadline =
+        policy_.classify_deadline_ms > 0.0 && per_image > policy_.classify_deadline_ms;
     for (int i = 0; i < batch; ++i) {
       ClassifyResult& r = results[static_cast<size_t>(i)];
-      r.ad_probability = probs.at(i, 0, 0, 1);
+      r.ad_probability = failed_open ? 0.0f : probs.at(i, 0, 0, 1);
       r.is_ad = r.ad_probability >= threshold_;
       r.latency_ms = per_image;
       ++stats_.classified;
       if (r.is_ad) {
         ++stats_.blocked;
+      }
+      if (missed_deadline) {
+        ++stats_.deadline_misses;
       }
     }
     stats_.total_latency_ms += elapsed;
@@ -315,18 +385,125 @@ void AsyncAdClassifier::SetPrimaryHashForTest(HashFn fn) {
   primary_hash_ = fn != nullptr ? fn : &HashBytes;
 }
 
+void AsyncAdClassifier::SetServingPolicy(const ServingPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  policy_ = policy;
+  // A tightened memo cap applies immediately, not at the next insert: the
+  // whole point of the cap is a memory bound that holds right now.
+  if (policy_.max_memo_entries > 0) {
+    while (memo_slots_.size() > policy_.max_memo_entries) {
+      MemoEvictOneLocked();
+    }
+  }
+}
+
+ServingPolicy AsyncAdClassifier::serving_policy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return policy_;
+}
+
+void AsyncAdClassifier::MemoEvictOneLocked() {
+  // CLOCK second-chance sweep: clear reference bits until an unreferenced
+  // slot comes under the hand, then swap-remove it so the ring stays dense.
+  // Worst case is two revolutions (first clears every bit), so the sweep is
+  // O(capacity) bounded even when everything was recently hit.
+  PCHECK(!memo_slots_.empty());
+  for (;;) {
+    if (clock_hand_ >= memo_slots_.size()) {
+      clock_hand_ = 0;
+    }
+    MemoSlot& slot = memo_slots_[clock_hand_];
+    if (slot.referenced) {
+      slot.referenced = false;
+      ++clock_hand_;
+      continue;
+    }
+    memo_index_.erase(slot.key);
+    if (clock_hand_ + 1 != memo_slots_.size()) {
+      slot = memo_slots_.back();
+      memo_index_[slot.key] = clock_hand_;
+    }
+    memo_slots_.pop_back();
+    ++stats_.evicted;
+    return;
+  }
+}
+
+void AsyncAdClassifier::MemoInsertLocked(uint64_t key, uint64_t verify, bool is_ad) {
+  auto it = memo_index_.find(key);
+  if (it != memo_index_.end()) {
+    // Last writer wins if two colliding creatives were in one drain; the
+    // loser re-classifies on its next frame (counted as a collision)
+    // instead of inheriting the winner's decision.
+    MemoSlot& slot = memo_slots_[it->second];
+    slot.verify = verify;
+    slot.is_ad = is_ad;
+    return;
+  }
+  if (policy_.max_memo_entries > 0 && memo_slots_.size() >= policy_.max_memo_entries) {
+    MemoEvictOneLocked();
+  }
+  memo_index_[key] = memo_slots_.size();
+  // Inserted unreferenced: a new entry earns its reference bit with a hit,
+  // so a flood of one-off creatives recycles its own slots instead of
+  // evicting the fleet's hot set.
+  memo_slots_.push_back(MemoSlot{key, verify, is_ad, false});
+}
+
+void AsyncAdClassifier::NoteBatchLatencyLocked(double per_image_ms) {
+  if (policy_.classify_deadline_ms <= 0.0) {
+    return;
+  }
+  if (per_image_ms <= policy_.classify_deadline_ms) {
+    consecutive_misses_ = 0;
+    return;
+  }
+  ++stats_.deadline_misses;
+  if (!degraded_ && policy_.degrade_after_misses > 0 &&
+      ++consecutive_misses_ >= policy_.degrade_after_misses) {
+    // Trip the degrade state: fail open on every uncached creative (the
+    // paper's async contract — render now — held even when inference has
+    // gone pathological) until recover_after_frames frames pass.
+    degraded_ = true;
+    frames_until_recovery_ = std::max(1, policy_.recover_after_frames);
+    ++stats_.degrade_transitions;
+    LogLine("async classifier: DEGRADED (fail-open) after " +
+            std::to_string(consecutive_misses_) +
+            " consecutive over-deadline batches; self-heal in " +
+            std::to_string(frames_until_recovery_) + " frames");
+  }
+}
+
 bool AsyncAdClassifier::OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
                                        const std::string& source_url) {
   (void)info;
   (void)source_url;
   std::lock_guard<std::mutex> lock(mutex_);
+  // Degrade bookkeeping first: every arriving frame advances the self-heal
+  // countdown, and the frame that reaches zero is admitted normally again
+  // (it is the probe that proves recovery).
+  bool shed_uncached = false;
+  if (degraded_) {
+    ++stats_.degraded_frames;
+    if (--frames_until_recovery_ <= 0) {
+      degraded_ = false;
+      consecutive_misses_ = 0;
+      ++stats_.degrade_transitions;
+      LogLine("async classifier: degrade state cleared; resuming admission");
+    } else {
+      shed_uncached = true;
+    }
+  }
   const uint64_t key = primary_hash_(pixels.data(), pixels.byte_size());
   const uint64_t verify = HashBytesSeeded(pixels.data(), pixels.byte_size(), kVerifyHashSeed);
-  auto it = memo_.find(key);
-  if (it != memo_.end()) {
-    if (it->second.verify == verify) {
+  auto it = memo_index_.find(key);
+  if (it != memo_index_.end()) {
+    MemoSlot& slot = memo_slots_[it->second];
+    if (slot.verify == verify) {
       ++stats_.cache_hits;
-      return it->second.is_ad;  // Memoized decision applies immediately.
+      slot.referenced = true;  // CLOCK recency: a hit defends the slot
+      return slot.is_ad;       // Memoized decision applies immediately —
+                               // even degraded, a lookup is always allowed.
     }
     // Same 64-bit hash, different payload: applying the cached decision
     // would block/pass the wrong creative. Count it and classify this frame
@@ -334,21 +511,40 @@ bool AsyncAdClassifier::OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
     ++stats_.hash_collisions;
   }
   ++stats_.cache_misses;
-  // Not yet known: let the frame render now (no added latency) and queue
-  // the pixels for off-critical-path classification — unless the same
-  // creative (primary AND verify hash) is already queued or being
-  // classified by an in-flight drain.
-  if (in_flight_.insert(HashCombine(key, verify)).second) {
-    pending_.push_back(PendingFrame{key, verify, pixels});
+  // Not yet known: the frame renders now regardless (no added latency);
+  // the admission ladder only decides whether classification work is
+  // queued for it. Rungs, in order: degraded -> shed; duplicate ->
+  // coalesce; queue full (or saturation fault) -> shed; else admit.
+  if (shed_uncached) {
+    ++stats_.shed;
+    return false;
   }
+  const uint64_t flight_key = HashCombine(key, verify);
+  if (in_flight_.count(flight_key) != 0) {
+    ++stats_.coalesced;  // already queued or mid-drain: ride that work
+    return false;
+  }
+  if ((policy_.max_pending > 0 && pending_.size() >= policy_.max_pending) ||
+      faultpoint::ShouldFire(faultpoint::kQueueSaturate)) {
+    ++stats_.shed;  // bounded admission: render unclassified, don't queue
+    return false;
+  }
+  in_flight_.insert(flight_key);
+  pending_.push_back(PendingFrame{key, verify, pixels});
   return false;
 }
 
-void AsyncAdClassifier::DrainPending(ThreadPool* pool, int batch_size) {
+void AsyncAdClassifier::DrainPending(ThreadPool* pool, int batch_size, double budget_ms) {
+  // batch_size <= 0 used to make zero-size batches — ceil(n/0) progress,
+  // i.e. none, and a caller looping "drain until pending empty" would spin
+  // forever. Clamp to one frame per batch (regression-tested).
   batch_size = std::max(batch_size, 1);
+  Stopwatch timer;
   std::vector<PendingFrame> work;
+  double budget = 0.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    budget = budget_ms >= 0.0 ? budget_ms : policy_.drain_budget_ms;
     work.swap(pending_);
     // Keys stay in in_flight_ until their result is memoized below, so
     // frames decoded mid-drain cannot re-queue a creative being classified.
@@ -357,7 +553,9 @@ void AsyncAdClassifier::DrainPending(ThreadPool* pool, int batch_size) {
     return;
   }
 
-  const int batches = (static_cast<int>(work.size()) + batch_size - 1) / batch_size;
+  const int batches =
+      static_cast<int>((work.size() + static_cast<size_t>(batch_size) - 1) /
+                       static_cast<size_t>(batch_size));
   auto run_batch = [&](int index) {
     const size_t begin = static_cast<size_t>(index) * static_cast<size_t>(batch_size);
     const size_t end = std::min(work.size(), begin + static_cast<size_t>(batch_size));
@@ -369,28 +567,59 @@ void AsyncAdClassifier::DrainPending(ThreadPool* pool, int batch_size) {
     const std::vector<ClassifyResult> results = inner_.ClassifyBatch(images);
     std::lock_guard<std::mutex> lock(mutex_);
     for (size_t i = begin; i < end; ++i) {
-      // Last writer wins if two colliding creatives were in this drain; the
-      // evicted one re-classifies on its next frame (counted as a
-      // collision) instead of inheriting the winner's decision.
-      memo_[work[i].key] = MemoEntry{work[i].verify, results[i - begin].is_ad};
+      MemoInsertLocked(work[i].key, work[i].verify, results[i - begin].is_ad);
       in_flight_.erase(HashCombine(work[i].key, work[i].verify));
+    }
+    if (!results.empty()) {
+      // All results in one batch share the per-image latency; one reading
+      // feeds the deadline/degrade ladder per batch.
+      NoteBatchLatencyLocked(results[0].latency_ms);
     }
   };
 
-  if (pool != nullptr && batches > 1) {
-    // Batches overlap: while one batch holds the network lock for its
-    // forward pass, others preprocess their bitmaps.
+  if (budget <= 0.0 && pool != nullptr && batches > 1) {
+    // Unbudgeted pooled drain: batches overlap — while one batch holds the
+    // network lock for its forward pass, others preprocess their bitmaps.
     pool->ParallelFor(batches, run_batch);
-  } else {
-    for (int i = 0; i < batches; ++i) {
-      run_batch(i);
+    return;
+  }
+  // Budgeted (or serial) drain: the budget is checked BETWEEN batches, so
+  // one batch always completes (a drain that could do nothing would never
+  // catch up) and a batch never runs past the budget it started under.
+  int done = 0;
+  while (done < batches) {
+    run_batch(done);
+    ++done;
+    if (budget > 0.0 && done < batches && timer.ElapsedMs() >= budget) {
+      break;
     }
+  }
+  if (done < batches) {
+    // Budget spent with work left: requeue the unprocessed tail at the
+    // front (admission order preserved). Their in_flight_ keys were never
+    // released, so duplicates arriving meanwhile still coalesce.
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.insert(pending_.begin(),
+                    std::make_move_iterator(work.begin() +
+                                            static_cast<size_t>(done) *
+                                                static_cast<size_t>(batch_size)),
+                    std::make_move_iterator(work.end()));
   }
 }
 
 int64_t AsyncAdClassifier::cache_size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return static_cast<int64_t>(memo_.size());
+  return static_cast<int64_t>(memo_index_.size());
+}
+
+int64_t AsyncAdClassifier::pending_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(pending_.size());
+}
+
+bool AsyncAdClassifier::degraded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return degraded_;
 }
 
 ClassifierStats AsyncAdClassifier::stats() const {

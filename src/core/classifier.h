@@ -33,6 +33,61 @@ struct ClassifyResult {
   double latency_ms = 0.0;
 };
 
+// Overload-hardening knobs for the serving path. One struct carries every
+// policy so a deployment configures the whole degradation ladder in one
+// place; the defaults reproduce the paper's semantics (classify everything,
+// never block a paint) with generous-but-finite memory bounds.
+//
+// The ladder, from healthy to degraded:
+//   1. admit      — frame queued for off-critical-path classification;
+//   2. coalesce   — duplicate of an already queued/in-flight creative:
+//                   renders now, classified once (stats().coalesced);
+//   3. shed       — pending queue at max_pending (or the
+//                   classifier.queue.saturate fault armed): the frame
+//                   renders unclassified and is NOT queued — fail-open, the
+//                   paper's async contract (stats().shed);
+//   4. evict      — memo at max_memo_entries: CLOCK second-chance eviction
+//                   keeps the hot set and bounds memory (stats().evicted);
+//   5. degrade    — degrade_after_misses consecutive over-deadline drain
+//                   batches trip a fail-open state: every uncached frame is
+//                   shed without queueing until recover_after_frames frames
+//                   have passed, then admission resumes with a clean miss
+//                   counter (stats().degraded_frames / degrade_transitions).
+struct ServingPolicy {
+  // ---- bounded admission (AsyncAdClassifier) ----
+  // Pending-queue capacity; a frame arriving with the queue full is shed.
+  // 0 = unbounded (pre-hardening behavior).
+  size_t max_pending = 256;
+  // Memo-cache capacity in entries; insertion at capacity evicts via CLOCK
+  // second-chance (a hit sets the entry's reference bit; the sweep evicts
+  // the first unreferenced entry). 0 = unbounded.
+  size_t max_memo_entries = 4096;
+
+  // ---- deadlines ----
+  // Soft per-classification deadline: a classification that takes longer
+  // still completes (soft — the result is not discarded) but counts a
+  // deadline miss, which feeds the degrade ladder. <= 0 disables.
+  double classify_deadline_ms = 0.0;
+  // Default time budget for DrainPending when the caller passes none:
+  // the drain stops between batches once the budget is spent and leaves the
+  // remaining frames queued for the next drain. <= 0 = unlimited.
+  double drain_budget_ms = 0.0;
+
+  // ---- graceful degradation ----
+  // Consecutive over-deadline drain batches that trip the degrade state.
+  // <= 0 disables degradation entirely.
+  int degrade_after_misses = 8;
+  // Frames observed while degraded before the classifier self-heals and
+  // resumes admission.
+  int recover_after_frames = 64;
+
+  // ---- reload ----
+  // LoadWeightsWithRetry: retries after the initial failed attempt, with
+  // exponential backoff starting at reload_backoff_ms (doubling each time).
+  int reload_max_retries = 3;
+  double reload_backoff_ms = 0.5;
+};
+
 struct ClassifierStats {
   int64_t classified = 0;
   int64_t blocked = 0;
@@ -45,6 +100,28 @@ struct ClassifierStats {
   // verification hash did not — a genuine collision. The colliding frame is
   // re-classified instead of inheriting the cached decision.
   int64_t hash_collisions = 0;
+  // ---- overload observability (see ServingPolicy's ladder) ----
+  // Frames refused admission (queue full, saturation fault, or degraded):
+  // they rendered unclassified and were not queued.
+  int64_t shed = 0;
+  // Frames whose creative was already queued or in an in-flight drain: they
+  // rendered immediately and ride the existing classification.
+  int64_t coalesced = 0;
+  // Memo entries evicted by the CLOCK sweep to stay under max_memo_entries.
+  int64_t evicted = 0;
+  // Classifications (sync) / drain batches (async) that exceeded the soft
+  // classify_deadline_ms.
+  int64_t deadline_misses = 0;
+  // Frames that arrived while the degrade state was active.
+  int64_t degraded_frames = 0;
+  // Degrade state changes, entering and leaving each counting one — an even
+  // value means the classifier is currently healthy.
+  int64_t degrade_transitions = 0;
+  // Reload attempts beyond the first in LoadWeightsWithRetry.
+  int64_t reload_retries = 0;
+  // Classifications that failed open (not-ad, probability 0) because the
+  // forward pass could not allocate scratch memory.
+  int64_t alloc_failovers = 0;
   double total_latency_ms = 0.0;
   double MeanLatencyMs() const {
     return classified == 0 ? 0.0 : total_latency_ms / static_cast<double>(classified);
@@ -75,9 +152,33 @@ class AdClassifier : public ImageInterceptor {
   // Thread-safe with Classify().
   bool LoadWeights(const std::string& path);
 
+  // LoadWeights with retry + exponential backoff per the serving policy:
+  // a transiently unreadable or corrupt artifact (an updater mid-write, a
+  // torn download) is retried reload_max_retries times, sleeping
+  // reload_backoff_ms * 2^k between attempts and counting
+  // stats().reload_retries. Every failed attempt leaves the previous good
+  // network serving — LoadWeights stages and validates the whole artifact
+  // before committing anything — so a permanently corrupt file degrades to
+  // "keep classifying with the prior weights", never to a half-loaded
+  // model.
+  bool LoadWeightsWithRetry(const std::string& path);
+
+  // Installs the serving policy (deadline + reload knobs apply to this
+  // classifier; the admission/degrade knobs are read by the async wrapper's
+  // own policy). Thread-safe.
+  void SetServingPolicy(const ServingPolicy& policy);
+  ServingPolicy serving_policy() const;
+
   // Runs one forward pass on `image` (resized to the profile's input).
   // Thread-safe: the network's forward state is guarded by a mutex, which
   // mirrors one classifier instance shared across raster workers.
+  //
+  // Failure modes are defined, never undefined: a forward pass that cannot
+  // allocate scratch memory fails OPEN (is_ad = false, probability 0,
+  // stats().alloc_failovers) — the paper's contract is "never delay the
+  // current paint", and an ad slipping through is the recoverable error. A
+  // classification exceeding serving_policy().classify_deadline_ms still
+  // returns its result but counts stats().deadline_misses.
   ClassifyResult Classify(const Bitmap& image);
 
   // Classifies `images` in one stacked forward pass. Preprocessing fans out
@@ -143,6 +244,7 @@ class AdClassifier : public ImageInterceptor {
   Precision precision_ = Precision::kFloat32;
   int min_dimension_ = 0;
   mutable std::mutex mutex_;
+  ServingPolicy policy_;
   ClassifierStats stats_;
   // u8-direct state (guarded by mutex_): whether the next classification
   // may preprocess straight to uint8. The input quantization is NOT stored
@@ -155,6 +257,13 @@ class AdClassifier : public ImageInterceptor {
 // "classifying images asynchronously... allows for memoization of the
 // results"). Keyed by a hash of the decoded pixels, so the same creative
 // served under a different URL still hits.
+//
+// Overload-hardened: admission is bounded (ServingPolicy::max_pending, with
+// an explicit admit / coalesce / shed ladder), the memo cache is capped
+// with CLOCK eviction (max_memo_entries), drains honor a time budget, and
+// sustained deadline misses trip a fail-open degrade state that self-heals.
+// Every transition is observable through stats(); under any failure the
+// wrapper's answer stays "render now" — overload can never block a paint.
 class AsyncAdClassifier : public ImageInterceptor {
  public:
   explicit AsyncAdClassifier(AdClassifier& inner) : inner_(inner) {}
@@ -168,26 +277,55 @@ class AsyncAdClassifier : public ImageInterceptor {
   using HashFn = uint64_t (*)(const void* data, size_t size);
   void SetPrimaryHashForTest(HashFn fn);
 
-  // Runs any pending classifications (the "async worker" drained between
-  // frames); in a browser this happens off the critical path. Pending frames
-  // are grouped into ClassifyBatch() calls of `batch_size`; when `pool` is
-  // non-null the batches are processed by the pool's workers, so one batch
-  // preprocesses while another runs its forward pass. Each queued pixel hash
-  // is classified exactly once even when frames with the same content arrive
-  // while a drain is in flight.
-  void DrainPending(ThreadPool* pool = nullptr, int batch_size = 16);
+  // Installs the wrapper's serving policy. Applies to admission, eviction,
+  // drain budgeting, and the degrade ladder of THIS wrapper only — the
+  // inner classifier's deadline/reload knobs are set through its own
+  // SetServingPolicy (deliberately uncoupled: the inner classifier may be
+  // shared with a synchronous deployment). Shrinking max_memo_entries
+  // evicts down to the new cap immediately.
+  void SetServingPolicy(const ServingPolicy& policy);
+  ServingPolicy serving_policy() const;
 
+  // Runs pending classifications (the "async worker" drained between
+  // frames); in a browser this happens off the critical path. Pending
+  // frames are grouped into ClassifyBatch() calls of `batch_size` (clamped
+  // to >= 1); when `pool` is non-null and the drain is unbudgeted, batches
+  // are processed by the pool's workers, so one batch preprocesses while
+  // another runs its forward pass. Each queued pixel hash is classified
+  // exactly once even when frames with the same content arrive while a
+  // drain is in flight.
+  //
+  // `budget_ms` bounds the drain: the budget is checked BETWEEN batches (at
+  // least one batch always runs, so a drain always makes progress) and any
+  // unprocessed frames stay queued, in order, for the next drain — an
+  // overloaded queue never overruns the frame budget it is drained from.
+  // budget_ms < 0 (the default) uses ServingPolicy::drain_budget_ms;
+  // 0 means unlimited.
+  void DrainPending(ThreadPool* pool = nullptr, int batch_size = 16,
+                    double budget_ms = -1.0);
+
+  // Observability: memoized entries, queued frames, and the degrade state.
   int64_t cache_size() const;
+  int64_t pending_size() const;
+  bool degraded() const;
+  // One coherent snapshot: every counter is read under the same lock, so
+  // cross-counter invariants (hits + misses == lookups; shed + coalesced <=
+  // misses) hold within a snapshot even while other threads classify.
   ClassifierStats stats() const;
 
  private:
-  // A memo entry keeps the independent verification hash of the pixels it
+  // A memo slot keeps the independent verification hash of the pixels it
   // was computed from: a primary-hash match alone is not proof of payload
   // equality, and inheriting a decision across a collision would block (or
   // pass) the wrong creative. See ClassifierStats::hash_collisions.
-  struct MemoEntry {
+  // `referenced` is the CLOCK bit: set on every hit, cleared by the
+  // eviction sweep — one bit of recency is enough to keep the fleet's hot
+  // creatives resident through a flood of one-off uniques.
+  struct MemoSlot {
+    uint64_t key = 0;
     uint64_t verify = 0;
     bool is_ad = false;
+    bool referenced = false;
   };
   struct PendingFrame {
     uint64_t key = 0;     // primary hash
@@ -195,15 +333,32 @@ class AsyncAdClassifier : public ImageInterceptor {
     Bitmap pixels;
   };
 
+  // All require mutex_ held.
+  void MemoInsertLocked(uint64_t key, uint64_t verify, bool is_ad);
+  void MemoEvictOneLocked();
+  // Per-drained-batch deadline accounting: feeds consecutive misses into
+  // the degrade trip wire.
+  void NoteBatchLatencyLocked(double per_image_ms);
+
   AdClassifier& inner_;
   mutable std::mutex mutex_;
   HashFn primary_hash_ = &HashBytes;
-  std::unordered_map<uint64_t, MemoEntry> memo_;
+  ServingPolicy policy_;
+  // CLOCK ring (compact vector + index). Eviction swap-removes, so the ring
+  // stays dense and memory is bounded by max_memo_entries exactly.
+  std::vector<MemoSlot> memo_slots_;
+  std::unordered_map<uint64_t, size_t> memo_index_;
+  size_t clock_hand_ = 0;
   // Combined (primary, verify) keys either queued in pending_ or being
   // classified by an in-flight drain; blocks duplicate work for repeated
   // creatives without letting a primary-hash collision alias two of them.
   std::unordered_set<uint64_t> in_flight_;
   std::vector<PendingFrame> pending_;
+  // Degrade ladder state: consecutive over-deadline drain batches, and the
+  // frame countdown to self-heal once degraded.
+  int consecutive_misses_ = 0;
+  int frames_until_recovery_ = 0;
+  bool degraded_ = false;
   ClassifierStats stats_;
 };
 

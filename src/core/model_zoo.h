@@ -39,11 +39,16 @@ class ModelZoo {
   // artifact (tests).
   void Evict(const std::string& name);
 
+  // Artifact locations for `name`. Public so deployment wrappers can point
+  // AdClassifier::LoadWeights (and its retry/backoff variant) at a zoo
+  // entry, and so the serving robustness suite can corrupt an artifact at
+  // its real path instead of guessing the layout.
+  std::string CheckpointPath(const std::string& name) const;
+  std::string QuantizedPath(const std::string& name) const;
+
   const std::string& directory() const { return directory_; }
 
  private:
-  std::string PathFor(const std::string& name) const;
-  std::string QuantizedPathFor(const std::string& name) const;
   std::string directory_;
 };
 

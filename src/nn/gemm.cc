@@ -5,8 +5,10 @@
 #include <cmath>
 #include <cstring>
 #include <mutex>
+#include <new>
 #include <thread>
 
+#include "src/base/faultpoint.h"
 #include "src/base/logging.h"
 #include "src/base/thread_pool.h"
 #include "src/nn/gemm_internal.h"
@@ -33,6 +35,13 @@ float* ScratchArena::Alloc(size_t count) {
     count = 1;  // keep returned pointers distinct and dereferenceable
   }
   if (used_ + count > block_.size()) {
+    // The growth path is where a real out-of-memory would surface (as
+    // vector's bad_alloc); the fault point forces that outcome so the
+    // classifier's fail-open catch is testable. Arena state is untouched:
+    // the next Alloc/Reset sees a consistent arena.
+    if (faultpoint::ShouldFire(faultpoint::kArenaAllocFail)) {
+      throw std::bad_alloc();
+    }
     const size_t grown = std::max(count, CapacityFloats() * 2);
     if (!block_.empty()) {
       retired_.push_back(std::move(block_));

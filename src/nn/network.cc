@@ -4,12 +4,18 @@
 #include <iomanip>
 #include <sstream>
 
+#include "src/base/faultpoint.h"
 #include "src/base/logging.h"
 #include "src/nn/gemm.h"
 
 namespace percival {
 
 Tensor Network::Forward(const Tensor& input) {
+  // Deadline hook: the serving layer's forced-slow fault fires here, inside
+  // the planned forward, so a stalled inference is indistinguishable from a
+  // genuinely slow one to everything above (deadline accounting, the
+  // degrade ladder) — the sleep is in the spec, armed by tests/benches.
+  faultpoint::ShouldFire(faultpoint::kSlowForward);
   if (!planned_ || !(planned_shape_ == input.shape()) ||
       dataflow_enabled_at_plan_ != DataflowRequantEnabled() ||
       gap_codes_at_plan_ != GapCodesEnabled() ||
@@ -171,6 +177,10 @@ Tensor Network::RunDataflow(const Tensor* float_in, const QuantizedTensorView* c
 }
 
 Tensor Network::ForwardQuantized(const QuantizedTensorView& input) {
+  // Same deadline hook as Forward: the u8-direct deployment entry must be
+  // just as stall-able, or the robustness suite would only cover the float
+  // path.
+  faultpoint::ShouldFire(faultpoint::kSlowForward);
   PCHECK(!layers_.empty());
   PCHECK(layers_[0]->AcceptsQuantizedInput())
       << "first layer (" << layers_[0]->Name() << ") cannot consume quantized input";

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <memory>
 
+#include "src/base/faultpoint.h"
 #include "src/base/hash.h"
 #include "src/base/logging.h"
 #include "src/nn/gemm.h"
@@ -440,7 +441,18 @@ bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* bytes) {
   const std::streamsize size = in.tellg();
   in.seekg(0);
   bytes->resize(static_cast<size_t>(size));
-  return static_cast<bool>(in.read(reinterpret_cast<char*>(bytes->data()), size));
+  if (!in.read(reinterpret_cast<char*>(bytes->data()), size)) {
+    return false;
+  }
+  // Forced artifact corruption: truncating to half is guaranteed to fail
+  // the deserializer's staged validation (the truncation fuzz suite proves
+  // every prefix rejects), which is exactly the "corrupt file on disk"
+  // failure the degradation ladder must absorb. The read itself still
+  // "succeeds" — corruption is a content problem, not an I/O error.
+  if (faultpoint::ShouldFire(faultpoint::kArtifactCorrupt)) {
+    bytes->resize(bytes->size() / 2);
+  }
+  return true;
 }
 
 bool LoadWeightsFromFile(Network& net, const std::string& path) {

@@ -1,0 +1,494 @@
+// Overload and fault coverage for the serving core: every rung of the
+// degradation ladder (admit -> coalesce -> shed -> evict -> degrade) is
+// driven through the fault-injection harness and asserted observable, and
+// every failure is fail-open — a saturated queue, a pathological forward, a
+// failed allocation, or a corrupt artifact never blocks a paint and never
+// leaves a half-loaded network serving.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/faultpoint.h"
+#include "src/core/classifier.h"
+#include "src/core/model.h"
+#include "src/img/bitmap.h"
+#include "src/nn/serialize.h"
+
+namespace percival {
+namespace {
+
+// Deterministic distinct bitmaps: each id gets a unique pixel pattern, so
+// unique ids <=> unique pixel hashes. The background pattern repeats every
+// 256 ids, so the full id is additionally stamped into pixel (0, 0) — the
+// flood tests push well past 256 uniques.
+Bitmap MakeBitmap(int id) {
+  Bitmap bitmap(16, 12);
+  for (int y = 0; y < bitmap.height(); ++y) {
+    for (int x = 0; x < bitmap.width(); ++x) {
+      bitmap.SetPixel(x, y,
+                      Color{static_cast<uint8_t>((id * 37 + x) & 0xff),
+                            static_cast<uint8_t>((id * 101 + y) & 0xff),
+                            static_cast<uint8_t>(id & 0xff), 255});
+    }
+  }
+  bitmap.SetPixel(0, 0,
+                  Color{static_cast<uint8_t>(id & 0xff), static_cast<uint8_t>((id >> 8) & 0xff),
+                        static_cast<uint8_t>((id >> 16) & 0xff), 255});
+  return bitmap;
+}
+
+AdClassifier MakeTestClassifier() {
+  PercivalNetConfig config = TestProfile();
+  return AdClassifier(BuildPercivalNet(config), config);
+}
+
+// Every test leaves the process-wide fault registry clean.
+class ServingRobustnessTest : public ::testing::Test {
+ protected:
+  void TearDown() override { faultpoint::DisarmAll(); }
+};
+
+// ---------------------------------------------------------------------------
+// Fault-injection harness semantics.
+
+TEST_F(ServingRobustnessTest, FaultPointLifecycle) {
+  EXPECT_FALSE(faultpoint::IsArmed(faultpoint::kSlowForward));
+  EXPECT_FALSE(faultpoint::ShouldFire(faultpoint::kSlowForward));
+
+  faultpoint::FaultSpec twice;
+  twice.count = 2;
+  faultpoint::Arm(faultpoint::kSlowForward, twice);
+  EXPECT_TRUE(faultpoint::IsArmed(faultpoint::kSlowForward));
+  EXPECT_TRUE(faultpoint::ShouldFire(faultpoint::kSlowForward));
+  EXPECT_TRUE(faultpoint::ShouldFire(faultpoint::kSlowForward));
+  // Finite count consumed: auto-disarmed, stops firing.
+  EXPECT_FALSE(faultpoint::ShouldFire(faultpoint::kSlowForward));
+  EXPECT_FALSE(faultpoint::IsArmed(faultpoint::kSlowForward));
+  // Fire count is cumulative and survives disarm.
+  EXPECT_EQ(faultpoint::FireCount(faultpoint::kSlowForward), 2);
+
+  // Arming one point does not fire another.
+  faultpoint::Arm(faultpoint::kQueueSaturate, faultpoint::FaultSpec{});
+  EXPECT_FALSE(faultpoint::ShouldFire(faultpoint::kSlowForward));
+  EXPECT_TRUE(faultpoint::ShouldFire(faultpoint::kQueueSaturate));
+  faultpoint::Disarm(faultpoint::kQueueSaturate);
+  EXPECT_FALSE(faultpoint::ShouldFire(faultpoint::kQueueSaturate));
+}
+
+TEST_F(ServingRobustnessTest, FaultPointThreadSafety) {
+  faultpoint::FaultSpec spec;
+  spec.count = 1000;
+  faultpoint::Arm(faultpoint::kQueueSaturate, spec);
+  const int64_t before = faultpoint::FireCount(faultpoint::kQueueSaturate);
+  std::atomic<int64_t> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        if (faultpoint::ShouldFire(faultpoint::kQueueSaturate)) {
+          fired.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // Exactly `count` fires across all threads, never more.
+  EXPECT_EQ(fired.load(), 1000);
+  EXPECT_EQ(faultpoint::FireCount(faultpoint::kQueueSaturate) - before, 1000);
+  EXPECT_FALSE(faultpoint::IsArmed(faultpoint::kQueueSaturate));
+}
+
+// ---------------------------------------------------------------------------
+// Bounded admission + CLOCK eviction: a flood of unique creatives sheds at
+// the queue bound and the memo cache never exceeds its capacity.
+
+TEST_F(ServingRobustnessTest, UniqueFloodShedsAndBoundsMemory) {
+  AdClassifier inner = MakeTestClassifier();
+  AsyncAdClassifier async(inner);
+  ServingPolicy policy;
+  policy.max_pending = 32;
+  policy.max_memo_entries = 64;
+  async.SetServingPolicy(policy);
+
+  constexpr int kFlood = 10000;
+  int64_t max_pending_seen = 0;
+  int64_t max_cache_seen = 0;
+  for (int i = 0; i < kFlood; ++i) {
+    Bitmap image = MakeBitmap(i);
+    async.OnDecodedFrame(image.info(), image, "https://ads.example/flood");
+    max_pending_seen = std::max(max_pending_seen, async.pending_size());
+    max_cache_seen = std::max(max_cache_seen, async.cache_size());
+    if (i % 1000 == 999) {
+      async.DrainPending(nullptr, 8);
+    }
+  }
+  async.DrainPending(nullptr, 8);
+  max_cache_seen = std::max(max_cache_seen, async.cache_size());
+
+  // Memory stays bounded by the policy at every observation point.
+  EXPECT_LE(max_pending_seen, static_cast<int64_t>(policy.max_pending));
+  EXPECT_LE(max_cache_seen, static_cast<int64_t>(policy.max_memo_entries));
+
+  const ClassifierStats stats = async.stats();
+  // The flood mostly sheds: only ~32 frames per drain cycle are admitted.
+  EXPECT_GT(stats.shed, 0);
+  EXPECT_GT(stats.evicted, 0);
+  // Coherent snapshot invariants.
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, kFlood);
+  EXPECT_EQ(stats.cache_hits, 0);  // all unique
+  EXPECT_LE(stats.shed + stats.coalesced, stats.cache_misses);
+  // Everything admitted was classified exactly once.
+  EXPECT_EQ(inner.stats().classified, kFlood - stats.shed);
+}
+
+TEST_F(ServingRobustnessTest, QueueSaturateFaultForcesShedding) {
+  AdClassifier inner = MakeTestClassifier();
+  AsyncAdClassifier async(inner);
+
+  faultpoint::Arm(faultpoint::kQueueSaturate, faultpoint::FaultSpec{});  // every time
+  for (int i = 0; i < 10; ++i) {
+    Bitmap image = MakeBitmap(i);
+    EXPECT_FALSE(async.OnDecodedFrame(image.info(), image, "url"));  // fail-open
+  }
+  EXPECT_EQ(async.pending_size(), 0);
+  EXPECT_EQ(async.stats().shed, 10);
+
+  faultpoint::Disarm(faultpoint::kQueueSaturate);
+  Bitmap image = MakeBitmap(11);
+  async.OnDecodedFrame(image.info(), image, "url");
+  EXPECT_EQ(async.pending_size(), 1);  // admission resumed
+}
+
+// The CLOCK sweep keeps the hot entry: with capacity 2, a hit on A defends
+// it, so inserting C evicts the never-hit B.
+TEST_F(ServingRobustnessTest, ClockEvictionKeepsHotEntry) {
+  AdClassifier inner = MakeTestClassifier();
+  AsyncAdClassifier async(inner);
+  ServingPolicy policy;
+  policy.max_memo_entries = 2;
+  async.SetServingPolicy(policy);
+
+  Bitmap a = MakeBitmap(1);
+  Bitmap b = MakeBitmap(2);
+  Bitmap c = MakeBitmap(3);
+  async.OnDecodedFrame(a.info(), a, "a");
+  async.OnDecodedFrame(b.info(), b, "b");
+  async.DrainPending();
+  ASSERT_EQ(async.cache_size(), 2);
+  async.OnDecodedFrame(a.info(), a, "a");  // hit: sets A's reference bit
+  ASSERT_EQ(async.stats().cache_hits, 1);
+
+  async.OnDecodedFrame(c.info(), c, "c");
+  async.DrainPending();
+  EXPECT_EQ(async.cache_size(), 2);
+  EXPECT_EQ(async.stats().evicted, 1);
+
+  // A survived the eviction; B did not.
+  async.OnDecodedFrame(a.info(), a, "a");
+  EXPECT_EQ(async.stats().cache_hits, 2);
+  const int64_t misses_before = async.stats().cache_misses;
+  async.OnDecodedFrame(b.info(), b, "b");
+  EXPECT_EQ(async.stats().cache_misses, misses_before + 1);
+}
+
+// Tightening the cap through SetServingPolicy evicts immediately.
+TEST_F(ServingRobustnessTest, ShrinkingMemoCapEvictsImmediately) {
+  AdClassifier inner = MakeTestClassifier();
+  AsyncAdClassifier async(inner);
+  for (int i = 0; i < 8; ++i) {
+    Bitmap image = MakeBitmap(i);
+    async.OnDecodedFrame(image.info(), image, "url");
+  }
+  async.DrainPending();
+  ASSERT_EQ(async.cache_size(), 8);
+  ServingPolicy policy;
+  policy.max_memo_entries = 3;
+  async.SetServingPolicy(policy);
+  EXPECT_EQ(async.cache_size(), 3);
+  EXPECT_EQ(async.stats().evicted, 5);
+}
+
+// ---------------------------------------------------------------------------
+// DrainPending: batch_size clamp + time budget.
+
+// Regression: batch_size <= 0 used to make zero-size batches (no progress);
+// it must clamp to 1 and fully drain.
+TEST_F(ServingRobustnessTest, DrainClampsNonPositiveBatchSize) {
+  AdClassifier inner = MakeTestClassifier();
+  AsyncAdClassifier async(inner);
+  for (int i = 0; i < 5; ++i) {
+    Bitmap image = MakeBitmap(i);
+    async.OnDecodedFrame(image.info(), image, "url");
+  }
+  ASSERT_EQ(async.pending_size(), 5);
+  async.DrainPending(nullptr, 0);
+  EXPECT_EQ(async.pending_size(), 0);
+  for (int i = 5; i < 9; ++i) {
+    Bitmap image = MakeBitmap(i);
+    async.OnDecodedFrame(image.info(), image, "url");
+  }
+  async.DrainPending(nullptr, -7);
+  EXPECT_EQ(async.pending_size(), 0);
+  EXPECT_EQ(inner.stats().classified, 9);
+}
+
+TEST_F(ServingRobustnessTest, DrainBudgetLeavesOverflowQueued) {
+  AdClassifier inner = MakeTestClassifier();
+  AsyncAdClassifier async(inner);
+  // Make every forward slow so the first batch alone exceeds the budget.
+  faultpoint::FaultSpec slow;
+  slow.delay_ms = 3.0;
+  faultpoint::Arm(faultpoint::kSlowForward, slow);
+
+  for (int i = 0; i < 6; ++i) {
+    Bitmap image = MakeBitmap(i);
+    async.OnDecodedFrame(image.info(), image, "url");
+  }
+  // Batch of 2, 1ms budget: exactly one batch runs (progress guarantee),
+  // the rest stays queued in order.
+  async.DrainPending(nullptr, 2, 1.0);
+  EXPECT_EQ(inner.stats().classified, 2);
+  EXPECT_EQ(async.pending_size(), 4);
+
+  // A duplicate of a still-queued creative coalesces rather than re-queues.
+  Bitmap dup = MakeBitmap(4);
+  async.OnDecodedFrame(dup.info(), dup, "url");
+  EXPECT_EQ(async.pending_size(), 4);
+  EXPECT_EQ(async.stats().coalesced, 1);
+
+  faultpoint::DisarmAll();
+  async.DrainPending(nullptr, 2, 0.0);  // 0 = unlimited
+  EXPECT_EQ(async.pending_size(), 0);
+  EXPECT_EQ(inner.stats().classified, 6);
+  EXPECT_EQ(async.cache_size(), 6);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines + degrade ladder: a slow forward trips the fail-open degrade
+// state, which self-heals after recover_after_frames frames.
+
+TEST_F(ServingRobustnessTest, SlowForwardTripsDegradeThenSelfHeals) {
+  AdClassifier inner = MakeTestClassifier();
+  AsyncAdClassifier async(inner);
+  ServingPolicy policy;
+  policy.classify_deadline_ms = 0.5;
+  policy.degrade_after_misses = 2;
+  policy.recover_after_frames = 4;
+  async.SetServingPolicy(policy);
+
+  faultpoint::FaultSpec slow;
+  slow.delay_ms = 3.0;  // well past the 0.5ms deadline
+  faultpoint::Arm(faultpoint::kSlowForward, slow);
+
+  // Two consecutive over-deadline drain batches trip the degrade state.
+  int next_id = 0;
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_FALSE(async.degraded());
+    Bitmap image = MakeBitmap(next_id++);
+    async.OnDecodedFrame(image.info(), image, "url");
+    async.DrainPending();
+  }
+  EXPECT_TRUE(async.degraded());
+  ClassifierStats stats = async.stats();
+  EXPECT_EQ(stats.deadline_misses, 2);
+  EXPECT_EQ(stats.degrade_transitions, 1);  // odd: currently degraded
+
+  // Degraded: uncached frames are shed (fail-open, nothing queued) but memo
+  // hits still serve — the cache needs no inference.
+  faultpoint::DisarmAll();
+  Bitmap cached = MakeBitmap(0);
+  async.OnDecodedFrame(cached.info(), cached, "url");  // memoized decision applies
+  EXPECT_EQ(async.stats().cache_hits, 1);
+  Bitmap uncached = MakeBitmap(next_id++);
+  async.OnDecodedFrame(uncached.info(), uncached, "url");
+  EXPECT_EQ(async.pending_size(), 0);
+  EXPECT_GE(async.stats().shed, 1);
+
+  // After recover_after_frames frames the state clears and the next frame
+  // is admitted again.
+  while (async.degraded()) {
+    Bitmap image = MakeBitmap(next_id++);
+    async.OnDecodedFrame(image.info(), image, "url");
+  }
+  stats = async.stats();
+  EXPECT_EQ(stats.degrade_transitions, 2);  // even: healthy again
+  EXPECT_EQ(stats.degraded_frames, 4);
+  Bitmap probe = MakeBitmap(next_id++);
+  async.OnDecodedFrame(probe.info(), probe, "url");
+  EXPECT_GE(async.pending_size(), 1);
+  async.DrainPending();
+  EXPECT_FALSE(async.degraded());
+}
+
+TEST_F(ServingRobustnessTest, SyncClassifyCountsDeadlineMisses) {
+  AdClassifier classifier = MakeTestClassifier();
+  ServingPolicy policy;
+  policy.classify_deadline_ms = 0.25;
+  classifier.SetServingPolicy(policy);
+  faultpoint::FaultSpec slow;
+  slow.delay_ms = 2.0;
+  slow.count = 1;
+  faultpoint::Arm(faultpoint::kSlowForward, slow);
+
+  Bitmap image = MakeBitmap(1);
+  const ClassifyResult result = classifier.Classify(image);
+  // Soft deadline: the result still comes back, the miss is counted.
+  EXPECT_TRUE(std::isfinite(result.ad_probability));
+  EXPECT_EQ(classifier.stats().deadline_misses, 1);
+  EXPECT_EQ(classifier.stats().classified, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation failure fails OPEN: a forward that cannot grow its scratch
+// arena returns not-ad / probability 0 instead of crashing, and the next
+// classification recovers.
+
+TEST_F(ServingRobustnessTest, ArenaAllocFailureFailsOpen) {
+  AdClassifier classifier = MakeTestClassifier();
+  Bitmap image = MakeBitmap(7);
+  // Warm up: packs weights and sizes the single-image arena.
+  const ClassifyResult baseline = classifier.Classify(image);
+
+  // A larger batch needs a bigger arena -> hits the growth path, where the
+  // armed fault forces the allocation to fail.
+  std::vector<Bitmap> batch_images;
+  std::vector<const Bitmap*> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch_images.push_back(MakeBitmap(i));
+  }
+  for (const Bitmap& b : batch_images) {
+    batch.push_back(&b);
+  }
+  faultpoint::FaultSpec fail_once;
+  fail_once.count = 1;
+  faultpoint::Arm(faultpoint::kArenaAllocFail, fail_once);
+  const std::vector<ClassifyResult> degraded = classifier.ClassifyBatch(batch);
+  ASSERT_EQ(degraded.size(), batch.size());
+  if (faultpoint::FireCount(faultpoint::kArenaAllocFail) > 0) {
+    for (const ClassifyResult& r : degraded) {
+      EXPECT_FALSE(r.is_ad);  // fail open, never fail closed
+      EXPECT_EQ(r.ad_probability, 0.0f);
+    }
+    EXPECT_EQ(classifier.stats().alloc_failovers, static_cast<int64_t>(batch.size()));
+  }
+  faultpoint::DisarmAll();
+
+  // Recovery: the same batch classifies normally afterwards.
+  const std::vector<ClassifyResult> recovered = classifier.ClassifyBatch(batch);
+  for (const ClassifyResult& r : recovered) {
+    EXPECT_TRUE(std::isfinite(r.ad_probability));
+  }
+  const ClassifyResult again = classifier.Classify(image);
+  EXPECT_NEAR(again.ad_probability, baseline.ad_probability, 1e-6f);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful reload degradation: a corrupt artifact never displaces the
+// serving network, under retry and under concurrent classification.
+
+TEST_F(ServingRobustnessTest, CorruptReloadKeepsPreviousWeights) {
+  PercivalNetConfig config = TestProfile();
+  Network donor = BuildPercivalNet(config);
+  const std::string path = ::testing::TempDir() + "/robustness_reload.pcvw";
+  ASSERT_TRUE(SaveWeightsToFile(donor, path));
+
+  AdClassifier classifier(BuildPercivalNet(config), config);
+  Bitmap image = MakeBitmap(3);
+  ASSERT_TRUE(classifier.LoadWeights(path));
+  const float good = classifier.Classify(image).ad_probability;
+
+  // Every read of the artifact is corrupted (truncated): the load fails and
+  // the previous good network keeps serving, bit-identically.
+  faultpoint::Arm(faultpoint::kArtifactCorrupt, faultpoint::FaultSpec{});
+  EXPECT_FALSE(classifier.LoadWeights(path));
+  EXPECT_EQ(classifier.Classify(image).ad_probability, good);
+  faultpoint::DisarmAll();
+}
+
+TEST_F(ServingRobustnessTest, LoadWeightsWithRetryBacksOffThenSucceeds) {
+  PercivalNetConfig config = TestProfile();
+  Network donor = BuildPercivalNet(config);
+  const std::string path = ::testing::TempDir() + "/robustness_retry.pcvw";
+  ASSERT_TRUE(SaveWeightsToFile(donor, path));
+
+  AdClassifier classifier(BuildPercivalNet(config), config);
+  ServingPolicy policy;
+  policy.reload_max_retries = 3;
+  policy.reload_backoff_ms = 0.1;
+  classifier.SetServingPolicy(policy);
+
+  // First two reads corrupt, third clean: the retry loop lands the load.
+  faultpoint::FaultSpec twice;
+  twice.count = 2;
+  faultpoint::Arm(faultpoint::kArtifactCorrupt, twice);
+  EXPECT_TRUE(classifier.LoadWeightsWithRetry(path));
+  EXPECT_EQ(classifier.stats().reload_retries, 2);
+
+  // Permanently corrupt: retries exhaust, the previous network keeps
+  // serving, and the call reports failure instead of half-loading.
+  Bitmap image = MakeBitmap(5);
+  const float before = classifier.Classify(image).ad_probability;
+  faultpoint::Arm(faultpoint::kArtifactCorrupt, faultpoint::FaultSpec{});
+  EXPECT_FALSE(classifier.LoadWeightsWithRetry(path));
+  EXPECT_EQ(classifier.stats().reload_retries, 5);  // 2 + 3 more
+  EXPECT_EQ(classifier.Classify(image).ad_probability, before);
+}
+
+// Concurrency: one thread hammers Classify while another flips between
+// good loads and corrupt loads. Every observed probability must equal one
+// of the two committed networks' outputs — a third value would mean a
+// half-loaded network served a forward pass.
+TEST_F(ServingRobustnessTest, ConcurrentReloadNeverServesHalfLoadedNetwork) {
+  PercivalNetConfig config = TestProfile();
+  Network donor = BuildPercivalNet(config);
+  const std::string dir = ::testing::TempDir();
+  const std::string v1_path = dir + "/robustness_conc_v1.pcvw";
+  const std::string v2_path = dir + "/robustness_conc_v2.int8.pcvw";
+  ASSERT_TRUE(SaveWeightsToFile(donor, v1_path));
+  ASSERT_TRUE(SaveWeightsToFileInt8(donor, v2_path));
+
+  AdClassifier classifier(BuildPercivalNet(config), config);
+  Bitmap image = MakeBitmap(9);
+  ASSERT_TRUE(classifier.LoadWeights(v1_path));
+  const float p_v1 = classifier.Classify(image).ad_probability;
+  ASSERT_TRUE(classifier.LoadWeights(v2_path));
+  const float p_v2 = classifier.Classify(image).ad_probability;
+  ASSERT_TRUE(classifier.LoadWeights(v1_path));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::thread hammer([&] {
+    Bitmap local = MakeBitmap(9);
+    while (!stop.load()) {
+      const float p = classifier.Classify(local).ad_probability;
+      if (p != p_v1 && p != p_v2) {
+        bad.fetch_add(1);
+      }
+    }
+  });
+
+  for (int round = 0; round < 12; ++round) {
+    const std::string& path = (round % 2 == 0) ? v2_path : v1_path;
+    if (round % 3 == 2) {
+      // Corrupt read: the load must fail atomically mid-hammer.
+      faultpoint::FaultSpec once;
+      once.count = 1;
+      faultpoint::Arm(faultpoint::kArtifactCorrupt, once);
+      EXPECT_FALSE(classifier.LoadWeights(path));
+    } else {
+      EXPECT_TRUE(classifier.LoadWeights(path));
+    }
+  }
+  stop.store(true);
+  hammer.join();
+  EXPECT_EQ(bad.load(), 0) << "a Classify observed a half-loaded network";
+}
+
+}  // namespace
+}  // namespace percival
