@@ -25,6 +25,7 @@
 #include "src/core/model.h"
 #include "src/filter/engine.h"
 #include "src/img/codec.h"
+#include "src/img/phash.h"
 #include "src/img/resize.h"
 #include "src/nn/conv.h"
 #include "src/nn/fire.h"
@@ -344,6 +345,11 @@ void RunSuite(const Options& options) {
       BitmapToTensorU8Into(ad, 64, 3, 1.0f / 255.0f, 0, codes.data());
       g_sink += static_cast<float>(codes[0]);
     });
+    // The perceptual hash behind dataset dedup and the serving engine's L2
+    // near-duplicate probe (one AverageHash per L1 miss when enabled); it
+    // reuses a thread-local 8x8 scratch instead of allocating per call.
+    bench("phash_average_hash", 50, 0,
+          [&] { g_sink += static_cast<float>(AverageHash(ad) & 0xff); });
   }
 
   {

@@ -42,6 +42,27 @@ Bitmap MakeCreative(int id) {
   return bitmap;
 }
 
+// A recompressed near-duplicate of `source`: small deterministic per-pixel
+// jitter, the pixel damage a second ad network's re-encode of the same
+// creative inflicts. Every (source, seed) pair is pixel-unique — an L1 memo
+// miss — while the AverageHash moves only a few bits.
+Bitmap JitterCreative(const Bitmap& source, int seed) {
+  Bitmap out(source.width(), source.height());
+  for (int y = 0; y < source.height(); ++y) {
+    for (int x = 0; x < source.width(); ++x) {
+      Color c = source.GetPixel(x, y);
+      uint8_t* channels[3] = {&c.r, &c.g, &c.b};
+      for (int k = 0; k < 3; ++k) {
+        const int d = ((x * 7 + y * 13 + seed * 31 + k) % 7) - 3;
+        const int v = std::clamp(static_cast<int>(*channels[k]) + d, 0, 255);
+        *channels[k] = static_cast<uint8_t>(v);
+      }
+      out.SetPixel(x, y, c);
+    }
+  }
+  return out;
+}
+
 struct PhaseOutcome {
   double offered_per_s = 0.0;     // creatives presented / wall second
   double classified_per_s = 0.0;  // creatives actually classified / second
@@ -50,6 +71,8 @@ struct PhaseOutcome {
   double shed_pct = 0.0;
   int64_t degrade_transitions = 0;
   int64_t degraded_frames = 0;
+  int64_t near_dup_hits = 0;            // L2 answers during the phase
+  double near_dup_hit_rate_pct = 0.0;   // hits / offered
 };
 
 // One load phase: `ticks` frame ticks, each presenting `uniques_per_tick`
@@ -102,6 +125,75 @@ PhaseOutcome RunPhase(AdClassifier& inner, const ServingPolicy& policy, int tick
   return out;
 }
 
+// Recompressed-duplicate flood: a fixed pool of base creatives is
+// classified once, then every offered frame is a jittered re-encode of one
+// of them — an L1 miss on first encounter. With the L2 perceptual tier on,
+// each distinct re-encode is answered by a near-duplicate hit (which
+// promotes its exact hash into L1, so repeats of the same re-encode count
+// as L1 hits, not L2 — the reported hit rate covers first encounters
+// only), the flood runs with essentially zero forward passes, and the
+// paint side must stay as flat as the at-capacity phase.
+PhaseOutcome RunNearDupFlood(AdClassifier& inner, const ServingPolicy& policy, int ticks,
+                             int uniques_per_tick, int batch_size, int* next_id) {
+  AsyncAdClassifier async(inner);
+  async.SetServingPolicy(policy);
+  inner.ResetStats();
+
+  constexpr int kBases = 64;
+  std::vector<Bitmap> bases;
+  bases.reserve(kBases);
+  for (int i = 0; i < kBases; ++i) {
+    bases.push_back(MakeCreative((*next_id)++));
+  }
+  // Prime in queue-sized chunks so every base is admitted and classified
+  // into both memo tiers (a single burst would shed past max_pending).
+  int base_index = 0;
+  for (Bitmap& base : bases) {
+    async.OnDecodedFrame(base.info(), base, "https://ads.example/base");
+    if (++base_index % 16 == 0) {
+      async.DrainPending(nullptr, batch_size, /*budget_ms=*/0.0);
+    }
+  }
+  async.DrainPending(nullptr, batch_size, /*budget_ms=*/0.0);
+  const ClassifierStats primed = async.stats();
+  const int64_t primed_classified = inner.stats().classified;
+
+  std::vector<double> paint_samples;
+  paint_samples.reserve(static_cast<size_t>(ticks) * static_cast<size_t>(uniques_per_tick));
+  Stopwatch wall;
+  int variant = 0;
+  for (int tick = 0; tick < ticks; ++tick) {
+    for (int i = 0; i < uniques_per_tick; ++i) {
+      ++variant;
+      Bitmap creative = JitterCreative(bases[variant % kBases], variant);
+      Stopwatch paint;
+      async.OnDecodedFrame(creative.info(), creative, "https://ads.example/flood");
+      paint_samples.push_back(paint.ElapsedMs());
+    }
+    async.DrainPending(nullptr, batch_size);  // budget from the policy
+  }
+  const double wall_s = wall.ElapsedMs() / 1000.0;
+
+  const ClassifierStats stats = async.stats();
+  const int64_t offered = static_cast<int64_t>(ticks) * uniques_per_tick;
+  PhaseOutcome out;
+  out.offered_per_s = wall_s > 0.0 ? static_cast<double>(offered) / wall_s : 0.0;
+  out.classified_per_s =
+      wall_s > 0.0 ? static_cast<double>(inner.stats().classified - primed_classified) / wall_s
+                   : 0.0;
+  EmpiricalCdf cdf(std::move(paint_samples));
+  out.paint_p50_ms = cdf.Quantile(0.5);
+  out.paint_p99_ms = cdf.Quantile(0.99);
+  out.shed_pct =
+      100.0 * static_cast<double>(stats.shed - primed.shed) / static_cast<double>(offered);
+  out.degrade_transitions = stats.degrade_transitions;
+  out.degraded_frames = stats.degraded_frames;
+  out.near_dup_hits = stats.near_dup_hits - primed.near_dup_hits;
+  out.near_dup_hit_rate_pct =
+      100.0 * static_cast<double>(out.near_dup_hits) / static_cast<double>(offered);
+  return out;
+}
+
 void RecordPhase(BenchReport& report, const std::string& prefix, const PhaseOutcome& out,
                  int reps) {
   auto record = [&](const std::string& name, double value) {
@@ -119,6 +211,8 @@ void RecordPhase(BenchReport& report, const std::string& prefix, const PhaseOutc
   record("shed_rate_pct", out.shed_pct);
   record("degrade_transitions", static_cast<double>(out.degrade_transitions));
   record("degraded_frames", static_cast<double>(out.degraded_frames));
+  record("near_dup_hits", static_cast<double>(out.near_dup_hits));
+  record("near_dup_hit_rate_pct", out.near_dup_hit_rate_pct);
   std::printf(
       "%-12s offered %7.0f/s  classified %7.0f/s  paint p50 %6.3f ms  "
       "p99 %6.3f ms  shed %5.1f%%  degrade transitions %lld\n",
@@ -199,11 +293,24 @@ void Run() {
                /*slow_delay_ms=*/2.0 * kBatch * policy.classify_deadline_ms, &next_id);
   RecordPhase(report, "degraded", degraded, kTicks);
 
+  // Recompressed-duplicate flood with the L2 perceptual tier on: the same
+  // at-capacity offered rate, but every frame is a jittered re-encode of an
+  // already classified creative. Near-dup hits answer the flood at Submit
+  // time, so classified/s collapses toward zero while paint p99 stays at
+  // the at-capacity level.
+  ServingPolicy near_dup_policy = policy;
+  near_dup_policy.near_dup_enabled = true;
+  near_dup_policy.near_dup_hamming = 8;
+  const PhaseOutcome flood =
+      RunNearDupFlood(classifier, near_dup_policy, kTicks, 12, kBatch, &next_id);
+  RecordPhase(report, "near_dup_flood", flood, kTicks);
+
   std::printf(
       "\nShape check: classified/s tops out near the admission capacity in\n"
       "both overload phases, shed%% absorbs the excess, paint p99 stays flat\n"
-      "from at-capacity through the forced-slow window, and the degraded\n"
-      "phase shows a degrade->heal cycle (transitions >= 2).\n");
+      "from at-capacity through the forced-slow window, the degraded\n"
+      "phase shows a degrade->heal cycle (transitions >= 2), and the\n"
+      "near-dup flood is mostly answered by L2 hits without inference.\n");
   const std::string json = report.WriteJson();
   if (!json.empty()) {
     std::printf("wrote %s\n", json.c_str());

@@ -6,7 +6,6 @@
 #include <new>
 #include <thread>
 
-#include "src/base/faultpoint.h"
 #include "src/base/hash.h"
 #include "src/base/logging.h"
 #include "src/base/stopwatch.h"
@@ -38,9 +37,13 @@ void SizeCodeBuffer(std::vector<uint8_t>& codes, size_t needed) {
   }
 }
 
-// Seed for the memo's independent verification hash (any constant works;
-// it only has to define a second FNV stream over the pixels).
-constexpr uint64_t kVerifyHashSeed = 0x5CA1AB1EULL;
+// Caller time for the sans-IO ServingEngine: the engine never reads a
+// clock, so every adapter call stamps it with the steady clock here.
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -128,38 +131,57 @@ ServingPolicy AdClassifier::serving_policy() const {
 }
 
 bool AdClassifier::LoadWeightsWithRetry(const std::string& path) {
-  const ServingPolicy policy = serving_policy();
-  const int retries = std::max(0, policy.reload_max_retries);
-  double backoff_ms = std::max(0.0, policy.reload_backoff_ms);
-  for (int attempt = 0;; ++attempt) {
-    // LoadWeights itself is stage-then-commit, so every failed attempt —
-    // including the last — leaves the previous good network serving.
-    if (LoadWeights(path)) {
-      return true;
+  // The retry/backoff SCHEDULE is sans-IO ServingEngine state driven on
+  // caller time; this adapter contributes what the engine refuses to own:
+  // the file reads (with their fault points), the stage-then-commit into
+  // the deployed network, and real sleeps until the engine's next wake.
+  ServingEngine schedule(serving_policy());
+  schedule.RequestReload(path, NowNs());
+  while (schedule.reload_active()) {
+    if (schedule.Step(NowNs()) == EngineAction::kNeedArtifact) {
+      std::vector<uint8_t> bytes;
+      ReadFileBytes(schedule.ArtifactPath(), &bytes);
+      // CommitWeightBytes stages and validates the whole artifact before
+      // committing anything, so every failed attempt — including the last
+      // — leaves the previous good network serving.
+      const bool committed = !bytes.empty() && CommitWeightBytes(bytes);
+      schedule.ProvideArtifact(bytes, committed, NowNs());
+      continue;
     }
-    if (attempt >= retries) {
-      LogLine("classifier: reload of '" + path + "' failed after " +
-              std::to_string(attempt + 1) +
-              " attempt(s); keeping the previous weights");
-      return false;
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.reload_retries;
-    }
-    if (backoff_ms > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(backoff_ms));
-      backoff_ms *= 2.0;
+    const int64_t wake = schedule.next_wake_ns();
+    const int64_t now = NowNs();
+    if (wake > now) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(wake - now));
     }
   }
+  {
+    // Mirror the schedule's retry count into this classifier's stats —
+    // reload observability stays where operators already look for it.
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.reload_retries += schedule.stats().reload_retries;
+  }
+  if (!schedule.reload_succeeded()) {
+    LogLine("classifier: reload of '" + path + "' failed after " +
+            std::to_string(std::max(0, serving_policy().reload_max_retries) + 1) +
+            " attempt(s); keeping the previous weights");
+  }
+  return schedule.reload_succeeded();
 }
 
 bool AdClassifier::LoadWeights(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  // One read, then peek + deserialize the SAME bytes: re-opening the file
-  // to sniff the version would race a concurrent artifact swap.
+  // One read, then peek + deserialize the SAME bytes (CommitWeightBytes):
+  // re-opening the file to sniff the version would race a concurrent
+  // artifact swap.
   std::vector<uint8_t> bytes;
-  if (!ReadFileBytes(path, &bytes) || !DeserializeWeights(network_, bytes)) {
+  if (!ReadFileBytes(path, &bytes)) {
+    return false;
+  }
+  return CommitWeightBytes(bytes);
+}
+
+bool AdClassifier::CommitWeightBytes(const std::vector<uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!DeserializeWeights(network_, bytes)) {
     return false;
   }
   // A v2 artifact runs on the int8 engine it was quantized for — keyed on
@@ -382,95 +404,36 @@ void AdClassifier::ResetStats() {
 
 void AsyncAdClassifier::SetPrimaryHashForTest(HashFn fn) {
   std::lock_guard<std::mutex> lock(mutex_);
-  primary_hash_ = fn != nullptr ? fn : &HashBytes;
+  engine_.SetPrimaryHash(fn);
 }
 
 void AsyncAdClassifier::SetServingPolicy(const ServingPolicy& policy) {
   std::lock_guard<std::mutex> lock(mutex_);
-  policy_ = policy;
-  // A tightened memo cap applies immediately, not at the next insert: the
-  // whole point of the cap is a memory bound that holds right now.
-  if (policy_.max_memo_entries > 0) {
-    while (memo_slots_.size() > policy_.max_memo_entries) {
-      MemoEvictOneLocked();
-    }
-  }
+  engine_.SetPolicy(policy);
 }
 
 ServingPolicy AsyncAdClassifier::serving_policy() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return policy_;
+  return engine_.policy();
 }
 
-void AsyncAdClassifier::MemoEvictOneLocked() {
-  // CLOCK second-chance sweep: clear reference bits until an unreferenced
-  // slot comes under the hand, then swap-remove it so the ring stays dense.
-  // Worst case is two revolutions (first clears every bit), so the sweep is
-  // O(capacity) bounded even when everything was recently hit.
-  PCHECK(!memo_slots_.empty());
-  for (;;) {
-    if (clock_hand_ >= memo_slots_.size()) {
-      clock_hand_ = 0;
-    }
-    MemoSlot& slot = memo_slots_[clock_hand_];
-    if (slot.referenced) {
-      slot.referenced = false;
-      ++clock_hand_;
-      continue;
-    }
-    memo_index_.erase(slot.key);
-    if (clock_hand_ + 1 != memo_slots_.size()) {
-      slot = memo_slots_.back();
-      memo_index_[slot.key] = clock_hand_;
-    }
-    memo_slots_.pop_back();
-    ++stats_.evicted;
+void AsyncAdClassifier::LogDegradeTransitionLocked(bool was_degraded) {
+  // The sans-IO engine cannot log (LogLine timestamps would be a hidden
+  // wall-clock read), so the adapter narrates its transitions. At trip
+  // time the engine's consecutive-miss count equals the policy trip wire
+  // and the countdown was just armed, so the message matches what the
+  // pre-refactor monolith printed.
+  if (was_degraded == engine_.degraded()) {
     return;
   }
-}
-
-void AsyncAdClassifier::MemoInsertLocked(uint64_t key, uint64_t verify, bool is_ad) {
-  auto it = memo_index_.find(key);
-  if (it != memo_index_.end()) {
-    // Last writer wins if two colliding creatives were in one drain; the
-    // loser re-classifies on its next frame (counted as a collision)
-    // instead of inheriting the winner's decision.
-    MemoSlot& slot = memo_slots_[it->second];
-    slot.verify = verify;
-    slot.is_ad = is_ad;
-    return;
-  }
-  if (policy_.max_memo_entries > 0 && memo_slots_.size() >= policy_.max_memo_entries) {
-    MemoEvictOneLocked();
-  }
-  memo_index_[key] = memo_slots_.size();
-  // Inserted unreferenced: a new entry earns its reference bit with a hit,
-  // so a flood of one-off creatives recycles its own slots instead of
-  // evicting the fleet's hot set.
-  memo_slots_.push_back(MemoSlot{key, verify, is_ad, false});
-}
-
-void AsyncAdClassifier::NoteBatchLatencyLocked(double per_image_ms) {
-  if (policy_.classify_deadline_ms <= 0.0) {
-    return;
-  }
-  if (per_image_ms <= policy_.classify_deadline_ms) {
-    consecutive_misses_ = 0;
-    return;
-  }
-  ++stats_.deadline_misses;
-  if (!degraded_ && policy_.degrade_after_misses > 0 &&
-      ++consecutive_misses_ >= policy_.degrade_after_misses) {
-    // Trip the degrade state: fail open on every uncached creative (the
-    // paper's async contract — render now — held even when inference has
-    // gone pathological) until recover_after_frames frames pass.
-    degraded_ = true;
-    frames_until_recovery_ = std::max(1, policy_.recover_after_frames);
-    ++stats_.degrade_transitions;
+  if (engine_.degraded()) {
     LogLine("async classifier: DEGRADED (fail-open) after " +
-            std::to_string(consecutive_misses_) +
+            std::to_string(engine_.policy().degrade_after_misses) +
             " consecutive over-deadline batches; self-heal in " +
-            std::to_string(frames_until_recovery_) + " frames");
+            std::to_string(std::max(1, engine_.policy().recover_after_frames)) +
+            " frames");
+  } else {
+    LogLine("async classifier: degrade state cleared; resuming admission");
   }
 }
 
@@ -479,152 +442,96 @@ bool AsyncAdClassifier::OnDecodedFrame(const ImageInfo& info, Bitmap& pixels,
   (void)info;
   (void)source_url;
   std::lock_guard<std::mutex> lock(mutex_);
-  // Degrade bookkeeping first: every arriving frame advances the self-heal
-  // countdown, and the frame that reaches zero is admitted normally again
-  // (it is the probe that proves recovery).
-  bool shed_uncached = false;
-  if (degraded_) {
-    ++stats_.degraded_frames;
-    if (--frames_until_recovery_ <= 0) {
-      degraded_ = false;
-      consecutive_misses_ = 0;
-      ++stats_.degrade_transitions;
-      LogLine("async classifier: degrade state cleared; resuming admission");
-    } else {
-      shed_uncached = true;
-    }
+  const bool was_degraded = engine_.degraded();
+  const SubmitOutcome outcome = engine_.Submit(pixels, NowNs());
+  if (outcome.disposition == SubmitDisposition::kAdmitted) {
+    // The engine stored no pixels (caller-owned buffers): retain a copy for
+    // the ticket — the renderer recycles the decoded buffer the moment this
+    // hook returns — and back the ticket with the copy's stable address.
+    auto inserted = buffers_.emplace(outcome.ticket, pixels);
+    engine_.ProvidePixels(outcome.ticket, &inserted.first->second);
   }
-  const uint64_t key = primary_hash_(pixels.data(), pixels.byte_size());
-  const uint64_t verify = HashBytesSeeded(pixels.data(), pixels.byte_size(), kVerifyHashSeed);
-  auto it = memo_index_.find(key);
-  if (it != memo_index_.end()) {
-    MemoSlot& slot = memo_slots_[it->second];
-    if (slot.verify == verify) {
-      ++stats_.cache_hits;
-      slot.referenced = true;  // CLOCK recency: a hit defends the slot
-      return slot.is_ad;       // Memoized decision applies immediately —
-                               // even degraded, a lookup is always allowed.
-    }
-    // Same 64-bit hash, different payload: applying the cached decision
-    // would block/pass the wrong creative. Count it and classify this frame
-    // on its own.
-    ++stats_.hash_collisions;
+  LogDegradeTransitionLocked(was_degraded);
+  return outcome.is_ad;
+}
+
+void AsyncAdClassifier::RunBatch(const EngineBatch& batch) {
+  // The forward pass runs unlocked (the inner classifier has its own
+  // network mutex): frame intake and other pooled batches proceed
+  // meanwhile. Only the report-back touches engine state.
+  const std::vector<ClassifyResult> results = inner_.ClassifyBatch(batch.images);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool was_degraded = engine_.degraded();
+  engine_.CompleteBatch(batch, results, NowNs());
+  for (const uint64_t ticket : batch.tickets) {
+    buffers_.erase(ticket);  // the buffer obligation ends with the batch
   }
-  ++stats_.cache_misses;
-  // Not yet known: the frame renders now regardless (no added latency);
-  // the admission ladder only decides whether classification work is
-  // queued for it. Rungs, in order: degraded -> shed; duplicate ->
-  // coalesce; queue full (or saturation fault) -> shed; else admit.
-  if (shed_uncached) {
-    ++stats_.shed;
-    return false;
-  }
-  const uint64_t flight_key = HashCombine(key, verify);
-  if (in_flight_.count(flight_key) != 0) {
-    ++stats_.coalesced;  // already queued or mid-drain: ride that work
-    return false;
-  }
-  if ((policy_.max_pending > 0 && pending_.size() >= policy_.max_pending) ||
-      faultpoint::ShouldFire(faultpoint::kQueueSaturate)) {
-    ++stats_.shed;  // bounded admission: render unclassified, don't queue
-    return false;
-  }
-  in_flight_.insert(flight_key);
-  pending_.push_back(PendingFrame{key, verify, pixels});
-  return false;
+  LogDegradeTransitionLocked(was_degraded);
 }
 
 void AsyncAdClassifier::DrainPending(ThreadPool* pool, int batch_size, double budget_ms) {
-  // batch_size <= 0 used to make zero-size batches — ceil(n/0) progress,
-  // i.e. none, and a caller looping "drain until pending empty" would spin
-  // forever. Clamp to one frame per batch (regression-tested).
   batch_size = std::max(batch_size, 1);
-  Stopwatch timer;
-  std::vector<PendingFrame> work;
-  double budget = 0.0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    budget = budget_ms >= 0.0 ? budget_ms : policy_.drain_budget_ms;
-    work.swap(pending_);
-    // Keys stay in in_flight_ until their result is memoized below, so
-    // frames decoded mid-drain cannot re-queue a creative being classified.
+  // The engine runs one drain at a time, so whole drains serialize here
+  // (hammer tests drain from many threads at once); a queued drain then
+  // picks up whatever the previous one left pending.
+  std::lock_guard<std::mutex> drain_guard(drain_mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!engine_.BeginDrain(NowNs(), budget_ms)) {
+    return;  // nothing pending
   }
-  if (work.empty()) {
-    return;
-  }
-
+  const double budget = engine_.drain_budget_ms();
   const int batches =
-      static_cast<int>((work.size() + static_cast<size_t>(batch_size) - 1) /
+      static_cast<int>((engine_.drain_remaining() + static_cast<size_t>(batch_size) - 1) /
                        static_cast<size_t>(batch_size));
-  auto run_batch = [&](int index) {
-    const size_t begin = static_cast<size_t>(index) * static_cast<size_t>(batch_size);
-    const size_t end = std::min(work.size(), begin + static_cast<size_t>(batch_size));
-    std::vector<const Bitmap*> images;
-    images.reserve(end - begin);
-    for (size_t i = begin; i < end; ++i) {
-      images.push_back(&work[i].pixels);
-    }
-    const std::vector<ClassifyResult> results = inner_.ClassifyBatch(images);
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (size_t i = begin; i < end; ++i) {
-      MemoInsertLocked(work[i].key, work[i].verify, results[i - begin].is_ad);
-      in_flight_.erase(HashCombine(work[i].key, work[i].verify));
-    }
-    if (!results.empty()) {
-      // All results in one batch share the per-image latency; one reading
-      // feeds the deadline/degrade ladder per batch.
-      NoteBatchLatencyLocked(results[0].latency_ms);
-    }
-  };
-
   if (budget <= 0.0 && pool != nullptr && batches > 1) {
-    // Unbudgeted pooled drain: batches overlap — while one batch holds the
-    // network lock for its forward pass, others preprocess their bitmaps.
-    pool->ParallelFor(batches, run_batch);
+    // Unbudgeted pooled drain: hand out every batch up front and classify
+    // them on the pool — while one batch holds the network lock for its
+    // forward pass, others preprocess their bitmaps.
+    std::vector<EngineBatch> work;
+    work.reserve(static_cast<size_t>(batches));
+    for (EngineBatch batch = engine_.BeginBatch(batch_size); !batch.empty();
+         batch = engine_.BeginBatch(batch_size)) {
+      work.push_back(std::move(batch));
+    }
+    lock.unlock();
+    pool->ParallelFor(static_cast<int>(work.size()),
+                      [&](int i) { RunBatch(work[static_cast<size_t>(i)]); });
     return;
   }
-  // Budgeted (or serial) drain: the budget is checked BETWEEN batches, so
-  // one batch always completes (a drain that could do nothing would never
-  // catch up) and a batch never runs past the budget it started under.
-  int done = 0;
-  while (done < batches) {
-    run_batch(done);
-    ++done;
-    if (budget > 0.0 && done < batches && timer.ElapsedMs() >= budget) {
-      break;
-    }
-  }
-  if (done < batches) {
-    // Budget spent with work left: requeue the unprocessed tail at the
-    // front (admission order preserved). Their in_flight_ keys were never
-    // released, so duplicates arriving meanwhile still coalesce.
-    std::lock_guard<std::mutex> lock(mutex_);
-    pending_.insert(pending_.begin(),
-                    std::make_move_iterator(work.begin() +
-                                            static_cast<size_t>(done) *
-                                                static_cast<size_t>(batch_size)),
-                    std::make_move_iterator(work.end()));
+  // Budgeted (or serial) drain: the engine checks the budget BETWEEN
+  // batches (one batch always runs) and requeues the unprocessed tail at
+  // the front of its pending queue when the budget expires.
+  while (engine_.Step(NowNs()) == EngineAction::kRunBatch) {
+    const EngineBatch batch = engine_.BeginBatch(batch_size);
+    lock.unlock();
+    RunBatch(batch);
+    lock.lock();
   }
 }
 
 int64_t AsyncAdClassifier::cache_size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return static_cast<int64_t>(memo_index_.size());
+  return engine_.memo_size();
+}
+
+int64_t AsyncAdClassifier::near_dup_cache_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return engine_.near_dup_size();
 }
 
 int64_t AsyncAdClassifier::pending_size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return static_cast<int64_t>(pending_.size());
+  return engine_.pending_size();
 }
 
 bool AsyncAdClassifier::degraded() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return degraded_;
+  return engine_.degraded();
 }
 
 ClassifierStats AsyncAdClassifier::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  return engine_.stats();
 }
 
 }  // namespace percival

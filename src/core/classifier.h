@@ -13,7 +13,6 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -24,109 +23,14 @@
 #include "src/nn/gemm.h"
 #include "src/nn/network.h"
 #include "src/renderer/image_pipeline.h"
+#include "src/serve/engine.h"
+#include "src/serve/policy.h"
 
 namespace percival {
 
-struct ClassifyResult {
-  bool is_ad = false;
-  float ad_probability = 0.0f;
-  double latency_ms = 0.0;
-};
-
-// Overload-hardening knobs for the serving path. One struct carries every
-// policy so a deployment configures the whole degradation ladder in one
-// place; the defaults reproduce the paper's semantics (classify everything,
-// never block a paint) with generous-but-finite memory bounds.
-//
-// The ladder, from healthy to degraded:
-//   1. admit      — frame queued for off-critical-path classification;
-//   2. coalesce   — duplicate of an already queued/in-flight creative:
-//                   renders now, classified once (stats().coalesced);
-//   3. shed       — pending queue at max_pending (or the
-//                   classifier.queue.saturate fault armed): the frame
-//                   renders unclassified and is NOT queued — fail-open, the
-//                   paper's async contract (stats().shed);
-//   4. evict      — memo at max_memo_entries: CLOCK second-chance eviction
-//                   keeps the hot set and bounds memory (stats().evicted);
-//   5. degrade    — degrade_after_misses consecutive over-deadline drain
-//                   batches trip a fail-open state: every uncached frame is
-//                   shed without queueing until recover_after_frames frames
-//                   have passed, then admission resumes with a clean miss
-//                   counter (stats().degraded_frames / degrade_transitions).
-struct ServingPolicy {
-  // ---- bounded admission (AsyncAdClassifier) ----
-  // Pending-queue capacity; a frame arriving with the queue full is shed.
-  // 0 = unbounded (pre-hardening behavior).
-  size_t max_pending = 256;
-  // Memo-cache capacity in entries; insertion at capacity evicts via CLOCK
-  // second-chance (a hit sets the entry's reference bit; the sweep evicts
-  // the first unreferenced entry). 0 = unbounded.
-  size_t max_memo_entries = 4096;
-
-  // ---- deadlines ----
-  // Soft per-classification deadline: a classification that takes longer
-  // still completes (soft — the result is not discarded) but counts a
-  // deadline miss, which feeds the degrade ladder. <= 0 disables.
-  double classify_deadline_ms = 0.0;
-  // Default time budget for DrainPending when the caller passes none:
-  // the drain stops between batches once the budget is spent and leaves the
-  // remaining frames queued for the next drain. <= 0 = unlimited.
-  double drain_budget_ms = 0.0;
-
-  // ---- graceful degradation ----
-  // Consecutive over-deadline drain batches that trip the degrade state.
-  // <= 0 disables degradation entirely.
-  int degrade_after_misses = 8;
-  // Frames observed while degraded before the classifier self-heals and
-  // resumes admission.
-  int recover_after_frames = 64;
-
-  // ---- reload ----
-  // LoadWeightsWithRetry: retries after the initial failed attempt, with
-  // exponential backoff starting at reload_backoff_ms (doubling each time).
-  int reload_max_retries = 3;
-  double reload_backoff_ms = 0.5;
-};
-
-struct ClassifierStats {
-  int64_t classified = 0;
-  int64_t blocked = 0;
-  int64_t cache_hits = 0;
-  int64_t cache_misses = 0;
-  // Classifications whose preprocessing went straight to uint8 codes (the
-  // int8 u8-direct path) — no float staging tensor existed for these.
-  int64_t u8_direct = 0;
-  // Memo lookups whose 64-bit pixel hash matched a cached entry but whose
-  // verification hash did not — a genuine collision. The colliding frame is
-  // re-classified instead of inheriting the cached decision.
-  int64_t hash_collisions = 0;
-  // ---- overload observability (see ServingPolicy's ladder) ----
-  // Frames refused admission (queue full, saturation fault, or degraded):
-  // they rendered unclassified and were not queued.
-  int64_t shed = 0;
-  // Frames whose creative was already queued or in an in-flight drain: they
-  // rendered immediately and ride the existing classification.
-  int64_t coalesced = 0;
-  // Memo entries evicted by the CLOCK sweep to stay under max_memo_entries.
-  int64_t evicted = 0;
-  // Classifications (sync) / drain batches (async) that exceeded the soft
-  // classify_deadline_ms.
-  int64_t deadline_misses = 0;
-  // Frames that arrived while the degrade state was active.
-  int64_t degraded_frames = 0;
-  // Degrade state changes, entering and leaving each counting one — an even
-  // value means the classifier is currently healthy.
-  int64_t degrade_transitions = 0;
-  // Reload attempts beyond the first in LoadWeightsWithRetry.
-  int64_t reload_retries = 0;
-  // Classifications that failed open (not-ad, probability 0) because the
-  // forward pass could not allocate scratch memory.
-  int64_t alloc_failovers = 0;
-  double total_latency_ms = 0.0;
-  double MeanLatencyMs() const {
-    return classified == 0 ? 0.0 : total_latency_ms / static_cast<double>(classified);
-  }
-};
+// ClassifyResult, ServingPolicy, and ClassifierStats moved to
+// src/serve/policy.h (shared with the sans-IO ServingEngine and the shard
+// router); this header re-exports them via the include above.
 
 class AdClassifier : public ImageInterceptor {
  public:
@@ -160,7 +64,9 @@ class AdClassifier : public ImageInterceptor {
   // network serving — LoadWeights stages and validates the whole artifact
   // before committing anything — so a permanently corrupt file degrades to
   // "keep classifying with the prior weights", never to a half-loaded
-  // model.
+  // model. The retry/backoff SCHEDULE itself lives in the sans-IO
+  // ServingEngine (caller-supplied time); this adapter contributes the file
+  // reads, the stage-then-commit, and the real sleeps.
   bool LoadWeightsWithRetry(const std::string& path);
 
   // Installs the serving policy (deadline + reload knobs apply to this
@@ -218,6 +124,13 @@ class AdClassifier : public ImageInterceptor {
   // Caller holds mutex_ (or is the constructor).
   void RefreshU8DirectLocked();
 
+  // The commit half of LoadWeights: stages `bytes` (already read — peek +
+  // deserialize the SAME bytes, so a concurrent artifact swap on disk
+  // cannot split the version sniff from the payload) and atomically flips
+  // the deployed network on success. Returns false with the network
+  // untouched on a rejected artifact.
+  bool CommitWeightBytes(const std::vector<uint8_t>& bytes);
+
   // One coherent read of the u8-direct state, taken before preprocessing
   // runs outside the network lock. The quantization is derived from the
   // first conv's LIVE input calibration (InputQuantLocked), never cached,
@@ -258,12 +171,17 @@ class AdClassifier : public ImageInterceptor {
 // results"). Keyed by a hash of the decoded pixels, so the same creative
 // served under a different URL still hits.
 //
-// Overload-hardened: admission is bounded (ServingPolicy::max_pending, with
-// an explicit admit / coalesce / shed ladder), the memo cache is capped
-// with CLOCK eviction (max_memo_entries), drains honor a time budget, and
-// sustained deadline misses trip a fail-open degrade state that self-heals.
-// Every transition is observable through stats(); under any failure the
-// wrapper's answer stays "render now" — overload can never block a paint.
+// Since the sans-IO refactor this class is a thin ADAPTER over
+// ServingEngine (src/serve/engine.h): every piece of serving state — the
+// admit/coalesce/shed ladder, the two-tier memo cache with CLOCK eviction,
+// drain budgets, the fail-open degrade state — lives in the engine, and
+// this wrapper contributes exactly the runtime the engine refuses to own:
+// a mutex (the engine is single-owner), the steady clock, retained copies
+// of admitted frames (the engine never copies pixels), and ThreadPool
+// execution of the batches the engine hands out. Decisions are bit-
+// identical to the pre-refactor monolith (test-asserted); under any
+// failure the answer stays "render now" — overload can never block a
+// paint.
 class AsyncAdClassifier : public ImageInterceptor {
  public:
   explicit AsyncAdClassifier(AdClassifier& inner) : inner_(inner) {}
@@ -278,11 +196,11 @@ class AsyncAdClassifier : public ImageInterceptor {
   void SetPrimaryHashForTest(HashFn fn);
 
   // Installs the wrapper's serving policy. Applies to admission, eviction,
-  // drain budgeting, and the degrade ladder of THIS wrapper only — the
-  // inner classifier's deadline/reload knobs are set through its own
-  // SetServingPolicy (deliberately uncoupled: the inner classifier may be
-  // shared with a synchronous deployment). Shrinking max_memo_entries
-  // evicts down to the new cap immediately.
+  // drain budgeting, the near-duplicate tier, and the degrade ladder of
+  // THIS wrapper only — the inner classifier's deadline/reload knobs are
+  // set through its own SetServingPolicy (deliberately uncoupled: the
+  // inner classifier may be shared with a synchronous deployment).
+  // Shrinking a memo cap (either tier) evicts down immediately.
   void SetServingPolicy(const ServingPolicy& policy);
   ServingPolicy serving_policy() const;
 
@@ -304,62 +222,43 @@ class AsyncAdClassifier : public ImageInterceptor {
   void DrainPending(ThreadPool* pool = nullptr, int batch_size = 16,
                     double budget_ms = -1.0);
 
-  // Observability: memoized entries, queued frames, and the degrade state.
+  // Observability: memoized entries (per tier), queued frames, and the
+  // degrade state.
   int64_t cache_size() const;
+  int64_t near_dup_cache_size() const;
   int64_t pending_size() const;
   bool degraded() const;
   // One coherent snapshot: every counter is read under the same lock, so
   // cross-counter invariants (hits + misses == lookups; shed + coalesced <=
-  // misses) hold within a snapshot even while other threads classify.
+  // misses; near_dup_hits + near_dup_rejects == enabled-probe count) hold
+  // within a snapshot even while other threads classify.
   ClassifierStats stats() const;
 
  private:
-  // A memo slot keeps the independent verification hash of the pixels it
-  // was computed from: a primary-hash match alone is not proof of payload
-  // equality, and inheriting a decision across a collision would block (or
-  // pass) the wrong creative. See ClassifierStats::hash_collisions.
-  // `referenced` is the CLOCK bit: set on every hit, cleared by the
-  // eviction sweep — one bit of recency is enough to keep the fleet's hot
-  // creatives resident through a flood of one-off uniques.
-  struct MemoSlot {
-    uint64_t key = 0;
-    uint64_t verify = 0;
-    bool is_ad = false;
-    bool referenced = false;
-  };
-  struct PendingFrame {
-    uint64_t key = 0;     // primary hash
-    uint64_t verify = 0;  // seeded verification hash
-    Bitmap pixels;
-  };
-
-  // All require mutex_ held.
-  void MemoInsertLocked(uint64_t key, uint64_t verify, bool is_ad);
-  void MemoEvictOneLocked();
-  // Per-drained-batch deadline accounting: feeds consecutive misses into
-  // the degrade trip wire.
-  void NoteBatchLatencyLocked(double per_image_ms);
+  // Runs one engine-issued batch through the inner classifier and reports
+  // it back. Takes mutex_ internally around the engine calls only — the
+  // forward pass itself runs unlocked (the inner classifier has its own
+  // network lock), which is what lets pooled batches overlap.
+  void RunBatch(const EngineBatch& batch);
+  // Logs the engine's degrade transitions (the sans-IO engine never logs —
+  // logging timestamps would be a hidden wall-clock read). Caller holds
+  // mutex_; `was_degraded` is the state observed before the engine call.
+  void LogDegradeTransitionLocked(bool was_degraded);
 
   AdClassifier& inner_;
+  // Guards engine_ and buffers_ (the engine is deliberately not internally
+  // synchronized). The engine supports one open drain at a time, so whole
+  // drains are serialized by drain_mutex_; frame intake stays concurrent
+  // with a running drain (mutex_ is released around each forward pass).
   mutable std::mutex mutex_;
-  HashFn primary_hash_ = &HashBytes;
-  ServingPolicy policy_;
-  // CLOCK ring (compact vector + index). Eviction swap-removes, so the ring
-  // stays dense and memory is bounded by max_memo_entries exactly.
-  std::vector<MemoSlot> memo_slots_;
-  std::unordered_map<uint64_t, size_t> memo_index_;
-  size_t clock_hand_ = 0;
-  // Combined (primary, verify) keys either queued in pending_ or being
-  // classified by an in-flight drain; blocks duplicate work for repeated
-  // creatives without letting a primary-hash collision alias two of them.
-  std::unordered_set<uint64_t> in_flight_;
-  std::vector<PendingFrame> pending_;
-  // Degrade ladder state: consecutive over-deadline drain batches, and the
-  // frame countdown to self-heal once degraded.
-  int consecutive_misses_ = 0;
-  int frames_until_recovery_ = 0;
-  bool degraded_ = false;
-  ClassifierStats stats_;
+  std::mutex drain_mutex_;
+  ServingEngine engine_;
+  // Retained pixels for admitted tickets — the buffer-ownership half of
+  // the sans-IO contract. Erased when the ticket's batch completes (or
+  // kept across drains for a budget-requeued frame). unordered_map node
+  // storage keeps each Bitmap address stable while the engine holds its
+  // pointer.
+  std::unordered_map<uint64_t, Bitmap> buffers_;
 };
 
 // Test hook: capacity (bytes) of the calling thread's u8 preprocessing

@@ -10,7 +10,12 @@ uint64_t AverageHash(const Bitmap& bitmap) {
   if (bitmap.empty()) {
     return 0;
   }
-  const Bitmap small = ResizeBilinear(bitmap, 8, 8);
+  // Thread-local 8x8 scratch (the classifier's u8 preprocessing buffer uses
+  // the same pattern): dataset dedup sweeps and the serving engine's L2
+  // probe hash every incoming image, and a fresh 256-byte Bitmap per call
+  // was the only allocation on that path.
+  thread_local Bitmap small;
+  ResizeBilinearInto(bitmap, 8, 8, &small);
   int gray[64];
   int total = 0;
   for (int y = 0; y < 8; ++y) {

@@ -8,10 +8,20 @@
 namespace percival {
 
 Bitmap ResizeBilinear(const Bitmap& source, int out_width, int out_height) {
+  Bitmap out;
+  ResizeBilinearInto(source, out_width, out_height, &out);
+  return out;
+}
+
+void ResizeBilinearInto(const Bitmap& source, int out_width, int out_height, Bitmap* out_ptr) {
   PCHECK_GE(out_width, 1);
   PCHECK_GE(out_height, 1);
   PCHECK(!source.empty());
-  Bitmap out(out_width, out_height);
+  PCHECK(out_ptr != nullptr && out_ptr != &source);
+  if (out_ptr->width() != out_width || out_ptr->height() != out_height) {
+    *out_ptr = Bitmap(out_width, out_height);
+  }
+  Bitmap& out = *out_ptr;
   const float x_scale = static_cast<float>(source.width()) / static_cast<float>(out_width);
   const float y_scale = static_cast<float>(source.height()) / static_cast<float>(out_height);
   for (int y = 0; y < out_height; ++y) {
@@ -39,7 +49,6 @@ Bitmap ResizeBilinear(const Bitmap& source, int out_width, int out_height) {
                                lerp(c00.a, c10.a, c01.a, c11.a)});
     }
   }
-  return out;
 }
 
 Tensor BitmapToTensor(const Bitmap& source, int size, int channels) {

@@ -13,6 +13,12 @@ namespace percival {
 // Bilinear resample to the requested size (both dimensions >= 1).
 Bitmap ResizeBilinear(const Bitmap& source, int out_width, int out_height);
 
+// Same resample written into a caller-provided bitmap, which is only
+// (re)allocated when its dimensions differ from the target — a caller that
+// keeps `out` across calls (AverageHash's thread-local 8x8 scratch) pays
+// the allocation exactly once.
+void ResizeBilinearInto(const Bitmap& source, int out_width, int out_height, Bitmap* out);
+
 // Converts to a {1, size, size, channels} float tensor in [0, 1], resizing
 // bilinearly. `channels` is 3 (RGB) or 4 (RGBA; the paper feeds 224x224x4).
 Tensor BitmapToTensor(const Bitmap& source, int size, int channels);

@@ -1,0 +1,441 @@
+#include "src/serve/engine.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "src/base/faultpoint.h"
+#include "src/base/hash.h"
+#include "src/base/logging.h"
+#include "src/img/phash.h"
+
+namespace percival {
+
+namespace {
+
+// Seed for the memo's independent verification hash (any constant works;
+// it only has to define a second FNV stream over the pixels).
+constexpr uint64_t kVerifyHashSeed = 0x5CA1AB1EULL;
+
+}  // namespace
+
+ServingEngine::ServingEngine(const ServingPolicy& policy)
+    : policy_(policy), primary_hash_(&HashBytes) {}
+
+void ServingEngine::SetPolicy(const ServingPolicy& policy) {
+  policy_ = policy;
+  // A tightened memo cap applies immediately, not at the next insert: the
+  // whole point of the cap is a memory bound that holds right now.
+  if (policy_.max_memo_entries > 0) {
+    while (memo_slots_.size() > policy_.max_memo_entries) {
+      MemoEvictOne();
+    }
+  }
+  if (policy_.max_near_dup_entries > 0) {
+    while (l2_slots_.size() > policy_.max_near_dup_entries) {
+      L2EvictOne();
+    }
+  }
+}
+
+void ServingEngine::SetPrimaryHash(HashFn fn) {
+  primary_hash_ = fn != nullptr ? fn : &HashBytes;
+}
+
+SubmitOutcome ServingEngine::Submit(const Bitmap& pixels, int64_t now_ns) {
+  (void)now_ns;  // Submit itself is untimed today; the parameter keeps the
+                 // signature stable for time-aware admission policies.
+  SubmitOutcome outcome;
+  // Degrade bookkeeping first: every arriving frame advances the self-heal
+  // countdown, and the frame that reaches zero is admitted normally again
+  // (it is the probe that proves recovery).
+  bool shed_uncached = false;
+  if (degraded_) {
+    ++stats_.degraded_frames;
+    if (--frames_until_recovery_ <= 0) {
+      degraded_ = false;
+      consecutive_misses_ = 0;
+      ++stats_.degrade_transitions;
+    } else {
+      shed_uncached = true;
+    }
+  }
+  const uint64_t key = primary_hash_(pixels.data(), pixels.byte_size());
+  const uint64_t verify =
+      HashBytesSeeded(pixels.data(), pixels.byte_size(), kVerifyHashSeed);
+  auto it = memo_index_.find(key);
+  if (it != memo_index_.end()) {
+    MemoSlot& slot = memo_slots_[it->second];
+    if (slot.verify == verify) {
+      ++stats_.cache_hits;
+      slot.referenced = true;  // CLOCK recency: a hit defends the slot
+      outcome.is_ad = slot.is_ad;
+      outcome.disposition = SubmitDisposition::kHitExact;
+      return outcome;  // Memoized decision applies immediately — even
+                       // degraded, a lookup is always allowed.
+    }
+    // Same 64-bit hash, different payload: applying the cached decision
+    // would block/pass the wrong creative. Count it and classify this frame
+    // on its own.
+    ++stats_.hash_collisions;
+  }
+  ++stats_.cache_misses;
+  // L2 perceptual probe: an L1 miss can still be a recompressed/resized
+  // twin of a memoized creative. Like L1, a lookup is allowed even while
+  // degraded — it costs one 8x8 resize plus a popcount scan, no inference.
+  uint64_t phash = 0;
+  bool has_phash = false;
+  if (policy_.near_dup_enabled) {
+    phash = AverageHash(pixels);
+    has_phash = true;
+    const int64_t slot_index = L2Probe(phash);
+    if (slot_index >= 0) {
+      ++stats_.near_dup_hits;
+      const bool is_ad = l2_slots_[static_cast<size_t>(slot_index)].is_ad;
+      // Promote the exact hash into L1: the next frame of this exact
+      // payload hits L1 and skips the Hamming scan entirely.
+      MemoInsert(key, verify, is_ad);
+      outcome.is_ad = is_ad;
+      outcome.disposition = SubmitDisposition::kHitNearDup;
+      return outcome;
+    }
+    ++stats_.near_dup_rejects;
+  }
+  // Not yet known: the frame renders now regardless (no added latency);
+  // the admission ladder only decides whether classification work is
+  // queued for it. Rungs, in order: degraded -> shed; duplicate ->
+  // coalesce; queue full (or saturation fault) -> shed; else admit.
+  if (shed_uncached) {
+    ++stats_.shed;
+    outcome.disposition = SubmitDisposition::kShed;
+    return outcome;
+  }
+  const uint64_t flight_key = HashCombine(key, verify);
+  if (in_flight_.count(flight_key) != 0) {
+    ++stats_.coalesced;  // already queued or mid-drain: ride that work
+    outcome.disposition = SubmitDisposition::kCoalesced;
+    return outcome;
+  }
+  if ((policy_.max_pending > 0 && pending_.size() >= policy_.max_pending) ||
+      faultpoint::ShouldFire(faultpoint::kQueueSaturate)) {
+    ++stats_.shed;  // bounded admission: render unclassified, don't queue
+    outcome.disposition = SubmitDisposition::kShed;
+    return outcome;
+  }
+  in_flight_.insert(flight_key);
+  PendingFrame frame;
+  frame.ticket = flight_key;
+  frame.key = key;
+  frame.verify = verify;
+  frame.phash = phash;
+  frame.has_phash = has_phash;
+  frame.pixels = nullptr;  // the caller owes ProvidePixels for this ticket
+  pending_.push_back(frame);
+  outcome.disposition = SubmitDisposition::kAdmitted;
+  outcome.ticket = flight_key;
+  return outcome;
+}
+
+void ServingEngine::ProvidePixels(uint64_t ticket, const Bitmap* pixels) {
+  PCHECK(pixels != nullptr);
+  // The ticket was just admitted, so it is almost always the back slot.
+  for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+    if (it->ticket == ticket) {
+      it->pixels = pixels;
+      return;
+    }
+  }
+  PCHECK(false && "ProvidePixels: unknown ticket");
+}
+
+EngineAction ServingEngine::Step(int64_t now_ns) {
+  // The step is also where an expired drain budget takes effect: the
+  // unprocessed tail goes back to pending_ and the drain closes.
+  MaybeCloseDrain(now_ns);
+  if (drain_open_ && drain_cursor_ < drain_.size()) {
+    return EngineAction::kRunBatch;
+  }
+  if (reload_active_ && now_ns >= next_attempt_ns_) {
+    return EngineAction::kNeedArtifact;
+  }
+  if (!decisions_.empty()) {
+    return EngineAction::kEmitDecision;
+  }
+  return EngineAction::kIdle;
+}
+
+bool ServingEngine::BeginDrain(int64_t now_ns, double budget_ms) {
+  if (drain_open_) {
+    return true;  // a drain already open stays open
+  }
+  if (pending_.empty()) {
+    return false;
+  }
+  // Snapshot-by-swap: frames submitted mid-drain land in the (now empty)
+  // pending_ and wait for the next drain. Their in_flight_ keys stay set
+  // until CompleteBatch memoizes them, so mid-drain duplicates coalesce.
+  drain_.swap(pending_);
+  drain_cursor_ = 0;
+  batches_started_ = 0;
+  outstanding_batches_ = 0;
+  drain_start_ns_ = now_ns;
+  drain_budget_ms_ = budget_ms >= 0.0 ? budget_ms : policy_.drain_budget_ms;
+  drain_open_ = true;
+  return true;
+}
+
+EngineBatch ServingEngine::BeginBatch(int max_batch) {
+  EngineBatch batch;
+  if (!drain_open_) {
+    return batch;
+  }
+  // max_batch <= 0 used to make zero-size batches — ceil(n/0) progress,
+  // i.e. none, and a caller looping "drain until pending empty" would spin
+  // forever. Clamp to one frame per batch (regression-tested).
+  const size_t take = std::min(drain_.size() - drain_cursor_,
+                               static_cast<size_t>(std::max(max_batch, 1)));
+  if (take == 0) {
+    return batch;
+  }
+  batch.images.reserve(take);
+  batch.tickets.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    const PendingFrame& frame = drain_[drain_cursor_ + i];
+    // An admitted ticket must be backed before its batch begins — the
+    // engine stored no pixels of its own (caller-owned buffers).
+    PCHECK(frame.pixels != nullptr);
+    batch.images.push_back(frame.pixels);
+    batch.tickets.push_back(frame.ticket);
+    in_drain_.emplace(frame.ticket, frame);
+  }
+  drain_cursor_ += take;
+  ++outstanding_batches_;
+  ++batches_started_;
+  return batch;
+}
+
+void ServingEngine::CompleteBatch(const EngineBatch& batch,
+                                  const std::vector<ClassifyResult>& results,
+                                  int64_t now_ns) {
+  PCHECK(results.size() == batch.tickets.size());
+  for (size_t i = 0; i < batch.tickets.size(); ++i) {
+    auto it = in_drain_.find(batch.tickets[i]);
+    PCHECK(it != in_drain_.end());
+    const PendingFrame& frame = it->second;
+    MemoInsert(frame.key, frame.verify, results[i].is_ad);
+    if (policy_.near_dup_enabled && frame.has_phash) {
+      L2Insert(frame.phash, results[i].is_ad);
+    }
+    in_flight_.erase(frame.ticket);
+    if (emit_decisions_) {
+      decisions_.push_back(EngineDecision{frame.ticket, results[i].is_ad});
+    }
+    in_drain_.erase(it);
+  }
+  if (outstanding_batches_ > 0) {
+    --outstanding_batches_;
+  }
+  if (!results.empty()) {
+    // All results in one batch share the per-image latency; one reading
+    // feeds the deadline/degrade ladder per batch.
+    NoteBatchLatency(results[0].latency_ms);
+  }
+  MaybeCloseDrain(now_ns);
+}
+
+std::vector<EngineDecision> ServingEngine::TakeDecisions() {
+  std::vector<EngineDecision> taken;
+  taken.swap(decisions_);
+  return taken;
+}
+
+void ServingEngine::RequestReload(const std::string& path, int64_t now_ns) {
+  reload_active_ = true;
+  reload_succeeded_ = false;
+  reload_path_ = path;
+  reload_attempts_ = 0;
+  next_attempt_ns_ = now_ns;  // the first attempt is due immediately
+  backoff_ms_ = std::max(0.0, policy_.reload_backoff_ms);
+}
+
+void ServingEngine::ProvideArtifact(const std::vector<uint8_t>& bytes, bool committed,
+                                    int64_t now_ns) {
+  (void)bytes;  // empty = unreadable, non-empty + !committed = rejected;
+                // the schedule treats both as a failed attempt
+  if (!reload_active_) {
+    return;
+  }
+  if (committed) {
+    reload_active_ = false;
+    reload_succeeded_ = true;
+    return;
+  }
+  if (reload_attempts_ >= std::max(0, policy_.reload_max_retries)) {
+    // Retries exhausted. The caller's network was never touched by the
+    // failed attempts (stage-then-commit), so it keeps serving the
+    // previous weights.
+    reload_active_ = false;
+    reload_succeeded_ = false;
+    return;
+  }
+  ++reload_attempts_;
+  ++stats_.reload_retries;
+  next_attempt_ns_ = now_ns + static_cast<int64_t>(backoff_ms_ * 1e6);
+  backoff_ms_ *= 2.0;
+}
+
+int64_t ServingEngine::next_wake_ns() const {
+  return reload_active_ ? next_attempt_ns_ : -1;
+}
+
+void ServingEngine::MemoEvictOne() {
+  // CLOCK second-chance sweep: clear reference bits until an unreferenced
+  // slot comes under the hand, then swap-remove it so the ring stays dense.
+  // Worst case is two revolutions (first clears every bit), so the sweep is
+  // O(capacity) bounded even when everything was recently hit.
+  PCHECK(!memo_slots_.empty());
+  for (;;) {
+    if (clock_hand_ >= memo_slots_.size()) {
+      clock_hand_ = 0;
+    }
+    MemoSlot& slot = memo_slots_[clock_hand_];
+    if (slot.referenced) {
+      slot.referenced = false;
+      ++clock_hand_;
+      continue;
+    }
+    memo_index_.erase(slot.key);
+    if (clock_hand_ + 1 != memo_slots_.size()) {
+      slot = memo_slots_.back();
+      memo_index_[slot.key] = clock_hand_;
+    }
+    memo_slots_.pop_back();
+    ++stats_.evicted;
+    return;
+  }
+}
+
+void ServingEngine::MemoInsert(uint64_t key, uint64_t verify, bool is_ad) {
+  auto it = memo_index_.find(key);
+  if (it != memo_index_.end()) {
+    // Last writer wins if two colliding creatives were in one drain; the
+    // loser re-classifies on its next frame (counted as a collision)
+    // instead of inheriting the winner's decision.
+    MemoSlot& slot = memo_slots_[it->second];
+    slot.verify = verify;
+    slot.is_ad = is_ad;
+    return;
+  }
+  if (policy_.max_memo_entries > 0 && memo_slots_.size() >= policy_.max_memo_entries) {
+    MemoEvictOne();
+  }
+  memo_index_[key] = memo_slots_.size();
+  // Inserted unreferenced: a new entry earns its reference bit with a hit,
+  // so a flood of one-off creatives recycles its own slots instead of
+  // evicting the fleet's hot set.
+  memo_slots_.push_back(MemoSlot{key, verify, is_ad, false});
+}
+
+void ServingEngine::L2EvictOne() {
+  // Same CLOCK sweep as L1, minus the index map (L2 lookups are linear
+  // Hamming scans, so a dense vector is the whole structure).
+  PCHECK(!l2_slots_.empty());
+  for (;;) {
+    if (l2_hand_ >= l2_slots_.size()) {
+      l2_hand_ = 0;
+    }
+    L2Slot& slot = l2_slots_[l2_hand_];
+    if (slot.referenced) {
+      slot.referenced = false;
+      ++l2_hand_;
+      continue;
+    }
+    if (l2_hand_ + 1 != l2_slots_.size()) {
+      slot = l2_slots_.back();
+    }
+    l2_slots_.pop_back();
+    ++stats_.evicted;
+    return;
+  }
+}
+
+void ServingEngine::L2Insert(uint64_t phash, bool is_ad) {
+  for (L2Slot& slot : l2_slots_) {
+    if (slot.phash == phash) {
+      slot.is_ad = is_ad;  // last writer wins, mirroring L1
+      return;
+    }
+  }
+  if (policy_.max_near_dup_entries > 0 &&
+      l2_slots_.size() >= policy_.max_near_dup_entries) {
+    L2EvictOne();
+  }
+  l2_slots_.push_back(L2Slot{phash, is_ad, false});
+}
+
+int64_t ServingEngine::L2Probe(uint64_t phash) {
+  const int threshold = std::max(0, policy_.near_dup_hamming);
+  int best_distance = threshold + 1;
+  int64_t best_index = -1;
+  for (size_t i = 0; i < l2_slots_.size(); ++i) {
+    const int distance = HammingDistance(l2_slots_[i].phash, phash);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best_index = static_cast<int64_t>(i);
+    }
+  }
+  if (best_index >= 0) {
+    l2_slots_[static_cast<size_t>(best_index)].referenced = true;
+  }
+  return best_index;
+}
+
+void ServingEngine::NoteBatchLatency(double per_image_ms) {
+  if (policy_.classify_deadline_ms <= 0.0) {
+    return;
+  }
+  if (per_image_ms <= policy_.classify_deadline_ms) {
+    consecutive_misses_ = 0;
+    return;
+  }
+  ++stats_.deadline_misses;
+  if (!degraded_ && policy_.degrade_after_misses > 0 &&
+      ++consecutive_misses_ >= policy_.degrade_after_misses) {
+    // Trip the degrade state: fail open on every uncached creative (the
+    // paper's async contract — render now — held even when inference has
+    // gone pathological) until recover_after_frames frames pass.
+    degraded_ = true;
+    frames_until_recovery_ = std::max(1, policy_.recover_after_frames);
+    ++stats_.degrade_transitions;
+  }
+}
+
+void ServingEngine::MaybeCloseDrain(int64_t now_ns) {
+  if (!drain_open_) {
+    return;
+  }
+  if (drain_cursor_ < drain_.size()) {
+    const bool budget_expired =
+        batches_started_ > 0 && drain_budget_ms_ > 0.0 &&
+        static_cast<double>(now_ns - drain_start_ns_) / 1e6 >= drain_budget_ms_;
+    if (!budget_expired) {
+      return;  // more batches to hand out, budget permitting
+    }
+    // Budget spent with work left: requeue the unprocessed tail at the
+    // front (admission order preserved). Their in_flight_ keys were never
+    // released, so duplicates arriving meanwhile still coalesce.
+    pending_.insert(pending_.begin(),
+                    std::make_move_iterator(drain_.begin() +
+                                            static_cast<std::ptrdiff_t>(drain_cursor_)),
+                    std::make_move_iterator(drain_.end()));
+    drain_.erase(drain_.begin() + static_cast<std::ptrdiff_t>(drain_cursor_),
+                 drain_.end());
+  }
+  if (outstanding_batches_ == 0) {
+    drain_open_ = false;
+    drain_.clear();
+    drain_cursor_ = 0;
+    batches_started_ = 0;
+  }
+}
+
+}  // namespace percival

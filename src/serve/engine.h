@@ -1,0 +1,300 @@
+// ServingEngine: the sans-IO core of the serving stack.
+//
+// Every piece of serving STATE — bounded admission (admit / coalesce /
+// shed), the two-tier memo cache (L1 exact pixel-hash CLOCK ring + L2
+// perceptual near-duplicate cache), soft deadlines, the fail-open degrade
+// ladder, and the reload retry/backoff schedule — lives here, and every
+// piece of serving RUNTIME stays with the caller. The engine owns no
+// threads, opens no files, and never reads a clock: time arrives as a
+// caller-supplied `now_ns`, artifact bytes arrive through
+// ProvideArtifact(), and classification itself is executed by the caller
+// between BeginBatch() and CompleteBatch(). A host (a browser render loop,
+// an extension, our own AsyncAdClassifier adapter) embeds the whole
+// serving policy without inheriting a thread pool, a filesystem, or a
+// clock — the minimal-surface argument from the unikernel literature
+// applied to an embeddable library.
+//
+// The step loop, from the caller's side:
+//
+//   SubmitOutcome s = engine.Submit(pixels, now_ns);   // per decoded frame
+//   if (s.disposition == SubmitDisposition::kAdmitted) {
+//     // The engine stored no pixels. Hand it a buffer YOU own and keep
+//     // alive until the frame's batch completes:
+//     engine.ProvidePixels(s.ticket, &my_retained_copy);
+//   }
+//   // ... later, off the critical path:
+//   engine.BeginDrain(now_ns, budget_ms);
+//   while (engine.Step(now_ns) == EngineAction::kRunBatch) {
+//     EngineBatch b = engine.BeginBatch(batch_size);
+//     results = <classify b.images with your executor>;
+//     engine.CompleteBatch(b, results, now_ns);        // memoize + ladder
+//   }
+//   // Reload, same shape (the backoff schedule runs on caller time):
+//   engine.RequestReload(path, now_ns);
+//   if (engine.Step(now_ns) == EngineAction::kNeedArtifact) {
+//     bytes = <read engine.ArtifactPath() yourself>;
+//     committed = <stage-then-commit bytes into your network>;
+//     engine.ProvideArtifact(bytes, committed, now_ns);
+//   }
+//
+// The engine is NOT internally synchronized: it is a state machine with
+// exactly one logical owner, and the adapter that shares it across threads
+// (AsyncAdClassifier) brings its own lock. Multiple batches may be
+// outstanding at once (a pooled drain classifies them concurrently); only
+// the engine calls themselves must be serialized.
+#ifndef PERCIVAL_SRC_SERVE_ENGINE_H_
+#define PERCIVAL_SRC_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/img/bitmap.h"
+#include "src/serve/policy.h"
+
+namespace percival {
+
+// What the caller should do next. Submit() resolves frames immediately
+// (the async contract: a frame never waits), so the actions are about the
+// work the caller owes the engine, not about pending answers.
+enum class EngineAction {
+  kIdle,          // nothing to do (and no drain/reload in progress)
+  kRunBatch,      // a drain is open and a batch is ready: BeginBatch()
+  kEmitDecision,  // resolved decisions are queued: TakeDecisions()
+  kNeedArtifact,  // a reload attempt is due: read ArtifactPath(), then
+                  // ProvideArtifact()
+};
+
+// How Submit() resolved a frame. Every disposition renders the frame
+// immediately; only kAdmitted creates future work (and a buffer
+// obligation) for the caller.
+enum class SubmitDisposition {
+  kHitExact,    // L1 memo hit: the decision is the memoized one
+  kHitNearDup,  // L2 perceptual hit: near-duplicate decision reused,
+                // exact hash promoted into L1
+  kAdmitted,    // queued for classification — caller must ProvidePixels()
+  kCoalesced,   // duplicate of a queued/in-flight creative: rides that work
+  kShed,        // refused admission (queue full / saturation fault /
+                // degraded): renders unclassified, fail-open
+};
+
+struct SubmitOutcome {
+  bool is_ad = false;  // the immediate render decision (fail-open: false
+                       // unless a memo tier answered)
+  SubmitDisposition disposition = SubmitDisposition::kShed;
+  // Identifies an admitted frame through ProvidePixels/EngineBatch. Only
+  // meaningful when disposition == kAdmitted.
+  uint64_t ticket = 0;
+};
+
+// One classification batch, engine-selected in admission order. `images`
+// are the caller-provided buffers (ProvidePixels); `tickets` parallel them.
+struct EngineBatch {
+  std::vector<const Bitmap*> images;
+  std::vector<uint64_t> tickets;
+  bool empty() const { return images.empty(); }
+};
+
+// A resolved decision, queued for hosts that consume decisions as events
+// (TakeDecisions) rather than through Submit's return value. The
+// AsyncAdClassifier adapter ignores this stream — OnDecodedFrame's return
+// value is the decision — but an embedding that submits from one component
+// and applies blocks in another drains it via kEmitDecision.
+struct EngineDecision {
+  uint64_t ticket = 0;
+  bool is_ad = false;
+};
+
+class ServingEngine {
+ public:
+  explicit ServingEngine(const ServingPolicy& policy = ServingPolicy{});
+
+  // Installs a new policy. A tightened memo cap (either tier) evicts down
+  // to the new bound immediately — the whole point of a cap is a memory
+  // bound that holds right now.
+  void SetPolicy(const ServingPolicy& policy);
+  const ServingPolicy& policy() const { return policy_; }
+
+  // Replaces the primary 64-bit pixel hash (tests force collisions with a
+  // deliberately weak hash; the seeded verification hash must then keep
+  // distinct creatives from sharing one memoized decision).
+  using HashFn = uint64_t (*)(const void* data, size_t size);
+  void SetPrimaryHash(HashFn fn);
+
+  // ---- frame intake ------------------------------------------------------
+  // Resolves one decoded frame against the ladder: degrade bookkeeping,
+  // L1 exact lookup, L2 perceptual lookup, then the admission ladder
+  // (degraded -> shed; duplicate -> coalesce; queue full or saturation
+  // fault -> shed; else admit). `pixels` is only read during the call —
+  // the engine hashes it and lets go; an admitted frame must be backed by
+  // ProvidePixels() before its batch begins.
+  SubmitOutcome Submit(const Bitmap& pixels, int64_t now_ns);
+
+  // Attaches the caller-owned pixel buffer for an admitted ticket. The
+  // pointer must stay valid until the ticket's batch completes. The engine
+  // never copies pixels.
+  void ProvidePixels(uint64_t ticket, const Bitmap* pixels);
+
+  // ---- the step loop -----------------------------------------------------
+  // What should the caller do now, at caller-time `now_ns`? Also the point
+  // where a drain whose budget has expired requeues its unprocessed tail.
+  EngineAction Step(int64_t now_ns);
+
+  // Opens a drain over the frames pending at this instant (frames
+  // submitted mid-drain wait for the next one). `budget_ms` < 0 uses
+  // policy().drain_budget_ms; 0 means unlimited. The budget is checked
+  // BETWEEN batches (at least one batch always runs). Returns false when
+  // there is nothing to drain. A drain already open stays open.
+  bool BeginDrain(int64_t now_ns, double budget_ms = -1.0);
+
+  // Takes the next batch (at most max_batch frames, admission order) out
+  // of the open drain. Multiple batches may be outstanding concurrently.
+  EngineBatch BeginBatch(int max_batch);
+
+  // Frames of the open drain not yet handed out by BeginBatch, and the
+  // effective budget the drain opened under — the adapter's pooled path
+  // uses both to decide whether to fan batches out concurrently.
+  size_t drain_remaining() const { return drain_.size() - drain_cursor_; }
+  double drain_budget_ms() const { return drain_budget_ms_; }
+
+  // Reports an executed batch: memoizes each decision into L1 (+L2 when
+  // enabled), releases the in-flight keys, queues EngineDecisions, and
+  // feeds results[0].latency_ms (the executor-measured per-image cost)
+  // into the deadline/degrade ladder. The drain closes when its last
+  // outstanding batch completes.
+  void CompleteBatch(const EngineBatch& batch, const std::vector<ClassifyResult>& results,
+                     int64_t now_ns);
+
+  // Drains the resolved-decision queue (see EngineDecision). Decisions are
+  // only queued after SetEmitDecisions(true) — a host that consumes
+  // Submit's return value (the AsyncAdClassifier adapter) leaves emission
+  // off so the queue cannot grow unbounded behind its back.
+  void SetEmitDecisions(bool enabled) { emit_decisions_ = enabled; }
+  std::vector<EngineDecision> TakeDecisions();
+
+  // ---- reload (sans sleep: the backoff schedule runs on caller time) -----
+  // Schedules a reload of `path`. Step() returns kNeedArtifact when an
+  // attempt is due; the caller reads the artifact (its IO, its fault
+  // points), attempts the stage-then-commit into its own network, and
+  // reports both through ProvideArtifact. A failed attempt (empty bytes =
+  // unreadable, committed=false = rejected) schedules the next attempt at
+  // now + reload_backoff_ms * 2^k and counts stats().reload_retries, until
+  // reload_max_retries retries exhaust.
+  void RequestReload(const std::string& path, int64_t now_ns);
+  const std::string& ArtifactPath() const { return reload_path_; }
+  void ProvideArtifact(const std::vector<uint8_t>& bytes, bool committed, int64_t now_ns);
+  // True while a reload is scheduled or awaiting its artifact.
+  bool reload_active() const { return reload_active_; }
+  // Outcome of the most recent RequestReload once reload_active() drops.
+  bool reload_succeeded() const { return reload_succeeded_; }
+  // Earliest caller-time at which Step() will have new work (the next
+  // reload attempt). -1 when nothing is time-scheduled — an embedding can
+  // sleep until this instant instead of polling.
+  int64_t next_wake_ns() const;
+
+  // ---- observability -----------------------------------------------------
+  int64_t memo_size() const { return static_cast<int64_t>(memo_slots_.size()); }
+  int64_t near_dup_size() const { return static_cast<int64_t>(l2_slots_.size()); }
+  int64_t pending_size() const { return static_cast<int64_t>(pending_.size()); }
+  bool degraded() const { return degraded_; }
+  bool drain_open() const { return drain_open_; }
+  const ClassifierStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ClassifierStats{}; }
+
+ private:
+  // A memo slot keeps the independent verification hash of the pixels it
+  // was computed from: a primary-hash match alone is not proof of payload
+  // equality, and inheriting a decision across a collision would block (or
+  // pass) the wrong creative. `referenced` is the CLOCK bit: set on every
+  // hit, cleared by the eviction sweep.
+  struct MemoSlot {
+    uint64_t key = 0;
+    uint64_t verify = 0;
+    bool is_ad = false;
+    bool referenced = false;
+  };
+  // L2 slot: perceptual hash + decision. Lookup is a linear Hamming scan —
+  // at the default 4096-entry cap that is 4096 popcounts per L1 miss,
+  // noise next to a forward pass (and it only runs when near-dup is on).
+  struct L2Slot {
+    uint64_t phash = 0;
+    bool is_ad = false;
+    bool referenced = false;
+  };
+  struct PendingFrame {
+    uint64_t ticket = 0;  // == flight key (primary ⊕ verify combine)
+    uint64_t key = 0;
+    uint64_t verify = 0;
+    uint64_t phash = 0;  // computed at Submit when near-dup is enabled
+    bool has_phash = false;
+    const Bitmap* pixels = nullptr;  // caller-owned, via ProvidePixels
+  };
+
+  void MemoInsert(uint64_t key, uint64_t verify, bool is_ad);
+  void MemoEvictOne();
+  void L2Insert(uint64_t phash, bool is_ad);
+  void L2EvictOne();
+  // Returns the slot index of the closest L2 entry within the Hamming
+  // threshold, or -1. Sets the CLOCK bit on a hit.
+  int64_t L2Probe(uint64_t phash);
+  // Per-executed-batch deadline accounting: feeds consecutive misses into
+  // the degrade trip wire.
+  void NoteBatchLatency(double per_image_ms);
+  // Requeues the unprocessed drain tail (admission order preserved) and
+  // closes the drain once no batch is outstanding.
+  void MaybeCloseDrain(int64_t now_ns);
+
+  ServingPolicy policy_;
+  HashFn primary_hash_;
+  ClassifierStats stats_;
+
+  // L1: CLOCK ring (compact vector + index). Eviction swap-removes, so the
+  // ring stays dense and memory is bounded by max_memo_entries exactly.
+  std::vector<MemoSlot> memo_slots_;
+  std::unordered_map<uint64_t, size_t> memo_index_;
+  size_t clock_hand_ = 0;
+  // L2: perceptual ring with its own CLOCK hand.
+  std::vector<L2Slot> l2_slots_;
+  size_t l2_hand_ = 0;
+
+  // Tickets either queued in pending_ or being classified by an in-flight
+  // batch; blocks duplicate work for repeated creatives without letting a
+  // primary-hash collision alias two of them.
+  std::unordered_set<uint64_t> in_flight_;
+  std::vector<PendingFrame> pending_;
+
+  // Open drain: the snapshot taken at BeginDrain, a cursor over it, and
+  // the budget clock (all caller time). Frames handed out by BeginBatch
+  // move into in_drain_ so CompleteBatch can recover their memo keys.
+  bool drain_open_ = false;
+  std::vector<PendingFrame> drain_;
+  size_t drain_cursor_ = 0;
+  std::unordered_map<uint64_t, PendingFrame> in_drain_;
+  int outstanding_batches_ = 0;
+  int batches_started_ = 0;
+  int64_t drain_start_ns_ = 0;
+  double drain_budget_ms_ = 0.0;
+
+  // Degrade ladder state: consecutive over-deadline batches, and the frame
+  // countdown to self-heal once degraded.
+  int consecutive_misses_ = 0;
+  int frames_until_recovery_ = 0;
+  bool degraded_ = false;
+
+  // Reload schedule.
+  bool reload_active_ = false;
+  bool reload_succeeded_ = false;
+  std::string reload_path_;
+  int reload_attempts_ = 0;
+  int64_t next_attempt_ns_ = 0;
+  double backoff_ms_ = 0.0;
+
+  bool emit_decisions_ = false;
+  std::vector<EngineDecision> decisions_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_SERVE_ENGINE_H_

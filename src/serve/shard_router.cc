@@ -1,0 +1,199 @@
+#include "src/serve/shard_router.h"
+
+#include <algorithm>
+
+#include "src/base/faultpoint.h"
+#include "src/base/hash.h"
+#include "src/base/logging.h"
+
+namespace percival {
+
+namespace {
+
+// Ring points per shard. Enough that the largest shard's keyspace share
+// stays within a few percent of 1/N; cheap enough that rebuilding the ring
+// at construction is trivial (N shards * 64 hashes).
+constexpr int kVirtualNodes = 64;
+
+// FNV-1a avalanches poorly on short keys differing only in a trailing
+// suffix ("alpha#0" .. "alpha#63" hash to near-consecutive values), which
+// collapses a shard's virtual nodes into a couple of tight clumps and
+// skews keyspace shares by 3-4x. The splitmix64 finalizer restores full
+// avalanche, so ring points — and tenant keys like "tenant-<n>" — spread
+// uniformly.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t RingHash(const std::string& key) {
+  return Mix64(HashBytes(key.data(), key.size()));
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(ModelZoo& zoo, const PercivalNetConfig& config,
+                         std::vector<ShardSpec> specs,
+                         const std::function<void(Network&)>& train, float threshold) {
+  PCHECK(!specs.empty());
+  shards_.reserve(specs.size());
+  for (size_t index = 0; index < specs.size(); ++index) {
+    const ShardSpec& spec = specs[index];
+    const std::string& model = spec.model.empty() ? spec.name : spec.model;
+    auto shard = std::make_unique<Shard>();
+    shard->name = spec.name;
+    shard->model_was_cached = zoo.HasCached(model);
+    shard->classifier = std::make_unique<AdClassifier>(
+        zoo.GetOrTrain(model, config, train), config, threshold);
+    // The same policy feeds both layers: deadline/reload knobs land on the
+    // inner classifier, admission/memo/degrade knobs on the async wrapper.
+    shard->classifier->SetServingPolicy(spec.policy);
+    shard->async = std::make_unique<AsyncAdClassifier>(*shard->classifier);
+    shard->async->SetServingPolicy(spec.policy);
+    // Virtual ring points: hashing "<name>#<v>" spreads each shard across
+    // the keyspace so tenant load balances and a shard-set change only
+    // remaps the keyspace adjacent to the changed shard's points.
+    for (int v = 0; v < kVirtualNodes; ++v) {
+      const std::string point = spec.name + "#" + std::to_string(v);
+      ring_.emplace_back(RingHash(point), index);
+    }
+    shards_.push_back(std::move(shard));
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+size_t ShardRouter::ShardFor(const std::string& tenant) const {
+  const uint64_t hash = RingHash(tenant);
+  // First ring point clockwise from the tenant's hash, wrapping at the top.
+  auto it = std::upper_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(hash, static_cast<size_t>(0)),
+                             [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  return it->second;
+}
+
+bool ShardRouter::OnFrame(const std::string& tenant, const ImageInfo& info,
+                          Bitmap& pixels, const std::string& source_url) {
+  Shard& shard = *shards_[ShardFor(tenant)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.routed;
+  }
+  return shard.async->OnDecodedFrame(info, pixels, source_url);
+}
+
+void ShardRouter::DrainShard(size_t shard, ThreadPool* pool, int batch_size,
+                             double budget_ms) {
+  shards_[shard]->async->DrainPending(pool, batch_size, budget_ms);
+}
+
+void ShardRouter::DrainAll(ThreadPool* pool, int batch_size, double budget_ms) {
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    DrainShard(shard, pool, batch_size, budget_ms);
+  }
+}
+
+bool ShardRouter::ReloadShard(size_t shard_index, const std::string& path) {
+  Shard& shard = *shards_[shard_index];
+  bool ok = false;
+  if (faultpoint::ShouldFire(faultpoint::kShardReloadFail)) {
+    // Shard-local reload outage (updater down, artifact fetch failed for
+    // this tenant only): the shard keeps its previous weights.
+    LogLine("shard router: reload of shard '" + shard.name +
+            "' failed (serve.shard.reload_fail armed); keeping previous weights");
+  } else {
+    // Staged-commit with retry/backoff, isolated to this shard's network —
+    // the other shards' classifiers are never touched by this call.
+    ok = shard.classifier->LoadWeightsWithRetry(path);
+  }
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (ok) {
+    ++shard.reloads_ok;
+  } else {
+    ++shard.reloads_failed;
+  }
+  return ok;
+}
+
+namespace {
+
+// One shard-level view: the async wrapper's ladder/memo counters merged
+// with the inner classifier's execution counters (classified, blocked,
+// latency — the wrapper never increments those; its engine only routes
+// work to the inner classifier). deadline_misses intentionally sums both:
+// the inner count is per over-deadline classification, the wrapper's is
+// per over-deadline drain batch — distinct events on distinct ladders.
+ClassifierStats MergeStats(const ClassifierStats& async_stats,
+                           const ClassifierStats& inner_stats) {
+  ClassifierStats merged = async_stats;
+  merged.classified += inner_stats.classified;
+  merged.blocked += inner_stats.blocked;
+  merged.u8_direct += inner_stats.u8_direct;
+  merged.deadline_misses += inner_stats.deadline_misses;
+  merged.reload_retries += inner_stats.reload_retries;
+  merged.alloc_failovers += inner_stats.alloc_failovers;
+  merged.total_latency_ms += inner_stats.total_latency_ms;
+  return merged;
+}
+
+}  // namespace
+
+ShardRouter::ShardStats ShardRouter::StatsFor(size_t shard_index) const {
+  const Shard& shard = *shards_[shard_index];
+  ShardStats stats;
+  stats.name = shard.name;
+  stats.model_was_cached = shard.model_was_cached;
+  // Each snapshot below is coherent under its own lock; the router
+  // counters under theirs. (Three locks, three coherent groups — routed
+  // can momentarily exceed the classifier's lookups while a frame is
+  // between the two, which is the honest ordering.)
+  stats.classifier = MergeStats(shard.async->stats(), shard.classifier->stats());
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  stats.routed = shard.routed;
+  stats.reloads_ok = shard.reloads_ok;
+  stats.reloads_failed = shard.reloads_failed;
+  return stats;
+}
+
+std::vector<ShardRouter::ShardStats> ShardRouter::AllStats() const {
+  std::vector<ShardStats> all;
+  all.reserve(shards_.size());
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    all.push_back(StatsFor(shard));
+  }
+  return all;
+}
+
+ClassifierStats ShardRouter::Rollup() const {
+  ClassifierStats total;
+  for (size_t index = 0; index < shards_.size(); ++index) {
+    const ClassifierStats s = MergeStats(shards_[index]->async->stats(),
+                                         shards_[index]->classifier->stats());
+    total.classified += s.classified;
+    total.blocked += s.blocked;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.u8_direct += s.u8_direct;
+    total.hash_collisions += s.hash_collisions;
+    total.near_dup_hits += s.near_dup_hits;
+    total.near_dup_rejects += s.near_dup_rejects;
+    total.shed += s.shed;
+    total.coalesced += s.coalesced;
+    total.evicted += s.evicted;
+    total.deadline_misses += s.deadline_misses;
+    total.degraded_frames += s.degraded_frames;
+    total.degrade_transitions += s.degrade_transitions;
+    total.reload_retries += s.reload_retries;
+    total.alloc_failovers += s.alloc_failovers;
+    total.total_latency_ms += s.total_latency_ms;
+  }
+  return total;
+}
+
+}  // namespace percival

@@ -1,0 +1,123 @@
+// ShardRouter: a sharded multi-model ad-classification service.
+//
+// One fleet serves many tenants/locales, each with its own trained network
+// (ModelZoo entry) and its own ServingPolicy — a locale whose creatives
+// churn fast may want a tighter memo cap; a tenant running on weak edge
+// hardware may want a lower deadline. The router owns N shards (each a
+// full AdClassifier + AsyncAdClassifier stack over a zoo model), routes
+// tenants to shards on a consistent-hash ring (adding a shard only remaps
+// the tenants that land on the new shard — every other tenant keeps its
+// warm memo cache), and rolls per-shard stats up into one fleet view.
+//
+// Failure isolation is the point: each shard reloads its weight artifact
+// through its own staged-commit LoadWeightsWithRetry, so one tenant's
+// corrupt artifact (fault-injected via serialize.artifact.corrupt, or a
+// shard-local serve.shard.reload_fail) leaves that shard serving its
+// previous weights while every other shard reloads — and serves — cleanly.
+#ifndef PERCIVAL_SRC_SERVE_SHARD_ROUTER_H_
+#define PERCIVAL_SRC_SERVE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/thread_pool.h"
+#include "src/core/classifier.h"
+#include "src/core/model_zoo.h"
+#include "src/img/bitmap.h"
+
+namespace percival {
+
+// One shard's configuration: the tenant-facing name doubles as the
+// ModelZoo key (point several specs at one model by giving them the same
+// zoo entry via `model`, left empty to default to `name`).
+struct ShardSpec {
+  std::string name;
+  std::string model;  // zoo key; empty -> name
+  ServingPolicy policy;
+};
+
+class ShardRouter {
+ public:
+  // Builds every shard up front: each gets its network from
+  // `zoo.GetOrTrain(spec.model, config, train)` (first bring-up trains,
+  // later bring-ups load the cached artifact), an AdClassifier with
+  // `threshold`, and an AsyncAdClassifier configured with spec.policy.
+  ShardRouter(ModelZoo& zoo, const PercivalNetConfig& config,
+              std::vector<ShardSpec> specs, const std::function<void(Network&)>& train,
+              float threshold = 0.5f);
+
+  size_t shard_count() const { return shards_.size(); }
+  const std::string& shard_name(size_t shard) const { return shards_[shard]->name; }
+
+  // Consistent routing: tenant -> shard index, stable across calls and —
+  // for tenants not adjacent to a new shard's ring points — stable across
+  // shard-set changes.
+  size_t ShardFor(const std::string& tenant) const;
+
+  // Routes one decoded frame to its tenant's shard (async path: the frame
+  // renders immediately; classification is queued per the shard's policy).
+  bool OnFrame(const std::string& tenant, const ImageInfo& info, Bitmap& pixels,
+               const std::string& source_url);
+
+  // Drains one shard / every shard (see AsyncAdClassifier::DrainPending).
+  void DrainShard(size_t shard, ThreadPool* pool = nullptr, int batch_size = 16,
+                  double budget_ms = -1.0);
+  void DrainAll(ThreadPool* pool = nullptr, int batch_size = 16, double budget_ms = -1.0);
+
+  // Reloads one shard's weights from `path` with that shard's retry/backoff
+  // policy. Staged-commit per shard: failure leaves the shard serving its
+  // previous weights and never touches any other shard. Counts
+  // reloads_ok / reloads_failed on the shard.
+  bool ReloadShard(size_t shard, const std::string& path);
+
+  // Per-shard observability. `classifier` merges the async wrapper's
+  // ladder/memo counters with the inner classifier's execution counters
+  // (each group read under its own lock, coherently); the router-level
+  // counters are read under the shard's router lock.
+  struct ShardStats {
+    std::string name;
+    int64_t routed = 0;          // frames this router sent to the shard
+    int64_t reloads_ok = 0;
+    int64_t reloads_failed = 0;
+    bool model_was_cached = false;  // zoo had an artifact at bring-up
+    ClassifierStats classifier;
+  };
+  ShardStats StatsFor(size_t shard) const;
+  std::vector<ShardStats> AllStats() const;
+  // Fleet rollup: the sum of every shard's classifier counters.
+  ClassifierStats Rollup() const;
+
+  // Direct access for tests and deployment plumbing (e.g. pointing
+  // SaveQuantized at a shard's network, or tuning a live shard's policy).
+  AdClassifier& classifier(size_t shard) { return *shards_[shard]->classifier; }
+  AsyncAdClassifier& async(size_t shard) { return *shards_[shard]->async; }
+
+ private:
+  struct Shard {
+    std::string name;
+    std::unique_ptr<AdClassifier> classifier;
+    std::unique_ptr<AsyncAdClassifier> async;
+    bool model_was_cached = false;
+    // Router-level counters (the classifier keeps its own stats); one
+    // mutex per shard so tenant traffic on different shards never
+    // serializes through the router.
+    mutable std::mutex mutex;
+    int64_t routed = 0;
+    int64_t reloads_ok = 0;
+    int64_t reloads_failed = 0;
+  };
+
+  // Consistent-hash ring: kVirtualNodes points per shard, sorted by hash.
+  // A tenant maps to the first point clockwise from its own hash.
+  std::vector<std::pair<uint64_t, size_t>> ring_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace percival
+
+#endif  // PERCIVAL_SRC_SERVE_SHARD_ROUTER_H_
