@@ -212,6 +212,55 @@ void RunSuite(const Options& options) {
     conv.SetPrecision(Precision::kFloat32);
   }
 
+  // Gather experiment (ROADMAP item 1): the identical 3x3 conv pinned to
+  // the materialized im2col panel vs the implicit in-place stream, float
+  // and int8, across the deployment channel counts. Interior columns
+  // dominate at 32x32, so these rows measure exactly what the planner's
+  // implicit default buys; CI asserts implicit >= materialized on the
+  // int8 rows (tools/check_bench.py).
+  for (const int ch : {16, 32, 64}) {
+    for (const bool implicit : {false, true}) {
+      Rng rng(1);
+      Conv2D conv(ch, ch, 3, 1, 1, rng);
+      conv.SetTrainingMode(false);
+      KernelPlan plan = conv.plan();
+      plan.gather = implicit ? GatherPolicy::kImplicit : GatherPolicy::kMaterialize;
+      conv.SetKernelPlan(plan);
+      Tensor input = RandomTensor(TensorShape{1, 32, 32, ch}, 2);
+      const int64_t macs = conv.ForwardMacs(input.shape());
+      const std::string name = std::string("conv3x3_gather_") +
+                               (implicit ? "implicit" : "materialized") + "_c" +
+                               std::to_string(ch);
+      bench(name + "_simd_32", 40, macs, [&] { g_sink += conv.Forward(input)[0]; });
+      conv.SetPrecision(Precision::kInt8);
+      bench(name + "_int8_32", 40, macs, [&] { g_sink += conv.Forward(input)[0]; });
+      conv.SetPrecision(Precision::kFloat32);
+    }
+  }
+
+  // The same A/B through a narrow-squeeze fire module: the 3x3 expand
+  // branch rides the gather policy, the 1x1s are unaffected — so this pair
+  // shows the module-level (not kernel-level) win at the shapes the
+  // classifier actually runs.
+  for (const bool implicit : {false, true}) {
+    SetPlannerGatherPolicy(implicit ? GatherPolicyMode::kForceImplicit
+                                    : GatherPolicyMode::kForceMaterialize);
+    Rng rng(1);
+    FireModule fire(32, 8, 32, rng);
+    fire.SetTrainingMode(false);
+    const TensorShape shape{1, 32, 32, 32};
+    fire.PlanKernels(shape);
+    SetPlannerGatherPolicy(GatherPolicyMode::kAuto);
+    Tensor input = RandomTensor(shape, 2);
+    const int64_t macs = fire.ForwardMacs(shape);
+    const std::string name =
+        std::string("fire_gather_") + (implicit ? "implicit" : "materialized");
+    bench(name + "_float_32", 30, macs, [&] { g_sink += fire.Forward(input)[0]; });
+    fire.SetPrecision(Precision::kInt8);
+    bench(name + "_int8_32", 30, macs, [&] { g_sink += fire.Forward(input)[0]; });
+    fire.SetPrecision(Precision::kFloat32);
+  }
+
   // The planner's per-layer decisions for the experiment deployment profile
   // (int8 eval — the browser configuration) ride the same JSON so the
   // layout/panel experiment is measured, not guessed: median_ms carries the
@@ -230,6 +279,10 @@ void RunSuite(const Options& options) {
       t.median_ms = row.panel_width;
       t.min_ms = row.c_outer ? 1 : 0;
       report.Record(t);
+      t.name = "plan_" + row.layer + "_implicit";
+      t.median_ms = row.implicit ? 1 : 0;
+      t.min_ms = t.median_ms;
+      report.Record(t);
     }
   }
 
@@ -247,6 +300,20 @@ void RunSuite(const Options& options) {
     net.SetPrecision(Precision::kInt8);
     bench("percival_forward_experiment_int8", 20, macs,
           [&] { g_sink += net.Forward(input)[0]; });
+    // Whole-profile gather A/B: every multi-tap conv re-planned to each
+    // gather, same int8 eval network. The _int8 row above is the planner's
+    // own (implicit) choice; _int8_materialized is the pre-implicit
+    // baseline CI compares it against.
+    SetPlannerGatherPolicy(GatherPolicyMode::kForceMaterialize);
+    net.PlanForward(input.shape());
+    bench("percival_forward_experiment_int8_materialized", 20, macs,
+          [&] { g_sink += net.Forward(input)[0]; });
+    SetPlannerGatherPolicy(GatherPolicyMode::kForceImplicit);
+    net.PlanForward(input.shape());
+    bench("percival_forward_experiment_int8_implicit", 20, macs,
+          [&] { g_sink += net.Forward(input)[0]; });
+    SetPlannerGatherPolicy(GatherPolicyMode::kAuto);
+    net.PlanForward(input.shape());
     net.SetPrecision(Precision::kFloat32);
     net.SetTrainingMode(true);
     ScopedInferencePool pool;

@@ -65,9 +65,25 @@ size_t Conv2D::ForwardScratchFloats(const TensorShape& input) const {
   const TensorShape out = OutputShape(input);
   const size_t rows = static_cast<size_t>(out.h) * out.w;
   const size_t row_len = static_cast<size_t>(kernel_) * kernel_ * in_channels_;
-  const size_t im2col_floats = identity_patches ? 0 : rows * row_len;
+  // Under an implicit-gather plan only the edge columns of one output row
+  // are ever materialized; edge_cols stays < 0 when the plan (or this
+  // input's degenerate interior) keeps the full materialized gather.
+  int edge_cols = -1;
+  if (!identity_patches && ImplicitEligible()) {
+    const int ow_lo = (pad_ + stride_ - 1) / stride_;
+    const int ow_hi = std::min(out.w, (input.w - kernel_ + pad_) / stride_ + 1);
+    if (ow_hi > ow_lo) {
+      edge_cols = ow_lo + (out.w - ow_hi);
+    }
+  }
   if (precision_ != Precision::kInt8) {
-    return im2col_floats;
+    if (edge_cols >= 0) {
+      // Worst chunk spans the whole sample: every edge row's im2col gather
+      // plus the compact staging block the batched edge GEMM writes into.
+      const size_t edge_rows = static_cast<size_t>(out.h) * edge_cols;
+      return edge_rows * (row_len + out_channels_);
+    }
+    return identity_patches ? 0 : rows * row_len;
   }
   // The quantized path gathers uint8 patch rows (padded to the int8 K
   // unit) instead of float im2col rows; a K-aligned 1x1 conv reads the
@@ -75,6 +91,14 @@ size_t Conv2D::ForwardScratchFloats(const TensorShape& input) const {
   const int k_padded = Int8PaddedK(static_cast<int>(row_len));
   if (identity_patches && static_cast<size_t>(k_padded) == row_len) {
     return 0;
+  }
+  if (edge_cols >= 0 && ImplicitEligibleInt8()) {
+    // Worst chunk spans the whole sample: the u8 edge gather plus a staging
+    // block wide enough for the float-logit variant (the u8-codes variant
+    // needs a quarter of it).
+    const size_t edge_rows = static_cast<size_t>(out.h) * edge_cols;
+    const size_t code_bytes = edge_rows * static_cast<size_t>(k_padded);
+    return (code_bytes + sizeof(float) - 1) / sizeof(float) + edge_rows * out_channels_;
   }
   const size_t code_bytes = rows * static_cast<size_t>(k_padded);
   return (code_bytes + sizeof(float) - 1) / sizeof(float);
@@ -116,11 +140,55 @@ void Conv2D::SetWeights(const Tensor& weights, const Tensor& bias) {
 }
 
 void Conv2D::PlanKernels(const TensorShape& input) {
-  (void)input;  // the heuristic keys on the layer's own geometry
   if (plan_pinned_) {
     return;  // an explicit SetKernelPlan pin outranks the heuristic
   }
-  plan_ = ChooseConvKernelPlan(out_channels_, kernel_);
+  plan_ = ChooseConvKernelPlan(out_channels_, kernel_, stride_, pad_, input.w);
+}
+
+bool Conv2D::ImplicitEligible() const {
+  return plan_.gather == GatherPolicy::kImplicit && kernel_ > 1 &&
+         plan_.layout == ActivationLayout::kKhKwC;
+}
+
+bool Conv2D::ImplicitEligibleInt8() const {
+  // K groups (4 bytes) must never straddle a vertical-tap segment boundary,
+  // so each kernel_w * channels segment must be kInt8KUnit-aligned (which
+  // also makes k_padded == row_len: no K tail to pad).
+  return ImplicitEligible() && (kernel_ * in_channels_) % kInt8KUnit == 0;
+}
+
+bool Conv2D::PrepareImplicitGather(int height, int width) {
+  const int out_w = ConvOutputSize(width, kernel_, stride_, pad_);
+  const int ow_lo = (pad_ + stride_ - 1) / stride_;
+  const int ow_hi = std::min(out_w, (width - kernel_ + pad_) / stride_ + 1);
+  if (ow_hi <= ow_lo) {
+    return false;  // every output column touches horizontal padding
+  }
+  if (implicit_h_ == height && implicit_w_ == width && !implicit_offsets_.empty()) {
+    return true;
+  }
+  const int out_h = ConvOutputSize(height, kernel_, stride_, pad_);
+  implicit_offsets_.assign(static_cast<size_t>(out_h) * kernel_, -1);
+  // Offset of tap segment s for output (oh, ow_lo): the leftmost input
+  // pixel every horizontal tap of that segment reads is iw0 = ow_lo*stride
+  // - pad (>= 0 by the ow_lo definition). Vertical pad taps stay -1.
+  const int iw0 = ow_lo * stride_ - pad_;
+  for (int oh = 0; oh < out_h; ++oh) {
+    for (int s = 0; s < kernel_; ++s) {
+      const int ih = oh * stride_ - pad_ + s;
+      if (ih < 0 || ih >= height) {
+        continue;
+      }
+      implicit_offsets_[static_cast<size_t>(oh) * kernel_ + s] =
+          (static_cast<int64_t>(ih) * width + iw0) * in_channels_;
+    }
+  }
+  implicit_h_ = height;
+  implicit_w_ = width;
+  implicit_ow_lo_ = ow_lo;
+  implicit_ow_hi_ = ow_hi;
+  return true;
 }
 
 void Conv2D::SetKernelPlan(const KernelPlan& plan) {
@@ -138,6 +206,7 @@ void Conv2D::AppendKernelPlanRows(std::vector<KernelPlanRow>* out) const {
   row.layer = label_;
   row.panel_width = plan_.panel_width;
   row.c_outer = plan_.layout == ActivationLayout::kCOuter;
+  row.implicit = plan_.gather == GatherPolicy::kImplicit;
   row.int8 = precision_ == Precision::kInt8;
   row.u8_direct = AcceptsQuantizedInput();
   out->push_back(std::move(row));
@@ -359,6 +428,12 @@ void Conv2D::ForwardIntoFloat(const Tensor& input, GemmEpilogue epilogue, float*
   // matters as much as the kernel itself.
   const bool identity_patches = kernel_ == 1 && stride_ == 1 && pad_ == 0;
 
+  if (!identity_patches && ImplicitEligible() &&
+      PrepareImplicitGather(input.shape().h, input.shape().w)) {
+    ForwardIntoFloatImplicit(input, epilogue, out, ldc, sample_stride);
+    return;
+  }
+
   const float* bias = bias_.value.data();
   InferenceParallelFor(
       total_rows, static_cast<int64_t>(row_len) * out_channels_,
@@ -387,6 +462,87 @@ void Conv2D::ForwardIntoFloat(const Tensor& input, GemmEpilogue epilogue, float*
           GemmPackedEx(r1 - r0, out_channels_, row_len, a, packed, bias, epilogue, c, ldc,
                        plan_.panel_width);
           begin += r1 - r0;
+        }
+      });
+}
+
+void Conv2D::ForwardIntoFloatImplicit(const Tensor& input, GemmEpilogue epilogue, float* out,
+                                      int64_t ldc, int64_t sample_stride) {
+  const TensorShape out_shape = OutputShape(input.shape());
+  const int row_len = kernel_ * kernel_ * in_channels_;
+  const int out_w = out_shape.w;
+  const int64_t out_h = out_shape.h;
+  const int64_t total_oh = static_cast<int64_t>(out_shape.n) * out_h;
+  const int ow_lo = implicit_ow_lo_;
+  const int ow_hi = implicit_ow_hi_;
+  const int edge_cols = ow_lo + (out_w - ow_hi);
+  const float* packed = PackedFilters();
+  const float* bias = bias_.value.data();
+  // Parallelize over whole output rows: each interior tile streams the
+  // input in place, so the only scratch is the per-chunk edge-column rows.
+  InferenceParallelFor(
+      total_oh, static_cast<int64_t>(out_w) * row_len * out_channels_,
+      [&](int64_t begin, int64_t end) {
+        ScratchArena& arena = LocalArena();
+        while (begin < end) {
+          const int n = static_cast<int>(begin / out_h);
+          const int64_t oh0 = begin % out_h;
+          const int64_t oh1 = std::min(out_h, oh0 + (end - begin));
+          const float* sample = input.SampleData(n);
+          float* c_sample = out + n * sample_stride;
+          ImplicitConvViewF view;
+          view.base = sample;
+          view.offsets = implicit_offsets_.data();
+          view.segments = kernel_;
+          view.seg_len = kernel_ * in_channels_;
+          view.col_stride = stride_ * in_channels_;
+          view.run_w = ow_hi - ow_lo;
+          view.oh_begin = oh0;
+          view.oh_end = oh1;
+          view.c_row_stride = static_cast<int64_t>(out_w) * ldc;
+          GemmPackedImplicit(view, out_channels_, packed, bias, epilogue,
+                             c_sample + (oh0 * out_w + ow_lo) * ldc, ldc, plan_.panel_width);
+          if (edge_cols > 0) {
+            // Batch the chunk's edge columns into ONE GEMM: per-row calls
+            // leave m below the row tile and fall to the scalar remainder.
+            // The packed kernels write contiguous rows and edge outputs are
+            // not contiguous (ow_lo left + out_w - ow_hi right per row), so
+            // the GEMM lands in compact staging scratch and each row then
+            // scatters to its output slot. One Alloc covers gather + stage:
+            // a second Alloc could retire (and move) the first block.
+            const int64_t edge_rows = (oh1 - oh0) * edge_cols;
+            arena.Reset();
+            float* cols = arena.Alloc(static_cast<size_t>(edge_rows) *
+                                      (row_len + out_channels_));
+            float* stage = cols + edge_rows * row_len;
+            float* dst = cols;
+            for (int64_t oh = oh0; oh < oh1; ++oh) {
+              const int64_t r = oh * out_w;
+              if (ow_lo > 0) {
+                Im2ColRows(sample, input.shape().h, input.shape().w, in_channels_, kernel_,
+                           stride_, pad_, r, r + ow_lo, dst);
+                dst += static_cast<int64_t>(ow_lo) * row_len;
+              }
+              if (ow_hi < out_w) {
+                Im2ColRows(sample, input.shape().h, input.shape().w, in_channels_, kernel_,
+                           stride_, pad_, r + ow_hi, r + out_w, dst);
+                dst += static_cast<int64_t>(out_w - ow_hi) * row_len;
+              }
+            }
+            GemmPackedEx(edge_rows, out_channels_, row_len, cols, packed, bias, epilogue,
+                         stage, out_channels_, plan_.panel_width);
+            const float* src = stage;
+            for (int64_t oh = oh0; oh < oh1; ++oh) {
+              float* c_row = c_sample + oh * out_w * ldc;
+              for (int e = 0; e < ow_lo; ++e, src += out_channels_) {
+                std::memcpy(c_row + e * ldc, src, sizeof(float) * out_channels_);
+              }
+              for (int e = ow_hi; e < out_w; ++e, src += out_channels_) {
+                std::memcpy(c_row + e * ldc, src, sizeof(float) * out_channels_);
+              }
+            }
+          }
+          begin += oh1 - oh0;
         }
       });
 }
@@ -526,6 +682,12 @@ void Conv2D::Int8ForwardOverCodes(const uint8_t* codes, const TensorShape& in_sh
   const int64_t sample_codes =
       static_cast<int64_t>(in_shape.h) * in_shape.w * in_shape.c;
   const bool identity_patches = kernel_ == 1 && stride_ == 1 && pad_ == 0;
+
+  if (ImplicitEligibleInt8() && PrepareImplicitGather(in_shape.h, in_shape.w)) {
+    Int8ImplicitOverCodes(codes, in_shape, quant, epilogue, out_quant, out, ldc,
+                          sample_stride);
+    return;
+  }
   // A 1x1 conv whose channel count is already a multiple of the int8 K
   // unit needs no gather at all: the quantized input rows ARE the A rows.
   const bool direct_rows = identity_patches && k_padded == row_len;
@@ -575,6 +737,112 @@ void Conv2D::Int8ForwardOverCodes(const uint8_t* codes, const TensorShape& in_sh
             GemmInt8PackedEx(chunk_rows, a, packed, quant, bias, epilogue, c, ldc);
           }
           begin += chunk_rows;
+        }
+      });
+}
+
+template <typename OutT>
+void Conv2D::Int8ImplicitOverCodes(const uint8_t* codes, const TensorShape& in_shape,
+                                   const ActivationQuant& quant, GemmEpilogue epilogue,
+                                   const ActivationQuant& out_quant, OutT* out, int64_t ldc,
+                                   int64_t sample_stride) {
+  const TensorShape out_shape = OutputShape(in_shape);
+  const int row_len = kernel_ * kernel_ * in_channels_;
+  const int k_padded = Int8PaddedK(row_len);  // == row_len by the eligibility gate
+  const int out_w = out_shape.w;
+  const int64_t out_h = out_shape.h;
+  const int64_t total_oh = static_cast<int64_t>(out_shape.n) * out_h;
+  const int ow_lo = implicit_ow_lo_;
+  const int ow_hi = implicit_ow_hi_;
+  const int edge_cols = ow_lo + (out_w - ow_hi);
+  const int64_t sample_codes = static_cast<int64_t>(in_shape.h) * in_shape.w * in_shape.c;
+  const Int8PackedFilters& packed = PackedFiltersInt8();
+  const uint8_t pad_code = static_cast<uint8_t>(quant.zero_point);
+  // The u8 kernels read vertical pad taps from this segment of zero-point
+  // codes — the exact bytes Im2ColRowsU8 would have written. Refilled every
+  // forward: the zero point follows the input's quantization.
+  zero_row_u8_.assign(static_cast<size_t>(kernel_) * in_channels_, pad_code);
+  const float* bias = bias_.value.data();
+  InferenceParallelFor(
+      total_oh, static_cast<int64_t>(out_w) * row_len * out_channels_,
+      [&](int64_t begin, int64_t end) {
+        ScratchArena& arena = LocalArena();
+        while (begin < end) {
+          const int n = static_cast<int>(begin / out_h);
+          const int64_t oh0 = begin % out_h;
+          const int64_t oh1 = std::min(out_h, oh0 + (end - begin));
+          const uint8_t* sample = codes + n * sample_codes;
+          OutT* c_sample = out + n * sample_stride;
+          ImplicitConvViewU8 view;
+          view.base = sample;
+          view.offsets = implicit_offsets_.data();
+          view.zero_row = zero_row_u8_.data();
+          view.segments = kernel_;
+          view.seg_len = kernel_ * in_channels_;
+          view.col_stride = stride_ * in_channels_;
+          view.run_w = ow_hi - ow_lo;
+          view.oh_begin = oh0;
+          view.oh_end = oh1;
+          view.c_row_stride = static_cast<int64_t>(out_w) * ldc;
+          OutT* c_interior = c_sample + (oh0 * out_w + ow_lo) * ldc;
+          if constexpr (std::is_same_v<OutT, uint8_t>) {
+            GemmInt8PackedImplicitU8(view, packed, quant, bias, epilogue, out_quant,
+                                     c_interior, ldc);
+          } else {
+            GemmInt8PackedImplicit(view, packed, quant, bias, epilogue, c_interior, ldc);
+          }
+          if (edge_cols > 0) {
+            // Batch the chunk's edge columns into ONE GEMM: per-row calls
+            // leave m below the int8 row tile, so every edge pixel would run
+            // in the scalar remainder. Edge outputs are not contiguous, so
+            // the GEMM lands in compact staging scratch and each row then
+            // scatters to its slot. One Alloc covers gather + stage: a
+            // second Alloc could retire (and move) the first block.
+            const int64_t edge_rows = (oh1 - oh0) * edge_cols;
+            const size_t code_floats =
+                (static_cast<size_t>(edge_rows) * k_padded + sizeof(float) - 1) /
+                sizeof(float);
+            const size_t stage_floats =
+                (static_cast<size_t>(edge_rows) * out_channels_ * sizeof(OutT) +
+                 sizeof(float) - 1) /
+                sizeof(float);
+            arena.Reset();
+            float* block = arena.Alloc(code_floats + stage_floats);
+            uint8_t* chunk = reinterpret_cast<uint8_t*>(block);
+            OutT* stage = reinterpret_cast<OutT*>(block + code_floats);
+            uint8_t* dst = chunk;
+            for (int64_t oh = oh0; oh < oh1; ++oh) {
+              const int64_t r = oh * out_w;
+              if (ow_lo > 0) {
+                Im2ColRowsU8(sample, in_shape.h, in_shape.w, in_channels_, kernel_, stride_,
+                             pad_, r, r + ow_lo, pad_code, k_padded, dst);
+                dst += static_cast<int64_t>(ow_lo) * k_padded;
+              }
+              if (ow_hi < out_w) {
+                Im2ColRowsU8(sample, in_shape.h, in_shape.w, in_channels_, kernel_, stride_,
+                             pad_, r + ow_hi, r + out_w, pad_code, k_padded, dst);
+                dst += static_cast<int64_t>(out_w - ow_hi) * k_padded;
+              }
+            }
+            if constexpr (std::is_same_v<OutT, uint8_t>) {
+              GemmInt8PackedExU8(edge_rows, chunk, packed, quant, bias, epilogue, out_quant,
+                                 stage, out_channels_);
+            } else {
+              GemmInt8PackedEx(edge_rows, chunk, packed, quant, bias, epilogue, stage,
+                               out_channels_);
+            }
+            const OutT* src = stage;
+            for (int64_t oh = oh0; oh < oh1; ++oh) {
+              OutT* c_row = c_sample + oh * out_w * ldc;
+              for (int e = 0; e < ow_lo; ++e, src += out_channels_) {
+                std::memcpy(c_row + e * ldc, src, sizeof(OutT) * out_channels_);
+              }
+              for (int e = ow_hi; e < out_w; ++e, src += out_channels_) {
+                std::memcpy(c_row + e * ldc, src, sizeof(OutT) * out_channels_);
+              }
+            }
+          }
+          begin += oh1 - oh0;
         }
       });
 }

@@ -167,6 +167,28 @@ class Conv2D : public Layer {
   Tensor ForwardNaive(const Tensor& input);
   void ForwardIntoFloat(const Tensor& input, GemmEpilogue epilogue, float* out, int64_t ldc,
                         int64_t sample_stride);
+  // Implicit-gather float forward: interior output columns stream from the
+  // NHWC tensor through the cached offset table; only the <= pad edge
+  // columns per side still run the classic Im2ColRows + GemmPackedEx.
+  void ForwardIntoFloatImplicit(const Tensor& input, GemmEpilogue epilogue, float* out,
+                                int64_t ldc, int64_t sample_stride);
+  // Same split for the quantized engine (interior via GemmInt8PackedImplicit
+  // / ...U8, edges via Im2ColRowsU8). Only called when ImplicitEligible.
+  template <typename OutT>
+  void Int8ImplicitOverCodes(const uint8_t* codes, const TensorShape& in_shape,
+                             const ActivationQuant& quant, GemmEpilogue epilogue,
+                             const ActivationQuant& out_quant, OutT* out, int64_t ldc,
+                             int64_t sample_stride);
+  // True when the current plan + layer geometry support the implicit gather
+  // at all (multi-tap, kh-kw-c). The int8 path additionally requires the
+  // per-tap K segment to be kInt8KUnit-aligned so packed K groups never
+  // straddle a tap boundary.
+  bool ImplicitEligible() const;
+  bool ImplicitEligibleInt8() const;
+  // Builds (or reuses) the per-output-row offset table for an input of this
+  // height/width; returns false when the shape has no interior columns (the
+  // caller falls back to the materialized gather).
+  bool PrepareImplicitGather(int height, int width);
   void ForwardIntoInt8(const Tensor& input, GemmEpilogue epilogue, float* out, int64_t ldc,
                        int64_t sample_stride);
   // Shared tail of the int8 forwards: patch-gathers `codes` (whole-sample
@@ -251,6 +273,20 @@ class Conv2D : public Layer {
   // Plain scratch, not backward state — sized on first int8 forward, steady
   // thereafter. The u8-direct path (ForwardQuantized) bypasses it entirely.
   std::vector<uint8_t> quantized_input_;
+
+  // Implicit-gather offset table: per (output row, vertical tap) element
+  // offsets into one NHWC sample, at interior column implicit_ow_lo_
+  // (< 0 = vertical pad tap). Built lazily by PrepareImplicitGather and
+  // cached per input (height, width) — the layer's own geometry is fixed,
+  // so shape is the whole key. zero_row_u8_ holds one tap segment of
+  // activation zero-point codes for the u8 kernels' pad reads (refilled per
+  // int8 forward: the zero point follows the input's quantization).
+  std::vector<int64_t> implicit_offsets_;
+  std::vector<uint8_t> zero_row_u8_;
+  int implicit_h_ = 0;
+  int implicit_w_ = 0;
+  int implicit_ow_lo_ = 0;  // first interior output column
+  int implicit_ow_hi_ = 0;  // one past the last interior output column
 };
 
 }  // namespace percival

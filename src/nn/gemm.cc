@@ -23,10 +23,39 @@ std::atomic<bool> g_gemm_default{true};
 std::atomic<bool> g_force_scalar{false};
 std::atomic<int> g_planner_panel_override{0};
 std::atomic<LayoutPolicy> g_planner_layout_policy{LayoutPolicy::kAuto};
+std::atomic<GatherPolicyMode> g_planner_gather_policy{GatherPolicyMode::kAuto};
 std::atomic<bool> g_dataflow_requant{true};
-std::atomic<bool> g_gap_codes{false};
+std::atomic<GapCodesMode> g_gap_codes_mode{GapCodesMode::kAuto};
+
+// Gather/scratch traffic counters (see GemmGatherStats). Relaxed: these are
+// statistics, not synchronization.
+std::atomic<uint64_t> g_bytes_gathered{0};
+std::atomic<uint64_t> g_arena_high_water{0};
+
+void MaxArenaHighWater(uint64_t bytes) {
+  uint64_t seen = g_arena_high_water.load(std::memory_order_relaxed);
+  while (bytes > seen && !g_arena_high_water.compare_exchange_weak(
+                             seen, bytes, std::memory_order_relaxed)) {
+  }
+}
 
 }  // namespace
+
+GemmGatherStats GetGemmGatherStats() {
+  GemmGatherStats stats;
+  stats.bytes_gathered = g_bytes_gathered.load(std::memory_order_relaxed);
+  stats.arena_high_water_bytes = g_arena_high_water.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetGemmGatherStats() {
+  g_bytes_gathered.store(0, std::memory_order_relaxed);
+  g_arena_high_water.store(0, std::memory_order_relaxed);
+}
+
+void NoteBytesGathered(uint64_t bytes) {
+  g_bytes_gathered.fetch_add(bytes, std::memory_order_relaxed);
+}
 
 // ----------------------------------------------------------- ScratchArena --
 
@@ -51,6 +80,11 @@ float* ScratchArena::Alloc(size_t count) {
   }
   float* ptr = block_.data() + used_;
   used_ += count;
+  size_t in_use = used_;
+  for (const auto& old : retired_) {
+    in_use += old.size();  // retired blocks still hold live pointers
+  }
+  MaxArenaHighWater(static_cast<uint64_t>(in_use) * sizeof(float));
   return ptr;
 }
 
@@ -276,6 +310,10 @@ const char* LayoutName(ActivationLayout layout) {
   return layout == ActivationLayout::kCOuter ? "c-outer" : "kh-kw-c";
 }
 
+const char* GatherPolicyName(GatherPolicy policy) {
+  return policy == GatherPolicy::kImplicit ? "implicit" : "materialize";
+}
+
 void SetPlannerPanelOverride(int width) {
   PCHECK(width == 0 || ValidPanelWidth(width))
       << "panel override " << width << " is not a width this build's kernels implement";
@@ -288,15 +326,26 @@ void SetPlannerLayoutPolicy(LayoutPolicy policy) { g_planner_layout_policy.store
 
 LayoutPolicy PlannerLayoutPolicy() { return g_planner_layout_policy.load(); }
 
+void SetPlannerGatherPolicy(GatherPolicyMode mode) { g_planner_gather_policy.store(mode); }
+
+GatherPolicyMode PlannerGatherPolicy() { return g_planner_gather_policy.load(); }
+
 void SetDataflowRequantEnabled(bool enabled) { g_dataflow_requant.store(enabled); }
 
 bool DataflowRequantEnabled() { return g_dataflow_requant.load(); }
 
-void SetGapCodesEnabled(bool enabled) { g_gap_codes.store(enabled); }
+void SetGapCodesMode(GapCodesMode mode) { g_gap_codes_mode.store(mode); }
 
-bool GapCodesEnabled() { return g_gap_codes.load(); }
+GapCodesMode GetGapCodesMode() { return g_gap_codes_mode.load(); }
 
-KernelPlan ChooseConvKernelPlan(int out_channels, int kernel) {
+void SetGapCodesEnabled(bool enabled) {
+  SetGapCodesMode(enabled ? GapCodesMode::kForceOn : GapCodesMode::kForceOff);
+}
+
+bool GapCodesEnabled() { return GetGapCodesMode() == GapCodesMode::kForceOn; }
+
+KernelPlan ChooseConvKernelPlan(int out_channels, int kernel, int stride, int pad,
+                                int in_width) {
   KernelPlan plan;  // panel_width defaults to the active tier's native width
   const int override_width = PlannerPanelOverride();
   if (override_width != 0) {
@@ -316,6 +365,32 @@ KernelPlan ChooseConvKernelPlan(int out_channels, int kernel) {
       // NHWC inputs at every channel count tried (see the
       // conv3x3_layout_* rows in BENCH_micro_kernels.json).
       plan.layout = ActivationLayout::kKhKwC;
+    }
+  }
+  if (kernel > 1) {
+    const GatherPolicyMode gather_mode = PlannerGatherPolicy();
+    if (gather_mode == GatherPolicyMode::kForceImplicit) {
+      plan.gather = GatherPolicy::kImplicit;
+    } else if (gather_mode == GatherPolicyMode::kAuto &&
+               plan.layout == ActivationLayout::kKhKwC) {
+      // Implicit pays off when the interior run — the output columns that
+      // see all kw taps in bounds — is at least one full column tile wide
+      // on every tier (the 16-wide sub-panel kernels tile 8 columns).
+      // Shorter runs stream mostly through the per-row edge/remainder
+      // paths, where the materialized m = out_h*out_w GEMM wins (measured:
+      // the experiment profile's 8x8 and 4x4 fire stages). in_width 0 =
+      // unknown shape: assume a wide interior (the forward re-checks the
+      // interior per input and falls back when it is empty).
+      bool wide_interior = true;
+      if (in_width > 0) {
+        const int out_w = (in_width - kernel + 2 * pad) / stride + 1;
+        const int ow_lo = (pad + stride - 1) / stride;
+        const int ow_hi = std::min(out_w, (in_width - kernel + pad) / stride + 1);
+        wide_interior = out_w > 0 && ow_hi - ow_lo >= kImplicitMinInteriorRun;
+      }
+      if (wide_interior) {
+        plan.gather = GatherPolicy::kImplicit;
+      }
     }
   }
   return plan;
@@ -556,6 +631,93 @@ void GemmInt8PackedExU8(int64_t m, const uint8_t* a, const Int8PackedFilters& pa
   sink.inv_scale = 1.0f / out_quant.scale;
   sink.zero_point = out_quant.zero_point;
   gemm_internal::GemmInt8Scalar(m, a, packed, quant, bias, epilogue, c, ldc, sink);
+}
+
+// ------------------------------------------- implicit-GEMM entry points --
+
+namespace {
+
+template <typename T>
+void CheckImplicitView(const ImplicitConvView<T>& view) {
+  PCHECK(view.base != nullptr);
+  PCHECK(view.offsets != nullptr);
+  PCHECK_GT(view.segments, 0);
+  PCHECK_GT(view.seg_len, 0);
+  PCHECK_GT(view.col_stride, 0);
+}
+
+}  // namespace
+
+void GemmPackedImplicit(const ImplicitConvViewF& view, int n, const float* packed_b,
+                        const float* bias, GemmEpilogue epilogue, float* c, int64_t ldc,
+                        int panel_width) {
+  PCHECK_GE(ldc, n);
+  PCHECK(ValidPanelWidth(panel_width));
+  CheckImplicitView(view);
+  if (view.run_w <= 0 || view.oh_end <= view.oh_begin) {
+    return;
+  }
+  LogSimdPathOnce();
+  if (!GemmForceScalar()) {
+    const GemmKernelTable* table = ResolveFloat();
+    if (table != nullptr && table->gemm_packed_implicit != nullptr) {
+      table->gemm_packed_implicit(view, n, packed_b, bias, epilogue, c, ldc, panel_width);
+      return;
+    }
+  }
+  gemm_internal::GemmPackedImplicitScalarEntry(view, n, packed_b, bias, epilogue, c, ldc,
+                                               panel_width);
+}
+
+void GemmInt8PackedImplicit(const ImplicitConvViewU8& view, const Int8PackedFilters& packed,
+                            const ActivationQuant& quant, const float* bias,
+                            GemmEpilogue epilogue, float* c, int64_t ldc) {
+  PCHECK_GE(ldc, packed.n);
+  PCHECK(ValidPanelWidth(packed.panel_width));
+  CheckImplicitView(view);
+  PCHECK(view.zero_row != nullptr);
+  PCHECK_EQ(view.seg_len % kInt8KUnit, 0);
+  PCHECK_EQ(view.segments * view.seg_len, packed.k_padded);
+  if (view.run_w <= 0 || view.oh_end <= view.oh_begin) {
+    return;
+  }
+  LogSimdPathOnce();
+  if (!GemmForceScalar()) {
+    const GemmKernelTable* table = ResolveInt8();
+    if (table != nullptr && table->gemm_int8_implicit != nullptr) {
+      table->gemm_int8_implicit(view, packed, quant, bias, epilogue, c, ldc);
+      return;
+    }
+  }
+  gemm_internal::GemmInt8ImplicitScalar(view, packed, quant, bias, epilogue, c, ldc,
+                                        ScalarFloatSink{});
+}
+
+void GemmInt8PackedImplicitU8(const ImplicitConvViewU8& view, const Int8PackedFilters& packed,
+                              const ActivationQuant& quant, const float* bias,
+                              GemmEpilogue epilogue, const ActivationQuant& out_quant,
+                              uint8_t* c, int64_t ldc) {
+  PCHECK_GE(ldc, packed.n);
+  PCHECK(ValidPanelWidth(packed.panel_width));
+  CheckImplicitView(view);
+  PCHECK(view.zero_row != nullptr);
+  PCHECK_EQ(view.seg_len % kInt8KUnit, 0);
+  PCHECK_EQ(view.segments * view.seg_len, packed.k_padded);
+  if (view.run_w <= 0 || view.oh_end <= view.oh_begin) {
+    return;
+  }
+  LogSimdPathOnce();
+  if (!GemmForceScalar()) {
+    const GemmKernelTable* table = ResolveInt8();
+    if (table != nullptr && table->gemm_int8_implicit_u8 != nullptr) {
+      table->gemm_int8_implicit_u8(view, packed, quant, bias, epilogue, out_quant, c, ldc);
+      return;
+    }
+  }
+  ScalarRequantSink sink;
+  sink.inv_scale = 1.0f / out_quant.scale;
+  sink.zero_point = out_quant.zero_point;
+  gemm_internal::GemmInt8ImplicitScalar(view, packed, quant, bias, epilogue, c, ldc, sink);
 }
 
 void InferenceParallelFor(int64_t total, int64_t macs_per_item,

@@ -94,6 +94,24 @@ class ScratchArena {
 // without locking.
 ScratchArena& LocalArena();
 
+// Process-wide gather/scratch traffic counters (the GetTensorAllocStats of
+// the kernel layer). `bytes_gathered` is the total payload the Im2ColRows*
+// family copied into scratch since the last reset — the traffic the
+// implicit gather policy exists to eliminate; `arena_high_water_bytes` is
+// the largest per-arena in-use size any ScratchArena::Alloc reached since
+// the last reset. Both are relaxed atomics: exact single-threaded, and
+// every copy is counted (never torn) under concurrency.
+struct GemmGatherStats {
+  uint64_t bytes_gathered = 0;
+  uint64_t arena_high_water_bytes = 0;
+};
+GemmGatherStats GetGemmGatherStats();
+void ResetGemmGatherStats();
+
+// Accounting hook for the gather family (ops.cc): adds one gather's payload
+// to `bytes_gathered`.
+void NoteBytesGathered(uint64_t bytes);
+
 // Process-wide inference execution knobs. The pool is borrowed, not owned:
 // callers must clear it (set nullptr) before destroying the pool. A null
 // pool (the default) runs every kernel on the calling thread.
@@ -174,13 +192,35 @@ enum class ActivationLayout : uint8_t {
 
 const char* LayoutName(ActivationLayout layout);
 
+// How a conv feeds its patch matrix to the GEMM.
+//   * kMaterialize — Im2ColRows gathers every patch row into scratch before
+//     the kernel runs (the classic lowering; ~K*K x the activation bytes).
+//   * kImplicit — the kernel streams the NHWC activation tensor in place
+//     through a per-(output row, kernel tap) offset table; only the padded
+//     edge columns are still gathered (see GemmPackedImplicit below).
+enum class GatherPolicy : uint8_t {
+  kMaterialize = 0,
+  kImplicit = 1,
+};
+
+const char* GatherPolicyName(GatherPolicy policy);
+
+// Minimum interior-run width (output columns seeing all kw taps in bounds)
+// for the kAuto planner to pick kImplicit when the input width is known.
+// Equals the widest implicit column tile across tiers (the 16-wide
+// sub-panel kernels tile 8 columns); narrower runs spend most of their
+// time in per-row edge/remainder paths and lose to the materialized
+// whole-image GEMM.
+inline constexpr int kImplicitMinInteriorRun = 8;
+
 struct KernelPlan {
   ActivationLayout layout = ActivationLayout::kKhKwC;
   int panel_width = GemmNativePanelWidth();
+  GatherPolicy gather = GatherPolicy::kMaterialize;
 };
 
 inline bool operator==(const KernelPlan& a, const KernelPlan& b) {
-  return a.layout == b.layout && a.panel_width == b.panel_width;
+  return a.layout == b.layout && a.panel_width == b.panel_width && a.gather == b.gather;
 }
 inline bool operator!=(const KernelPlan& a, const KernelPlan& b) { return !(a == b); }
 
@@ -195,6 +235,16 @@ enum class LayoutPolicy : uint8_t { kAuto = 0, kForceKhKwC = 1, kForceCOuter = 2
 void SetPlannerLayoutPolicy(LayoutPolicy policy);
 LayoutPolicy PlannerLayoutPolicy();
 
+// Gather-policy pin for materialized-vs-implicit A/B experiments. kAuto is
+// the heuristic in ChooseConvKernelPlan (implicit for a multi-tap kKhKwC
+// conv whose interior run is at least kImplicitMinInteriorRun columns, or of
+// unknown width); the force modes pin the plan field, though a forward still falls
+// back to the materialized gather when implicit preconditions fail (c-outer
+// layout, no interior columns, unaligned int8 K segments).
+enum class GatherPolicyMode : uint8_t { kAuto = 0, kForceMaterialize = 1, kForceImplicit = 2 };
+void SetPlannerGatherPolicy(GatherPolicyMode mode);
+GatherPolicyMode PlannerGatherPolicy();
+
 // The planner heuristic: narrow layers (out_channels <= 16) take the
 // 16-wide sub-tile on builds whose native panel is wider — the wide panel
 // would spend >= half its lanes on zero padding — and everything else keeps
@@ -203,7 +253,16 @@ LayoutPolicy PlannerLayoutPolicy();
 // gather's contiguous per-tap memcpys beat the strided channel-outer
 // gather, so kCOuter stays an explicitly pinned experiment. 1x1 kernels
 // normalize to kKhKwC (the two orders coincide).
-KernelPlan ChooseConvKernelPlan(int out_channels, int kernel);
+//
+// The gather policy defaults to kImplicit for every multi-tap kKhKwC conv
+// whose interior (the output columns where all kw taps are in bounds, given
+// stride/pad/in_width) is non-empty: those columns stream straight from the
+// NHWC tensor and only the <= pad edge columns per side still gather. 1x1
+// kernels keep kMaterialize — they already run gather-free via the identity
+// shortcut. `in_width` 0 means "unknown", which assumes a non-degenerate
+// interior (the forward re-checks and falls back per shape).
+KernelPlan ChooseConvKernelPlan(int out_channels, int kernel, int stride = 1, int pad = 0,
+                                int in_width = 0);
 
 // Packs row-major B[N x K] into column panels of `panel_width` filters:
 // packed[panel][k][j] = B[(panel*panel_width + j) * K + k], zero-padded
@@ -232,6 +291,51 @@ void GemmPackedEx(int64_t m, int n, int k, const float* a, const float* packed_b
 // Compatibility wrapper: dense C (ldc == n), bias-only epilogue.
 void GemmPackedNT(int64_t m, int n, int k, const float* a, const float* packed_b,
                   const float* bias, float* c);
+
+// ------------------------------------------------ implicit-GEMM conv view --
+//
+// The implicit path replaces the materialized im2col A matrix with a
+// streaming view of one NHWC sample: a (kKhKwC-ordered) patch row for
+// output pixel (oh, ow) is `segments` chunks of `seg_len` contiguous
+// elements — one per vertical kernel tap — and chunk s of the INTERIOR
+// columns (the ones where every horizontal tap is in bounds) lives at
+//   base + offsets[oh * segments + s] + (ow - ow_lo) * col_stride.
+// A negative offset marks a vertical pad tap (ih out of bounds): the float
+// kernels skip it (zero contribution), the u8 kernels read `zero_row`
+// (seg_len bytes of the activation zero point, the exact codes a
+// materialized gather would have written). The K the packed panels were
+// built for must equal segments * seg_len; on the int8 path seg_len must
+// additionally be a multiple of kInt8KUnit so K groups never straddle a
+// tap boundary (callers fall back to the materialized gather otherwise).
+//
+// One call covers output rows [oh_begin, oh_end) x the run_w interior
+// columns; output for (oh, col) lands at
+//   c + (oh - oh_begin) * c_row_stride + col * ldc.
+// Edge columns are the caller's job (conv.cc gathers just those through
+// the classic Im2ColRows path).
+template <typename T>
+struct ImplicitConvView {
+  const T* base = nullptr;          // one sample's NHWC activation base
+  const int64_t* offsets = nullptr; // [out_h * segments], element offsets; < 0 = pad tap
+  const T* zero_row = nullptr;      // seg_len pad elements (u8 path only)
+  int segments = 0;                 // vertical kernel taps (kernel height)
+  int seg_len = 0;                  // kernel_w * channels elements per tap
+  int col_stride = 0;               // stride * channels, step between interior columns
+  int run_w = 0;                    // interior columns per output row
+  int64_t oh_begin = 0;
+  int64_t oh_end = 0;
+  int64_t c_row_stride = 0;         // output elements between successive oh starts
+};
+using ImplicitConvViewF = ImplicitConvView<float>;
+using ImplicitConvViewU8 = ImplicitConvView<uint8_t>;
+
+// Implicit-GEMM float kernel: same contract as GemmPackedEx (panels,
+// epilogue, ldc slicing) with the A matrix replaced by the streaming view.
+// Results match the materialized path to the last ulp for finite weights —
+// identical per-row accumulation order, identical epilogue.
+void GemmPackedImplicit(const ImplicitConvViewF& view, int n, const float* packed_b,
+                        const float* bias, GemmEpilogue epilogue, float* c, int64_t ldc,
+                        int panel_width = GemmNativePanelWidth());
 
 // ------------------------------------------------- int8 quantized engine --
 //
@@ -358,6 +462,19 @@ void GemmInt8PackedExU8(int64_t m, const uint8_t* a, const Int8PackedFilters& pa
                         GemmEpilogue epilogue, const ActivationQuant& out_quant, uint8_t* c,
                         int64_t ldc);
 
+// Implicit-GEMM int8 kernels: GemmInt8PackedEx / GemmInt8PackedExU8 with
+// the quantized A rows replaced by the streaming u8 view (zero_row must
+// hold quant.zero_point bytes). Accumulation is the same exact int32 sums
+// over the same codes as the materialized gather, so results are
+// BIT-IDENTICAL to it on every tier, both sinks.
+void GemmInt8PackedImplicit(const ImplicitConvViewU8& view, const Int8PackedFilters& packed,
+                            const ActivationQuant& quant, const float* bias,
+                            GemmEpilogue epilogue, float* c, int64_t ldc);
+void GemmInt8PackedImplicitU8(const ImplicitConvViewU8& view, const Int8PackedFilters& packed,
+                              const ActivationQuant& quant, const float* bias,
+                              GemmEpilogue epilogue, const ActivationQuant& out_quant,
+                              uint8_t* c, int64_t ldc);
+
 // Master switch for the zero-float dataflow plan. When true (the default),
 // Network::PlanForward links adjacent calibrated int8 convs with the
 // requantize-in-epilogue store above; false restores the float-staged
@@ -366,14 +483,28 @@ void GemmInt8PackedExU8(int64_t m, const uint8_t* a, const Int8PackedFilters& pa
 void SetDataflowRequantEnabled(bool enabled);
 bool DataflowRequantEnabled();
 
-// Opt-in extension of the code domain one layer further: when true,
-// GlobalAvgPool accepts quantized input from a calibrated int8 producer and
-// averages the uint8 codes with int32 accumulation, dequantizing only the
-// per-channel sums — so the final conv's requantized store feeds pooling
-// without a float activation tensor in between. Logits are no longer
-// bit-identical to the staged path (the average is computed in code space),
-// so this ships default-off behind its own 64-image >= 99% top-1 agreement
-// guard (tests/nn_requant_test.cc). Takes effect at the next PlanForward.
+// Extension of the code domain one layer further: GlobalAvgPool accepts
+// quantized input from a calibrated int8 producer and averages the uint8
+// codes with int32 accumulation, dequantizing only the per-channel sums —
+// so the final conv's requantized store feeds pooling without a float
+// activation tensor in between. Logits are no longer bit-identical to the
+// staged path (the average is computed in code space), so the link is
+// guarded by its own 64-image >= 99% top-1 agreement test
+// (tests/nn_requant_test.cc).
+//
+// kAuto (the default) enables the link exactly when a PCVW v2 calibration
+// trailer supplied the GAP slot — i.e. for deployment artifacts whose
+// ranges were measured offline, the population the accuracy guard vets —
+// and leaves it off for ranges captured live in this process. kForceOff is
+// the old default-off behavior (the opt-out); kForceOn links any calibrated
+// GAP regardless of where the range came from. Takes effect at the next
+// PlanForward.
+enum class GapCodesMode : uint8_t { kAuto = 0, kForceOn = 1, kForceOff = 2 };
+void SetGapCodesMode(GapCodesMode mode);
+GapCodesMode GetGapCodesMode();
+
+// Bool compatibility wrappers: SetGapCodesEnabled maps true/false to
+// kForceOn/kForceOff; GapCodesEnabled reports whether the mode is kForceOn.
 void SetGapCodesEnabled(bool enabled);
 bool GapCodesEnabled();
 

@@ -46,6 +46,20 @@ struct GemmKernelTable {
   void (*gemm_int8_u8)(int64_t m, const uint8_t* a, const Int8PackedFilters& packed,
                        const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
                        const ActivationQuant& out_quant, uint8_t* c, int64_t ldc) = nullptr;
+  // Implicit-gather variants: registered exactly alongside their
+  // materialized counterparts (same tiers, same availability gates), so
+  // resolution never splits a kernel family across tiers.
+  void (*gemm_packed_implicit)(const ImplicitConvViewF& view, int n, const float* packed_b,
+                               const float* bias, GemmEpilogue ep, float* c, int64_t ldc,
+                               int panel_width) = nullptr;
+  void (*gemm_int8_implicit)(const ImplicitConvViewU8& view, const Int8PackedFilters& packed,
+                             const ActivationQuant& quant, const float* bias, GemmEpilogue ep,
+                             float* c, int64_t ldc) = nullptr;
+  void (*gemm_int8_implicit_u8)(const ImplicitConvViewU8& view,
+                                const Int8PackedFilters& packed, const ActivationQuant& quant,
+                                const float* bias, GemmEpilogue ep,
+                                const ActivationQuant& out_quant, uint8_t* c,
+                                int64_t ldc) = nullptr;
   void (*quantize_activations)(const float* src, int64_t count, const ActivationQuant& quant,
                                uint8_t* dst) = nullptr;
   void (*min_max_range)(const float* data, int64_t count, float* min_out,
@@ -317,6 +331,185 @@ inline int32_t LoadKGroup(const uint8_t* p) {
   int32_t v;
   std::memcpy(&v, p, sizeof(v));
   return v;
+}
+
+// ------------------------------------------- implicit-gather scalar tiles --
+//
+// Scalar implicit-GEMM kernels over the streaming conv view (see
+// ImplicitConvView in gemm.h): the K loop runs per vertical tap segment
+// with the accumulators carried across segments, which reproduces the
+// materialized path's per-row accumulation order exactly (the packed panel
+// and the patch row walk K in the same kKhKwC order). Float pad taps are
+// skipped — a materialized gather would multiply explicit zeros there —
+// and u8 pad taps read the view's zero row, byte-identical to the pad
+// codes Im2ColRowsU8 writes. Like the other scalar tiles, these are both
+// the force-scalar oracle and the fallback for (tier, width) pairs with no
+// intrinsic implicit tile.
+
+// Columns [col_begin, col_end) of output row `oh`, float path.
+template <int PW>
+inline void ImplicitFloatColsScalar(const ImplicitConvViewF& v, int64_t oh,
+                                    int64_t col_begin, int64_t col_end, int n,
+                                    const float* packed_b, const float* bias,
+                                    GemmEpilogue ep, float* c_oh, int64_t ldc) {
+  const int panels = (n + PW - 1) / PW;
+  const int k_seg = v.seg_len;
+  const size_t panel_stride = static_cast<size_t>(v.segments) * k_seg * PW;
+  const int64_t* off = v.offsets + oh * v.segments;
+  int64_t col = col_begin;
+  for (; col + kGemmTileM <= col_end; col += kGemmTileM) {
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * PW;
+      const int width = std::min(PW, n - n0);
+      const float* pb = packed_b + static_cast<size_t>(panel) * panel_stride;
+      float acc[kGemmTileM][PW] = {};
+      for (int s = 0; s < v.segments; ++s) {
+        if (off[s] < 0) {
+          continue;
+        }
+        const float* s0 = v.base + off[s] + col * v.col_stride;
+        const float* rows[kGemmTileM] = {s0, s0 + v.col_stride, s0 + 2 * v.col_stride,
+                                         s0 + 3 * v.col_stride};
+        MicroKernel4xN<PW>(k_seg, rows, pb + static_cast<size_t>(s) * k_seg * PW, acc);
+      }
+      for (int i = 0; i < kGemmTileM; ++i) {
+        StoreTileRow(acc[i], bias, ep, n0, width, c_oh + (col + i) * ldc);
+      }
+    }
+  }
+  for (; col < col_end; ++col) {
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * PW;
+      const int width = std::min(PW, n - n0);
+      const float* pb = packed_b + static_cast<size_t>(panel) * panel_stride;
+      float acc[PW] = {};
+      for (int s = 0; s < v.segments; ++s) {
+        if (off[s] < 0) {
+          continue;
+        }
+        MicroKernel1xN<PW>(k_seg, v.base + off[s] + col * v.col_stride,
+                           pb + static_cast<size_t>(s) * k_seg * PW, acc);
+      }
+      StoreTileRow(acc, bias, ep, n0, width, c_oh + col * ldc);
+    }
+  }
+}
+
+inline void GemmPackedImplicitScalarEntry(const ImplicitConvViewF& v, int n,
+                                          const float* packed_b, const float* bias,
+                                          GemmEpilogue ep, float* c, int64_t ldc,
+                                          int panel_width) {
+  for (int64_t oh = v.oh_begin; oh < v.oh_end; ++oh) {
+    float* c_oh = c + (oh - v.oh_begin) * v.c_row_stride;
+    if (panel_width == kGemmTileNMin) {
+      ImplicitFloatColsScalar<kGemmTileNMin>(v, oh, 0, v.run_w, n, packed_b, bias, ep, c_oh,
+                                             ldc);
+    } else {
+      ImplicitFloatColsScalar<kGemmTileNMax>(v, oh, 0, v.run_w, n, packed_b, bias, ep, c_oh,
+                                             ldc);
+    }
+  }
+}
+
+// Columns [col_begin, col_end) of output row `oh`, int8 path. seg_len is a
+// multiple of kInt8KUnit (the caller's eligibility gate), so the 4-byte K
+// groups of one segment never read past its end.
+template <int PW, typename Sink>
+inline void ImplicitInt8ColsScalar(const ImplicitConvViewU8& v, int64_t oh,
+                                   int64_t col_begin, int64_t col_end,
+                                   const Int8PackedFilters& packed,
+                                   const ActivationQuant& quant, const float* bias,
+                                   GemmEpilogue ep, typename Sink::Out* c_oh, int64_t ldc,
+                                   const Sink& sink) {
+  const int n = packed.n;
+  const int panels = (n + PW - 1) / PW;
+  const int gps = v.seg_len / kInt8KUnit;  // K groups per tap segment
+  const size_t panel_stride =
+      static_cast<size_t>(v.segments) * gps * PW * kInt8KUnit;
+  const int64_t* off = v.offsets + oh * v.segments;
+  int64_t col = col_begin;
+  for (; col + kGemmTileM <= col_end; col += kGemmTileM) {
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * PW;
+      const int width = std::min(PW, n - n0);
+      const int8_t* pb = packed.data.data() + static_cast<size_t>(panel) * panel_stride;
+      int32_t acc[kGemmTileM][PW] = {};
+      for (int s = 0; s < v.segments; ++s) {
+        const uint8_t* rows[kGemmTileM];
+        if (off[s] < 0) {
+          for (int i = 0; i < kGemmTileM; ++i) {
+            rows[i] = v.zero_row;
+          }
+        } else {
+          const uint8_t* s0 = v.base + off[s] + col * v.col_stride;
+          for (int i = 0; i < kGemmTileM; ++i) {
+            rows[i] = s0 + i * v.col_stride;
+          }
+        }
+        const int8_t* pbs = pb + static_cast<size_t>(s) * gps * PW * kInt8KUnit;
+        for (int g = 0; g < gps; ++g) {
+          const int8_t* group = pbs + static_cast<size_t>(g) * PW * kInt8KUnit;
+          for (int i = 0; i < kGemmTileM; ++i) {
+            const uint8_t* ar = rows[i] + g * kInt8KUnit;
+            for (int j = 0; j < PW; ++j) {
+              const int8_t* bj = group + j * kInt8KUnit;
+              acc[i][j] += static_cast<int32_t>(ar[0]) * bj[0] +
+                           static_cast<int32_t>(ar[1]) * bj[1] +
+                           static_cast<int32_t>(ar[2]) * bj[2] +
+                           static_cast<int32_t>(ar[3]) * bj[3];
+            }
+          }
+        }
+      }
+      for (int i = 0; i < kGemmTileM; ++i) {
+        StoreInt8TileRow(acc[i], packed, quant, bias, ep, n0, width, c_oh + (col + i) * ldc,
+                         sink);
+      }
+    }
+  }
+  for (; col < col_end; ++col) {
+    for (int panel = 0; panel < panels; ++panel) {
+      const int n0 = panel * PW;
+      const int width = std::min(PW, n - n0);
+      const int8_t* pb = packed.data.data() + static_cast<size_t>(panel) * panel_stride;
+      int32_t acc[PW] = {};
+      for (int s = 0; s < v.segments; ++s) {
+        const uint8_t* ar0 =
+            off[s] < 0 ? v.zero_row : v.base + off[s] + col * v.col_stride;
+        const int8_t* pbs = pb + static_cast<size_t>(s) * gps * PW * kInt8KUnit;
+        for (int g = 0; g < gps; ++g) {
+          const int8_t* group = pbs + static_cast<size_t>(g) * PW * kInt8KUnit;
+          const uint8_t* ag = ar0 + g * kInt8KUnit;
+          for (int j = 0; j < PW; ++j) {
+            const int8_t* bj = group + j * kInt8KUnit;
+            acc[j] += static_cast<int32_t>(ag[0]) * bj[0] +
+                      static_cast<int32_t>(ag[1]) * bj[1] +
+                      static_cast<int32_t>(ag[2]) * bj[2] +
+                      static_cast<int32_t>(ag[3]) * bj[3];
+          }
+        }
+      }
+      StoreInt8TileRow(acc, packed, quant, bias, ep, n0, width, c_oh + col * ldc, sink);
+    }
+  }
+}
+
+template <typename Sink>
+inline void GemmInt8ImplicitScalar(const ImplicitConvViewU8& v,
+                                   const Int8PackedFilters& packed,
+                                   const ActivationQuant& quant, const float* bias,
+                                   GemmEpilogue ep, typename Sink::Out* c, int64_t ldc,
+                                   const Sink& sink) {
+  for (int64_t oh = v.oh_begin; oh < v.oh_end; ++oh) {
+    typename Sink::Out* c_oh = c + (oh - v.oh_begin) * v.c_row_stride;
+    if (packed.panel_width == kGemmTileNMin) {
+      ImplicitInt8ColsScalar<kGemmTileNMin>(v, oh, 0, v.run_w, packed, quant, bias, ep, c_oh,
+                                            ldc, sink);
+    } else {
+      ImplicitInt8ColsScalar<kGemmTileNMax>(v, oh, 0, v.run_w, packed, quant, bias, ep, c_oh,
+                                            ldc, sink);
+    }
+  }
 }
 
 }  // namespace gemm_internal

@@ -18,7 +18,7 @@ Tensor Network::Forward(const Tensor& input) {
   faultpoint::ShouldFire(faultpoint::kSlowForward);
   if (!planned_ || !(planned_shape_ == input.shape()) ||
       dataflow_enabled_at_plan_ != DataflowRequantEnabled() ||
-      gap_codes_at_plan_ != GapCodesEnabled() ||
+      gap_codes_at_plan_ != GetGapCodesMode() ||
       dispatch_generation_at_plan_ != SimdDispatchGeneration()) {
     PlanForward(input.shape());
   }
@@ -50,7 +50,7 @@ void Network::PlanForward(const TensorShape& input) {
 void Network::PlanDataflow(const std::vector<TensorShape>& input_shapes) {
   dataflow_.assign(layers_.size(), DataflowStep{});
   dataflow_enabled_at_plan_ = DataflowRequantEnabled();
-  gap_codes_at_plan_ = GapCodesEnabled();
+  gap_codes_at_plan_ = GetGapCodesMode();
   const bool eligible = precision_ == Precision::kInt8 && !training_ &&
                         !calibration_capture_ && dataflow_enabled_at_plan_;
   if (!eligible) {
@@ -186,7 +186,7 @@ Tensor Network::ForwardQuantized(const QuantizedTensorView& input) {
       << "first layer (" << layers_[0]->Name() << ") cannot consume quantized input";
   if (!planned_ || !(planned_shape_ == input.shape) ||
       dataflow_enabled_at_plan_ != DataflowRequantEnabled() ||
-      gap_codes_at_plan_ != GapCodesEnabled() ||
+      gap_codes_at_plan_ != GetGapCodesMode() ||
       dispatch_generation_at_plan_ != SimdDispatchGeneration()) {
     PlanForward(input.shape);
   }
@@ -216,6 +216,7 @@ std::string Network::KernelPlanSummary() const {
   const std::vector<KernelPlanRow> rows = CollectKernelPlanRows();
   int narrow = 0;
   int c_outer = 0;
+  int implicit = 0;
   for (const KernelPlanRow& row : rows) {
     if (row.panel_width < GemmNativePanelWidth()) {
       ++narrow;
@@ -223,10 +224,13 @@ std::string Network::KernelPlanSummary() const {
     if (row.c_outer) {
       ++c_outer;
     }
+    if (row.implicit) {
+      ++implicit;
+    }
   }
   std::ostringstream out;
   out << "planner: " << rows.size() << " convs, " << narrow << " narrow-panel(16), "
-      << c_outer << " c-outer"
+      << c_outer << " c-outer, " << implicit << " implicit-gather"
       << (AcceptsQuantizedInput() ? ", u8-direct input" : "");
   return out.str();
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/nn/gemm.h"
 #include "src/nn/layer.h"
 
 namespace percival {
@@ -162,7 +163,7 @@ class Network {
 
   std::vector<DataflowStep> dataflow_;
   bool dataflow_enabled_at_plan_ = false;
-  bool gap_codes_at_plan_ = false;
+  GapCodesMode gap_codes_at_plan_ = GapCodesMode::kForceOff;
   // SimdDispatchGeneration() at plan time: a SetSimdTierCap between forwards
   // bumps it, forcing a re-plan (and repack) under the new tier's panel
   // width and weight clamp.

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/base/logging.h"
+#include "src/nn/gemm.h"
 
 namespace percival {
 
@@ -25,6 +26,7 @@ void Im2ColRows(const float* input, int height, int width, int channels, int ker
                 int pad, int64_t row_begin, int64_t row_end, float* columns) {
   const int out_w = ConvOutputSize(width, kernel, stride, pad);
   const int row_len = kernel * kernel * channels;
+  NoteBytesGathered(static_cast<uint64_t>(row_end - row_begin) * row_len * sizeof(float));
   for (int64_t r = row_begin; r < row_end; ++r) {
     const int oh = static_cast<int>(r / out_w);
     const int ow = static_cast<int>(r % out_w);
@@ -65,6 +67,7 @@ void Im2ColRowsU8(const uint8_t* input, int height, int width, int channels, int
   const int out_w = ConvOutputSize(width, kernel, stride, pad);
   const int row_len = kernel * kernel * channels;
   PCHECK_GE(row_stride, row_len);
+  NoteBytesGathered(static_cast<uint64_t>(row_end - row_begin) * row_len);
   for (int64_t r = row_begin; r < row_end; ++r) {
     const int oh = static_cast<int>(r / out_w);
     const int ow = static_cast<int>(r % out_w);
@@ -104,6 +107,7 @@ void Im2ColRowsCOuter(const float* input, int height, int width, int channels, i
   const int out_w = ConvOutputSize(width, kernel, stride, pad);
   const int row_len = kernel * kernel * channels;
   const int taps = kernel * kernel;
+  NoteBytesGathered(static_cast<uint64_t>(row_end - row_begin) * row_len * sizeof(float));
   for (int64_t r = row_begin; r < row_end; ++r) {
     const int oh = static_cast<int>(r / out_w);
     const int ow = static_cast<int>(r % out_w);
@@ -136,6 +140,7 @@ void Im2ColRowsU8COuter(const uint8_t* input, int height, int width, int channel
   const int row_len = kernel * kernel * channels;
   const int taps = kernel * kernel;
   PCHECK_GE(row_stride, row_len);
+  NoteBytesGathered(static_cast<uint64_t>(row_end - row_begin) * row_len);
   for (int64_t r = row_begin; r < row_end; ++r) {
     const int oh = static_cast<int>(r / out_w);
     const int ow = static_cast<int>(r % out_w);

@@ -146,7 +146,19 @@ Tensor GlobalAvgPool::Forward(const Tensor& input) {
 }
 
 bool GlobalAvgPool::AcceptsQuantizedInput() const {
-  return GapCodesEnabled() && !training_ && has_input_calibration_;
+  const bool calibrated = !training_ && has_input_calibration_;
+  switch (GetGapCodesMode()) {
+    case GapCodesMode::kForceOff:
+      return false;
+    case GapCodesMode::kForceOn:
+      return calibrated;
+    case GapCodesMode::kAuto:
+      // Default-on exactly for deployment artifacts: ranges supplied by a
+      // serialized calibration trailer (the population the 64-image top-1
+      // accuracy guard vets), never ranges captured live in this process.
+      return calibrated && calibration_from_trailer_;
+  }
+  return false;
 }
 
 Tensor GlobalAvgPool::ForwardQuantized(const QuantizedTensorView& input) {
@@ -188,6 +200,7 @@ void GlobalAvgPool::SetCalibrationCapture(bool capture) {
     has_input_calibration_ = false;  // a new calibration batch starts fresh
     calib_min_ = 0.0f;
     calib_max_ = 0.0f;
+    calibration_from_trailer_ = false;  // the range is now live-captured
   }
   calibration_capture_ = capture;
 }
@@ -207,6 +220,9 @@ size_t GlobalAvgPool::ConsumeCalibration(const ActivationCalibration* entries, s
   has_input_calibration_ = entries[0].valid;
   calib_min_ = entries[0].min_value;
   calib_max_ = entries[0].max_value;
+  // ConsumeCalibration is how a serialized trailer's ranges arrive (see
+  // Network::LoadCalibration); this is what arms GapCodesMode::kAuto.
+  calibration_from_trailer_ = entries[0].valid;
   return 1;
 }
 

@@ -40,8 +40,11 @@ class MaxPool2D : public Layer {
 // uint8 codes, one dequantize per channel — instead of forcing the emitting
 // conv back through a float store. The average is computed in code space,
 // so logits differ from the staged path by up to half a code step; the
-// knob therefore ships default-off behind a 64-image >= 99% top-1
-// agreement guard (tests/nn_requant_test.cc).
+// link is therefore guarded by a 64-image >= 99% top-1 agreement test
+// (tests/nn_requant_test.cc). GapCodesMode::kAuto (the default) enables it
+// exactly when a serialized calibration trailer supplied the GAP range —
+// the deployment population the guard vets — with kForceOff as the opt-out
+// (the old default) and kForceOn covering live-captured ranges too.
 class GlobalAvgPool : public Layer {
  public:
   Tensor Forward(const Tensor& input) override;
@@ -51,9 +54,10 @@ class GlobalAvgPool : public Layer {
     return TensorShape{input.n, 1, 1, input.c};
   }
 
-  // True only when the GAP-on-codes knob is on, the layer is in eval mode,
-  // and a calibrated input range exists (the planner also requires the
-  // range to derive the producer's emit quantization).
+  // True only when the GAP-on-codes mode allows the link (see GapCodesMode
+  // in gemm.h), the layer is in eval mode, and a calibrated input range
+  // exists (the planner also requires the range to derive the producer's
+  // emit quantization).
   bool AcceptsQuantizedInput() const override;
   Tensor ForwardQuantized(const QuantizedTensorView& input) override;
 
@@ -69,6 +73,10 @@ class GlobalAvgPool : public Layer {
   TensorShape input_shape_;
   bool calibration_capture_ = false;
   bool has_input_calibration_ = false;
+  // True when the current range arrived via ConsumeCalibration (a PCVW v2
+  // trailer / Network::LoadCalibration), false once live capture replaces
+  // it — the discriminator GapCodesMode::kAuto keys on.
+  bool calibration_from_trailer_ = false;
   float calib_min_ = 0.0f;
   float calib_max_ = 0.0f;
   std::vector<int32_t> sum_buffer_;  // per-channel code sums, reused across forwards

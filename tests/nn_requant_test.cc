@@ -366,14 +366,17 @@ TEST(RequantAccuracyGuardTest, TopOneAgreementWithZeroFloatPlanActive) {
   (void)MaxAbsDiff;
 }
 
-// GAP-on-codes guard (the knob ships default-off): with SetGapCodesEnabled
-// the final conv's requantized store feeds GlobalAvgPool directly as codes
-// — one more requant link, no float activation tensor before pooling. The
-// average moves into code space, so logits are NOT bit-identical to the
-// staged path; this 64-image guard is what the knob's default-off ships
-// behind: >= 99% top-1 agreement against the float oracle.
+// GAP-on-codes guard: when the link is enabled the final conv's requantized
+// store feeds GlobalAvgPool directly as codes — one more requant link, no
+// float activation tensor before pooling. The average moves into code
+// space, so logits are NOT bit-identical to the staged path; this 64-image
+// >= 99% top-1 agreement guard is the CI gate the default rides on.
+// GapCodesMode::kAuto (the shipping default) links only trailer-supplied
+// GAP ranges: live-captured ranges stay staged, a LoadCalibration round
+// trip arms the link, and kForceOff remains the opt-out.
 TEST(RequantAccuracyGuardTest, TopOneAgreementWithGapOnCodes) {
-  ASSERT_FALSE(GapCodesEnabled()) << "GAP-on-codes must ship default-off";
+  ASSERT_TRUE(GetGapCodesMode() == GapCodesMode::kAuto)
+      << "GAP-on-codes must ship in kAuto (trailer-armed) mode";
   const PercivalNetConfig config = TestProfile();
   Network float_net = BuildPercivalNet(config);
   Network int8_net = BuildPercivalNet(config);  // same init_seed -> same weights
@@ -409,11 +412,11 @@ TEST(RequantAccuracyGuardTest, TopOneAgreementWithGapOnCodes) {
   int8_net.Forward(batch);
   const size_t links_without_gap = int8_net.RequantLinkCount();
 
-  SetGapCodesEnabled(true);
+  SetGapCodesEnabled(true);  // kForceOn: links even this live-captured range
   Tensor float_logits = float_net.Forward(batch);
-  Tensor int8_logits = int8_net.Forward(batch);  // knob change forces a re-plan
+  Tensor int8_logits = int8_net.Forward(batch);  // mode change forces a re-plan
   const size_t links_with_gap = int8_net.RequantLinkCount();
-  SetGapCodesEnabled(false);
+  SetGapCodesMode(GapCodesMode::kAuto);  // restore the shipping default
 
   ASSERT_GT(links_with_gap, links_without_gap)
       << "GAP-on-codes did not add the conv_final -> global_avgpool link";
@@ -428,6 +431,20 @@ TEST(RequantAccuracyGuardTest, TopOneAgreementWithGapOnCodes) {
   const double agreement = static_cast<double>(agree) / kBatch;
   EXPECT_GE(agreement, 0.99) << "GAP-on-codes flipped " << (kBatch - agree) << " of "
                              << kBatch << " top-1 decisions";
+
+  // kAuto links exactly the trailer-supplied population: round-tripping the
+  // captured entries through LoadCalibration (what a PCVW v2 trailer load
+  // does) arms the link with no force mode in play...
+  ASSERT_TRUE(int8_net.LoadCalibration(int8_net.CollectCalibration()));
+  int8_net.Forward(batch);
+  EXPECT_EQ(int8_net.RequantLinkCount(), links_with_gap)
+      << "kAuto did not link GAP for a trailer-supplied range";
+  // ...and kForceOff is the documented opt-out back to the old default.
+  SetGapCodesEnabled(false);
+  int8_net.Forward(batch);
+  EXPECT_EQ(int8_net.RequantLinkCount(), links_without_gap)
+      << "kForceOff did not unlink GAP";
+  SetGapCodesMode(GapCodesMode::kAuto);
 }
 
 }  // namespace
